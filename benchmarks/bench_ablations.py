@@ -1,0 +1,49 @@
+"""Bench: Section 5.5 ablations (kernel choice, PCA) and Appendix C."""
+
+from repro.experiments import (
+    AblationConfig,
+    run_acceleration_check,
+    run_kernel_choice_ablation,
+    run_pca_ablation,
+    run_smoothness_ablation,
+)
+
+
+def test_kernel_choice(benchmark, record_result):
+    cfg = AblationConfig(
+        dataset="mnist", n_train=800, n_test=250,
+        bandwidths=(2.0, 5.0, 10.0, 20.0), epochs=4, seed=0,
+    )
+    result = benchmark.pedantic(
+        lambda: run_kernel_choice_ablation(cfg), rounds=1, iterations=1
+    )
+    record_result(result)
+
+
+def test_pca(benchmark, record_result):
+    cfg = AblationConfig(
+        dataset="mnist", n_train=800, n_test=250,
+        pca_dims=(300, 100, 50), epochs=4, seed=0,
+    )
+    result = benchmark.pedantic(
+        lambda: run_pca_ablation(cfg), rounds=1, iterations=1
+    )
+    record_result(result)
+
+
+def test_acceleration(benchmark, record_result):
+    cfg = AblationConfig(dataset="mnist", n_train=800, n_test=200, seed=0)
+    result = benchmark.pedantic(
+        lambda: run_acceleration_check(cfg), rounds=1, iterations=1
+    )
+    record_result(result)
+
+
+def test_smoothness(benchmark, record_result):
+    cfg = AblationConfig(
+        dataset="mnist", n_train=800, n_test=250, epochs=4, seed=0
+    )
+    result = benchmark.pedantic(
+        lambda: run_smoothness_ablation(cfg), rounds=1, iterations=1
+    )
+    record_result(result)

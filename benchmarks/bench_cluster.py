@@ -1,0 +1,11 @@
+"""Bench: multi-GPU scaling study (the paper's Section-6 future work)."""
+
+from repro.experiments import ClusterScalingConfig, run_cluster_scaling
+
+
+def test_cluster_scaling(benchmark, record_result):
+    result = benchmark.pedantic(
+        lambda: run_cluster_scaling(ClusterScalingConfig(n_train=1500)),
+        rounds=1, iterations=1,
+    )
+    record_result(result)

@@ -1,0 +1,11 @@
+"""Bench: Figure 1 — the schematic, regenerated from the theory."""
+
+from repro.experiments import Figure1Config, run_figure1
+
+
+def test_figure1(benchmark, record_result):
+    result = benchmark.pedantic(
+        lambda: run_figure1(Figure1Config(n_train=2000, seed=0)),
+        rounds=1, iterations=1,
+    )
+    record_result(result)

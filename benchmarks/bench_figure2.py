@@ -1,0 +1,40 @@
+"""Bench: Figure 2 (and schematic Figure 1) — time-to-converge vs batch.
+
+Runs the real three-method sweep at reduced n on scaled devices; the
+series printed here are the figure's curves.
+"""
+
+from repro.experiments import Figure2Config, run_figure2
+
+
+def test_figure2_mnist(benchmark, record_result):
+    cfg = Figure2Config(
+        dataset="mnist",
+        n_train=600,
+        n_test=150,
+        mse_target=2e-3,
+        batch_sizes=(1, 4, 16, 64, 256, 600),
+        max_iterations=40_000,
+        seed=0,
+    )
+    result = benchmark.pedantic(
+        lambda: run_figure2(cfg), rounds=1, iterations=1
+    )
+    record_result(result)
+
+
+def test_figure2_timit(benchmark, record_result):
+    cfg = Figure2Config(
+        dataset="timit",
+        n_train=600,
+        n_test=150,
+        mse_target=4e-3,
+        batch_sizes=(1, 4, 16, 64, 256, 600),
+        max_iterations=40_000,
+        q_baseline=48,
+        seed=0,
+    )
+    result = benchmark.pedantic(
+        lambda: run_figure2(cfg), rounds=1, iterations=1
+    )
+    record_result(result)

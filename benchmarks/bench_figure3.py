@@ -1,0 +1,21 @@
+"""Bench: Figure 3a/3b — device timing curves at full paper scale.
+
+These evaluate the calibrated device model exactly (no training), so they
+run at the paper's actual dimensions (TIMIT, n up to 1e6).
+"""
+
+from repro.experiments import Figure3Config, run_figure3a, run_figure3b
+
+
+def test_figure3a(benchmark, record_result):
+    result = benchmark.pedantic(
+        lambda: run_figure3a(Figure3Config()), rounds=1, iterations=1
+    )
+    record_result(result)
+
+
+def test_figure3b(benchmark, record_result):
+    result = benchmark.pedantic(
+        lambda: run_figure3b(Figure3Config()), rounds=1, iterations=1
+    )
+    record_result(result)

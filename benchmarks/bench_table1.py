@@ -1,0 +1,53 @@
+"""Bench: Table 1 — per-iteration cost model and code verification."""
+
+from repro.experiments import Table1Config, run_table1
+
+
+def test_table1(benchmark, record_result):
+    result = benchmark.pedantic(
+        lambda: run_table1(Table1Config()), rounds=1, iterations=1
+    )
+    record_result(result)
+
+
+def test_overhead_wall_clock_small(benchmark):
+    """Beyond the op-count model: measured wall time of EigenPro 2.0's
+    correction is a small fraction of the iteration's kernel block at
+    Table-1-like shape ratios (s/n = 1/100)."""
+    import time
+
+    import numpy as np
+
+    from repro.core.preconditioner import NystromPreconditioner
+    from repro.kernels import GaussianKernel
+    from repro.linalg import nystrom_extension
+
+    n, d, m, l, s, q = 6000, 300, 300, 10, 600, 60
+    rng = np.random.default_rng(0)
+    x = rng.standard_normal((n, d))
+    kernel = GaussianKernel(bandwidth=5.0)
+    ext = nystrom_extension(kernel, x, s, q, seed=0)
+    precond = NystromPreconditioner(ext, q)
+    batch = x[:m]
+    g = rng.standard_normal((m, l))
+
+    def one_iteration():
+        kb = kernel(batch, x)
+        phi = kb[:, : s]  # stand-in column slice
+        return precond.correction(phi, g)
+
+    benchmark(one_iteration)
+
+    # Direct ratio measurement.
+    t0 = time.perf_counter()
+    for _ in range(3):
+        kernel(batch, x)
+    t_block = (time.perf_counter() - t0) / 3
+    phi = kernel(batch, precond.points)
+    t0 = time.perf_counter()
+    for _ in range(3):
+        precond.correction(phi, g)
+    t_corr = (time.perf_counter() - t0) / 3
+    assert t_corr < 0.25 * t_block, (
+        f"correction {t_corr:.4f}s vs kernel block {t_block:.4f}s"
+    )

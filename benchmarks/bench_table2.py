@@ -1,0 +1,19 @@
+"""Bench: Table 2 — EigenPro 2.0 vs original EigenPro vs FALKON."""
+
+from repro.experiments import Table2Config, run_table2
+
+
+def test_table2(benchmark, record_result):
+    cfg = Table2Config(
+        datasets=("mnist", "timit", "susy"),
+        n_train=1500,
+        n_test=400,
+        ep2_epochs=8,
+        ep1_epochs=8,
+        falkon_centers=600,
+        seed=0,
+    )
+    result = benchmark.pedantic(
+        lambda: run_table2(cfg), rounds=1, iterations=1
+    )
+    record_result(result)

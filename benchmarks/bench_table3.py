@@ -1,0 +1,18 @@
+"""Bench: Table 3 — interactive training vs LibSVM-sim / ThunderSVM-sim."""
+
+from repro.experiments import Table3Config, run_table3
+
+
+def test_table3(benchmark, record_result):
+    cfg = Table3Config(
+        datasets=("mnist", "timit", "svhn", "cifar10"),
+        n_train=700,
+        n_test=250,
+        smo_max_iter=15_000,
+        ep2_max_epochs=25,
+        seed=0,
+    )
+    result = benchmark.pedantic(
+        lambda: run_table3(cfg), rounds=1, iterations=1
+    )
+    record_result(result)

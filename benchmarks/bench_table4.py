@@ -1,0 +1,15 @@
+"""Bench: Table 4 — automatically calculated optimization parameters."""
+
+from repro.experiments import Table4Config, run_table4
+
+
+def test_table4(benchmark, record_result):
+    cfg = Table4Config(
+        datasets=("mnist", "timit", "susy", "imagenet"),
+        n_train=2000,
+        seed=0,
+    )
+    result = benchmark.pedantic(
+        lambda: run_table4(cfg), rounds=1, iterations=1
+    )
+    record_result(result)

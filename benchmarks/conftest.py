@@ -1,0 +1,42 @@
+"""Shared benchmark helpers.
+
+Each ``bench_*`` module regenerates one of the paper's tables/figures at
+benchmark scale (larger than unit tests, smaller than a full run), checks
+that the paper's *shape* claims hold, prints the rendered table (visible
+with ``pytest -s`` and in the benchmark logs) and writes it under
+``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture()
+def record_result(results_dir):
+    """Return a callback that prints and persists an ExperimentResult."""
+
+    def _record(result, check_claims: bool = True):
+        text = result.render()
+        print("\n" + text)
+        (results_dir / f"{result.name}.txt").write_text(text + "\n")
+        if check_claims:
+            failed = [
+                c.claim_id
+                for c in result.claims
+                if c.holds is False
+            ]
+            assert not failed, f"paper claims failed to reproduce: {failed}"
+        return result
+
+    return _record

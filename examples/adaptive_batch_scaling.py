@@ -1,0 +1,89 @@
+"""Adaptive batch scaling: the phenomenon behind Figures 1 and 2.
+
+This script measures, on one dataset, how the number of iterations to a
+fixed training-loss target falls with batch size for:
+
+- plain kernel SGD (saturates at the tiny critical batch size m*(k)),
+- EigenPro 2.0 (keeps scaling linearly up to the device batch m_max),
+
+and converts iterations into simulated Titan-Xp time, reproducing the
+"extended linear scaling" picture on your terminal.
+
+Run:
+    python examples/adaptive_batch_scaling.py
+"""
+
+from __future__ import annotations
+
+from repro import EigenPro2, GaussianKernel
+from repro.baselines import KernelSGD
+from repro.core.spectrum import critical_batch_size
+from repro.data import synthetic_mnist
+from repro.device.presets import titan_xp
+from repro.device.simulator import SimulatedDevice
+
+
+def bar(value: float, scale: float, width: int = 40) -> str:
+    filled = int(round(width * min(value / scale, 1.0)))
+    return "#" * filled
+
+
+def main() -> None:
+    ds = synthetic_mnist(n_train=800, n_test=150, seed=1)
+    kernel = GaussianKernel(bandwidth=3.0)
+    target = 2e-3
+
+    m_star = critical_batch_size(kernel, ds.x_train, sample_size=800, seed=0)
+    print(f"dataset: {ds}")
+    print(f"critical batch size of the original kernel: m*(k) = {m_star:.1f}")
+    print(f"training to train-MSE < {target:g}\n")
+
+    batches = (1, 4, 16, 64, 256, 800)
+    rows: dict[str, dict[int, tuple[int, float]]] = {"sgd": {}, "eigenpro2": {}}
+    for m in batches:
+        for method in ("sgd", "eigenpro2"):
+            device = SimulatedDevice(titan_xp().spec.scaled(800 / 1e5))
+            if method == "sgd":
+                trainer = KernelSGD(
+                    kernel, batch_size=m, device=device, seed=0
+                )
+            else:
+                trainer = EigenPro2(
+                    kernel, batch_size=m, device=device, seed=0
+                )
+            trainer.fit(
+                ds.x_train, ds.y_train, epochs=6000,
+                stop_train_mse=target, max_iterations=60_000,
+            )
+            rows[method][m] = (
+                trainer.history_.final.iterations,
+                device.elapsed,
+            )
+
+    for method, series in rows.items():
+        print(f"--- {method} ---")
+        max_iters = max(it for it, _ in series.values())
+        print(f"{'batch':>6} {'iterations':>11} {'sim GPU s':>10}")
+        for m, (iters, dev_s) in series.items():
+            print(
+                f"{m:>6} {iters:>11} {dev_s:>10.4f}  "
+                f"{bar(iters, max_iters)}"
+            )
+        print()
+
+    sgd_best = min(t for _, t in rows["sgd"].values())
+    ep2_best = min(t for _, t in rows["eigenpro2"].values())
+    print(
+        f"best simulated time: SGD {sgd_best:.4f}s vs "
+        f"EigenPro 2.0 {ep2_best:.4f}s "
+        f"({sgd_best / max(ep2_best, 1e-12):.1f}x speedup)"
+    )
+    print(
+        "\nNote how SGD's iteration count stops falling once the batch "
+        f"passes m* ≈ {m_star:.0f}, while EigenPro 2.0 keeps gaining all "
+        "the way to the full-device batch — the paper's Figure 2."
+    )
+
+
+if __name__ == "__main__":
+    main()

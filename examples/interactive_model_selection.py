@@ -1,0 +1,69 @@
+"""'Interactive' exploratory machine learning (paper Section 5.4).
+
+The paper's Table-3 scenario: because EigenPro 2.0 trains small/medium
+datasets in seconds with no optimization hyperparameters, you can afford
+to *sweep kernels and bandwidths interactively* — the whole sweep below
+(8 configurations, cross-validated) finishes in well under a minute on a
+CPU, and each configuration reports the simulated Titan-Xp time.
+
+Run:
+    python examples/interactive_model_selection.py
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro import EigenPro2, GaussianKernel, LaplacianKernel, titan_xp
+from repro.data import synthetic_svhn, train_val_split
+
+
+def main() -> None:
+    ds = synthetic_svhn(n_train=1500, n_test=400, seed=0)
+    x_train, y_train, x_val, y_val = train_val_split(
+        ds.x_train, ds.y_train, val_fraction=0.15, seed=0
+    )
+    print(f"dataset: {ds}  (train {len(x_train)}, val {len(x_val)})")
+
+    candidates = [
+        ("gaussian", GaussianKernel, 4.0),
+        ("gaussian", GaussianKernel, 8.0),
+        ("gaussian", GaussianKernel, 16.0),
+        ("gaussian", GaussianKernel, 32.0),
+        ("laplacian", LaplacianKernel, 4.0),
+        ("laplacian", LaplacianKernel, 8.0),
+        ("laplacian", LaplacianKernel, 16.0),
+        ("laplacian", LaplacianKernel, 32.0),
+    ]
+
+    print(f"\n{'kernel':<10} {'bandwidth':>9} {'val err %':>10} "
+          f"{'wall s':>8} {'sim GPU s':>10}")
+    best = None
+    for name, cls, bw in candidates:
+        device = titan_xp()
+        t0 = time.perf_counter()
+        model = EigenPro2(cls(bandwidth=bw), device=device, seed=0)
+        model.fit(x_train, y_train, epochs=4)
+        wall = time.perf_counter() - t0
+        err = model.classification_error(x_val, y_val)
+        print(f"{name:<10} {bw:>9.1f} {100 * err:>10.2f} "
+              f"{wall:>8.2f} {device.elapsed:>10.3f}")
+        if best is None or err < best[0]:
+            best = (err, name, cls, bw)
+
+    err, name, cls, bw = best
+    print(f"\nselected: {name}(bandwidth={bw}) at val error {100 * err:.2f}%")
+
+    # Retrain the winner on all training data, evaluate on the test set.
+    final = EigenPro2(cls(bandwidth=bw), device=titan_xp(), seed=0)
+    final.fit(ds.x_train, ds.y_train, epochs=6)
+    test_err = final.classification_error(ds.x_test, ds.labels_test)
+    print(f"test error of the selected model: {100 * test_err:.2f}%")
+
+    # Note how the Laplacian rows cluster tightly across bandwidths —
+    # the Section-5.5 robustness claim — while the Gaussian's error moves
+    # much more with sigma.
+
+
+if __name__ == "__main__":
+    main()

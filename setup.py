@@ -1,0 +1,14 @@
+"""Setup shim for legacy editable installs.
+
+The execution environment is offline and has no ``wheel`` package, so
+PEP 517 editable installs (which build a wheel) are unavailable; install
+with::
+
+    pip install -e . --no-build-isolation --no-use-pep517
+
+All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

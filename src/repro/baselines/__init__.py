@@ -1,0 +1,36 @@
+"""Baselines the paper compares against, implemented from scratch.
+
+- :class:`KernelSGD` — standard mini-batch kernel SGD (paper Eq. 2/3);
+  the "SGD" curve of Figure 2.
+- :class:`EigenPro1` — the original EigenPro (Ma & Belkin 2017) with the
+  full-data eigenvector representation and its ``n``-scaled overhead
+  (Table 1, row 2); the "EigenPro" rows of Table 2 and curve of Figure 2.
+- :class:`Falkon` — Nyström centers + preconditioned conjugate gradient
+  (Rudi et al. 2017); the "FALKON" rows of Table 2.
+- :class:`PegasosSVM` — stochastic subgradient kernel SVM, an additional
+  classical baseline.
+- :class:`SMOSVM` — an SMO dual solver standing in for LibSVM /
+  ThunderSVM in the Table-3 "interactive training" comparison.
+- :func:`solve_interpolation` / :func:`solve_ridge` — exact direct solves,
+  the ground truth for the solution-invariance tests.
+"""
+
+from repro.baselines.sgd import KernelSGD
+from repro.baselines.eigenpro1 import EigenPro1
+from repro.baselines.falkon import Falkon
+from repro.baselines.nystrom_ridge import NystromRidge
+from repro.baselines.pegasos import PegasosSVM
+from repro.baselines.smo import SMOSVM, SMOStats
+from repro.baselines.ridge import solve_interpolation, solve_ridge
+
+__all__ = [
+    "KernelSGD",
+    "EigenPro1",
+    "Falkon",
+    "NystromRidge",
+    "PegasosSVM",
+    "SMOSVM",
+    "SMOStats",
+    "solve_interpolation",
+    "solve_ridge",
+]

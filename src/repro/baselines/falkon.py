@@ -1,0 +1,210 @@
+"""FALKON (Rudi, Carratino & Rosasco, NeurIPS 2017), from scratch.
+
+The strongest single-GPU competitor in the paper's Table 2.  FALKON solves
+the Nyström-restricted kernel ridge problem
+
+    min_alpha (1/n) || K_nM alpha - y ||^2 + lambda alpha^T K_MM alpha
+
+over ``M ≪ n`` uniformly sampled centers by conjugate gradient on the
+normal equations
+
+    H alpha = K_Mn y / n,     H = K_Mn K_nM / n + lambda K_MM,
+
+preconditioned by the FALKON factorization: with ``T = chol(K_MM)`` and
+``A = chol(T T^T / M + lambda I)`` (both upper triangular), the change of
+variable ``alpha = T^{-1} A^{-1} beta`` turns ``H`` into a well-conditioned
+operator, and CG converges in a few tens of iterations independent of
+``n``.  Per-CG-iteration cost is dominated by the two ``(n, M)`` kernel
+sweeps — exactly why the paper's method (no ``n x M`` sweeps beyond the
+mini-batch) beats it on time.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.linalg
+
+from repro.config import DEFAULT_BLOCK_SCALARS
+from repro.core.model import KernelModel, as_labels
+from repro.device.simulator import SimulatedDevice
+from repro.exceptions import ConfigurationError, NotFittedError
+from repro.kernels.base import Kernel
+from repro.kernels.ops import kernel_matvec
+from repro.linalg.stable import jitter_cholesky
+
+__all__ = ["Falkon"]
+
+
+class Falkon:
+    """FALKON kernel ridge solver.
+
+    Parameters
+    ----------
+    kernel:
+        Kernel function.
+    n_centers:
+        Number ``M`` of Nyström centers (uniform subsample).
+    reg_lambda:
+        Ridge parameter ``lambda`` (statistical normalization).
+    max_iters:
+        Conjugate-gradient iteration cap.
+    tol:
+        Relative residual tolerance for CG convergence (per output
+        column; all columns must converge).
+    seed:
+        RNG seed for center sampling.
+    device:
+        Optional simulated device; CG sweeps charge ``2*n*M*(d+l)`` ops
+        per iteration plus the setup factorizations.
+    block_scalars:
+        Memory budget for the blocked ``(n, M)`` kernel sweeps.
+
+    Attributes
+    ----------
+    model_:
+        Fitted :class:`~repro.core.model.KernelModel` over the centers.
+    n_iters_:
+        CG iterations performed.
+    """
+
+    method_name = "falkon"
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        *,
+        n_centers: int = 1000,
+        reg_lambda: float = 1e-6,
+        max_iters: int = 100,
+        tol: float = 1e-8,
+        seed: int | None = 0,
+        device: SimulatedDevice | None = None,
+        block_scalars: int = DEFAULT_BLOCK_SCALARS,
+    ) -> None:
+        if n_centers < 1:
+            raise ConfigurationError(f"n_centers must be >= 1, got {n_centers}")
+        if reg_lambda <= 0:
+            raise ConfigurationError(
+                f"reg_lambda must be > 0, got {reg_lambda}"
+            )
+        if max_iters < 1:
+            raise ConfigurationError(f"max_iters must be >= 1, got {max_iters}")
+        if tol <= 0:
+            raise ConfigurationError(f"tol must be > 0, got {tol}")
+        self.kernel = kernel
+        self.n_centers = int(n_centers)
+        self.reg_lambda = float(reg_lambda)
+        self.max_iters = int(max_iters)
+        self.tol = float(tol)
+        self.seed = seed
+        self.device = device
+        self.block_scalars = int(block_scalars)
+        self.model_: KernelModel | None = None
+        self.n_iters_: int = 0
+
+    # -------------------------------------------------------------- fitting
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "Falkon":
+        """Solve the preconditioned normal equations by CG."""
+        x = np.atleast_2d(np.asarray(x, dtype=float))
+        y = np.asarray(y, dtype=float)
+        if y.ndim == 1:
+            y = y[:, None]
+        if y.shape[0] != x.shape[0]:
+            raise ConfigurationError("x and y row counts differ")
+        n, d = x.shape
+        l = y.shape[1]
+        m_centers = min(self.n_centers, n)
+        rng = np.random.default_rng(self.seed)
+        centers = x[rng.choice(n, size=m_centers, replace=False)]
+
+        k_mm = self.kernel(centers, centers)
+        # T (lower here; scipy convention) such that K_MM = T T^T.
+        t_chol, _ = jitter_cholesky(k_mm)
+        # A A^T = T^T T / M + lambda I  (preconditioner inner factor).
+        inner = t_chol.T @ t_chol / m_centers + self.reg_lambda * np.eye(m_centers)
+        a_chol, _ = jitter_cholesky(inner)
+        if self.device is not None:
+            self.device.charge_iteration(
+                m_centers * m_centers * d + 2 * m_centers**3
+            )
+
+        def prec_apply(v: np.ndarray) -> np.ndarray:
+            """alpha-space vector from beta-space: T^{-T} A^{-T} v."""
+            u = scipy.linalg.solve_triangular(a_chol, v, lower=True, trans="T")
+            return scipy.linalg.solve_triangular(t_chol, u, lower=True, trans="T")
+
+        def prec_apply_t(v: np.ndarray) -> np.ndarray:
+            """beta-space vector from alpha-space: A^{-1} T^{-1} v."""
+            u = scipy.linalg.solve_triangular(t_chol, v, lower=True)
+            return scipy.linalg.solve_triangular(a_chol, u, lower=True)
+
+        def h_apply(alpha: np.ndarray) -> np.ndarray:
+            """H alpha = K_Mn K_nM alpha / n + lambda K_MM alpha."""
+            knm_alpha = kernel_matvec(
+                self.kernel, x, centers, alpha, max_scalars=self.block_scalars
+            )
+            kmn_knm = kernel_matvec(
+                self.kernel,
+                centers,
+                x,
+                knm_alpha,
+                max_scalars=self.block_scalars,
+            )
+            if self.device is not None:
+                self.device.charge_iteration(2 * n * m_centers * (d + l))
+            return kmn_knm / n + self.reg_lambda * (k_mm @ alpha)
+
+        # Right-hand side in beta space.
+        kmn_y = kernel_matvec(
+            self.kernel, centers, x, y, max_scalars=self.block_scalars
+        )
+        b = prec_apply_t(kmn_y / n)
+
+        # Block CG on B^T H B beta = b, one column per output.
+        def op(beta: np.ndarray) -> np.ndarray:
+            return prec_apply_t(h_apply(prec_apply(beta)))
+
+        beta = np.zeros((m_centers, l))
+        r = b - op(beta)
+        p = r.copy()
+        rs = np.einsum("ij,ij->j", r, r)
+        b_norms = np.maximum(np.sqrt(np.einsum("ij,ij->j", b, b)), 1e-300)
+        self.n_iters_ = 0
+        for _ in range(self.max_iters):
+            if np.all(np.sqrt(rs) <= self.tol * b_norms):
+                break
+            hp = op(p)
+            denom = np.einsum("ij,ij->j", p, hp)
+            step = rs / np.where(np.abs(denom) > 1e-300, denom, 1e-300)
+            beta += p * step[None, :]
+            r -= hp * step[None, :]
+            rs_new = np.einsum("ij,ij->j", r, r)
+            p = r + p * (rs_new / np.where(rs > 1e-300, rs, 1e-300))[None, :]
+            rs = rs_new
+            self.n_iters_ += 1
+
+        alpha = prec_apply(beta)
+        self.model_ = KernelModel(self.kernel, centers, alpha)
+        return self
+
+    # ------------------------------------------------------------ inference
+    def _require_fitted(self) -> KernelModel:
+        if self.model_ is None:
+            raise NotFittedError("Falkon has not been fitted")
+        return self.model_
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Model outputs ``f(x)``."""
+        return self._require_fitted().predict(x, max_scalars=self.block_scalars)
+
+    def predict_labels(self, x: np.ndarray) -> np.ndarray:
+        """Predicted class labels."""
+        return as_labels(self.predict(x))
+
+    def mse(self, x: np.ndarray, y: np.ndarray) -> float:
+        """Mean squared error on ``(x, y)``."""
+        return self._require_fitted().mse(x, y)
+
+    def classification_error(self, x: np.ndarray, y: np.ndarray) -> float:
+        """Misclassification rate on ``(x, y)``."""
+        return self._require_fitted().classification_error(x, y)

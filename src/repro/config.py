@@ -1,0 +1,42 @@
+"""Global configuration for numeric defaults.
+
+Keeping these in one module means tests and experiments can tighten or relax
+precision in a single place rather than scattering dtype literals.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Default floating dtype for all kernel and solver computations.  The paper
+#: trains in float32 on the GPU; we default to float64 on CPU for numerical
+#: headroom in the eigensolvers and allow float32 to be requested explicitly.
+DEFAULT_DTYPE: np.dtype = np.dtype(np.float64)
+
+#: Bytes per scalar assumed by the *device* memory model.  The paper's memory
+#: accounting (Section 3, "Space usage") counts scalars; GPUs store float32.
+DEVICE_BYTES_PER_SCALAR: int = 4
+
+#: Default maximum number of scalars a single temporary kernel block may hold
+#: when evaluating kernel matrices in a blocked fashion (≈ 64 MB of float64).
+DEFAULT_BLOCK_SCALARS: int = 8_000_000
+
+#: Numerical floor used when dividing by eigenvalues or norms.
+EPS: float = 1e-12
+
+
+def resolve_dtype(dtype: object | None) -> np.dtype:
+    """Return ``dtype`` as a NumPy dtype, defaulting to :data:`DEFAULT_DTYPE`.
+
+    Parameters
+    ----------
+    dtype:
+        Anything accepted by :class:`numpy.dtype`, or ``None`` for the
+        package default.
+    """
+    if dtype is None:
+        return DEFAULT_DTYPE
+    resolved = np.dtype(dtype)  # raises TypeError on junk input
+    if resolved.kind != "f":
+        raise TypeError(f"expected a floating dtype, got {resolved!r}")
+    return resolved

@@ -1,0 +1,98 @@
+"""The paper's core contribution: resource-adaptive kernel learning.
+
+See :mod:`repro.core.eigenpro2` for the top-level trainer; the other
+modules implement the individual steps:
+
+- :mod:`repro.core.resource` — Step 1 (``m_C``, ``m_S``, ``m_max``);
+- :mod:`repro.core.spectrum` / :mod:`repro.core.qselection` — Step 2
+  (``m*(k)``, ``beta``, Eq.-7 ``q`` selection);
+- :mod:`repro.core.preconditioner` — the Nyström ``P_q`` of Section 4;
+- :mod:`repro.core.stepsize` — Step 3 analytic parameters;
+- :mod:`repro.core.trainer` — the shared Algorithm-1 training loop;
+- :mod:`repro.core.cost` — the Table-1 cost model;
+- :mod:`repro.core.acceleration` — the Appendix-C acceleration claim.
+"""
+
+from repro.core.acceleration import (
+    AccelerationEstimate,
+    iteration_ratio,
+    predicted_acceleration,
+)
+from repro.core.bandwidth import (
+    BandwidthSelection,
+    default_bandwidth_grid,
+    select_bandwidth,
+)
+from repro.core.convergence import (
+    convergence_rate_bound,
+    iterations_to_accuracy,
+    per_iteration_gain,
+)
+from repro.core.cost import (
+    IterationCost,
+    improved_eigenpro_cost,
+    original_eigenpro_cost,
+    overhead_fraction,
+    sgd_cost,
+)
+from repro.core.eigenpro2 import (
+    AutoParameters,
+    EigenPro2,
+    default_q_max,
+    default_subsample_size,
+    select_parameters,
+)
+from repro.core.model import KernelModel, as_labels
+from repro.core.preconditioner import NystromPreconditioner
+from repro.core.qselection import QSelection, adjusted_q, select_q
+from repro.core.resource import BatchSizeAnalysis, max_device_batch_size
+from repro.core.spectrum import (
+    critical_batch_size,
+    critical_batch_size_from_extension,
+    estimate_beta,
+    estimate_lambda1_operator,
+)
+from repro.core.stepsize import analytic_step_size, linear_scaling_step_size
+from repro.core.stopping import TrainMSETarget, ValidationPlateau
+from repro.core.trainer import BaseKernelTrainer, EpochRecord, TrainingHistory
+
+__all__ = [
+    "EigenPro2",
+    "AutoParameters",
+    "select_parameters",
+    "default_subsample_size",
+    "default_q_max",
+    "KernelModel",
+    "as_labels",
+    "NystromPreconditioner",
+    "BaseKernelTrainer",
+    "TrainingHistory",
+    "EpochRecord",
+    "TrainMSETarget",
+    "ValidationPlateau",
+    "BatchSizeAnalysis",
+    "max_device_batch_size",
+    "QSelection",
+    "select_q",
+    "adjusted_q",
+    "critical_batch_size",
+    "critical_batch_size_from_extension",
+    "estimate_beta",
+    "estimate_lambda1_operator",
+    "analytic_step_size",
+    "linear_scaling_step_size",
+    "IterationCost",
+    "sgd_cost",
+    "improved_eigenpro_cost",
+    "original_eigenpro_cost",
+    "overhead_fraction",
+    "AccelerationEstimate",
+    "predicted_acceleration",
+    "iteration_ratio",
+    "BandwidthSelection",
+    "select_bandwidth",
+    "default_bandwidth_grid",
+    "convergence_rate_bound",
+    "per_iteration_gain",
+    "iterations_to_accuracy",
+]

@@ -1,0 +1,108 @@
+"""The acceleration claim of Section 3 / Appendix C.
+
+Using the adaptive kernel ``k_G`` instead of ``k`` reduces the resource
+time to a fixed accuracy by approximately
+
+    a = (beta(K) / beta(K_G)) * (m_max_G / m*(k))
+
+under the paper's two idealizations: (1) any batch up to ``m_max_G`` takes
+the same device time per iteration, (2) the preconditioner overhead is
+negligible.  The derivation (Appendix C) goes through the per-iteration
+convergence rates ``1 - lambda_n/lambda_1`` vs ``1 - lambda_n/lambda_q``:
+the iteration-count ratio is ``lambda_q/lambda_1``, and rewriting it in
+terms of batch sizes yields the formula.  Empirically
+``beta(K_G) ≈ beta(K)`` and ``m_max/m*`` lands between 50 and 500.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import EPS
+from repro.exceptions import ConfigurationError
+
+__all__ = ["AccelerationEstimate", "predicted_acceleration", "iteration_ratio"]
+
+
+@dataclass(frozen=True)
+class AccelerationEstimate:
+    """Predicted speedup of the adaptive kernel over the original.
+
+    Attributes
+    ----------
+    factor:
+        The headline acceleration ``a``.
+    beta_ratio:
+        ``beta(K) / beta(K_G)`` (empirically ≈ 1).
+    batch_ratio:
+        ``m_max_G / m*(k)`` (the dominant term, 50–500 in the paper).
+    iteration_ratio:
+        ``lambda_q / lambda_1`` — fraction of iterations the adaptive
+        kernel needs relative to the original at *equal* batch size.
+    """
+
+    factor: float
+    beta_ratio: float
+    batch_ratio: float
+    iteration_ratio: float
+
+
+def iteration_ratio(lambda1: float, lambda_q: float) -> float:
+    """``lambda_q / lambda_1``: relative iteration count to fixed accuracy
+    of the adaptive kernel vs the original (Appendix C)."""
+    if lambda1 <= 0 or lambda_q < 0:
+        raise ConfigurationError(
+            f"eigenvalues must be positive, got lambda1={lambda1}, "
+            f"lambda_q={lambda_q}"
+        )
+    if lambda_q > lambda1 * (1 + 1e-9):
+        raise ConfigurationError(
+            f"lambda_q={lambda_q} exceeds lambda1={lambda1}; eigenvalues "
+            "must be ordered"
+        )
+    return lambda_q / lambda1
+
+
+def predicted_acceleration(
+    beta_k: float,
+    beta_kg: float,
+    m_max: int,
+    m_star: float,
+    *,
+    lambda1: float | None = None,
+    lambda_q: float | None = None,
+) -> AccelerationEstimate:
+    """Evaluate the acceleration formula.
+
+    Parameters
+    ----------
+    beta_k, beta_kg:
+        ``beta`` of the original and adaptive kernels.
+    m_max:
+        The device batch size ``m_max_G`` targeted by Step 1.
+    m_star:
+        The original kernel's critical batch size ``m*(k)``.
+    lambda1, lambda_q:
+        Optional operator eigenvalues to also report the iteration ratio;
+        when omitted the ratio is inferred from ``m_star / m_max``
+        (valid because ``m* = beta/lambda``).
+    """
+    if beta_k <= 0 or beta_kg <= 0:
+        raise ConfigurationError("beta values must be positive")
+    if m_max < 1 or m_star <= 0:
+        raise ConfigurationError(
+            f"m_max must be >= 1 and m_star > 0, got {m_max}, {m_star}"
+        )
+    beta_ratio = beta_k / beta_kg
+    batch_ratio = m_max / m_star
+    if lambda1 is not None and lambda_q is not None:
+        it_ratio = iteration_ratio(lambda1, lambda_q)
+    else:
+        # m*(k)/m_max = (beta_k/lambda1) / (beta_kg/lambda_q) ≈ lambda_q/lambda1
+        it_ratio = min(1.0, m_star / max(m_max, EPS))
+    return AccelerationEstimate(
+        factor=beta_ratio * batch_ratio,
+        beta_ratio=beta_ratio,
+        batch_ratio=batch_ratio,
+        iteration_ratio=it_ratio,
+    )

@@ -1,0 +1,186 @@
+"""Bandwidth selection by cross-validation on a subsample (Appendix B).
+
+"The kernel bandwidth sigma is selected through cross-validation on a
+small subsampled dataset."  This module automates the one remaining
+manual choice: for each candidate bandwidth, a kernel ridge model is
+fitted on subsample folds (direct solve — cheap at subsample scale) and
+the bandwidth with the lowest cross-validated classification error (or
+MSE for regression) wins.
+
+Combined with :class:`~repro.core.eigenpro2.EigenPro2`'s analytic batch /
+step / q selection, this makes the entire pipeline hands-free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.linalg
+
+from repro.core.model import as_labels
+from repro.exceptions import ConfigurationError
+from repro.kernels.base import Kernel
+from repro.linalg.stable import jitter_cholesky
+
+__all__ = ["BandwidthSelection", "select_bandwidth", "default_bandwidth_grid"]
+
+
+def default_bandwidth_grid(
+    x: np.ndarray, *, n_points: int = 8, seed: int | None = 0
+) -> tuple[float, ...]:
+    """A geometric bandwidth grid centred on the median pairwise distance.
+
+    The median heuristic is the standard starting point for radial
+    kernels; the grid spans a factor of 8 below to 8 above it.
+    """
+    x = np.atleast_2d(np.asarray(x))
+    rng = np.random.default_rng(seed)
+    n = x.shape[0]
+    take = min(n, 500)
+    pts = x[rng.choice(n, size=take, replace=False)] if take < n else x
+    from repro.kernels.pairwise import euclidean_distances
+
+    dists = euclidean_distances(pts, pts)
+    median = float(np.median(dists[np.triu_indices(take, k=1)]))
+    if median <= 0:
+        median = 1.0
+    return tuple(
+        float(median * f)
+        for f in np.geomspace(1 / 8, 8, num=max(2, int(n_points)))
+    )
+
+
+@dataclass(frozen=True)
+class BandwidthSelection:
+    """Outcome of the cross-validated bandwidth search.
+
+    Attributes
+    ----------
+    bandwidth:
+        The winning bandwidth.
+    scores:
+        ``{bandwidth: cv error}`` for the whole grid (classification
+        error or MSE depending on the task).
+    task:
+        ``"classification"`` or ``"regression"``.
+    """
+
+    bandwidth: float
+    scores: dict[float, float]
+    task: str
+
+
+def _ridge_predict(
+    kernel: Kernel,
+    x_tr: np.ndarray,
+    y_tr: np.ndarray,
+    x_te: np.ndarray,
+    reg: float,
+) -> np.ndarray:
+    k_tr = kernel(x_tr, x_tr)
+    k_tr[np.diag_indices_from(k_tr)] += reg * x_tr.shape[0]
+    chol, _ = jitter_cholesky(k_tr)
+    alpha = scipy.linalg.cho_solve((chol, True), y_tr)
+    return kernel(x_te, x_tr) @ alpha
+
+
+def select_bandwidth(
+    kernel_cls: type[Kernel],
+    x: np.ndarray,
+    y: np.ndarray,
+    *,
+    bandwidths: tuple[float, ...] | None = None,
+    subsample: int = 1000,
+    n_folds: int = 3,
+    reg: float = 1e-6,
+    classification: bool | None = None,
+    seed: int | None = 0,
+) -> BandwidthSelection:
+    """Pick a bandwidth for ``kernel_cls`` by k-fold CV on a subsample.
+
+    Parameters
+    ----------
+    kernel_cls:
+        A radial-kernel class taking ``bandwidth=...`` (e.g.
+        :class:`~repro.kernels.GaussianKernel`).
+    x, y:
+        Training data; ``y`` may be one-hot targets or integer labels
+        (classification) or continuous targets (regression).
+    bandwidths:
+        Candidate grid; default from :func:`default_bandwidth_grid`.
+    subsample:
+        Points used for the search (the Appendix-B "small subsampled
+        dataset").
+    n_folds:
+        Cross-validation folds (>= 2).
+    reg:
+        Ridge regularization of the fold solves.
+    classification:
+        Force the scoring rule; inferred from ``y`` when ``None``
+        (integer labels or one-hot -> classification).
+    """
+    if n_folds < 2:
+        raise ConfigurationError(f"n_folds must be >= 2, got {n_folds}")
+    if subsample < 2 * n_folds:
+        raise ConfigurationError(
+            f"subsample={subsample} too small for {n_folds} folds"
+        )
+    x = np.atleast_2d(np.asarray(x, dtype=float))
+    y = np.asarray(y)
+    if y.ndim == 1 and np.issubdtype(y.dtype, np.integer):
+        task_classification = True
+        from repro.data.preprocessing import one_hot
+
+        targets = one_hot(y)
+    else:
+        targets = y[:, None] if y.ndim == 1 else y
+        # Heuristic: 0/1 one-hot rows sum to 1 -> classification.
+        row_sums = targets.sum(axis=1)
+        task_classification = bool(
+            targets.shape[1] > 1
+            and np.allclose(targets.max(), 1.0)
+            and np.allclose(row_sums, 1.0)
+        )
+    if classification is not None:
+        task_classification = classification
+
+    rng = np.random.default_rng(seed)
+    n = x.shape[0]
+    take = min(n, int(subsample))
+    idx = rng.choice(n, size=take, replace=False) if take < n else np.arange(n)
+    xs, ys = x[idx], np.asarray(targets, dtype=float)[idx]
+    labels = as_labels(ys) if task_classification else None
+
+    if bandwidths is None:
+        bandwidths = default_bandwidth_grid(xs, seed=seed)
+    if not bandwidths:
+        raise ConfigurationError("bandwidth grid is empty")
+
+    folds = np.array_split(rng.permutation(take), n_folds)
+    scores: dict[float, float] = {}
+    for bw in bandwidths:
+        kernel = kernel_cls(bandwidth=bw)
+        fold_scores = []
+        for f in range(n_folds):
+            te = folds[f]
+            tr = np.concatenate([folds[g] for g in range(n_folds) if g != f])
+            pred = _ridge_predict(kernel, xs[tr], ys[tr], xs[te], reg)
+            if task_classification:
+                fold_scores.append(
+                    float(np.mean(as_labels(pred) != labels[te]))
+                )
+            else:
+                fold_scores.append(float(np.mean((pred - ys[te]) ** 2)))
+        scores[float(bw)] = float(np.mean(fold_scores))
+    # Easy tasks tie several bandwidths at zero error; among ties pick the
+    # middle of the tied band — the most robust choice (extreme tied
+    # bandwidths sit next to the failure regimes).
+    best_score = min(scores.values())
+    tied = sorted(bw for bw, sc in scores.items() if sc <= best_score + 1e-12)
+    best = tied[len(tied) // 2]
+    return BandwidthSelection(
+        bandwidth=best,
+        scores=scores,
+        task="classification" if task_classification else "regression",
+    )

@@ -1,0 +1,92 @@
+"""Analytic convergence-rate bounds (Ma et al. 2017, used in Appendix C).
+
+The per-iteration convergence factor of mini-batch SGD with the optimal
+step size, in the interpolation regime, is bounded by
+
+    g*(m) = 1 - m * lambda_n / (beta + (m - 1) * lambda_1)
+
+This single formula *is* the paper's schematic Figure 1:
+
+- **linear scaling** for ``m ≪ m* = beta/lambda_1``:
+  ``1 - g*(m) ≈ m * lambda_n / beta`` — doubling the batch doubles the
+  per-iteration progress;
+- **saturation** for ``m ≫ m*``: ``1 - g*(m) -> lambda_n / lambda_1`` —
+  more batch buys nothing;
+- the adaptive kernel replaces ``lambda_1`` by ``lambda_q``, moving the
+  saturation point to ``beta/lambda_q = m_max`` and the plateau to
+  ``lambda_n / lambda_q``.
+
+These bounds power :func:`repro.experiments.figure1.run_figure1` (the
+schematic regenerated from theory) and are property-tested against the
+measured iteration counts of the real trainers.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.config import EPS
+from repro.exceptions import ConfigurationError
+
+__all__ = [
+    "convergence_rate_bound",
+    "per_iteration_gain",
+    "iterations_to_accuracy",
+]
+
+
+def convergence_rate_bound(
+    m: int, beta: float, lambda_1: float, lambda_n: float
+) -> float:
+    """The bound ``g*(m)`` on the expected per-iteration error factor.
+
+    Parameters
+    ----------
+    m:
+        Mini-batch size >= 1.
+    beta:
+        ``beta(K)`` > 0.
+    lambda_1, lambda_n:
+        Top and bottom relevant operator eigenvalues,
+        ``0 < lambda_n <= lambda_1 <= beta``.
+    """
+    if m < 1:
+        raise ConfigurationError(f"m must be >= 1, got {m}")
+    if beta <= 0:
+        raise ConfigurationError(f"beta must be > 0, got {beta}")
+    if not 0 < lambda_n <= lambda_1 <= beta * (1 + 1e-9):
+        raise ConfigurationError(
+            "need 0 < lambda_n <= lambda_1 <= beta, got "
+            f"lambda_n={lambda_n}, lambda_1={lambda_1}, beta={beta}"
+        )
+    rate = 1.0 - m * lambda_n / (beta + (m - 1) * lambda_1)
+    return max(0.0, rate)
+
+
+def per_iteration_gain(
+    m: int, beta: float, lambda_1: float, lambda_n: float
+) -> float:
+    """``1 - g*(m)``: per-iteration progress — the y-axis of Figure 1."""
+    return 1.0 - convergence_rate_bound(m, beta, lambda_1, lambda_n)
+
+
+def iterations_to_accuracy(
+    epsilon: float,
+    m: int,
+    beta: float,
+    lambda_1: float,
+    lambda_n: float,
+) -> float:
+    """Iterations to shrink the error by a factor ``epsilon`` under the
+    bound: ``log(epsilon) / log(g*(m))`` (Appendix C's t = log e/log e*).
+
+    Returns ``inf`` when the bound gives no progress (degenerate inputs).
+    """
+    if not 0 < epsilon < 1:
+        raise ConfigurationError(f"epsilon must be in (0,1), got {epsilon}")
+    rate = convergence_rate_bound(m, beta, lambda_1, lambda_n)
+    if rate <= 0.0:
+        return 1.0
+    if rate >= 1.0 - EPS:
+        return math.inf
+    return math.log(epsilon) / math.log(rate)

@@ -1,0 +1,124 @@
+"""The kernel machine itself: ``f(x) = sum_i alpha_i k(c_i, x)``.
+
+A :class:`KernelModel` is the *output* of every trainer in this package —
+EigenPro 2.0, plain SGD, the original EigenPro and FALKON all produce one
+(FALKON's centers are a subsample; the others use all training points).
+Prediction streams over row blocks so arbitrarily large evaluation sets
+stay within the configured memory budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.config import DEFAULT_BLOCK_SCALARS
+from repro.exceptions import ConfigurationError
+from repro.kernels.base import Kernel
+from repro.kernels.ops import kernel_matvec
+
+__all__ = ["KernelModel", "as_labels"]
+
+
+def as_labels(y: np.ndarray) -> np.ndarray:
+    """Convert targets to integer class labels.
+
+    - 1-D integer arrays pass through;
+    - 2-D one-hot / score arrays map to ``argmax`` along axis 1;
+    - 1-D float arrays are thresholded at the midpoint of their range
+      (supports ``{0,1}`` and ``{-1,+1}`` binary encodings).
+    """
+    y = np.asarray(y)
+    if y.ndim == 2:
+        if y.shape[1] == 1:
+            return as_labels(y[:, 0])
+        return np.argmax(y, axis=1)
+    if y.ndim == 1:
+        if np.issubdtype(y.dtype, np.integer):
+            return y
+        mid = (float(y.max()) + float(y.min())) / 2.0 if y.size else 0.0
+        return (y > mid).astype(np.intp)
+    raise ConfigurationError(f"cannot interpret labels of shape {y.shape}")
+
+
+@dataclass
+class KernelModel:
+    """A fitted kernel machine.
+
+    Attributes
+    ----------
+    kernel:
+        The kernel function.
+    centers:
+        Kernel centers, shape ``(n, d)`` (training points for SGD-family
+        trainers, Nyström centers for FALKON).
+    weights:
+        Coefficients ``alpha``, shape ``(n, l)``.
+    """
+
+    kernel: Kernel
+    centers: np.ndarray
+    weights: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.centers = np.atleast_2d(np.asarray(self.centers))
+        self.weights = np.asarray(self.weights)
+        if self.weights.ndim == 1:
+            self.weights = self.weights[:, None]
+        if self.weights.shape[0] != self.centers.shape[0]:
+            raise ConfigurationError(
+                f"weights rows ({self.weights.shape[0]}) must match centers "
+                f"({self.centers.shape[0]})"
+            )
+
+    # ---------------------------------------------------------- dimensions
+    @property
+    def n_centers(self) -> int:
+        return self.centers.shape[0]
+
+    @property
+    def n_outputs(self) -> int:
+        return self.weights.shape[1]
+
+    # ---------------------------------------------------------- prediction
+    def predict(
+        self, x: np.ndarray, max_scalars: int = DEFAULT_BLOCK_SCALARS
+    ) -> np.ndarray:
+        """Evaluate ``f(x)`` for each row of ``x``; shape ``(n_x, l)``."""
+        return kernel_matvec(
+            self.kernel, x, self.centers, self.weights, max_scalars=max_scalars
+        )
+
+    def predict_labels(
+        self, x: np.ndarray, max_scalars: int = DEFAULT_BLOCK_SCALARS
+    ) -> np.ndarray:
+        """Predicted class labels (argmax over outputs; thresholded when
+        there is a single output column)."""
+        return as_labels(self.predict(x, max_scalars=max_scalars))
+
+    # ------------------------------------------------------------- metrics
+    def mse(self, x: np.ndarray, y: np.ndarray) -> float:
+        """Mean squared error of ``f`` against targets ``y`` — the
+        empirical loss ``L(f)`` of Remark 2.1, averaged over points *and*
+        output columns."""
+        y = np.asarray(y)
+        if y.ndim == 1:
+            y = y[:, None]
+        pred = self.predict(x)
+        return float(np.mean((pred - y) ** 2))
+
+    def classification_error(self, x: np.ndarray, y: np.ndarray) -> float:
+        """Fraction of misclassified points; ``y`` may be integer labels or
+        one-hot targets."""
+        labels = as_labels(y)
+        pred = self.predict_labels(x)
+        return float(np.mean(pred != labels))
+
+    def rkhs_norm_squared(self) -> float:
+        """``||f||_H^2 = alpha^T K alpha`` (summed over output columns).
+
+        Forms the full center kernel matrix — analysis/tests only.
+        """
+        k = self.kernel(self.centers, self.centers)
+        return float(np.sum(self.weights * (k @ self.weights)))

@@ -1,0 +1,139 @@
+"""Step 1 of the main algorithm: the resource-determined batch size.
+
+Given the device abstraction ``(C_G, S_G)`` and the workload dimensions,
+the paper defines (Section 3):
+
+- ``m_C`` — batch size fully utilizing parallelism:
+  ``(d + l) * m_C * n ≈ C_G``;
+- ``m_S`` — batch size at maximum memory usage:
+  ``(d + l + m_S) * n ≈ S_G``;
+- ``m_max = min(m_C, m_S)`` — the largest batch the device can absorb,
+  which becomes the target critical batch size for the adaptive kernel.
+
+The improved preconditioner adds ``s*q`` resident scalars (Table 1) which
+we subtract from the memory budget before solving for ``m_S`` — a
+refinement the paper's formula drops because ``s*q ≪ n*(d+l)``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.device.simulator import SimulatedDevice
+from repro.device.spec import DeviceSpec
+from repro.exceptions import ConfigurationError
+
+__all__ = ["BatchSizeAnalysis", "max_device_batch_size"]
+
+
+@dataclass(frozen=True)
+class BatchSizeAnalysis:
+    """Result of the Step-1 computation.
+
+    Attributes
+    ----------
+    m_compute:
+        ``m_C``, the compute-saturating batch size (may exceed ``n``).
+    m_memory:
+        ``m_S``, the memory-limited batch size (may exceed ``n``).
+    m_max:
+        ``min(m_C, m_S)`` clamped to ``[1, n]`` — the batch size Step 2
+        targets.
+    compute_bound:
+        True when ``m_C <= m_S`` (parallelism, not memory, binds).
+    clamped_by_n:
+        True when ``min(m_C, m_S)`` exceeded the dataset size.
+    """
+
+    m_compute: int
+    m_memory: int
+    m_max: int
+    compute_bound: bool
+    clamped_by_n: bool
+
+
+def _spec_of(device: DeviceSpec | SimulatedDevice) -> DeviceSpec:
+    return device.spec if isinstance(device, SimulatedDevice) else device
+
+
+def max_device_batch_size(
+    device: DeviceSpec | SimulatedDevice,
+    n: int,
+    d: int,
+    l: int,
+    *,
+    s: int = 0,
+    q: int = 0,
+    memory_fraction: float = 1.0,
+) -> BatchSizeAnalysis:
+    """Compute ``m_C``, ``m_S`` and ``m_max`` for a workload on a device.
+
+    Parameters
+    ----------
+    device:
+        The device spec or a simulated device wrapping one.
+    n, d, l:
+        Training size, feature dimension, label dimension.
+    s, q:
+        Preconditioner dimensions, charged against memory (``s*q``
+        scalars); pass 0 for plain SGD.
+    memory_fraction:
+        Fraction of ``S_G`` the training state may use (headroom for the
+        framework/driver); 1.0 uses everything.
+
+    Returns
+    -------
+    BatchSizeAnalysis
+
+    Raises
+    ------
+    ConfigurationError
+        If even a batch of one point does not fit on the device, or
+        dimensions are degenerate.
+    """
+    spec = _spec_of(device)
+    if n <= 0 or d <= 0 or l <= 0:
+        raise ConfigurationError(
+            f"n, d, l must be positive, got n={n}, d={d}, l={l}"
+        )
+    if s < 0 or q < 0:
+        raise ConfigurationError(f"s, q must be >= 0, got s={s}, q={q}")
+    if not 0 < memory_fraction <= 1:
+        raise ConfigurationError(
+            f"memory_fraction must be in (0, 1], got {memory_fraction}"
+        )
+
+    # Compute-saturating batch: (d + l) * m_C * n ≈ C_G.
+    if math.isinf(spec.parallel_capacity):
+        m_compute_f = math.inf
+    else:
+        m_compute_f = spec.parallel_capacity / ((d + l) * n)
+
+    # Memory-limited batch: (d + l + m_S) * n + s*q ≈ memory budget.
+    budget = spec.memory_scalars * memory_fraction
+    if math.isinf(budget):
+        m_memory_f = math.inf
+    else:
+        m_memory_f = (budget - s * q) / n - d - l
+    if m_memory_f < 1:
+        raise ConfigurationError(
+            f"device {spec.name!r} cannot hold the training state: "
+            f"n={n}, d={d}, l={l}, s*q={s * q} against "
+            f"{budget:.3g} scalars of memory"
+        )
+
+    raw = min(m_compute_f, m_memory_f)
+    clamped_by_n = raw > n
+    m_max = int(max(1, min(raw, n)))
+
+    def _as_int(value: float) -> int:
+        return n * 10 if math.isinf(value) else int(max(1, value))
+
+    return BatchSizeAnalysis(
+        m_compute=_as_int(m_compute_f),
+        m_memory=_as_int(m_memory_f),
+        m_max=m_max,
+        compute_bound=m_compute_f <= m_memory_f,
+        clamped_by_n=clamped_by_n,
+    )

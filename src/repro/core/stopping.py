@@ -1,0 +1,73 @@
+"""Stopping rules for iterative kernel training.
+
+The interpolation framework (paper Section 1) replaces explicit
+regularization with **early stopping**: iterate towards the interpolating
+solution and stop either when a train-MSE target is reached (the criterion
+of Figure 2's convergence experiments) or when validation error stops
+improving (the Yao-Rosasco-Caponnetto regularization the paper cites).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.exceptions import ConfigurationError
+
+__all__ = ["TrainMSETarget", "ValidationPlateau"]
+
+
+@dataclass
+class TrainMSETarget:
+    """Stop once monitored train MSE falls below ``tol``.
+
+    Used by the Figure-2 reproduction (``train mse < 1e-4`` / ``2e-4``).
+    """
+
+    tol: float
+
+    def __post_init__(self) -> None:
+        if self.tol <= 0:
+            raise ConfigurationError(f"tol must be > 0, got {self.tol}")
+
+    def should_stop(self, train_mse: float | None) -> bool:
+        """True when ``train_mse`` is available and below tolerance."""
+        return train_mse is not None and train_mse < self.tol
+
+
+@dataclass
+class ValidationPlateau:
+    """Stop after ``patience`` epochs without validation improvement.
+
+    Parameters
+    ----------
+    patience:
+        Number of consecutive non-improving epochs tolerated.
+    min_delta:
+        Minimum decrease in validation error that counts as improvement.
+    """
+
+    patience: int = 2
+    min_delta: float = 0.0
+    best: float = field(default=float("inf"), init=False)
+    stale_epochs: int = field(default=0, init=False)
+
+    def __post_init__(self) -> None:
+        if self.patience < 1:
+            raise ConfigurationError(
+                f"patience must be >= 1, got {self.patience}"
+            )
+        if self.min_delta < 0:
+            raise ConfigurationError(
+                f"min_delta must be >= 0, got {self.min_delta}"
+            )
+
+    def update(self, val_error: float | None) -> bool:
+        """Record an epoch's validation error; return True to stop."""
+        if val_error is None:
+            return False
+        if val_error < self.best - self.min_delta:
+            self.best = val_error
+            self.stale_epochs = 0
+            return False
+        self.stale_epochs += 1
+        return self.stale_epochs >= self.patience

@@ -1,0 +1,396 @@
+"""Shared mini-batch training loop for all SGD-family kernel trainers.
+
+EigenPro 2.0, plain kernel SGD and the original EigenPro differ only in
+
+1. their *setup* (what gets precomputed from the data: nothing, a
+   subsample eigensystem, or a full-data eigensystem),
+2. the *correction* applied after the standard SGD coordinate update
+   (Algorithm 1, step 5), and
+3. the per-iteration *cost* charged to the simulated device.
+
+:class:`BaseKernelTrainer` owns everything else: the epoch loop with
+without-replacement mini-batches (Eq. 2/3: the coordinate-descent view of
+kernel SGD), device memory accounting per the paper's space model
+``(d + l + m) * n``, simulated-time charging, train/validation monitoring
+and early stopping.  Subclasses override the three hooks.
+
+Update convention
+-----------------
+The batch coordinate update is ``alpha_t -= (eta / m) * (f(x_t) - y_t)``
+with ``eta`` from :func:`repro.core.stepsize.analytic_step_size` — the
+parametrization of Ma et al. (2017), which reproduces Table 4's
+``eta ≈ m/2`` at the adaptive operating point (see stepsize.py for the
+factor-bookkeeping against the paper's Eq. 2).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.config import DEFAULT_BLOCK_SCALARS
+from repro.core.model import KernelModel, as_labels
+from repro.core.stopping import TrainMSETarget, ValidationPlateau
+from repro.device.simulator import SimulatedDevice
+from repro.exceptions import ConfigurationError, NotFittedError
+from repro.instrument import record_ops
+from repro.kernels.base import Kernel
+
+__all__ = ["EpochRecord", "TrainingHistory", "BaseKernelTrainer"]
+
+
+@dataclass(frozen=True)
+class EpochRecord:
+    """Metrics snapshot at the end of one epoch."""
+
+    epoch: int
+    iterations: int
+    batch_size: int
+    train_mse: float | None
+    val_error: float | None
+    device_time: float | None
+    wall_time: float
+
+
+@dataclass
+class TrainingHistory:
+    """Append-only sequence of :class:`EpochRecord`."""
+
+    records: list[EpochRecord] = field(default_factory=list)
+
+    def append(self, record: EpochRecord) -> None:
+        self.records.append(record)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __getitem__(self, idx: int) -> EpochRecord:
+        return self.records[idx]
+
+    @property
+    def final(self) -> EpochRecord:
+        if not self.records:
+            raise NotFittedError("no epochs recorded")
+        return self.records[-1]
+
+    def series(self, fieldname: str) -> list:
+        """Column extraction, e.g. ``history.series('train_mse')``."""
+        return [getattr(r, fieldname) for r in self.records]
+
+
+class BaseKernelTrainer:
+    """Template for mini-batch kernel trainers.
+
+    Parameters
+    ----------
+    kernel:
+        The kernel function ``k``.
+    device:
+        Optional :class:`~repro.device.SimulatedDevice`; when given, every
+        iteration charges its operation count to the simulated clock and
+        the training state is allocated against ``S_G``.
+    batch_size:
+        Mini-batch size ``m``; subclasses may compute it automatically when
+        ``None``.
+    step_size:
+        ``eta``; subclasses compute it analytically when ``None``.
+    seed:
+        Seed for batch shuffling (and any subsampling in subclasses).
+    block_scalars:
+        Memory budget for blocked prediction.
+    monitor_size:
+        Size of the fixed random training subset on which train MSE is
+        monitored each epoch (monitoring on all of ``x`` would dominate
+        runtime at scale).
+    damping:
+        Safety factor multiplied into the analytic step size; 1.0 applies
+        the theoretical optimum, values slightly below absorb estimation
+        error in the subsample eigenvalues.
+
+    Attributes (set by :meth:`fit`)
+    -------------------------------
+    model_:
+        The fitted :class:`~repro.core.model.KernelModel`.
+    history_:
+        Per-epoch :class:`TrainingHistory`.
+    batch_size_, step_size_:
+        The values actually used.
+    """
+
+    #: Subclass display name used in experiment tables.
+    method_name: str = "kernel-sgd"
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        *,
+        device: SimulatedDevice | None = None,
+        batch_size: int | None = None,
+        step_size: float | None = None,
+        seed: int | None = 0,
+        block_scalars: int = DEFAULT_BLOCK_SCALARS,
+        monitor_size: int = 2000,
+        damping: float = 1.0,
+    ) -> None:
+        if batch_size is not None and batch_size < 1:
+            raise ConfigurationError(
+                f"batch_size must be >= 1, got {batch_size}"
+            )
+        if step_size is not None and step_size <= 0:
+            raise ConfigurationError(
+                f"step_size must be > 0, got {step_size}"
+            )
+        if monitor_size < 1:
+            raise ConfigurationError(
+                f"monitor_size must be >= 1, got {monitor_size}"
+            )
+        if not 0 < damping <= 1:
+            raise ConfigurationError(f"damping must be in (0,1], got {damping}")
+        self.kernel = kernel
+        self.device = device
+        self.requested_batch_size = batch_size
+        self.requested_step_size = step_size
+        self.seed = seed
+        self.block_scalars = int(block_scalars)
+        self.monitor_size = int(monitor_size)
+        self.damping = float(damping)
+        # Fitted state.
+        self.model_: KernelModel | None = None
+        self.history_: TrainingHistory | None = None
+        self.batch_size_: int | None = None
+        self.step_size_: float | None = None
+
+    # ------------------------------------------------------------ hooks
+    def _setup(self, x: np.ndarray, y: np.ndarray) -> None:
+        """Subclass hook: precompute structures and choose parameters.
+
+        Must leave ``self.batch_size_`` and ``self.step_size_`` set.
+        The base implementation honors explicit constructor values and
+        otherwise raises — plain-SGD and EigenPro subclasses implement the
+        analytic selection.
+        """
+        if self.requested_batch_size is None or self.requested_step_size is None:
+            raise ConfigurationError(
+                f"{type(self).__name__} requires explicit batch_size and "
+                "step_size (or use a subclass with automatic selection)"
+            )
+        self.batch_size_ = min(self.requested_batch_size, x.shape[0])
+        self.step_size_ = self.requested_step_size
+
+    def _apply_correction(
+        self, kb: np.ndarray, idx: np.ndarray, g: np.ndarray, gamma: float
+    ) -> None:
+        """Subclass hook: post-SGD correction (no-op for plain SGD).
+
+        Parameters
+        ----------
+        kb:
+            The ``(m, n)`` batch-vs-centers kernel block of this iteration.
+        idx:
+            Batch indices into the training set.
+        g:
+            Residuals ``f(x_t) - y_t``, shape ``(m, l)``.
+        gamma:
+            The per-coordinate step ``eta / m``.
+        """
+
+    def _extra_iteration_ops(self, m: int) -> int:
+        """Subclass hook: operation count of the correction (0 for SGD)."""
+        return 0
+
+    def _extra_device_allocations(self) -> dict[str, float]:
+        """Subclass hook: named device allocations beyond the SGD state."""
+        return {}
+
+    # ------------------------------------------------------------- fitting
+    def fit(
+        self,
+        x: np.ndarray,
+        y: np.ndarray,
+        *,
+        epochs: int = 1,
+        x_val: np.ndarray | None = None,
+        y_val: np.ndarray | None = None,
+        stop_train_mse: float | None = None,
+        val_patience: int | None = None,
+        max_iterations: int | None = None,
+        keep_best_val: bool = False,
+    ) -> "BaseKernelTrainer":
+        """Train for up to ``epochs`` passes over the data.
+
+        Parameters
+        ----------
+        x, y:
+            Training inputs ``(n, d)`` and targets ``(n,)`` or ``(n, l)``.
+        epochs:
+            Maximum number of epochs.
+        x_val, y_val:
+            Optional validation set; enables the ``val_error`` history
+            column and validation-plateau early stopping.
+        stop_train_mse:
+            Stop once monitored train MSE drops below this value (the
+            Figure-2 criterion).
+        val_patience:
+            Stop after this many epochs without validation improvement.
+        max_iterations:
+            Hard cap on SGD iterations across all epochs.
+        keep_best_val:
+            When True (and a validation set is given), restore the weights
+            from the epoch with the lowest validation error at the end —
+            the standard early-stopping-as-regularization readout
+            (Yao et al. 2007, cited by the paper).
+        """
+        x = np.ascontiguousarray(np.atleast_2d(np.asarray(x, dtype=float)))
+        y = np.asarray(y, dtype=float)
+        if y.ndim == 1:
+            y = y[:, None]
+        if y.shape[0] != x.shape[0]:
+            raise ConfigurationError(
+                f"x has {x.shape[0]} rows but y has {y.shape[0]}"
+            )
+        if not np.isfinite(x).all():
+            raise ConfigurationError("x contains non-finite values")
+        if not np.isfinite(y).all():
+            raise ConfigurationError("y contains non-finite values")
+        if epochs < 1:
+            raise ConfigurationError(f"epochs must be >= 1, got {epochs}")
+        n, d = x.shape
+        l = y.shape[1]
+
+        self._x = x
+        self._y = y
+        self._alpha = np.zeros((n, l), dtype=x.dtype)
+        self._setup(x, y)
+        if self.batch_size_ is None or self.step_size_ is None:
+            raise ConfigurationError(
+                f"{type(self).__name__}._setup failed to choose batch/step size"
+            )
+        m = int(min(self.batch_size_, n))
+        self.batch_size_ = m
+        gamma = self.step_size_ / m
+
+        rng = np.random.default_rng(self.seed)
+        monitor_idx = (
+            np.arange(n)
+            if n <= self.monitor_size
+            else rng.choice(n, size=self.monitor_size, replace=False)
+        )
+        mse_stop = TrainMSETarget(stop_train_mse) if stop_train_mse else None
+        plateau = ValidationPlateau(val_patience) if val_patience else None
+        self.model_ = KernelModel(self.kernel, x, self._alpha)
+        self.history_ = TrainingHistory()
+
+        allocations: list[str] = []
+        total_iterations = 0
+        best_val = float("inf")
+        best_alpha: np.ndarray | None = None
+        t0 = time.perf_counter()
+        try:
+            if self.device is not None:
+                wanted = {
+                    "train/x": float(n * d),
+                    "train/weights": float(n * l),
+                    "train/kernel_block": float(m * n),
+                }
+                wanted.update(self._extra_device_allocations())
+                for name, size in wanted.items():
+                    self.device.memory.allocate(name, size)
+                    allocations.append(name)
+            for epoch in range(1, epochs + 1):
+                perm = rng.permutation(n)
+                stop_now = False
+                for start in range(0, n, m):
+                    idx = perm[start : start + m]
+                    self._iterate(x, y, idx, gamma)
+                    total_iterations += 1
+                    if self.device is not None:
+                        ops = idx.shape[0] * n * (d + l)
+                        ops += self._extra_iteration_ops(idx.shape[0])
+                        self.device.charge_iteration(ops)
+                    if (
+                        max_iterations is not None
+                        and total_iterations >= max_iterations
+                    ):
+                        stop_now = True
+                        break
+                train_mse = self.model_.mse(x[monitor_idx], y[monitor_idx])
+                val_error = (
+                    self.model_.classification_error(x_val, y_val)
+                    if x_val is not None and y_val is not None
+                    else None
+                )
+                self.history_.append(
+                    EpochRecord(
+                        epoch=epoch,
+                        iterations=total_iterations,
+                        batch_size=m,
+                        train_mse=train_mse,
+                        val_error=val_error,
+                        device_time=(
+                            self.device.elapsed if self.device else None
+                        ),
+                        wall_time=time.perf_counter() - t0,
+                    )
+                )
+                if (
+                    keep_best_val
+                    and val_error is not None
+                    and val_error < best_val
+                ):
+                    best_val = val_error
+                    best_alpha = self._alpha.copy()
+                if mse_stop and mse_stop.should_stop(train_mse):
+                    break
+                if plateau and plateau.update(val_error):
+                    break
+                if stop_now:
+                    break
+        finally:
+            if self.device is not None:
+                for name in allocations:
+                    self.device.memory.free_allocation(name)
+        if best_alpha is not None:
+            self._alpha[...] = best_alpha
+        return self
+
+    # -------------------------------------------------------- one iteration
+    def _iterate(
+        self, x: np.ndarray, y: np.ndarray, idx: np.ndarray, gamma: float
+    ) -> None:
+        """One mini-batch step: Algorithm 1 steps 1–5.
+
+        Step 2 (predictions) and step 3 (batch coordinate update) are the
+        standard SGD of Eq. 3; the correction hook implements steps 4–5.
+        """
+        kb = self.kernel(x[idx], x)  # (m, n): records kernel_eval ops
+        f = kb @ self._alpha  # (m, l)
+        record_ops("gemm", idx.shape[0] * x.shape[0] * self._alpha.shape[1])
+        g = f - y[idx]
+        self._alpha[idx] -= gamma * g
+        self._apply_correction(kb, idx, g, gamma)
+
+    # ------------------------------------------------------------ inference
+    def _require_fitted(self) -> KernelModel:
+        if self.model_ is None:
+            raise NotFittedError(
+                f"{type(self).__name__} has not been fitted; call fit() first"
+            )
+        return self.model_
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Model outputs ``f(x)``; see :meth:`KernelModel.predict`."""
+        return self._require_fitted().predict(x, max_scalars=self.block_scalars)
+
+    def predict_labels(self, x: np.ndarray) -> np.ndarray:
+        """Predicted class labels."""
+        return as_labels(self.predict(x))
+
+    def mse(self, x: np.ndarray, y: np.ndarray) -> float:
+        """Mean squared error on ``(x, y)``."""
+        return self._require_fitted().mse(x, y)
+
+    def classification_error(self, x: np.ndarray, y: np.ndarray) -> float:
+        """Misclassification rate on ``(x, y)``."""
+        return self._require_fitted().classification_error(x, y)

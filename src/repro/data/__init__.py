@@ -1,0 +1,57 @@
+"""Data substrate: synthetic datasets + the paper's preprocessing.
+
+See DESIGN.md ("Substitutions") for why class-conditional Gaussian
+mixtures with controlled spectral decay are a faithful stand-in for the
+paper's datasets given the no-network environment.
+"""
+
+from repro.data.augment import (
+    augment_dataset_with_translations,
+    translate_images,
+)
+from repro.data.base import Dataset
+from repro.data.datasets import (
+    synthetic_cifar10,
+    synthetic_imagenet,
+    synthetic_mnist,
+    synthetic_susy,
+    synthetic_svhn,
+    synthetic_timit,
+)
+from repro.data.pca import PCA
+from repro.data.preprocessing import (
+    grayscale,
+    one_hot,
+    to_unit_range,
+    train_val_split,
+    zscore,
+)
+from repro.data.registry import DATASETS, get_dataset
+from repro.data.synthetic import (
+    MixtureSpec,
+    make_mixture_classification,
+    make_rkhs_regression,
+)
+
+__all__ = [
+    "Dataset",
+    "translate_images",
+    "augment_dataset_with_translations",
+    "MixtureSpec",
+    "make_mixture_classification",
+    "make_rkhs_regression",
+    "synthetic_mnist",
+    "synthetic_cifar10",
+    "synthetic_svhn",
+    "synthetic_timit",
+    "synthetic_susy",
+    "synthetic_imagenet",
+    "DATASETS",
+    "get_dataset",
+    "PCA",
+    "one_hot",
+    "to_unit_range",
+    "zscore",
+    "grayscale",
+    "train_val_split",
+]

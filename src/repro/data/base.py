@@ -1,0 +1,88 @@
+"""Dataset container shared by examples, tests and experiments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+__all__ = ["Dataset"]
+
+
+@dataclass
+class Dataset:
+    """An in-memory supervised dataset with a train/test split.
+
+    Targets follow the paper's convention (Appendix A): multiclass labels
+    are reduced to multiple binary labels, i.e. ``y`` is a 0/1 one-hot
+    matrix of shape ``(n, n_classes)`` and classification reads out the
+    argmax.  Integer labels are kept alongside for error computation.
+    """
+
+    name: str
+    x_train: np.ndarray
+    y_train: np.ndarray
+    labels_train: np.ndarray
+    x_test: np.ndarray
+    y_test: np.ndarray
+    labels_test: np.ndarray
+    n_classes: int
+    metadata: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.x_train.shape[0] != self.y_train.shape[0]:
+            raise ConfigurationError("x_train/y_train row mismatch")
+        if self.x_test.shape[0] != self.y_test.shape[0]:
+            raise ConfigurationError("x_test/y_test row mismatch")
+        if self.x_train.shape[1] != self.x_test.shape[1]:
+            raise ConfigurationError("train/test feature dimension mismatch")
+
+    # ------------------------------------------------------------ shapes
+    @property
+    def n_train(self) -> int:
+        return self.x_train.shape[0]
+
+    @property
+    def n_test(self) -> int:
+        return self.x_test.shape[0]
+
+    @property
+    def d(self) -> int:
+        """Feature dimension."""
+        return self.x_train.shape[1]
+
+    @property
+    def l(self) -> int:
+        """Label (target) dimension."""
+        return self.y_train.shape[1] if self.y_train.ndim == 2 else 1
+
+    # ------------------------------------------------------------ slicing
+    def subsampled(self, n_train: int, seed: int | None = 0) -> "Dataset":
+        """A copy with the training set subsampled to ``n_train`` points
+        (test set untouched) — used for the paper's 1e5-subsample runs."""
+        if not 1 <= n_train <= self.n_train:
+            raise ConfigurationError(
+                f"n_train must be in [1, {self.n_train}], got {n_train}"
+            )
+        rng = np.random.default_rng(seed)
+        idx = rng.choice(self.n_train, size=n_train, replace=False)
+        return Dataset(
+            name=f"{self.name}-sub{n_train}",
+            x_train=self.x_train[idx],
+            y_train=self.y_train[idx],
+            labels_train=self.labels_train[idx],
+            x_test=self.x_test,
+            y_test=self.y_test,
+            labels_test=self.labels_test,
+            n_classes=self.n_classes,
+            metadata=dict(self.metadata),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Dataset({self.name!r}, n_train={self.n_train}, "
+            f"n_test={self.n_test}, d={self.d}, classes={self.n_classes})"
+        )

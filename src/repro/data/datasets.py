@@ -1,0 +1,158 @@
+"""Per-dataset synthetic analogs matching the paper's workload signatures.
+
+Each factory mirrors the real dataset's feature dimension, label count and
+preprocessing (paper Section 5 "Datasets" + Appendix A), at configurable
+scale.  Mixture difficulty parameters are tuned so kernel machines land at
+plausible (non-trivial, non-chance) error rates; absolute errors are not
+expected to match the paper — orderings between methods are.
+
+========================  =====  ========  =============  ==============
+Dataset                   d      classes   preprocessing  paper n
+========================  =====  ========  =============  ==============
+synthetic_mnist           784    10        [0,1] gray     6.7e6 (aug.)
+synthetic_cifar10         1024   10        [0,1] gray     5e4
+synthetic_svhn            1024   10        [0,1] gray     7e4
+synthetic_timit           440    144       z-score        1.1e6 / 2e6
+synthetic_susy            18     2         z-score        4e6
+synthetic_imagenet        500    100*      z-score (PCA)  1.3e6
+========================  =====  ========  =============  ==============
+
+(*) The paper uses 1000 ImageNet labels; the default here is 100 so the
+reproduction remains CPU-tractable — pass ``n_classes=1000`` to match.
+"""
+
+from __future__ import annotations
+
+from repro.data.base import Dataset
+from repro.data.synthetic import MixtureSpec, make_mixture_classification
+
+__all__ = [
+    "synthetic_mnist",
+    "synthetic_cifar10",
+    "synthetic_svhn",
+    "synthetic_timit",
+    "synthetic_susy",
+    "synthetic_imagenet",
+]
+
+
+def synthetic_mnist(
+    n_train: int = 10_000, n_test: int = 2_000, seed: int | None = 0
+) -> Dataset:
+    """MNIST analog: 784 grayscale features in [0,1], 10 fairly separable
+    classes (MNIST is the 'easy' dataset of Table 2/3)."""
+    spec = MixtureSpec(
+        n_classes=10,
+        dim=784,
+        n_clusters=6,
+        separation=1.0,
+        noise=0.45,
+        spectrum_decay=1.2,
+    )
+    return make_mixture_classification(
+        "synthetic-mnist", n_train, n_test, spec,
+        normalization="unit_range", seed=seed,
+    )
+
+
+def synthetic_cifar10(
+    n_train: int = 10_000, n_test: int = 2_000, seed: int | None = 0
+) -> Dataset:
+    """CIFAR-10 analog: 1024 grayscale features, 10 hard (multi-modal,
+    noisy) classes — raw-pixel CIFAR is where kernels struggle most."""
+    spec = MixtureSpec(
+        n_classes=10,
+        dim=1024,
+        n_clusters=4,
+        separation=0.7,
+        noise=0.8,
+        spectrum_decay=1.0,
+    )
+    return make_mixture_classification(
+        "synthetic-cifar10", n_train, n_test, spec,
+        normalization="unit_range", seed=seed,
+    )
+
+
+def synthetic_svhn(
+    n_train: int = 10_000, n_test: int = 2_000, seed: int | None = 0
+) -> Dataset:
+    """SVHN analog: 1024 grayscale features, 10 classes of intermediate
+    difficulty."""
+    spec = MixtureSpec(
+        n_classes=10,
+        dim=1024,
+        n_clusters=3,
+        separation=0.85,
+        noise=0.65,
+        spectrum_decay=1.0,
+    )
+    return make_mixture_classification(
+        "synthetic-svhn", n_train, n_test, spec,
+        normalization="unit_range", seed=seed,
+    )
+
+
+def synthetic_timit(
+    n_train: int = 10_000,
+    n_test: int = 2_000,
+    n_classes: int = 144,
+    seed: int | None = 0,
+) -> Dataset:
+    """TIMIT analog: 440 z-scored acoustic features, 144 phone-state
+    classes (the label count of the paper's TIMIT setup).  Many classes
+    with heavy overlap yield the ~30 % error regime of Table 2."""
+    spec = MixtureSpec(
+        n_classes=n_classes,
+        dim=440,
+        n_clusters=2,
+        separation=0.75,
+        noise=0.75,
+        spectrum_decay=1.2,
+    )
+    return make_mixture_classification(
+        "synthetic-timit", n_train, n_test, spec,
+        normalization="zscore", seed=seed,
+    )
+
+
+def synthetic_susy(
+    n_train: int = 20_000, n_test: int = 4_000, seed: int | None = 0
+) -> Dataset:
+    """SUSY analog: 18 physics features, binary, with large irreducible
+    class overlap (the paper's methods plateau near 20 % error)."""
+    spec = MixtureSpec(
+        n_classes=2,
+        dim=18,
+        n_clusters=3,
+        separation=0.55,
+        noise=0.85,
+        spectrum_decay=0.6,
+    )
+    return make_mixture_classification(
+        "synthetic-susy", n_train, n_test, spec,
+        normalization="zscore", seed=seed,
+    )
+
+
+def synthetic_imagenet(
+    n_train: int = 10_000,
+    n_test: int = 2_000,
+    n_classes: int = 100,
+    seed: int | None = 0,
+) -> Dataset:
+    """ImageNet-features analog: 500 PCA components of convolutional
+    features (Inception-ResNet-v2 in the paper).  Strong spectral decay —
+    that is what PCA ordering produces — and many classes."""
+    spec = MixtureSpec(
+        n_classes=n_classes,
+        dim=500,
+        n_clusters=1,
+        separation=0.9,
+        noise=0.7,
+        spectrum_decay=1.6,
+    )
+    return make_mixture_classification(
+        "synthetic-imagenet", n_train, n_test, spec,
+        normalization="zscore", seed=seed,
+    )

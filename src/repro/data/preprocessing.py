@@ -1,0 +1,144 @@
+"""The paper's preprocessing pipeline (Appendix A).
+
+- multiclass labels -> multiple binary (one-hot 0/1) labels;
+- color images -> grayscale;
+- image features rescaled to [0, 1];
+- TIMIT-style features z-scored;
+- PCA dimensionality reduction lives in :mod:`repro.data.pca`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+__all__ = [
+    "one_hot",
+    "to_unit_range",
+    "zscore",
+    "grayscale",
+    "train_val_split",
+]
+
+
+def one_hot(labels: np.ndarray, n_classes: int | None = None) -> np.ndarray:
+    """Reduce multiclass labels to multiple binary labels (0/1 one-hot).
+
+    Parameters
+    ----------
+    labels:
+        Integer labels in ``[0, n_classes)``, shape ``(n,)``.
+    n_classes:
+        Number of classes; inferred as ``labels.max() + 1`` when omitted.
+    """
+    labels = np.asarray(labels)
+    if labels.ndim != 1:
+        raise ConfigurationError(f"labels must be 1-D, got shape {labels.shape}")
+    if not np.issubdtype(labels.dtype, np.integer):
+        raise ConfigurationError("labels must be integers")
+    if labels.size and labels.min() < 0:
+        raise ConfigurationError("labels must be non-negative")
+    k = int(n_classes) if n_classes is not None else int(labels.max()) + 1
+    if labels.size and labels.max() >= k:
+        raise ConfigurationError(
+            f"label {int(labels.max())} out of range for {k} classes"
+        )
+    out = np.zeros((labels.shape[0], k), dtype=float)
+    out[np.arange(labels.shape[0]), labels] = 1.0
+    return out
+
+
+def to_unit_range(
+    x: np.ndarray, stats: tuple[np.ndarray, np.ndarray] | None = None
+) -> tuple[np.ndarray, tuple[np.ndarray, np.ndarray]]:
+    """Rescale each feature to ``[0, 1]`` (image datasets in the paper).
+
+    Parameters
+    ----------
+    x:
+        Feature matrix ``(n, d)``.
+    stats:
+        Optional ``(min, range)`` per feature learned on the training set;
+        pass the returned stats when transforming the test set.
+
+    Returns
+    -------
+    (x_scaled, stats)
+    """
+    x = np.asarray(x, dtype=float)
+    if stats is None:
+        lo = x.min(axis=0)
+        span = x.max(axis=0) - lo
+        span = np.where(span > 0, span, 1.0)
+        stats = (lo, span)
+    lo, span = stats
+    return (x - lo) / span, stats
+
+
+def zscore(
+    x: np.ndarray, stats: tuple[np.ndarray, np.ndarray] | None = None
+) -> tuple[np.ndarray, tuple[np.ndarray, np.ndarray]]:
+    """Normalize each feature by z-score (TIMIT in the paper).
+
+    Same stats-threading contract as :func:`to_unit_range`.
+    """
+    x = np.asarray(x, dtype=float)
+    if stats is None:
+        mu = x.mean(axis=0)
+        sd = x.std(axis=0)
+        sd = np.where(sd > 0, sd, 1.0)
+        stats = (mu, sd)
+    mu, sd = stats
+    return (x - mu) / sd, stats
+
+
+def grayscale(images: np.ndarray) -> np.ndarray:
+    """Convert color images to flattened grayscale features.
+
+    Parameters
+    ----------
+    images:
+        Array of shape ``(n, h, w, 3)`` (channel-last RGB).
+
+    Returns
+    -------
+    numpy.ndarray
+        Shape ``(n, h*w)``, luminance-weighted (ITU-R BT.601).
+    """
+    images = np.asarray(images, dtype=float)
+    if images.ndim != 4 or images.shape[-1] != 3:
+        raise ConfigurationError(
+            f"expected (n, h, w, 3) color images, got shape {images.shape}"
+        )
+    weights = np.array([0.299, 0.587, 0.114])
+    gray = images @ weights
+    return gray.reshape(gray.shape[0], -1)
+
+
+def train_val_split(
+    x: np.ndarray,
+    y: np.ndarray,
+    val_fraction: float = 0.1,
+    seed: int | None = 0,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Random train/validation split.
+
+    Returns ``(x_train, y_train, x_val, y_val)``.
+    """
+    if not 0 < val_fraction < 1:
+        raise ConfigurationError(
+            f"val_fraction must be in (0,1), got {val_fraction}"
+        )
+    x = np.asarray(x)
+    y = np.asarray(y)
+    if x.shape[0] != y.shape[0]:
+        raise ConfigurationError("x and y must have the same number of rows")
+    n = x.shape[0]
+    n_val = max(1, int(round(n * val_fraction)))
+    if n_val >= n:
+        raise ConfigurationError("validation split would consume all data")
+    rng = np.random.default_rng(seed)
+    perm = rng.permutation(n)
+    val_idx, train_idx = perm[:n_val], perm[n_val:]
+    return x[train_idx], y[train_idx], x[val_idx], y[val_idx]

@@ -1,0 +1,48 @@
+"""Name-based dataset lookup for experiment configurations."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.data.base import Dataset
+from repro.data.datasets import (
+    synthetic_cifar10,
+    synthetic_imagenet,
+    synthetic_mnist,
+    synthetic_susy,
+    synthetic_svhn,
+    synthetic_timit,
+)
+
+__all__ = ["DATASETS", "get_dataset"]
+
+#: Registry of dataset factories keyed by short name.
+DATASETS: dict[str, Callable[..., Dataset]] = {
+    "mnist": synthetic_mnist,
+    "cifar10": synthetic_cifar10,
+    "svhn": synthetic_svhn,
+    "timit": synthetic_timit,
+    "susy": synthetic_susy,
+    "imagenet": synthetic_imagenet,
+}
+
+
+def get_dataset(name: str, **kwargs) -> Dataset:
+    """Instantiate a dataset by registry name.
+
+    Parameters
+    ----------
+    name:
+        One of ``mnist``, ``cifar10``, ``svhn``, ``timit``, ``susy``,
+        ``imagenet``.
+    **kwargs:
+        Forwarded to the factory (``n_train``, ``n_test``, ``seed``, ...).
+    """
+    try:
+        factory = DATASETS[name]
+    except KeyError:
+        known = ", ".join(sorted(DATASETS))
+        raise KeyError(
+            f"unknown dataset {name!r}; known datasets: {known}"
+        ) from None
+    return factory(**kwargs)

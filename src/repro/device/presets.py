@@ -1,0 +1,136 @@
+"""Device presets approximating the hardware in the paper's evaluation.
+
+Calibration notes
+-----------------
+The paper never publishes ``C_G`` directly; we back it out of the one
+quantitative anchor it gives: on sub-sampled TIMIT (``n = 1e5``,
+``d = 440``, ``l = 144``) the adaptive critical batch size that saturates a
+Titan Xp is ``m*(k_G) ≈ 6500`` (Section 5.2).  With the Step-1 relation
+``(d + l) * m_C * n ≈ C_G`` this gives ``C_G ≈ 6500 * 584 * 1e5 ≈ 3.8e11``
+operations in flight.  Throughput is set to the card's nominal fp32 rate
+(~12 TFLOPS), memory to its 12 GB (in float32 scalars).  Titan X (Maxwell)
+and Tesla K40 are scaled by their nominal fp32 ratios.  The idealized
+devices realise the two dashed curves of Figure 3a.
+
+Absolute simulated times are therefore *approximations by construction*;
+experiments compare shapes and ratios, per DESIGN.md.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.config import DEVICE_BYTES_PER_SCALAR
+from repro.device.simulator import SimulatedDevice
+from repro.device.spec import DeviceSpec
+
+__all__ = [
+    "titan_xp",
+    "titan_x",
+    "tesla_k40",
+    "ideal_parallel",
+    "ideal_sequential",
+    "cpu_sequential",
+]
+
+_GB = 1024**3
+
+
+def _mem_scalars(gigabytes: float) -> float:
+    return gigabytes * _GB / DEVICE_BYTES_PER_SCALAR
+
+
+def titan_xp() -> SimulatedDevice:
+    """Nvidia GTX Titan Xp (Pascal): the paper's main evaluation device.
+
+    3840 CUDA cores, ~12.1 TFLOPS fp32, 12 GB GDDR5X.
+    """
+    return SimulatedDevice(
+        DeviceSpec(
+            name="titan-xp",
+            parallel_capacity=3.8e11,
+            throughput=1.21e13,
+            memory_scalars=_mem_scalars(12.0),
+            launch_overhead_s=2e-4,
+        )
+    )
+
+
+def titan_x() -> SimulatedDevice:
+    """Nvidia GTX Titan X (Maxwell): ~6.6 TFLOPS fp32, 12 GB.
+
+    Used by the original-EigenPro rows of Table 2.
+    """
+    return SimulatedDevice(
+        DeviceSpec(
+            name="titan-x",
+            parallel_capacity=2.1e11,
+            throughput=6.6e12,
+            memory_scalars=_mem_scalars(12.0),
+            launch_overhead_s=2e-4,
+        )
+    )
+
+
+def tesla_k40() -> SimulatedDevice:
+    """Nvidia Tesla K40c: ~4.3 TFLOPS fp32, 12 GB.
+
+    Used by the FALKON rows of Table 2.
+    """
+    return SimulatedDevice(
+        DeviceSpec(
+            name="tesla-k40",
+            parallel_capacity=1.4e11,
+            throughput=4.3e12,
+            memory_scalars=_mem_scalars(12.0),
+            launch_overhead_s=3e-4,
+        )
+    )
+
+
+def ideal_parallel(latency_floor_s: float = 0.0316) -> SimulatedDevice:
+    """An ideal parallel device: every iteration takes the same time
+    regardless of batch size (dashed flat curve of Figure 3a).
+
+    The default latency floor equals the Titan Xp's (``C_G / throughput``)
+    so the two curves coincide in the flat region, as in the figure.
+    """
+    return SimulatedDevice(
+        DeviceSpec(
+            name="ideal-parallel",
+            parallel_capacity=math.inf,
+            throughput=1.21e13,
+            memory_scalars=math.inf,
+            launch_overhead_s=0.0,
+            latency_floor_s=latency_floor_s,
+        )
+    )
+
+
+def ideal_sequential(throughput: float = 1.21e13) -> SimulatedDevice:
+    """An ideal sequential machine: time strictly proportional to the
+    operation count (the linear reference of Figure 3a)."""
+    return SimulatedDevice(
+        DeviceSpec(
+            name="ideal-sequential",
+            parallel_capacity=0.0,
+            throughput=throughput,
+            memory_scalars=math.inf,
+            launch_overhead_s=0.0,
+            latency_floor_s=0.0,
+        )
+    )
+
+
+def cpu_sequential(throughput: float = 5e9, memory_gb: float = 128.0) -> SimulatedDevice:
+    """A single CPU core as seen by LibSVM-style solvers (Table 3 baseline):
+    modest throughput, no meaningful parallel capacity, large host memory."""
+    return SimulatedDevice(
+        DeviceSpec(
+            name="cpu-sequential",
+            parallel_capacity=1e6,
+            throughput=throughput,
+            memory_scalars=memory_gb * _GB / 8,  # float64 on the host
+            launch_overhead_s=0.0,
+        )
+    )

@@ -1,0 +1,150 @@
+"""Executable simulated device: a clock plus a memory tracker.
+
+A :class:`SimulatedDevice` wraps a :class:`~repro.device.spec.DeviceSpec`
+with mutable state:
+
+- a **simulated clock** advanced by :meth:`charge_iteration` /
+  :meth:`charge_ops`, so trainers can report "GPU time" figures comparable
+  to the paper's, even though the arithmetic actually runs on the host CPU;
+- a **memory tracker** enforcing ``S_G``: named allocations are charged in
+  scalars and an over-subscription raises
+  :class:`~repro.exceptions.DeviceMemoryError`, mirroring a CUDA
+  out-of-memory failure.  The tracker also records the peak footprint so
+  tests can assert the paper's memory model (Table 1) holds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.device.spec import DeviceSpec
+from repro.exceptions import ConfigurationError, DeviceMemoryError
+
+__all__ = ["MemoryTracker", "SimulatedDevice"]
+
+
+@dataclass
+class MemoryTracker:
+    """Tracks named allocations against a capacity in scalars."""
+
+    capacity: float
+    allocations: dict[str, float] = field(default_factory=dict)
+    peak: float = 0.0
+
+    @property
+    def used(self) -> float:
+        """Scalars currently allocated."""
+        return float(sum(self.allocations.values()))
+
+    @property
+    def free(self) -> float:
+        """Scalars still available."""
+        return self.capacity - self.used
+
+    def allocate(self, name: str, n_scalars: float) -> None:
+        """Reserve ``n_scalars`` under ``name``.
+
+        Raises
+        ------
+        DeviceMemoryError
+            If the allocation would exceed capacity.
+        ConfigurationError
+            If ``name`` is already allocated (free it first) or the size is
+            negative.
+        """
+        if n_scalars < 0:
+            raise ConfigurationError(
+                f"allocation size must be >= 0, got {n_scalars}"
+            )
+        if name in self.allocations:
+            raise ConfigurationError(
+                f"allocation {name!r} already exists; free it before "
+                "re-allocating"
+            )
+        if self.used + n_scalars > self.capacity:
+            raise DeviceMemoryError(
+                f"allocating {n_scalars:.3g} scalars for {name!r} exceeds "
+                f"device memory: {self.used:.3g} used of {self.capacity:.3g}"
+            )
+        self.allocations[name] = float(n_scalars)
+        self.peak = max(self.peak, self.used)
+
+    def free_allocation(self, name: str) -> None:
+        """Release the allocation registered under ``name``."""
+        try:
+            del self.allocations[name]
+        except KeyError:
+            raise ConfigurationError(f"no allocation named {name!r}") from None
+
+    def reset(self) -> None:
+        """Drop all allocations and the peak statistic."""
+        self.allocations.clear()
+        self.peak = 0.0
+
+
+class SimulatedDevice:
+    """A device spec with a running clock and a memory tracker.
+
+    Parameters
+    ----------
+    spec:
+        The hardware description.
+
+    Examples
+    --------
+    >>> from repro.device import titan_xp
+    >>> dev = titan_xp()
+    >>> dev.charge_iteration(ops=1e9)   # one small iteration: latency-bound
+    >>> dev.elapsed > 0
+    True
+    """
+
+    def __init__(self, spec: DeviceSpec) -> None:
+        self.spec = spec
+        self.elapsed: float = 0.0
+        self.iterations: int = 0
+        self.memory = MemoryTracker(capacity=spec.memory_scalars)
+
+    # ------------------------------------------------------------- naming
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"SimulatedDevice({self.spec.name!r}, elapsed={self.elapsed:.3g}s, "
+            f"iterations={self.iterations})"
+        )
+
+    # ------------------------------------------------------------- timing
+    def iteration_time(self, ops: float) -> float:
+        """Pure query: simulated time of one iteration of ``ops`` operations."""
+        return self.spec.iteration_time(ops)
+
+    def charge_iteration(self, ops: float) -> float:
+        """Advance the clock by one iteration of ``ops`` operations.
+
+        Returns the time charged.
+        """
+        dt = self.spec.iteration_time(ops)
+        self.elapsed += dt
+        self.iterations += 1
+        return dt
+
+    def charge_ops(self, ops: float, n_iterations: int = 1) -> float:
+        """Advance the clock by ``n_iterations`` identical iterations whose
+        *total* operation count is ``ops``."""
+        if n_iterations <= 0:
+            raise ConfigurationError(
+                f"n_iterations must be >= 1, got {n_iterations}"
+            )
+        dt = self.spec.epoch_time(ops / n_iterations, n_iterations)
+        self.elapsed += dt
+        self.iterations += n_iterations
+        return dt
+
+    def reset(self) -> None:
+        """Zero the clock, iteration counter and memory tracker."""
+        self.elapsed = 0.0
+        self.iterations = 0
+        self.memory.reset()

@@ -1,0 +1,147 @@
+"""Hardware parameters and the per-iteration timing model.
+
+The timing model is the simplest curve consistent with the paper's
+abstraction and its Figure 3a measurements::
+
+    t(ops) = launch_overhead + latency_floor + max(0, ops - C_G) / throughput
+
+- For ``ops <= C_G`` the device is latency-bound: time is the constant
+  ``launch_overhead + latency_floor`` regardless of batch size — the flat
+  region of Figure 3a ("like that of an ideal parallel device").
+- For ``ops > C_G`` the device is throughput-bound: time grows linearly
+  with the operation count.
+- ``launch_overhead`` is the fixed cost of *initiating* an iteration
+  (kernel launches, driver work).  Fewer, larger iterations amortize it —
+  the Amdahl's-law effect of Figure 3b.
+
+The knee of the curve sits exactly at ``ops = C_G``, which via
+``ops(m) = (d + l) * m * n`` defines the compute-saturating batch size
+``m_C`` (paper Step 1).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import Any
+
+from repro.exceptions import ConfigurationError
+
+__all__ = ["DeviceSpec"]
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Immutable description of a (possibly idealized) parallel device.
+
+    Parameters
+    ----------
+    name:
+        Human-readable identifier, e.g. ``"titan-xp"``.
+    parallel_capacity:
+        ``C_G`` — operations absorbed per iteration at constant latency.
+        ``math.inf`` models an ideal parallel device, ``0`` a purely
+        sequential one.
+    throughput:
+        Sustained operation rate (ops/second) once saturated; must be > 0
+        and finite.
+    memory_scalars:
+        ``S_G`` in scalars (the paper counts scalars; GPUs store float32,
+        see :data:`repro.config.DEVICE_BYTES_PER_SCALAR`).  ``math.inf``
+        disables the memory constraint.
+    launch_overhead_s:
+        Fixed per-iteration initiation cost in seconds (>= 0).
+    latency_floor_s:
+        Minimum execution time of one saturating wave in seconds (>= 0).
+        Defaults to ``parallel_capacity / throughput`` when finite — i.e.
+        the time the device needs to chew through one full-capacity wave —
+        and must be given explicitly for ideal devices.
+    """
+
+    name: str
+    parallel_capacity: float
+    throughput: float
+    memory_scalars: float
+    launch_overhead_s: float = 0.0
+    latency_floor_s: float | None = field(default=None)
+
+    def __post_init__(self) -> None:
+        if self.parallel_capacity < 0:
+            raise ConfigurationError(
+                f"parallel_capacity must be >= 0, got {self.parallel_capacity}"
+            )
+        if not (self.throughput > 0) or math.isinf(self.throughput):
+            raise ConfigurationError(
+                f"throughput must be positive and finite, got {self.throughput}"
+            )
+        if self.memory_scalars <= 0:
+            raise ConfigurationError(
+                f"memory_scalars must be > 0, got {self.memory_scalars}"
+            )
+        if self.launch_overhead_s < 0:
+            raise ConfigurationError(
+                f"launch_overhead_s must be >= 0, got {self.launch_overhead_s}"
+            )
+        if self.latency_floor_s is None:
+            if math.isinf(self.parallel_capacity):
+                raise ConfigurationError(
+                    "latency_floor_s must be given explicitly when "
+                    "parallel_capacity is infinite"
+                )
+            object.__setattr__(
+                self,
+                "latency_floor_s",
+                self.parallel_capacity / self.throughput,
+            )
+        elif self.latency_floor_s < 0:
+            raise ConfigurationError(
+                f"latency_floor_s must be >= 0, got {self.latency_floor_s}"
+            )
+
+    # ------------------------------------------------------------- timing
+    def iteration_time(self, ops: float) -> float:
+        """Simulated wall time of one iteration executing ``ops`` operations."""
+        if ops < 0:
+            raise ConfigurationError(f"ops must be >= 0, got {ops}")
+        extra = max(0.0, ops - self.parallel_capacity)
+        if math.isinf(extra):  # ideal parallel device: never saturates
+            extra = 0.0
+        return self.launch_overhead_s + float(self.latency_floor_s) + extra / self.throughput
+
+    def epoch_time(self, ops_per_iteration: float, n_iterations: int) -> float:
+        """Simulated time of ``n_iterations`` identical iterations."""
+        if n_iterations < 0:
+            raise ConfigurationError(
+                f"n_iterations must be >= 0, got {n_iterations}"
+            )
+        return n_iterations * self.iteration_time(ops_per_iteration)
+
+    # ------------------------------------------------------------ variants
+    def with_memory(self, memory_scalars: float) -> "DeviceSpec":
+        """Copy of this spec with a different memory size."""
+        return replace(self, memory_scalars=memory_scalars)
+
+    def scaled(self, factor: float, name: str | None = None) -> "DeviceSpec":
+        """Copy with capacity and throughput scaled by ``factor`` — a crude
+        model of a ``factor`` x bigger (or smaller) device of the same
+        generation."""
+        if factor <= 0:
+            raise ConfigurationError(f"factor must be > 0, got {factor}")
+        return replace(
+            self,
+            name=name if name is not None else f"{self.name}-x{factor:g}",
+            parallel_capacity=self.parallel_capacity * factor,
+            throughput=self.throughput * factor,
+            latency_floor_s=self.latency_floor_s,
+        )
+
+    def describe(self) -> dict[str, Any]:
+        """Plain-dict summary used by experiment reports."""
+        return {
+            "name": self.name,
+            "C_G (ops)": self.parallel_capacity,
+            "throughput (ops/s)": self.throughput,
+            "S_G (scalars)": self.memory_scalars,
+            "launch overhead (s)": self.launch_overhead_s,
+            "latency floor (s)": self.latency_floor_s,
+        }

@@ -1,0 +1,33 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All package-specific failures derive from :class:`ReproError` so callers can
+catch everything raised by this library with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """Raised when user-supplied parameters are invalid or inconsistent.
+
+    Also a :class:`ValueError` so that generic validation code treats it
+    like any other bad-argument failure.
+    """
+
+
+class NotFittedError(ReproError, RuntimeError):
+    """Raised when a model is used before :meth:`fit` has been called."""
+
+
+class ConvergenceError(ReproError, RuntimeError):
+    """Raised when an iterative solver fails to reach its target tolerance
+    within the allowed iteration budget."""
+
+
+class DeviceMemoryError(ReproError, MemoryError):
+    """Raised when an allocation on a simulated device exceeds its
+    internal resource memory ``S_G``."""

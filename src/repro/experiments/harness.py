@@ -1,0 +1,126 @@
+"""Experiment harness: result containers and table rendering.
+
+Every module in :mod:`repro.experiments` produces an
+:class:`ExperimentResult` — a set of table rows (the paper's rows/series)
+plus explicit :class:`PaperClaim` records comparing a paper statement to
+our measurement.  EXPERIMENTS.md is assembled from these renders.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["PaperClaim", "ExperimentResult", "format_table"]
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.01:
+            return f"{value:.3g}"
+        return f"{value:.3f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+def format_table(rows: list[dict[str, Any]]) -> str:
+    """Render dict rows as a fixed-width text table (markdown-compatible).
+
+    Columns are the union of row keys in first-seen order; missing cells
+    render empty.
+    """
+    if not rows:
+        return "(no rows)"
+    columns: list[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    table = [[_fmt(row.get(c, "")) for c in columns] for row in rows]
+    widths = [
+        max(len(col), *(len(r[i]) for r in table))
+        for i, col in enumerate(columns)
+    ]
+    def line(cells: list[str]) -> str:
+        return "| " + " | ".join(c.ljust(w) for c, w in zip(cells, widths)) + " |"
+
+    sep = "|" + "|".join("-" * (w + 2) for w in widths) + "|"
+    out = [line(columns), sep]
+    out.extend(line(r) for r in table)
+    return "\n".join(out)
+
+
+@dataclass
+class PaperClaim:
+    """One paper statement checked against our measurement.
+
+    Attributes
+    ----------
+    claim_id:
+        Stable identifier, e.g. ``"figure2/sgd-saturates"``.
+    description:
+        The paper's statement in one sentence.
+    paper:
+        What the paper reports (free text, original units).
+    measured:
+        What this reproduction measured.
+    holds:
+        Whether the *shape* of the claim reproduced (None = informational).
+    """
+
+    claim_id: str
+    description: str
+    paper: str
+    measured: str
+    holds: bool | None = None
+
+    def render(self) -> str:
+        status = {True: "REPRODUCED", False: "NOT REPRODUCED", None: "INFO"}[
+            self.holds
+        ]
+        return (
+            f"[{status}] {self.claim_id}: {self.description}\n"
+            f"    paper:    {self.paper}\n"
+            f"    measured: {self.measured}"
+        )
+
+
+@dataclass
+class ExperimentResult:
+    """The output of one table/figure reproduction."""
+
+    name: str
+    title: str
+    rows: list[dict[str, Any]] = field(default_factory=list)
+    claims: list[PaperClaim] = field(default_factory=list)
+    notes: str = ""
+    series: dict[str, list[dict[str, Any]]] = field(default_factory=dict)
+
+    def add_row(self, **cells: Any) -> None:
+        self.rows.append(dict(cells))
+
+    def add_series_point(self, series_name: str, **cells: Any) -> None:
+        self.series.setdefault(series_name, []).append(dict(cells))
+
+    def add_claim(self, claim: PaperClaim) -> None:
+        self.claims.append(claim)
+
+    @property
+    def all_hold(self) -> bool:
+        """True when every checked claim reproduced."""
+        return all(c.holds for c in self.claims if c.holds is not None)
+
+    def render(self) -> str:
+        parts = [f"== {self.name}: {self.title} =="]
+        if self.rows:
+            parts.append(format_table(self.rows))
+        for series_name, pts in self.series.items():
+            parts.append(f"-- series: {series_name} --")
+            parts.append(format_table(pts))
+        if self.claims:
+            parts.append("-- paper claims --")
+            parts.extend(c.render() for c in self.claims)
+        if self.notes:
+            parts.append(f"notes: {self.notes}")
+        return "\n".join(parts)

@@ -1,0 +1,179 @@
+"""Terminal (ASCII) plots for the figure experiments.
+
+The environment has no matplotlib, and the paper's evaluation is mostly
+*figures* — so the reproduction renders them as Unicode scatter/line
+charts directly in the terminal.  Good enough to see the flat-then-linear
+knee of Figure 3a or the saturation-vs-extended-scaling contrast of
+Figure 2 at a glance, and exercised by the CLI's ``--plot`` flag.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.exceptions import ConfigurationError
+
+__all__ = ["AsciiChart", "render_series"]
+
+_MARKERS = "ox+*#@%&"
+
+
+@dataclass
+class AsciiChart:
+    """A fixed-size character canvas with data-space axes.
+
+    Parameters
+    ----------
+    width, height:
+        Plot area size in characters (axes add a margin).
+    x_log, y_log:
+        Logarithmic axes (the natural scales for batch-size sweeps).
+    """
+
+    width: int = 64
+    height: int = 18
+    x_log: bool = True
+    y_log: bool = True
+
+    def __post_init__(self) -> None:
+        if self.width < 8 or self.height < 4:
+            raise ConfigurationError("chart too small to draw")
+        self._series: list[tuple[str, list[tuple[float, float]]]] = []
+
+    # ------------------------------------------------------------ data in
+    def add_series(
+        self, name: str, points: list[tuple[float, float]]
+    ) -> None:
+        """Register a named series of ``(x, y)`` points."""
+        pts = [
+            (float(x), float(y))
+            for x, y in points
+            if math.isfinite(x) and math.isfinite(y)
+        ]
+        if self.x_log:
+            pts = [(x, y) for x, y in pts if x > 0]
+        if self.y_log:
+            pts = [(x, y) for x, y in pts if y > 0]
+        if pts:
+            self._series.append((name, pts))
+
+    # ----------------------------------------------------------- rendering
+    def _transform(self, v: float, log: bool) -> float:
+        return math.log10(v) if log else v
+
+    def render(self, title: str = "", x_label: str = "", y_label: str = "") -> str:
+        """Draw all registered series onto a string canvas."""
+        if not self._series:
+            return "(no data to plot)"
+        xs = [
+            self._transform(x, self.x_log)
+            for _, pts in self._series
+            for x, _ in pts
+        ]
+        ys = [
+            self._transform(y, self.y_log)
+            for _, pts in self._series
+            for _, y in pts
+        ]
+        x_lo, x_hi = min(xs), max(xs)
+        y_lo, y_hi = min(ys), max(ys)
+        x_span = (x_hi - x_lo) or 1.0
+        y_span = (y_hi - y_lo) or 1.0
+
+        grid = [[" "] * self.width for _ in range(self.height)]
+        for idx, (_, pts) in enumerate(self._series):
+            marker = _MARKERS[idx % len(_MARKERS)]
+            last_cell: tuple[int, int] | None = None
+            for x, y in sorted(pts):
+                cx = int(
+                    round(
+                        (self._transform(x, self.x_log) - x_lo)
+                        / x_span
+                        * (self.width - 1)
+                    )
+                )
+                cy = int(
+                    round(
+                        (self._transform(y, self.y_log) - y_lo)
+                        / y_span
+                        * (self.height - 1)
+                    )
+                )
+                row = self.height - 1 - cy
+                # Sparse line interpolation between consecutive points.
+                if last_cell is not None:
+                    lx, ly = last_cell
+                    steps = max(abs(cx - lx), abs(row - ly))
+                    for s in range(1, max(steps, 1)):
+                        ix = lx + (cx - lx) * s // max(steps, 1)
+                        iy = ly + (row - ly) * s // max(steps, 1)
+                        if grid[iy][ix] == " ":
+                            grid[iy][ix] = "."
+                grid[row][cx] = marker
+                last_cell = (cx, row)
+
+        def fmt(v: float) -> str:
+            raw = 10**v if self.y_log or self.x_log else v
+            return f"{raw:.3g}"
+
+        lines = []
+        if title:
+            lines.append(title)
+        y_hi_label = fmt(y_hi) if self.y_log else f"{y_hi:.3g}"
+        y_lo_label = fmt(y_lo) if self.y_log else f"{y_lo:.3g}"
+        lines.append(f"{y_hi_label:>10} +" + "".join(grid[0]))
+        for row in grid[1:-1]:
+            lines.append(" " * 10 + " |" + "".join(row))
+        lines.append(f"{y_lo_label:>10} +" + "".join(grid[-1]))
+        x_lo_label = (
+            f"{10**x_lo:.3g}" if self.x_log else f"{x_lo:.3g}"
+        )
+        x_hi_label = (
+            f"{10**x_hi:.3g}" if self.x_log else f"{x_hi:.3g}"
+        )
+        axis = (
+            " " * 12
+            + x_lo_label
+            + " " * max(1, self.width - len(x_lo_label) - len(x_hi_label))
+            + x_hi_label
+        )
+        lines.append(axis)
+        if x_label:
+            lines.append(" " * 12 + x_label)
+        legend = "   ".join(
+            f"{_MARKERS[i % len(_MARKERS)]} {name}"
+            for i, (name, _) in enumerate(self._series)
+        )
+        lines.append("legend: " + legend)
+        return "\n".join(lines)
+
+
+def render_series(
+    series: dict[str, list[dict]],
+    x_key: str,
+    y_key: str,
+    *,
+    title: str = "",
+    x_log: bool = True,
+    y_log: bool = True,
+) -> str:
+    """Plot an :class:`~repro.experiments.harness.ExperimentResult`'s
+    ``series`` dict — e.g. Figure 2's three method curves.
+
+    Parameters
+    ----------
+    series:
+        ``{name: [row dicts]}`` as stored on the result.
+    x_key, y_key:
+        Row keys to plot.
+    """
+    chart = AsciiChart(x_log=x_log, y_log=y_log)
+    for name, rows in series.items():
+        pts = [
+            (row[x_key], row[y_key])
+            for row in rows
+            if x_key in row and y_key in row
+        ]
+        chart.add_series(name, pts)
+    return chart.render(title=title, x_label=x_key)

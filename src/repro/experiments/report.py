@@ -1,0 +1,99 @@
+"""Combined reproduction report: all experiments → one markdown document.
+
+Runs (or accepts pre-run) experiment results and assembles a single
+status report — the machine-generated core of EXPERIMENTS.md — with a
+claims scoreboard up top and every table below.
+
+Usage::
+
+    python -m repro.experiments all --out results/
+    python - <<'PY'
+    from repro.experiments.report import build_report, write_report
+    write_report("results/SUMMARY.md")
+    PY
+"""
+
+from __future__ import annotations
+
+import pathlib
+import time
+from typing import Callable, Iterable
+
+from repro.experiments.harness import ExperimentResult
+
+__all__ = ["build_report", "write_report"]
+
+
+def _scoreboard(results: Iterable[ExperimentResult]) -> str:
+    lines = [
+        "| Experiment | Claims | Reproduced | Failed |",
+        "|---|---|---|---|",
+    ]
+    total = reproduced = failed = 0
+    for r in results:
+        checked = [c for c in r.claims if c.holds is not None]
+        ok = sum(1 for c in checked if c.holds)
+        bad = len(checked) - ok
+        total += len(checked)
+        reproduced += ok
+        failed += bad
+        lines.append(f"| {r.name} | {len(checked)} | {ok} | {bad} |")
+    lines.append(f"| **total** | **{total}** | **{reproduced}** | **{failed}** |")
+    return "\n".join(lines)
+
+
+def build_report(
+    experiments: dict[str, Callable[[], ExperimentResult]] | None = None,
+    *,
+    names: Iterable[str] | None = None,
+) -> str:
+    """Run the given experiments and return the combined markdown.
+
+    Parameters
+    ----------
+    experiments:
+        Name → runner mapping; defaults to the full registry.
+    names:
+        Optional subset to run (defaults to all registered).
+    """
+    if experiments is None:
+        from repro.experiments import EXPERIMENTS
+
+        experiments = EXPERIMENTS
+    chosen = list(names) if names is not None else list(experiments)
+    results: list[ExperimentResult] = []
+    timings: dict[str, float] = {}
+    for name in chosen:
+        t0 = time.perf_counter()
+        results.append(experiments[name]())
+        timings[name] = time.perf_counter() - t0
+
+    parts = [
+        "# Reproduction report (machine generated)",
+        "",
+        "Claims scoreboard:",
+        "",
+        _scoreboard(results),
+        "",
+    ]
+    for r in results:
+        parts.append("---")
+        parts.append("")
+        parts.append("```")
+        parts.append(r.render())
+        parts.append(f"(ran in {timings[r.name]:.1f}s)")
+        parts.append("```")
+        parts.append("")
+    return "\n".join(parts)
+
+
+def write_report(
+    path: str | pathlib.Path,
+    *,
+    names: Iterable[str] | None = None,
+) -> pathlib.Path:
+    """Build the report and write it to ``path``; returns the path."""
+    out = pathlib.Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(build_report(names=names))
+    return out

@@ -1,0 +1,198 @@
+"""Table 1: per-iteration computation/memory of the three iterations.
+
+Two parts:
+
+1. **The formulas**, evaluated at the paper's realistic sizes
+   (``n=1e6, s=1e4, d,m ~ 1e3, q,l ~ 1e2``), reproducing the "<1 %
+   overhead" headline of Section 4.
+2. **Verification against the running code**: one actual training
+   iteration of each method is executed under an operation meter, and
+   the measured counts are compared with the formulas (exact for the
+   preconditioner chains, leading-order for kernel evaluation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.baselines import EigenPro1, KernelSGD
+from repro.core.cost import (
+    exact_improved_overhead_ops,
+    exact_original_overhead_ops,
+    improved_eigenpro_cost,
+    original_eigenpro_cost,
+    sgd_cost,
+)
+from repro.core.eigenpro2 import EigenPro2
+from repro.data import get_dataset
+from repro.experiments.harness import ExperimentResult, PaperClaim
+from repro.instrument import meter_scope
+from repro.kernels import GaussianKernel
+
+__all__ = ["Table1Config", "run_table1"]
+
+
+@dataclass
+class Table1Config:
+    """Sizes for the measured-iteration verification run."""
+
+    n: int = 1200
+    d: int = 784
+    l: int = 10
+    m: int = 200
+    s: int = 400
+    q: int = 80
+    seed: int = 0
+
+
+def run_table1(cfg: Table1Config | None = None) -> ExperimentResult:
+    """Reproduce Table 1: the symbolic cost table at the paper's sizes
+    plus exact operation-count verification against one instrumented
+    iteration of each method."""
+    cfg = cfg or Table1Config()
+    result = ExperimentResult(
+        name="table1",
+        title="Per-iteration computation/memory vs SGD (overhead bolded in paper)",
+    )
+
+    # Part 1: the paper's symbolic table at its realistic example sizes.
+    paper = dict(n=10**6, m=10**3, d=10**3, l=10**2, s=10**4, q=10**2)
+    rows = {
+        "Improved EigenPro": improved_eigenpro_cost(**paper),
+        "Original EigenPro": original_eigenpro_cost(
+            n=paper["n"], m=paper["m"], d=paper["d"], l=paper["l"], q=paper["q"]
+        ),
+        "SGD": sgd_cost(paper["n"], paper["m"], paper["d"], paper["l"]),
+    }
+    base = rows["SGD"]
+    for name, cost in rows.items():
+        result.add_row(
+            method=name,
+            computation=f"{cost.computation:.3e}",
+            memory=f"{cost.memory:.3e}",
+            overhead_comp_pct=round(
+                100 * cost.overhead_computation / base.computation, 3
+            ),
+            overhead_mem_pct=round(
+                100 * cost.overhead_memory / base.memory, 3
+            ),
+        )
+    imp = rows["Improved EigenPro"]
+    result.add_claim(
+        PaperClaim(
+            claim_id="table1/under-one-percent",
+            description=(
+                "Improved EigenPro overhead under 1% of SGD at the paper's "
+                "realistic sizes"
+            ),
+            paper="overhead of EigenPro < 1% over SGD (computation and memory)",
+            measured=(
+                f"computation {100 * imp.overhead_computation / base.computation:.2f}%, "
+                f"memory {100 * imp.overhead_memory / base.memory:.2f}%"
+            ),
+            holds=(
+                imp.overhead_computation / base.computation < 0.01
+                and imp.overhead_memory / base.memory < 0.01
+            ),
+        )
+    )
+
+    # Part 2: measured operation counts from one real iteration of each.
+    ds = get_dataset(
+        "mnist", n_train=cfg.n, n_test=50, seed=cfg.seed
+    )
+    kernel = GaussianKernel(bandwidth=5.0)
+    measured = {}
+    for name, trainer in (
+        ("SGD", KernelSGD(kernel, batch_size=cfg.m, seed=cfg.seed)),
+        (
+            "Original EigenPro",
+            EigenPro1(
+                kernel, q=cfg.q, s=cfg.s, batch_size=cfg.m, seed=cfg.seed
+            ),
+        ),
+        (
+            "Improved EigenPro",
+            EigenPro2(
+                kernel, q=cfg.q, s=cfg.s, batch_size=cfg.m, seed=cfg.seed
+            ),
+        ),
+    ):
+        # Fit once so setup (eigensystems, spectral estimates) happens
+        # outside the meter; then meter exactly one training iteration —
+        # Table 1 is a *per-iteration* cost model.
+        trainer.fit(ds.x_train, ds.y_train, epochs=1, max_iterations=1)
+        idx = np.arange(cfg.m)
+        with meter_scope() as meter:
+            trainer._iterate(
+                ds.x_train,
+                ds.y_train,
+                idx,
+                trainer.step_size_ / trainer.batch_size_,
+            )
+        measured[name] = meter
+    sgd_pred = cfg.m * cfg.n * (cfg.d + ds.l)
+    imp_pred = exact_improved_overhead_ops(cfg.m, ds.l, cfg.s, cfg.q)
+    orig_pred = exact_original_overhead_ops(cfg.n, cfg.m, ds.l, cfg.q)
+    measured_imp = measured["Improved EigenPro"].total("precond")
+    measured_orig = measured["Original EigenPro"].total("precond")
+    measured_sgd = measured["SGD"].total("kernel_eval", "gemm")
+    result.add_row(
+        method="measured: SGD base (kernel+gemm) / predicted",
+        computation=f"{measured_sgd} / {sgd_pred}",
+        memory="-",
+        overhead_comp_pct="-",
+        overhead_mem_pct="-",
+    )
+    result.add_row(
+        method="measured: improved precond / predicted",
+        computation=f"{measured_imp} / {imp_pred}",
+        memory="-",
+        overhead_comp_pct="-",
+        overhead_mem_pct="-",
+    )
+    result.add_row(
+        method="measured: original precond / predicted",
+        computation=f"{measured_orig} / {orig_pred}",
+        memory="-",
+        overhead_comp_pct="-",
+        overhead_mem_pct="-",
+    )
+    result.add_claim(
+        PaperClaim(
+            claim_id="table1/code-matches-model",
+            description="Instrumented operation counts equal the cost model",
+            paper="(implicit: the table describes the algorithms as run)",
+            measured=(
+                f"improved {measured_imp}=={imp_pred}, "
+                f"original {measured_orig}=={orig_pred}, "
+                f"sgd {measured_sgd}=={sgd_pred}"
+            ),
+            holds=(
+                measured_imp == imp_pred
+                and measured_orig == orig_pred
+                and measured_sgd == sgd_pred
+            ),
+        )
+    )
+    result.add_claim(
+        PaperClaim(
+            claim_id="table1/overhead-ratio-n-over-s",
+            description=(
+                "Original/improved overhead ratio equals n/s (the Section-4 "
+                "improvement)"
+            ),
+            paper="overhead n*mq vs s*mq",
+            measured=(
+                f"measured ratio {measured_orig / max(measured_imp, 1):.1f} "
+                f"vs n/s = {cfg.n / cfg.s:.1f}"
+            ),
+            holds=abs(
+                measured_orig / max(measured_imp, 1) / (cfg.n / cfg.s) - 1
+            )
+            < 0.25,
+        )
+    )
+    return result

@@ -1,0 +1,188 @@
+"""Table 3: "interactive" training — EigenPro 2.0 vs LibSVM / ThunderSVM.
+
+The paper trains on 5e4–1e5-point datasets and reports: EigenPro 2.0 in
+6–15 seconds on a Titan Xp, ThunderSVM (GPU SMO) in 31–480 seconds,
+LibSVM (CPU SMO) in 9 minutes to 3.8 hours — stopping EigenPro when its
+test accuracy passes the SVM's.
+
+Method here: the from-scratch SMO solver (:mod:`repro.baselines.smo`)
+and EigenPro 2.0 both run *for real* at a reduced ``n``, measuring
+(a) accuracy, (b) the SMO's iteration/operation counts, and (c)
+EigenPro's epochs to match the SMO's accuracy.  The measured work is then
+projected to the paper's dataset size using the solvers' known scaling
+laws — SMO total work grows ~quadratically in ``n`` (iterations ∝ n,
+each touching an O(n) kernel row), EigenPro's per-epoch work is
+``n * m * (d + l)`` with ``m = m_max(n)`` — and converted to time through
+the device models:
+
+- LibSVM-sim: total ops / CPU throughput (sequential);
+- ThunderSVM-sim: total ops / (GPU throughput x utilization) plus a
+  per-SMO-iteration launch overhead — decomposition methods use a GPU
+  poorly, which is exactly why the paper's gap exists;
+- EigenPro 2.0: the standard simulated-device epoch time.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.baselines import SMOSVM
+from repro.core.eigenpro2 import EigenPro2
+from repro.core.resource import max_device_batch_size
+from repro.data import get_dataset
+from repro.device.presets import cpu_sequential, titan_xp
+from repro.experiments.harness import ExperimentResult, PaperClaim
+from repro.kernels import GaussianKernel, LaplacianKernel
+
+__all__ = ["Table3Config", "run_table3", "PAPER_TABLE3"]
+
+#: Paper Table 3 reference values: (n, d, EigenPro, ThunderSVM, LibSVM).
+PAPER_TABLE3 = {
+    "timit": (1e5, 440, "15 s", "480 s", "1.6 h"),
+    "svhn": (7e4, 1024, "13 s", "142 s", "3.8 h"),
+    "mnist": (6e4, 784, "6 s", "31 s", "9 m"),
+    "cifar10": (5e4, 1024, "8 s", "121 s", "3.4 h"),
+}
+
+_KERNELS = {
+    "timit": LaplacianKernel(bandwidth=15.0),
+    "svhn": GaussianKernel(bandwidth=8.0),
+    "mnist": GaussianKernel(bandwidth=5.0),
+    "cifar10": GaussianKernel(bandwidth=8.0),
+}
+
+#: Fraction of peak GPU throughput a decomposition (SMO) method sustains.
+#: Two-variable updates are latency/memory-bound; ~2 % is generous and
+#: matches the ThunderSVM/LibSVM gap magnitude of the paper.
+GPU_SMO_UTILIZATION = 0.02
+
+
+@dataclass
+class Table3Config:
+    datasets: tuple[str, ...] = ("mnist", "timit")
+    n_train: int = 800
+    n_test: int = 300
+    smo_c: float = 5.0
+    smo_tol: float = 1e-2
+    smo_max_iter: int = 20_000
+    ep2_max_epochs: int = 30
+    dataset_kwargs: dict = field(default_factory=dict)
+    seed: int = 0
+
+
+def _project_smo_ops(ops_small: float, n_small: int, n_paper: float) -> float:
+    """SMO total work scales ~quadratically: iterations ∝ n, row cost ∝ n."""
+    return ops_small * (n_paper / n_small) ** 2
+
+
+def _ep2_paper_time(
+    n_paper: int, d: int, l: int, epochs: int
+) -> float:
+    """Simulated Titan-Xp time for EigenPro 2.0 at paper scale."""
+    dev = titan_xp()
+    analysis = max_device_batch_size(dev, n_paper, d, l, s=12_000, q=300)
+    m = analysis.m_max
+    iters_per_epoch = -(-n_paper // m)
+    ops = (d + l) * m * n_paper + 12_000 * m * 300
+    return epochs * iters_per_epoch * dev.iteration_time(ops)
+
+
+def run_table3(cfg: Table3Config | None = None) -> ExperimentResult:
+    """Reproduce Table 3: run SMO and EigenPro 2.0 for real at reduced n,
+    project the measured work to the paper's dataset sizes through the
+    solvers' scaling laws and the device models."""
+    cfg = cfg or Table3Config()
+    result = ExperimentResult(
+        name="table3",
+        title=(
+            "Interactive training: EigenPro 2.0 vs ThunderSVM-sim vs "
+            "LibSVM-sim (projected to paper dataset sizes)"
+        ),
+        notes=(
+            "Solvers run for real at reduced n; measured work is projected "
+            "to the paper's n via the solvers' scaling laws and converted "
+            "through the device models (see module docstring)."
+        ),
+    )
+    cpu = cpu_sequential().spec
+    gpu = titan_xp().spec
+    orderings = []
+    for name in cfg.datasets:
+        ds = get_dataset(
+            name, n_train=cfg.n_train, n_test=cfg.n_test, seed=cfg.seed,
+            **cfg.dataset_kwargs.get(name, {}),
+        )
+        n_paper, d_paper, ref_ep, ref_thunder, ref_lib = PAPER_TABLE3[name]
+        kernel = _KERNELS[name]
+
+        # --- SMO for real ------------------------------------------------
+        t0 = time.perf_counter()
+        smo = SMOSVM(
+            kernel, c=cfg.smo_c, tol=cfg.smo_tol, max_iter=cfg.smo_max_iter
+        )
+        smo.fit(ds.x_train, ds.labels_train)
+        smo_wall = time.perf_counter() - t0
+        smo_err = smo.classification_error(ds.x_test, ds.labels_test)
+        smo_ops = smo.total_ops()
+
+        # --- EigenPro 2.0 for real, stop at SVM accuracy ------------------
+        t0 = time.perf_counter()
+        ep2 = EigenPro2(kernel, seed=cfg.seed)
+        epochs_used = cfg.ep2_max_epochs
+        for epoch in range(1, cfg.ep2_max_epochs + 1):
+            ep2.fit(ds.x_train, ds.y_train, epochs=epoch)
+            if (
+                ep2.classification_error(ds.x_test, ds.labels_test)
+                <= smo_err
+            ):
+                epochs_used = epoch
+                break
+        ep2_wall = time.perf_counter() - t0
+        ep2_err = ep2.classification_error(ds.x_test, ds.labels_test)
+
+        # --- project to paper scale through the device models -------------
+        ops_paper = _project_smo_ops(smo_ops, ds.n_train, n_paper)
+        iters_paper = smo.stats_.iterations * (n_paper / ds.n_train)
+        libsvm_time = ops_paper / cpu.throughput
+        thunder_time = (
+            ops_paper / (gpu.throughput * GPU_SMO_UTILIZATION)
+            + iters_paper * gpu.launch_overhead_s
+        )
+        ep2_time = _ep2_paper_time(
+            int(n_paper), int(d_paper), ds.l, epochs_used
+        )
+
+        result.add_row(
+            dataset=ds.name,
+            n_paper=int(n_paper),
+            eigenpro2_s=round(ep2_time, 1),
+            thundersvm_s=round(thunder_time, 1),
+            libsvm_s=round(libsvm_time, 1),
+            paper=f"{ref_ep} / {ref_thunder} / {ref_lib}",
+            ep2_err_pct=round(100 * ep2_err, 2),
+            svm_err_pct=round(100 * smo_err, 2),
+            ep2_epochs=epochs_used,
+            smo_iters=smo.stats_.iterations,
+            wall_ep2_s=round(ep2_wall, 2),
+            wall_smo_s=round(smo_wall, 2),
+        )
+        ordering = ep2_time < thunder_time < libsvm_time
+        orderings.append(ordering)
+        result.add_claim(
+            PaperClaim(
+                claim_id=f"table3/{name}/ordering",
+                description=(
+                    "EigenPro 2.0 (seconds) << ThunderSVM (minutes) << "
+                    "LibSVM (hours) at paper scale, at >= SVM accuracy"
+                ),
+                paper=f"{ref_ep} vs {ref_thunder} vs {ref_lib}",
+                measured=(
+                    f"{ep2_time:.0f} s vs {thunder_time:.0f} s vs "
+                    f"{libsvm_time:.0f} s; errors ep2 {100 * ep2_err:.1f}% "
+                    f"<= svm {100 * smo_err:.1f}% + eps"
+                ),
+                holds=ordering and ep2_err <= smo_err + 0.005,
+            )
+        )
+    return result

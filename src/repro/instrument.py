@@ -1,0 +1,135 @@
+"""Lightweight operation-count instrumentation.
+
+The paper's resource abstraction reasons about the *number of parallel
+operations* an iteration performs — e.g. one SGD iteration on a batch of
+``m`` points costs ``(d + l) * m * n`` operations (Section 3, "Computational
+cost").  To validate our cost model (Table 1) against the code that actually
+runs, the kernel substrate emits operation counts through the global meter
+stack defined here, and the device simulator converts recorded operations
+into simulated device time.
+
+The meter is deliberately minimal: a thread-local stack of
+:class:`OpMeter` objects.  Recording is a no-op when the stack is empty, so
+instrumentation adds negligible overhead to un-metered code.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Iterator
+
+__all__ = ["OpMeter", "OpRecord", "active_meters", "record_ops", "meter_scope"]
+
+
+@dataclass
+class OpRecord:
+    """A single category of counted work.
+
+    Attributes
+    ----------
+    ops:
+        Number of scalar multiply-accumulate-level operations.
+    calls:
+        Number of times this category was recorded.
+    """
+
+    ops: int = 0
+    calls: int = 0
+
+
+@dataclass(eq=False)
+class OpMeter:
+    """Accumulates operation counts by category.
+
+    Identity-based equality (``eq=False``): two meters are the same only
+    if they are the same object, which the scope stack relies on.
+
+    Categories used by the package:
+
+    - ``"kernel_eval"`` — pairwise kernel evaluations, ``m * n * d`` scale.
+    - ``"gemm"`` — dense matrix products such as ``K @ W``, ``m * n * l``.
+    - ``"precond"`` — preconditioner application, ``s * m * q`` scale.
+    - ``"eig"`` — one-time eigensystem setup work.
+    """
+
+    counts: dict[str, OpRecord] = field(
+        default_factory=lambda: defaultdict(OpRecord)
+    )
+
+    def record(self, category: str, ops: int) -> None:
+        """Add ``ops`` operations to ``category``."""
+        rec = self.counts[category]
+        rec.ops += int(ops)
+        rec.calls += 1
+
+    def total(self, *categories: str) -> int:
+        """Total operations, optionally restricted to given categories."""
+        if categories:
+            return sum(self.counts[c].ops for c in categories if c in self.counts)
+        return sum(rec.ops for rec in self.counts.values())
+
+    def reset(self) -> None:
+        """Clear all recorded counts."""
+        self.counts.clear()
+
+    def as_dict(self) -> dict[str, int]:
+        """Plain ``{category: ops}`` snapshot for reporting."""
+        return {name: rec.ops for name, rec in self.counts.items()}
+
+
+class _MeterStack(threading.local):
+    def __init__(self) -> None:  # pragma: no cover - trivial
+        self.stack: list[OpMeter] = []
+
+
+_METERS = _MeterStack()
+
+
+def active_meters() -> list[OpMeter]:
+    """Return the (possibly empty) stack of currently active meters."""
+    return _METERS.stack
+
+
+def record_ops(category: str, ops: int) -> None:
+    """Record ``ops`` operations against every active meter.
+
+    No-op when no meter is active, so hot loops may call this
+    unconditionally.
+    """
+    for meter in _METERS.stack:
+        meter.record(category, ops)
+
+
+class meter_scope:
+    """Context manager that pushes a meter onto the active stack.
+
+    Example
+    -------
+    >>> from repro.instrument import OpMeter, meter_scope
+    >>> meter = OpMeter()
+    >>> with meter_scope(meter):
+    ...     pass  # metered work here
+    """
+
+    def __init__(self, meter: OpMeter | None = None) -> None:
+        self.meter = meter if meter is not None else OpMeter()
+
+    def __enter__(self) -> OpMeter:
+        _METERS.stack.append(self.meter)
+        return self.meter
+
+    def __exit__(self, *exc: object) -> None:
+        # Remove by identity; scopes may exit out of order under errors.
+        for pos in range(len(_METERS.stack) - 1, -1, -1):
+            if _METERS.stack[pos] is self.meter:
+                del _METERS.stack[pos]
+                break
+
+
+def iter_categories(meter: OpMeter) -> Iterator[tuple[str, OpRecord]]:
+    """Iterate ``(category, record)`` pairs sorted by descending ops."""
+    return iter(
+        sorted(meter.counts.items(), key=lambda kv: kv[1].ops, reverse=True)
+    )

@@ -1,0 +1,151 @@
+"""Kernel interface.
+
+A kernel is a positive-definite function ``k : R^d x R^d -> R``.  The paper
+(Section 2) only requires two structural facts from the kernel beyond
+positive-definiteness:
+
+- ``beta(K) = max_i k(x_i, x_i)`` — for normalized shift-invariant kernels
+  this is identically 1, which the analytic step-size formula relies on;
+- rapid eigenvalue decay of the kernel matrix, which makes the critical
+  batch size ``m*(k) = beta(K)/lambda_1(K)`` small and creates the
+  opportunity EigenPro 2.0 exploits.
+
+Every concrete kernel therefore exposes :meth:`__call__` (cross kernel
+matrix), :meth:`diag` (needed for ``beta``) and two structural flags.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any
+
+import numpy as np
+
+from repro.config import resolve_dtype
+from repro.exceptions import ConfigurationError
+from repro.instrument import record_ops
+from repro.kernels.pairwise import sq_euclidean_distances
+
+
+def _as_2d(name: str, arr: np.ndarray) -> np.ndarray:
+    out = np.asarray(arr)
+    if out.ndim == 1:
+        out = out[None, :]
+    if out.ndim != 2:
+        raise ConfigurationError(
+            f"{name} must be a 2-D array of shape (n, d); got ndim={out.ndim}"
+        )
+    return out
+
+
+class Kernel(abc.ABC):
+    """Abstract positive-definite kernel.
+
+    Subclasses implement :meth:`_cross` producing the ``(n_x, n_z)`` kernel
+    matrix block and :meth:`diag`.
+    """
+
+    #: Registry/display name, e.g. ``"gaussian"``.
+    name: str = "kernel"
+    #: True when ``k(x, z)`` depends only on ``x - z``.
+    is_shift_invariant: bool = False
+    #: True when ``k(x, x) == 1`` for all ``x`` (normalized kernel).  The
+    #: paper notes that for normalized shift-invariant kernels
+    #: ``beta(K) == 1``.
+    is_normalized: bool = False
+
+    # ------------------------------------------------------------------ api
+    def __call__(self, x: np.ndarray, z: np.ndarray | None = None) -> np.ndarray:
+        """Evaluate the kernel matrix ``K[i, j] = k(x_i, z_j)``.
+
+        Parameters
+        ----------
+        x:
+            Array of shape ``(n_x, d)`` (a single point may be passed as a
+            1-D array of length ``d``).
+        z:
+            Array of shape ``(n_z, d)``; defaults to ``x`` (symmetric
+            kernel matrix).
+        """
+        x = _as_2d("x", x)
+        z = x if z is None else _as_2d("z", z)
+        if x.shape[1] != z.shape[1]:
+            raise ConfigurationError(
+                f"feature dimensions differ: x has d={x.shape[1]}, "
+                f"z has d={z.shape[1]}"
+            )
+        out = self._cross(x, z)
+        # Pairwise-evaluation cost per the paper's cost model: n_x * n_z * d.
+        record_ops("kernel_eval", x.shape[0] * z.shape[0] * x.shape[1])
+        return out
+
+    @abc.abstractmethod
+    def _cross(self, x: np.ndarray, z: np.ndarray) -> np.ndarray:
+        """Compute the dense ``(n_x, n_z)`` kernel block."""
+
+    @abc.abstractmethod
+    def diag(self, x: np.ndarray) -> np.ndarray:
+        """Return ``[k(x_i, x_i)]`` of shape ``(n_x,)`` without forming the
+        full kernel matrix."""
+
+    # --------------------------------------------------------------- helpers
+    def beta(self, x: np.ndarray) -> float:
+        """``beta(K) = max_i k(x_i, x_i)`` over rows of ``x`` (Section 2)."""
+        x = _as_2d("x", x)
+        return float(np.max(self.diag(x)))
+
+    def params(self) -> dict[str, Any]:
+        """Constructor parameters, for reporting and reconstruction."""
+        return {}
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        args = ", ".join(f"{k}={v!r}" for k, v in self.params().items())
+        return f"{type(self).__name__}({args})"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            type(self) is type(other)
+            and self.params() == other.params()  # type: ignore[union-attr]
+        )
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, tuple(sorted(self.params().items()))))
+
+
+class RadialKernel(Kernel):
+    """Base class for shift-invariant radial kernels ``k(x,z) = g(||x-z||^2)``.
+
+    Subclasses implement :meth:`_profile`, mapping an array of *squared*
+    Euclidean distances to kernel values.  All radial kernels here are
+    normalized (``g(0) = 1``), matching the paper's observation that
+    ``beta(K) = 1`` after normalization.
+    """
+
+    is_shift_invariant = True
+    is_normalized = True
+
+    def __init__(self, bandwidth: float, dtype: object | None = None) -> None:
+        bandwidth = float(bandwidth)
+        if not np.isfinite(bandwidth) or bandwidth <= 0.0:
+            raise ConfigurationError(
+                f"bandwidth must be a positive finite number, got {bandwidth}"
+            )
+        self.bandwidth = bandwidth
+        self.dtype = resolve_dtype(dtype)
+
+    @abc.abstractmethod
+    def _profile(self, sq_dists: np.ndarray) -> np.ndarray:
+        """Map squared distances to kernel values (vectorized)."""
+
+    def _cross(self, x: np.ndarray, z: np.ndarray) -> np.ndarray:
+        sq = sq_euclidean_distances(
+            np.asarray(x, dtype=self.dtype), np.asarray(z, dtype=self.dtype)
+        )
+        return self._profile(sq)
+
+    def diag(self, x: np.ndarray) -> np.ndarray:
+        x = _as_2d("x", x)
+        return np.ones(x.shape[0], dtype=self.dtype)
+
+    def params(self) -> dict[str, Any]:
+        return {"bandwidth": self.bandwidth}

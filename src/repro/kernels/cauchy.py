@@ -1,0 +1,26 @@
+"""Cauchy kernel ``k(x, z) = 1 / (1 + ||x - z||^2 / sigma^2)``.
+
+A heavy-tailed shift-invariant kernel with polynomial (rather than
+exponential) eigenvalue decay.  It is used in tests and ablations as a
+contrast case: slower spectral decay means a larger native ``m*(k)``, so
+the headroom EigenPro 2.0 can claim is smaller — a useful negative control
+for the acceleration analysis of Appendix C.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kernels.base import RadialKernel
+
+
+class CauchyKernel(RadialKernel):
+    """Cauchy (rational-quadratic-like) kernel with bandwidth ``sigma``."""
+
+    name = "cauchy"
+
+    def _profile(self, sq_dists: np.ndarray) -> np.ndarray:
+        out = sq_dists * (1.0 / (self.bandwidth * self.bandwidth))
+        out += 1.0
+        np.reciprocal(out, out=out)
+        return out

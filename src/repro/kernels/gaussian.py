@@ -1,0 +1,33 @@
+"""Gaussian (RBF) kernel ``k(x, z) = exp(-||x - z||^2 / (2 sigma^2))``.
+
+This is the bandwidth convention of the paper's Appendix B.  The Gaussian
+kernel has extremely fast eigenvalue decay, which is precisely why its
+critical batch size ``m*(k)`` is tiny and EigenPro-style spectral
+modification pays off so much.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kernels.base import RadialKernel
+
+
+class GaussianKernel(RadialKernel):
+    """Gaussian kernel with bandwidth ``sigma``.
+
+    Parameters
+    ----------
+    bandwidth:
+        The ``sigma`` in ``exp(-||x-z||^2 / (2 sigma^2))``; must be > 0.
+    dtype:
+        Floating dtype for kernel evaluations (default: package default).
+    """
+
+    name = "gaussian"
+
+    def _profile(self, sq_dists: np.ndarray) -> np.ndarray:
+        scale = -0.5 / (self.bandwidth * self.bandwidth)
+        out = sq_dists * scale
+        np.exp(out, out=out)
+        return out

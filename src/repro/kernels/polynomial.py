@@ -1,0 +1,76 @@
+"""Polynomial kernel ``k(x, z) = (gamma <x, z> + coef0)^degree``.
+
+Not shift-invariant and in general not normalized (``k(x,x)`` varies with
+``||x||``), so it exercises the code paths where ``beta(K)`` must actually
+be estimated from data rather than assumed to be 1 — see
+:func:`repro.core.spectrum.estimate_beta`.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.config import resolve_dtype
+from repro.exceptions import ConfigurationError
+from repro.kernels.base import Kernel, _as_2d
+
+
+class PolynomialKernel(Kernel):
+    """Polynomial kernel.
+
+    Parameters
+    ----------
+    degree:
+        Positive integer exponent.
+    gamma:
+        Inner-product scale, > 0.
+    coef0:
+        Additive constant, >= 0 (required for positive-definiteness of
+        odd-degree kernels on general data).
+    """
+
+    name = "polynomial"
+    is_shift_invariant = False
+    is_normalized = False
+
+    def __init__(
+        self,
+        degree: int = 3,
+        gamma: float = 1.0,
+        coef0: float = 1.0,
+        dtype: object | None = None,
+    ) -> None:
+        degree = int(degree)
+        if degree < 1:
+            raise ConfigurationError(f"degree must be >= 1, got {degree}")
+        if not np.isfinite(gamma) or gamma <= 0:
+            raise ConfigurationError(f"gamma must be > 0, got {gamma}")
+        if not np.isfinite(coef0) or coef0 < 0:
+            raise ConfigurationError(f"coef0 must be >= 0, got {coef0}")
+        self.degree = degree
+        self.gamma = float(gamma)
+        self.coef0 = float(coef0)
+        self.dtype = resolve_dtype(dtype)
+
+    def _cross(self, x: np.ndarray, z: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=self.dtype)
+        z = np.asarray(z, dtype=self.dtype)
+        out = x @ z.T
+        out *= self.gamma
+        out += self.coef0
+        if self.degree != 1:
+            np.power(out, self.degree, out=out)
+        return out
+
+    def diag(self, x: np.ndarray) -> np.ndarray:
+        x = _as_2d("x", np.asarray(x, dtype=self.dtype))
+        sq = np.einsum("ij,ij->i", x, x)
+        out = self.gamma * sq + self.coef0
+        if self.degree != 1:
+            np.power(out, self.degree, out=out)
+        return out
+
+    def params(self) -> dict[str, Any]:
+        return {"degree": self.degree, "gamma": self.gamma, "coef0": self.coef0}

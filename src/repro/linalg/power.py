@@ -1,0 +1,63 @@
+"""Power iteration for the dominant eigenvalue of a symmetric PSD matrix.
+
+Used where only ``lambda_1`` is needed — e.g. estimating the critical batch
+size ``m*(k) = beta(K) / lambda_1(K)`` of an *unmodified* kernel without
+paying for a full eigendecomposition.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config import EPS
+from repro.exceptions import ConfigurationError
+from repro.linalg.stable import symmetrize
+
+__all__ = ["power_iteration"]
+
+
+def power_iteration(
+    a: np.ndarray,
+    *,
+    max_iter: int = 200,
+    tol: float = 1e-10,
+    seed: int | None = 0,
+) -> tuple[float, np.ndarray, int]:
+    """Estimate the top eigenpair of symmetric PSD ``a``.
+
+    Parameters
+    ----------
+    a:
+        Square symmetric PSD matrix.
+    max_iter:
+        Iteration cap; convergence is usually far faster for kernel
+        matrices because of their spectral gap.
+    tol:
+        Relative change in the Rayleigh quotient below which we stop.
+    seed:
+        Seed for the random start vector.
+
+    Returns
+    -------
+    (eigval, eigvec, n_iter):
+        Top eigenvalue estimate, unit eigenvector, iterations used.
+    """
+    a = symmetrize(np.asarray(a, dtype=float))
+    n = a.shape[0]
+    if n == 0:
+        raise ConfigurationError("cannot run power iteration on an empty matrix")
+    rng = np.random.default_rng(seed)
+    v = rng.standard_normal(n)
+    v /= max(np.linalg.norm(v), EPS)
+    eigval = 0.0
+    for it in range(1, int(max_iter) + 1):
+        w = a @ v
+        norm = float(np.linalg.norm(w))
+        if norm <= EPS:  # a is (numerically) zero on this vector
+            return 0.0, v, it
+        v_new = w / norm
+        new_eigval = float(v_new @ (a @ v_new))
+        if abs(new_eigval - eigval) <= tol * max(abs(new_eigval), EPS):
+            return new_eigval, v_new, it
+        v, eigval = v_new, new_eigval
+    return eigval, v, int(max_iter)

@@ -1,0 +1,63 @@
+"""Numerical-stability helpers shared by the eigensolvers and FALKON."""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.linalg
+
+from repro.exceptions import ConfigurationError, ConvergenceError
+
+__all__ = ["symmetrize", "jitter_cholesky"]
+
+
+def symmetrize(a: np.ndarray) -> np.ndarray:
+    """Return ``(a + a.T) / 2`` — removes floating-point asymmetry before
+    calling symmetric eigensolvers or Cholesky."""
+    a = np.asarray(a)
+    if a.ndim != 2 or a.shape[0] != a.shape[1]:
+        raise ConfigurationError(f"expected a square matrix, got shape {a.shape}")
+    return (a + a.T) * 0.5
+
+
+def jitter_cholesky(
+    a: np.ndarray,
+    *,
+    initial_jitter: float = 1e-12,
+    max_tries: int = 12,
+) -> tuple[np.ndarray, float]:
+    """Lower Cholesky factor of a nearly-PSD matrix with escalating jitter.
+
+    Kernel matrices are PSD in exact arithmetic but routinely have tiny
+    negative eigenvalues in floating point.  Starting from
+    ``initial_jitter * mean(diag)``, the diagonal loading is multiplied by
+    10 until the factorization succeeds.
+
+    Returns
+    -------
+    (chol, jitter):
+        The lower-triangular factor and the jitter that was finally added
+        (0.0 if none was needed).
+
+    Raises
+    ------
+    ConvergenceError
+        If the matrix is still not factorizable after ``max_tries``
+        escalations.
+    """
+    a = symmetrize(a)
+    scale = float(np.mean(np.diag(a))) or 1.0
+    jitter = 0.0
+    for attempt in range(int(max_tries)):
+        try:
+            chol = scipy.linalg.cholesky(
+                a + jitter * np.eye(a.shape[0]), lower=True
+            )
+            return chol, jitter
+        except scipy.linalg.LinAlgError:
+            jitter = (
+                initial_jitter * scale if jitter == 0.0 else jitter * 10.0
+            )
+    raise ConvergenceError(
+        f"Cholesky failed after {max_tries} jitter escalations "
+        f"(final jitter {jitter:.3e})"
+    )

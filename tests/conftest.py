@@ -1,0 +1,77 @@
+"""Shared fixtures: small, deterministic datasets and kernels.
+
+Everything here is sized for sub-second tests; scale-sensitive behaviour
+(linear scaling curves, overhead fractions) is checked on these small
+instances and exercised at larger scale by the benchmark suite.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import Dataset, MixtureSpec, make_mixture_classification
+from repro.kernels import CauchyKernel, GaussianKernel, LaplacianKernel, PolynomialKernel
+
+
+@pytest.fixture(scope="session")
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def small_xy() -> tuple[np.ndarray, np.ndarray]:
+    """A tiny regression problem: 60 points, 5 features, 1 target."""
+    gen = np.random.default_rng(7)
+    x = gen.standard_normal((60, 5))
+    y = np.sin(x[:, 0]) + 0.5 * x[:, 1]
+    return x, y[:, None]
+
+
+@pytest.fixture(scope="session")
+def small_dataset() -> Dataset:
+    """A 3-class classification dataset, 240 train / 120 test points."""
+    spec = MixtureSpec(
+        n_classes=3, dim=12, n_clusters=2, separation=1.2, noise=0.35,
+        spectrum_decay=0.8,
+    )
+    return make_mixture_classification(
+        "test-mixture", 240, 120, spec, normalization="zscore", seed=3
+    )
+
+
+@pytest.fixture(scope="session")
+def medium_dataset() -> Dataset:
+    """A slightly larger 5-class dataset for trainer/integration tests."""
+    spec = MixtureSpec(
+        n_classes=5, dim=20, n_clusters=2, separation=1.0, noise=0.45,
+        spectrum_decay=1.0,
+    )
+    return make_mixture_classification(
+        "test-mixture-5", 500, 200, spec, normalization="zscore", seed=11
+    )
+
+
+@pytest.fixture(
+    params=[
+        GaussianKernel(bandwidth=2.0),
+        LaplacianKernel(bandwidth=2.0),
+        CauchyKernel(bandwidth=2.0),
+    ],
+    ids=["gaussian", "laplacian", "cauchy"],
+)
+def radial_kernel(request):
+    return request.param
+
+
+@pytest.fixture(
+    params=[
+        GaussianKernel(bandwidth=2.0),
+        LaplacianKernel(bandwidth=2.0),
+        CauchyKernel(bandwidth=2.0),
+        PolynomialKernel(degree=2, gamma=0.1, coef0=1.0),
+    ],
+    ids=["gaussian", "laplacian", "cauchy", "polynomial"],
+)
+def any_kernel(request):
+    return request.param

@@ -1,0 +1,138 @@
+"""Tests for FALKON and the exact direct solvers."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import Falkon, solve_interpolation, solve_ridge
+from repro.data import make_rkhs_regression
+from repro.device import titan_xp
+from repro.exceptions import ConfigurationError, NotFittedError
+from repro.kernels import GaussianKernel
+
+
+class TestInterpolation:
+    def test_interpolates_exactly(self, small_xy):
+        x, y = small_xy
+        model = solve_interpolation(GaussianKernel(bandwidth=2.0), x, y)
+        assert model.mse(x, y) < 1e-15
+
+    def test_norm_identity(self, small_xy):
+        """For the interpolant, ||f||_H^2 = alpha^T K alpha = alpha^T y —
+        an identity that holds regardless of the conditioning of K."""
+        x, y = small_xy
+        k = GaussianKernel(bandwidth=2.0)
+        model = solve_interpolation(k, x, y)
+        base_norm = model.rkhs_norm_squared()
+        expected = float(np.sum(model.weights * model.predict(x)))
+        via_y = float(np.sum(model.weights * y))
+        assert base_norm == pytest.approx(expected, rel=1e-8)
+        assert base_norm == pytest.approx(via_y, rel=1e-4)
+
+    def test_1d_targets(self, small_xy):
+        x, y = small_xy
+        model = solve_interpolation(GaussianKernel(bandwidth=2.0), x, y[:, 0])
+        assert model.weights.shape == (len(x), 1)
+
+    def test_row_mismatch(self, small_xy):
+        x, y = small_xy
+        with pytest.raises(ConfigurationError):
+            solve_interpolation(GaussianKernel(bandwidth=2.0), x, y[:-1])
+
+
+class TestRidge:
+    def test_regularization_shrinks_norm(self, small_xy):
+        x, y = small_xy
+        k = GaussianKernel(bandwidth=2.0)
+        interp = solve_interpolation(k, x, y)
+        ridge = solve_ridge(k, x, y, reg_lambda=1e-2)
+        assert ridge.rkhs_norm_squared() < interp.rkhs_norm_squared()
+
+    def test_lambda_zero_equals_interpolation(self, small_xy):
+        x, y = small_xy
+        k = GaussianKernel(bandwidth=2.0)
+        a = solve_ridge(k, x, y, reg_lambda=0.0)
+        b = solve_interpolation(k, x, y)
+        np.testing.assert_allclose(a.weights, b.weights, atol=1e-8)
+
+    def test_negative_lambda_rejected(self, small_xy):
+        x, y = small_xy
+        with pytest.raises(ConfigurationError):
+            solve_ridge(GaussianKernel(bandwidth=2.0), x, y, reg_lambda=-1.0)
+
+
+class TestFalkon:
+    def test_full_centers_tiny_lambda_interpolates(self, small_xy):
+        """With M = n and lambda -> 0 FALKON approaches the interpolant."""
+        x, y = small_xy
+        f = Falkon(
+            GaussianKernel(bandwidth=2.0), n_centers=len(x),
+            reg_lambda=1e-10, max_iters=200, seed=0,
+        )
+        f.fit(x, y)
+        assert f.mse(x, y) < 1e-6
+
+    def test_rkhs_target_recovered(self):
+        k = GaussianKernel(bandwidth=2.0)
+        xt, yt, xe, ye = make_rkhs_regression(k, 300, 80, 4, seed=2)
+        f = Falkon(k, n_centers=150, reg_lambda=1e-8, seed=0).fit(xt, yt)
+        pred = f.predict(xe)
+        rel = float(np.mean((pred - ye) ** 2) / np.mean(ye**2))
+        assert rel < 1e-3
+
+    def test_classification(self, medium_dataset):
+        ds = medium_dataset
+        f = Falkon(
+            GaussianKernel(bandwidth=2.5), n_centers=250, reg_lambda=1e-7,
+            seed=0,
+        ).fit(ds.x_train, ds.y_train)
+        err = f.classification_error(ds.x_test, ds.labels_test)
+        assert err < 0.5
+
+    def test_cg_converges_quickly(self, medium_dataset):
+        """The FALKON preconditioner's point: a few tens of iterations."""
+        ds = medium_dataset
+        f = Falkon(
+            GaussianKernel(bandwidth=2.5), n_centers=200, reg_lambda=1e-6,
+            max_iters=300, seed=0,
+        ).fit(ds.x_train, ds.y_train)
+        assert f.n_iters_ < 100
+
+    def test_more_centers_not_worse(self, medium_dataset):
+        ds = medium_dataset
+        k = GaussianKernel(bandwidth=2.5)
+        small = Falkon(k, n_centers=50, reg_lambda=1e-7, seed=0).fit(
+            ds.x_train, ds.y_train
+        )
+        large = Falkon(k, n_centers=400, reg_lambda=1e-7, seed=0).fit(
+            ds.x_train, ds.y_train
+        )
+        assert large.mse(ds.x_train, ds.y_train) <= small.mse(
+            ds.x_train, ds.y_train
+        ) * 1.1
+
+    def test_device_time_charged(self, medium_dataset):
+        ds = medium_dataset
+        dev = titan_xp()
+        Falkon(
+            GaussianKernel(bandwidth=2.5), n_centers=100, reg_lambda=1e-6,
+            device=dev, seed=0,
+        ).fit(ds.x_train, ds.y_train)
+        assert dev.elapsed > 0
+
+    def test_predict_before_fit(self, small_xy):
+        x, _ = small_xy
+        with pytest.raises(NotFittedError):
+            Falkon(GaussianKernel(bandwidth=2.0)).predict(x)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_centers": 0},
+            {"reg_lambda": 0.0},
+            {"max_iters": 0},
+            {"tol": 0.0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            Falkon(GaussianKernel(bandwidth=1.0), **kwargs)

@@ -1,0 +1,168 @@
+"""Tests for the SVM baselines: SMO (LibSVM stand-in) and Pegasos."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import PegasosSVM, SMOSVM
+from repro.data import MixtureSpec, make_mixture_classification
+from repro.exceptions import ConfigurationError, NotFittedError
+from repro.kernels import GaussianKernel
+
+
+@pytest.fixture(scope="module")
+def binary_ds():
+    spec = MixtureSpec(
+        n_classes=2, dim=6, n_clusters=1, separation=2.0, noise=0.5
+    )
+    return make_mixture_classification(
+        "binary", 200, 100, spec, normalization="zscore", seed=5
+    )
+
+
+@pytest.fixture(scope="module")
+def multi_ds(small_dataset):
+    return small_dataset
+
+
+class TestSMOBinary:
+    def test_separable_problem_solved(self, binary_ds):
+        ds = binary_ds
+        svm = SMOSVM(GaussianKernel(bandwidth=2.0), c=10.0).fit(
+            ds.x_train, ds.labels_train
+        )
+        assert svm.classification_error(ds.x_train, ds.labels_train) < 0.05
+        assert svm.classification_error(ds.x_test, ds.labels_test) < 0.15
+        assert all(svm.converged_)
+
+    def test_dual_constraints_hold(self, binary_ds):
+        """0 <= alpha <= C and sum alpha_i y_i = 0 (the SMO invariants)."""
+        ds = binary_ds
+        c = 3.0
+        svm = SMOSVM(GaussianKernel(bandwidth=2.0), c=c).fit(
+            ds.x_train, ds.labels_train
+        )
+        y_pm = np.where(ds.labels_train == 0, 1.0, -1.0)
+        alpha = svm.dual_coef_[:, 0] * y_pm  # recover alpha >= 0
+        assert (alpha >= -1e-9).all()
+        assert (alpha <= c + 1e-9).all()
+        assert abs(np.sum(svm.dual_coef_[:, 0])) < 1e-8
+
+    def test_kkt_margins_satisfied(self, binary_ds):
+        """Free support vectors sit on the margin: y f(x) ≈ 1."""
+        ds = binary_ds
+        c = 3.0
+        svm = SMOSVM(GaussianKernel(bandwidth=2.0), c=c, tol=1e-4).fit(
+            ds.x_train, ds.labels_train
+        )
+        y_pm = np.where(ds.labels_train == 0, 1.0, -1.0)
+        alpha = svm.dual_coef_[:, 0] * y_pm
+        decision = svm.decision_function(ds.x_train)[:, 0]
+        free = (alpha > 1e-6) & (alpha < c - 1e-6)
+        if free.any():
+            margins = y_pm[free] * decision[free]
+            np.testing.assert_allclose(margins, 1.0, atol=5e-3)
+
+    def test_stats_populated(self, binary_ds):
+        ds = binary_ds
+        svm = SMOSVM(GaussianKernel(bandwidth=2.0)).fit(
+            ds.x_train, ds.labels_train
+        )
+        assert svm.stats_.iterations > 0
+        assert svm.stats_.kernel_rows > 0
+        assert svm.total_ops() > 0
+
+    def test_cache_limits_row_recomputation(self, binary_ds):
+        """With a cache at least as large as n, every row is computed at
+        most once."""
+        ds = binary_ds
+        svm = SMOSVM(
+            GaussianKernel(bandwidth=2.0), cache_rows=len(ds.x_train)
+        ).fit(ds.x_train, ds.labels_train)
+        assert svm.stats_.kernel_rows <= len(ds.x_train)
+
+    def test_max_iter_cap_respected(self, binary_ds):
+        ds = binary_ds
+        svm = SMOSVM(GaussianKernel(bandwidth=2.0), max_iter=5).fit(
+            ds.x_train, ds.labels_train
+        )
+        assert svm.stats_.iterations <= 2 * 5  # two mirrored binary columns
+
+
+class TestSMOMulticlass:
+    def test_one_vs_rest(self, multi_ds):
+        ds = multi_ds
+        svm = SMOSVM(GaussianKernel(bandwidth=2.0), c=5.0).fit(
+            ds.x_train, ds.labels_train
+        )
+        err = svm.classification_error(ds.x_test, ds.labels_test)
+        assert err < 0.4  # 3 classes, chance = 2/3
+        assert svm.dual_coef_.shape == (ds.n_train, 3)
+
+    def test_accepts_one_hot(self, multi_ds):
+        ds = multi_ds
+        a = SMOSVM(GaussianKernel(bandwidth=2.0), max_iter=200).fit(
+            ds.x_train, ds.labels_train
+        )
+        b = SMOSVM(GaussianKernel(bandwidth=2.0), max_iter=200).fit(
+            ds.x_train, ds.y_train
+        )
+        np.testing.assert_allclose(a.dual_coef_, b.dual_coef_)
+
+    def test_predict_before_fit(self, multi_ds):
+        with pytest.raises(NotFittedError):
+            SMOSVM(GaussianKernel(bandwidth=2.0)).predict_labels(
+                multi_ds.x_test
+            )
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [{"c": 0.0}, {"tol": 0.0}, {"max_iter": 0}],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            SMOSVM(GaussianKernel(bandwidth=1.0), **kwargs)
+
+
+class TestPegasos:
+    def test_learns_binary(self, binary_ds):
+        ds = binary_ds
+        svm = PegasosSVM(
+            GaussianKernel(bandwidth=2.0), reg_lambda=1e-3, seed=0
+        ).fit(ds.x_train, ds.labels_train, epochs=10)
+        assert svm.classification_error(ds.x_test, ds.labels_test) < 0.2
+
+    def test_learns_multiclass(self, multi_ds):
+        ds = multi_ds
+        svm = PegasosSVM(
+            GaussianKernel(bandwidth=2.0), reg_lambda=1e-3, seed=0
+        ).fit(ds.x_train, ds.labels_train, epochs=10)
+        assert svm.classification_error(ds.x_test, ds.labels_test) < 0.4
+
+    def test_more_epochs_not_worse_on_train(self, binary_ds):
+        ds = binary_ds
+        k = GaussianKernel(bandwidth=2.0)
+        short = PegasosSVM(k, reg_lambda=1e-3, seed=0).fit(
+            ds.x_train, ds.labels_train, epochs=1
+        )
+        long = PegasosSVM(k, reg_lambda=1e-3, seed=0).fit(
+            ds.x_train, ds.labels_train, epochs=20
+        )
+        assert long.classification_error(
+            ds.x_train, ds.labels_train
+        ) <= short.classification_error(ds.x_train, ds.labels_train) + 0.02
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            PegasosSVM(GaussianKernel(bandwidth=1.0), reg_lambda=0.0)
+        with pytest.raises(ConfigurationError):
+            PegasosSVM(GaussianKernel(bandwidth=1.0), batch_size=0)
+        with pytest.raises(ConfigurationError):
+            PegasosSVM(GaussianKernel(bandwidth=1.0)).fit(
+                np.zeros((4, 2)), np.zeros(4, dtype=int), epochs=0
+            )
+
+    def test_predict_before_fit(self, binary_ds):
+        with pytest.raises(NotFittedError):
+            PegasosSVM(GaussianKernel(bandwidth=1.0)).predict(
+                binary_ds.x_test
+            )

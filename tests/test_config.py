@@ -1,0 +1,50 @@
+"""Tests for global configuration helpers."""
+
+import numpy as np
+import pytest
+
+from repro.config import DEFAULT_DTYPE, resolve_dtype
+
+
+class TestResolveDtype:
+    def test_default(self):
+        assert resolve_dtype(None) == DEFAULT_DTYPE
+
+    def test_float32_accepted(self):
+        assert resolve_dtype(np.float32) == np.dtype(np.float32)
+        assert resolve_dtype("float32") == np.dtype(np.float32)
+
+    def test_non_float_rejected(self):
+        with pytest.raises(TypeError, match="floating"):
+            resolve_dtype(np.int64)
+
+    def test_garbage_rejected(self):
+        with pytest.raises(TypeError):
+            resolve_dtype("not-a-dtype")
+
+
+class TestFloat32Path:
+    """The paper trains in float32 on the GPU; the kernel layer must
+    support it end to end."""
+
+    def test_kernel_matrix_float32(self, rng):
+        from repro.kernels import GaussianKernel
+
+        k = GaussianKernel(bandwidth=2.0, dtype=np.float32)
+        x = rng.standard_normal((20, 4))
+        out = k(x, x)
+        assert out.dtype == np.float32
+        k64 = GaussianKernel(bandwidth=2.0)
+        np.testing.assert_allclose(out, k64(x, x), atol=1e-5)
+
+    def test_training_with_float32_kernel(self, small_xy):
+        from repro.baselines import KernelSGD
+        from repro.kernels import GaussianKernel
+
+        x, y = small_xy
+        t = KernelSGD(
+            GaussianKernel(bandwidth=2.0, dtype=np.float32),
+            batch_size=8, seed=0,
+        )
+        t.fit(x, y, epochs=30)
+        assert t.mse(x, y) < 0.05

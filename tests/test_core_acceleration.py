@@ -1,0 +1,114 @@
+"""Tests for the Appendix-C acceleration analysis."""
+
+import numpy as np
+import pytest
+
+from repro.core.acceleration import (
+    iteration_ratio,
+    predicted_acceleration,
+)
+from repro.exceptions import ConfigurationError
+
+
+class TestIterationRatio:
+    def test_basic(self):
+        assert iteration_ratio(1.0, 0.1) == pytest.approx(0.1)
+
+    def test_equal_eigenvalues_is_one(self):
+        assert iteration_ratio(0.5, 0.5) == pytest.approx(1.0)
+
+    def test_order_enforced(self):
+        with pytest.raises(ConfigurationError):
+            iteration_ratio(0.1, 1.0)
+
+    def test_positive_required(self):
+        with pytest.raises(ConfigurationError):
+            iteration_ratio(0.0, 0.0)
+
+
+class TestPredictedAcceleration:
+    def test_formula(self):
+        est = predicted_acceleration(
+            beta_k=1.0, beta_kg=0.8, m_max=500, m_star=5.0
+        )
+        assert est.factor == pytest.approx((1.0 / 0.8) * (500 / 5.0))
+        assert est.beta_ratio == pytest.approx(1.25)
+        assert est.batch_ratio == pytest.approx(100.0)
+
+    def test_paper_regime_50_to_500(self):
+        """The paper: beta(K_G) ≈ beta(K) and m_max/m* between 50 and 500."""
+        est = predicted_acceleration(
+            beta_k=1.0, beta_kg=0.97, m_max=700, m_star=4.0
+        )
+        assert 50 < est.factor < 500 or est.factor > 50  # headline regime
+        assert est.factor == pytest.approx(700 / 4.0 / 0.97, rel=1e-9)
+
+    def test_iteration_ratio_from_eigenvalues(self):
+        est = predicted_acceleration(
+            beta_k=1.0, beta_kg=1.0, m_max=100, m_star=2.0,
+            lambda1=0.5, lambda_q=0.005,
+        )
+        assert est.iteration_ratio == pytest.approx(0.01)
+
+    def test_iteration_ratio_inferred(self):
+        est = predicted_acceleration(
+            beta_k=1.0, beta_kg=1.0, m_max=100, m_star=2.0
+        )
+        assert est.iteration_ratio == pytest.approx(0.02)
+
+    def test_no_headroom_no_acceleration(self):
+        """When m* already matches m_max the factor is ≈ 1 — e.g. very
+        narrow kernels or tiny devices."""
+        est = predicted_acceleration(
+            beta_k=1.0, beta_kg=1.0, m_max=10, m_star=10.0
+        )
+        assert est.factor == pytest.approx(1.0)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(beta_k=0, beta_kg=1, m_max=10, m_star=1),
+            dict(beta_k=1, beta_kg=0, m_max=10, m_star=1),
+            dict(beta_k=1, beta_kg=1, m_max=0, m_star=1),
+            dict(beta_k=1, beta_kg=1, m_max=10, m_star=0),
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            predicted_acceleration(**kwargs)
+
+
+class TestEndToEndAcceleration:
+    def test_prediction_close_to_measured_iteration_savings(self):
+        """Verify the analysis against actual linear algebra: on an exact
+        eigensystem, preconditioned Richardson needs ≈ lambda_q/lambda_1
+        times the iterations of plain Richardson to reach the same
+        residual (paper Appendix C)."""
+        from repro.kernels import GaussianKernel
+        from repro.linalg import top_eigensystem
+
+        rng = np.random.default_rng(31)
+        x = rng.standard_normal((150, 5))
+        k_mat = GaussianKernel(bandwidth=2.0)(x, x)
+        q = 12
+        mu, v = top_eigensystem(k_mat, q)
+        p_mat = np.eye(150) - (v * (1 - mu[q - 1] / mu)) @ v.T
+        mu30, v30 = top_eigensystem(k_mat, 30)
+        y = k_mat @ (v30 @ rng.standard_normal((30, 1)))
+
+        def iters_to_tol(step, precond, tol=1e-6, cap=30_000):
+            a = np.zeros_like(y)
+            y_norm = np.linalg.norm(y)
+            for i in range(1, cap + 1):
+                r = y - k_mat @ a
+                if np.linalg.norm(r) <= tol * y_norm:
+                    return i
+                a += step * (p_mat @ r if precond else r)
+            return cap
+
+        t_plain = iters_to_tol(1.0 / mu[0], precond=False)
+        t_precond = iters_to_tol(1.0 / mu[q - 1], precond=True)
+        measured_ratio = t_precond / t_plain
+        predicted = mu[q - 1] / mu[0]
+        # Within a factor of ~4 of the upper-bound-based prediction.
+        assert predicted / 4 < measured_ratio < predicted * 4

@@ -1,0 +1,138 @@
+"""Tests for cross-validated bandwidth selection (Appendix B)."""
+
+import numpy as np
+import pytest
+
+from repro.core.bandwidth import (
+    default_bandwidth_grid,
+    select_bandwidth,
+)
+from repro.data import MixtureSpec, make_mixture_classification
+from repro.exceptions import ConfigurationError
+from repro.kernels import GaussianKernel, LaplacianKernel
+
+
+@pytest.fixture(scope="module")
+def cls_data():
+    spec = MixtureSpec(
+        n_classes=3, dim=10, n_clusters=2, separation=1.2, noise=0.4
+    )
+    return make_mixture_classification(
+        "bw-test", 300, 100, spec, normalization="zscore", seed=7
+    )
+
+
+class TestDefaultGrid:
+    def test_grid_spans_median(self, rng):
+        x = rng.standard_normal((200, 5))
+        grid = default_bandwidth_grid(x, n_points=7, seed=0)
+        assert len(grid) == 7
+        assert all(b > 0 for b in grid)
+        assert grid[0] < grid[-1]
+        # The median pairwise distance for 5-d standard normals is ~3.
+        assert grid[0] < 3.0 < grid[-1]
+
+    def test_geometric_spacing(self, rng):
+        x = rng.standard_normal((100, 4))
+        grid = default_bandwidth_grid(x, n_points=5, seed=0)
+        ratios = [b / a for a, b in zip(grid, grid[1:])]
+        np.testing.assert_allclose(ratios, ratios[0], rtol=1e-9)
+
+    def test_degenerate_data(self):
+        grid = default_bandwidth_grid(np.zeros((10, 3)))
+        assert all(np.isfinite(b) and b > 0 for b in grid)
+
+
+class TestSelectBandwidth:
+    def test_picks_sensible_bandwidth(self, cls_data):
+        ds = cls_data
+        sel = select_bandwidth(
+            GaussianKernel, ds.x_train, ds.labels_train,
+            bandwidths=(0.01, 0.1, 1.0, 3.0, 10.0, 1000.0),
+            subsample=300, seed=0,
+        )
+        # Extremes must lose: 0.01 memorizes nothing (near-identity K),
+        # 1000 is nearly constant.
+        assert sel.bandwidth in (1.0, 3.0, 10.0)
+        assert sel.task == "classification"
+        assert sel.scores[sel.bandwidth] == min(sel.scores.values())
+
+    def test_accepts_one_hot(self, cls_data):
+        ds = cls_data
+        a = select_bandwidth(
+            GaussianKernel, ds.x_train, ds.y_train,
+            bandwidths=(1.0, 5.0), subsample=200, seed=0,
+        )
+        b = select_bandwidth(
+            GaussianKernel, ds.x_train, ds.labels_train,
+            bandwidths=(1.0, 5.0), subsample=200, seed=0,
+        )
+        assert a.bandwidth == b.bandwidth
+        assert a.task == b.task == "classification"
+
+    def test_regression_task(self, rng):
+        x = rng.standard_normal((200, 4))
+        y = np.sin(x[:, 0]) + 0.1 * rng.standard_normal(200)
+        sel = select_bandwidth(
+            GaussianKernel, x, y, bandwidths=(0.01, 2.0, 100.0),
+            subsample=200, seed=0,
+        )
+        assert sel.task == "regression"
+        # The near-diagonal degenerate bandwidth must lose decisively.
+        assert sel.bandwidth != 0.01
+        assert sel.scores[0.01] > 2 * sel.scores[sel.bandwidth]
+
+    def test_laplacian_kernel_class(self, cls_data):
+        ds = cls_data
+        sel = select_bandwidth(
+            LaplacianKernel, ds.x_train, ds.labels_train,
+            bandwidths=(1.0, 4.0, 16.0), subsample=200, seed=0,
+        )
+        assert sel.bandwidth in (1.0, 4.0, 16.0)
+
+    def test_default_grid_used(self, cls_data):
+        ds = cls_data
+        sel = select_bandwidth(
+            GaussianKernel, ds.x_train, ds.labels_train,
+            subsample=150, seed=0,
+        )
+        assert len(sel.scores) >= 2
+
+    def test_subsample_cap(self, cls_data):
+        """Selection must only touch `subsample` points — verified by
+        requesting more points than exist (allowed, capped)."""
+        ds = cls_data
+        sel = select_bandwidth(
+            GaussianKernel, ds.x_train, ds.labels_train,
+            bandwidths=(1.0, 5.0), subsample=10_000, seed=0,
+        )
+        assert sel.bandwidth in (1.0, 5.0)
+
+    def test_validation(self, cls_data):
+        ds = cls_data
+        with pytest.raises(ConfigurationError):
+            select_bandwidth(
+                GaussianKernel, ds.x_train, ds.labels_train, n_folds=1
+            )
+        with pytest.raises(ConfigurationError):
+            select_bandwidth(
+                GaussianKernel, ds.x_train, ds.labels_train,
+                subsample=4, n_folds=3,
+            )
+        with pytest.raises(ConfigurationError):
+            select_bandwidth(
+                GaussianKernel, ds.x_train, ds.labels_train,
+                bandwidths=(), subsample=100,
+            )
+
+    def test_deterministic(self, cls_data):
+        ds = cls_data
+        a = select_bandwidth(
+            GaussianKernel, ds.x_train, ds.labels_train,
+            bandwidths=(1.0, 3.0), subsample=150, seed=9,
+        )
+        b = select_bandwidth(
+            GaussianKernel, ds.x_train, ds.labels_train,
+            bandwidths=(1.0, 3.0), subsample=150, seed=9,
+        )
+        assert a.scores == b.scores

@@ -1,0 +1,127 @@
+"""Tests for the analytic convergence-rate bounds (the Figure-1 math)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.convergence import (
+    convergence_rate_bound,
+    iterations_to_accuracy,
+    per_iteration_gain,
+)
+from repro.exceptions import ConfigurationError
+
+
+class TestRateBound:
+    def test_in_unit_interval(self):
+        for m in (1, 5, 100, 10_000):
+            g = convergence_rate_bound(m, beta=1.0, lambda_1=0.3, lambda_n=1e-4)
+            assert 0.0 <= g < 1.0
+
+    def test_linear_scaling_regime(self):
+        """gain(m) ≈ m * gain(1) for m << m* = beta/lambda_1."""
+        beta, lam1, lamn = 1.0, 1e-3, 1e-6  # m* = 1000
+        g1 = per_iteration_gain(1, beta, lam1, lamn)
+        g10 = per_iteration_gain(10, beta, lam1, lamn)
+        assert g10 == pytest.approx(10 * g1, rel=0.02)
+
+    def test_saturation_regime(self):
+        """gain(m) -> lambda_n / lambda_1 for m >> m*."""
+        beta, lam1, lamn = 1.0, 0.1, 1e-4
+        g_inf = per_iteration_gain(10**7, beta, lam1, lamn)
+        assert g_inf == pytest.approx(lamn / lam1, rel=1e-3)
+
+    def test_monotone_nondecreasing_in_m(self):
+        beta, lam1, lamn = 1.0, 0.05, 1e-5
+        gains = [
+            per_iteration_gain(m, beta, lam1, lamn)
+            for m in (1, 2, 4, 8, 16, 1024, 10**6)
+        ]
+        assert all(b >= a - 1e-15 for a, b in zip(gains, gains[1:]))
+
+    def test_flattening_spectrum_improves_rate(self):
+        """Replacing lambda_1 by lambda_q < lambda_1 strictly increases
+        the per-iteration gain at every m > 1 — the adaptive kernel."""
+        beta, lamn = 1.0, 1e-6
+        for m in (10, 100, 1000):
+            original = per_iteration_gain(m, beta, 0.3, lamn)
+            adaptive = per_iteration_gain(m, beta, 0.003, lamn)
+            assert adaptive > original
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(m=0, beta=1.0, lambda_1=0.1, lambda_n=0.01),
+            dict(m=1, beta=0.0, lambda_1=0.1, lambda_n=0.01),
+            dict(m=1, beta=1.0, lambda_1=0.01, lambda_n=0.1),  # misordered
+            dict(m=1, beta=1.0, lambda_1=2.0, lambda_n=0.1),  # lam1 > beta
+            dict(m=1, beta=1.0, lambda_1=0.1, lambda_n=0.0),
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            convergence_rate_bound(**kwargs)
+
+
+class TestIterationsToAccuracy:
+    def test_appendix_c_proportionality(self):
+        """t ≈ log(eps) * lambda_1/lambda_n for the original kernel at
+        large n (Appendix C)."""
+        beta, lam1, lamn = 1.0, 0.2, 1e-5
+        t = iterations_to_accuracy(1e-3, m=10**7, beta=beta,
+                                   lambda_1=lam1, lambda_n=lamn)
+        expected = math.log(1e-3) / math.log(1 - lamn / lam1)
+        assert t == pytest.approx(expected, rel=1e-5)
+
+    def test_adaptive_kernel_needs_lambda_ratio_fraction(self):
+        """Iterations ratio adaptive/original ≈ lambda_q/lambda_1 — the
+        Appendix-C iteration-count comparison."""
+        beta, lamn = 1.0, 1e-6
+        lam1, lamq = 0.3, 0.003
+        big_m = 10**8
+        t_orig = iterations_to_accuracy(1e-4, big_m, beta, lam1, lamn)
+        t_adap = iterations_to_accuracy(1e-4, big_m, beta, lamq, lamn)
+        assert t_adap / t_orig == pytest.approx(lamq / lam1, rel=0.01)
+
+    def test_more_accuracy_more_iterations(self):
+        args = dict(m=100, beta=1.0, lambda_1=0.1, lambda_n=1e-4)
+        assert iterations_to_accuracy(1e-6, **args) > iterations_to_accuracy(
+            1e-2, **args
+        )
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            iterations_to_accuracy(1.5, 1, 1.0, 0.1, 0.01)
+
+    def test_bound_tracks_measured_trainer(self):
+        """End-to-end: the bound's iteration count for plain SGD is within
+        an order of magnitude of the measured count on real data (bounds
+        are upper bounds, so measured <= ~bound)."""
+        from repro.baselines import KernelSGD
+        from repro.core.spectrum import (
+            estimate_beta,
+            estimate_lambda1_operator,
+        )
+        from repro.data import make_rkhs_regression
+        from repro.kernels import GaussianKernel
+        from repro.linalg import nystrom_extension
+
+        kernel = GaussianKernel(bandwidth=2.0)
+        xt, yt, _, _ = make_rkhs_regression(kernel, 300, 10, 4, seed=3)
+        beta = estimate_beta(kernel, xt)
+        ext = nystrom_extension(kernel, xt, 300, 40, indices=np.arange(300))
+        lam1 = float(ext.operator_eigenvalues[0])
+        lam_tail = float(ext.operator_eigenvalues[-1])
+
+        trainer = KernelSGD(kernel, batch_size=8, seed=0)
+        trainer.fit(
+            xt, yt, epochs=5000, stop_train_mse=1e-5, max_iterations=200_000
+        )
+        measured = trainer.history_.final.iterations
+        # Error contraction: initial mse -> 1e-5.
+        initial = float(np.mean(yt**2))
+        eps = 1e-5 / initial
+        bound = iterations_to_accuracy(eps, 8, beta, lam1, lam_tail)
+        assert measured <= bound * 2
+        assert measured >= bound / 200  # not absurdly loose either

@@ -1,0 +1,127 @@
+"""Tests for Step 2: the Eq.-7 q selection and the Appendix-B adjustment."""
+
+import numpy as np
+import pytest
+
+from repro.core.preconditioner import NystromPreconditioner
+from repro.core.qselection import (
+    adjusted_q,
+    beta_pq_table,
+    m_star_pq_table,
+    select_q,
+)
+from repro.exceptions import ConfigurationError
+from repro.kernels import GaussianKernel
+from repro.linalg import nystrom_extension
+
+
+@pytest.fixture(scope="module")
+def ext():
+    rng = np.random.default_rng(13)
+    x = rng.standard_normal((250, 6))
+    return nystrom_extension(
+        GaussianKernel(bandwidth=2.0), x, 250, 40, indices=np.arange(250)
+    )
+
+
+class TestBetaTable:
+    def test_values_positive_and_at_most_beta(self, ext):
+        table = beta_pq_table(ext)
+        assert (table > 0).all()
+        assert (table <= 1.0 + 1e-9).all()
+
+    def test_q1_equals_original_beta(self, ext):
+        """P_1 is the identity, so beta(K_{P_1}) = beta(K) = 1."""
+        table = beta_pq_table(ext)
+        assert table[0] == pytest.approx(1.0, abs=1e-9)
+
+    def test_matches_preconditioner_diag(self, ext):
+        """The vectorized sweep must agree with the per-q explicit
+        modified-kernel diagonal."""
+        table = beta_pq_table(ext)
+        for q in (3, 10, 25):
+            p = NystromPreconditioner(ext, q)
+            direct = float(np.max(p.modified_diag(ext.points)))
+            assert table[q - 1] == pytest.approx(direct, rel=1e-9)
+
+    def test_custom_eval_points(self, ext, rng):
+        pts = rng.standard_normal((50, 6))
+        table = beta_pq_table(ext, eval_x=pts)
+        assert table.shape == (40,)
+        assert (table > 0).all()
+
+
+class TestMStarTable:
+    def test_increasing_in_q(self, ext):
+        """m*(k_{P_q}) grows as deeper modification flattens more of the
+        spectrum (beta changes little, lambda_q decreases)."""
+        table = m_star_pq_table(ext)
+        finite = table[np.isfinite(table)]
+        assert (np.diff(finite) > -1e-6 * finite[:-1]).all()
+
+    def test_q1_matches_original_m_star(self, ext):
+        table = m_star_pq_table(ext)
+        m_star_k = 1.0 / ext.operator_eigenvalues[0]
+        assert table[0] == pytest.approx(m_star_k, rel=1e-6)
+
+    def test_formula(self, ext):
+        beta_table = beta_pq_table(ext)
+        table = m_star_pq_table(ext, beta_table=beta_table)
+        lam = ext.operator_eigenvalues
+        np.testing.assert_allclose(table, beta_table / lam, rtol=1e-9)
+
+
+class TestSelectQ:
+    def test_eq7_property(self, ext):
+        """q is the largest index with m* <= m_max; q+1 violates it."""
+        sel = select_q(ext, m_max=100)
+        assert sel.m_star_table[sel.q - 1] <= 100
+        if sel.q < 40:
+            assert sel.m_star_table[sel.q] > 100
+
+    def test_larger_m_max_larger_q(self, ext):
+        q_small = select_q(ext, m_max=20).q
+        q_large = select_q(ext, m_max=2000).q
+        assert q_large >= q_small
+
+    def test_tiny_m_max_gives_zero(self, ext):
+        """If even the unmodified kernel's m* exceeds m_max there is
+        nothing to do."""
+        m_star_k = 1.0 / ext.operator_eigenvalues[0]
+        sel = select_q(ext, m_max=max(1, int(m_star_k * 0.5)))
+        assert sel.q == 0
+
+    def test_hit_cap_flag(self, ext):
+        sel = select_q(ext, m_max=10**9)
+        assert sel.hit_cap
+        assert sel.q == 40
+
+    def test_invalid_m_max(self, ext):
+        with pytest.raises(ConfigurationError):
+            select_q(ext, m_max=0)
+
+
+class TestAdjustedQ:
+    def test_never_decreases(self, ext):
+        for q in (1, 5, 20, 40):
+            assert adjusted_q(ext, q) >= q
+
+    def test_extends_to_significant_spectrum(self, ext):
+        """With a tiny Eq.-7 q, the heuristic pulls in all directions with
+        sigma_i >= tol * sigma_1."""
+        q_adj = adjusted_q(ext, 1, decay_tol=1e-3)
+        sig = ext.eigvals
+        significant = int(np.sum(sig >= 1e-3 * sig[0]))
+        assert q_adj == min(significant, ext.s // 2)
+
+    def test_cap_fraction(self, ext):
+        q_adj = adjusted_q(ext, 1, decay_tol=1e-12, cap_fraction=0.05)
+        assert q_adj <= max(1, int(0.05 * ext.s))
+
+    def test_validation(self, ext):
+        with pytest.raises(ConfigurationError):
+            adjusted_q(ext, -1)
+        with pytest.raises(ConfigurationError):
+            adjusted_q(ext, 1, decay_tol=1.5)
+        with pytest.raises(ConfigurationError):
+            adjusted_q(ext, 1, cap_fraction=0.0)

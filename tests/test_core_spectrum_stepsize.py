@@ -1,0 +1,144 @@
+"""Tests for spectrum estimation, m*(k), and the analytic step size."""
+
+import numpy as np
+import pytest
+
+from repro.core.spectrum import (
+    critical_batch_size,
+    critical_batch_size_from_extension,
+    estimate_beta,
+    estimate_lambda1_operator,
+)
+from repro.core.stepsize import analytic_step_size, linear_scaling_step_size
+from repro.exceptions import ConfigurationError
+from repro.kernels import GaussianKernel, LaplacianKernel, PolynomialKernel
+from repro.linalg import nystrom_extension, top_eigensystem
+
+
+@pytest.fixture(scope="module")
+def cluster_data():
+    rng = np.random.default_rng(21)
+    return rng.standard_normal((400, 8))
+
+
+class TestBeta:
+    def test_normalized_kernel_is_one(self, cluster_data):
+        assert estimate_beta(GaussianKernel(bandwidth=2.0), cluster_data) == 1.0
+
+    def test_polynomial_beta_from_data(self, cluster_data):
+        k = PolynomialKernel(degree=2, gamma=0.5, coef0=1.0)
+        beta = estimate_beta(k, cluster_data, sample_size=None)
+        assert beta == pytest.approx(float(np.max(k.diag(cluster_data))))
+
+    def test_subsample_estimate_close(self, cluster_data):
+        k = PolynomialKernel(degree=2, gamma=0.5, coef0=1.0)
+        full = estimate_beta(k, cluster_data, sample_size=None)
+        sub = estimate_beta(k, cluster_data, sample_size=200, seed=0)
+        assert sub <= full + 1e-12
+        assert sub > 0.3 * full
+
+
+class TestLambda1:
+    def test_matches_dense_on_full_sample(self, cluster_data):
+        k = GaussianKernel(bandwidth=2.0)
+        n = cluster_data.shape[0]
+        dense, _ = top_eigensystem(k(cluster_data, cluster_data), 1)
+        est = estimate_lambda1_operator(k, cluster_data, sample_size=n, seed=0)
+        assert est == pytest.approx(dense[0] / n, rel=1e-6)
+
+    def test_subsample_estimate_reasonable(self, cluster_data):
+        k = GaussianKernel(bandwidth=2.0)
+        n = cluster_data.shape[0]
+        full = estimate_lambda1_operator(k, cluster_data, sample_size=n)
+        sub = estimate_lambda1_operator(k, cluster_data, sample_size=100, seed=1)
+        assert 0.5 * full < sub < 2.0 * full
+
+
+class TestCriticalBatchSize:
+    def test_small_for_practical_kernels(self, cluster_data):
+        """The paper: m*(k) is 'typically quite small, less than 10'."""
+        m_star = critical_batch_size(
+            GaussianKernel(bandwidth=3.0), cluster_data, sample_size=400
+        )
+        assert 1 <= m_star < 20
+
+    def test_laplacian_larger_than_gaussian(self, cluster_data):
+        """Section 5.5 claim (2): the Laplacian's m* is typically larger —
+        slower spectral decay."""
+        m_g = critical_batch_size(
+            GaussianKernel(bandwidth=3.0), cluster_data, sample_size=400
+        )
+        m_l = critical_batch_size(
+            LaplacianKernel(bandwidth=3.0), cluster_data, sample_size=400
+        )
+        assert m_l > m_g
+
+    def test_from_extension_consistent(self, cluster_data):
+        k = GaussianKernel(bandwidth=2.0)
+        ext = nystrom_extension(k, cluster_data, 400, 5, indices=np.arange(400))
+        direct = critical_batch_size(k, cluster_data, sample_size=400, seed=0)
+        via_ext = critical_batch_size_from_extension(ext, beta=1.0)
+        assert via_ext == pytest.approx(direct, rel=1e-4)
+
+    def test_narrow_bandwidth_increases_m_star(self, cluster_data):
+        """A very narrow kernel is nearly diagonal: lambda_1 -> 1/n and
+        m* grows toward n."""
+        wide = critical_batch_size(
+            GaussianKernel(bandwidth=5.0), cluster_data, sample_size=400
+        )
+        narrow = critical_batch_size(
+            GaussianKernel(bandwidth=0.05), cluster_data, sample_size=400
+        )
+        assert narrow > 10 * wide
+
+
+class TestStepSize:
+    def test_small_batch_linear_scaling(self):
+        """For m << m* the optimal step is ≈ m/beta — the linear scaling
+        rule."""
+        eta1 = analytic_step_size(1, beta=1.0, lambda1=1e-4)
+        eta2 = analytic_step_size(2, beta=1.0, lambda1=1e-4)
+        assert eta2 == pytest.approx(2 * eta1, rel=1e-3)
+        assert eta1 == pytest.approx(linear_scaling_step_size(1, 1.0), rel=1e-3)
+
+    def test_saturates_at_inverse_lambda(self):
+        lam = 0.01
+        eta_huge = analytic_step_size(10**7, beta=1.0, lambda1=lam)
+        assert eta_huge == pytest.approx(1 / lam, rel=1e-2)
+
+    def test_operating_point_eta_is_half_m(self):
+        """At m = beta/lambda (the critical size) eta ≈ m/2 — Table 4's
+        observed pattern for normalized kernels."""
+        lam = 1e-3
+        m = int(1.0 / lam)
+        eta = analytic_step_size(m, beta=1.0, lambda1=lam)
+        assert eta == pytest.approx(m / 2, rel=1e-2)
+
+    def test_damping_scales(self):
+        full = analytic_step_size(10, 1.0, 0.01)
+        damped = analytic_step_size(10, 1.0, 0.01, damping=0.5)
+        assert damped == pytest.approx(full / 2)
+
+    def test_monotone_in_m(self):
+        etas = [analytic_step_size(m, 1.0, 1e-3) for m in (1, 10, 100, 1000)]
+        assert all(b > a for a, b in zip(etas, etas[1:]))
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(m=0, beta=1.0, lambda1=0.1),
+            dict(m=1, beta=0.0, lambda1=0.1),
+            dict(m=1, beta=1.0, lambda1=-0.1),
+            dict(m=1, beta=1.0, lambda1=0.1, damping=0.0),
+            dict(m=1, beta=1.0, lambda1=0.1, damping=1.5),
+        ],
+    )
+    def test_invalid_args(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            analytic_step_size(**kwargs)
+
+    def test_linear_scaling_validation(self):
+        with pytest.raises(ConfigurationError):
+            linear_scaling_step_size(0, 1.0)
+        with pytest.raises(ConfigurationError):
+            linear_scaling_step_size(1, 0.0)

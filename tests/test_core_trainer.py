@@ -1,0 +1,226 @@
+"""Tests for the shared mini-batch training loop."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import KernelSGD
+from repro.core.trainer import BaseKernelTrainer
+from repro.device import titan_xp
+from repro.exceptions import ConfigurationError, NotFittedError
+from repro.kernels import GaussianKernel
+
+
+@pytest.fixture()
+def xy(small_xy):
+    return small_xy
+
+
+class TestBaseValidation:
+    def test_base_requires_explicit_params(self, xy):
+        x, y = xy
+        t = BaseKernelTrainer(GaussianKernel(bandwidth=2.0))
+        with pytest.raises(ConfigurationError, match="explicit batch_size"):
+            t.fit(x, y)
+
+    def test_base_with_explicit_params_trains(self, xy):
+        x, y = xy
+        t = BaseKernelTrainer(
+            GaussianKernel(bandwidth=2.0), batch_size=8, step_size=4.0, seed=0
+        )
+        t.fit(x, y, epochs=3)
+        assert t.mse(x, y) < np.mean(y**2)  # better than predicting zero
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"batch_size": 0},
+            {"step_size": 0.0},
+            {"monitor_size": 0},
+            {"damping": 0.0},
+            {"damping": 1.5},
+        ],
+    )
+    def test_constructor_validation(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            BaseKernelTrainer(GaussianKernel(bandwidth=1.0), **kwargs)
+
+    def test_epoch_validation(self, xy):
+        x, y = xy
+        t = BaseKernelTrainer(
+            GaussianKernel(bandwidth=1.0), batch_size=4, step_size=1.0
+        )
+        with pytest.raises(ConfigurationError):
+            t.fit(x, y, epochs=0)
+
+    def test_row_mismatch_rejected(self, xy):
+        x, y = xy
+        t = BaseKernelTrainer(
+            GaussianKernel(bandwidth=1.0), batch_size=4, step_size=1.0
+        )
+        with pytest.raises(ConfigurationError):
+            t.fit(x, y[:-5])
+
+    def test_predict_before_fit_raises(self, xy):
+        x, _ = xy
+        t = BaseKernelTrainer(
+            GaussianKernel(bandwidth=1.0), batch_size=4, step_size=1.0
+        )
+        with pytest.raises(NotFittedError):
+            t.predict(x)
+
+
+class TestHistory:
+    def test_one_record_per_epoch(self, xy):
+        x, y = xy
+        t = KernelSGD(GaussianKernel(bandwidth=2.0), seed=0)
+        t.fit(x, y, epochs=4)
+        assert len(t.history_) == 4
+        assert [r.epoch for r in t.history_.records] == [1, 2, 3, 4]
+
+    def test_train_mse_decreases_overall(self, xy):
+        x, y = xy
+        t = KernelSGD(GaussianKernel(bandwidth=2.0), seed=0)
+        t.fit(x, y, epochs=8)
+        series = t.history_.series("train_mse")
+        assert series[-1] < series[0]
+
+    def test_val_error_recorded(self, small_dataset):
+        ds = small_dataset
+        t = KernelSGD(GaussianKernel(bandwidth=2.0), seed=0)
+        t.fit(
+            ds.x_train, ds.y_train, epochs=2,
+            x_val=ds.x_test, y_val=ds.labels_test,
+        )
+        assert all(r.val_error is not None for r in t.history_.records)
+
+    def test_wall_time_monotone(self, xy):
+        x, y = xy
+        t = KernelSGD(GaussianKernel(bandwidth=2.0), seed=0)
+        t.fit(x, y, epochs=3)
+        times = t.history_.series("wall_time")
+        assert all(b >= a for a, b in zip(times, times[1:]))
+
+    def test_final_accessor(self, xy):
+        x, y = xy
+        t = KernelSGD(GaussianKernel(bandwidth=2.0), seed=0)
+        t.fit(x, y, epochs=2)
+        assert t.history_.final.epoch == 2
+
+
+class TestStopping:
+    def test_stop_train_mse(self, xy):
+        x, y = xy
+        t = KernelSGD(GaussianKernel(bandwidth=2.0), batch_size=8, seed=0)
+        t.fit(x, y, epochs=200, stop_train_mse=1e-3)
+        assert t.history_.final.train_mse < 1e-3
+        assert len(t.history_) < 200
+
+    def test_max_iterations(self, xy):
+        x, y = xy
+        t = KernelSGD(GaussianKernel(bandwidth=2.0), batch_size=4, seed=0)
+        t.fit(x, y, epochs=100, max_iterations=7)
+        assert t.history_.final.iterations == 7
+
+    def test_val_patience_stops(self, small_dataset):
+        ds = small_dataset
+        t = KernelSGD(GaussianKernel(bandwidth=2.0), batch_size=16, seed=0)
+        t.fit(
+            ds.x_train, ds.y_train, epochs=100,
+            x_val=ds.x_test, y_val=ds.labels_test, val_patience=2,
+        )
+        assert len(t.history_) < 100
+
+
+class TestDeviceIntegration:
+    def test_device_time_accumulates(self, xy):
+        x, y = xy
+        dev = titan_xp()
+        t = KernelSGD(GaussianKernel(bandwidth=2.0), device=dev, seed=0)
+        t.fit(x, y, epochs=2)
+        assert dev.elapsed > 0
+        assert t.history_.final.device_time == pytest.approx(dev.elapsed)
+
+    def test_memory_freed_after_fit(self, xy):
+        x, y = xy
+        dev = titan_xp()
+        t = KernelSGD(GaussianKernel(bandwidth=2.0), device=dev, seed=0)
+        t.fit(x, y, epochs=1)
+        assert dev.memory.used == 0
+        assert dev.memory.peak > 0
+
+    def test_memory_peak_matches_paper_model(self, xy):
+        """Peak device memory is the paper's (d + l + m) * n."""
+        x, y = xy
+        n, d = x.shape
+        l = 1
+        dev = titan_xp()
+        t = KernelSGD(
+            GaussianKernel(bandwidth=2.0), device=dev, batch_size=10, seed=0
+        )
+        t.fit(x, y, epochs=1)
+        assert dev.memory.peak == pytest.approx(n * (d + l + 10))
+
+    def test_batch_clamped_to_n(self, xy):
+        x, y = xy
+        t = KernelSGD(
+            GaussianKernel(bandwidth=2.0), batch_size=10**6, seed=0
+        )
+        t.fit(x, y, epochs=1)
+        assert t.batch_size_ == x.shape[0]
+
+
+class TestKeepBestVal:
+    def test_restores_best_validation_weights(self, small_dataset):
+        """With keep_best_val the final model's validation error equals
+        the best epoch's, even if later epochs regressed."""
+        ds = small_dataset
+        t = KernelSGD(GaussianKernel(bandwidth=2.0), batch_size=16, seed=0)
+        t.fit(
+            ds.x_train, ds.y_train, epochs=12,
+            x_val=ds.x_test, y_val=ds.labels_test, keep_best_val=True,
+        )
+        best_recorded = min(t.history_.series("val_error"))
+        final = t.classification_error(ds.x_test, ds.labels_test)
+        assert final == pytest.approx(best_recorded, abs=1e-12)
+
+    def test_without_flag_final_weights_kept(self, small_dataset):
+        ds = small_dataset
+        t = KernelSGD(GaussianKernel(bandwidth=2.0), batch_size=16, seed=0)
+        t.fit(
+            ds.x_train, ds.y_train, epochs=5,
+            x_val=ds.x_test, y_val=ds.labels_test, keep_best_val=False,
+        )
+        final = t.classification_error(ds.x_test, ds.labels_test)
+        assert final == pytest.approx(
+            t.history_.final.val_error, abs=1e-12
+        )
+
+    def test_no_validation_set_flag_harmless(self, small_xy):
+        x, y = small_xy
+        t = KernelSGD(GaussianKernel(bandwidth=2.0), batch_size=8, seed=0)
+        t.fit(x, y, epochs=2, keep_best_val=True)
+        assert t.history_.final.val_error is None
+
+
+class TestDeterminism:
+    def test_same_seed_same_model(self, xy):
+        x, y = xy
+        a = KernelSGD(GaussianKernel(bandwidth=2.0), seed=5).fit(x, y, epochs=2)
+        b = KernelSGD(GaussianKernel(bandwidth=2.0), seed=5).fit(x, y, epochs=2)
+        np.testing.assert_array_equal(a.model_.weights, b.model_.weights)
+
+    def test_different_seed_different_path(self, xy):
+        x, y = xy
+        a = KernelSGD(
+            GaussianKernel(bandwidth=2.0), batch_size=4, seed=1
+        ).fit(x, y, epochs=1)
+        b = KernelSGD(
+            GaussianKernel(bandwidth=2.0), batch_size=4, seed=2
+        ).fit(x, y, epochs=1)
+        assert not np.allclose(a.model_.weights, b.model_.weights)
+
+    def test_1d_targets_accepted(self, xy):
+        x, y = xy
+        t = KernelSGD(GaussianKernel(bandwidth=2.0), seed=0)
+        t.fit(x, y[:, 0], epochs=1)
+        assert t.model_.weights.shape == (x.shape[0], 1)

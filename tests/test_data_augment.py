@@ -1,0 +1,114 @@
+"""Tests for translation augmentation (the paper's 6.7e6-point MNIST)."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    augment_dataset_with_translations,
+    synthetic_mnist,
+    translate_images,
+)
+from repro.exceptions import ConfigurationError
+
+
+class TestTranslateImages:
+    def test_identity_shift(self, rng):
+        flat = rng.uniform(size=(5, 16))
+        np.testing.assert_array_equal(
+            translate_images(flat, 4, 4, 0, 0), flat
+        )
+
+    def test_shift_right(self):
+        img = np.zeros((1, 9))
+        img[0, 4] = 1.0  # center pixel of a 3x3 image
+        out = translate_images(img, 3, 3, 0, 1).reshape(3, 3)
+        assert out[1, 2] == 1.0
+        assert out.sum() == 1.0
+
+    def test_shift_down(self):
+        img = np.zeros((1, 9))
+        img[0, 4] = 1.0
+        out = translate_images(img, 3, 3, 1, 0).reshape(3, 3)
+        assert out[2, 1] == 1.0
+
+    def test_content_falls_off_edge(self):
+        img = np.zeros((1, 9))
+        img[0, 2] = 1.0  # top-right corner
+        out = translate_images(img, 3, 3, 0, 1)
+        assert out.sum() == 0.0
+
+    def test_round_trip_interior(self, rng):
+        """Shifting right then left restores the interior columns."""
+        flat = rng.uniform(size=(3, 25))
+        there = translate_images(flat, 5, 5, 0, 1)
+        back = translate_images(there, 5, 5, 0, -1).reshape(3, 5, 5)
+        orig = flat.reshape(3, 5, 5)
+        np.testing.assert_array_equal(back[:, :, :4], orig[:, :, :4])
+
+    def test_mass_never_increases(self, rng):
+        flat = rng.uniform(size=(4, 36))
+        for dy, dx in [(1, 0), (-2, 1), (0, 3)]:
+            out = translate_images(flat, 6, 6, dy, dx)
+            assert out.sum() <= flat.sum() + 1e-12
+
+    def test_geometry_validation(self, rng):
+        flat = rng.uniform(size=(2, 12))
+        with pytest.raises(ConfigurationError):
+            translate_images(flat, 4, 4, 0, 0)  # 16 != 12
+        with pytest.raises(ConfigurationError):
+            translate_images(flat, 3, 4, 3, 0)  # shift out of range
+
+
+class TestAugmentDataset:
+    @pytest.fixture(scope="class")
+    def ds(self):
+        return synthetic_mnist(n_train=60, n_test=20, seed=0)
+
+    def test_nine_fold_blowup(self, ds):
+        aug = augment_dataset_with_translations(ds, 28, 28, max_shift=1)
+        assert aug.n_train == 9 * ds.n_train
+        assert aug.n_test == ds.n_test  # untouched
+        assert aug.d == ds.d
+
+    def test_labels_replicated_consistently(self, ds):
+        aug = augment_dataset_with_translations(ds, 28, 28, max_shift=1)
+        # Unshuffled: first block is the original data.
+        np.testing.assert_array_equal(
+            aug.labels_train[: ds.n_train], ds.labels_train
+        )
+        np.testing.assert_array_equal(
+            aug.y_train.argmax(axis=1), aug.labels_train
+        )
+
+    def test_exclude_original(self, ds):
+        aug = augment_dataset_with_translations(
+            ds, 28, 28, max_shift=1, include_original=False
+        )
+        assert aug.n_train == 8 * ds.n_train
+
+    def test_shuffle_seed(self, ds):
+        a = augment_dataset_with_translations(ds, 28, 28, seed=1)
+        b = augment_dataset_with_translations(ds, 28, 28, seed=1)
+        np.testing.assert_array_equal(a.x_train, b.x_train)
+        c = augment_dataset_with_translations(ds, 28, 28, seed=2)
+        assert not np.array_equal(a.x_train, c.x_train)
+
+    def test_validation(self, ds):
+        with pytest.raises(ConfigurationError):
+            augment_dataset_with_translations(ds, 28, 28, max_shift=0)
+
+    def test_augmented_training_not_worse(self, ds):
+        """Training on the augmented set should not hurt test accuracy —
+        the reason the paper trains on 6.7e6 augmented MNIST points."""
+        from repro.core.eigenpro2 import EigenPro2
+        from repro.kernels import GaussianKernel
+
+        base = EigenPro2(GaussianKernel(bandwidth=3.0), seed=0)
+        base.fit(ds.x_train, ds.y_train, epochs=4)
+        err_base = base.classification_error(ds.x_test, ds.labels_test)
+
+        aug = augment_dataset_with_translations(ds, 28, 28, seed=0)
+        model = EigenPro2(GaussianKernel(bandwidth=3.0), seed=0)
+        model.fit(aug.x_train, aug.y_train, epochs=4)
+        err_aug = model.classification_error(aug.x_test, aug.labels_test)
+        assert err_aug <= err_base + 0.05

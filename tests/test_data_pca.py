@@ -1,0 +1,73 @@
+"""Tests for PCA (paper Section 5.5 dimensionality reduction)."""
+
+import numpy as np
+import pytest
+
+from repro.data import PCA
+from repro.exceptions import ConfigurationError, NotFittedError
+
+
+class TestPCA:
+    def test_recovers_dominant_subspace(self, rng):
+        # Data varying almost entirely along two known directions.
+        basis = np.linalg.qr(rng.standard_normal((10, 10)))[0][:, :2]
+        coeffs = rng.standard_normal((500, 2)) * [10.0, 5.0]
+        x = coeffs @ basis.T + 0.01 * rng.standard_normal((500, 10))
+        pca = PCA(n_components=2).fit(x)
+        # Projection of the true basis onto the learned one is near-identity.
+        overlap = np.abs(pca.components_ @ basis)
+        assert overlap.max(axis=1).min() > 0.99
+
+    def test_explained_variance_descending(self, rng):
+        x = rng.standard_normal((100, 8)) * np.arange(8, 0, -1)
+        pca = PCA(n_components=8).fit(x)
+        assert (np.diff(pca.explained_variance_) <= 1e-9).all()
+
+    def test_ratio_sums_below_one(self, rng):
+        x = rng.standard_normal((60, 10))
+        pca = PCA(n_components=4).fit(x)
+        assert 0 < pca.explained_variance_ratio_.sum() <= 1 + 1e-12
+
+    def test_transform_shape(self, rng):
+        x = rng.standard_normal((30, 6))
+        z = PCA(n_components=3).fit_transform(x)
+        assert z.shape == (30, 3)
+
+    def test_full_rank_roundtrip(self, rng):
+        x = rng.standard_normal((40, 5))
+        pca = PCA(n_components=5).fit(x)
+        np.testing.assert_allclose(
+            pca.inverse_transform(pca.transform(x)), x, atol=1e-8
+        )
+
+    def test_whiten_unit_variance(self, rng):
+        x = rng.standard_normal((300, 6)) * np.arange(1, 7)
+        z = PCA(n_components=4, whiten=True).fit_transform(x)
+        np.testing.assert_allclose(z.std(axis=0, ddof=1), 1.0, rtol=1e-6)
+
+    def test_projected_components_uncorrelated(self, rng):
+        x = rng.standard_normal((200, 8)) @ rng.standard_normal((8, 8))
+        z = PCA(n_components=4).fit_transform(x)
+        cov = np.cov(z.T)
+        off = cov - np.diag(np.diag(cov))
+        assert np.abs(off).max() < 1e-8 * np.abs(np.diag(cov)).max() + 1e-8
+
+    def test_too_many_components_rejected(self, rng):
+        with pytest.raises(ConfigurationError):
+            PCA(n_components=11).fit(rng.standard_normal((5, 10)))
+
+    def test_transform_before_fit_raises(self, rng):
+        with pytest.raises(NotFittedError):
+            PCA(n_components=2).transform(rng.standard_normal((3, 5)))
+
+    def test_zero_components_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PCA(n_components=0)
+
+    def test_kernel_time_shrinks_with_pca(self, rng):
+        """The point of Section 5.5: iteration cost n*m*d drops with d."""
+        from repro.core.cost import sgd_cost
+
+        full = sgd_cost(n=1000, m=100, d=1536, l=10).computation
+        reduced = sgd_cost(n=1000, m=100, d=500, l=10).computation
+        assert reduced < full / 3

@@ -1,0 +1,136 @@
+"""Tests for the Appendix-A preprocessing pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.data import grayscale, one_hot, to_unit_range, train_val_split, zscore
+from repro.exceptions import ConfigurationError
+
+
+class TestOneHot:
+    def test_basic(self):
+        out = one_hot(np.array([0, 2, 1]), 3)
+        np.testing.assert_array_equal(
+            out, [[1, 0, 0], [0, 0, 1], [0, 1, 0]]
+        )
+
+    def test_infers_n_classes(self):
+        assert one_hot(np.array([0, 3])).shape == (2, 4)
+
+    def test_row_sums_are_one(self, rng):
+        labels = rng.integers(0, 7, size=50)
+        np.testing.assert_allclose(one_hot(labels, 7).sum(axis=1), 1.0)
+
+    def test_out_of_range_label_rejected(self):
+        with pytest.raises(ConfigurationError):
+            one_hot(np.array([0, 5]), 3)
+
+    def test_negative_label_rejected(self):
+        with pytest.raises(ConfigurationError):
+            one_hot(np.array([-1, 0]))
+
+    def test_float_labels_rejected(self):
+        with pytest.raises(ConfigurationError):
+            one_hot(np.array([0.0, 1.0]))
+
+    def test_non_1d_rejected(self):
+        with pytest.raises(ConfigurationError):
+            one_hot(np.zeros((3, 2), dtype=int))
+
+
+class TestUnitRange:
+    def test_output_in_unit_interval(self, rng):
+        x = rng.uniform(-40, 17, size=(30, 4))
+        out, _ = to_unit_range(x)
+        assert out.min() >= 0 and out.max() <= 1
+
+    def test_stats_threading(self, rng):
+        """Test data must be scaled by *training* statistics."""
+        x_train = rng.uniform(0, 10, (20, 3))
+        x_test = rng.uniform(0, 10, (10, 3))
+        _, stats = to_unit_range(x_train)
+        scaled, _ = to_unit_range(x_test, stats)
+        lo, span = stats
+        np.testing.assert_allclose(scaled, (x_test - lo) / span)
+
+    def test_constant_feature_no_nan(self):
+        x = np.ones((5, 2))
+        out, _ = to_unit_range(x)
+        assert np.isfinite(out).all()
+
+    def test_extremes_map_to_bounds(self, rng):
+        x = rng.standard_normal((25, 3))
+        out, _ = to_unit_range(x)
+        np.testing.assert_allclose(out.min(axis=0), 0.0, atol=1e-12)
+        np.testing.assert_allclose(out.max(axis=0), 1.0, atol=1e-12)
+
+
+class TestZscore:
+    def test_standardizes(self, rng):
+        x = rng.normal(5, 3, size=(200, 4))
+        out, _ = zscore(x)
+        np.testing.assert_allclose(out.mean(axis=0), 0.0, atol=1e-10)
+        np.testing.assert_allclose(out.std(axis=0), 1.0, atol=1e-10)
+
+    def test_stats_threading(self, rng):
+        x_train = rng.normal(2, 4, (50, 3))
+        x_test = rng.normal(2, 4, (20, 3))
+        _, stats = zscore(x_train)
+        out, _ = zscore(x_test, stats)
+        mu, sd = stats
+        np.testing.assert_allclose(out, (x_test - mu) / sd)
+
+    def test_constant_feature_no_nan(self):
+        out, _ = zscore(np.full((6, 2), 3.0))
+        assert np.isfinite(out).all()
+
+
+class TestGrayscale:
+    def test_shape_flattened(self, rng):
+        imgs = rng.uniform(0, 1, size=(4, 8, 8, 3))
+        assert grayscale(imgs).shape == (4, 64)
+
+    def test_luminance_weights(self):
+        red = np.zeros((1, 1, 1, 3))
+        red[..., 0] = 1.0
+        assert grayscale(red)[0, 0] == pytest.approx(0.299)
+
+    def test_gray_input_preserved(self, rng):
+        v = rng.uniform(0, 1, size=(2, 3, 3, 1))
+        imgs = np.repeat(v, 3, axis=-1)
+        np.testing.assert_allclose(
+            grayscale(imgs), v.reshape(2, -1), atol=1e-12
+        )
+
+    def test_rejects_wrong_shape(self, rng):
+        with pytest.raises(ConfigurationError):
+            grayscale(rng.uniform(size=(4, 8, 8)))
+
+
+class TestTrainValSplit:
+    def test_sizes(self, rng):
+        x = rng.standard_normal((100, 3))
+        y = rng.integers(0, 2, 100)
+        xt, yt, xv, yv = train_val_split(x, y, val_fraction=0.2, seed=0)
+        assert len(xv) == 20 and len(xt) == 80
+        assert len(yt) == 80 and len(yv) == 20
+
+    def test_disjoint_and_complete(self, rng):
+        x = np.arange(50)[:, None].astype(float)
+        y = np.arange(50)
+        xt, yt, xv, yv = train_val_split(x, y, 0.3, seed=1)
+        recovered = np.sort(np.concatenate([xt[:, 0], xv[:, 0]]))
+        np.testing.assert_array_equal(recovered, np.arange(50))
+
+    def test_rows_stay_aligned(self, rng):
+        x = rng.standard_normal((40, 2))
+        y = x[:, 0] * 2
+        xt, yt, xv, yv = train_val_split(x, y, 0.25, seed=2)
+        np.testing.assert_allclose(yt, xt[:, 0] * 2)
+        np.testing.assert_allclose(yv, xv[:, 0] * 2)
+
+    @pytest.mark.parametrize("frac", [0.0, 1.0, -0.1])
+    def test_bad_fraction_rejected(self, rng, frac):
+        x = rng.standard_normal((10, 2))
+        with pytest.raises(ConfigurationError):
+            train_val_split(x, np.zeros(10), frac)

@@ -1,0 +1,175 @@
+"""Tests for the synthetic mixture generators and dataset wrappers."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    Dataset,
+    MixtureSpec,
+    get_dataset,
+    make_mixture_classification,
+    make_rkhs_regression,
+    synthetic_imagenet,
+    synthetic_mnist,
+    synthetic_susy,
+    synthetic_timit,
+)
+from repro.exceptions import ConfigurationError
+from repro.kernels import GaussianKernel
+
+
+class TestMixtureSpec:
+    def test_sample_shapes(self, rng):
+        spec = MixtureSpec(n_classes=4, dim=6)
+        x, labels, means = spec.sample(120, rng)
+        assert x.shape == (120, 6)
+        assert labels.shape == (120,)
+        assert means.shape == (4, spec.n_clusters, 6)
+        assert set(np.unique(labels)) <= set(range(4))
+
+    def test_means_reusable_for_test_split(self, rng):
+        spec = MixtureSpec(n_classes=3, dim=5)
+        _, _, means = spec.sample(50, rng)
+        _, _, means2 = spec.sample(30, rng, means=means)
+        np.testing.assert_array_equal(means, means2)
+
+    def test_spectrum_decay_shapes_variance(self):
+        rng = np.random.default_rng(0)
+        spec = MixtureSpec(
+            n_classes=2, dim=50, separation=1.0, noise=1.0, spectrum_decay=2.0
+        )
+        x, _, _ = spec.sample(3000, rng)
+        var = x.var(axis=0)
+        # First coordinates carry far more variance than the last.
+        assert var[:5].mean() > 10 * var[-5:].mean()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_classes": 1, "dim": 3},
+            {"n_classes": 2, "dim": 0},
+            {"n_classes": 2, "dim": 3, "n_clusters": 0},
+            {"n_classes": 2, "dim": 3, "separation": 0},
+            {"n_classes": 2, "dim": 3, "noise": -1},
+        ],
+    )
+    def test_bad_spec_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            MixtureSpec(**kwargs)
+
+
+class TestMakeMixtureClassification:
+    def test_dataset_consistency(self):
+        spec = MixtureSpec(n_classes=3, dim=8)
+        ds = make_mixture_classification("t", 90, 45, spec, seed=0)
+        assert isinstance(ds, Dataset)
+        assert ds.n_train == 90 and ds.n_test == 45
+        assert ds.l == 3
+        np.testing.assert_array_equal(
+            ds.y_train.argmax(axis=1), ds.labels_train
+        )
+
+    def test_unit_range_normalization(self):
+        spec = MixtureSpec(n_classes=2, dim=5)
+        ds = make_mixture_classification(
+            "t", 100, 50, spec, normalization="unit_range", seed=1
+        )
+        assert ds.x_train.min() >= 0 and ds.x_train.max() <= 1
+        assert ds.x_test.min() >= 0 and ds.x_test.max() <= 1
+
+    def test_zscore_normalization(self):
+        spec = MixtureSpec(n_classes=2, dim=5)
+        ds = make_mixture_classification(
+            "t", 400, 50, spec, normalization="zscore", seed=1
+        )
+        np.testing.assert_allclose(ds.x_train.mean(axis=0), 0, atol=1e-10)
+
+    def test_deterministic_given_seed(self):
+        spec = MixtureSpec(n_classes=2, dim=4)
+        a = make_mixture_classification("t", 50, 20, spec, seed=7)
+        b = make_mixture_classification("t", 50, 20, spec, seed=7)
+        np.testing.assert_array_equal(a.x_train, b.x_train)
+        np.testing.assert_array_equal(a.labels_test, b.labels_test)
+
+    def test_learnable_by_a_kernel_machine(self):
+        """Sanity: the generated task is genuinely learnable — a trained
+        model must beat chance by a wide margin."""
+        from repro.baselines import solve_ridge
+
+        spec = MixtureSpec(n_classes=3, dim=10, separation=1.2, noise=0.4)
+        ds = make_mixture_classification("t", 300, 150, spec, seed=3)
+        model = solve_ridge(
+            GaussianKernel(bandwidth=2.0), ds.x_train, ds.y_train, 1e-4
+        )
+        err = model.classification_error(ds.x_test, ds.labels_test)
+        assert err < 0.5  # chance is 2/3
+
+    def test_unknown_normalization_rejected(self):
+        spec = MixtureSpec(n_classes=2, dim=3)
+        with pytest.raises(ConfigurationError):
+            make_mixture_classification("t", 10, 5, spec, normalization="l2")
+
+
+class TestDatasetWrappers:
+    @pytest.mark.parametrize(
+        "factory,d,classes",
+        [
+            (synthetic_mnist, 784, 10),
+            (synthetic_timit, 440, 144),
+            (synthetic_susy, 18, 2),
+            (synthetic_imagenet, 500, 100),
+        ],
+    )
+    def test_signatures_match_paper(self, factory, d, classes):
+        ds = factory(n_train=300, n_test=60, seed=0)
+        assert ds.d == d
+        assert ds.n_classes == classes
+        assert ds.y_train.shape == (300, classes)
+
+    def test_registry_lookup(self):
+        ds = get_dataset("susy", n_train=100, n_test=20, seed=0)
+        assert ds.n_classes == 2
+
+    def test_registry_unknown(self):
+        with pytest.raises(KeyError, match="unknown dataset"):
+            get_dataset("made-up")
+
+    def test_subsampled(self):
+        ds = synthetic_susy(n_train=200, n_test=40, seed=0)
+        sub = ds.subsampled(50, seed=1)
+        assert sub.n_train == 50
+        assert sub.n_test == 40  # test set untouched
+        assert sub.d == ds.d
+
+    def test_subsampled_bounds(self):
+        ds = synthetic_susy(n_train=100, n_test=20, seed=0)
+        with pytest.raises(ConfigurationError):
+            ds.subsampled(101)
+
+
+class TestRKHSRegression:
+    def test_shapes(self):
+        k = GaussianKernel(bandwidth=2.0)
+        xt, yt, xe, ye = make_rkhs_regression(k, 50, 20, 4, seed=0)
+        assert xt.shape == (50, 4) and yt.shape == (50, 1)
+        assert xe.shape == (20, 4) and ye.shape == (20, 1)
+
+    def test_target_is_interpolable(self):
+        """The noiseless target lies in the RKHS span, so the minimum-norm
+        interpolant generalizes near-perfectly."""
+        from repro.baselines import solve_interpolation
+
+        k = GaussianKernel(bandwidth=2.0)
+        xt, yt, xe, ye = make_rkhs_regression(k, 120, 40, 3, noise=0.0, seed=1)
+        model = solve_interpolation(k, xt, yt)
+        pred = model.predict(xe)
+        assert np.mean((pred - ye) ** 2) < 1e-3 * np.mean(ye**2) + 1e-9
+
+    def test_noise_applied_to_train_only(self):
+        k = GaussianKernel(bandwidth=1.0)
+        xt, yt, xe, ye = make_rkhs_regression(k, 30, 10, 2, noise=0.5, seed=2)
+        xt2, yt2, xe2, ye2 = make_rkhs_regression(
+            k, 30, 10, 2, noise=0.0, seed=2
+        )
+        np.testing.assert_array_equal(ye, ye2)
+        assert not np.allclose(yt, yt2)

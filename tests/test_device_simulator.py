@@ -1,0 +1,130 @@
+"""Tests for the simulated device clock and memory tracker."""
+
+import pytest
+
+from repro.device import MemoryTracker, SimulatedDevice, titan_xp
+from repro.device.presets import (
+    cpu_sequential,
+    ideal_parallel,
+    ideal_sequential,
+    tesla_k40,
+    titan_x,
+)
+from repro.exceptions import ConfigurationError, DeviceMemoryError
+
+
+class TestMemoryTracker:
+    def test_allocate_and_free(self):
+        t = MemoryTracker(capacity=100)
+        t.allocate("a", 60)
+        assert t.used == 60
+        assert t.free == 40
+        t.free_allocation("a")
+        assert t.used == 0
+
+    def test_overflow_raises(self):
+        t = MemoryTracker(capacity=100)
+        t.allocate("a", 80)
+        with pytest.raises(DeviceMemoryError):
+            t.allocate("b", 30)
+
+    def test_duplicate_name_rejected(self):
+        t = MemoryTracker(capacity=100)
+        t.allocate("a", 10)
+        with pytest.raises(ConfigurationError, match="already exists"):
+            t.allocate("a", 10)
+
+    def test_free_unknown_rejected(self):
+        t = MemoryTracker(capacity=10)
+        with pytest.raises(ConfigurationError, match="no allocation"):
+            t.free_allocation("ghost")
+
+    def test_negative_size_rejected(self):
+        t = MemoryTracker(capacity=10)
+        with pytest.raises(ConfigurationError):
+            t.allocate("a", -1)
+
+    def test_peak_tracks_high_water_mark(self):
+        t = MemoryTracker(capacity=100)
+        t.allocate("a", 70)
+        t.free_allocation("a")
+        t.allocate("b", 20)
+        assert t.peak == 70
+
+    def test_reset(self):
+        t = MemoryTracker(capacity=100)
+        t.allocate("a", 50)
+        t.reset()
+        assert t.used == 0 and t.peak == 0
+
+
+class TestSimulatedDevice:
+    def test_clock_accumulates(self):
+        dev = titan_xp()
+        t1 = dev.charge_iteration(1e9)
+        t2 = dev.charge_iteration(1e9)
+        assert dev.elapsed == pytest.approx(t1 + t2)
+        assert dev.iterations == 2
+
+    def test_charge_ops_splits_evenly(self):
+        dev = titan_xp()
+        dt = dev.charge_ops(1e10, n_iterations=10)
+        assert dt == pytest.approx(10 * dev.iteration_time(1e9))
+
+    def test_charge_ops_rejects_zero_iterations(self):
+        with pytest.raises(ConfigurationError):
+            titan_xp().charge_ops(1e6, n_iterations=0)
+
+    def test_reset(self):
+        dev = titan_xp()
+        dev.charge_iteration(1e8)
+        dev.memory.allocate("x", 10)
+        dev.reset()
+        assert dev.elapsed == 0 and dev.iterations == 0
+        assert dev.memory.used == 0
+
+    def test_iteration_time_is_pure(self):
+        dev = titan_xp()
+        dev.iteration_time(1e9)
+        assert dev.elapsed == 0
+
+
+class TestPresets:
+    @pytest.mark.parametrize(
+        "factory", [titan_xp, titan_x, tesla_k40, cpu_sequential]
+    )
+    def test_finite_presets_construct(self, factory):
+        dev = factory()
+        assert dev.spec.throughput > 0
+        assert dev.iteration_time(1e6) > 0
+
+    def test_relative_speeds(self):
+        """Titan Xp > Titan X > K40 in throughput, as in the real cards."""
+        assert (
+            titan_xp().spec.throughput
+            > titan_x().spec.throughput
+            > tesla_k40().spec.throughput
+        )
+
+    def test_ideal_parallel_constant_time(self):
+        dev = ideal_parallel()
+        assert dev.iteration_time(1) == dev.iteration_time(1e18)
+
+    def test_ideal_sequential_linear(self):
+        dev = ideal_sequential()
+        assert dev.iteration_time(2e13) == pytest.approx(
+            2 * dev.iteration_time(1e13)
+        )
+
+    def test_titan_xp_memory_is_12gb_in_scalars(self):
+        assert titan_xp().spec.memory_scalars == pytest.approx(
+            12 * 1024**3 / 4
+        )
+
+    def test_titan_xp_flat_region_matches_anchor(self):
+        """The calibration anchor: on TIMIT-1e5 (d=440, l=144) the knee of
+        the per-iteration curve sits near m ≈ 6500 (paper Section 5.2)."""
+        spec = titan_xp().spec
+        n, d, l = 100_000, 440, 144
+        m_knee = spec.parallel_capacity / ((d + l) * n)
+        assert 5000 < m_knee < 8000

@@ -1,0 +1,141 @@
+"""Tests for the device timing model (paper Section 2 abstraction)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.device import DeviceSpec
+from repro.exceptions import ConfigurationError
+
+
+def make_spec(**overrides):
+    base = dict(
+        name="test-gpu",
+        parallel_capacity=1e6,
+        throughput=1e9,
+        memory_scalars=1e8,
+        launch_overhead_s=1e-4,
+    )
+    base.update(overrides)
+    return DeviceSpec(**base)
+
+
+class TestValidation:
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_spec(parallel_capacity=-1)
+
+    @pytest.mark.parametrize("bad", [0.0, -1.0, math.inf])
+    def test_bad_throughput_rejected(self, bad):
+        with pytest.raises(ConfigurationError):
+            make_spec(throughput=bad)
+
+    def test_nonpositive_memory_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_spec(memory_scalars=0)
+
+    def test_infinite_capacity_needs_explicit_floor(self):
+        with pytest.raises(ConfigurationError, match="latency_floor"):
+            make_spec(parallel_capacity=math.inf)
+
+    def test_default_latency_floor(self):
+        spec = make_spec()
+        assert spec.latency_floor_s == pytest.approx(1e6 / 1e9)
+
+    def test_negative_ops_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_spec().iteration_time(-1)
+
+
+class TestTimingCurve:
+    """The flat-then-linear curve of Figure 3a."""
+
+    def test_constant_below_capacity(self):
+        spec = make_spec()
+        t_small = spec.iteration_time(10)
+        t_half = spec.iteration_time(5e5)
+        t_full = spec.iteration_time(1e6)
+        assert t_small == t_half == t_full
+
+    def test_linear_above_capacity(self):
+        spec = make_spec()
+        t1 = spec.iteration_time(2e6)
+        t2 = spec.iteration_time(4e6)
+        # Marginal ops are charged at 1/throughput.
+        assert t2 - t1 == pytest.approx(2e6 / 1e9)
+
+    def test_continuous_at_knee(self):
+        spec = make_spec()
+        below = spec.iteration_time(1e6 - 1)
+        above = spec.iteration_time(1e6 + 1)
+        assert above - below < 1e-8
+
+    def test_launch_overhead_always_charged(self):
+        spec = make_spec(launch_overhead_s=0.5)
+        assert spec.iteration_time(0) >= 0.5
+
+    def test_ideal_parallel_flat_everywhere(self):
+        spec = DeviceSpec(
+            name="ideal-parallel",
+            parallel_capacity=math.inf,
+            throughput=1e9,
+            memory_scalars=math.inf,
+            latency_floor_s=0.01,
+        )
+        assert spec.iteration_time(1) == spec.iteration_time(1e15) == 0.01
+
+    def test_ideal_sequential_proportional(self):
+        spec = DeviceSpec(
+            name="ideal-seq",
+            parallel_capacity=0.0,
+            throughput=1e9,
+            memory_scalars=math.inf,
+            latency_floor_s=0.0,
+        )
+        assert spec.iteration_time(2e9) == pytest.approx(2.0)
+        assert spec.iteration_time(4e9) == pytest.approx(
+            2 * spec.iteration_time(2e9)
+        )
+
+
+class TestEpochTime:
+    def test_scales_with_iterations(self):
+        spec = make_spec()
+        assert spec.epoch_time(100, 10) == pytest.approx(
+            10 * spec.iteration_time(100)
+        )
+
+    def test_amdahl_fewer_iterations_cheaper(self):
+        """Same total work split into fewer (bigger) iterations must be
+        at most as expensive — launch overhead amortizes (Figure 3b)."""
+        spec = make_spec(launch_overhead_s=1e-3)
+        total_ops = 1e8
+        t_many = spec.epoch_time(total_ops / 1000, 1000)
+        t_few = spec.epoch_time(total_ops / 10, 10)
+        assert t_few < t_many
+
+    def test_negative_iterations_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_spec().epoch_time(10, -1)
+
+
+class TestVariants:
+    def test_with_memory(self):
+        spec = make_spec().with_memory(42.0)
+        assert spec.memory_scalars == 42.0
+        assert spec.parallel_capacity == 1e6
+
+    def test_scaled(self):
+        spec = make_spec().scaled(2.0)
+        assert spec.parallel_capacity == 2e6
+        assert spec.throughput == 2e9
+
+    def test_scaled_rejects_nonpositive(self):
+        with pytest.raises(ConfigurationError):
+            make_spec().scaled(0.0)
+
+    def test_describe_keys(self):
+        desc = make_spec().describe()
+        assert desc["name"] == "test-gpu"
+        assert "C_G (ops)" in desc and "S_G (scalars)" in desc

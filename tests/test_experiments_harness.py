@@ -1,0 +1,94 @@
+"""Tests for the experiment harness and result rendering."""
+
+import pytest
+
+from repro.experiments.harness import ExperimentResult, PaperClaim, format_table
+
+
+class TestFormatTable:
+    def test_columns_union_in_order(self):
+        rows = [{"a": 1, "b": 2}, {"b": 3, "c": 4}]
+        text = format_table(rows)
+        header = text.splitlines()[0]
+        assert header.index("a") < header.index("b") < header.index("c")
+
+    def test_missing_cells_empty(self):
+        text = format_table([{"a": 1}, {"b": 2}])
+        assert "| 1" in text
+
+    def test_empty(self):
+        assert format_table([]) == "(no rows)"
+
+    def test_float_formatting(self):
+        text = format_table([{"x": 0.123456, "y": 1234567.0, "z": 0.0001}])
+        assert "0.123" in text
+        assert "1.23e+06" in text
+        assert "0.0001" in text
+
+    def test_markdown_structure(self):
+        lines = format_table([{"col": "v"}]).splitlines()
+        assert lines[0].startswith("|") and lines[0].endswith("|")
+        assert set(lines[1]) <= {"|", "-"}
+
+
+class TestPaperClaim:
+    def test_render_status(self):
+        good = PaperClaim("x/y", "desc", "p", "m", holds=True)
+        bad = PaperClaim("x/y", "desc", "p", "m", holds=False)
+        info = PaperClaim("x/y", "desc", "p", "m", holds=None)
+        assert "REPRODUCED" in good.render()
+        assert "NOT REPRODUCED" in bad.render()
+        assert "INFO" in info.render()
+
+
+class TestExperimentResult:
+    def test_add_row_and_series(self):
+        r = ExperimentResult(name="t", title="T")
+        r.add_row(a=1)
+        r.add_series_point("s1", x=1, y=2)
+        r.add_series_point("s1", x=2, y=3)
+        assert len(r.rows) == 1
+        assert len(r.series["s1"]) == 2
+
+    def test_all_hold(self):
+        r = ExperimentResult(name="t", title="T")
+        r.add_claim(PaperClaim("a", "d", "p", "m", holds=True))
+        r.add_claim(PaperClaim("b", "d", "p", "m", holds=None))
+        assert r.all_hold
+        r.add_claim(PaperClaim("c", "d", "p", "m", holds=False))
+        assert not r.all_hold
+
+    def test_render_contains_everything(self):
+        r = ExperimentResult(name="t", title="Title", notes="a note")
+        r.add_row(value=42)
+        r.add_claim(PaperClaim("id1", "d", "p", "m", holds=True))
+        text = r.render()
+        assert "Title" in text and "42" in text
+        assert "id1" in text and "a note" in text
+
+
+class TestCLI:
+    def test_unknown_experiment_errors(self, capsys):
+        from repro.experiments.__main__ import main
+
+        with pytest.raises(SystemExit):
+            main(["not-an-experiment"])
+
+    def test_registry_complete(self):
+        """Every table and figure of the paper has a registered runner."""
+        from repro.experiments import EXPERIMENTS
+
+        for required in (
+            "figure1", "figure2", "figure3a", "figure3b",
+            "table1", "table2", "table3", "table4",
+        ):
+            assert required in EXPERIMENTS
+
+    def test_cli_runs_and_writes(self, tmp_path, capsys):
+        from repro.experiments.__main__ import main
+
+        code = main(["figure3a", "--out", str(tmp_path)])
+        out = capsys.readouterr().out
+        assert "figure3a" in out
+        assert (tmp_path / "figure3a.txt").exists()
+        assert code == 0

@@ -1,0 +1,65 @@
+"""Tests for the combined-report builder."""
+
+import pathlib
+
+from repro.experiments.harness import ExperimentResult, PaperClaim
+from repro.experiments.report import build_report, write_report
+
+
+def _fake_runner(name: str, holds: bool):
+    def run() -> ExperimentResult:
+        r = ExperimentResult(name=name, title=f"Fake {name}")
+        r.add_row(metric=1.0)
+        r.add_claim(
+            PaperClaim(f"{name}/claim", "desc", "paper", "measured", holds)
+        )
+        return r
+
+    return run
+
+
+class TestBuildReport:
+    def test_scoreboard_counts(self):
+        text = build_report(
+            {
+                "good": _fake_runner("good", True),
+                "bad": _fake_runner("bad", False),
+            }
+        )
+        assert "| good | 1 | 1 | 0 |" in text
+        assert "| bad | 1 | 0 | 1 |" in text
+        assert "| **total** | **2** | **1** | **1** |" in text
+
+    def test_contains_renders(self):
+        text = build_report({"one": _fake_runner("one", True)})
+        assert "Fake one" in text
+        assert "REPRODUCED" in text
+
+    def test_subset_selection(self):
+        text = build_report(
+            {
+                "a": _fake_runner("a", True),
+                "b": _fake_runner("b", True),
+            },
+            names=["b"],
+        )
+        assert "Fake b" in text and "Fake a" not in text
+
+    def test_write_report(self, tmp_path, monkeypatch):
+        import repro.experiments.report as report_mod
+
+        monkeypatch.setattr(
+            "repro.experiments.EXPERIMENTS",
+            {"only": _fake_runner("only", True)},
+        )
+        out = write_report(tmp_path / "sub" / "SUMMARY.md")
+        assert out.exists()
+        assert "Fake only" in out.read_text()
+
+    def test_real_cheap_experiment(self):
+        """The report builder runs against the real registry too (the
+        cheapest entry)."""
+        from repro.experiments import EXPERIMENTS
+
+        text = build_report(EXPERIMENTS, names=["figure3a"])
+        assert "figure3a" in text

@@ -1,0 +1,138 @@
+"""Integration tests: every experiment runs at tiny scale and its paper
+claims hold.
+
+The benchmark suite runs the experiments at a larger scale; these tests
+guard the harnesses themselves (configs, claims logic, structure) within
+the unit-test budget.
+"""
+
+import pytest
+
+from repro.experiments import (
+    AblationConfig,
+    ClusterScalingConfig,
+    Figure1Config,
+    Figure2Config,
+    Figure3Config,
+    Table1Config,
+    Table2Config,
+    Table3Config,
+    Table4Config,
+    run_acceleration_check,
+    run_cluster_scaling,
+    run_figure1,
+    run_figure2,
+    run_figure3a,
+    run_figure3b,
+    run_kernel_choice_ablation,
+    run_pca_ablation,
+    run_smoothness_ablation,
+    run_table1,
+    run_table2,
+    run_table3,
+    run_table4,
+)
+
+
+def assert_reproduced(result):
+    failed = [c.claim_id for c in result.claims if c.holds is False]
+    assert not failed, f"claims failed: {failed}"
+
+
+class TestFigureExperiments:
+    def test_figure1(self):
+        result = run_figure1(Figure1Config(n_train=600, seed=0))
+        assert_reproduced(result)
+        assert len(result.rows) > 5
+
+    def test_figure2_tiny(self):
+        cfg = Figure2Config(
+            dataset="mnist", n_train=300, n_test=80, mse_target=5e-3,
+            batch_sizes=(1, 8, 64, 300), max_iterations=20_000, seed=0,
+        )
+        result = run_figure2(cfg)
+        assert_reproduced(result)
+        assert set(result.series) == {"sgd", "eigenpro1", "eigenpro2"}
+        for pts in result.series.values():
+            assert len(pts) == 4
+
+    def test_figure3a(self):
+        result = run_figure3a(Figure3Config())
+        assert_reproduced(result)
+        assert len(result.rows) == len(Figure3Config().batch_sizes)
+
+    def test_figure3b(self):
+        result = run_figure3b(Figure3Config())
+        assert_reproduced(result)
+
+    def test_cluster_scaling(self):
+        result = run_cluster_scaling(
+            ClusterScalingConfig(n_train=400, device_counts=(1, 2, 4, 8))
+        )
+        assert_reproduced(result)
+
+
+class TestTableExperiments:
+    def test_table1(self):
+        result = run_table1(Table1Config(n=400, m=80, s=150, q=40))
+        assert_reproduced(result)
+
+    def test_table2_tiny(self):
+        cfg = Table2Config(
+            datasets=("susy",), n_train=500, n_test=150,
+            ep2_epochs=4, ep1_epochs=4, falkon_centers=200, seed=0,
+        )
+        result = run_table2(cfg)
+        # Tiny scale: the speed ordering must hold; accuracy can wobble
+        # within the claim's tolerance, which the claim itself encodes.
+        speed_claims = [
+            c for c in result.claims if c.claim_id.endswith("speedup")
+        ]
+        assert all(c.holds for c in speed_claims)
+        assert len(result.rows) == 3
+
+    def test_table3_tiny(self):
+        cfg = Table3Config(
+            datasets=("mnist",), n_train=300, n_test=120,
+            smo_max_iter=6000, ep2_max_epochs=15, seed=0,
+        )
+        result = run_table3(cfg)
+        assert_reproduced(result)
+        row = result.rows[0]
+        assert row["eigenpro2_s"] < row["thundersvm_s"] < row["libsvm_s"]
+
+    def test_table4_tiny(self):
+        result = run_table4(
+            Table4Config(datasets=("mnist", "susy"), n_train=800, seed=0)
+        )
+        assert_reproduced(result)
+        assert len(result.rows) == 2
+
+
+class TestAblations:
+    def test_kernel_choice(self):
+        result = run_kernel_choice_ablation(
+            AblationConfig(
+                n_train=400, n_test=120, bandwidths=(5.0, 10.0), epochs=3
+            )
+        )
+        assert_reproduced(result)
+
+    def test_pca(self):
+        result = run_pca_ablation(
+            AblationConfig(n_train=400, n_test=120, pca_dims=(100,), epochs=3)
+        )
+        assert_reproduced(result)
+
+    def test_acceleration(self):
+        result = run_acceleration_check(
+            AblationConfig(n_train=500, n_test=100, seed=0)
+        )
+        assert_reproduced(result)
+
+    def test_smoothness(self):
+        result = run_smoothness_ablation(
+            AblationConfig(n_train=400, n_test=120, epochs=3, seed=0)
+        )
+        assert_reproduced(result)
+        assert len(result.rows) == 4

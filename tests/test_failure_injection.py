@@ -1,0 +1,157 @@
+"""Failure-injection tests: the system must fail loudly and precisely.
+
+A production library's error paths are part of its contract: device
+out-of-memory must point at the offending allocation, bad inputs must be
+rejected before they poison the optimizer state, and solver caps must
+leave honest diagnostics rather than silent wrong answers.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.baselines import Falkon, KernelSGD, SMOSVM
+from repro.core.eigenpro2 import EigenPro2
+from repro.device import DeviceSpec, SimulatedDevice
+from repro.exceptions import ConfigurationError, DeviceMemoryError
+from repro.kernels import GaussianKernel
+
+
+def tiny_memory_device(scalars: float) -> SimulatedDevice:
+    return SimulatedDevice(
+        DeviceSpec(
+            name="tiny-mem",
+            parallel_capacity=1e12,
+            throughput=1e12,
+            memory_scalars=scalars,
+        )
+    )
+
+
+class TestDeviceOOM:
+    def test_oversized_batch_raises_oom(self, small_dataset):
+        """A batch the device cannot hold must raise DeviceMemoryError —
+        the simulated CUDA OOM."""
+        ds = small_dataset
+        n, d, l = ds.n_train, ds.d, ds.l
+        # Memory fits the data and weights, but not the kernel block for
+        # a batch of 200.
+        dev = tiny_memory_device(n * (d + l) + n * 100)
+        t = KernelSGD(
+            GaussianKernel(bandwidth=2.0),
+            device=dev, batch_size=200, step_size=1.0, seed=0,
+        )
+        with pytest.raises(DeviceMemoryError, match="kernel_block"):
+            t.fit(ds.x_train, ds.y_train, epochs=1)
+
+    def test_oom_leaves_no_leaked_allocations(self, small_dataset):
+        ds = small_dataset
+        n, d, l = ds.n_train, ds.d, ds.l
+        dev = tiny_memory_device(n * (d + l) + n * 100)
+        t = KernelSGD(
+            GaussianKernel(bandwidth=2.0),
+            device=dev, batch_size=200, step_size=1.0, seed=0,
+        )
+        with pytest.raises(DeviceMemoryError):
+            t.fit(ds.x_train, ds.y_train, epochs=1)
+        assert dev.memory.used == 0  # everything rolled back
+
+    def test_auto_selection_respects_memory(self, small_dataset):
+        """EigenPro 2.0's Step 1 must *choose* a batch that fits — a
+        memory-constrained device gets a smaller batch than n, trains
+        without OOM, and never exceeds capacity."""
+        ds = small_dataset
+        n, d, l = ds.n_train, ds.d, ds.l
+        # Budget ≈ training state + preconditioner (s*q with s=n, q<=239)
+        # + room for a batch of ~130.
+        dev = tiny_memory_device(
+            float(n * (d + l + 120) + n * 239 + 3000)
+        )
+        model = EigenPro2(GaussianKernel(bandwidth=2.0), device=dev, seed=0)
+        model.fit(ds.x_train, ds.y_train, epochs=1)
+        assert model.batch_size_ < n  # memory bound the choice
+        assert dev.memory.peak <= dev.memory.capacity
+
+
+class TestBadInputs:
+    @pytest.mark.parametrize("bad", [np.nan, np.inf, -np.inf])
+    def test_nonfinite_x_rejected(self, small_xy, bad):
+        x, y = small_xy
+        x = x.copy()
+        x[3, 2] = bad
+        t = KernelSGD(GaussianKernel(bandwidth=2.0), seed=0)
+        with pytest.raises(ConfigurationError, match="non-finite"):
+            t.fit(x, y)
+
+    def test_nonfinite_y_rejected(self, small_xy):
+        x, y = small_xy
+        y = y.copy()
+        y[5] = np.nan
+        t = KernelSGD(GaussianKernel(bandwidth=2.0), seed=0)
+        with pytest.raises(ConfigurationError, match="non-finite"):
+            t.fit(x, y)
+
+    def test_empty_dataset_rejected(self):
+        t = KernelSGD(GaussianKernel(bandwidth=2.0), seed=0)
+        with pytest.raises(Exception):
+            t.fit(np.zeros((0, 4)), np.zeros((0, 1)))
+
+
+class TestSolverCapsAreHonest:
+    def test_smo_reports_unconverged(self, small_dataset):
+        ds = small_dataset
+        svm = SMOSVM(GaussianKernel(bandwidth=2.0), max_iter=3)
+        svm.fit(ds.x_train, ds.labels_train)
+        assert svm.converged_ is not None
+        assert not all(svm.converged_)  # 3 iterations cannot finish
+
+    def test_falkon_iteration_cap_recorded(self, small_xy):
+        x, y = small_xy
+        f = Falkon(
+            GaussianKernel(bandwidth=2.0), n_centers=40,
+            reg_lambda=1e-12, max_iters=2, tol=1e-14, seed=0,
+        )
+        f.fit(x, y)
+        assert f.n_iters_ == 2  # hit the cap, visibly
+
+    def test_trainer_divergence_is_observable(self, small_xy):
+        """A absurd step size diverges; the history must show it rather
+        than hide it (train MSE grows, stays finite reporting)."""
+        x, y = small_xy
+        t = KernelSGD(
+            GaussianKernel(bandwidth=2.0),
+            batch_size=8, step_size=1e4, seed=0,
+        )
+        t.fit(x, y, epochs=3)
+        series = t.history_.series("train_mse")
+        assert series[-1] > series[0]
+
+
+class TestDegenerateGeometry:
+    def test_duplicate_points_train_fine(self):
+        """Exact duplicates make K singular; iterative training must not
+        care (no inversion involved)."""
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal((40, 3))
+        x = np.vstack([x, x[:10]])
+        y = np.sin(x[:, :1])
+        model = EigenPro2(GaussianKernel(bandwidth=1.5), s=50, seed=0)
+        model.fit(x, y, epochs=20)
+        assert np.isfinite(model.mse(x, y))
+
+    def test_single_feature(self):
+        rng = np.random.default_rng(1)
+        x = rng.standard_normal((60, 1))
+        y = np.cos(x)
+        model = EigenPro2(GaussianKernel(bandwidth=1.0), seed=0)
+        model.fit(x, y, epochs=30)
+        assert model.mse(x, y) < 0.1
+
+    def test_constant_labels(self):
+        rng = np.random.default_rng(2)
+        x = rng.standard_normal((50, 4))
+        y = np.ones((50, 1))
+        model = EigenPro2(GaussianKernel(bandwidth=2.0), seed=0)
+        model.fit(x, y, epochs=30)
+        assert model.mse(x, y) < 0.05

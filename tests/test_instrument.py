@@ -1,0 +1,76 @@
+"""Tests for the operation-count instrumentation layer."""
+
+import numpy as np
+
+from repro.instrument import OpMeter, iter_categories, meter_scope, record_ops
+from repro.kernels import GaussianKernel
+
+
+class TestOpMeter:
+    def test_record_and_total(self):
+        m = OpMeter()
+        m.record("a", 10)
+        m.record("a", 5)
+        m.record("b", 3)
+        assert m.total() == 18
+        assert m.total("a") == 15
+        assert m.counts["a"].calls == 2
+
+    def test_total_with_missing_category(self):
+        m = OpMeter()
+        m.record("x", 4)
+        assert m.total("x", "missing") == 4
+
+    def test_reset(self):
+        m = OpMeter()
+        m.record("a", 1)
+        m.reset()
+        assert m.total() == 0
+
+    def test_as_dict(self):
+        m = OpMeter()
+        m.record("k", 7)
+        assert m.as_dict() == {"k": 7}
+
+    def test_iter_categories_sorted(self):
+        m = OpMeter()
+        m.record("small", 1)
+        m.record("big", 100)
+        names = [name for name, _ in iter_categories(m)]
+        assert names == ["big", "small"]
+
+
+class TestMeterScope:
+    def test_records_only_inside_scope(self):
+        record_ops("outside", 99)  # no active meter: no-op
+        with meter_scope() as meter:
+            record_ops("inside", 5)
+        assert meter.as_dict() == {"inside": 5}
+
+    def test_nested_meters_both_record(self):
+        with meter_scope() as outer:
+            with meter_scope() as inner:
+                record_ops("x", 3)
+            record_ops("y", 2)
+        assert inner.as_dict() == {"x": 3}
+        assert outer.total() == 5
+
+    def test_kernel_evaluation_records_mnd(self, rng):
+        k = GaussianKernel(bandwidth=1.0)
+        x = rng.standard_normal((7, 5))
+        z = rng.standard_normal((4, 5))
+        with meter_scope() as meter:
+            k(x, z)
+        assert meter.total("kernel_eval") == 7 * 4 * 5
+
+    def test_exception_still_pops_meter(self):
+        try:
+            with meter_scope() as meter:
+                raise ValueError("boom")
+        except ValueError:
+            pass
+        # A fresh scope must not double count.
+        with meter_scope() as fresh:
+            record_ops("z", 1)
+        assert meter.total() == 0
+        assert fresh.total() == 1

@@ -1,0 +1,118 @@
+"""Integration tests for the linear-scaling phenomenology (Figures 1/2).
+
+These verify, at test scale, the qualitative curves the paper's
+evaluation section plots:
+
+- plain SGD: epochs-to-converge flat up to m*(k), then growing ∝ m
+  (no benefit from batches beyond the tiny critical size);
+- EigenPro 2.0: scaling extends to much larger batches;
+- device time: constant per iteration below capacity (so bigger batches
+  ARE free on the device until m_max).
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import KernelSGD
+from repro.core.eigenpro2 import EigenPro2
+from repro.device import titan_xp
+from repro.kernels import GaussianKernel
+
+
+@pytest.fixture(scope="module")
+def problem():
+    rng = np.random.default_rng(41)
+    x = rng.standard_normal((300, 8))
+    # Smooth multi-output target.
+    y = np.stack(
+        [np.sin(x[:, 0]), np.cos(x[:, 1]) * x[:, 2]], axis=1
+    )
+    return x, y
+
+
+def iterations_to_target(trainer_cls, kernel, x, y, m, target, **kw):
+    t = trainer_cls(kernel, batch_size=m, seed=0, **kw)
+    t.fit(x, y, epochs=8000, stop_train_mse=target, max_iterations=200_000)
+    assert t.history_.final.train_mse < target, f"m={m} failed to converge"
+    return t.history_.final.iterations
+
+
+class TestSGDSaturation:
+    def test_epochs_flat_then_linear(self, problem):
+        """Iterations-to-target times m (i.e. per-sample work) is roughly
+        constant below m* and grows beyond it; equivalently iterations
+        stop improving after m*."""
+        x, y = problem
+        kernel = GaussianKernel(bandwidth=2.5)
+        target = 1e-4
+        sgd_m = {}
+        for m in (1, 2, 4, 8, 32, 128):
+            sgd_m[m] = iterations_to_target(
+                KernelSGD, kernel, x, y, m, target
+            )
+        # Linear regime: going 1 -> 4 cuts iterations by ~>2x.
+        assert sgd_m[4] < sgd_m[1] / 2
+        # Saturation: going 32 -> 128 (both >> m* ≈ 5-10) buys < 2x.
+        assert sgd_m[128] > sgd_m[32] / 2
+
+    def test_eigenpro2_extends_scaling(self, problem):
+        """Where SGD has saturated (m = 32 vs 256), EigenPro 2.0 keeps
+        improving markedly."""
+        x, y = problem
+        kernel = GaussianKernel(bandwidth=2.5)
+        target = 1e-4
+        ep2_small = iterations_to_target(
+            EigenPro2, kernel, x, y, 32, target, q=60
+        )
+        ep2_large = iterations_to_target(
+            EigenPro2, kernel, x, y, 256, target, q=60
+        )
+        assert ep2_large < ep2_small / 2
+
+    def test_eigenpro2_beats_sgd_at_large_batch(self, problem):
+        """At a batch size far beyond m*(k), the adaptive kernel converges
+        in far fewer iterations (Figure 1's right-hand side)."""
+        x, y = problem
+        kernel = GaussianKernel(bandwidth=2.5)
+        target = 1e-4
+        m = 128
+        it_sgd = iterations_to_target(KernelSGD, kernel, x, y, m, target)
+        it_ep2 = iterations_to_target(
+            EigenPro2, kernel, x, y, m, target, q=60
+        )
+        assert it_ep2 < it_sgd / 3
+
+
+class TestDeviceTimeCurves:
+    def test_iteration_time_flat_below_capacity(self):
+        """Figure 3a at paper scale (simulated, so exact): per-iteration
+        time is flat until (d+l)*m*n hits C_G, then linear."""
+        dev = titan_xp()
+        n, d, l = 100_000, 440, 144
+        times = {
+            m: dev.iteration_time((d + l) * m * n)
+            for m in (1, 64, 1024, 6500, 13000, 52000)
+        }
+        assert times[1] == times[64] == times[1024]
+        assert times[13000] > times[6500]
+        # Deep in the linear regime, time ∝ m.
+        assert times[52000] == pytest.approx(4 * times[13000], rel=0.35)
+
+    def test_epoch_time_improves_until_mmax(self):
+        """Figure 3b: epoch time falls as m grows toward m_max because
+        fewer launches are needed; beyond the knee it flattens."""
+        dev = titan_xp()
+        n, d, l = 100_000, 440, 144
+        ops = lambda m: (d + l) * m * n
+
+        def epoch_time(m):
+            iters = int(np.ceil(n / m))
+            return dev.spec.epoch_time(ops(m), iters)
+
+        t = {m: epoch_time(m) for m in (16, 128, 1024, 6500, 26000)}
+        assert t[128] < t[16]
+        assert t[1024] < t[128]
+        assert t[6500] < t[1024]
+        # Beyond the compute knee the total epoch time stops improving
+        # meaningfully (same total ops, throughput-bound).
+        assert t[26000] == pytest.approx(t[6500], rel=0.25)

@@ -1,0 +1,104 @@
+"""Tests for the Matérn kernel family."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.kernels import GaussianKernel, LaplacianKernel, MaternKernel, make_kernel
+
+
+class TestMaternValues:
+    def test_nu_half_equals_laplacian(self, rng):
+        x = rng.standard_normal((10, 4))
+        z = rng.standard_normal((8, 4))
+        m = MaternKernel(bandwidth=2.0, nu=0.5)
+        lap = LaplacianKernel(bandwidth=2.0)
+        np.testing.assert_allclose(m(x, z), lap(x, z), atol=1e-12)
+
+    def test_nu_three_halves_formula(self, rng):
+        sigma = 1.7
+        k = MaternKernel(bandwidth=sigma, nu=1.5)
+        x = rng.standard_normal((5, 3))
+        z = rng.standard_normal((4, 3))
+        r = np.array([[np.linalg.norm(a - b) for b in z] for a in x])
+        ar = np.sqrt(3) * r / sigma
+        np.testing.assert_allclose(k(x, z), (1 + ar) * np.exp(-ar), atol=1e-12)
+
+    def test_nu_five_halves_formula(self, rng):
+        sigma = 2.3
+        k = MaternKernel(bandwidth=sigma, nu=2.5)
+        x = rng.standard_normal((5, 3))
+        z = rng.standard_normal((4, 3))
+        r = np.array([[np.linalg.norm(a - b) for b in z] for a in x])
+        ar = np.sqrt(5) * r / sigma
+        expected = (1 + ar + ar**2 / 3) * np.exp(-ar)
+        np.testing.assert_allclose(k(x, z), expected, atol=1e-12)
+
+    def test_normalized(self, rng):
+        for nu in (0.5, 1.5, 2.5):
+            k = MaternKernel(bandwidth=1.0, nu=nu)
+            x = rng.standard_normal((6, 3))
+            np.testing.assert_allclose(k.diag(x), 1.0)
+
+    def test_psd(self, rng):
+        x = rng.standard_normal((30, 4))
+        for nu in (0.5, 1.5, 2.5):
+            mat = MaternKernel(bandwidth=1.5, nu=nu)(x, x)
+            eigs = np.linalg.eigvalsh((mat + mat.T) / 2)
+            assert eigs.min() > -1e-9
+
+    def test_unsupported_nu_rejected(self):
+        with pytest.raises(ConfigurationError, match="nu"):
+            MaternKernel(bandwidth=1.0, nu=2.0)
+
+    def test_registry(self):
+        k = make_kernel("matern", bandwidth=3.0, nu=1.5)
+        assert isinstance(k, MaternKernel)
+        assert k.params() == {"bandwidth": 3.0, "nu": 1.5}
+
+
+class TestSmoothnessSpectrum:
+    def test_smoothness_orders_kernels_between_laplacian_and_gaussian(
+        self, rng
+    ):
+        """At moderate distance: Laplacian < Matérn-3/2 < Matérn-5/2 <
+        Gaussian in value close-in reverses far out — concretely, tail
+        heaviness decreases with nu."""
+        far = np.zeros((1, 4)), np.full((1, 4), 6.0)
+        vals = [
+            MaternKernel(bandwidth=1.0, nu=0.5)(*far)[0, 0],
+            MaternKernel(bandwidth=1.0, nu=1.5)(*far)[0, 0],
+            MaternKernel(bandwidth=1.0, nu=2.5)(*far)[0, 0],
+            GaussianKernel(bandwidth=1.0)(*far)[0, 0],
+        ]
+        # Heavier tails for rougher kernels at large distance... except the
+        # polynomial prefactors; compare against the Gaussian only:
+        assert vals[0] > vals[-1]
+        assert vals[1] > vals[-1]
+        assert vals[2] > vals[-1]
+
+    def test_m_star_decreases_with_smoothness(self, rng):
+        """The paper's Section-5.5 effect as a continuum: rougher kernels
+        (smaller nu) have slower eigendecay and larger m*."""
+        from repro.core.spectrum import critical_batch_size
+
+        x = rng.standard_normal((400, 8))
+        m_stars = [
+            critical_batch_size(
+                MaternKernel(bandwidth=3.0, nu=nu), x, sample_size=400,
+                seed=0,
+            )
+            for nu in (0.5, 1.5, 2.5)
+        ]
+        gauss = critical_batch_size(
+            GaussianKernel(bandwidth=3.0), x, sample_size=400, seed=0
+        )
+        assert m_stars[0] > m_stars[1] > m_stars[2] > gauss
+
+    def test_trains_with_eigenpro2(self, small_dataset):
+        from repro.core.eigenpro2 import EigenPro2
+
+        ds = small_dataset
+        model = EigenPro2(MaternKernel(bandwidth=3.0, nu=1.5), seed=0)
+        model.fit(ds.x_train, ds.y_train, epochs=4)
+        assert model.classification_error(ds.x_test, ds.labels_test) < 0.5

@@ -1,0 +1,81 @@
+"""Unit tests for blocked pairwise distance computation."""
+
+import numpy as np
+import pytest
+
+from repro.kernels.pairwise import euclidean_distances, sq_euclidean_distances
+
+
+def _brute_sq(x, z):
+    return np.array([[np.sum((a - b) ** 2) for b in z] for a in x])
+
+
+class TestSqEuclidean:
+    def test_matches_brute_force(self, rng):
+        x = rng.standard_normal((17, 6))
+        z = rng.standard_normal((9, 6))
+        np.testing.assert_allclose(
+            sq_euclidean_distances(x, z), _brute_sq(x, z), atol=1e-10
+        )
+
+    def test_symmetric_case(self, rng):
+        x = rng.standard_normal((13, 4))
+        d = sq_euclidean_distances(x, x)
+        np.testing.assert_allclose(d, d.T, atol=1e-10)
+
+    def test_zero_diagonal(self, rng):
+        x = rng.standard_normal((11, 5))
+        d = sq_euclidean_distances(x, x)
+        np.testing.assert_allclose(np.diag(d), 0.0, atol=1e-9)
+
+    def test_non_negative_even_for_identical_points(self):
+        # The GEMM expansion can go slightly negative; must be clipped.
+        x = np.full((50, 20), 1.234567)
+        d = sq_euclidean_distances(x, x)
+        assert (d >= 0).all()
+
+    def test_precomputed_norms_used(self, rng):
+        x = rng.standard_normal((8, 3))
+        z = rng.standard_normal((5, 3))
+        xn = np.einsum("ij,ij->i", x, x)
+        zn = np.einsum("ij,ij->i", z, z)
+        np.testing.assert_allclose(
+            sq_euclidean_distances(x, z, xn, zn),
+            sq_euclidean_distances(x, z),
+            atol=1e-12,
+        )
+
+    def test_single_point_rows(self, rng):
+        x = rng.standard_normal((1, 4))
+        z = rng.standard_normal((6, 4))
+        d = sq_euclidean_distances(x, z)
+        assert d.shape == (1, 6)
+
+    def test_translation_invariance(self, rng):
+        x = rng.standard_normal((7, 5))
+        z = rng.standard_normal((6, 5))
+        shift = rng.standard_normal(5)
+        np.testing.assert_allclose(
+            sq_euclidean_distances(x + shift, z + shift),
+            sq_euclidean_distances(x, z),
+            atol=1e-8,
+        )
+
+
+class TestEuclidean:
+    def test_is_sqrt_of_squared(self, rng):
+        x = rng.standard_normal((10, 4))
+        z = rng.standard_normal((12, 4))
+        np.testing.assert_allclose(
+            euclidean_distances(x, z) ** 2,
+            sq_euclidean_distances(x, z),
+            atol=1e-9,
+        )
+
+    def test_triangle_inequality(self, rng):
+        pts = rng.standard_normal((12, 3))
+        d = euclidean_distances(pts, pts)
+        for i in range(12):
+            for j in range(12):
+                for k in range(12):
+                    assert d[i, j] <= d[i, k] + d[k, j] + 1e-9

@@ -1,0 +1,95 @@
+"""Property-based tests (hypothesis) on kernel invariants.
+
+Positive-definiteness, symmetry and boundedness are the structural
+assumptions everything in the paper rests on; these run against random
+data and random bandwidths.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.kernels import CauchyKernel, GaussianKernel, LaplacianKernel
+
+KERNEL_CLASSES = [GaussianKernel, LaplacianKernel, CauchyKernel]
+
+points = hnp.arrays(
+    dtype=np.float64,
+    shape=st.tuples(st.integers(2, 12), st.integers(1, 6)),
+    elements=st.floats(-10, 10, allow_nan=False, allow_infinity=False),
+)
+bandwidths = st.floats(0.1, 25.0, allow_nan=False, allow_infinity=False)
+kernel_cls = st.sampled_from(KERNEL_CLASSES)
+
+
+@given(points, bandwidths, kernel_cls)
+@settings(max_examples=60, deadline=None)
+def test_kernel_matrix_symmetric(x, bw, cls):
+    k = cls(bandwidth=bw)(x, x)
+    np.testing.assert_allclose(k, k.T, atol=1e-10)
+
+
+@given(points, bandwidths, kernel_cls)
+@settings(max_examples=60, deadline=None)
+def test_kernel_matrix_psd(x, bw, cls):
+    k = cls(bandwidth=bw)(x, x)
+    eigs = np.linalg.eigvalsh((k + k.T) / 2)
+    assert eigs.min() >= -1e-8 * max(1.0, eigs.max())
+
+
+@given(points, bandwidths, kernel_cls)
+@settings(max_examples=60, deadline=None)
+def test_radial_kernel_bounded_by_one(x, bw, cls):
+    vals = cls(bandwidth=bw)(x, x)
+    assert vals.max() <= 1.0 + 1e-12
+    assert vals.min() >= 0.0
+
+
+@given(points, bandwidths, kernel_cls)
+@settings(max_examples=60, deadline=None)
+def test_normalized_diag_exactly_one(x, bw, cls):
+    kern = cls(bandwidth=bw)
+    np.testing.assert_allclose(kern.diag(x), 1.0)
+    assert kern.beta(x) == 1.0
+
+
+@given(
+    points,
+    st.floats(0.5, 25.0, allow_nan=False, allow_infinity=False),
+    kernel_cls,
+    st.integers(0, 2**32 - 1),
+)
+@settings(max_examples=40, deadline=None)
+def test_shift_invariance(x, bw, cls, seed):
+    # Tolerance accommodates the ||x||^2 + ||z||^2 - 2<x,z> cancellation,
+    # which the sharp exponential amplifies at small bandwidths.
+    shift = np.random.default_rng(seed).uniform(-5, 5, size=x.shape[1])
+    kern = cls(bandwidth=bw)
+    np.testing.assert_allclose(kern(x + shift, x + shift), kern(x, x), atol=2e-6)
+
+
+@given(points, bandwidths, kernel_cls)
+@settings(max_examples=40, deadline=None)
+def test_cauchy_schwarz(x, bw, cls):
+    """|k(x,z)|^2 <= k(x,x) k(z,z) for any PSD kernel."""
+    k = cls(bandwidth=bw)
+    mat = k(x, x)
+    d = k.diag(x)
+    assert (mat**2 <= np.outer(d, d) + 1e-9).all()
+
+
+@given(
+    points,
+    st.floats(0.5, 5.0),
+    st.floats(1.05, 4.0),
+    kernel_cls,
+)
+@settings(max_examples=40, deadline=None)
+def test_larger_bandwidth_larger_values(x, bw, factor, cls):
+    """Off-diagonal kernel values increase monotonically with bandwidth
+    for all radial families used here."""
+    small = cls(bandwidth=bw)(x, x)
+    large = cls(bandwidth=bw * factor)(x, x)
+    off = ~np.eye(x.shape[0], dtype=bool)
+    assert (large[off] >= small[off] - 1e-12).all()

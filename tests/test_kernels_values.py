@@ -1,0 +1,168 @@
+"""Value-level correctness of each kernel against direct formulas."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.kernels import (
+    CauchyKernel,
+    GaussianKernel,
+    LaplacianKernel,
+    PolynomialKernel,
+    make_kernel,
+)
+
+
+class TestGaussian:
+    def test_matches_formula(self, rng):
+        sigma = 1.7
+        k = GaussianKernel(bandwidth=sigma)
+        x = rng.standard_normal((6, 4))
+        z = rng.standard_normal((5, 4))
+        expected = np.array(
+            [
+                [np.exp(-np.sum((a - b) ** 2) / (2 * sigma**2)) for b in z]
+                for a in x
+            ]
+        )
+        np.testing.assert_allclose(k(x, z), expected, atol=1e-12)
+
+    def test_self_similarity_is_one(self, rng):
+        k = GaussianKernel(bandwidth=3.0)
+        x = rng.standard_normal((4, 3))
+        np.testing.assert_allclose(np.diag(k(x, x)), 1.0, atol=1e-12)
+
+    def test_diag_matches_matrix_diagonal(self, rng):
+        k = GaussianKernel(bandwidth=2.5)
+        x = rng.standard_normal((7, 3))
+        np.testing.assert_allclose(k.diag(x), np.diag(k(x, x)), atol=1e-12)
+
+    def test_values_in_unit_interval(self, rng):
+        k = GaussianKernel(bandwidth=0.8)
+        x = rng.standard_normal((10, 5))
+        vals = k(x, x)
+        assert (vals >= 0).all() and (vals <= 1 + 1e-12).all()
+
+    @pytest.mark.parametrize("bad", [0.0, -1.0, np.nan, np.inf])
+    def test_rejects_bad_bandwidth(self, bad):
+        with pytest.raises(ConfigurationError):
+            GaussianKernel(bandwidth=bad)
+
+
+class TestLaplacian:
+    def test_matches_formula(self, rng):
+        sigma = 2.2
+        k = LaplacianKernel(bandwidth=sigma)
+        x = rng.standard_normal((5, 4))
+        z = rng.standard_normal((6, 4))
+        expected = np.array(
+            [
+                [np.exp(-np.linalg.norm(a - b) / sigma) for b in z]
+                for a in x
+            ]
+        )
+        np.testing.assert_allclose(k(x, z), expected, atol=1e-12)
+
+    def test_heavier_tail_than_gaussian(self, rng):
+        """At large distance the Laplacian dominates the Gaussian — the
+        slower spectral decay behind its larger m* (paper Section 5.5)."""
+        sigma = 1.0
+        g = GaussianKernel(bandwidth=sigma)
+        lap = LaplacianKernel(bandwidth=sigma)
+        far = np.array([[0.0] * 4, [5.0] * 4])
+        assert lap(far[:1], far[1:])[0, 0] > g(far[:1], far[1:])[0, 0]
+
+    def test_is_normalized(self):
+        assert LaplacianKernel(bandwidth=1.0).is_normalized
+        assert LaplacianKernel(bandwidth=1.0).is_shift_invariant
+
+
+class TestCauchy:
+    def test_matches_formula(self, rng):
+        sigma = 1.3
+        k = CauchyKernel(bandwidth=sigma)
+        x = rng.standard_normal((4, 3))
+        z = rng.standard_normal((5, 3))
+        expected = np.array(
+            [
+                [1.0 / (1.0 + np.sum((a - b) ** 2) / sigma**2) for b in z]
+                for a in x
+            ]
+        )
+        np.testing.assert_allclose(k(x, z), expected, atol=1e-12)
+
+    def test_heaviest_tail(self):
+        far = np.zeros((1, 3)), np.full((1, 3), 6.0)
+        c = CauchyKernel(bandwidth=1.0)(*far)[0, 0]
+        lap = LaplacianKernel(bandwidth=1.0)(*far)[0, 0]
+        assert c > lap
+
+
+class TestPolynomial:
+    def test_matches_formula(self, rng):
+        k = PolynomialKernel(degree=3, gamma=0.5, coef0=2.0)
+        x = rng.standard_normal((4, 6))
+        z = rng.standard_normal((3, 6))
+        expected = (0.5 * (x @ z.T) + 2.0) ** 3
+        np.testing.assert_allclose(k(x, z), expected, atol=1e-10)
+
+    def test_diag(self, rng):
+        k = PolynomialKernel(degree=2, gamma=0.3, coef0=1.0)
+        x = rng.standard_normal((6, 4))
+        np.testing.assert_allclose(k.diag(x), np.diag(k(x, x)), atol=1e-10)
+
+    def test_not_normalized(self):
+        assert not PolynomialKernel().is_normalized
+        assert not PolynomialKernel().is_shift_invariant
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"degree": 0},
+            {"gamma": 0.0},
+            {"gamma": -1.0},
+            {"coef0": -0.5},
+        ],
+    )
+    def test_rejects_bad_params(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            PolynomialKernel(**kwargs)
+
+    def test_linear_special_case(self, rng):
+        k = PolynomialKernel(degree=1, gamma=1.0, coef0=0.0)
+        x = rng.standard_normal((5, 4))
+        np.testing.assert_allclose(k(x, x), x @ x.T, atol=1e-10)
+
+
+class TestRegistry:
+    def test_make_kernel_by_name(self):
+        k = make_kernel("gaussian", bandwidth=4.0)
+        assert isinstance(k, GaussianKernel)
+        assert k.bandwidth == 4.0
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError, match="unknown kernel"):
+            make_kernel("linear-ish")
+
+    def test_equality_and_hash(self):
+        a = GaussianKernel(bandwidth=2.0)
+        b = GaussianKernel(bandwidth=2.0)
+        c = GaussianKernel(bandwidth=3.0)
+        assert a == b and hash(a) == hash(b)
+        assert a != c
+        assert a != LaplacianKernel(bandwidth=2.0)
+
+
+class TestShapeHandling:
+    def test_1d_input_promoted(self, any_kernel, rng):
+        x = rng.standard_normal(5)
+        out = any_kernel(x, rng.standard_normal((3, 5)))
+        assert out.shape == (1, 3)
+
+    def test_dimension_mismatch_raises(self, any_kernel, rng):
+        with pytest.raises(ConfigurationError, match="feature dimensions"):
+            any_kernel(rng.standard_normal((3, 4)), rng.standard_normal((3, 5)))
+
+    def test_default_z_is_x(self, any_kernel, rng):
+        x = rng.standard_normal((6, 4))
+        np.testing.assert_allclose(any_kernel(x), any_kernel(x, x), atol=1e-12)

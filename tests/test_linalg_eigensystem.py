@@ -1,0 +1,88 @@
+"""Tests for top-q eigensystem solvers."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.kernels import GaussianKernel
+from repro.linalg import randomized_top_eigensystem, top_eigensystem
+
+
+def _psd_matrix(rng, n=40, decay=2.0):
+    """Random PSD matrix with power-law spectrum."""
+    q, _ = np.linalg.qr(rng.standard_normal((n, n)))
+    vals = np.arange(1, n + 1, dtype=float) ** (-decay)
+    return (q * vals) @ q.T, vals, q
+
+
+class TestDense:
+    def test_matches_numpy_eigh(self, rng):
+        a, vals, _ = _psd_matrix(rng)
+        got_vals, got_vecs = top_eigensystem(a, 5, method="dense")
+        np.testing.assert_allclose(got_vals, vals[:5], atol=1e-10)
+        for i in range(5):
+            resid = a @ got_vecs[:, i] - got_vals[i] * got_vecs[:, i]
+            assert np.linalg.norm(resid) < 1e-9
+
+    def test_descending_order(self, rng):
+        a, _, _ = _psd_matrix(rng)
+        vals, _ = top_eigensystem(a, 8, method="dense")
+        assert (np.diff(vals) <= 1e-12).all()
+
+    def test_orthonormal_vectors(self, rng):
+        a, _, _ = _psd_matrix(rng)
+        _, vecs = top_eigensystem(a, 6, method="dense")
+        np.testing.assert_allclose(vecs.T @ vecs, np.eye(6), atol=1e-9)
+
+    def test_full_q_allowed(self, rng):
+        a, vals, _ = _psd_matrix(rng, n=10)
+        got, _ = top_eigensystem(a, 10, method="dense")
+        np.testing.assert_allclose(got, vals, atol=1e-10)
+
+    @pytest.mark.parametrize("q", [0, -1, 41])
+    def test_q_out_of_range(self, rng, q):
+        a, _, _ = _psd_matrix(rng)
+        with pytest.raises(ConfigurationError):
+            top_eigensystem(a, q)
+
+    def test_rejects_non_square(self, rng):
+        with pytest.raises(ConfigurationError):
+            top_eigensystem(rng.standard_normal((4, 5)), 2)
+
+    def test_unknown_method(self, rng):
+        a, _, _ = _psd_matrix(rng)
+        with pytest.raises(ConfigurationError):
+            top_eigensystem(a, 2, method="magic")
+
+
+class TestRandomized:
+    def test_close_to_dense_with_decay(self, rng):
+        a, vals, _ = _psd_matrix(rng, n=60, decay=2.5)
+        got_vals, got_vecs = randomized_top_eigensystem(a, 5, seed=1)
+        np.testing.assert_allclose(got_vals, vals[:5], rtol=1e-6)
+        # Eigenvector quality via the residual (sign-agnostic).
+        for i in range(5):
+            resid = a @ got_vecs[:, i] - got_vals[i] * got_vecs[:, i]
+            assert np.linalg.norm(resid) < 1e-5
+
+    def test_kernel_matrix_spectrum(self, rng):
+        """On a real kernel matrix randomized and dense agree to high
+        precision — kernel spectra decay fast."""
+        x = rng.standard_normal((80, 5))
+        kmat = GaussianKernel(bandwidth=2.0)(x, x)
+        dense_vals, _ = top_eigensystem(kmat, 6, method="dense")
+        rand_vals, _ = randomized_top_eigensystem(
+            kmat, 6, n_power_iter=5, seed=0
+        )
+        np.testing.assert_allclose(rand_vals, dense_vals, rtol=1e-6)
+
+    def test_deterministic_given_seed(self, rng):
+        a, _, _ = _psd_matrix(rng)
+        v1, _ = randomized_top_eigensystem(a, 4, seed=42)
+        v2, _ = randomized_top_eigensystem(a, 4, seed=42)
+        np.testing.assert_array_equal(v1, v2)
+
+    def test_auto_dispatch_small_uses_dense(self, rng):
+        a, vals, _ = _psd_matrix(rng, n=30)
+        got, _ = top_eigensystem(a, 3, method="auto")
+        np.testing.assert_allclose(got, vals[:3], atol=1e-10)

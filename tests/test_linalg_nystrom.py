@@ -1,0 +1,162 @@
+"""Tests for the Nyström extension — the core approximation of Section 4."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.kernels import GaussianKernel, LaplacianKernel
+from repro.linalg import NystromExtension, nystrom_extension, top_eigensystem
+
+
+@pytest.fixture(scope="module")
+def gauss_data():
+    rng = np.random.default_rng(5)
+    x = rng.standard_normal((300, 6))
+    return GaussianKernel(bandwidth=2.5), x
+
+
+class TestFactory:
+    def test_shapes(self, gauss_data):
+        kernel, x = gauss_data
+        ext = nystrom_extension(kernel, x, subsample_size=64, q=10, seed=0)
+        assert ext.s == 64
+        assert ext.q == 10
+        assert ext.points.shape == (64, 6)
+        assert ext.eigvals.shape == (10,)
+        assert ext.eigvecs.shape == (64, 10)
+        assert ext.indices.shape == (64,)
+
+    def test_explicit_indices(self, gauss_data):
+        kernel, x = gauss_data
+        idx = np.arange(50)
+        ext = nystrom_extension(kernel, x, 50, 5, indices=idx)
+        np.testing.assert_array_equal(ext.indices, idx)
+        np.testing.assert_allclose(ext.points, x[:50])
+
+    def test_duplicate_indices_rejected(self, gauss_data):
+        kernel, x = gauss_data
+        with pytest.raises(ConfigurationError, match="unique"):
+            nystrom_extension(kernel, x, 4, 2, indices=np.array([0, 1, 1, 2]))
+
+    def test_q_must_be_below_s(self, gauss_data):
+        kernel, x = gauss_data
+        with pytest.raises(ConfigurationError):
+            nystrom_extension(kernel, x, 10, 10)
+
+    def test_subsample_size_bounds(self, gauss_data):
+        kernel, x = gauss_data
+        with pytest.raises(ConfigurationError):
+            nystrom_extension(kernel, x, 0, 1)
+        with pytest.raises(ConfigurationError):
+            nystrom_extension(kernel, x, len(x) + 1, 1)
+
+
+class TestEigenvalueEstimates:
+    def test_operator_eigenvalues_scale(self, gauss_data):
+        kernel, x = gauss_data
+        ext = nystrom_extension(kernel, x, 100, 5, seed=0)
+        np.testing.assert_allclose(
+            ext.operator_eigenvalues, ext.eigvals / 100, atol=1e-14
+        )
+
+    def test_estimates_converge_with_s(self, gauss_data):
+        """lambda_i ≈ sigma_i/s should approach the full-matrix values
+        lambda_i(K)/n as s grows — the Nyström consistency property."""
+        kernel, x = gauss_data
+        n = x.shape[0]
+        full_vals, _ = top_eigensystem(kernel(x, x), 4)
+        truth = full_vals / n
+        errors = []
+        for s in (40, 150, n):
+            ext = nystrom_extension(
+                kernel, x, s, 4, indices=np.arange(s)
+            )
+            errors.append(np.abs(ext.operator_eigenvalues - truth).max())
+        assert errors[-1] < 1e-10  # s = n is exact
+        assert errors[1] < errors[0] * 1.5  # roughly improving
+
+    def test_full_subsample_exact(self, gauss_data):
+        kernel, x = gauss_data
+        n = x.shape[0]
+        ext = nystrom_extension(kernel, x, n, 6, indices=np.arange(n))
+        full_vals, _ = top_eigensystem(kernel(x, x), 6)
+        np.testing.assert_allclose(ext.eigvals, full_vals, atol=1e-10)
+
+
+class TestEigenfunctions:
+    def test_l2_normalization_on_subsample(self, gauss_data):
+        """Empirical L2 norm over the subsample of ẽ_i should be ≈ 1:
+        (1/s) sum_j ẽ_i(x_rj)^2 = 1."""
+        kernel, x = gauss_data
+        ext = nystrom_extension(kernel, x, 80, 5, seed=0)
+        vals = ext.eigenfunction_values(ext.points)  # (s, q)
+        norms = np.mean(vals**2, axis=0)
+        np.testing.assert_allclose(norms, 1.0, rtol=1e-8)
+
+    def test_values_on_subsample_match_eigvecs(self, gauss_data):
+        """On the subsample itself ẽ_i(x_rj) = sqrt(s) * e_i[j]."""
+        kernel, x = gauss_data
+        ext = nystrom_extension(kernel, x, 60, 4, seed=0)
+        vals = ext.eigenfunction_values(ext.points)
+        np.testing.assert_allclose(
+            vals, np.sqrt(60) * ext.eigvecs, atol=1e-8
+        )
+
+    def test_rkhs_coefficients_unit_norm(self, gauss_data):
+        """||ê_i||_H^2 = c_i^T K_s c_i must be 1."""
+        kernel, x = gauss_data
+        ext = nystrom_extension(kernel, x, 70, 5, seed=0)
+        coef = ext.rkhs_coefficients()
+        k_s = kernel(ext.points, ext.points)
+        gram = coef.T @ k_s @ coef
+        np.testing.assert_allclose(np.diag(gram), 1.0, rtol=1e-8)
+
+    def test_feature_map_shape(self, gauss_data):
+        kernel, x = gauss_data
+        ext = nystrom_extension(kernel, x, 30, 3, seed=0)
+        assert ext.feature_map(x[:7]).shape == (7, 30)
+
+
+class TestTruncation:
+    def test_truncated_keeps_top_pairs(self, gauss_data):
+        kernel, x = gauss_data
+        ext = nystrom_extension(kernel, x, 50, 10, seed=0)
+        t = ext.truncated(4)
+        assert t.q == 4
+        np.testing.assert_array_equal(t.eigvals, ext.eigvals[:4])
+        np.testing.assert_array_equal(t.eigvecs, ext.eigvecs[:, :4])
+
+    def test_truncated_bounds(self, gauss_data):
+        kernel, x = gauss_data
+        ext = nystrom_extension(kernel, x, 50, 10, seed=0)
+        with pytest.raises(ConfigurationError):
+            ext.truncated(0)
+        with pytest.raises(ConfigurationError):
+            ext.truncated(11)
+
+
+class TestValidation:
+    def test_rejects_ascending_eigvals(self, gauss_data):
+        kernel, x = gauss_data
+        with pytest.raises(ConfigurationError, match="descending"):
+            NystromExtension(
+                kernel=kernel,
+                points=x[:5],
+                eigvals=np.array([1.0, 2.0]),
+                eigvecs=np.zeros((5, 2)),
+            )
+
+    def test_rejects_inconsistent_shapes(self, gauss_data):
+        kernel, x = gauss_data
+        with pytest.raises(ConfigurationError):
+            NystromExtension(
+                kernel=kernel,
+                points=x[:5],
+                eigvals=np.array([2.0, 1.0]),
+                eigvecs=np.zeros((4, 2)),
+            )
+
+    def test_laplacian_extension_works(self, rng):
+        x = rng.standard_normal((100, 4))
+        ext = nystrom_extension(LaplacianKernel(bandwidth=2.0), x, 40, 6, seed=1)
+        assert (ext.eigvals >= 0).all()

@@ -1,0 +1,96 @@
+"""Tests for power iteration and stability helpers."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, ConvergenceError
+from repro.linalg import jitter_cholesky, power_iteration, symmetrize
+
+
+class TestPowerIteration:
+    def test_finds_top_eigenvalue_with_spectral_gap(self, rng):
+        """With a clear gap — the kernel-matrix regime this is used in —
+        convergence is fast and accurate."""
+        q, _ = np.linalg.qr(rng.standard_normal((30, 30)))
+        vals = 5.0 * np.arange(1, 31, dtype=float) ** -2.0
+        a = (q * vals) @ q.T
+        top, vec, iters = power_iteration(a, seed=0)
+        assert abs(top - 5.0) < 1e-6
+        assert iters < 200
+        resid = a @ vec - top * vec
+        assert np.linalg.norm(resid) < 1e-4
+
+    def test_small_gap_still_approximate(self, rng):
+        """A nearly flat spectrum converges slowly; the estimate must
+        still be within a few percent for m* purposes."""
+        q, _ = np.linalg.qr(rng.standard_normal((30, 30)))
+        vals = np.linspace(5.0, 0.1, 30)
+        a = (q * vals) @ q.T
+        top, _, _ = power_iteration(a, max_iter=500, tol=1e-14, seed=0)
+        assert abs(top - 5.0) / 5.0 < 0.02
+
+    def test_zero_matrix(self):
+        top, _, _ = power_iteration(np.zeros((5, 5)))
+        assert top == 0.0
+
+    def test_identity(self):
+        top, _, _ = power_iteration(np.eye(8), seed=3)
+        assert abs(top - 1.0) < 1e-8
+
+    def test_empty_matrix_rejected(self):
+        with pytest.raises(ConfigurationError):
+            power_iteration(np.zeros((0, 0)))
+
+    def test_deterministic_given_seed(self, rng):
+        a = rng.standard_normal((10, 10))
+        a = a @ a.T
+        t1, _, _ = power_iteration(a, seed=9)
+        t2, _, _ = power_iteration(a, seed=9)
+        assert t1 == t2
+
+
+class TestSymmetrize:
+    def test_result_symmetric(self, rng):
+        a = rng.standard_normal((6, 6))
+        s = symmetrize(a)
+        np.testing.assert_allclose(s, s.T)
+
+    def test_symmetric_input_unchanged(self, rng):
+        a = rng.standard_normal((5, 5))
+        a = a + a.T
+        np.testing.assert_allclose(symmetrize(a), a)
+
+    def test_rejects_rectangular(self, rng):
+        with pytest.raises(ConfigurationError):
+            symmetrize(rng.standard_normal((3, 4)))
+
+
+class TestJitterCholesky:
+    def test_pd_matrix_no_jitter(self, rng):
+        a = rng.standard_normal((10, 10))
+        a = a @ a.T + 10 * np.eye(10)
+        chol, jitter = jitter_cholesky(a)
+        assert jitter == 0.0
+        np.testing.assert_allclose(chol @ chol.T, a, atol=1e-8)
+
+    def test_singular_matrix_gets_jitter(self):
+        a = np.ones((6, 6))  # rank 1, singular
+        chol, jitter = jitter_cholesky(a)
+        assert jitter > 0
+        np.testing.assert_allclose(
+            chol @ chol.T, a + jitter * np.eye(6), atol=1e-8
+        )
+
+    def test_indefinite_matrix_eventually_fails(self):
+        a = -np.eye(4)
+        with pytest.raises(ConvergenceError):
+            jitter_cholesky(a, initial_jitter=1e-12, max_tries=3)
+
+    def test_kernel_matrix_with_duplicates(self, rng):
+        from repro.kernels import GaussianKernel
+
+        x = rng.standard_normal((20, 3))
+        x[10:] = x[:10]  # exact duplicates make K singular
+        k = GaussianKernel(bandwidth=1.0)(x, x)
+        chol, jitter = jitter_cholesky(k)
+        assert np.isfinite(chol).all()

@@ -1,0 +1,177 @@
+"""Tests for the ASCII plotting module and the training CLI."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.experiments.plotting import AsciiChart, render_series
+
+
+class TestAsciiChart:
+    def test_renders_points(self):
+        chart = AsciiChart(width=30, height=8, x_log=False, y_log=False)
+        chart.add_series("a", [(0, 0), (1, 1), (2, 4)])
+        text = chart.render(title="t")
+        assert "t" in text
+        assert "o" in text  # first marker
+        assert "legend: o a" in text
+
+    def test_multiple_series_distinct_markers(self):
+        chart = AsciiChart(width=30, height=8, x_log=False, y_log=False)
+        chart.add_series("one", [(0, 0), (1, 1)])
+        chart.add_series("two", [(0, 1), (1, 0)])
+        text = chart.render()
+        assert "o one" in text and "x two" in text
+
+    def test_log_axes_drop_nonpositive(self):
+        chart = AsciiChart(x_log=True, y_log=True)
+        chart.add_series("a", [(0.0, 1.0), (-1.0, 2.0), (1.0, 0.0)])
+        assert chart.render() == "(no data to plot)"
+
+    def test_nonfinite_dropped(self):
+        chart = AsciiChart(x_log=False, y_log=False)
+        chart.add_series("a", [(np.nan, 1.0), (1.0, np.inf), (1.0, 2.0)])
+        text = chart.render()
+        assert "legend" in text
+
+    def test_empty_chart(self):
+        assert AsciiChart().render() == "(no data to plot)"
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AsciiChart(width=2, height=2)
+
+    def test_render_series_from_experiment_shape(self):
+        series = {
+            "sgd": [
+                {"batch_size": 1, "device_time_s": 60.0},
+                {"batch_size": 64, "device_time_s": 5.5},
+                {"batch_size": 1000, "device_time_s": 5.2},
+            ],
+            "eigenpro2": [
+                {"batch_size": 1, "device_time_s": 63.0},
+                {"batch_size": 64, "device_time_s": 0.5},
+                {"batch_size": 1000, "device_time_s": 0.13},
+            ],
+        }
+        text = render_series(
+            series, "batch_size", "device_time_s", title="fig2"
+        )
+        assert "fig2" in text
+        assert "sgd" in text and "eigenpro2" in text
+
+    def test_single_point_series(self):
+        chart = AsciiChart(x_log=False, y_log=False)
+        chart.add_series("dot", [(1.0, 1.0)])
+        assert "dot" in chart.render()
+
+
+class TestTrainCLI:
+    def test_end_to_end(self, capsys):
+        from repro.train import main
+
+        code = main(
+            [
+                "--dataset", "susy", "--n-train", "400", "--n-test", "100",
+                "--kernel", "gaussian", "--bandwidth", "4.0",
+                "--epochs", "2", "--seed", "0",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "test error" in out
+        assert "automatically selected parameters" in out
+
+    def test_auto_bandwidth(self, capsys):
+        from repro.train import main
+
+        code = main(
+            [
+                "--dataset", "susy", "--n-train", "300", "--n-test", "80",
+                "--kernel", "laplacian", "--auto-bandwidth",
+                "--epochs", "1", "--seed", "0",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "cross-validated bandwidth" in out
+
+    def test_multi_gpu_flag(self, capsys):
+        from repro.train import main
+
+        code = main(
+            [
+                "--dataset", "susy", "--n-train", "300", "--n-test", "80",
+                "--kernel", "gaussian", "--bandwidth", "4.0",
+                "--epochs", "1", "--gpus", "4", "--seed", "0",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "titan-xp-x4" in out
+
+    def test_unknown_dataset_fails(self):
+        from repro.train import main
+
+        with pytest.raises(KeyError):
+            main(
+                ["--dataset", "nope", "--kernel", "gaussian",
+                 "--bandwidth", "1.0"]
+            )
+
+
+class TestNystromRidgeBaseline:
+    def test_full_centers_matches_ridge(self, small_xy):
+        from repro.baselines import NystromRidge, solve_ridge
+        from repro.kernels import GaussianKernel
+
+        x, y = small_xy
+        k = GaussianKernel(bandwidth=2.0)
+        nr = NystromRidge(
+            k, n_centers=len(x), reg_lambda=1e-4, seed=0
+        ).fit(x, y)
+        exact = solve_ridge(k, x, y, reg_lambda=1e-4)
+        np.testing.assert_allclose(
+            nr.predict(x), exact.predict(x), atol=1e-6
+        )
+
+    def test_classification(self, medium_dataset):
+        from repro.baselines import NystromRidge
+        from repro.kernels import GaussianKernel
+
+        ds = medium_dataset
+        nr = NystromRidge(
+            GaussianKernel(bandwidth=2.5), n_centers=200, reg_lambda=1e-6,
+            seed=0,
+        ).fit(ds.x_train, ds.y_train)
+        assert nr.classification_error(ds.x_test, ds.labels_test) < 0.5
+
+    def test_device_charged(self, small_xy):
+        from repro.baselines import NystromRidge
+        from repro.device import titan_xp
+        from repro.kernels import GaussianKernel
+
+        x, y = small_xy
+        dev = titan_xp()
+        NystromRidge(
+            GaussianKernel(bandwidth=2.0), n_centers=20, device=dev, seed=0
+        ).fit(x, y)
+        assert dev.elapsed > 0
+
+    def test_validation(self):
+        from repro.baselines import NystromRidge
+        from repro.kernels import GaussianKernel
+
+        with pytest.raises(ConfigurationError):
+            NystromRidge(GaussianKernel(bandwidth=1.0), n_centers=0)
+        with pytest.raises(ConfigurationError):
+            NystromRidge(GaussianKernel(bandwidth=1.0), reg_lambda=-1.0)
+
+    def test_predict_before_fit(self, small_xy):
+        from repro.baselines import NystromRidge
+        from repro.exceptions import NotFittedError
+        from repro.kernels import GaussianKernel
+
+        x, _ = small_xy
+        with pytest.raises(NotFittedError):
+            NystromRidge(GaussianKernel(bandwidth=1.0)).predict(x)

@@ -1,0 +1,71 @@
+"""Property tests for the memory-bounded blocking layer.
+
+Blocked evaluation is what lets the same code scale from unit tests to
+million-point configurations; its invariants — exact coverage, budget
+respect, and result invariance under any block size — are quantified
+here over random shapes.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kernels import GaussianKernel
+from repro.kernels.ops import iter_row_blocks, kernel_matvec, row_block_sizes
+
+
+@given(
+    st.integers(0, 5000),
+    st.integers(1, 2000),
+    st.integers(1, 10**7),
+)
+@settings(max_examples=150, deadline=None)
+def test_blocks_partition_rows_exactly(n_rows, n_cols, budget):
+    sizes = row_block_sizes(n_rows, n_cols, max_scalars=budget)
+    assert sum(sizes) == n_rows
+    assert all(s >= 1 for s in sizes)
+
+
+@given(
+    st.integers(1, 5000),
+    st.integers(1, 2000),
+    st.integers(1, 10**7),
+)
+@settings(max_examples=150, deadline=None)
+def test_blocks_respect_budget_or_single_row(n_rows, n_cols, budget):
+    for s in row_block_sizes(n_rows, n_cols, max_scalars=budget):
+        assert s * n_cols <= budget or s == 1
+
+
+@given(
+    st.integers(1, 300),
+    st.integers(1, 100),
+    st.integers(1, 10**6),
+)
+@settings(max_examples=100, deadline=None)
+def test_slices_contiguous_and_ordered(n_rows, n_cols, budget):
+    slices = list(iter_row_blocks(n_rows, n_cols, max_scalars=budget))
+    assert slices[0].start == 0
+    assert slices[-1].stop == n_rows
+    for a, b in zip(slices, slices[1:]):
+        assert a.stop == b.start
+
+
+@given(
+    st.integers(2, 40),
+    st.integers(1, 25),
+    st.integers(1, 4),
+    st.integers(1, 500),
+    st.integers(0, 2**31 - 1),
+)
+@settings(max_examples=50, deadline=None)
+def test_matvec_invariant_under_block_size(n_x, n_c, l, budget, seed):
+    """The result of K(X,C) @ W must not depend on the block budget."""
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal((n_x, 3))
+    c = rng.standard_normal((n_c, 3))
+    w = rng.standard_normal((n_c, l))
+    k = GaussianKernel(bandwidth=1.5)
+    full = kernel_matvec(k, x, c, w, max_scalars=10**9)
+    blocked = kernel_matvec(k, x, c, w, max_scalars=budget)
+    np.testing.assert_allclose(blocked, full, atol=1e-10)

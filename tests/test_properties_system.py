@@ -1,0 +1,211 @@
+"""Cross-cutting property-based tests (hypothesis) on system invariants.
+
+These quantify over random *parameters* — spectra, device shapes, batch
+sizes — rather than random data, checking the algebraic invariants that
+DESIGN.md section 5 lists.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.convergence import convergence_rate_bound, per_iteration_gain
+from repro.core.cost import (
+    improved_eigenpro_cost,
+    original_eigenpro_cost,
+    sgd_cost,
+)
+from repro.core.resource import max_device_batch_size
+from repro.core.stepsize import analytic_step_size
+from repro.device import DeviceSpec
+from repro.device.cluster import Interconnect, allreduce_time, multi_gpu
+
+dims = st.integers(1, 10_000)
+small_dims = st.integers(1, 500)
+pos_floats = st.floats(1e-6, 1e6, allow_nan=False, allow_infinity=False)
+
+
+# ------------------------------------------------------------- cost model
+@given(dims, small_dims, small_dims, small_dims, small_dims, small_dims)
+@settings(max_examples=80, deadline=None)
+def test_improved_never_costs_more_than_original(n, m, d, l, s, q):
+    assume(s <= n)
+    imp = improved_eigenpro_cost(n, m, d, l, s, q)
+    orig = original_eigenpro_cost(n, m, d, l, q)
+    assert imp.computation <= orig.computation
+    assert imp.memory <= orig.memory
+
+
+@given(dims, small_dims, small_dims, small_dims, small_dims, small_dims)
+@settings(max_examples=80, deadline=None)
+def test_overheads_are_additive_over_sgd(n, m, d, l, s, q):
+    base = sgd_cost(n, m, d, l)
+    imp = improved_eigenpro_cost(n, m, d, l, s, q)
+    assert imp.computation == base.computation + imp.overhead_computation
+    assert imp.memory == base.memory + imp.overhead_memory
+
+
+@given(dims, small_dims, small_dims, small_dims)
+@settings(max_examples=80, deadline=None)
+def test_sgd_cost_monotone_in_every_dim(n, m, d, l):
+    base = sgd_cost(n, m, d, l).computation
+    assert sgd_cost(n + 1, m, d, l).computation >= base
+    assert sgd_cost(n, m + 1, d, l).computation >= base
+    assert sgd_cost(n, m, d + 1, l).computation >= base
+    assert sgd_cost(n, m, d, l + 1).computation >= base
+
+
+# ---------------------------------------------------------------- devices
+device_specs = st.builds(
+    DeviceSpec,
+    name=st.just("prop"),
+    parallel_capacity=st.floats(0, 1e14, allow_nan=False),
+    throughput=st.floats(1e6, 1e14, allow_nan=False),
+    memory_scalars=st.floats(1e6, 1e12, allow_nan=False),
+    launch_overhead_s=st.floats(0, 1e-2, allow_nan=False),
+)
+
+
+@given(device_specs, st.floats(0, 1e16, allow_nan=False), st.floats(0, 1e16, allow_nan=False))
+@settings(max_examples=100, deadline=None)
+def test_iteration_time_monotone_in_ops(spec, ops_a, ops_b):
+    lo, hi = sorted((ops_a, ops_b))
+    assert spec.iteration_time(lo) <= spec.iteration_time(hi) + 1e-15
+
+
+@given(device_specs, st.floats(1, 1e12, allow_nan=False))
+@settings(max_examples=100, deadline=None)
+def test_iteration_time_positive_and_finite(spec, ops):
+    t = spec.iteration_time(ops)
+    assert t >= 0 and math.isfinite(t)
+
+
+@given(
+    device_specs,
+    st.integers(100, 10_000),
+    st.integers(1, 300),
+    st.integers(1, 50),
+)
+@settings(max_examples=80, deadline=None)
+def test_m_max_is_min_and_within_n(spec, n, d, l):
+    try:
+        res = max_device_batch_size(spec, n, d, l)
+    except Exception:
+        assume(False)  # device too small for this workload: skip
+    assert 1 <= res.m_max <= n
+    assert res.m_max <= max(res.m_compute, 1)
+    assert res.m_max <= max(res.m_memory, 1)
+
+
+@given(
+    st.integers(1, 64),
+    st.floats(0, 1e-2, allow_nan=False),
+    st.floats(1e6, 1e12, allow_nan=False),
+    st.floats(0, 1e8, allow_nan=False),
+)
+@settings(max_examples=80, deadline=None)
+def test_allreduce_monotone_in_devices(g, lat, bw, payload):
+    net = Interconnect(latency_s=lat, bandwidth_scalars_per_s=bw)
+    assert allreduce_time(net, g, payload) <= allreduce_time(
+        net, g + 1, payload
+    ) + 1e-12
+
+
+@given(st.integers(1, 32))
+@settings(max_examples=32, deadline=None)
+def test_cluster_aggregates_linearly(g):
+    from repro.device.presets import titan_xp
+
+    base = titan_xp().spec
+    agg = multi_gpu(base, g).spec
+    assert agg.parallel_capacity == pytest.approx(g * base.parallel_capacity)
+    assert agg.memory_scalars == pytest.approx(g * base.memory_scalars)
+
+
+# -------------------------------------------------------------- step size
+# Physical constraint: for a kernel operator, lambda_1 <= beta (the top
+# eigenvalue cannot exceed max_i k(x_i,x_i)); the step-size properties
+# below hold exactly in that regime.
+@given(st.integers(1, 10**6), pos_floats, st.floats(0, 1.0, allow_nan=False))
+@settings(max_examples=100, deadline=None)
+def test_step_size_bounded_by_saturation(m, beta, lam_ratio):
+    lam = beta * lam_ratio
+    eta = analytic_step_size(m, beta, lam)
+    assert 0 < eta <= m / beta + 1e-9
+    if lam > 0:
+        assert eta <= 1 / lam * (1 + 1e-9)
+
+
+@given(
+    st.integers(1, 10**5), pos_floats, st.floats(0, 1.0, allow_nan=False)
+)
+@settings(max_examples=100, deadline=None)
+def test_step_size_monotone_in_m(m, beta, lam_ratio):
+    lam = beta * lam_ratio
+    assert analytic_step_size(m + 1, beta, lam) >= analytic_step_size(
+        m, beta, lam
+    ) * (1 - 1e-12)
+
+
+# ------------------------------------------------------------ convergence
+spectra = st.tuples(
+    st.floats(1e-3, 1.0),  # beta scale anchor
+    st.floats(1e-6, 1.0),  # lambda_1 / beta
+    st.floats(1e-9, 1.0),  # lambda_n / lambda_1
+)
+
+
+@given(spectra, st.integers(1, 10**6))
+@settings(max_examples=100, deadline=None)
+def test_rate_bound_contracts(spec, m):
+    beta, r1, rn = spec
+    lam1 = beta * r1
+    lamn = lam1 * rn
+    g = convergence_rate_bound(m, beta, lam1, lamn)
+    assert 0.0 <= g < 1.0
+
+
+@given(spectra, st.integers(1, 10**5))
+@settings(max_examples=100, deadline=None)
+def test_gain_monotone_in_m(spec, m):
+    beta, r1, rn = spec
+    lam1 = beta * r1
+    lamn = lam1 * rn
+    assert per_iteration_gain(m + 1, beta, lam1, lamn) >= per_iteration_gain(
+        m, beta, lam1, lamn
+    ) - 1e-15
+
+
+@given(spectra, st.integers(2, 10**5), st.floats(0.01, 0.99))
+@settings(max_examples=100, deadline=None)
+def test_flattening_always_helps(spec, m, flatten):
+    """Any lambda_q < lambda_1 gives at least the original gain."""
+    beta, r1, rn = spec
+    lam1 = beta * r1
+    lamn = lam1 * rn
+    lam_q = max(lam1 * flatten, lamn)
+    assert per_iteration_gain(m, beta, lam_q, lamn) >= per_iteration_gain(
+        m, beta, lam1, lamn
+    ) - 1e-12
+
+
+# -------------------------------------------------------- preconditioner
+@given(st.integers(2, 25), st.integers(0, 2**31 - 1))
+@settings(max_examples=25, deadline=None)
+def test_modified_kernel_psd_random_data(q, seed):
+    from repro.core.preconditioner import NystromPreconditioner
+    from repro.kernels import GaussianKernel
+    from repro.linalg import nystrom_extension
+
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal((60, 4))
+    ext = nystrom_extension(
+        GaussianKernel(bandwidth=2.0), x, 60, 26, indices=np.arange(60)
+    )
+    p = NystromPreconditioner(ext, q)
+    kg = p.modified_kernel(x, x)
+    eigs = np.linalg.eigvalsh((kg + kg.T) / 2)
+    assert eigs.min() > -1e-8 * max(eigs.max(), 1e-12)
