@@ -6,9 +6,40 @@ with::
 
     pip install -e . --no-build-isolation --no-use-pep517
 
-All metadata lives in pyproject.toml.
+The optional Torch array backend (see :mod:`repro.backend`) is exposed as
+a packaging extra::
+
+    pip install .[torch]
+
+Without the extra the package runs entirely on the NumPy backend and all
+torch-dependent tests skip.
 """
 
-from setuptools import setup
+import pathlib
+import re
 
-setup()
+from setuptools import find_packages, setup
+
+_VERSION = re.search(
+    r'__version__ = "([^"]+)"',
+    pathlib.Path(__file__).parent.joinpath(
+        "src", "repro", "_version.py"
+    ).read_text(),
+).group(1)
+
+setup(
+    name="repro",
+    version=_VERSION,
+    description=(
+        "Reproduction of 'Kernel Machines That Adapt to GPUs for Effective "
+        "Large Batch Training' (Ma & Belkin, MLSys 2019)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.10",
+    install_requires=["numpy", "scipy"],
+    extras_require={
+        # Optional array backend; any torch >= 2.0 build (CPU or CUDA) works.
+        "torch": ["torch>=2.0"],
+    },
+)

@@ -3,6 +3,8 @@ Effective Large Batch Training* (Siyuan Ma & Mikhail Belkin, MLSys 2019).
 
 The package implements the full EigenPro 2.0 system described in the paper:
 
+- :mod:`repro.backend` — the pluggable array-backend layer every hot path
+  dispatches through: NumPy (default) or Torch (CPU/CUDA, optional).
 - :mod:`repro.kernels` — positive-definite kernel functions and blocked,
   memory-bounded kernel-matrix computations.
 - :mod:`repro.linalg` — top-q eigensystem solvers and the Nyström extension
@@ -31,16 +33,61 @@ Quickstart::
     model = EigenPro2(kernel=GaussianKernel(bandwidth=5.0), device=titan_xp())
     model.fit(ds.x_train, ds.y_train, epochs=5)
     error = model.classification_error(ds.x_test, ds.y_test)
+
+Backends
+--------
+The kernel substrate (pairwise distances, kernel profiles, blocked
+matvecs, eigensolvers, training loops) runs on a pluggable
+:class:`~repro.backend.ArrayBackend`.  The default is NumPy; an optional
+Torch backend (CPU or CUDA) activates when torch is installed — pull it in
+with the packaging extra ``pip install repro[torch]``.  Select a backend
+per scope or process-wide::
+
+    from repro.backend import use_backend, set_backend
+
+    with use_backend("torch"):        # or "torch:cuda" for a GPU
+        model.fit(ds.x_train, ds.y_train, epochs=5)
+
+    set_backend("torch")              # every subsequent call
+
+Requesting ``"torch"`` without torch installed raises
+:class:`~repro.exceptions.BackendUnavailableError`; torch-dependent tests
+skip instead of failing.
+
+Working precision is a separate switch (the paper trains in float32 on
+GPU; the CPU default is float64).  Float32 inputs are *not* silently
+promoted, and an explicit scope overrides input dtypes entirely::
+
+    from repro import use_precision
+
+    with use_precision("float32"):
+        model.fit(ds.x_train, ds.y_train, epochs=5)
+
+Operation counts recorded via :mod:`repro.instrument` are derived from
+array shapes only, so cost-model validation (Table 1) is backend- and
+precision-invariant.
 """
 
 from repro._version import __version__
 from repro.exceptions import (
+    BackendLinAlgError,
+    BackendUnavailableError,
     ConfigurationError,
     ConvergenceError,
     DeviceMemoryError,
     NotFittedError,
     ReproError,
 )
+from repro.backend import (
+    ArrayBackend,
+    NumpyBackend,
+    TorchBackend,
+    available_backends,
+    get_backend,
+    set_backend,
+    use_backend,
+)
+from repro.config import get_precision, set_precision, use_precision
 from repro.kernels import (
     CauchyKernel,
     GaussianKernel,
@@ -76,6 +123,19 @@ __all__ = [
     "ConvergenceError",
     "DeviceMemoryError",
     "NotFittedError",
+    "BackendUnavailableError",
+    "BackendLinAlgError",
+    # backends & precision
+    "ArrayBackend",
+    "NumpyBackend",
+    "TorchBackend",
+    "available_backends",
+    "get_backend",
+    "set_backend",
+    "use_backend",
+    "get_precision",
+    "set_precision",
+    "use_precision",
     # kernels
     "Kernel",
     "GaussianKernel",

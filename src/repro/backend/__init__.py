@@ -1,0 +1,181 @@
+"""Pluggable array-backend layer for the kernel substrate.
+
+The hot paths of this package — pairwise distances, kernel profiles,
+blocked matvecs, eigensolvers and the EigenPro training loop — dispatch all
+array work through an :class:`~repro.backend.base.ArrayBackend`.  Two
+implementations ship:
+
+- :class:`~repro.backend.numpy_backend.NumpyBackend` (default) — NumPy +
+  SciPy on the host CPU; numerically identical to the historical code.
+- :class:`~repro.backend.torch_backend.TorchBackend` — Torch on CPU or
+  CUDA, imported lazily; requesting it without torch installed raises
+  :class:`~repro.exceptions.BackendUnavailableError`.
+
+Selection mirrors the precision switch in :mod:`repro.config`::
+
+    from repro.backend import use_backend
+
+    with use_backend("torch"):            # or "torch:cuda", or an instance
+        model.fit(x, y, epochs=5)
+
+    from repro.backend import set_backend
+    set_backend("torch")                  # process-wide default
+
+Operation counts recorded through :mod:`repro.instrument` are computed from
+array *shapes*, never from backend state, so a metered EigenPro epoch
+reports identical op counts on every backend — the invariant the Table-1
+cost-model validation relies on (checked by ``tests/test_backend_parity.py``).
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import threading
+from typing import Any
+
+import numpy as np
+
+from repro.backend.base import ArrayBackend
+from repro.backend.numpy_backend import NumpyBackend
+from repro.backend.torch_backend import TorchBackend
+from repro.config import (
+    get_precision,
+    precision_is_explicit,
+    set_precision,
+    use_precision,
+)
+from repro.exceptions import ConfigurationError
+
+__all__ = [
+    "ArrayBackend",
+    "NumpyBackend",
+    "TorchBackend",
+    "available_backends",
+    "backend_of",
+    "get_backend",
+    "resolve_backend",
+    "set_backend",
+    "to_numpy",
+    "use_backend",
+    # re-exported precision switch
+    "get_precision",
+    "set_precision",
+    "use_precision",
+    "precision_is_explicit",
+]
+
+_NUMPY = NumpyBackend()
+#: Cache of constructed torch backends keyed by device string.
+_TORCH_CACHE: dict[str, TorchBackend] = {}
+
+
+class _BackendState(threading.local):
+    """Per-thread stack of backend overrides (empty = process default)."""
+
+    def __init__(self) -> None:  # pragma: no cover - trivial
+        self.stack: list[ArrayBackend] = []
+
+
+_STATE = _BackendState()
+_DEFAULT: ArrayBackend = _NUMPY
+
+
+def available_backends() -> list[str]:
+    """Names of backends usable in this environment (no imports triggered)."""
+    names = ["numpy"]
+    if importlib.util.find_spec("torch") is not None:
+        names.append("torch")
+    return names
+
+
+def resolve_backend(spec: str | ArrayBackend | None) -> ArrayBackend:
+    """Turn a backend spec into an :class:`ArrayBackend` instance.
+
+    Accepts an instance (returned as-is), ``None`` (the active backend),
+    ``"numpy"``, ``"torch"``, or ``"torch:<device>"`` (e.g.
+    ``"torch:cuda"``).
+    """
+    if spec is None:
+        return get_backend()
+    if isinstance(spec, ArrayBackend):
+        return spec
+    if not isinstance(spec, str):
+        raise ConfigurationError(
+            f"backend spec must be a name or ArrayBackend, got {spec!r}"
+        )
+    name, _, device = spec.partition(":")
+    if name == "numpy":
+        if device:
+            raise ConfigurationError("the numpy backend takes no device")
+        return _NUMPY
+    if name == "torch":
+        device = device or "cpu"
+        backend = _TORCH_CACHE.get(device)
+        if backend is None:
+            backend = TorchBackend(device)
+            # TorchBackend canonicalizes the device (e.g. "cuda" ->
+            # "cuda:0"); alias both spellings to one shared instance.
+            backend = _TORCH_CACHE.setdefault(str(backend.device), backend)
+            _TORCH_CACHE[device] = backend
+        return backend
+    raise ConfigurationError(
+        f"unknown backend {spec!r}; known backends: numpy, torch[:device]"
+    )
+
+
+def get_backend() -> ArrayBackend:
+    """The active backend: innermost :func:`use_backend` scope, else the
+    :func:`set_backend` process default (NumPy initially)."""
+    if _STATE.stack:
+        return _STATE.stack[-1]
+    return _DEFAULT
+
+
+def set_backend(spec: str | ArrayBackend | None) -> ArrayBackend:
+    """Set the process-wide default backend; ``None`` restores NumPy."""
+    global _DEFAULT
+    _DEFAULT = _NUMPY if spec is None else resolve_backend(spec)
+    return _DEFAULT
+
+
+class use_backend:
+    """Context manager selecting the backend for the enclosed code.
+
+    Example
+    -------
+    >>> from repro.backend import use_backend
+    >>> with use_backend("numpy") as bk:
+    ...     assert bk.name == "numpy"
+    """
+
+    def __init__(self, spec: str | ArrayBackend) -> None:
+        self.backend = resolve_backend(spec)
+
+    def __enter__(self) -> ArrayBackend:
+        _STATE.stack.append(self.backend)
+        return self.backend
+
+    def __exit__(self, *exc: object) -> None:
+        # Remove by identity; scopes may exit out of order under errors.
+        for pos in range(len(_STATE.stack) - 1, -1, -1):
+            if _STATE.stack[pos] is self.backend:
+                del _STATE.stack[pos]
+                break
+
+
+def backend_of(x: Any) -> ArrayBackend:
+    """The backend that owns array ``x`` (used by code operating on stored
+    arrays that may have been created under a different backend scope).
+
+    Detection is by type module, so this never imports torch for plain
+    NumPy arrays.  For torch tensors the tensor's own device is preserved
+    (a CUDA tensor resolves to the ``torch:cuda`` backend, not CPU).
+    """
+    if type(x).__module__.partition(".")[0] == "torch":
+        return resolve_backend(f"torch:{x.device}")
+    return _NUMPY
+
+
+def to_numpy(x: Any) -> np.ndarray:
+    """Convert any backend's array (or array-like) to a NumPy array."""
+    return backend_of(x).to_numpy(x)

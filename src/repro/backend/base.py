@@ -1,0 +1,168 @@
+"""The :class:`ArrayBackend` interface — the kernel substrate's contract.
+
+Every hot path in the package (pairwise distances, elementwise kernel
+profiles, blocked matvecs, eigensolvers, the EigenPro training loop) talks
+to arrays exclusively through this interface plus the small set of operators
+that NumPy arrays and Torch tensors implement identically (``@``, ``+``,
+``*=``, 2-D ``.T``, basic/advanced indexing, ``.shape``, ``.sum()``,
+``.max()``).  Anything the two array libraries spell differently — creation,
+conversion, ufuncs with ``out=``, linear-algebra factorizations — goes
+through a backend method.
+
+Conventions shared by all implementations:
+
+- dtypes are *NumPy* dtypes at the interface; backends translate internally.
+- ``out=`` arguments are optional destinations that must match shape and
+  dtype; passing ``None`` allocates.
+- eigen/QR/Cholesky factorizations follow NumPy's layout conventions
+  (eigenvalues ascending from :meth:`eigh`, descending from
+  :meth:`top_eigh`; eigenvectors as columns).
+- :meth:`top_eigh` returns eigen*values* as a NumPy array regardless of
+  backend — they are tiny, and all parameter-selection logic (Eq. 7 scans,
+  step sizes) is scalar NumPy math.  Eigen*vectors* stay native.
+- Operation *counts* recorded via :mod:`repro.instrument` are computed from
+  shapes only, so they are identical across backends by construction.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Sequence
+
+import numpy as np
+
+__all__ = ["ArrayBackend"]
+
+
+class ArrayBackend(abc.ABC):
+    """Abstract array/linear-algebra substrate."""
+
+    #: Registry name, e.g. ``"numpy"`` or ``"torch"``.
+    name: str = "abstract"
+
+    # ------------------------------------------------------- creation
+    @abc.abstractmethod
+    def asarray(self, x: Any, dtype: object | None = None) -> Any:
+        """Convert ``x`` to this backend's native array type (no copy when
+        already native with the right dtype)."""
+
+    @abc.abstractmethod
+    def to_numpy(self, x: Any) -> np.ndarray:
+        """Convert a native array back to a NumPy ``ndarray``."""
+
+    @abc.abstractmethod
+    def empty(self, shape: Sequence[int] | int, dtype: object | None = None) -> Any:
+        """Uninitialized native array."""
+
+    @abc.abstractmethod
+    def zeros(self, shape: Sequence[int] | int, dtype: object | None = None) -> Any:
+        """Zero-filled native array."""
+
+    @abc.abstractmethod
+    def ones(self, shape: Sequence[int] | int, dtype: object | None = None) -> Any:
+        """One-filled native array."""
+
+    @abc.abstractmethod
+    def eye(self, n: int, dtype: object | None = None) -> Any:
+        """Identity matrix."""
+
+    @abc.abstractmethod
+    def copy(self, x: Any) -> Any:
+        """Deep copy of a native array."""
+
+    # ------------------------------------------------- shape / dtype
+    @abc.abstractmethod
+    def dtype_of(self, x: Any) -> np.dtype:
+        """The NumPy dtype corresponding to ``x``'s element type."""
+
+    def as_2d(self, x: Any) -> Any:
+        """View ``x`` with at least 2 dimensions (1-D becomes a row)."""
+        if x.ndim == 1:
+            return x[None, :]
+        return x
+
+    @abc.abstractmethod
+    def ascontiguous(self, x: Any) -> Any:
+        """Row-major contiguous version of ``x`` (no copy when already so)."""
+
+    # --------------------------------------------------- elementwise
+    @abc.abstractmethod
+    def exp(self, x: Any, out: Any | None = None) -> Any:
+        """Elementwise ``e**x``."""
+
+    @abc.abstractmethod
+    def sqrt(self, x: Any, out: Any | None = None) -> Any:
+        """Elementwise square root."""
+
+    @abc.abstractmethod
+    def reciprocal(self, x: Any, out: Any | None = None) -> Any:
+        """Elementwise ``1/x``."""
+
+    @abc.abstractmethod
+    def power(self, x: Any, exponent: float, out: Any | None = None) -> Any:
+        """Elementwise ``x**exponent``."""
+
+    @abc.abstractmethod
+    def clip_min(self, x: Any, lo: float, out: Any | None = None) -> Any:
+        """Elementwise ``max(x, lo)``."""
+
+    # ---------------------------------------------------- reductions
+    @abc.abstractmethod
+    def row_sq_norms(self, x: Any) -> Any:
+        """Row squared norms of a 2-D array, shape ``(n,)``."""
+
+    @abc.abstractmethod
+    def all_finite(self, x: Any) -> bool:
+        """True when every element of ``x`` is finite."""
+
+    # ------------------------------------------------ linear algebra
+    @abc.abstractmethod
+    def matmul(self, a: Any, b: Any, out: Any | None = None) -> Any:
+        """Matrix product ``a @ b``."""
+
+    @abc.abstractmethod
+    def solve(self, a: Any, b: Any) -> Any:
+        """Solve ``a x = b`` for square ``a``."""
+
+    @abc.abstractmethod
+    def cholesky(self, a: Any) -> Any:
+        """Lower Cholesky factor of symmetric positive-definite ``a``.
+
+        Raises
+        ------
+        repro.exceptions.BackendLinAlgError
+            When the factorization fails (non-PSD input).
+        """
+
+    @abc.abstractmethod
+    def qr(self, a: Any) -> tuple[Any, Any]:
+        """Reduced QR decomposition ``a = q @ r``."""
+
+    @abc.abstractmethod
+    def eigh(self, a: Any) -> tuple[Any, Any]:
+        """Full symmetric eigendecomposition, eigenvalues *ascending*
+        (NumPy convention), eigenvectors as columns.  Both native."""
+
+    @abc.abstractmethod
+    def flip_columns(self, a: Any) -> Any:
+        """Reverse the column order of a 2-D array."""
+
+    def top_eigh(self, a: Any, q: int) -> tuple[np.ndarray, Any]:
+        """Top-``q`` eigenpairs of symmetric ``a``, eigenvalues *descending*.
+
+        Returns ``(eigvals, eigvecs)`` with ``eigvals`` a NumPy ``(q,)``
+        array (see module docstring) and ``eigvecs`` native ``(s, q)``.
+        The default implementation does a full :meth:`eigh` and slices;
+        backends may override with a subset solver.
+        """
+        vals, vecs = self.eigh(a)
+        vals = self.to_numpy(vals)[::-1][:q].copy()
+        vecs = self.flip_columns(vecs)[:, :q]
+        return vals, vecs
+
+    # -------------------------------------------------------- meta
+    def synchronize(self) -> None:
+        """Block until queued device work completes (no-op on CPU)."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} {self.name!r}>"

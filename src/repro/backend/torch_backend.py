@@ -1,0 +1,181 @@
+"""Optional Torch :class:`ArrayBackend` (CPU or CUDA).
+
+``torch`` is imported lazily at *instantiation* time; importing this module
+never touches torch, so the package works unchanged when torch is absent
+(install with ``pip install repro[torch]`` to pull it in).  Construction
+raises :class:`~repro.exceptions.BackendUnavailableError` when torch is
+missing, which the registry and the test suite translate into a clean skip.
+
+Non-tensor inputs are routed through NumPy first so that Python lists get
+NumPy's dtype rules (float64) rather than torch's float32 default —
+keeping results bit-comparable with the NumPy backend under the default
+precision.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.backend.base import ArrayBackend
+from repro.config import get_precision
+from repro.exceptions import BackendLinAlgError, BackendUnavailableError
+
+__all__ = ["TorchBackend"]
+
+
+class TorchBackend(ArrayBackend):
+    """Torch implementation of the array substrate.
+
+    Parameters
+    ----------
+    device:
+        Torch device string, e.g. ``"cpu"``, ``"cuda"``, ``"cuda:1"``.
+        CUDA devices are validated at construction.
+    """
+
+    name = "torch"
+
+    def __init__(self, device: str = "cpu") -> None:
+        try:
+            import torch
+        except ImportError as exc:  # pragma: no cover - depends on env
+            raise BackendUnavailableError(
+                "the 'torch' backend requires torch; install it with "
+                "pip install repro[torch]"
+            ) from exc
+        self.torch = torch
+        dev = torch.device(device)
+        if dev.type == "cuda":
+            if not torch.cuda.is_available():  # pragma: no cover - needs GPU
+                raise BackendUnavailableError(
+                    f"torch device {device!r} requested but CUDA is not available"
+                )
+            if dev.index is None:
+                # Canonicalize bare "cuda" to an explicit index so that
+                # "cuda" and "cuda:0" resolve to one backend instance
+                # (and one workspace key) for the same physical GPU.
+                dev = torch.device("cuda", torch.cuda.current_device())
+        self.device = dev
+        self._to_torch_dtype = {
+            np.dtype(np.float32): torch.float32,
+            np.dtype(np.float64): torch.float64,
+            np.dtype(np.float16): torch.float16,
+            np.dtype(np.int64): torch.int64,
+            np.dtype(np.int32): torch.int32,
+            np.dtype(np.bool_): torch.bool,
+        }
+
+    # ------------------------------------------------------- helpers
+    def _torch_dtype(self, dtype: object | None):
+        if dtype is None:
+            return None
+        np_dt = np.dtype(dtype)
+        try:
+            return self._to_torch_dtype[np_dt]
+        except KeyError:
+            raise TypeError(f"dtype {np_dt!r} has no torch equivalent") from None
+
+    def _default_float(self):
+        return self._torch_dtype(get_precision())
+
+    def _is_tensor(self, x: Any) -> bool:
+        return isinstance(x, self.torch.Tensor)
+
+    # ------------------------------------------------------- creation
+    def asarray(self, x: Any, dtype: object | None = None) -> Any:
+        torch_dtype = self._torch_dtype(dtype)
+        if not self._is_tensor(x):
+            # NumPy dtype rules for plain Python containers (see module doc).
+            x = np.asarray(x)
+        return self.torch.as_tensor(x, dtype=torch_dtype, device=self.device)
+
+    def to_numpy(self, x: Any) -> np.ndarray:
+        if self._is_tensor(x):
+            return x.detach().cpu().numpy()
+        return np.asarray(x)
+
+    def empty(self, shape: Sequence[int] | int, dtype: object | None = None) -> Any:
+        dt = self._torch_dtype(dtype) or self._default_float()
+        return self.torch.empty(shape, dtype=dt, device=self.device)
+
+    def zeros(self, shape: Sequence[int] | int, dtype: object | None = None) -> Any:
+        dt = self._torch_dtype(dtype) or self._default_float()
+        return self.torch.zeros(shape, dtype=dt, device=self.device)
+
+    def ones(self, shape: Sequence[int] | int, dtype: object | None = None) -> Any:
+        dt = self._torch_dtype(dtype) or self._default_float()
+        return self.torch.ones(shape, dtype=dt, device=self.device)
+
+    def eye(self, n: int, dtype: object | None = None) -> Any:
+        dt = self._torch_dtype(dtype) or self._default_float()
+        return self.torch.eye(n, dtype=dt, device=self.device)
+
+    def copy(self, x: Any) -> Any:
+        if self._is_tensor(x):
+            return x.detach().clone()
+        return self.asarray(np.array(x, copy=True))
+
+    # ------------------------------------------------- shape / dtype
+    def dtype_of(self, x: Any) -> np.dtype:
+        if self._is_tensor(x):
+            return np.dtype(str(x.dtype).replace("torch.", ""))
+        return np.asarray(x).dtype
+
+    def ascontiguous(self, x: Any) -> Any:
+        return x.contiguous()
+
+    # --------------------------------------------------- elementwise
+    def exp(self, x: Any, out: Any | None = None) -> Any:
+        return self.torch.exp(x, out=out)
+
+    def sqrt(self, x: Any, out: Any | None = None) -> Any:
+        return self.torch.sqrt(x, out=out)
+
+    def reciprocal(self, x: Any, out: Any | None = None) -> Any:
+        return self.torch.reciprocal(x, out=out)
+
+    def power(self, x: Any, exponent: float, out: Any | None = None) -> Any:
+        return self.torch.pow(x, exponent, out=out)
+
+    def clip_min(self, x: Any, lo: float, out: Any | None = None) -> Any:
+        return self.torch.clamp(x, min=lo, out=out)
+
+    # ---------------------------------------------------- reductions
+    def row_sq_norms(self, x: Any) -> Any:
+        return (x * x).sum(dim=1)
+
+    def all_finite(self, x: Any) -> bool:
+        return bool(self.torch.isfinite(x).all().item())
+
+    # ------------------------------------------------ linear algebra
+    def matmul(self, a: Any, b: Any, out: Any | None = None) -> Any:
+        return self.torch.matmul(a, b, out=out)
+
+    def solve(self, a: Any, b: Any) -> Any:
+        try:
+            return self.torch.linalg.solve(a, b)
+        except RuntimeError as exc:
+            raise BackendLinAlgError(str(exc)) from exc
+
+    def cholesky(self, a: Any) -> Any:
+        try:
+            return self.torch.linalg.cholesky(a)
+        except RuntimeError as exc:
+            raise BackendLinAlgError(str(exc)) from exc
+
+    def qr(self, a: Any) -> tuple[Any, Any]:
+        return self.torch.linalg.qr(a)
+
+    def eigh(self, a: Any) -> tuple[Any, Any]:
+        vals, vecs = self.torch.linalg.eigh(a)
+        return vals, vecs
+
+    def flip_columns(self, a: Any) -> Any:
+        return a.flip(1)
+
+    # -------------------------------------------------------- meta
+    def synchronize(self) -> None:
+        if self.device.type == "cuda":  # pragma: no cover - needs GPU
+            self.torch.cuda.synchronize(self.device)

@@ -1,10 +1,31 @@
-"""Global configuration for numeric defaults.
+"""Global configuration for numeric defaults and the precision switch.
 
 Keeping these in one module means tests and experiments can tighten or relax
 precision in a single place rather than scattering dtype literals.
+
+Precision switch
+----------------
+The paper trains in float32 on the GPU while our CPU default is float64 for
+eigensolver headroom.  :func:`use_precision` / :func:`set_precision` select
+the working dtype for the whole kernel substrate without threading a
+``dtype=`` argument through every call::
+
+    from repro.config import use_precision
+
+    with use_precision("float32"):
+        model.fit(x, y, epochs=5)   # all kernel blocks held in float32
+
+The switch is honored by :func:`resolve_dtype` (used by kernels constructed
+with ``dtype=None``) and by :func:`compute_dtype` (used by the pairwise /
+blocked-operation layer to pick a working dtype from its inputs).  When no
+precision is *explicitly* selected, ``compute_dtype`` preserves the floating
+dtype of its inputs — float32 data stays float32 instead of being silently
+promoted to float64.
 """
 
 from __future__ import annotations
+
+import threading
 
 import numpy as np
 
@@ -25,8 +46,77 @@ DEFAULT_BLOCK_SCALARS: int = 8_000_000
 EPS: float = 1e-12
 
 
+def _as_float_dtype(dtype: object) -> np.dtype:
+    resolved = np.dtype(dtype)  # raises TypeError on junk input
+    if resolved.kind != "f":
+        raise TypeError(f"expected a floating dtype, got {resolved!r}")
+    return resolved
+
+
+class _PrecisionState(threading.local):
+    """Per-thread stack of precision overrides (empty = package default)."""
+
+    def __init__(self) -> None:  # pragma: no cover - trivial
+        self.stack: list[np.dtype] = []
+
+
+_PRECISION = _PrecisionState()
+#: Process-wide explicit precision, set by :func:`set_precision`; ``None``
+#: means "not set" (inputs keep their own floating dtype).
+_PRECISION_GLOBAL: np.dtype | None = None
+
+
+def get_precision() -> np.dtype:
+    """The working dtype: innermost :func:`use_precision` scope, else the
+    :func:`set_precision` global, else :data:`DEFAULT_DTYPE`."""
+    if _PRECISION.stack:
+        return _PRECISION.stack[-1]
+    if _PRECISION_GLOBAL is not None:
+        return _PRECISION_GLOBAL
+    return DEFAULT_DTYPE
+
+
+def precision_is_explicit() -> bool:
+    """True when a precision was selected via :func:`use_precision` or
+    :func:`set_precision` (in which case it overrides input dtypes)."""
+    return bool(_PRECISION.stack) or _PRECISION_GLOBAL is not None
+
+
+def set_precision(dtype: object | None) -> None:
+    """Set (or with ``None`` clear) the process-wide working precision."""
+    global _PRECISION_GLOBAL
+    _PRECISION_GLOBAL = None if dtype is None else _as_float_dtype(dtype)
+
+
+class use_precision:
+    """Context manager selecting the working dtype for the enclosed code.
+
+    Example
+    -------
+    >>> import numpy as np
+    >>> from repro.config import use_precision, get_precision
+    >>> with use_precision(np.float32):
+    ...     assert get_precision() == np.dtype(np.float32)
+    """
+
+    def __init__(self, dtype: object) -> None:
+        self.dtype = _as_float_dtype(dtype)
+
+    def __enter__(self) -> np.dtype:
+        _PRECISION.stack.append(self.dtype)
+        return self.dtype
+
+    def __exit__(self, *exc: object) -> None:
+        # Remove by identity position; scopes may exit out of order.
+        for pos in range(len(_PRECISION.stack) - 1, -1, -1):
+            if _PRECISION.stack[pos] is self.dtype:
+                del _PRECISION.stack[pos]
+                break
+
+
 def resolve_dtype(dtype: object | None) -> np.dtype:
-    """Return ``dtype`` as a NumPy dtype, defaulting to :data:`DEFAULT_DTYPE`.
+    """Return ``dtype`` as a NumPy dtype, defaulting to the active precision
+    (:func:`get_precision`, normally :data:`DEFAULT_DTYPE`).
 
     Parameters
     ----------
@@ -35,8 +125,38 @@ def resolve_dtype(dtype: object | None) -> np.dtype:
         package default.
     """
     if dtype is None:
+        return get_precision()
+    return _as_float_dtype(dtype)
+
+
+def compute_dtype(*arrays: object) -> np.dtype:
+    """Working dtype for a computation over ``arrays``.
+
+    - Under an explicit precision (:func:`use_precision` /
+      :func:`set_precision`), that dtype wins unconditionally.
+    - Otherwise the floating result type of the inputs is preserved —
+      float32 inputs compute in float32 rather than silently promoting
+      to float64.
+    - Non-floating inputs (ints, lists of ints) fall back to
+      :data:`DEFAULT_DTYPE`.
+    """
+    if precision_is_explicit():
+        return get_precision()
+    float_dtypes = []
+    for arr in arrays:
+        dt = getattr(arr, "dtype", None)
+        if dt is None:
+            continue
+        if not isinstance(dt, np.dtype):
+            # Foreign dtype object (e.g. torch.float32): parse via its name.
+            try:
+                dt = np.dtype(str(dt).replace("torch.", ""))
+            except TypeError:
+                continue
+        if dt.kind == "f":
+            float_dtypes.append(dt)
+    if not float_dtypes:
         return DEFAULT_DTYPE
-    resolved = np.dtype(dtype)  # raises TypeError on junk input
-    if resolved.kind != "f":
-        raise TypeError(f"expected a floating dtype, got {resolved!r}")
-    return resolved
+    if all(dt == float_dtypes[0] for dt in float_dtypes[1:]):
+        return float_dtypes[0]  # skip np.result_type on the hot path
+    return np.result_type(*float_dtypes)

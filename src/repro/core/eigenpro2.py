@@ -25,6 +25,8 @@ from typing import Any
 
 import numpy as np
 
+from repro.backend import get_backend
+from repro.config import compute_dtype
 from repro.core.acceleration import predicted_acceleration
 from repro.core.cost import exact_improved_overhead_ops
 from repro.core.preconditioner import NystromPreconditioner
@@ -142,7 +144,8 @@ def select_parameters(
         resolves below 2 — ``P_1`` is the identity), and the underlying
         subsample eigensystem for further analysis.
     """
-    x = np.atleast_2d(np.asarray(x, dtype=float))
+    bk = get_backend()
+    x = bk.as_2d(bk.asarray(x, dtype=compute_dtype(x)))
     n, d = x.shape
     if l < 1:
         raise ConfigurationError(f"l must be >= 1, got {l}")

@@ -10,9 +10,11 @@ stay within the configured memory budget.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any
 
 import numpy as np
 
+from repro.backend import backend_of, to_numpy
 from repro.config import DEFAULT_BLOCK_SCALARS
 from repro.exceptions import ConfigurationError
 from repro.kernels.base import Kernel
@@ -21,15 +23,15 @@ from repro.kernels.ops import kernel_matvec
 __all__ = ["KernelModel", "as_labels"]
 
 
-def as_labels(y: np.ndarray) -> np.ndarray:
-    """Convert targets to integer class labels.
+def as_labels(y: Any) -> np.ndarray:
+    """Convert targets to integer class labels (always NumPy).
 
     - 1-D integer arrays pass through;
     - 2-D one-hot / score arrays map to ``argmax`` along axis 1;
     - 1-D float arrays are thresholded at the midpoint of their range
       (supports ``{0,1}`` and ``{-1,+1}`` binary encodings).
     """
-    y = np.asarray(y)
+    y = to_numpy(y)
     if y.ndim == 2:
         if y.shape[1] == 1:
             return as_labels(y[:, 0])
@@ -58,12 +60,13 @@ class KernelModel:
     """
 
     kernel: Kernel
-    centers: np.ndarray
-    weights: np.ndarray
+    centers: Any
+    weights: Any
 
     def __post_init__(self) -> None:
-        self.centers = np.atleast_2d(np.asarray(self.centers))
-        self.weights = np.asarray(self.weights)
+        bk = backend_of(self.centers)
+        self.centers = bk.as_2d(bk.asarray(self.centers))
+        self.weights = backend_of(self.weights).asarray(self.weights)
         if self.weights.ndim == 1:
             self.weights = self.weights[:, None]
         if self.weights.shape[0] != self.centers.shape[0]:
@@ -83,32 +86,33 @@ class KernelModel:
 
     # ---------------------------------------------------------- prediction
     def predict(
-        self, x: np.ndarray, max_scalars: int = DEFAULT_BLOCK_SCALARS
-    ) -> np.ndarray:
-        """Evaluate ``f(x)`` for each row of ``x``; shape ``(n_x, l)``."""
+        self, x: Any, max_scalars: int = DEFAULT_BLOCK_SCALARS
+    ) -> Any:
+        """Evaluate ``f(x)`` for each row of ``x``; shape ``(n_x, l)``,
+        native to the active backend."""
         return kernel_matvec(
             self.kernel, x, self.centers, self.weights, max_scalars=max_scalars
         )
 
     def predict_labels(
-        self, x: np.ndarray, max_scalars: int = DEFAULT_BLOCK_SCALARS
+        self, x: Any, max_scalars: int = DEFAULT_BLOCK_SCALARS
     ) -> np.ndarray:
         """Predicted class labels (argmax over outputs; thresholded when
         there is a single output column)."""
         return as_labels(self.predict(x, max_scalars=max_scalars))
 
     # ------------------------------------------------------------- metrics
-    def mse(self, x: np.ndarray, y: np.ndarray) -> float:
+    def mse(self, x: Any, y: Any) -> float:
         """Mean squared error of ``f`` against targets ``y`` — the
         empirical loss ``L(f)`` of Remark 2.1, averaged over points *and*
         output columns."""
-        y = np.asarray(y)
+        y = to_numpy(y)
         if y.ndim == 1:
             y = y[:, None]
-        pred = self.predict(x)
+        pred = to_numpy(self.predict(x))
         return float(np.mean((pred - y) ** 2))
 
-    def classification_error(self, x: np.ndarray, y: np.ndarray) -> float:
+    def classification_error(self, x: Any, y: Any) -> float:
         """Fraction of misclassified points; ``y`` may be integer labels or
         one-hot targets."""
         labels = as_labels(y)
@@ -121,4 +125,4 @@ class KernelModel:
         Forms the full center kernel matrix — analysis/tests only.
         """
         k = self.kernel(self.centers, self.centers)
-        return float(np.sum(self.weights * (k @ self.weights)))
+        return float((self.weights * (k @ self.weights)).sum())

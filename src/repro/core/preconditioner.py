@@ -25,8 +25,11 @@ have top operator eigenvalue ``≈ lambda_q``, and plain SGD on the explicit
 
 from __future__ import annotations
 
+from typing import Any
+
 import numpy as np
 
+from repro.backend import backend_of
 from repro.config import EPS
 from repro.exceptions import ConfigurationError
 from repro.instrument import record_ops
@@ -67,7 +70,12 @@ class NystromPreconditioner:
         d_scale = (1.0 - self.sigma_q / safe) / safe
         # Directions with vanished eigenvalues carry no usable information.
         d_scale[sig <= EPS] = 0.0
-        self.d_scale = d_scale  # (q,)
+        self.d_scale = d_scale  # (q,), NumPy — feeds scalar analysis
+        # Native copy on the eigenvectors' backend for the training path.
+        bk = backend_of(ext.eigvecs)
+        self._d_scale_native = bk.asarray(
+            d_scale, dtype=bk.dtype_of(ext.eigvecs)
+        )
 
     # ------------------------------------------------------------ metadata
     @property
@@ -135,11 +143,19 @@ class NystromPreconditioner:
                 f"g must have shape ({phi_block.shape[0]}, l), got {g.shape}"
             )
         v = self.extension.eigvecs  # (s, q)
+        d_native = self._d_scale_native
+        bk = backend_of(phi_block)
+        if bk.dtype_of(v) != bk.dtype_of(phi_block):
+            # Kernel pinned below the working precision: the batch block
+            # arrives up-cast (see trainer._iterate), so lift the stored
+            # eigensystem to match (torch.matmul refuses mixed dtypes).
+            v = bk.asarray(v, dtype=bk.dtype_of(phi_block))
+            d_native = bk.asarray(self.d_scale, dtype=bk.dtype_of(phi_block))
         m, l = g.shape
         # Chain order matches the Table-1 cost model: (V^T Phi) first.
         vt_phi = v.T @ phi_block.T  # (q, m): s*m*q ops
         t = vt_phi @ g  # (q, l): q*m*l ops
-        t *= self.d_scale[:, None]
+        t *= d_native[:, None]
         out = v @ t  # (s, l): s*q*l ops
         record_ops("precond", self.s * m * self.q + self.q * m * l + self.s * self.q * l)
         return out
@@ -151,9 +167,7 @@ class NystromPreconditioner:
         sig = np.maximum(self.extension.eigvals, EPS)
         return (sig - self.sigma_q) / sig**2
 
-    def modified_kernel(
-        self, x: np.ndarray, z: np.ndarray | None = None
-    ) -> np.ndarray:
+    def modified_kernel(self, x: Any, z: Any | None = None) -> Any:
         """Explicit adaptive kernel matrix ``K_G(x, z)`` (Remark 2.2):
 
         ``k_G(x,z) = k(x,z) - sum_j w_j (e_j^T phi(x)) (e_j^T phi(z))``.
@@ -161,29 +175,26 @@ class NystromPreconditioner:
         Intended for analysis and tests only — cost is quadratic in the
         evaluation size.
         """
-        x = np.atleast_2d(x)
-        z = x if z is None else np.atleast_2d(z)
-        base = self.extension.kernel(x, z)
-        w = self.projection_weights()
-        bx = self.extension.feature_map(x) @ self.extension.eigvecs  # (n_x, q)
-        bz = (
-            bx
-            if z is x
-            else self.extension.feature_map(z) @ self.extension.eigvecs
+        base = self.extension.kernel(x, z if z is not None else x)
+        bx = self.extension.projections(x)  # (n_x, q)
+        bz = bx if z is None or z is x else self.extension.projections(z)
+        bk = backend_of(bx)
+        w = bk.asarray(
+            self.projection_weights()[None, :], dtype=bk.dtype_of(bx)
         )
-        return base - (bx * w[None, :]) @ bz.T
+        return base - (bx * w) @ bz.T
 
-    def modified_diag(self, x: np.ndarray) -> np.ndarray:
+    def modified_diag(self, x: Any) -> Any:
         """Diagonal ``k_G(x, x)`` without forming the full matrix."""
-        x = np.atleast_2d(x)
         base = self.extension.kernel.diag(x)
-        w = self.projection_weights()
-        bx = self.extension.feature_map(x) @ self.extension.eigvecs
+        bx = self.extension.projections(x)
+        bk = backend_of(bx)
+        w = bk.asarray(self.projection_weights(), dtype=bk.dtype_of(bx))
         return base - (bx**2) @ w
 
     def beta_kg(
         self,
-        eval_x: np.ndarray | None = None,
+        eval_x: Any | None = None,
         *,
         sample_size: int = 2000,
         seed: int | None = 0,
@@ -193,8 +204,9 @@ class NystromPreconditioner:
         if eval_x is None:
             pts = self.points
         else:
-            pts = np.atleast_2d(eval_x)
+            bk = backend_of(eval_x)
+            pts = bk.as_2d(bk.asarray(eval_x))
             if pts.shape[0] > sample_size:
                 rng = np.random.default_rng(seed)
                 pts = pts[rng.choice(pts.shape[0], sample_size, replace=False)]
-        return float(np.max(self.modified_diag(pts)))
+        return float(self.modified_diag(pts).max())

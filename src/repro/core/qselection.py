@@ -36,6 +36,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.backend import to_numpy
 from repro.config import EPS
 from repro.exceptions import ConfigurationError
 from repro.linalg.nystrom import NystromExtension
@@ -91,13 +92,14 @@ def beta_pq_table(
         clipped below at a small positive floor (they are provably
         positive in exact arithmetic).
     """
-    pts = extension.points if eval_x is None else np.atleast_2d(eval_x)
+    pts = extension.points if eval_x is None else eval_x
     sig = np.maximum(extension.eigvals, EPS)  # (Q,)
     big_q = sig.shape[0]
-    # Raw projections a_j(x) = e_j^T phi(x), shape (n_eval, Q).
-    proj = extension.feature_map(pts) @ extension.eigvecs
+    # Raw projections a_j(x) = e_j^T phi(x), shape (n_eval, Q).  The table
+    # scan below is scalar NumPy math, so pull results to the host.
+    proj = to_numpy(extension.projections(pts))
     proj_sq = proj**2
-    diag = extension.kernel.diag(pts)  # (n_eval,)
+    diag = to_numpy(extension.kernel.diag(pts))  # (n_eval,)
     # beta_q(x) = diag(x) - sum_{j<=q} a_j^2/sigma_j + sigma_q * sum_{j<=q} a_j^2/sigma_j^2
     cum1 = np.cumsum(proj_sq / sig[None, :], axis=1)  # (n_eval, Q)
     cum2 = np.cumsum(proj_sq / (sig**2)[None, :], axis=1)

@@ -16,8 +16,11 @@ Nyström relation on the subsample kernel matrix.
 
 from __future__ import annotations
 
+from typing import Any
+
 import numpy as np
 
+from repro.backend import get_backend
 from repro.config import EPS
 from repro.exceptions import ConfigurationError
 from repro.kernels.base import Kernel
@@ -32,10 +35,9 @@ __all__ = [
 ]
 
 
-def _subsample(
-    x: np.ndarray, size: int | None, seed: int | None
-) -> np.ndarray:
-    x = np.atleast_2d(np.asarray(x))
+def _subsample(x: Any, size: int | None, seed: int | None) -> Any:
+    bk = get_backend()
+    x = bk.as_2d(bk.asarray(x))
     n = x.shape[0]
     if size is None or size >= n:
         return x

@@ -27,11 +27,14 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+from typing import Any
 
 import numpy as np
 
-from repro.config import DEFAULT_BLOCK_SCALARS
+from repro.backend import get_backend
+from repro.config import DEFAULT_BLOCK_SCALARS, compute_dtype
 from repro.core.model import KernelModel, as_labels
+from repro.kernels.ops import block_workspace
 from repro.core.stopping import TrainMSETarget, ValidationPlateau
 from repro.device.simulator import SimulatedDevice
 from repro.exceptions import ConfigurationError, NotFittedError
@@ -242,17 +245,27 @@ class BaseKernelTrainer:
             the standard early-stopping-as-regularization readout
             (Yao et al. 2007, cited by the paper).
         """
-        x = np.ascontiguousarray(np.atleast_2d(np.asarray(x, dtype=float)))
-        y = np.asarray(y, dtype=float)
+        # All hot arrays (x, y, alpha, kernel blocks) live on the active
+        # backend; orchestration state (RNG, permutations, metrics) stays
+        # in NumPy.  Under the default NumPy backend this is a no-op.
+        # A kernel pinned to an explicit dtype participates in the working
+        # dtype so kb/alpha/y stay contractible on backends without
+        # implicit promotion (torch).
+        bk = get_backend()
+        dtype = np.result_type(
+            compute_dtype(x, y), self.kernel._eval_dtype(x, x)
+        )
+        x = bk.ascontiguous(bk.as_2d(bk.asarray(x, dtype=dtype)))
+        y = bk.asarray(y, dtype=dtype)
         if y.ndim == 1:
             y = y[:, None]
         if y.shape[0] != x.shape[0]:
             raise ConfigurationError(
                 f"x has {x.shape[0]} rows but y has {y.shape[0]}"
             )
-        if not np.isfinite(x).all():
+        if not bk.all_finite(x):
             raise ConfigurationError("x contains non-finite values")
-        if not np.isfinite(y).all():
+        if not bk.all_finite(y):
             raise ConfigurationError("y contains non-finite values")
         if epochs < 1:
             raise ConfigurationError(f"epochs must be >= 1, got {epochs}")
@@ -261,7 +274,7 @@ class BaseKernelTrainer:
 
         self._x = x
         self._y = y
-        self._alpha = np.zeros((n, l), dtype=x.dtype)
+        self._alpha = bk.zeros((n, l), dtype=bk.dtype_of(x))
         self._setup(x, y)
         if self.batch_size_ is None or self.step_size_ is None:
             raise ConfigurationError(
@@ -285,7 +298,7 @@ class BaseKernelTrainer:
         allocations: list[str] = []
         total_iterations = 0
         best_val = float("inf")
-        best_alpha: np.ndarray | None = None
+        best_alpha: Any | None = None
         t0 = time.perf_counter()
         try:
             if self.device is not None:
@@ -340,7 +353,7 @@ class BaseKernelTrainer:
                     and val_error < best_val
                 ):
                     best_val = val_error
-                    best_alpha = self._alpha.copy()
+                    best_alpha = bk.copy(self._alpha)
                 if mse_stop and mse_stop.should_stop(train_mse):
                     break
                 if plateau and plateau.update(val_error):
@@ -351,20 +364,37 @@ class BaseKernelTrainer:
             if self.device is not None:
                 for name in allocations:
                     self.device.memory.free_allocation(name)
+            # The pooled (m, n) batch block can dwarf the blocked-predict
+            # budget; don't leave it pinned for the thread's lifetime.
+            block_workspace().reset()
         if best_alpha is not None:
             self._alpha[...] = best_alpha
         return self
 
     # -------------------------------------------------------- one iteration
     def _iterate(
-        self, x: np.ndarray, y: np.ndarray, idx: np.ndarray, gamma: float
+        self, x: Any, y: Any, idx: np.ndarray, gamma: float
     ) -> None:
         """One mini-batch step: Algorithm 1 steps 1–5.
 
         Step 2 (predictions) and step 3 (batch coordinate update) are the
         standard SGD of Eq. 3; the correction hook implements steps 4–5.
+        ``x``/``y``/``alpha`` are backend-native; ``idx`` stays a NumPy
+        index array (both backends accept it), and all op counts derive
+        from shapes, keeping the meter backend-invariant.  The ``(m, n)``
+        batch block is fully consumed within this iteration, so it lives
+        in the shared block workspace instead of being re-allocated every
+        step.
         """
-        kb = self.kernel(x[idx], x)  # (m, n): records kernel_eval ops
+        bk = get_backend()
+        block_dtype = self.kernel._eval_dtype(x, x)
+        scratch = block_workspace().get(bk, idx.shape[0], x.shape[0], block_dtype)
+        kb = self.kernel(x[idx], x, out=scratch)  # (m, n): records kernel_eval ops
+        alpha_dtype = bk.dtype_of(self._alpha)
+        if bk.dtype_of(kb) != alpha_dtype:
+            # Kernel pinned below the working precision: cast up before
+            # contracting (torch.matmul refuses mixed dtypes).
+            kb = bk.asarray(kb, dtype=alpha_dtype)
         f = kb @ self._alpha  # (m, l)
         record_ops("gemm", idx.shape[0] * x.shape[0] * self._alpha.shape[1])
         g = f - y[idx]

@@ -31,3 +31,14 @@ class ConvergenceError(ReproError, RuntimeError):
 class DeviceMemoryError(ReproError, MemoryError):
     """Raised when an allocation on a simulated device exceeds its
     internal resource memory ``S_G``."""
+
+
+class BackendUnavailableError(ReproError, ImportError):
+    """Raised when an array backend is requested whose runtime dependency
+    (e.g. ``torch``) is not installed."""
+
+
+class BackendLinAlgError(ReproError, ArithmeticError):
+    """Raised by backend linear-algebra primitives when a factorization
+    fails (e.g. Cholesky of a non-PSD matrix), unifying the distinct
+    exception types of NumPy/SciPy and Torch."""

@@ -20,6 +20,8 @@ from repro.kernels.matern import MaternKernel
 from repro.kernels.polynomial import PolynomialKernel
 from repro.kernels.pairwise import euclidean_distances, sq_euclidean_distances
 from repro.kernels.ops import (
+    BlockWorkspace,
+    block_workspace,
     kernel_matrix,
     kernel_matvec,
     predict_in_blocks,
@@ -27,6 +29,8 @@ from repro.kernels.ops import (
 )
 
 __all__ = [
+    "BlockWorkspace",
+    "block_workspace",
     "Kernel",
     "RadialKernel",
     "GaussianKernel",

@@ -12,6 +12,13 @@ positive-definiteness:
 
 Every concrete kernel therefore exposes :meth:`__call__` (cross kernel
 matrix), :meth:`diag` (needed for ``beta``) and two structural flags.
+
+All array work dispatches through the active
+:class:`~repro.backend.ArrayBackend`, so the same kernel object evaluates
+on NumPy or Torch arrays depending on the ambient :func:`repro.backend.
+use_backend` scope.  Kernel evaluation supports an optional ``out=``
+scratch buffer so the blocked operations in :mod:`repro.kernels.ops` can
+stream ``(b, n)`` blocks without re-allocating per block.
 """
 
 from __future__ import annotations
@@ -21,14 +28,15 @@ from typing import Any
 
 import numpy as np
 
-from repro.config import resolve_dtype
+from repro.backend import get_backend
+from repro.config import compute_dtype, resolve_dtype
 from repro.exceptions import ConfigurationError
 from repro.instrument import record_ops
 from repro.kernels.pairwise import sq_euclidean_distances
 
 
-def _as_2d(name: str, arr: np.ndarray) -> np.ndarray:
-    out = np.asarray(arr)
+def _as_2d(name: str, arr: Any) -> Any:
+    out = get_backend().asarray(arr)
     if out.ndim == 1:
         out = out[None, :]
     if out.ndim != 2:
@@ -54,8 +62,28 @@ class Kernel(abc.ABC):
     #: ``beta(K) == 1``.
     is_normalized: bool = False
 
+    #: Explicitly requested dtype (``None`` = follow inputs / precision
+    #: switch); set by subclass constructors accepting ``dtype=``.
+    _requested_dtype: np.dtype | None = None
+
+    @property
+    def dtype(self) -> np.dtype:
+        """The dtype kernel evaluations resolve to *right now* — the
+        explicitly requested one, else the active precision."""
+        return resolve_dtype(self._requested_dtype)
+
+    def _eval_dtype(self, x: Any, z: Any) -> np.dtype:
+        """Working dtype for one evaluation: an explicit constructor dtype
+        wins; otherwise float32 inputs stay float32 and the precision
+        switch applies (:func:`repro.config.compute_dtype`)."""
+        if self._requested_dtype is not None:
+            return self._requested_dtype
+        return compute_dtype(x, z)
+
     # ------------------------------------------------------------------ api
-    def __call__(self, x: np.ndarray, z: np.ndarray | None = None) -> np.ndarray:
+    def __call__(
+        self, x: Any, z: Any | None = None, out: Any | None = None
+    ) -> Any:
         """Evaluate the kernel matrix ``K[i, j] = k(x_i, z_j)``.
 
         Parameters
@@ -66,6 +94,9 @@ class Kernel(abc.ABC):
         z:
             Array of shape ``(n_z, d)``; defaults to ``x`` (symmetric
             kernel matrix).
+        out:
+            Optional ``(n_x, n_z)`` scratch buffer in the working dtype;
+            ignored when shape or dtype mismatch.
         """
         x = _as_2d("x", x)
         z = x if z is None else _as_2d("z", z)
@@ -74,25 +105,33 @@ class Kernel(abc.ABC):
                 f"feature dimensions differ: x has d={x.shape[1]}, "
                 f"z has d={z.shape[1]}"
             )
-        out = self._cross(x, z)
+        if out is not None:
+            bk = get_backend()
+            if tuple(out.shape) != (x.shape[0], z.shape[0]) or bk.dtype_of(
+                out
+            ) != self._eval_dtype(x, z):
+                out = None
+        result = self._cross(x, z, out=out)
         # Pairwise-evaluation cost per the paper's cost model: n_x * n_z * d.
+        # Computed from shapes only, hence backend-invariant.
         record_ops("kernel_eval", x.shape[0] * z.shape[0] * x.shape[1])
-        return out
+        return result
 
     @abc.abstractmethod
-    def _cross(self, x: np.ndarray, z: np.ndarray) -> np.ndarray:
-        """Compute the dense ``(n_x, n_z)`` kernel block."""
+    def _cross(self, x: Any, z: Any, out: Any | None = None) -> Any:
+        """Compute the dense ``(n_x, n_z)`` kernel block, writing into
+        ``out`` when given (shape/dtype already validated)."""
 
     @abc.abstractmethod
-    def diag(self, x: np.ndarray) -> np.ndarray:
+    def diag(self, x: Any) -> Any:
         """Return ``[k(x_i, x_i)]`` of shape ``(n_x,)`` without forming the
         full kernel matrix."""
 
     # --------------------------------------------------------------- helpers
-    def beta(self, x: np.ndarray) -> float:
+    def beta(self, x: Any) -> float:
         """``beta(K) = max_i k(x_i, x_i)`` over rows of ``x`` (Section 2)."""
         x = _as_2d("x", x)
-        return float(np.max(self.diag(x)))
+        return float(self.diag(x).max())
 
     def params(self) -> dict[str, Any]:
         """Constructor parameters, for reporting and reconstruction."""
@@ -116,9 +155,11 @@ class RadialKernel(Kernel):
     """Base class for shift-invariant radial kernels ``k(x,z) = g(||x-z||^2)``.
 
     Subclasses implement :meth:`_profile`, mapping an array of *squared*
-    Euclidean distances to kernel values.  All radial kernels here are
-    normalized (``g(0) = 1``), matching the paper's observation that
-    ``beta(K) = 1`` after normalization.
+    Euclidean distances to kernel values *in place* (the argument is always
+    a freshly computed — or scratch — distance block that may be
+    overwritten).  All radial kernels here are normalized (``g(0) = 1``),
+    matching the paper's observation that ``beta(K) = 1`` after
+    normalization.
     """
 
     is_shift_invariant = True
@@ -131,21 +172,22 @@ class RadialKernel(Kernel):
                 f"bandwidth must be a positive finite number, got {bandwidth}"
             )
         self.bandwidth = bandwidth
-        self.dtype = resolve_dtype(dtype)
+        self._requested_dtype = (
+            None if dtype is None else resolve_dtype(dtype)
+        )
 
     @abc.abstractmethod
-    def _profile(self, sq_dists: np.ndarray) -> np.ndarray:
-        """Map squared distances to kernel values (vectorized)."""
+    def _profile(self, sq_dists: Any) -> Any:
+        """Map squared distances to kernel values (vectorized, may operate
+        in place on its argument)."""
 
-    def _cross(self, x: np.ndarray, z: np.ndarray) -> np.ndarray:
-        sq = sq_euclidean_distances(
-            np.asarray(x, dtype=self.dtype), np.asarray(z, dtype=self.dtype)
-        )
+    def _cross(self, x: Any, z: Any, out: Any | None = None) -> Any:
+        sq = sq_euclidean_distances(x, z, out=out, dtype=self._eval_dtype(x, z))
         return self._profile(sq)
 
-    def diag(self, x: np.ndarray) -> np.ndarray:
+    def diag(self, x: Any) -> Any:
         x = _as_2d("x", x)
-        return np.ones(x.shape[0], dtype=self.dtype)
+        return get_backend().ones(x.shape[0], dtype=self._eval_dtype(x, x))
 
     def params(self) -> dict[str, Any]:
         return {"bandwidth": self.bandwidth}

@@ -9,8 +9,9 @@ for the acceleration analysis of Appendix C.
 
 from __future__ import annotations
 
-import numpy as np
+from typing import Any
 
+from repro.backend import get_backend
 from repro.kernels.base import RadialKernel
 
 
@@ -19,8 +20,8 @@ class CauchyKernel(RadialKernel):
 
     name = "cauchy"
 
-    def _profile(self, sq_dists: np.ndarray) -> np.ndarray:
-        out = sq_dists * (1.0 / (self.bandwidth * self.bandwidth))
+    def _profile(self, sq_dists: Any) -> Any:
+        out = sq_dists
+        out *= 1.0 / (self.bandwidth * self.bandwidth)
         out += 1.0
-        np.reciprocal(out, out=out)
-        return out
+        return get_backend().reciprocal(out, out=out)

@@ -8,8 +8,9 @@ modification pays off so much.
 
 from __future__ import annotations
 
-import numpy as np
+from typing import Any
 
+from repro.backend import get_backend
 from repro.kernels.base import RadialKernel
 
 
@@ -21,13 +22,13 @@ class GaussianKernel(RadialKernel):
     bandwidth:
         The ``sigma`` in ``exp(-||x-z||^2 / (2 sigma^2))``; must be > 0.
     dtype:
-        Floating dtype for kernel evaluations (default: package default).
+        Floating dtype for kernel evaluations (default: follow inputs and
+        the precision switch).
     """
 
     name = "gaussian"
 
-    def _profile(self, sq_dists: np.ndarray) -> np.ndarray:
-        scale = -0.5 / (self.bandwidth * self.bandwidth)
-        out = sq_dists * scale
-        np.exp(out, out=out)
-        return out
+    def _profile(self, sq_dists: Any) -> Any:
+        out = sq_dists
+        out *= -0.5 / (self.bandwidth * self.bandwidth)
+        return get_backend().exp(out, out=out)

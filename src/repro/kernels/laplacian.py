@@ -9,8 +9,9 @@ claims.  Note the distance here is the Euclidean norm, not the L1 norm.
 
 from __future__ import annotations
 
-import numpy as np
+from typing import Any
 
+from repro.backend import get_backend
 from repro.kernels.base import RadialKernel
 
 
@@ -22,13 +23,14 @@ class LaplacianKernel(RadialKernel):
     bandwidth:
         The ``sigma`` in ``exp(-||x-z|| / sigma)``; must be > 0.
     dtype:
-        Floating dtype for kernel evaluations (default: package default).
+        Floating dtype for kernel evaluations (default: follow inputs and
+        the precision switch).
     """
 
     name = "laplacian"
 
-    def _profile(self, sq_dists: np.ndarray) -> np.ndarray:
-        out = np.sqrt(sq_dists)
+    def _profile(self, sq_dists: Any) -> Any:
+        bk = get_backend()
+        out = bk.sqrt(sq_dists, out=sq_dists)
         out *= -1.0 / self.bandwidth
-        np.exp(out, out=out)
-        return out
+        return bk.exp(out, out=out)

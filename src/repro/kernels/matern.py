@@ -18,10 +18,10 @@ Closed forms implemented (``r = ||x - z||``, bandwidth ``sigma``):
 
 from __future__ import annotations
 
+import math
 from typing import Any
 
-import numpy as np
-
+from repro.backend import get_backend
 from repro.exceptions import ConfigurationError
 from repro.kernels.base import RadialKernel
 
@@ -56,20 +56,25 @@ class MaternKernel(RadialKernel):
             )
         self.nu = nu
 
-    def _profile(self, sq_dists: np.ndarray) -> np.ndarray:
-        r = np.sqrt(sq_dists)
+    def _profile(self, sq_dists: Any) -> Any:
+        bk = get_backend()
+        r = bk.sqrt(sq_dists, out=sq_dists)
         if self.nu == 0.5:
-            out = r * (-1.0 / self.bandwidth)
-            np.exp(out, out=out)
-            return out
+            r *= -1.0 / self.bandwidth
+            return bk.exp(r, out=r)
+        # nu = 3/2, 5/2: both exp(-a r) and the polynomial in (a r) are
+        # needed, so one extra (b, n) temporary per block is unavoidable;
+        # negating in place keeps it to exactly one.
         if self.nu == 1.5:
-            ar = r * (np.sqrt(3.0) / self.bandwidth)
-            out = np.exp(-ar)
-            out *= 1.0 + ar
+            nar = r
+            nar *= -math.sqrt(3.0) / self.bandwidth  # nar = -a r
+            out = bk.exp(nar)
+            out *= 1.0 - nar
             return out
-        ar = r * (np.sqrt(5.0) / self.bandwidth)
-        out = np.exp(-ar)
-        out *= 1.0 + ar + ar * ar / 3.0
+        nar = r
+        nar *= -math.sqrt(5.0) / self.bandwidth  # nar = -a r
+        out = bk.exp(nar)
+        out *= 1.0 - nar + nar * nar / 3.0
         return out
 
     def params(self) -> dict[str, Any]:

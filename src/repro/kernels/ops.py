@@ -9,25 +9,109 @@ the weights.  Peak temporary memory is capped at a configurable number of
 scalars, which is the paper's "more effective memory management" lever
 (Section 6) and what lets the same code scale from unit tests to the
 million-point benchmark configurations.
+
+Two substrate features keep the streaming cheap:
+
+- all array work dispatches through the active
+  :class:`~repro.backend.ArrayBackend`, so the same code runs on NumPy or
+  Torch (CPU/CUDA) arrays;
+- successive ``(b, n)`` blocks are written into a per-thread
+  :class:`BlockWorkspace` scratch buffer instead of being re-allocated per
+  block — a measurable win even on the pure-NumPy path, since a 64 MB
+  temporary per block otherwise churns the allocator and the page cache.
 """
 
 from __future__ import annotations
 
-from typing import Iterator
+import threading
+from typing import Any, Iterator
 
 import numpy as np
 
-from repro.config import DEFAULT_BLOCK_SCALARS
+from repro.backend import ArrayBackend, get_backend
+from repro.config import DEFAULT_BLOCK_SCALARS, compute_dtype
 from repro.exceptions import ConfigurationError
 from repro.instrument import record_ops
 from repro.kernels.base import Kernel
 
 __all__ = [
+    "BlockWorkspace",
+    "block_workspace",
     "row_block_sizes",
     "kernel_matrix",
     "kernel_matvec",
     "predict_in_blocks",
 ]
+
+
+class BlockWorkspace:
+    """Per-thread pool of reusable scratch buffers for streamed blocks.
+
+    One flat buffer is kept per ``(backend, device, dtype)`` key, sized to
+    the largest block requested so far under that key; block views are
+    carved out of it with zero-copy reshapes.  Because a buffer is
+    recycled the moment the next block is requested, callers must finish
+    consuming a block (e.g. contract it against the weights) before
+    asking for the next one — exactly the streaming discipline of
+    :func:`kernel_matvec`.
+
+    The scalar budget therefore caps the scratch held *per key*; a
+    workload that touches several dtypes or backends on one thread keeps
+    one buffer alive for each.  :attr:`peak_scalars` tracks the
+    high-water mark of the *total* resident scratch across keys, which
+    the memory-bound tests assert against
+    :data:`~repro.config.DEFAULT_BLOCK_SCALARS`; call :meth:`reset` to
+    drop everything.
+    """
+
+    def __init__(self) -> None:
+        self._local = threading.local()
+
+    def _cache(self) -> dict:
+        cache = getattr(self._local, "buffers", None)
+        if cache is None:
+            cache = {}
+            self._local.buffers = cache
+            self._local.peak = 0
+        return cache
+
+    @property
+    def peak_scalars(self) -> int:
+        """High-water mark of total resident scratch scalars (all pooled
+        buffers summed) on this thread since the last :meth:`reset`."""
+        self._cache()
+        return self._local.peak
+
+    def reset(self) -> None:
+        """Drop this thread's buffers and zero its high-water mark."""
+        self._local.buffers = {}
+        self._local.peak = 0
+
+    def get(self, bk: ArrayBackend, n_rows: int, n_cols: int, dtype: object) -> Any:
+        """A ``(n_rows, n_cols)`` scratch block, reusing pooled memory."""
+        dtype = np.dtype(dtype)
+        cache = self._cache()
+        # Device is part of the key: torch:cpu and torch:cuda must never
+        # hand each other buffers.
+        key = (bk.name, str(getattr(bk, "device", "")), dtype.str)
+        need = int(n_rows) * int(n_cols)
+        buf = cache.get(key)
+        if buf is None or buf.shape[0] < need:
+            buf = bk.empty((need,), dtype=dtype)
+            cache[key] = buf
+            total = sum(int(b.shape[0]) for b in cache.values())
+            self._local.peak = max(self._local.peak, total)
+        return buf[:need].reshape(n_rows, n_cols)
+
+
+#: Process-wide workspace (internally per-thread); shared by all blocked
+#: operations in this module.
+_WORKSPACE = BlockWorkspace()
+
+
+def block_workspace() -> BlockWorkspace:
+    """The module's shared :class:`BlockWorkspace` (per-thread buffers)."""
+    return _WORKSPACE
 
 
 def row_block_sizes(
@@ -72,15 +156,17 @@ def iter_row_blocks(
 
 def kernel_matrix(
     kernel: Kernel,
-    x: np.ndarray,
-    z: np.ndarray | None = None,
+    x: Any,
+    z: Any | None = None,
     max_scalars: int = DEFAULT_BLOCK_SCALARS,
-    out: np.ndarray | None = None,
-) -> np.ndarray:
+    out: Any | None = None,
+) -> Any:
     """Dense kernel matrix ``K(x, z)``, computed in row blocks.
 
     Unlike ``kernel(x, z)`` this never holds more than one block of
-    *intermediate* distance matrix at a time (the output itself is dense).
+    *intermediate* distance matrix at a time (the output itself is dense);
+    each block is in fact written straight into its slice of ``out``, so no
+    per-block temporary exists at all.
 
     Parameters
     ----------
@@ -93,33 +179,46 @@ def kernel_matrix(
     out:
         Optional preallocated ``(n_x, n_z)`` output.
     """
-    x = np.atleast_2d(np.asarray(x))
-    z = x if z is None else np.atleast_2d(np.asarray(z))
+    bk = get_backend()
+    x = bk.as_2d(bk.asarray(x))
+    z = x if z is None else bk.as_2d(bk.asarray(z))
     n_x, n_z = x.shape[0], z.shape[0]
     if out is None:
-        out = np.empty((n_x, n_z), dtype=np.result_type(x, z, np.float64))
-    elif out.shape != (n_x, n_z):
+        # As in kernel_matvec: an explicitly pinned kernel dtype must not
+        # be silently downcast away (and matching dtypes lets each block
+        # be written straight into its out slice).
+        dtype = np.result_type(compute_dtype(x, z), kernel._eval_dtype(x, z))
+        out = bk.empty((n_x, n_z), dtype=dtype)
+    elif tuple(out.shape) != (n_x, n_z):
         raise ConfigurationError(
-            f"out has shape {out.shape}, expected {(n_x, n_z)}"
+            f"out has shape {tuple(out.shape)}, expected {(n_x, n_z)}"
         )
     for rows in iter_row_blocks(n_x, n_z, max_scalars):
-        out[rows] = kernel(x[rows], z)
+        dest = out[rows]
+        block = kernel(x[rows], z, out=dest)
+        if block is not dest:
+            # The kernel declined the destination (dtype mismatch): copy.
+            out[rows] = block
     return out
 
 
 def kernel_matvec(
     kernel: Kernel,
-    x: np.ndarray,
-    centers: np.ndarray,
-    weights: np.ndarray,
+    x: Any,
+    centers: Any,
+    weights: Any,
     max_scalars: int = DEFAULT_BLOCK_SCALARS,
-) -> np.ndarray:
+) -> Any:
     """Compute ``K(x, centers) @ weights`` without materialising ``K``.
 
     This is the model evaluation ``f(x_j) = sum_i alpha_i k(c_i, x_j)``
     (Algorithm 1, step 2) for every row of ``x``.  Cost per the paper's
     model: ``n_x * n * d`` kernel evaluations plus ``n_x * n * l`` GEMM
     operations, both recorded on the active :class:`~repro.instrument.OpMeter`.
+    Streamed ``(b, n)`` kernel blocks live in the shared
+    :class:`BlockWorkspace`, so the distance/kernel block is never
+    re-allocated per block (profiles needing an auxiliary array, e.g.
+    Matérn ν ≥ 3/2, still allocate that one temporary).
 
     Parameters
     ----------
@@ -128,12 +227,18 @@ def kernel_matvec(
 
     Returns
     -------
-    numpy.ndarray
-        Shape ``(n_x,)`` or ``(n_x, l)`` matching ``weights``.
+    Array of shape ``(n_x,)`` or ``(n_x, l)`` matching ``weights``, native
+    to the active backend.
     """
-    x = np.atleast_2d(np.asarray(x))
-    centers = np.atleast_2d(np.asarray(centers))
-    weights = np.asarray(weights)
+    bk = get_backend()
+    data_dtype = compute_dtype(x, centers, weights)
+    x = bk.as_2d(bk.asarray(x, dtype=data_dtype))
+    centers = bk.as_2d(bk.asarray(centers, dtype=data_dtype))
+    # An explicitly requested kernel dtype participates in the output
+    # dtype (it must not be silently downcast away in the streamed path).
+    block_dtype = kernel._eval_dtype(x, centers)
+    out_dtype = np.result_type(data_dtype, block_dtype)
+    weights = bk.asarray(weights, dtype=out_dtype)
     if weights.shape[0] != centers.shape[0]:
         raise ConfigurationError(
             f"weights has {weights.shape[0]} rows but there are "
@@ -143,20 +248,26 @@ def kernel_matvec(
     w2 = weights[:, None] if squeeze else weights
     n_x, n = x.shape[0], centers.shape[0]
     l = w2.shape[1]
-    out = np.empty((n_x, l), dtype=np.result_type(x, centers, w2, np.float64))
+    out = bk.empty((n_x, l), dtype=out_dtype)
     for rows in iter_row_blocks(n_x, n, max_scalars):
-        block = kernel(x[rows], centers)
-        np.matmul(block, w2, out=out[rows])
-        record_ops("gemm", block.shape[0] * n * l)
+        scratch = _WORKSPACE.get(bk, rows.stop - rows.start, n, block_dtype)
+        block = kernel(x[rows], centers, out=scratch)
+        if block_dtype != out_dtype:
+            # Kernel pinned to a lower precision than the data: cast up
+            # before contracting (NumPy would promote implicitly,
+            # torch.matmul refuses mixed dtypes).
+            block = bk.asarray(block, dtype=out_dtype)
+        bk.matmul(block, w2, out=out[rows])
+        record_ops("gemm", (rows.stop - rows.start) * n * l)
     return out[:, 0] if squeeze else out
 
 
 def predict_in_blocks(
     kernel: Kernel,
-    centers: np.ndarray,
-    weights: np.ndarray,
-    x: np.ndarray,
+    centers: Any,
+    weights: Any,
+    x: Any,
     max_scalars: int = DEFAULT_BLOCK_SCALARS,
-) -> np.ndarray:
+) -> Any:
     """Alias of :func:`kernel_matvec` with model-centric argument order."""
     return kernel_matvec(kernel, x, centers, weights, max_scalars=max_scalars)

@@ -7,25 +7,35 @@ the standard expansion
 
     ||x - z||^2 = ||x||^2 + ||z||^2 - 2 <x, z>
 
-so the inner products route through BLAS (a single GEMM), per the
-vectorization guidance of the ml-systems style guide.  The expansion can
-produce tiny negative values for nearly-identical points, so results are
-clipped at zero before any square root.
+so the inner products route through a single GEMM on the active
+:class:`~repro.backend.ArrayBackend` (BLAS on the NumPy backend, cuBLAS on
+Torch/CUDA), per the vectorization guidance of the ml-systems style guide.
+The expansion can produce tiny negative values for nearly-identical points,
+so results are clipped at zero before any square root.
+
+The working dtype comes from :func:`repro.config.compute_dtype`: float32
+inputs compute in float32 (no silent promotion to float64), and an explicit
+:func:`repro.config.use_precision` scope overrides input dtypes entirely.
 """
 
 from __future__ import annotations
 
-import numpy as np
+from typing import Any
+
+from repro.backend import get_backend
+from repro.config import compute_dtype
 
 __all__ = ["sq_euclidean_distances", "euclidean_distances"]
 
 
 def sq_euclidean_distances(
-    x: np.ndarray,
-    z: np.ndarray,
-    x_sq_norms: np.ndarray | None = None,
-    z_sq_norms: np.ndarray | None = None,
-) -> np.ndarray:
+    x: Any,
+    z: Any,
+    x_sq_norms: Any | None = None,
+    z_sq_norms: Any | None = None,
+    out: Any | None = None,
+    dtype: Any | None = None,
+) -> Any:
     """Squared Euclidean distance matrix ``D[i, j] = ||x_i - z_j||^2``.
 
     Parameters
@@ -38,38 +48,60 @@ def sq_euclidean_distances(
         Optional precomputed row squared norms (shape ``(n_x,)`` /
         ``(n_z,)``).  Callers that evaluate many blocks against the same
         centers should precompute ``z_sq_norms`` once.
+    out:
+        Optional preallocated ``(n_x, n_z)`` destination in the working
+        dtype; reused by the blocked operations of
+        :mod:`repro.kernels.ops` to avoid per-block allocation.
+    dtype:
+        Explicit working dtype; overrides both input dtypes and the
+        ambient precision switch (used by kernels constructed with an
+        explicit ``dtype=``).
 
     Returns
     -------
-    numpy.ndarray
-        Shape ``(n_x, n_z)``, non-negative.
+    Array of shape ``(n_x, n_z)``, non-negative, native to the active
+    backend.
     """
-    x = np.atleast_2d(np.asarray(x))
-    z = np.atleast_2d(np.asarray(z))
+    bk = get_backend()
+    if dtype is None:
+        dtype = compute_dtype(x, z)
+    x = bk.as_2d(bk.asarray(x, dtype=dtype))
+    z = bk.as_2d(bk.asarray(z, dtype=dtype))
     if x_sq_norms is None:
-        x_sq_norms = np.einsum("ij,ij->i", x, x)
+        x_sq_norms = bk.row_sq_norms(x)
+    else:
+        x_sq_norms = bk.asarray(x_sq_norms, dtype=dtype)
     if z_sq_norms is None:
-        z_sq_norms = np.einsum("ij,ij->i", z, z)
+        z_sq_norms = bk.row_sq_norms(z)
+    else:
+        z_sq_norms = bk.asarray(z_sq_norms, dtype=dtype)
+    if out is not None and (
+        tuple(out.shape) != (x.shape[0], z.shape[0]) or bk.dtype_of(out) != dtype
+    ):
+        out = None  # mismatched scratch space: fall back to allocating
     # GEMM does the heavy lifting; broadcasting adds the norms.
-    d = x @ z.T
+    d = bk.matmul(x, z.T, out=out)
     d *= -2.0
     d += x_sq_norms[:, None]
     d += z_sq_norms[None, :]
-    np.maximum(d, 0.0, out=d)
+    bk.clip_min(d, 0.0, out=d)
     return d
 
 
 def euclidean_distances(
-    x: np.ndarray,
-    z: np.ndarray,
-    x_sq_norms: np.ndarray | None = None,
-    z_sq_norms: np.ndarray | None = None,
-) -> np.ndarray:
+    x: Any,
+    z: Any,
+    x_sq_norms: Any | None = None,
+    z_sq_norms: Any | None = None,
+    out: Any | None = None,
+    dtype: Any | None = None,
+) -> Any:
     """Euclidean distance matrix ``D[i, j] = ||x_i - z_j||``.
 
     Same contract as :func:`sq_euclidean_distances`; the square root is
     taken in place on the squared distances.
     """
-    d = sq_euclidean_distances(x, z, x_sq_norms, z_sq_norms)
-    np.sqrt(d, out=d)
+    bk = get_backend()
+    d = sq_euclidean_distances(x, z, x_sq_norms, z_sq_norms, out=out, dtype=dtype)
+    bk.sqrt(d, out=d)
     return d

@@ -12,6 +12,7 @@ from typing import Any
 
 import numpy as np
 
+from repro.backend import get_backend
 from repro.config import resolve_dtype
 from repro.exceptions import ConfigurationError
 from repro.kernels.base import Kernel, _as_2d
@@ -52,24 +53,29 @@ class PolynomialKernel(Kernel):
         self.degree = degree
         self.gamma = float(gamma)
         self.coef0 = float(coef0)
-        self.dtype = resolve_dtype(dtype)
+        self._requested_dtype = (
+            None if dtype is None else resolve_dtype(dtype)
+        )
 
-    def _cross(self, x: np.ndarray, z: np.ndarray) -> np.ndarray:
-        x = np.asarray(x, dtype=self.dtype)
-        z = np.asarray(z, dtype=self.dtype)
-        out = x @ z.T
+    def _cross(self, x: Any, z: Any, out: Any | None = None) -> Any:
+        bk = get_backend()
+        dtype = self._eval_dtype(x, z)
+        x = bk.asarray(x, dtype=dtype)
+        z = bk.asarray(z, dtype=dtype)
+        out = bk.matmul(x, z.T, out=out)
         out *= self.gamma
         out += self.coef0
         if self.degree != 1:
-            np.power(out, self.degree, out=out)
+            bk.power(out, self.degree, out=out)
         return out
 
-    def diag(self, x: np.ndarray) -> np.ndarray:
-        x = _as_2d("x", np.asarray(x, dtype=self.dtype))
-        sq = np.einsum("ij,ij->i", x, x)
+    def diag(self, x: Any) -> Any:
+        bk = get_backend()
+        x = bk.asarray(_as_2d("x", x), dtype=self._eval_dtype(x, x))
+        sq = bk.row_sq_norms(x)
         out = self.gamma * sq + self.coef0
         if self.degree != 1:
-            np.power(out, self.degree, out=out)
+            bk.power(out, self.degree, out=out)
         return out
 
     def params(self) -> dict[str, Any]:

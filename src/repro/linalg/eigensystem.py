@@ -2,22 +2,28 @@
 
 Two strategies, behind one entry point (:func:`top_eigensystem`):
 
-- **Dense subset** (LAPACK ``syevr`` via :func:`scipy.linalg.eigh`): exact,
-  right choice when the matrix side is at most a few thousand — the usual
-  case since EigenPro's subsample size ``s`` is ``2e3``–``1.2e4``.
+- **Dense subset**: exact, right choice when the matrix side is at most a
+  few thousand — the usual case since EigenPro's subsample size ``s`` is
+  ``2e3``–``1.2e4``.  On the NumPy backend this is LAPACK ``syevr`` via
+  :func:`scipy.linalg.eigh`; the Torch backend solves the full
+  eigensystem and slices (torch has no subset driver).
 - **Randomized range-finder** (Halko-Martinsson-Tropp): O(s^2 (q + p))
   instead of O(s^3); used automatically for large ``s`` with modest ``q``,
   and directly exercised by the original-EigenPro baseline which computed
   its eigensystem this way.
 
-Both return eigenvalues in *descending* order, eigenvectors as columns.
+Both return eigen*values* in *descending* order as NumPy arrays (they feed
+the scalar parameter-selection math) and eigen*vectors* as columns, native
+to the active :class:`~repro.backend.ArrayBackend`.
 """
 
 from __future__ import annotations
 
-import numpy as np
-import scipy.linalg
+from typing import Any
 
+import numpy as np
+
+from repro.backend import get_backend
 from repro.exceptions import ConfigurationError
 from repro.instrument import record_ops
 from repro.linalg.stable import symmetrize
@@ -29,20 +35,22 @@ __all__ = ["top_eigensystem", "randomized_top_eigensystem"]
 _DENSE_SIDE_LIMIT = 4096
 
 
-def _validate_square(a: np.ndarray) -> np.ndarray:
-    a = np.asarray(a)
+def _validate_square(a: Any) -> Any:
+    a = get_backend().asarray(a)
     if a.ndim != 2 or a.shape[0] != a.shape[1]:
-        raise ConfigurationError(f"expected a square matrix, got shape {a.shape}")
+        raise ConfigurationError(
+            f"expected a square matrix, got shape {tuple(a.shape)}"
+        )
     return a
 
 
 def top_eigensystem(
-    a: np.ndarray,
+    a: Any,
     q: int,
     *,
     method: str = "auto",
     seed: int | None = 0,
-) -> tuple[np.ndarray, np.ndarray]:
+) -> tuple[np.ndarray, Any]:
     """Top-``q`` eigenpairs of symmetric PSD ``a``, eigenvalues descending.
 
     Parameters
@@ -60,8 +68,9 @@ def top_eigensystem(
     Returns
     -------
     (eigvals, eigvecs):
-        ``eigvals`` of shape ``(q,)`` descending; ``eigvecs`` of shape
-        ``(s, q)`` with orthonormal columns, ``a @ v_i ≈ eigvals_i * v_i``.
+        ``eigvals``: NumPy array of shape ``(q,)``, descending;
+        ``eigvecs``: backend-native ``(s, q)`` with orthonormal columns,
+        ``a @ v_i ≈ eigvals_i * v_i``.
     """
     a = _validate_square(a)
     s = a.shape[0]
@@ -79,19 +88,17 @@ def top_eigensystem(
 
     a = symmetrize(a)
     record_ops("eig", s * s * s)  # cubic dense-eigensolver cost model
-    vals, vecs = scipy.linalg.eigh(a, subset_by_index=(s - q, s - 1))
-    # eigh returns ascending order; flip to descending.
-    return vals[::-1].copy(), vecs[:, ::-1].copy()
+    return get_backend().top_eigh(a, q)
 
 
 def randomized_top_eigensystem(
-    a: np.ndarray,
+    a: Any,
     q: int,
     *,
     n_oversample: int = 10,
     n_power_iter: int = 2,
     seed: int | None = 0,
-) -> tuple[np.ndarray, np.ndarray]:
+) -> tuple[np.ndarray, Any]:
     """Randomized top-``q`` eigensystem (Halko et al., 2011, Alg. 5.3-ish).
 
     Builds an orthonormal basis ``Q`` for the range of ``a`` from a Gaussian
@@ -101,11 +108,15 @@ def randomized_top_eigensystem(
     the kernel matrices of this paper — a handful of power iterations gives
     near machine-precision leading eigenpairs.
 
+    The Gaussian sketch is always drawn with NumPy's generator and pushed
+    to the backend, so the result is backend-independent for a given seed.
+
     Returns
     -------
     (eigvals, eigvecs):
         As in :func:`top_eigensystem`.
     """
+    bk = get_backend()
     a = symmetrize(_validate_square(a))
     s = a.shape[0]
     q = int(q)
@@ -113,18 +124,20 @@ def randomized_top_eigensystem(
         raise ConfigurationError(f"q must be in [1, {s}], got {q}")
     rng = np.random.default_rng(seed)
     n_cols = min(s, q + int(n_oversample))
-    sketch = rng.standard_normal((s, n_cols))
+    sketch = bk.asarray(
+        rng.standard_normal((s, n_cols)), dtype=bk.dtype_of(a)
+    )
     y = a @ sketch
     record_ops("eig", s * s * n_cols)
     # Subspace (power) iteration with re-orthogonalization for stability.
     for _ in range(int(n_power_iter)):
-        quu, _ = np.linalg.qr(y)
+        quu, _ = bk.qr(y)
         y = a @ quu
         record_ops("eig", s * s * n_cols)
-    qmat, _ = np.linalg.qr(y)
+    qmat, _ = bk.qr(y)
     small = symmetrize(qmat.T @ a @ qmat)
     record_ops("eig", 2 * s * s * n_cols)
-    vals, vecs = np.linalg.eigh(small)
-    vals = vals[::-1][:q].copy()
-    vecs = (qmat @ vecs[:, ::-1])[:, :q]
-    return vals, vecs
+    vals, vecs = bk.eigh(small)
+    vals_np = bk.to_numpy(vals)[::-1][:q].copy()
+    vecs = bk.matmul(qmat, bk.flip_columns(vecs))[:, :q]
+    return vals_np, vecs

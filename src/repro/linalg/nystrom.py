@@ -22,9 +22,11 @@ property-style in ``tests/test_linalg_nystrom.py``.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any
 
 import numpy as np
 
+from repro.backend import backend_of, get_backend
 from repro.config import EPS
 from repro.exceptions import ConfigurationError
 from repro.kernels.base import Kernel
@@ -42,21 +44,24 @@ class NystromExtension:
     kernel:
         The kernel whose operator is being approximated.
     points:
-        The ``(s, d)`` subsample points ``x_r1 ... x_rs``.
+        The ``(s, d)`` subsample points ``x_r1 ... x_rs``
+        (backend-native).
     eigvals:
         ``(q,)`` eigenvalues ``sigma_i`` of the *subsample matrix* ``K_s``,
-        descending.  Note these are matrix eigenvalues, not operator ones.
+        descending, always a NumPy array (they feed scalar selection
+        math).  Note these are matrix eigenvalues, not operator ones.
     eigvecs:
-        ``(s, q)`` orthonormal eigenvectors of ``K_s`` (columns).
+        ``(s, q)`` orthonormal eigenvectors of ``K_s`` (columns,
+        backend-native).
     indices:
         Indices of the subsample within the original training set, or
         ``None`` when the points were supplied directly.
     """
 
     kernel: Kernel
-    points: np.ndarray
+    points: Any
     eigvals: np.ndarray
-    eigvecs: np.ndarray
+    eigvecs: Any
     indices: np.ndarray | None = None
 
     def __post_init__(self) -> None:
@@ -64,12 +69,13 @@ class NystromExtension:
             raise ConfigurationError("points must be 2-D (s, d)")
         s = self.points.shape[0]
         q = self.eigvals.shape[0]
-        if self.eigvecs.shape != (s, q):
+        if tuple(self.eigvecs.shape) != (s, q):
             raise ConfigurationError(
-                f"eigvecs shape {self.eigvecs.shape} inconsistent with "
+                f"eigvecs shape {tuple(self.eigvecs.shape)} inconsistent with "
                 f"s={s}, q={q}"
             )
-        if q > 1 and np.any(np.diff(self.eigvals) > 1e-9 * abs(self.eigvals[0])):
+        eigvals = backend_of(self.eigvals).to_numpy(self.eigvals)
+        if q > 1 and np.any(np.diff(eigvals) > 1e-9 * abs(eigvals[0])):
             raise ConfigurationError("eigvals must be sorted descending")
 
     # ---------------------------------------------------------- properties
@@ -91,26 +97,43 @@ class NystromExtension:
         return self.eigvals / self.s
 
     # ------------------------------------------------------------- queries
-    def feature_map(self, x: np.ndarray) -> np.ndarray:
+    def feature_map(self, x: Any) -> Any:
         """``phi(x)``: the ``(n_x, s)`` kernel block against the subsample."""
-        return self.kernel(np.atleast_2d(x), self.points)
+        return self.kernel(x, self.points)
 
-    def eigenfunction_values(self, x: np.ndarray) -> np.ndarray:
+    def projections(self, x: Any) -> Any:
+        """Raw eigenvector projections ``phi(x) @ V``, shape ``(n_x, q)``.
+
+        The stored eigenvectors are converted to the backend that produced
+        ``phi(x)`` (the *active* one), so an extension built under one
+        backend can be queried under another.
+        """
+        phi = self.feature_map(x)
+        bk = backend_of(phi)
+        vecs = bk.asarray(self.eigvecs, dtype=bk.dtype_of(phi))
+        return phi @ vecs
+
+    def eigenfunction_values(self, x: Any) -> Any:
         """L2-normalized eigenfunction values ``ẽ_i(x)``, shape ``(n_x, q)``.
 
         Computed as ``(sqrt(s)/sigma_i) * (phi(x) @ e_i)``.  On the
         subsample points themselves this reproduces ``sqrt(s) * e_i`` (the
         empirical L2 normalization) up to Nyström error.
         """
-        phi = self.feature_map(x)
+        proj = self.projections(x)
         scale = np.sqrt(self.s) / np.maximum(self.eigvals, EPS)
-        return (phi @ self.eigvecs) * scale[None, :]
+        bk = backend_of(proj)
+        return proj * bk.asarray(scale[None, :], dtype=bk.dtype_of(proj))
 
-    def rkhs_coefficients(self) -> np.ndarray:
+    def rkhs_coefficients(self) -> Any:
         """Coefficient matrix ``C`` of shape ``(s, q)`` such that the
         RKHS-normalized eigenfunction is ``ê_i = sum_j C[j, i] k(x_rj, .)``,
         i.e. ``C[:, i] = e_i / sqrt(sigma_i)``."""
-        return self.eigvecs / np.sqrt(np.maximum(self.eigvals, EPS))[None, :]
+        scale = np.sqrt(np.maximum(self.eigvals, EPS))[None, :]
+        bk = backend_of(self.eigvecs)
+        return self.eigvecs / bk.asarray(
+            scale, dtype=bk.dtype_of(self.eigvecs)
+        )
 
     def truncated(self, q: int) -> "NystromExtension":
         """A view of this extension keeping only the top ``q`` pairs."""
@@ -127,7 +150,7 @@ class NystromExtension:
 
 def nystrom_extension(
     kernel: Kernel,
-    x: np.ndarray,
+    x: Any,
     subsample_size: int,
     q: int,
     *,
@@ -159,7 +182,8 @@ def nystrom_extension(
     indices:
         Explicit subsample indices into ``x`` (deduplicated order kept).
     """
-    x = np.atleast_2d(np.asarray(x))
+    bk = get_backend()
+    x = bk.as_2d(bk.asarray(x))
     n = x.shape[0]
     s = int(subsample_size)
     if not 1 <= s <= n:

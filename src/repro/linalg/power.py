@@ -2,14 +2,19 @@
 
 Used where only ``lambda_1`` is needed — e.g. estimating the critical batch
 size ``m*(k) = beta(K) / lambda_1(K)`` of an *unmodified* kernel without
-paying for a full eigendecomposition.
+paying for a full eigendecomposition.  Matvecs run on the active
+:class:`~repro.backend.ArrayBackend`; the start vector is always drawn with
+NumPy's generator so iterates match across backends for a given seed.
 """
 
 from __future__ import annotations
 
+from typing import Any
+
 import numpy as np
 
-from repro.config import EPS
+from repro.backend import get_backend
+from repro.config import EPS, compute_dtype
 from repro.exceptions import ConfigurationError
 from repro.linalg.stable import symmetrize
 
@@ -17,12 +22,12 @@ __all__ = ["power_iteration"]
 
 
 def power_iteration(
-    a: np.ndarray,
+    a: Any,
     *,
     max_iter: int = 200,
     tol: float = 1e-10,
     seed: int | None = 0,
-) -> tuple[float, np.ndarray, int]:
+) -> tuple[float, Any, int]:
     """Estimate the top eigenpair of symmetric PSD ``a``.
 
     Parameters
@@ -40,19 +45,21 @@ def power_iteration(
     Returns
     -------
     (eigval, eigvec, n_iter):
-        Top eigenvalue estimate, unit eigenvector, iterations used.
+        Top eigenvalue estimate, unit eigenvector (backend-native),
+        iterations used.
     """
-    a = symmetrize(np.asarray(a, dtype=float))
+    bk = get_backend()
+    a = symmetrize(bk.asarray(a, dtype=compute_dtype(a)))
     n = a.shape[0]
     if n == 0:
         raise ConfigurationError("cannot run power iteration on an empty matrix")
     rng = np.random.default_rng(seed)
-    v = rng.standard_normal(n)
-    v /= max(np.linalg.norm(v), EPS)
+    v = bk.asarray(rng.standard_normal(n), dtype=bk.dtype_of(a))
+    v = v / max(float(v @ v) ** 0.5, EPS)
     eigval = 0.0
     for it in range(1, int(max_iter) + 1):
         w = a @ v
-        norm = float(np.linalg.norm(w))
+        norm = float(w @ w) ** 0.5
         if norm <= EPS:  # a is (numerically) zero on this vector
             return 0.0, v, it
         v_new = w / norm

@@ -1,30 +1,38 @@
-"""Numerical-stability helpers shared by the eigensolvers and FALKON."""
+"""Numerical-stability helpers shared by the eigensolvers and FALKON.
+
+Both helpers are backend-generic: they accept NumPy arrays or Torch
+tensors and keep the computation on the array's own backend
+(:func:`repro.backend.backend_of`), so code that built a kernel matrix
+under ``use_backend("torch")`` can stabilize it without a host round-trip.
+"""
 
 from __future__ import annotations
 
-import numpy as np
-import scipy.linalg
+from typing import Any
 
-from repro.exceptions import ConfigurationError, ConvergenceError
+from repro.backend import backend_of
+from repro.exceptions import BackendLinAlgError, ConfigurationError, ConvergenceError
 
 __all__ = ["symmetrize", "jitter_cholesky"]
 
 
-def symmetrize(a: np.ndarray) -> np.ndarray:
+def symmetrize(a: Any) -> Any:
     """Return ``(a + a.T) / 2`` — removes floating-point asymmetry before
     calling symmetric eigensolvers or Cholesky."""
-    a = np.asarray(a)
+    a = backend_of(a).asarray(a)
     if a.ndim != 2 or a.shape[0] != a.shape[1]:
-        raise ConfigurationError(f"expected a square matrix, got shape {a.shape}")
+        raise ConfigurationError(
+            f"expected a square matrix, got shape {tuple(a.shape)}"
+        )
     return (a + a.T) * 0.5
 
 
 def jitter_cholesky(
-    a: np.ndarray,
+    a: Any,
     *,
     initial_jitter: float = 1e-12,
     max_tries: int = 12,
-) -> tuple[np.ndarray, float]:
+) -> tuple[Any, float]:
     """Lower Cholesky factor of a nearly-PSD matrix with escalating jitter.
 
     Kernel matrices are PSD in exact arithmetic but routinely have tiny
@@ -45,15 +53,14 @@ def jitter_cholesky(
         escalations.
     """
     a = symmetrize(a)
-    scale = float(np.mean(np.diag(a))) or 1.0
+    bk = backend_of(a)
+    scale = float(a.diagonal().mean()) or 1.0
+    eye = bk.eye(a.shape[0], dtype=bk.dtype_of(a))
     jitter = 0.0
     for attempt in range(int(max_tries)):
         try:
-            chol = scipy.linalg.cholesky(
-                a + jitter * np.eye(a.shape[0]), lower=True
-            )
-            return chol, jitter
-        except scipy.linalg.LinAlgError:
+            return bk.cholesky(a + jitter * eye), jitter
+        except BackendLinAlgError:
             jitter = (
                 initial_jitter * scale if jitter == 0.0 else jitter * 10.0
             )

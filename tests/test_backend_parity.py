@@ -1,0 +1,316 @@
+"""Backend-parity suite: NumPy and Torch must agree on the whole substrate.
+
+The pluggable backend layer (:mod:`repro.backend`) only earns its keep if
+every backend computes the *same numbers* — the paper's algorithm is
+deterministic given the seed, and all randomness (subsample draws, batch
+shuffles, sketches, start vectors) is drawn with NumPy generators and
+pushed to the backend.  These tests therefore assert elementwise closeness
+between backends for each layer of the stack: pairwise distances, all five
+kernels, the blocked matvec, the Nyström extension, and a short EigenPro2
+fit — plus the backend-invariance of :class:`~repro.instrument.OpMeter`
+counts that the Table-1 cost-model validation relies on.
+
+When torch is not installed every cross-backend test *skips* (never
+fails); the NumPy-only contract tests at the bottom still run.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+
+import numpy as np
+import pytest
+
+from repro import EigenPro2
+from repro.backend import (
+    NumpyBackend,
+    available_backends,
+    backend_of,
+    get_backend,
+    resolve_backend,
+    set_backend,
+    to_numpy,
+    use_backend,
+)
+from repro.config import get_precision, use_precision
+from repro.exceptions import BackendUnavailableError, ConfigurationError
+from repro.instrument import meter_scope
+from repro.kernels import (
+    CauchyKernel,
+    GaussianKernel,
+    LaplacianKernel,
+    MaternKernel,
+    PolynomialKernel,
+    kernel_matvec,
+)
+from repro.kernels.pairwise import euclidean_distances, sq_euclidean_distances
+from repro.linalg import nystrom_extension
+
+HAS_TORCH = importlib.util.find_spec("torch") is not None
+
+requires_torch = pytest.mark.skipif(
+    not HAS_TORCH, reason="torch not installed — Torch backend unavailable"
+)
+
+ALL_KERNELS = [
+    GaussianKernel(bandwidth=2.0),
+    LaplacianKernel(bandwidth=2.0),
+    CauchyKernel(bandwidth=2.0),
+    MaternKernel(bandwidth=2.0, nu=1.5),
+    PolynomialKernel(degree=2, gamma=0.1, coef0=1.0),
+]
+KERNEL_IDS = ["gaussian", "laplacian", "cauchy", "matern", "polynomial"]
+
+
+@pytest.fixture(scope="module")
+def xz():
+    rng = np.random.default_rng(42)
+    return rng.standard_normal((60, 7)), rng.standard_normal((35, 7))
+
+
+def run_on(backend_name: str, fn):
+    """Run ``fn`` under the named backend and return NumPy results."""
+    with use_backend(backend_name):
+        result = fn()
+    if isinstance(result, tuple):
+        return tuple(to_numpy(r) for r in result)
+    return to_numpy(result)
+
+
+# --------------------------------------------------------------------------
+# Cross-backend parity (skipped without torch)
+# --------------------------------------------------------------------------
+
+
+@requires_torch
+class TestPairwiseParity:
+    def test_sq_euclidean(self, xz):
+        x, z = xz
+        ref = run_on("numpy", lambda: sq_euclidean_distances(x, z))
+        got = run_on("torch", lambda: sq_euclidean_distances(x, z))
+        np.testing.assert_allclose(got, ref, rtol=1e-10, atol=1e-10)
+
+    def test_euclidean(self, xz):
+        x, z = xz
+        ref = run_on("numpy", lambda: euclidean_distances(x, z))
+        got = run_on("torch", lambda: euclidean_distances(x, z))
+        np.testing.assert_allclose(got, ref, rtol=1e-10, atol=1e-10)
+
+    def test_precomputed_norms(self, xz):
+        x, z = xz
+        z_norms = np.einsum("ij,ij->i", z, z)
+        ref = run_on("numpy", lambda: sq_euclidean_distances(x, z, z_sq_norms=z_norms))
+        got = run_on("torch", lambda: sq_euclidean_distances(x, z, z_sq_norms=z_norms))
+        np.testing.assert_allclose(got, ref, rtol=1e-10, atol=1e-10)
+
+
+@requires_torch
+class TestKernelParity:
+    @pytest.mark.parametrize("kernel", ALL_KERNELS, ids=KERNEL_IDS)
+    def test_cross_matrix(self, kernel, xz):
+        x, z = xz
+        ref = run_on("numpy", lambda: kernel(x, z))
+        got = run_on("torch", lambda: kernel(x, z))
+        np.testing.assert_allclose(got, ref, rtol=1e-9, atol=1e-12)
+
+    @pytest.mark.parametrize("kernel", ALL_KERNELS, ids=KERNEL_IDS)
+    def test_diag(self, kernel, xz):
+        x, _ = xz
+        ref = run_on("numpy", lambda: kernel.diag(x))
+        got = run_on("torch", lambda: kernel.diag(x))
+        np.testing.assert_allclose(got, ref, rtol=1e-9, atol=1e-12)
+
+    def test_float32_precision_scope(self, xz):
+        x, z = xz
+        kernel = GaussianKernel(bandwidth=2.0)
+
+        def f32():
+            with use_precision("float32"):
+                return kernel(x, z)
+
+        ref = run_on("numpy", f32)
+        got = run_on("torch", f32)
+        assert ref.dtype == np.float32 and got.dtype == np.float32
+        np.testing.assert_allclose(got, ref, rtol=1e-5, atol=1e-5)
+
+
+@requires_torch
+class TestOpsParity:
+    def test_kernel_matvec(self, xz):
+        x, z = xz
+        rng = np.random.default_rng(0)
+        w = rng.standard_normal((z.shape[0], 3))
+        kernel = LaplacianKernel(bandwidth=2.0)
+        ref = run_on(
+            "numpy", lambda: kernel_matvec(kernel, x, z, w, max_scalars=200)
+        )
+        got = run_on(
+            "torch", lambda: kernel_matvec(kernel, x, z, w, max_scalars=200)
+        )
+        np.testing.assert_allclose(got, ref, rtol=1e-9, atol=1e-12)
+
+    def test_nystrom_extension(self, xz):
+        x, _ = xz
+        kernel = GaussianKernel(bandwidth=2.0)
+
+        def build():
+            ext = nystrom_extension(kernel, x, subsample_size=30, q=5, seed=0)
+            return ext.eigvals, ext.eigenfunction_values(x)
+
+        ref_vals, ref_funcs = run_on("numpy", build)
+        got_vals, got_funcs = run_on("torch", build)
+        np.testing.assert_allclose(got_vals, ref_vals, rtol=1e-8, atol=1e-10)
+        # Eigenvectors are sign-ambiguous; compare magnitudes.
+        np.testing.assert_allclose(
+            np.abs(got_funcs), np.abs(ref_funcs), rtol=1e-6, atol=1e-8
+        )
+
+
+@requires_torch
+class TestTrainingParity:
+    def test_short_eigenpro2_fit(self, small_dataset):
+        ds = small_dataset
+
+        def fit():
+            model = EigenPro2(
+                LaplacianKernel(bandwidth=4.0), s=100, q=20, seed=0
+            )
+            model.fit(ds.x_train, ds.y_train, epochs=2)
+            return model.predict(ds.x_test)
+
+        ref = run_on("numpy", fit)
+        got = run_on("torch", fit)
+        np.testing.assert_allclose(got, ref, rtol=1e-6, atol=1e-8)
+
+    def test_op_counts_identical_for_one_epoch(self, small_dataset):
+        """The archetype invariant: a metered EigenPro2 epoch reports the
+        same op counts on every backend (cost model is shape-derived)."""
+        ds = small_dataset
+        counts = {}
+        for name in available_backends():
+            with use_backend(name), meter_scope() as meter:
+                model = EigenPro2(
+                    LaplacianKernel(bandwidth=4.0), s=100, q=20, seed=0
+                )
+                model.fit(ds.x_train, ds.y_train, epochs=1)
+            counts[name] = meter.as_dict()
+        assert counts["torch"] == counts["numpy"]
+
+
+# --------------------------------------------------------------------------
+# Backend API contract (always runs, torch or not)
+# --------------------------------------------------------------------------
+
+
+class TestBackendRegistry:
+    def test_default_is_numpy(self):
+        assert get_backend().name == "numpy"
+
+    def test_numpy_always_available(self):
+        assert "numpy" in available_backends()
+
+    def test_use_backend_scopes_and_restores(self):
+        outer = get_backend()
+        with use_backend("numpy") as bk:
+            assert get_backend() is bk
+        assert get_backend() is outer
+
+    def test_set_backend_roundtrip(self):
+        try:
+            set_backend("numpy")
+            assert get_backend().name == "numpy"
+        finally:
+            set_backend(None)
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ConfigurationError):
+            resolve_backend("tpu")
+
+    def test_numpy_backend_takes_no_device(self):
+        with pytest.raises(ConfigurationError):
+            resolve_backend("numpy:cuda")
+
+    def test_missing_torch_raises_cleanly(self):
+        if HAS_TORCH:
+            pytest.skip("torch installed — unavailability path not testable")
+        with pytest.raises(BackendUnavailableError):
+            resolve_backend("torch")
+
+    def test_backend_of_numpy_array(self):
+        assert backend_of(np.zeros(3)) is resolve_backend("numpy")
+
+    def test_instance_spec_passthrough(self):
+        bk = NumpyBackend()
+        assert resolve_backend(bk) is bk
+
+
+class TestNumpyBackendContract:
+    """The ArrayBackend surface, pinned on the reference implementation."""
+
+    def test_roundtrip(self):
+        bk = resolve_backend("numpy")
+        x = [[1.0, 2.0], [3.0, 4.0]]
+        np.testing.assert_array_equal(bk.to_numpy(bk.asarray(x)), np.asarray(x))
+
+    def test_top_eigh_descending(self):
+        bk = resolve_backend("numpy")
+        a = np.diag([1.0, 3.0, 2.0])
+        vals, vecs = bk.top_eigh(a, 2)
+        np.testing.assert_allclose(vals, [3.0, 2.0])
+        assert vecs.shape == (3, 2)
+
+    def test_cholesky_failure_unified(self):
+        from repro.exceptions import BackendLinAlgError
+
+        bk = resolve_backend("numpy")
+        with pytest.raises(BackendLinAlgError):
+            bk.cholesky(np.array([[1.0, 2.0], [2.0, -5.0]]))
+
+    def test_empty_uses_active_precision(self):
+        bk = resolve_backend("numpy")
+        with use_precision("float32"):
+            assert bk.empty((2, 2)).dtype == np.float32
+        assert bk.empty((2, 2)).dtype == get_precision()
+
+
+class TestPrecisionSwitch:
+    def test_float32_inputs_not_promoted(self, xz):
+        """The historical bug: float32 inputs silently upcast to float64."""
+        x, z = xz
+        d = sq_euclidean_distances(x.astype(np.float32), z.astype(np.float32))
+        assert d.dtype == np.float32
+
+    def test_float64_default_unchanged(self, xz):
+        x, z = xz
+        assert sq_euclidean_distances(x, z).dtype == np.float64
+
+    def test_explicit_precision_overrides_inputs(self, xz):
+        x, z = xz
+        with use_precision("float32"):
+            assert sq_euclidean_distances(x, z).dtype == np.float32
+        with use_precision("float64"):
+            d = sq_euclidean_distances(x.astype(np.float32), z.astype(np.float32))
+        assert d.dtype == np.float64
+
+    @pytest.mark.parametrize("kernel", ALL_KERNELS, ids=KERNEL_IDS)
+    def test_kernels_follow_input_dtype(self, kernel, xz):
+        x, z = xz
+        out32 = kernel(x.astype(np.float32), z.astype(np.float32))
+        assert out32.dtype == np.float32
+        out64 = kernel(x, z)
+        assert out64.dtype == np.float64
+        np.testing.assert_allclose(out32, out64, atol=1e-4)
+
+    def test_explicit_kernel_dtype_still_wins(self, xz):
+        x, z = xz
+        k = GaussianKernel(bandwidth=2.0, dtype=np.float32)
+        with use_precision("float64"):
+            assert k(x, z).dtype == np.float32
+
+    def test_float32_values_match_float64(self, xz):
+        x, z = xz
+        k = LaplacianKernel(bandwidth=2.0)
+        ref = k(x, z)
+        with use_precision("float32"):
+            got = k(x, z)
+        np.testing.assert_allclose(got, ref, atol=1e-4)

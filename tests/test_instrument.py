@@ -1,9 +1,13 @@
 """Tests for the operation-count instrumentation layer."""
 
+import threading
+
 import numpy as np
 
+from repro.backend import available_backends, use_backend
+from repro.config import use_precision
 from repro.instrument import OpMeter, iter_categories, meter_scope, record_ops
-from repro.kernels import GaussianKernel
+from repro.kernels import GaussianKernel, LaplacianKernel, kernel_matvec
 
 
 class TestOpMeter:
@@ -74,3 +78,102 @@ class TestMeterScope:
             record_ops("z", 1)
         assert meter.total() == 0
         assert fresh.total() == 1
+
+
+class TestMeterBackendInvariance:
+    """Op counts are derived from array shapes, never from backend state,
+    so the cost model validated in Table 1 holds on every backend."""
+
+    @staticmethod
+    def _metered_workload():
+        rng = np.random.default_rng(9)
+        x = rng.standard_normal((30, 6))
+        centers = rng.standard_normal((20, 6))
+        w = rng.standard_normal((20, 2))
+        with meter_scope() as meter:
+            kernel_matvec(
+                LaplacianKernel(bandwidth=2.0), x, centers, w, max_scalars=120
+            )
+        return meter.as_dict()
+
+    def test_counts_identical_across_backends(self):
+        counts = {}
+        for name in available_backends():
+            with use_backend(name):
+                counts[name] = self._metered_workload()
+        reference = counts["numpy"]
+        assert reference["kernel_eval"] == 30 * 20 * 6
+        assert reference["gemm"] == 30 * 20 * 2
+        for name, got in counts.items():
+            assert got == reference, f"op counts diverged on backend {name}"
+
+    def test_counts_precision_invariant(self):
+        ref = self._metered_workload()
+        with use_precision("float32"):
+            got = self._metered_workload()
+        assert got == ref
+
+
+class TestMeterThreading:
+    """The meter stack is thread-local: nested scopes on one thread never
+    leak counts into another thread's meters."""
+
+    def test_nested_scopes_from_multiple_threads(self):
+        n_threads, per_thread_ops = 8, 50
+        results = {}
+        errors = []
+        start = threading.Barrier(n_threads)
+
+        def work(tid: int) -> None:
+            try:
+                start.wait()
+                with meter_scope() as outer:
+                    for i in range(per_thread_ops):
+                        with meter_scope() as inner:
+                            record_ops(f"t{tid}", tid + 1)
+                        assert inner.total() == tid + 1
+                    record_ops("outer_only", 1)
+                results[tid] = outer.as_dict()
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=work, args=(tid,))
+            for tid in range(n_threads)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        for tid in range(n_threads):
+            # Each thread saw exactly its own categories — no cross-talk.
+            assert results[tid] == {
+                f"t{tid}": per_thread_ops * (tid + 1),
+                "outer_only": 1,
+            }
+
+    def test_metered_kernel_work_across_threads(self):
+        """Real kernel evaluations metered concurrently stay per-thread
+        under the new backend dispatch (workspace + meter both
+        thread-local)."""
+        rng = np.random.default_rng(3)
+        x = rng.standard_normal((12, 4))
+        k = GaussianKernel(bandwidth=1.0)
+        expected = 12 * 12 * 4
+        totals = {}
+
+        def work(tid: int) -> None:
+            with meter_scope() as meter:
+                for _ in range(tid + 1):  # distinct workloads per thread
+                    k(x, x)
+            totals[tid] = meter.total("kernel_eval")
+
+        threads = [
+            threading.Thread(target=work, args=(tid,)) for tid in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert totals == {tid: expected * (tid + 1) for tid in range(4)}
