@@ -1,0 +1,20 @@
+"""Bench: executable shard engine vs the cluster cost model.
+
+Runs the same ``(n, m, g)`` iteration workload through the alpha-beta
+cluster model (:mod:`repro.device.cluster`) and the real sharded engine
+(:mod:`repro.shard`), emitting modelled vs measured per-iteration time
+per shard count — the MLSYSIM-style simulator-vs-hardware validation
+loop at benchmark scale.
+"""
+
+from repro.experiments import ShardValidationConfig, run_shard_validation
+
+
+def test_shard_validation(benchmark, record_result):
+    result = benchmark.pedantic(
+        lambda: run_shard_validation(
+            ShardValidationConfig(n=12_000, m=512, n_iterations=9, warmup=2)
+        ),
+        rounds=1, iterations=1,
+    )
+    record_result(result)

@@ -66,6 +66,22 @@ promoted, and an explicit scope overrides input dtypes entirely::
 Operation counts recorded via :mod:`repro.instrument` are derived from
 array shapes only, so cost-model validation (Table 1) is backend- and
 precision-invariant.
+
+Sharding
+--------
+:mod:`repro.shard` executes the data-parallel multi-device scheme that
+:mod:`repro.device.cluster` models analytically (the paper's Section-6
+direction): centers and weights split contiguously across ``g`` executors,
+each owning its own backend instance, with per-shard partial predictions
+all-reduced each step.  :class:`~repro.shard.ShardedEigenPro2` trains the
+exact EigenPro 2.0 iteration that way, and
+:func:`repro.experiments.run_shard_validation` compares the cluster cost
+model against the engine's measured per-iteration time::
+
+    from repro.shard import ShardedEigenPro2
+
+    with ShardedEigenPro2(kernel, n_shards=4) as trainer:
+        trainer.fit(ds.x_train, ds.y_train, epochs=5)
 """
 
 from repro._version import __version__
@@ -114,6 +130,7 @@ from repro.core import (
     select_parameters,
     select_q,
 )
+from repro.shard import ShardedEigenPro2, ShardGroup, ShardPlan
 
 __all__ = [
     "__version__",
@@ -150,6 +167,10 @@ __all__ = [
     "tesla_k40",
     "ideal_parallel",
     "ideal_sequential",
+    # sharding
+    "ShardedEigenPro2",
+    "ShardGroup",
+    "ShardPlan",
     # core
     "EigenPro2",
     "KernelModel",

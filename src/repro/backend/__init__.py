@@ -30,7 +30,6 @@ cost-model validation relies on (checked by ``tests/test_backend_parity.py``).
 from __future__ import annotations
 
 import importlib.util
-import threading
 from typing import Any
 
 import numpy as np
@@ -39,8 +38,10 @@ from repro.backend.base import ArrayBackend
 from repro.backend.numpy_backend import NumpyBackend
 from repro.backend.torch_backend import TorchBackend
 from repro.config import (
+    ScopedOverride,
     get_precision,
     precision_is_explicit,
+    scoped_value,
     set_precision,
     use_precision,
 )
@@ -53,6 +54,7 @@ __all__ = [
     "available_backends",
     "backend_of",
     "get_backend",
+    "match_dtype",
     "resolve_backend",
     "set_backend",
     "to_numpy",
@@ -68,16 +70,9 @@ _NUMPY = NumpyBackend()
 #: Cache of constructed torch backends keyed by device string.
 _TORCH_CACHE: dict[str, TorchBackend] = {}
 
-
-class _BackendState(threading.local):
-    """Per-thread stack of backend overrides (empty = process default)."""
-
-    def __init__(self) -> None:  # pragma: no cover - trivial
-        self.stack: list[ArrayBackend] = []
-
-
-_STATE = _BackendState()
-_DEFAULT: ArrayBackend = _NUMPY
+#: Scope state for the backend switch — same machinery as the precision
+#: switch (:class:`repro.config.ScopedOverride`).
+_STATE = ScopedOverride()
 
 
 def available_backends() -> list[str]:
@@ -126,19 +121,18 @@ def resolve_backend(spec: str | ArrayBackend | None) -> ArrayBackend:
 def get_backend() -> ArrayBackend:
     """The active backend: innermost :func:`use_backend` scope, else the
     :func:`set_backend` process default (NumPy initially)."""
-    if _STATE.stack:
-        return _STATE.stack[-1]
-    return _DEFAULT
+    current = _STATE.current()
+    return _NUMPY if current is None else current
 
 
 def set_backend(spec: str | ArrayBackend | None) -> ArrayBackend:
     """Set the process-wide default backend; ``None`` restores NumPy."""
-    global _DEFAULT
-    _DEFAULT = _NUMPY if spec is None else resolve_backend(spec)
-    return _DEFAULT
+    backend = _NUMPY if spec is None else resolve_backend(spec)
+    _STATE.set_global(backend)
+    return backend
 
 
-class use_backend:
+class use_backend(scoped_value):
     """Context manager selecting the backend for the enclosed code.
 
     Example
@@ -148,19 +142,14 @@ class use_backend:
     ...     assert bk.name == "numpy"
     """
 
+    _state = _STATE
+
     def __init__(self, spec: str | ArrayBackend) -> None:
-        self.backend = resolve_backend(spec)
+        super().__init__(resolve_backend(spec))
 
-    def __enter__(self) -> ArrayBackend:
-        _STATE.stack.append(self.backend)
-        return self.backend
-
-    def __exit__(self, *exc: object) -> None:
-        # Remove by identity; scopes may exit out of order under errors.
-        for pos in range(len(_STATE.stack) - 1, -1, -1):
-            if _STATE.stack[pos] is self.backend:
-                del _STATE.stack[pos]
-                break
+    @property
+    def backend(self) -> ArrayBackend:
+        return self.value
 
 
 def backend_of(x: Any) -> ArrayBackend:
@@ -179,3 +168,19 @@ def backend_of(x: Any) -> ArrayBackend:
 def to_numpy(x: Any) -> np.ndarray:
     """Convert any backend's array (or array-like) to a NumPy array."""
     return backend_of(x).to_numpy(x)
+
+
+def match_dtype(x: Any, dtype: object, bk: ArrayBackend | None = None) -> Any:
+    """Return ``x`` cast to ``dtype``; no copy when it already matches.
+
+    The shared "cast up" helper for blocks produced by a kernel pinned
+    below the working precision: NumPy would promote implicitly when such
+    a block is contracted against higher-precision weights, but
+    ``torch.matmul`` refuses mixed dtypes, so the training and streaming
+    paths lift the block explicitly before the GEMM.
+    """
+    bk = backend_of(x) if bk is None else bk
+    dtype = np.dtype(dtype)
+    if bk.dtype_of(x) != dtype:
+        return bk.asarray(x, dtype=dtype)
+    return x

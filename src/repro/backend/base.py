@@ -134,6 +134,14 @@ class ArrayBackend(abc.ABC):
             When the factorization fails (non-PSD input).
         """
 
+    def cho_solve(self, chol: Any, b: Any) -> Any:
+        """Solve ``a x = b`` given the lower Cholesky factor of ``a``.
+
+        The default implementation runs two generic :meth:`solve` calls;
+        backends override with their triangular solvers.
+        """
+        return self.solve(chol.T, self.solve(chol, b))
+
     @abc.abstractmethod
     def qr(self, a: Any) -> tuple[Any, Any]:
         """Reduced QR decomposition ``a = q @ r``."""

@@ -99,6 +99,9 @@ class NumpyBackend(ArrayBackend):
         except scipy.linalg.LinAlgError as exc:
             raise BackendLinAlgError(str(exc)) from exc
 
+    def cho_solve(self, chol: np.ndarray, b: np.ndarray) -> np.ndarray:
+        return scipy.linalg.cho_solve((chol, True), b)
+
     def qr(self, a: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         return np.linalg.qr(a)
 

@@ -165,6 +165,9 @@ class TorchBackend(ArrayBackend):
         except RuntimeError as exc:
             raise BackendLinAlgError(str(exc)) from exc
 
+    def cho_solve(self, chol: Any, b: Any) -> Any:
+        return self.torch.cholesky_solve(b, chol, upper=False)
+
     def qr(self, a: Any) -> tuple[Any, Any]:
         return self.torch.linalg.qr(a)
 

@@ -6,13 +6,21 @@ interpolant ``f*(.) = sum_i alpha*_i k(x_i, .)`` with
 ground truth for the solution-invariance tests — every iterative trainer
 in the package must converge to :func:`solve_interpolation`'s output —
 and a classical regularized baseline.
+
+Both solvers dispatch through the active
+:class:`~repro.backend.ArrayBackend`, so the same code factorizes on NumPy
+or Torch (CPU/CUDA) and can run inside a shard executor
+(:mod:`repro.shard`) on that shard's backend instance.
 """
 
 from __future__ import annotations
 
-import numpy as np
-import scipy.linalg
+from typing import Any
 
+import numpy as np
+
+from repro.backend import get_backend, match_dtype
+from repro.config import compute_dtype
 from repro.core.model import KernelModel
 from repro.exceptions import ConfigurationError
 from repro.kernels.base import Kernel
@@ -21,9 +29,11 @@ from repro.linalg.stable import jitter_cholesky
 __all__ = ["solve_interpolation", "solve_ridge"]
 
 
-def _prepare(x: np.ndarray, y: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
-    x = np.atleast_2d(np.asarray(x, dtype=float))
-    y = np.asarray(y, dtype=float)
+def _prepare(x: Any, y: Any) -> tuple[Any, Any]:
+    bk = get_backend()
+    dtype = compute_dtype(x, y)
+    x = bk.as_2d(bk.asarray(x, dtype=dtype))
+    y = bk.asarray(y, dtype=dtype)
     if y.ndim == 1:
         y = y[:, None]
     if y.shape[0] != x.shape[0]:
@@ -43,9 +53,10 @@ def solve_interpolation(
     reference only.
     """
     x, y = _prepare(x, y)
+    bk = get_backend()
     k = kernel(x, x)
     chol, _ = jitter_cholesky(k)
-    alpha = scipy.linalg.cho_solve((chol, True), y)
+    alpha = bk.cho_solve(chol, match_dtype(y, bk.dtype_of(chol), bk))
     return KernelModel(kernel, x, alpha)
 
 
@@ -60,9 +71,10 @@ def solve_ridge(
     if reg_lambda < 0:
         raise ConfigurationError(f"reg_lambda must be >= 0, got {reg_lambda}")
     x, y = _prepare(x, y)
+    bk = get_backend()
     n = x.shape[0]
     k = kernel(x, x)
-    k_reg = k + reg_lambda * n * np.eye(n)
+    k_reg = k + reg_lambda * n * bk.eye(n, dtype=bk.dtype_of(k))
     chol, _ = jitter_cholesky(k_reg)
-    alpha = scipy.linalg.cho_solve((chol, True), y)
+    alpha = bk.cho_solve(chol, match_dtype(y, bk.dtype_of(chol), bk))
     return KernelModel(kernel, x, alpha)

@@ -53,42 +53,98 @@ def _as_float_dtype(dtype: object) -> np.dtype:
     return resolved
 
 
-class _PrecisionState(threading.local):
-    """Per-thread stack of precision overrides (empty = package default)."""
+class ScopedOverride:
+    """Per-thread stack of scoped override values plus a process-wide global.
 
-    def __init__(self) -> None:  # pragma: no cover - trivial
-        self.stack: list[np.dtype] = []
+    This is the scope machinery shared by the precision switch here and the
+    backend switch in :mod:`repro.backend`: the innermost active scope on
+    the current thread wins, then the process-wide global set by the
+    corresponding ``set_*`` function, then nothing (:meth:`current` returns
+    ``None`` and the caller applies its default).
+    """
+
+    def __init__(self) -> None:
+        self._local = threading.local()
+        self._global: object | None = None
+
+    def _stack(self) -> list:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def current(self) -> object | None:
+        """The active value: innermost scope, else the global, else ``None``."""
+        stack = self._stack()
+        if stack:
+            return stack[-1]
+        return self._global
+
+    def is_explicit(self) -> bool:
+        """True when a scope is active or the global is set."""
+        return bool(self._stack()) or self._global is not None
+
+    def set_global(self, value: object | None) -> None:
+        """Set (or with ``None`` clear) the process-wide value."""
+        self._global = value
+
+    def push(self, value: object) -> None:
+        self._stack().append(value)
+
+    def pop(self, value: object) -> None:
+        """Remove the innermost occurrence of ``value`` by identity; scopes
+        may exit out of order under exceptions."""
+        stack = self._stack()
+        for pos in range(len(stack) - 1, -1, -1):
+            if stack[pos] is value:
+                del stack[pos]
+                break
 
 
-_PRECISION = _PrecisionState()
-#: Process-wide explicit precision, set by :func:`set_precision`; ``None``
-#: means "not set" (inputs keep their own floating dtype).
-_PRECISION_GLOBAL: np.dtype | None = None
+class scoped_value:
+    """Context-manager base over a :class:`ScopedOverride`.
+
+    Subclasses set the class attribute ``_state`` and resolve their
+    argument to the stored value in ``__init__``; entering the scope
+    pushes that value and returns it.
+    """
+
+    _state: ScopedOverride
+
+    def __init__(self, value: object) -> None:
+        self.value = value
+
+    def __enter__(self):
+        self._state.push(self.value)
+        return self.value
+
+    def __exit__(self, *exc: object) -> None:
+        self._state.pop(self.value)
+
+
+_PRECISION = ScopedOverride()
 
 
 def get_precision() -> np.dtype:
     """The working dtype: innermost :func:`use_precision` scope, else the
     :func:`set_precision` global, else :data:`DEFAULT_DTYPE`."""
-    if _PRECISION.stack:
-        return _PRECISION.stack[-1]
-    if _PRECISION_GLOBAL is not None:
-        return _PRECISION_GLOBAL
-    return DEFAULT_DTYPE
+    current = _PRECISION.current()
+    return DEFAULT_DTYPE if current is None else current
 
 
 def precision_is_explicit() -> bool:
     """True when a precision was selected via :func:`use_precision` or
     :func:`set_precision` (in which case it overrides input dtypes)."""
-    return bool(_PRECISION.stack) or _PRECISION_GLOBAL is not None
+    return _PRECISION.is_explicit()
 
 
 def set_precision(dtype: object | None) -> None:
     """Set (or with ``None`` clear) the process-wide working precision."""
-    global _PRECISION_GLOBAL
-    _PRECISION_GLOBAL = None if dtype is None else _as_float_dtype(dtype)
+    _PRECISION.set_global(None if dtype is None else _as_float_dtype(dtype))
 
 
-class use_precision:
+class use_precision(scoped_value):
     """Context manager selecting the working dtype for the enclosed code.
 
     Example
@@ -99,19 +155,14 @@ class use_precision:
     ...     assert get_precision() == np.dtype(np.float32)
     """
 
+    _state = _PRECISION
+
     def __init__(self, dtype: object) -> None:
-        self.dtype = _as_float_dtype(dtype)
+        super().__init__(_as_float_dtype(dtype))
 
-    def __enter__(self) -> np.dtype:
-        _PRECISION.stack.append(self.dtype)
-        return self.dtype
-
-    def __exit__(self, *exc: object) -> None:
-        # Remove by identity position; scopes may exit out of order.
-        for pos in range(len(_PRECISION.stack) - 1, -1, -1):
-            if _PRECISION.stack[pos] is self.dtype:
-                del _PRECISION.stack[pos]
-                break
+    @property
+    def dtype(self) -> np.dtype:
+        return self.value
 
 
 def resolve_dtype(dtype: object | None) -> np.dtype:

@@ -29,7 +29,7 @@ from typing import Any
 
 import numpy as np
 
-from repro.backend import backend_of
+from repro.backend import backend_of, match_dtype
 from repro.config import EPS
 from repro.exceptions import ConfigurationError
 from repro.instrument import record_ops
@@ -142,15 +142,13 @@ class NystromPreconditioner:
             raise ConfigurationError(
                 f"g must have shape ({phi_block.shape[0]}, l), got {g.shape}"
             )
-        v = self.extension.eigvecs  # (s, q)
-        d_native = self._d_scale_native
+        # When a kernel pinned below the working precision produced the
+        # batch block, it arrives up-cast (see trainer._iterate); lift the
+        # stored eigensystem to match.
         bk = backend_of(phi_block)
-        if bk.dtype_of(v) != bk.dtype_of(phi_block):
-            # Kernel pinned below the working precision: the batch block
-            # arrives up-cast (see trainer._iterate), so lift the stored
-            # eigensystem to match (torch.matmul refuses mixed dtypes).
-            v = bk.asarray(v, dtype=bk.dtype_of(phi_block))
-            d_native = bk.asarray(self.d_scale, dtype=bk.dtype_of(phi_block))
+        block_dtype = bk.dtype_of(phi_block)
+        v = match_dtype(self.extension.eigvecs, block_dtype, bk)  # (s, q)
+        d_native = match_dtype(self._d_scale_native, block_dtype, bk)
         m, l = g.shape
         # Chain order matches the Table-1 cost model: (V^T Phi) first.
         vt_phi = v.T @ phi_block.T  # (q, m): s*m*q ops

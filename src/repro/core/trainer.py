@@ -31,10 +31,10 @@ from typing import Any
 
 import numpy as np
 
-from repro.backend import get_backend
+from repro.backend import get_backend, match_dtype
 from repro.config import DEFAULT_BLOCK_SCALARS, compute_dtype
 from repro.core.model import KernelModel, as_labels
-from repro.kernels.ops import block_workspace
+from repro.kernels.ops import block_workspace, center_sq_norms
 from repro.core.stopping import TrainMSETarget, ValidationPlateau
 from repro.device.simulator import SimulatedDevice
 from repro.exceptions import ConfigurationError, NotFittedError
@@ -160,6 +160,7 @@ class BaseKernelTrainer:
         self.monitor_size = int(monitor_size)
         self.damping = float(damping)
         # Fitted state.
+        self._x_sq_norms: Any | None = None
         self.model_: KernelModel | None = None
         self.history_: TrainingHistory | None = None
         self.batch_size_: int | None = None
@@ -274,6 +275,9 @@ class BaseKernelTrainer:
 
         self._x = x
         self._y = y
+        # Center norms are reused by every iteration's batch-vs-centers
+        # block (shift-invariant kernels only; None otherwise).
+        self._x_sq_norms = center_sq_norms(self.kernel, x, bk)
         self._alpha = bk.zeros((n, l), dtype=bk.dtype_of(x))
         self._setup(x, y)
         if self.batch_size_ is None or self.step_size_ is None:
@@ -389,12 +393,10 @@ class BaseKernelTrainer:
         bk = get_backend()
         block_dtype = self.kernel._eval_dtype(x, x)
         scratch = block_workspace().get(bk, idx.shape[0], x.shape[0], block_dtype)
-        kb = self.kernel(x[idx], x, out=scratch)  # (m, n): records kernel_eval ops
-        alpha_dtype = bk.dtype_of(self._alpha)
-        if bk.dtype_of(kb) != alpha_dtype:
-            # Kernel pinned below the working precision: cast up before
-            # contracting (torch.matmul refuses mixed dtypes).
-            kb = bk.asarray(kb, dtype=alpha_dtype)
+        kb = self.kernel(
+            x[idx], x, out=scratch, z_sq_norms=self._x_sq_norms
+        )  # (m, n): records kernel_eval ops
+        kb = match_dtype(kb, bk.dtype_of(self._alpha), bk)
         f = kb @ self._alpha  # (m, l)
         record_ops("gemm", idx.shape[0] * x.shape[0] * self._alpha.shape[1])
         g = f - y[idx]

@@ -27,7 +27,9 @@ from repro.experiments.ablations import (
 )
 from repro.experiments.cluster_scaling import (
     ClusterScalingConfig,
+    ShardValidationConfig,
     run_cluster_scaling,
+    run_shard_validation,
 )
 from repro.experiments.figure1 import Figure1Config, run_figure1
 from repro.experiments.figure2 import Figure2Config, run_figure2
@@ -48,6 +50,8 @@ __all__ = [
     "run_figure2",
     "ClusterScalingConfig",
     "run_cluster_scaling",
+    "ShardValidationConfig",
+    "run_shard_validation",
     "Figure3Config",
     "run_figure3a",
     "run_figure3b",
@@ -74,6 +78,7 @@ EXPERIMENTS = {
     "figure1": run_figure1,
     "figure2": run_figure2,
     "cluster-scaling": run_cluster_scaling,
+    "shard-validation": run_shard_validation,
     "figure3a": run_figure3a,
     "figure3b": run_figure3b,
     "table1": run_table1,

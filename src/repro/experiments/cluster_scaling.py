@@ -11,22 +11,37 @@ with no algorithm changes:
   by ``n``), so Step 2 flattens more of the spectrum;
 - simulated epoch time at the adapted batch drops until all-reduce
   latency bounds it — the realistic scaling knee.
+
+:func:`run_shard_validation` closes the MLSYSIM-style loop on that
+model: the same ``(n, m, g)`` iteration runs through the cluster cost
+model *and* the executable shard engine (:mod:`repro.shard`), and the
+harness reports modelled against measured per-iteration wall time.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import math
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
 
 from repro.core.eigenpro2 import select_parameters
 from repro.core.resource import max_device_batch_size
 from repro.data import get_dataset
-from repro.device.cluster import Interconnect, multi_gpu
+from repro.device.cluster import Interconnect, allreduce_time, multi_gpu
 from repro.device.presets import titan_xp
 from repro.device.simulator import SimulatedDevice
+from repro.device.spec import DeviceSpec
 from repro.experiments.harness import ExperimentResult, PaperClaim
 from repro.kernels import GaussianKernel
 
-__all__ = ["ClusterScalingConfig", "run_cluster_scaling"]
+__all__ = [
+    "ClusterScalingConfig",
+    "run_cluster_scaling",
+    "ShardValidationConfig",
+    "run_shard_validation",
+]
 
 
 @dataclass
@@ -157,6 +172,153 @@ def run_cluster_scaling(
                 f"4-GPU cluster={params.batch_size}"
             ),
             holds=params.batch_size >= params_single.batch_size,
+        )
+    )
+    return result
+
+
+@dataclass
+class ShardValidationConfig:
+    """Workload dimensions for the simulator-vs-engine validation."""
+
+    n: int = 6000
+    d: int = 24
+    l: int = 4
+    m: int = 256
+    shard_counts: tuple[int, ...] = (1, 2, 4)
+    n_iterations: int = 15
+    warmup: int = 3
+    bandwidth: float = 4.0
+    # Host threads synchronize far faster than any real network; tiny
+    # latency + fat pipe keeps the modelled comm term honest for threads.
+    interconnect: Interconnect = field(
+        default_factory=lambda: Interconnect(
+            latency_s=2e-5, bandwidth_scalars_per_s=5e9
+        )
+    )
+    seed: int = 0
+
+
+def _median_seconds(fn, n_iterations: int, warmup: int) -> float:
+    for _ in range(warmup):
+        fn()
+    times = []
+    for _ in range(n_iterations):
+        t0 = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - t0)
+    return float(np.median(times))
+
+
+def run_shard_validation(
+    cfg: ShardValidationConfig | None = None,
+) -> ExperimentResult:
+    """Run the same ``(n, m, g)`` training iteration through the cluster
+    cost model and the executable shard engine; report modelled vs
+    measured per-iteration time.
+
+    The per-shard device spec is *calibrated* from the measured ``g = 1``
+    run (throughput = modelled ops / measured seconds), so the
+    single-shard row is the calibration anchor and the multi-shard rows
+    test what the alpha-beta cluster composition predicts about real
+    thread-parallel execution — the MLSYSIM-style simulator-vs-hardware
+    loop at reproduction scale.
+    """
+    from repro.shard import ShardGroup, sharded_kernel_matvec
+
+    cfg = cfg or ShardValidationConfig()
+    rng = np.random.default_rng(cfg.seed)
+    centers = rng.standard_normal((cfg.n, cfg.d))
+    weights = rng.standard_normal((cfg.n, cfg.l))
+    batch = rng.standard_normal((cfg.m, cfg.d))
+    kernel = GaussianKernel(bandwidth=cfg.bandwidth)
+    # The paper's per-iteration cost model: (d + l) * m * n operations.
+    ops = (cfg.d + cfg.l) * cfg.m * cfg.n
+
+    result = ExperimentResult(
+        name="shard-validation",
+        title=(
+            "Cluster cost model vs executable shard engine "
+            "(modelled vs measured per-iteration time)"
+        ),
+        notes=(
+            f"workload: n={cfg.n}, d={cfg.d}, l={cfg.l}, m={cfg.m}; "
+            "per-shard spec calibrated from the measured g=1 run; "
+            "multi-shard rows compare the multi_gpu() composition "
+            "against thread-parallel NumPy shards."
+        ),
+    )
+
+    measured: dict[int, float] = {}
+    for g in cfg.shard_counts:
+        with ShardGroup.build(
+            centers, weights, g=g, kernel=kernel
+        ) as group:
+            measured[g] = _median_seconds(
+                lambda: sharded_kernel_matvec(kernel, batch, group),
+                cfg.n_iterations,
+                cfg.warmup,
+            )
+
+    g1 = cfg.shard_counts[0]
+    base = DeviceSpec(
+        name="host-calibrated",
+        parallel_capacity=0.0,
+        throughput=ops / measured[g1] / max(g1, 1),
+        memory_scalars=math.inf,
+    )
+    ratios = {}
+    for g in cfg.shard_counts:
+        cluster = multi_gpu(
+            base,
+            g,
+            interconnect=cfg.interconnect,
+            sync_payload_scalars=float(cfg.m * cfg.l),
+        )
+        modelled = cluster.spec.iteration_time(ops)
+        ratios[g] = modelled / measured[g]
+        result.add_row(
+            shards=g,
+            ops_per_iter=ops,
+            modelled_ms=round(1e3 * modelled, 3),
+            measured_ms=round(1e3 * measured[g], 3),
+            model_over_measured=round(ratios[g], 3),
+            measured_speedup_vs_1=round(measured[g1] / measured[g], 2),
+            allreduce_us=round(
+                1e6
+                * allreduce_time(cfg.interconnect, g, float(cfg.m * cfg.l)),
+                1,
+            ),
+        )
+
+    result.add_claim(
+        PaperClaim(
+            claim_id="shard/calibration-anchor",
+            description=(
+                "The calibrated per-shard spec reproduces the measured "
+                "single-shard iteration time"
+            ),
+            paper="(MLSYSIM-style simulator calibration; PAPERS.md)",
+            measured=f"g={g1}: model/measured = {ratios[g1]:.3f}",
+            holds=0.5 <= ratios[g1] <= 2.0,
+        )
+    )
+    multi = [g for g in cfg.shard_counts if g > 1]
+    result.add_claim(
+        PaperClaim(
+            claim_id="shard/model-vs-engine",
+            description=(
+                "Multi-shard prediction of the alpha-beta cluster model "
+                "vs the executable engine (informational: thread shards "
+                "share host memory bandwidth and the GIL, so measured "
+                "scaling lags the ideal model)"
+            ),
+            paper="network bandwidth must be taken into account (Section 2)",
+            measured=", ".join(
+                f"g={g}: model/measured={ratios[g]:.2f}" for g in multi
+            )
+            or "no multi-shard configurations",
+            holds=None,
         )
     )
     return result

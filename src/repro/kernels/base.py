@@ -82,7 +82,11 @@ class Kernel(abc.ABC):
 
     # ------------------------------------------------------------------ api
     def __call__(
-        self, x: Any, z: Any | None = None, out: Any | None = None
+        self,
+        x: Any,
+        z: Any | None = None,
+        out: Any | None = None,
+        z_sq_norms: Any | None = None,
     ) -> Any:
         """Evaluate the kernel matrix ``K[i, j] = k(x_i, z_j)``.
 
@@ -97,6 +101,13 @@ class Kernel(abc.ABC):
         out:
             Optional ``(n_x, n_z)`` scratch buffer in the working dtype;
             ignored when shape or dtype mismatch.
+        z_sq_norms:
+            Optional precomputed row squared norms of ``z``, shape
+            ``(n_z,)``.  Streaming callers that evaluate many row blocks
+            against the same centers (``kernel_matvec``, the training
+            loop, every shard executor) pass this so the ``O(n_z * d)``
+            norm reduction happens once instead of once per block.
+            Kernels that do not consume distances ignore it.
         """
         x = _as_2d("x", x)
         z = x if z is None else _as_2d("z", z)
@@ -111,16 +122,23 @@ class Kernel(abc.ABC):
                 out
             ) != self._eval_dtype(x, z):
                 out = None
-        result = self._cross(x, z, out=out)
+        result = self._cross(x, z, out=out, z_sq_norms=z_sq_norms)
         # Pairwise-evaluation cost per the paper's cost model: n_x * n_z * d.
         # Computed from shapes only, hence backend-invariant.
         record_ops("kernel_eval", x.shape[0] * z.shape[0] * x.shape[1])
         return result
 
     @abc.abstractmethod
-    def _cross(self, x: Any, z: Any, out: Any | None = None) -> Any:
+    def _cross(
+        self,
+        x: Any,
+        z: Any,
+        out: Any | None = None,
+        z_sq_norms: Any | None = None,
+    ) -> Any:
         """Compute the dense ``(n_x, n_z)`` kernel block, writing into
-        ``out`` when given (shape/dtype already validated)."""
+        ``out`` when given (shape/dtype already validated).  Kernels whose
+        evaluation does not involve center norms ignore ``z_sq_norms``."""
 
     @abc.abstractmethod
     def diag(self, x: Any) -> Any:
@@ -181,8 +199,17 @@ class RadialKernel(Kernel):
         """Map squared distances to kernel values (vectorized, may operate
         in place on its argument)."""
 
-    def _cross(self, x: Any, z: Any, out: Any | None = None) -> Any:
-        sq = sq_euclidean_distances(x, z, out=out, dtype=self._eval_dtype(x, z))
+    def _cross(
+        self,
+        x: Any,
+        z: Any,
+        out: Any | None = None,
+        z_sq_norms: Any | None = None,
+    ) -> Any:
+        sq = sq_euclidean_distances(
+            x, z, z_sq_norms=z_sq_norms, out=out,
+            dtype=self._eval_dtype(x, z),
+        )
         return self._profile(sq)
 
     def diag(self, x: Any) -> Any:

@@ -28,7 +28,7 @@ from typing import Any, Iterator
 
 import numpy as np
 
-from repro.backend import ArrayBackend, get_backend
+from repro.backend import ArrayBackend, get_backend, match_dtype
 from repro.config import DEFAULT_BLOCK_SCALARS, compute_dtype
 from repro.exceptions import ConfigurationError
 from repro.instrument import record_ops
@@ -37,6 +37,7 @@ from repro.kernels.base import Kernel
 __all__ = [
     "BlockWorkspace",
     "block_workspace",
+    "center_sq_norms",
     "row_block_sizes",
     "kernel_matrix",
     "kernel_matvec",
@@ -193,13 +194,26 @@ def kernel_matrix(
         raise ConfigurationError(
             f"out has shape {tuple(out.shape)}, expected {(n_x, n_z)}"
         )
+    z_sq_norms = center_sq_norms(kernel, z, bk)
     for rows in iter_row_blocks(n_x, n_z, max_scalars):
         dest = out[rows]
-        block = kernel(x[rows], z, out=dest)
+        block = kernel(x[rows], z, out=dest, z_sq_norms=z_sq_norms)
         if block is not dest:
             # The kernel declined the destination (dtype mismatch): copy.
             out[rows] = block
     return out
+
+
+def center_sq_norms(kernel: Kernel, z: Any, bk: ArrayBackend | None = None) -> Any | None:
+    """Row squared norms of the centers ``z`` when ``kernel`` consumes
+    distances (shift-invariant); ``None`` otherwise.  Streaming callers
+    (the blocked operations here, the training loop, shard executors)
+    compute this once and pass it into every block evaluation via the
+    kernel API's ``z_sq_norms`` argument."""
+    if not kernel.is_shift_invariant:
+        return None
+    bk = bk if bk is not None else get_backend()
+    return bk.row_sq_norms(z)
 
 
 def kernel_matvec(
@@ -208,6 +222,7 @@ def kernel_matvec(
     centers: Any,
     weights: Any,
     max_scalars: int = DEFAULT_BLOCK_SCALARS,
+    z_sq_norms: Any | None = None,
 ) -> Any:
     """Compute ``K(x, centers) @ weights`` without materialising ``K``.
 
@@ -224,6 +239,11 @@ def kernel_matvec(
     ----------
     weights:
         Shape ``(n,)`` or ``(n, l)``.
+    z_sq_norms:
+        Optional precomputed row squared norms of ``centers``.  Computed
+        once here when omitted (for shift-invariant kernels); callers that
+        hold fixed centers across many calls — every shard executor does —
+        precompute once and pass it through.
 
     Returns
     -------
@@ -248,15 +268,15 @@ def kernel_matvec(
     w2 = weights[:, None] if squeeze else weights
     n_x, n = x.shape[0], centers.shape[0]
     l = w2.shape[1]
+    if z_sq_norms is None:
+        z_sq_norms = center_sq_norms(kernel, centers, bk)
     out = bk.empty((n_x, l), dtype=out_dtype)
     for rows in iter_row_blocks(n_x, n, max_scalars):
         scratch = _WORKSPACE.get(bk, rows.stop - rows.start, n, block_dtype)
-        block = kernel(x[rows], centers, out=scratch)
-        if block_dtype != out_dtype:
-            # Kernel pinned to a lower precision than the data: cast up
-            # before contracting (NumPy would promote implicitly,
-            # torch.matmul refuses mixed dtypes).
-            block = bk.asarray(block, dtype=out_dtype)
+        block = kernel(x[rows], centers, out=scratch, z_sq_norms=z_sq_norms)
+        # A kernel pinned to a lower precision than the data casts up
+        # before the contraction.
+        block = match_dtype(block, out_dtype, bk)
         bk.matmul(block, w2, out=out[rows])
         record_ops("gemm", (rows.stop - rows.start) * n * l)
     return out[:, 0] if squeeze else out

@@ -57,7 +57,15 @@ class PolynomialKernel(Kernel):
             None if dtype is None else resolve_dtype(dtype)
         )
 
-    def _cross(self, x: Any, z: Any, out: Any | None = None) -> Any:
+    def _cross(
+        self,
+        x: Any,
+        z: Any,
+        out: Any | None = None,
+        z_sq_norms: Any | None = None,
+    ) -> Any:
+        # z_sq_norms is part of the streaming kernel API; the polynomial
+        # kernel consumes inner products, not distances, so it is unused.
         bk = get_backend()
         dtype = self._eval_dtype(x, z)
         x = bk.asarray(x, dtype=dtype)

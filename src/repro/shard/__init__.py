@@ -1,0 +1,65 @@
+"""Executable multi-shard kernel engine — the paper's Section 6, for real.
+
+"Going beyond that to 1e8 or more data points using multi-GPU setups is
+the next natural step for kernel methods" (paper Section 6).
+:mod:`repro.device.cluster` *models* that regime analytically: ``g``
+devices each hold ``n/g`` centers, compute the batch-vs-shard kernel
+block, and all-reduce the ``(m, l)`` batch predictions under an
+alpha-beta network model.  This package *executes* the same scheme on
+real array backends:
+
+- :class:`~repro.shard.plan.ShardPlan` — the balanced contiguous
+  partition of the ``n`` centers (and weight rows) into ``g`` shards;
+- :class:`~repro.shard.group.ShardExecutor` /
+  :class:`~repro.shard.group.ShardGroup` — per-shard executors, each
+  owning its own :class:`~repro.backend.ArrayBackend` instance (NumPy
+  threads today, ``torch:cuda:<i>`` devices when available), a dedicated
+  worker thread, a private op meter and precomputed center norms;
+- :func:`~repro.shard.group.allreduce_sum` — the combiner summing
+  per-shard partials, with communication metered separately under the
+  ``"allreduce"`` category;
+- :func:`~repro.shard.ops.sharded_kernel_matvec` /
+  :func:`~repro.shard.ops.sharded_predict` — the data-parallel streamed
+  primitives mirroring :mod:`repro.kernels.ops`;
+- :class:`~repro.shard.trainer.ShardedEigenPro2` — the EigenPro 2.0
+  iteration (Algorithm 1) run data-parallel, numerically equivalent to
+  the single-backend trainer and adapted, by default, to the
+  :func:`repro.device.cluster.multi_gpu` aggregate device.
+
+Because per-shard op counts are shape-derived and the shards tile the
+centers, aggregate counts equal the unsharded counts exactly
+(``tests/test_shard_parity.py``), and the validation harness
+(``benchmarks/bench_shard.py`` /
+:func:`repro.experiments.cluster_scaling.run_shard_validation`) closes
+the MLSYSIM-style loop: the same ``(n, m, g)`` workload runs through the
+cluster cost model *and* this engine, reporting modelled against
+measured per-iteration time.
+
+Example
+-------
+>>> import numpy as np
+>>> from repro.kernels import GaussianKernel
+>>> from repro.shard import ShardGroup, sharded_predict
+>>> rng = np.random.default_rng(0)
+>>> centers, w = rng.standard_normal((100, 4)), rng.standard_normal(100)
+>>> kernel = GaussianKernel(bandwidth=2.0)
+>>> with ShardGroup.build(centers, w, g=4, kernel=kernel) as group:
+...     f = sharded_predict(group, centers[:10])
+>>> f.shape
+(10,)
+"""
+
+from repro.shard.group import ShardExecutor, ShardGroup, allreduce_sum
+from repro.shard.ops import sharded_kernel_matvec, sharded_predict
+from repro.shard.plan import ShardPlan
+from repro.shard.trainer import ShardedEigenPro2
+
+__all__ = [
+    "ShardExecutor",
+    "ShardGroup",
+    "ShardPlan",
+    "ShardedEigenPro2",
+    "allreduce_sum",
+    "sharded_kernel_matvec",
+    "sharded_predict",
+]

@@ -1,0 +1,381 @@
+"""Per-shard executors and the thread-pooled shard group.
+
+A :class:`ShardExecutor` owns one shard: a contiguous slice of the kernel
+centers and weights living on that executor's *own*
+:class:`~repro.backend.ArrayBackend` instance, a dedicated worker thread,
+a private :class:`~repro.instrument.OpMeter`, and the precomputed center
+squared norms that every streamed kernel block against this shard reuses.
+A :class:`ShardGroup` drives ``g`` executors in parallel and plays the
+role of the cluster in :mod:`repro.device.cluster`'s data-parallel model:
+each collective step maps a function over the shards and the caller
+combines the per-shard partials with :func:`allreduce_sum`.
+
+Accounting invariants (relied on by ``tests/test_shard_parity.py``):
+
+- every operation an executor performs is recorded on its private meter
+  (worker threads have no ambient meters), and :meth:`ShardGroup.map`
+  relays the per-map deltas to the meters active on the *calling* thread —
+  so a metered sharded computation reports exactly the op counts of its
+  unsharded equivalent, while per-shard totals remain inspectable;
+- communication is recorded separately under the ``"allreduce"`` category
+  (zero for ``g = 1``), mirroring the cluster model's separation of
+  compute time from network time;
+- each executor has a dedicated worker thread, so the per-thread
+  :class:`~repro.kernels.ops.BlockWorkspace` high-water mark *is* the
+  shard's scratch peak.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import threading
+from concurrent.futures import Future, ThreadPoolExecutor
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from repro.backend import (
+    ArrayBackend,
+    NumpyBackend,
+    get_backend,
+    get_precision,
+    precision_is_explicit,
+    resolve_backend,
+    to_numpy,
+    use_backend,
+    use_precision,
+)
+from repro.exceptions import ConfigurationError
+from repro.instrument import OpMeter, meter_scope, record_ops
+from repro.kernels.base import Kernel
+from repro.kernels.ops import block_workspace
+from repro.shard.plan import ShardPlan
+
+__all__ = ["ShardExecutor", "ShardGroup", "allreduce_sum"]
+
+
+def allreduce_sum(partials: Sequence[Any], bk: ArrayBackend | None = None) -> Any:
+    """Sum per-shard partial results into one array on backend ``bk``
+    (default: the caller's active backend).
+
+    Partials are pulled to host memory and summed in shard order, so the
+    result is deterministic for a fixed shard plan.  The reduction records
+    ``(g - 1) * payload`` operations under the ``"allreduce"`` category —
+    the communication volume the alpha-beta model of
+    :func:`repro.device.cluster.allreduce_time` charges for — and records
+    nothing for a single shard, matching the model's ``g = 1`` short
+    circuit.
+    """
+    if not partials:
+        raise ConfigurationError("allreduce_sum needs at least one partial")
+    arrays = [to_numpy(p) for p in partials]
+    out = np.array(arrays[0], copy=True)
+    for arr in arrays[1:]:
+        out += arr
+    if len(arrays) > 1:
+        record_ops("allreduce", (len(arrays) - 1) * out.size)
+    bk = bk if bk is not None else get_backend()
+    return bk.asarray(out)
+
+
+class ShardExecutor:
+    """One shard of the data-parallel engine.
+
+    Parameters
+    ----------
+    shard_id:
+        Position of this shard in the owning plan.
+    backend:
+        The :class:`~repro.backend.ArrayBackend` instance this executor
+        owns; all of its array state lives there.
+    centers:
+        Shard's center rows ``(n_i, d)`` (any array convertible by the
+        backend).
+    weights:
+        Optional shard weight rows ``(n_i, l)``.  When the source rows are
+        a NumPy slice and the backend is NumPy they are adopted as a
+        zero-copy *view* (updates write through to the source array);
+        otherwise a device copy is made and callers mirror updates back
+        via :meth:`pull_rows`.
+    """
+
+    def __init__(
+        self,
+        shard_id: int,
+        backend: ArrayBackend,
+        centers: Any,
+        weights: Any | None = None,
+    ) -> None:
+        self.shard_id = int(shard_id)
+        self.backend = backend
+        native = backend.asarray(centers)
+        self.centers = backend.as_2d(native)
+        self.weights_is_view = False
+        if weights is None:
+            self.weights = None
+        else:
+            self.weights = backend.asarray(weights)
+            self.weights_is_view = self.weights is weights or (
+                isinstance(self.weights, np.ndarray)
+                and isinstance(weights, np.ndarray)
+                and np.shares_memory(self.weights, weights)
+            )
+            if self.weights.shape[0] != self.centers.shape[0]:
+                raise ConfigurationError(
+                    f"shard {shard_id}: weights rows "
+                    f"({self.weights.shape[0]}) must match centers "
+                    f"({self.centers.shape[0]})"
+                )
+        #: Center squared norms, reused by every kernel block against this
+        #: shard (see the ``z_sq_norms`` threading in the kernel API).
+        self.center_sq_norms = backend.row_sq_norms(self.centers)
+        #: Private meter; aggregated by :meth:`ShardGroup.op_counts` and
+        #: relayed by :meth:`ShardGroup.map`.
+        self.meter = OpMeter()
+        #: High-water mark of this shard's block-workspace scratch.
+        self.workspace_peak = 0
+        self._pool: ThreadPoolExecutor | None = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix=f"repro-shard-{shard_id}"
+        )
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------- geometry
+    @property
+    def n_centers(self) -> int:
+        return self.centers.shape[0]
+
+    @property
+    def resident_scalars(self) -> int:
+        """Scalars held resident by this shard (centers + weights), the
+        per-device ``S_G`` charge of the cluster memory model."""
+        scalars = self.centers.shape[0] * self.centers.shape[1]
+        if self.weights is not None:
+            w = self.weights
+            scalars += w.shape[0] * (w.shape[1] if w.ndim == 2 else 1)
+        return int(scalars)
+
+    # ------------------------------------------------------------ execution
+    def _run(
+        self,
+        fn: Callable[["ShardExecutor"], Any],
+        precision: np.dtype | None = None,
+    ) -> Any:
+        # The caller's explicit use_precision scope is thread-local, so it
+        # is re-established here (captured by submit on the calling
+        # thread) — the sharded computation must honor the same working
+        # dtype as its unsharded equivalent.
+        scope = (
+            use_precision(precision)
+            if precision is not None
+            else contextlib.nullcontext()
+        )
+        with scope, use_backend(self.backend), meter_scope(self.meter):
+            try:
+                return fn(self)
+            finally:
+                self.workspace_peak = max(
+                    self.workspace_peak, block_workspace().peak_scalars
+                )
+
+    def submit(self, fn: Callable[["ShardExecutor"], Any]) -> Future:
+        """Run ``fn(self)`` on this shard's worker thread under its backend
+        scope, the caller's explicit precision (if any) and this shard's
+        private meter; returns the future."""
+        if self._pool is None:
+            raise ConfigurationError(
+                f"shard {self.shard_id} executor is closed"
+            )
+        precision = get_precision() if precision_is_explicit() else None
+        return self._pool.submit(self._run, fn, precision)
+
+    def pull_rows(self, local_idx: np.ndarray) -> np.ndarray:
+        """Host copy of the given weight rows (mirror-back path for
+        executors whose weights are device copies rather than views)."""
+        if self.weights is None:
+            raise ConfigurationError(f"shard {self.shard_id} holds no weights")
+        return to_numpy(self.weights[local_idx])
+
+    def close(self) -> None:
+        """Reset this shard's workspace scratch and join its worker."""
+        if self._pool is None:
+            return
+        try:
+            self._pool.submit(self._drain_workspace).result()
+        finally:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def _drain_workspace(self) -> None:
+        ws = block_workspace()
+        self.workspace_peak = max(self.workspace_peak, ws.peak_scalars)
+        ws.reset()
+
+
+class ShardGroup:
+    """A team of :class:`ShardExecutor` driven as one data-parallel engine.
+
+    Build one with :meth:`build` (which shards the centers/weights for
+    you) and run collective steps with :meth:`map`; combine the returned
+    per-shard partials with :func:`allreduce_sum`.  Use as a context
+    manager, or call :meth:`close` when done, to join the worker threads
+    and release pooled scratch.
+    """
+
+    def __init__(
+        self,
+        executors: Sequence[ShardExecutor],
+        plan: ShardPlan,
+        kernel: Kernel | None = None,
+    ) -> None:
+        if len(executors) != plan.g:
+            raise ConfigurationError(
+                f"plan has {plan.g} shards but {len(executors)} executors given"
+            )
+        self.executors = list(executors)
+        self.plan = plan
+        self.kernel = kernel
+
+    # ------------------------------------------------------------ lifecycle
+    @classmethod
+    def build(
+        cls,
+        centers: Any,
+        weights: Any | None = None,
+        *,
+        g: int | None = None,
+        backends: str | ArrayBackend | Sequence[str | ArrayBackend] | None = None,
+        kernel: Kernel | None = None,
+    ) -> "ShardGroup":
+        """Shard ``centers`` (and optionally ``weights``) across ``g``
+        executors.
+
+        Parameters
+        ----------
+        g:
+            Shard count; defaults to ``len(backends)`` when a backend list
+            is given, else 1.
+        backends:
+            ``None`` (a fresh :class:`~repro.backend.NumpyBackend` instance
+            per shard), one spec applied to every shard (``"torch:cpu"``),
+            or one spec per shard (``["torch:cuda:0", "torch:cuda:1"]``).
+        kernel:
+            Optional kernel attached to the group, enabling
+            :func:`repro.shard.sharded_predict` without re-passing it.
+        """
+        centers_np = np.asarray(to_numpy(centers))
+        if centers_np.ndim == 1:
+            centers_np = centers_np[None, :]
+        weights_np = None if weights is None else np.asarray(to_numpy(weights))
+        if isinstance(backends, (str, ArrayBackend)) or backends is None:
+            if g is None:
+                g = 1
+            backend_list: list[ArrayBackend] = [
+                NumpyBackend() if backends is None else resolve_backend(backends)
+                for _ in range(int(g))
+            ]
+        else:
+            backend_list = [resolve_backend(spec) for spec in backends]
+            if g is not None and int(g) != len(backend_list):
+                raise ConfigurationError(
+                    f"g={g} conflicts with {len(backend_list)} backend specs"
+                )
+        plan = ShardPlan.contiguous(centers_np.shape[0], len(backend_list))
+        executors = [
+            ShardExecutor(
+                i,
+                backend_list[i],
+                centers_np[sl],
+                None if weights_np is None else weights_np[sl],
+            )
+            for i, sl in enumerate(plan.slices)
+        ]
+        return cls(executors, plan, kernel=kernel)
+
+    @property
+    def g(self) -> int:
+        return self.plan.g
+
+    def __enter__(self) -> "ShardGroup":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Join every executor's worker thread and drop pooled scratch."""
+        for ex in self.executors:
+            ex.close()
+
+    def reset_workspaces(self) -> None:
+        """Drop pooled scratch buffers on every shard's worker thread
+        (keeps the workers alive)."""
+        futures = [ex.submit(lambda ex: ex._drain_workspace()) for ex in self.executors]
+        for f in futures:
+            f.result()
+
+    # ------------------------------------------------------------ execution
+    def map(self, fn: Callable[[ShardExecutor], Any]) -> list[Any]:
+        """Run ``fn(executor)`` on every shard in parallel; results in
+        shard order.
+
+        Each executor's work is metered on its private meter only (worker
+        threads carry no ambient meters); after the barrier the per-shard
+        op-count deltas are relayed to the meters active on the calling
+        thread, so callers see aggregate counts identical to the
+        unsharded computation.  Not safe for concurrent calls from
+        multiple orchestration threads (the delta relay would interleave).
+        """
+        before = [ex.meter.as_dict() for ex in self.executors]
+        futures = [ex.submit(fn) for ex in self.executors]
+        results = [f.result() for f in futures]
+        for ex, snapshot in zip(self.executors, before):
+            for category, ops in ex.meter.as_dict().items():
+                delta = ops - snapshot.get(category, 0)
+                if delta:
+                    record_ops(category, delta)
+        return results
+
+    # ----------------------------------------------------------- accounting
+    def op_counts(self) -> dict[str, int]:
+        """Op counts summed across all shard meters."""
+        total: dict[str, int] = {}
+        for ex in self.executors:
+            for category, ops in ex.meter.as_dict().items():
+                total[category] = total.get(category, 0) + ops
+        return total
+
+    def memory_report(self) -> dict[str, Any]:
+        """Per-shard and aggregate memory accounting in scalars."""
+        resident = [ex.resident_scalars for ex in self.executors]
+        peaks = [ex.workspace_peak for ex in self.executors]
+        return {
+            "resident_per_shard": resident,
+            "resident_total": int(sum(resident)),
+            "workspace_peak_per_shard": peaks,
+            "workspace_peak_total": int(sum(peaks)),
+        }
+
+    # -------------------------------------------------------------- weights
+    def gather_weights(self) -> np.ndarray:
+        """Concatenate all shard weight rows back into one host array."""
+        parts = []
+        for ex in self.executors:
+            if ex.weights is None:
+                raise ConfigurationError("group holds no weights")
+            parts.append(to_numpy(ex.weights))
+        return np.concatenate(parts, axis=0)
+
+    def set_weights(self, weights: Any) -> None:
+        """Scatter a full ``(n, l)`` weight array onto the shards."""
+        weights_np = np.asarray(to_numpy(weights))
+        if weights_np.shape[0] != self.plan.n:
+            raise ConfigurationError(
+                f"weights has {weights_np.shape[0]} rows, plan expects "
+                f"{self.plan.n}"
+            )
+        for ex, sl in zip(self.executors, self.plan.slices):
+            if ex.weights_is_view and isinstance(ex.weights, np.ndarray):
+                ex.weights[...] = weights_np[sl]
+            else:
+                ex.weights = ex.backend.asarray(weights_np[sl])
+                ex.weights_is_view = False

@@ -1,0 +1,118 @@
+"""Partitioning of the ``n`` training centers into ``g`` contiguous shards.
+
+A :class:`ShardPlan` is the static description of the data-parallel layout
+modelled by :mod:`repro.device.cluster`: shard ``i`` owns the contiguous
+center rows ``[bounds[i], bounds[i+1])`` together with the matching rows of
+the weight matrix ``alpha``.  Contiguity keeps every per-shard array a
+zero-copy slice of the source on the NumPy backend and makes ownership
+queries (:meth:`shard_of`, :meth:`localize`) a binary search.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+__all__ = ["ShardPlan"]
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """Balanced contiguous partition of ``n`` rows into ``g`` shards.
+
+    Attributes
+    ----------
+    n:
+        Total number of center rows.
+    bounds:
+        ``g + 1`` ascending offsets with ``bounds[0] == 0`` and
+        ``bounds[-1] == n``; shard ``i`` owns ``[bounds[i], bounds[i+1])``.
+    """
+
+    n: int
+    bounds: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if self.n < 1:
+            raise ConfigurationError(f"n must be >= 1, got {self.n}")
+        if len(self.bounds) < 2 or self.bounds[0] != 0 or self.bounds[-1] != self.n:
+            raise ConfigurationError(
+                f"bounds must run from 0 to n={self.n}, got {self.bounds}"
+            )
+        if any(b > a for a, b in zip(self.bounds[1:], self.bounds)):
+            raise ConfigurationError(
+                f"bounds must be non-decreasing, got {self.bounds}"
+            )
+
+    @classmethod
+    def contiguous(cls, n: int, g: int) -> "ShardPlan":
+        """Balanced plan: shard sizes differ by at most one row."""
+        if n < 1:
+            raise ConfigurationError(f"n must be >= 1, got {n}")
+        g = int(g)
+        if not 1 <= g <= n:
+            raise ConfigurationError(
+                f"shard count must be in [1, {n}] for n={n}, got {g}"
+            )
+        base, rem = divmod(n, g)
+        bounds = [0]
+        for i in range(g):
+            bounds.append(bounds[-1] + base + (1 if i < rem else 0))
+        return cls(n=n, bounds=tuple(bounds))
+
+    # -------------------------------------------------------------- queries
+    @property
+    def g(self) -> int:
+        """Number of shards."""
+        return len(self.bounds) - 1
+
+    @property
+    def sizes(self) -> tuple[int, ...]:
+        """Rows per shard; sums to ``n``."""
+        return tuple(b - a for a, b in zip(self.bounds, self.bounds[1:]))
+
+    @property
+    def slices(self) -> tuple[slice, ...]:
+        """Row slice of each shard."""
+        return tuple(slice(a, b) for a, b in zip(self.bounds, self.bounds[1:]))
+
+    def shard_of(self, index: int) -> int:
+        """The shard owning global row ``index``."""
+        if not 0 <= index < self.n:
+            raise ConfigurationError(
+                f"index must be in [0, {self.n}), got {index}"
+            )
+        return int(np.searchsorted(self.bounds, index, side="right")) - 1
+
+    def localize(
+        self, idx: np.ndarray
+    ) -> list[tuple[np.ndarray, np.ndarray]]:
+        """Split global row indices by owning shard.
+
+        Parameters
+        ----------
+        idx:
+            1-D array of global indices in ``[0, n)``.
+
+        Returns
+        -------
+        One ``(positions, local)`` pair per shard: ``positions`` are the
+        positions within ``idx`` owned by that shard and ``local`` the
+        corresponding shard-local row indices; both empty for shards that
+        own none of ``idx``.  Scatter/gather round-trips use ``positions``
+        to reassemble results in the order of ``idx``.
+        """
+        idx = np.asarray(idx)
+        if idx.size and (idx.min() < 0 or idx.max() >= self.n):
+            raise ConfigurationError(
+                f"indices must be in [0, {self.n})"
+            )
+        owners = np.searchsorted(self.bounds, idx, side="right") - 1
+        out = []
+        for s in range(self.g):
+            positions = np.nonzero(owners == s)[0]
+            out.append((positions, idx[positions] - self.bounds[s]))
+        return out

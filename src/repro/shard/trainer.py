@@ -1,0 +1,268 @@
+"""Data-parallel EigenPro 2.0 over a shard group.
+
+:class:`ShardedEigenPro2` executes the exact iteration of
+:class:`~repro.core.eigenpro2.EigenPro2` under the data-parallel scheme
+:mod:`repro.device.cluster` models analytically:
+
+1. every shard computes the batch-vs-shard kernel block ``(m, n_i)``
+   against its own centers on its own backend and contracts it with its
+   own weight rows (Algorithm 1 step 2, split over shards);
+2. the ``(m, l)`` partial batch predictions are all-reduced
+   (:func:`~repro.shard.allreduce_sum` — the collective whose cost the
+   cluster model charges per iteration);
+3. the SGD coordinate update and the EigenPro correction (steps 3–5) are
+   applied to the full weight vector; shards holding zero-copy views see
+   the update immediately, device-copy shards get the touched rows
+   mirrored back.
+
+The Nyström preconditioner state is *replicated* (it is ``s*q + 2q``
+scalars, independent of ``n``), but its ``Phi^T`` block is never
+recomputed: each shard contributes the columns of its already-computed
+batch block at the subsample indices it owns, exactly as the unsharded
+trainer slices them from the full block.  All selected parameters, op
+counts and simulated-device charges are identical to the unsharded
+trainer by construction, which is what lets the validation harness
+(``benchmarks/bench_shard.py``) compare modelled against measured time
+for the *same* iteration.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.backend import ArrayBackend, get_backend, match_dtype, to_numpy
+from repro.core.eigenpro2 import EigenPro2
+from repro.device.cluster import Interconnect, multi_gpu
+from repro.device.presets import titan_xp
+from repro.device.simulator import SimulatedDevice
+from repro.exceptions import ConfigurationError
+from repro.instrument import record_ops
+from repro.kernels.base import Kernel
+from repro.config import DEFAULT_BLOCK_SCALARS
+from repro.kernels.ops import block_workspace
+from repro.shard.group import ShardGroup, allreduce_sum
+from repro.shard.ops import sharded_predict
+
+__all__ = ["ShardedEigenPro2"]
+
+
+class ShardedEigenPro2(EigenPro2):
+    """EigenPro 2.0 trained data-parallel across ``n_shards`` executors.
+
+    Parameters
+    ----------
+    kernel:
+        Kernel function.
+    n_shards:
+        Number of shards ``g``; clamped to the training-set size at fit.
+        Defaults to 2, or to ``len(shard_backends)`` when a backend
+        sequence is given; giving both and disagreeing is an error.
+    shard_backends:
+        Backend spec(s) for the executors — ``None`` (a fresh NumPy
+        backend instance per shard), one spec for all, or one per shard
+        (e.g. ``["torch:cuda:0", "torch:cuda:1"]``); see
+        :meth:`repro.shard.ShardGroup.build`.
+    device:
+        Simulated device the selection steps adapt to.  Defaults to the
+        :func:`repro.device.cluster.multi_gpu` aggregate of ``n_shards``
+        Titan Xp models — so Step 1 sees the cluster's capacity, exactly
+        the "no new code" adaptation story of the cluster model.
+    interconnect:
+        Network model for the default aggregate device (ignored when
+        ``device`` is given).
+    **eigenpro_kwargs:
+        Everything :class:`~repro.core.eigenpro2.EigenPro2` accepts
+        (``s``, ``q``, ``batch_size``, ``step_size``, ``seed``, ...).
+
+    Attributes
+    ----------
+    shard_group_:
+        The :class:`~repro.shard.ShardGroup` built at fit time; call
+        :meth:`close` (or use the trainer as a context manager) to join
+        its worker threads.
+    """
+
+    method_name = "eigenpro2-sharded"
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        *,
+        n_shards: int | None = None,
+        shard_backends: str | ArrayBackend | Sequence[str | ArrayBackend] | None = None,
+        device: SimulatedDevice | None = None,
+        interconnect: Interconnect | None = None,
+        **eigenpro_kwargs: Any,
+    ) -> None:
+        if shard_backends is not None and not isinstance(
+            shard_backends, (str, ArrayBackend)
+        ):
+            # A backend sequence fixes the shard count: the simulated
+            # device must model the cluster that actually executes.
+            shard_backends = list(shard_backends)
+            if n_shards is None:
+                n_shards = len(shard_backends)
+            elif int(n_shards) != len(shard_backends):
+                raise ConfigurationError(
+                    f"n_shards={n_shards} conflicts with "
+                    f"{len(shard_backends)} entries in shard_backends"
+                )
+        n_shards = 2 if n_shards is None else int(n_shards)
+        if n_shards < 1:
+            raise ConfigurationError(f"n_shards must be >= 1, got {n_shards}")
+        if device is None:
+            device = multi_gpu(titan_xp(), n_shards, interconnect=interconnect)
+        super().__init__(kernel, device=device, **eigenpro_kwargs)
+        self.n_shards = n_shards
+        self.shard_backends = shard_backends
+        self.shard_group_: ShardGroup | None = None
+        self._sub_parts: list[tuple[np.ndarray, np.ndarray]] | None = None
+
+    # --------------------------------------------------------------- setup
+    def _setup(self, x: np.ndarray, y: np.ndarray) -> None:
+        super()._setup(x, y)
+        g = min(self.n_shards, x.shape[0])
+        backends = self.shard_backends
+        if backends is None or isinstance(backends, (str, ArrayBackend)):
+            group = ShardGroup.build(
+                x, self._alpha, g=g, backends=backends, kernel=self.kernel
+            )
+        else:
+            group = ShardGroup.build(
+                x, self._alpha, backends=backends[:g], kernel=self.kernel
+            )
+        # Build-before-close: a failing rebuild must leave the previous
+        # (still open) group in place for fit's cleanup path.
+        if self.shard_group_ is not None:
+            self.shard_group_.close()
+        self.shard_group_ = group
+        self._sub_parts = (
+            group.plan.localize(self._sub_idx)
+            if self.preconditioner_ is not None and self._sub_idx is not None
+            else None
+        )
+
+    # ----------------------------------------------------------- iteration
+    def _iterate(
+        self, x: Any, y: Any, idx: np.ndarray, gamma: float
+    ) -> None:
+        group = self.shard_group_
+        if group is None:
+            # Standalone call before a sharded fit (e.g. the Table-1 style
+            # single-iteration metering): run the unsharded iteration.
+            super()._iterate(x, y, idx, gamma)
+            return
+        bk = get_backend()
+        alpha_dtype = bk.dtype_of(self._alpha)
+        xb = np.asarray(to_numpy(x[idx]))  # (m, d) batch, host-side
+        l = self._alpha.shape[1]
+        sub_parts = self._sub_parts
+
+        def forward(ex):
+            ebk = ex.backend
+            block_dtype = self.kernel._eval_dtype(xb, ex.centers)
+            scratch = block_workspace().get(
+                ebk, xb.shape[0], ex.n_centers, block_dtype
+            )
+            kb = self.kernel(
+                xb, ex.centers, out=scratch, z_sq_norms=ex.center_sq_norms
+            )  # (m, n_i): records kernel_eval on the shard meter
+            kb = match_dtype(kb, ebk.dtype_of(ex.weights), ebk)
+            f_i = kb @ ex.weights  # (m, l) partial prediction
+            record_ops("gemm", xb.shape[0] * ex.n_centers * l)
+            phi_i = None
+            if sub_parts is not None:
+                positions, local = sub_parts[ex.shard_id]
+                if positions.size:
+                    # Columns of the batch block at this shard's subsample
+                    # centers — advanced indexing copies, so the block
+                    # scratch may be recycled afterwards.
+                    phi_i = kb[:, local]
+            return f_i, phi_i
+
+        results = group.map(forward)
+        f = allreduce_sum([f_i for f_i, _ in results], bk=bk)
+        f = match_dtype(f, alpha_dtype, bk)
+        g_res = f - y[idx]
+        self._alpha[idx] -= gamma * g_res
+        touched = [idx]
+        if self.preconditioner_ is not None and sub_parts is not None:
+            m, s = xb.shape[0], self._sub_idx.shape[0]
+            phi = np.empty((m, s), dtype=np.dtype(alpha_dtype))
+            for ex, (_, phi_i) in zip(group.executors, results):
+                positions, _ = sub_parts[ex.shard_id]
+                if positions.size:
+                    phi[:, positions] = to_numpy(phi_i)
+            correction = self.preconditioner_.correction(phi, to_numpy(g_res))
+            self._alpha[self._sub_idx] += gamma * bk.asarray(
+                correction, dtype=alpha_dtype
+            )
+            touched.append(self._sub_idx)
+        self._mirror_rows(np.concatenate(touched))
+
+    def _mirror_rows(self, global_idx: np.ndarray) -> None:
+        """Push updated weight rows to executors holding device copies
+        (no-op when every shard adopted a zero-copy view)."""
+        group = self.shard_group_
+        if group is None or all(ex.weights_is_view for ex in group.executors):
+            return
+        global_idx = np.unique(np.asarray(global_idx))
+        parts = group.plan.localize(global_idx)
+        rows = to_numpy(self._alpha[global_idx])
+
+        def push(ex):
+            positions, local = parts[ex.shard_id]
+            if positions.size and not ex.weights_is_view:
+                ex.weights[local] = ex.backend.asarray(
+                    rows[positions], dtype=ex.backend.dtype_of(ex.weights)
+                )
+
+        group.map(push)
+
+    # ------------------------------------------------------------- fitting
+    def fit(self, x: np.ndarray, y: np.ndarray, **fit_kwargs: Any):
+        try:
+            return super().fit(x, y, **fit_kwargs)
+        finally:
+            group = self.shard_group_
+            if group is not None:
+                # Per-shard (m, n_i) batch scratch should not stay pinned
+                # on the worker threads after training, mirroring the
+                # base trainer's main-thread workspace reset.
+                group.reset_workspaces()
+                # keep_best_val may have restored an earlier weight
+                # snapshot after the last mirror; re-sync device copies.
+                # Guarded by the plan size so a fit that failed mid-setup
+                # (group from a previous fit, alpha from this one) does
+                # not mask the original exception.
+                if group.plan.n == self._alpha.shape[0] and any(
+                    not ex.weights_is_view for ex in group.executors
+                ):
+                    group.set_weights(to_numpy(self._alpha))
+
+    # ----------------------------------------------------------- inference
+    def predict_sharded(
+        self, x: Any, max_scalars: int = DEFAULT_BLOCK_SCALARS
+    ) -> Any:
+        """Sharded model evaluation through the trained shard group."""
+        self._require_fitted()
+        if self.shard_group_ is None:
+            raise ConfigurationError("trainer has no shard group; fit first")
+        return sharded_predict(
+            self.shard_group_, x, kernel=self.kernel, max_scalars=max_scalars
+        )
+
+    # ------------------------------------------------------------ lifecycle
+    def close(self) -> None:
+        """Join the shard group's worker threads."""
+        if self.shard_group_ is not None:
+            self.shard_group_.close()
+            self.shard_group_ = None
+
+    def __enter__(self) -> "ShardedEigenPro2":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()

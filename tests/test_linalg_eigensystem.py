@@ -56,8 +56,11 @@ class TestDense:
 
 
 class TestRandomized:
-    def test_close_to_dense_with_decay(self, rng):
-        a, vals, _ = _psd_matrix(rng, n=60, decay=2.5)
+    def test_close_to_dense_with_decay(self):
+        # Pinned generator (not the session ``rng`` fixture): the sketch
+        # accuracy of the randomized solver depends on the drawn matrix,
+        # and this test was order-dependent on the shared fixture state.
+        a, vals, _ = _psd_matrix(np.random.default_rng(1234), n=60, decay=2.5)
         got_vals, got_vecs = randomized_top_eigensystem(a, 5, seed=1)
         np.testing.assert_allclose(got_vals, vals[:5], rtol=1e-6)
         # Eigenvector quality via the residual (sign-agnostic).
