@@ -142,6 +142,25 @@ class ArrayBackend(abc.ABC):
         """
         return self.solve(chol.T, self.solve(chol, b))
 
+    def solve_triangular(
+        self, a: Any, b: Any, *, lower: bool = True, trans: bool = False
+    ) -> Any:
+        """Solve ``a x = b`` (or ``a.T x = b`` when ``trans``) for
+        triangular ``a``.
+
+        This is the half-step of :meth:`cho_solve` that preconditioned
+        solvers (FALKON's ``T``/``A`` factor applications) need
+        separately.  The default falls back to the dense :meth:`solve`,
+        which — unlike a true triangular solver — reads the *whole*
+        matrix: it is only correct when the non-triangular half of ``a``
+        is zero-filled (true for factors from :meth:`cholesky` on the
+        shipped backends, but NOT for e.g. LAPACK ``cho_factor`` output,
+        whose untouched triangle holds garbage).  Backends should
+        override with a real triangular solver that references only the
+        indicated triangle; both shipped backends do.
+        """
+        return self.solve(a.T if trans else a, b)
+
     @abc.abstractmethod
     def qr(self, a: Any) -> tuple[Any, Any]:
         """Reduced QR decomposition ``a = q @ r``."""

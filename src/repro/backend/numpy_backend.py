@@ -102,6 +102,18 @@ class NumpyBackend(ArrayBackend):
     def cho_solve(self, chol: np.ndarray, b: np.ndarray) -> np.ndarray:
         return scipy.linalg.cho_solve((chol, True), b)
 
+    def solve_triangular(
+        self,
+        a: np.ndarray,
+        b: np.ndarray,
+        *,
+        lower: bool = True,
+        trans: bool = False,
+    ) -> np.ndarray:
+        return scipy.linalg.solve_triangular(
+            a, b, lower=lower, trans="T" if trans else "N"
+        )
+
     def qr(self, a: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         return np.linalg.qr(a)
 

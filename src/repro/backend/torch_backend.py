@@ -168,6 +168,19 @@ class TorchBackend(ArrayBackend):
     def cho_solve(self, chol: Any, b: Any) -> Any:
         return self.torch.cholesky_solve(b, chol, upper=False)
 
+    def solve_triangular(
+        self, a: Any, b: Any, *, lower: bool = True, trans: bool = False
+    ) -> Any:
+        if trans:
+            # Solve a.T x = b without materializing the transpose's copy:
+            # a lower factor's transpose is upper triangular.
+            a, upper = a.mT, lower
+        else:
+            upper = not lower
+        b2 = b if b.ndim == 2 else b.unsqueeze(1)
+        out = self.torch.linalg.solve_triangular(a, b2, upper=upper)
+        return out if b.ndim == 2 else out.squeeze(1)
+
     def qr(self, a: Any) -> tuple[Any, Any]:
         return self.torch.linalg.qr(a)
 

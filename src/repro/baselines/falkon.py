@@ -17,14 +17,22 @@ operator, and CG converges in a few tens of iterations independent of
 ``n``.  Per-CG-iteration cost is dominated by the two ``(n, M)`` kernel
 sweeps — exactly why the paper's method (no ``n x M`` sweeps beyond the
 mini-batch) beats it on time.
+
+All array work dispatches through the active
+:class:`~repro.backend.ArrayBackend` (triangular factor applications via
+``ArrayBackend.solve_triangular``, the two-factor solves building on the
+same machinery that backs ``cho_solve``), so the solver runs on NumPy or
+Torch (CPU/CUDA) and inside shard executors — the same treatment the
+ridge/interpolation baselines got.  Only scalar CG control logic
+(residual norms, convergence tests) lives on the host.
 """
 
 from __future__ import annotations
 
 import numpy as np
-import scipy.linalg
 
-from repro.config import DEFAULT_BLOCK_SCALARS
+from repro.backend import get_backend, match_dtype, to_numpy
+from repro.config import DEFAULT_BLOCK_SCALARS, compute_dtype
 from repro.core.model import KernelModel, as_labels
 from repro.device.simulator import SimulatedDevice
 from repro.exceptions import ConfigurationError, NotFittedError
@@ -105,8 +113,12 @@ class Falkon:
     # -------------------------------------------------------------- fitting
     def fit(self, x: np.ndarray, y: np.ndarray) -> "Falkon":
         """Solve the preconditioned normal equations by CG."""
-        x = np.atleast_2d(np.asarray(x, dtype=float))
-        y = np.asarray(y, dtype=float)
+        bk = get_backend()
+        dtype = np.result_type(
+            compute_dtype(x, y), self.kernel._eval_dtype(x, x)
+        )
+        x = bk.ascontiguous(bk.as_2d(bk.asarray(x, dtype=dtype)))
+        y = bk.asarray(y, dtype=dtype)
         if y.ndim == 1:
             y = y[:, None]
         if y.shape[0] != x.shape[0]:
@@ -118,27 +130,31 @@ class Falkon:
         centers = x[rng.choice(n, size=m_centers, replace=False)]
 
         k_mm = self.kernel(centers, centers)
-        # T (lower here; scipy convention) such that K_MM = T T^T.
+        k_mm = match_dtype(k_mm, dtype, bk)
+        # T (lower; NumPy/SciPy convention) such that K_MM = T T^T.
         t_chol, _ = jitter_cholesky(k_mm)
         # A A^T = T^T T / M + lambda I  (preconditioner inner factor).
-        inner = t_chol.T @ t_chol / m_centers + self.reg_lambda * np.eye(m_centers)
+        inner = (
+            t_chol.T @ t_chol / m_centers
+            + self.reg_lambda * bk.eye(m_centers, dtype=bk.dtype_of(t_chol))
+        )
         a_chol, _ = jitter_cholesky(inner)
         if self.device is not None:
             self.device.charge_iteration(
                 m_centers * m_centers * d + 2 * m_centers**3
             )
 
-        def prec_apply(v: np.ndarray) -> np.ndarray:
+        def prec_apply(v):
             """alpha-space vector from beta-space: T^{-T} A^{-T} v."""
-            u = scipy.linalg.solve_triangular(a_chol, v, lower=True, trans="T")
-            return scipy.linalg.solve_triangular(t_chol, u, lower=True, trans="T")
+            u = bk.solve_triangular(a_chol, v, lower=True, trans=True)
+            return bk.solve_triangular(t_chol, u, lower=True, trans=True)
 
-        def prec_apply_t(v: np.ndarray) -> np.ndarray:
+        def prec_apply_t(v):
             """beta-space vector from alpha-space: A^{-1} T^{-1} v."""
-            u = scipy.linalg.solve_triangular(t_chol, v, lower=True)
-            return scipy.linalg.solve_triangular(a_chol, u, lower=True)
+            u = bk.solve_triangular(t_chol, v, lower=True)
+            return bk.solve_triangular(a_chol, u, lower=True)
 
-        def h_apply(alpha: np.ndarray) -> np.ndarray:
+        def h_apply(alpha):
             """H alpha = K_Mn K_nM alpha / n + lambda K_MM alpha."""
             knm_alpha = kernel_matvec(
                 self.kernel, x, centers, alpha, max_scalars=self.block_scalars
@@ -160,26 +176,37 @@ class Falkon:
         )
         b = prec_apply_t(kmn_y / n)
 
-        # Block CG on B^T H B beta = b, one column per output.
-        def op(beta: np.ndarray) -> np.ndarray:
+        # Block CG on B^T H B beta = b, one column per output.  CG vectors
+        # stay backend-native; only the per-column scalars used by the
+        # control flow are pulled to the host.
+        def op(beta):
             return prec_apply_t(h_apply(prec_apply(beta)))
 
-        beta = np.zeros((m_centers, l))
+        def col_dots(u, v) -> np.ndarray:
+            return np.asarray(to_numpy((u * v).sum(axis=0)), dtype=float)
+
+        def col_row(values: np.ndarray):
+            """Host ``(l,)`` scalars as a native broadcastable row."""
+            return bk.asarray(values[None, :], dtype=bk.dtype_of(b))
+
+        beta = bk.zeros((m_centers, l), dtype=bk.dtype_of(b))
         r = b - op(beta)
-        p = r.copy()
-        rs = np.einsum("ij,ij->j", r, r)
-        b_norms = np.maximum(np.sqrt(np.einsum("ij,ij->j", b, b)), 1e-300)
+        p = bk.copy(r)
+        rs = col_dots(r, r)
+        b_norms = np.maximum(np.sqrt(col_dots(b, b)), 1e-300)
         self.n_iters_ = 0
         for _ in range(self.max_iters):
             if np.all(np.sqrt(rs) <= self.tol * b_norms):
                 break
             hp = op(p)
-            denom = np.einsum("ij,ij->j", p, hp)
+            denom = col_dots(p, hp)
             step = rs / np.where(np.abs(denom) > 1e-300, denom, 1e-300)
-            beta += p * step[None, :]
-            r -= hp * step[None, :]
-            rs_new = np.einsum("ij,ij->j", r, r)
-            p = r + p * (rs_new / np.where(rs > 1e-300, rs, 1e-300))[None, :]
+            beta = beta + p * col_row(step)
+            r = r - hp * col_row(step)
+            rs_new = col_dots(r, r)
+            p = r + p * col_row(
+                rs_new / np.where(rs > 1e-300, rs, 1e-300)
+            )
             rs = rs_new
             self.n_iters_ += 1
 

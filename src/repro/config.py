@@ -25,6 +25,7 @@ promoted to float64.
 
 from __future__ import annotations
 
+import os
 import threading
 
 import numpy as np
@@ -178,6 +179,55 @@ def resolve_dtype(dtype: object | None) -> np.dtype:
     if dtype is None:
         return get_precision()
     return _as_float_dtype(dtype)
+
+
+#: Debug switch for the pooled-scratch contract of the streaming layer.
+#: When enabled, a caller-provided ``out`` buffer that a kernel or the
+#: pairwise layer would silently *discard* (shape or dtype mismatch)
+#: raises instead — so a workspace regression (a hot path quietly
+#: re-allocating its block every step) cannot land unnoticed.  The flag
+#: is deliberately *process-global*, not thread-scoped: the pipelined
+#: trainer and the shard engine form their blocks on worker threads, and
+#: the whole point is to catch a discarded buffer wherever it happens.
+#: Enabled by the ``REPRO_DEBUG_WORKSPACE`` environment variable or the
+#: :class:`debug_workspace` context manager (tests use the latter).
+_WORKSPACE_DEBUG = {
+    "enabled": os.environ.get("REPRO_DEBUG_WORKSPACE", "") not in ("", "0")
+}
+
+
+def workspace_debug_enabled() -> bool:
+    """True when discarded scratch buffers should raise (see
+    :class:`debug_workspace`)."""
+    return _WORKSPACE_DEBUG["enabled"]
+
+
+def set_workspace_debug(enabled: bool) -> None:
+    """Set the process-wide workspace debug flag."""
+    _WORKSPACE_DEBUG["enabled"] = bool(enabled)
+
+
+class debug_workspace:
+    """Context manager enabling the pooled-scratch assertions.
+
+    Inside the scope, any streamed kernel evaluation whose ``out`` scratch
+    would be silently discarded raises a ``ConfigurationError`` — on every
+    thread, including prefetch and shard workers.  Used by the workspace
+    regression tests; cheap enough to leave on in CI via
+    ``REPRO_DEBUG_WORKSPACE=1``.
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = bool(enabled)
+        self._previous: bool | None = None
+
+    def __enter__(self) -> "debug_workspace":
+        self._previous = _WORKSPACE_DEBUG["enabled"]
+        _WORKSPACE_DEBUG["enabled"] = self.enabled
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        _WORKSPACE_DEBUG["enabled"] = bool(self._previous)
 
 
 def compute_dtype(*arrays: object) -> np.dtype:

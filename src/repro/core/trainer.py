@@ -14,6 +14,21 @@ kernel SGD), device memory accounting per the paper's space model
 ``(d + l + m) * n``, simulated-time charging, train/validation monitoring
 and early stopping.  Subclasses override the three hooks.
 
+Pipelined iteration (``pipeline=True``)
+---------------------------------------
+The ``(m, n)`` batch-vs-centers kernel block dominates per-iteration cost
+yet depends only on ``x[idx]`` and the centers — never on ``alpha`` — so
+the *next* step's block can be formed while the current step's GEMM,
+coordinate update and correction run.  With ``pipeline=True`` a single
+background worker does exactly that, writing into the rotating
+double-buffer slots of the shared :class:`~repro.kernels.ops.BlockWorkspace`
+(two in-flight blocks, never a stale read: step ``t+1``'s block is a pure
+function of data the update never touches).  BLAS releases the GIL, so
+the overlap pays even on the pure-NumPy backend.  Results are bitwise
+identical to the serial engine — both paths run the same
+``_form_block`` / ``_consume_block`` code — and op counts recorded on the
+worker are relayed to the caller's meters when the block is consumed.
+
 Update convention
 -----------------
 The batch coordinate update is ``alpha_t -= (eta / m) * (f(x_t) - y_t)``
@@ -25,23 +40,100 @@ factor-bookkeeping against the paper's Eq. 2).
 
 from __future__ import annotations
 
+import contextlib
 import time
+from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Callable
 
 import numpy as np
 
-from repro.backend import get_backend, match_dtype
+from repro.backend import (
+    get_backend,
+    get_precision,
+    match_dtype,
+    precision_is_explicit,
+    use_backend,
+    use_precision,
+)
 from repro.config import DEFAULT_BLOCK_SCALARS, compute_dtype
 from repro.core.model import KernelModel, as_labels
 from repro.kernels.ops import block_workspace, center_sq_norms
 from repro.core.stopping import TrainMSETarget, ValidationPlateau
 from repro.device.simulator import SimulatedDevice
 from repro.exceptions import ConfigurationError, NotFittedError
-from repro.instrument import record_ops
+from repro.instrument import OpMeter, meter_scope, record_ops, relay_op_counts
 from repro.kernels.base import Kernel
 
-__all__ = ["EpochRecord", "TrainingHistory", "BaseKernelTrainer"]
+__all__ = [
+    "EpochRecord",
+    "TrainingHistory",
+    "BlockPrefetcher",
+    "BaseKernelTrainer",
+]
+
+
+class BlockPrefetcher:
+    """One background worker forming next-step kernel blocks.
+
+    The pipelined training loop submits a thunk that forms step ``t+1``'s
+    batch block while the caller thread consumes step ``t``'s.  The worker
+    re-establishes the caller's backend and (explicit) precision scopes —
+    both are thread-local — and meters its work on a private
+    :class:`~repro.instrument.OpMeter` whose counts are relayed to the
+    caller's ambient meters when :meth:`_PrefetchHandle.result` is awaited,
+    keeping aggregate op counts identical to the serial engine.
+    """
+
+    def __init__(self, name: str = "repro-pipeline") -> None:
+        self._pool: ThreadPoolExecutor | None = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix=name
+        )
+
+    def submit(self, fn: Callable[[], Any]) -> "_PrefetchHandle":
+        """Schedule ``fn()`` on the worker under the caller's scopes."""
+        if self._pool is None:
+            raise ConfigurationError("prefetcher is closed")
+        backend = get_backend()
+        precision = get_precision() if precision_is_explicit() else None
+        meter = OpMeter()
+
+        def task() -> Any:
+            scope = (
+                use_precision(precision)
+                if precision is not None
+                else contextlib.nullcontext()
+            )
+            with scope, use_backend(backend), meter_scope(meter):
+                return fn()
+
+        return _PrefetchHandle(self._pool.submit(task), meter)
+
+    def close(self) -> None:
+        """Drop the worker's pooled workspace scratch and join it."""
+        if self._pool is None:
+            return
+        try:
+            self._pool.submit(lambda: block_workspace().reset()).result()
+        finally:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+
+class _PrefetchHandle:
+    """Future for one prefetched block; relays op counts on await."""
+
+    def __init__(self, future: Future, meter: OpMeter) -> None:
+        self._future = future
+        self._meter = meter
+        self._relayed = False
+
+    def result(self) -> Any:
+        value = self._future.result()
+        if not self._relayed:
+            self._relayed = True
+            relay_op_counts(self._meter.as_dict())
+        return value
 
 
 @dataclass(frozen=True)
@@ -111,6 +203,10 @@ class BaseKernelTrainer:
         Safety factor multiplied into the analytic step size; 1.0 applies
         the theoretical optimum, values slightly below absorb estimation
         error in the subsample eigenvalues.
+    pipeline:
+        When True, overlap the formation of the next step's kernel block
+        with the current step's GEMM/update/correction (see the module
+        docstring).  Numerically identical to the serial engine.
 
     Attributes (set by :meth:`fit`)
     -------------------------------
@@ -136,6 +232,7 @@ class BaseKernelTrainer:
         block_scalars: int = DEFAULT_BLOCK_SCALARS,
         monitor_size: int = 2000,
         damping: float = 1.0,
+        pipeline: bool = False,
     ) -> None:
         if batch_size is not None and batch_size < 1:
             raise ConfigurationError(
@@ -159,6 +256,8 @@ class BaseKernelTrainer:
         self.block_scalars = int(block_scalars)
         self.monitor_size = int(monitor_size)
         self.damping = float(damping)
+        self.pipeline = bool(pipeline)
+        self._prefetcher: BlockPrefetcher | None = None
         # Fitted state.
         self._x_sq_norms: Any | None = None
         self.model_: KernelModel | None = None
@@ -317,21 +416,24 @@ class BaseKernelTrainer:
                     allocations.append(name)
             for epoch in range(1, epochs + 1):
                 perm = rng.permutation(n)
+                # The epoch's batch index blocks, computed once per
+                # permutation (the pipelined engine needs to see step t+1
+                # while step t is in flight; the serial engine just
+                # iterates the same list).
+                blocks = [perm[start : start + m] for start in range(0, n, m)]
                 stop_now = False
-                for start in range(0, n, m):
-                    idx = perm[start : start + m]
-                    self._iterate(x, y, idx, gamma)
-                    total_iterations += 1
-                    if self.device is not None:
+                if max_iterations is not None:
+                    remaining = max_iterations - total_iterations
+                    if len(blocks) >= remaining:
+                        blocks = blocks[:remaining]
+                        stop_now = True
+                self._run_epoch(x, y, blocks, gamma)
+                total_iterations += len(blocks)
+                if self.device is not None:
+                    for idx in blocks:
                         ops = idx.shape[0] * n * (d + l)
                         ops += self._extra_iteration_ops(idx.shape[0])
                         self.device.charge_iteration(ops)
-                    if (
-                        max_iterations is not None
-                        and total_iterations >= max_iterations
-                    ):
-                        stop_now = True
-                        break
                 train_mse = self.model_.mse(x[monitor_idx], y[monitor_idx])
                 val_error = (
                     self.model_.classification_error(x_val, y_val)
@@ -368,12 +470,60 @@ class BaseKernelTrainer:
             if self.device is not None:
                 for name in allocations:
                     self.device.memory.free_allocation(name)
+            if self._prefetcher is not None:
+                # Joins the worker and drops its pooled block scratch.
+                self._prefetcher.close()
+                self._prefetcher = None
             # The pooled (m, n) batch block can dwarf the blocked-predict
             # budget; don't leave it pinned for the thread's lifetime.
             block_workspace().reset()
         if best_alpha is not None:
             self._alpha[...] = best_alpha
         return self
+
+    # ------------------------------------------------------------ the epoch
+    def _run_epoch(
+        self, x: Any, y: Any, blocks: list[np.ndarray], gamma: float
+    ) -> None:
+        """Run one epoch's mini-batch steps (``blocks`` is the epoch's
+        precomputed list of batch index arrays).
+
+        Dispatches to the serial loop or, with ``pipeline=True`` and more
+        than one step, the software-pipelined loop.  Both produce bitwise
+        identical state: they run the same ``_form_block`` /
+        ``_consume_block`` code, only the schedule differs.
+        """
+        if not self.pipeline or len(blocks) <= 1:
+            for idx in blocks:
+                self._iterate(x, y, idx, gamma)
+            return
+        self._run_epoch_pipelined(x, y, blocks, gamma)
+
+    def _run_epoch_pipelined(
+        self, x: Any, y: Any, blocks: list[np.ndarray], gamma: float
+    ) -> None:
+        """Double-buffered epoch: while step ``t``'s GEMM, update and
+        correction run on this thread, the prefetch worker forms step
+        ``t+1``'s kernel block into the other workspace slot.  The block
+        future is awaited only when consumed, and nothing the worker reads
+        (``x``, the centers, the precomputed norms) is ever written by the
+        update, so no step can observe stale data."""
+        if self._prefetcher is None:
+            self._prefetcher = BlockPrefetcher()
+        prefetch = self._prefetcher
+        handle = prefetch.submit(
+            lambda: self._form_block(x, blocks[0], slot=0)
+        )
+        for t, idx in enumerate(blocks):
+            kb = handle.result()  # relays the worker's kernel_eval ops
+            if t + 1 < len(blocks):
+                nxt, slot = blocks[t + 1], (t + 1) % 2
+                handle = prefetch.submit(
+                    lambda nxt=nxt, slot=slot: self._form_block(
+                        x, nxt, slot=slot
+                    )
+                )
+            self._consume_block(kb, x, y, idx, gamma)
 
     # -------------------------------------------------------- one iteration
     def _iterate(
@@ -385,17 +535,45 @@ class BaseKernelTrainer:
         standard SGD of Eq. 3; the correction hook implements steps 4–5.
         ``x``/``y``/``alpha`` are backend-native; ``idx`` stays a NumPy
         index array (both backends accept it), and all op counts derive
-        from shapes, keeping the meter backend-invariant.  The ``(m, n)``
-        batch block is fully consumed within this iteration, so it lives
-        in the shared block workspace instead of being re-allocated every
-        step.
+        from shapes, keeping the meter backend-invariant.
+        """
+        self._consume_block(self._form_block(x, idx), x, y, idx, gamma)
+
+    def _form_block(self, x: Any, idx: np.ndarray, slot: int = 0) -> Any:
+        """Form the ``(m, n)`` batch-vs-centers kernel block.
+
+        The block depends only on ``x[idx]`` and the centers — never on
+        ``alpha`` — which is what makes it legal to prefetch.  It lives in
+        the shared block workspace (``slot`` selects the double-buffer
+        half under pipelining) instead of being re-allocated every step,
+        and both row and center squared norms come precomputed: the batch
+        rows are sliced from ``self._x_sq_norms`` rather than re-reduced
+        every iteration.
         """
         bk = get_backend()
         block_dtype = self.kernel._eval_dtype(x, x)
-        scratch = block_workspace().get(bk, idx.shape[0], x.shape[0], block_dtype)
-        kb = self.kernel(
-            x[idx], x, out=scratch, z_sq_norms=self._x_sq_norms
+        scratch = block_workspace().get(
+            bk, idx.shape[0], x.shape[0], block_dtype, slot=slot
+        )
+        x_norms = (
+            None if self._x_sq_norms is None else self._x_sq_norms[idx]
+        )
+        return self.kernel(
+            x[idx],
+            x,
+            out=scratch,
+            x_sq_norms=x_norms,
+            z_sq_norms=self._x_sq_norms,
         )  # (m, n): records kernel_eval ops
+
+    def _consume_block(
+        self, kb: Any, x: Any, y: Any, idx: np.ndarray, gamma: float
+    ) -> None:
+        """Steps 2–5 given the batch block: GEMM, coordinate update,
+        correction.  Must finish before the same workspace slot is
+        reused — the serial loop guarantees this trivially, the pipelined
+        loop by alternating slots."""
+        bk = get_backend()
         kb = match_dtype(kb, bk.dtype_of(self._alpha), bk)
         f = kb @ self._alpha  # (m, l)
         record_ops("gemm", idx.shape[0] * x.shape[0] * self._alpha.shape[1])

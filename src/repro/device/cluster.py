@@ -32,7 +32,12 @@ from repro.device.simulator import SimulatedDevice
 from repro.device.spec import DeviceSpec
 from repro.exceptions import ConfigurationError
 
-__all__ = ["Interconnect", "multi_gpu", "allreduce_time"]
+__all__ = [
+    "Interconnect",
+    "multi_gpu",
+    "allreduce_time",
+    "pipelined_sync_time",
+]
 
 
 @dataclass(frozen=True)
@@ -85,12 +90,40 @@ def allreduce_time(
     )
 
 
+def pipelined_sync_time(
+    interconnect: Interconnect,
+    n_devices: int,
+    payload_scalars: float,
+    overlap_block_time_s: float,
+) -> float:
+    """Charged collective time when the engine pipelines: the next batch's
+    kernel-block formation (``overlap_block_time_s``) runs *concurrently*
+    with the all-reduce, so the serial per-iteration charge
+    ``t_block + t_allreduce`` becomes ``max(t_block, t_allreduce)`` and
+    the collective's *extra* cost over the already-charged compute is
+    ``max(0, t_allreduce - t_block)``.
+
+    This is the cost-model counterpart of the double-buffered engines in
+    :mod:`repro.core.trainer` / :mod:`repro.shard.trainer`: block
+    formation depends only on the batch and the centers, never on the
+    weights being synchronized, so overlapping them loses no exactness.
+    """
+    if overlap_block_time_s < 0:
+        raise ConfigurationError(
+            "overlap_block_time_s must be >= 0, got "
+            f"{overlap_block_time_s}"
+        )
+    sync = allreduce_time(interconnect, n_devices, payload_scalars)
+    return max(0.0, sync - float(overlap_block_time_s))
+
+
 def multi_gpu(
     base: SimulatedDevice | DeviceSpec,
     n_devices: int,
     *,
     interconnect: Interconnect | None = None,
     sync_payload_scalars: float = 100_000.0,
+    overlap_block_time_s: float | None = None,
 ) -> SimulatedDevice:
     """Aggregate ``n_devices`` copies of ``base`` into one simulated device.
 
@@ -108,13 +141,26 @@ def multi_gpu(
         ``m ~ 1000, l ~ 100``.  The resulting cost is folded into the
         aggregate spec's launch overhead (charged once per iteration),
         which keeps the composed object a plain :class:`DeviceSpec`.
+    overlap_block_time_s:
+        When given, model a *pipelined* engine that forms the next batch's
+        kernel block (taking this many seconds per device) concurrently
+        with the all-reduce: the folded collective cost becomes
+        :func:`pipelined_sync_time`, i.e. only the part of the all-reduce
+        the hidden compute cannot cover.  ``None`` (default) models the
+        serial engine that barriers per collective step.
     """
     spec = base.spec if isinstance(base, SimulatedDevice) else base
     n_devices = int(n_devices)
     if n_devices < 1:
         raise ConfigurationError(f"n_devices must be >= 1, got {n_devices}")
     interconnect = interconnect or Interconnect()
-    sync = allreduce_time(interconnect, n_devices, sync_payload_scalars)
+    if overlap_block_time_s is None:
+        sync = allreduce_time(interconnect, n_devices, sync_payload_scalars)
+    else:
+        sync = pipelined_sync_time(
+            interconnect, n_devices, sync_payload_scalars,
+            overlap_block_time_s,
+        )
     aggregate = DeviceSpec(
         name=f"{spec.name}-x{n_devices}",
         parallel_capacity=spec.parallel_capacity * n_devices,

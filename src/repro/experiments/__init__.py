@@ -27,8 +27,10 @@ from repro.experiments.ablations import (
 )
 from repro.experiments.cluster_scaling import (
     ClusterScalingConfig,
+    PipelineOverlapConfig,
     ShardValidationConfig,
     run_cluster_scaling,
+    run_pipeline_overlap,
     run_shard_validation,
 )
 from repro.experiments.figure1 import Figure1Config, run_figure1
@@ -52,6 +54,8 @@ __all__ = [
     "run_cluster_scaling",
     "ShardValidationConfig",
     "run_shard_validation",
+    "PipelineOverlapConfig",
+    "run_pipeline_overlap",
     "Figure3Config",
     "run_figure3a",
     "run_figure3b",
@@ -79,6 +83,7 @@ EXPERIMENTS = {
     "figure2": run_figure2,
     "cluster-scaling": run_cluster_scaling,
     "shard-validation": run_shard_validation,
+    "pipeline-overlap": run_pipeline_overlap,
     "figure3a": run_figure3a,
     "figure3b": run_figure3b,
     "table1": run_table1,

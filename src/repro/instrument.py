@@ -20,7 +20,14 @@ from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import Iterator
 
-__all__ = ["OpMeter", "OpRecord", "active_meters", "record_ops", "meter_scope"]
+__all__ = [
+    "OpMeter",
+    "OpRecord",
+    "active_meters",
+    "record_ops",
+    "relay_op_counts",
+    "meter_scope",
+]
 
 
 @dataclass
@@ -100,6 +107,22 @@ def record_ops(category: str, ops: int) -> None:
     """
     for meter in _METERS.stack:
         meter.record(category, ops)
+
+
+def relay_op_counts(counts: dict[str, int]) -> None:
+    """Record a ``{category: ops}`` delta captured on another thread
+    against this thread's active meters.
+
+    This is the single relay rule shared by every engine that meters work
+    on a private worker-side :class:`OpMeter` and surfaces it where the
+    result is consumed — the block prefetcher of
+    :mod:`repro.core.trainer` and the shard collectives of
+    :mod:`repro.shard.group`.  Zero entries are skipped so relaying never
+    inflates a category's ``calls`` count with empty records.
+    """
+    for category, ops in counts.items():
+        if ops:
+            record_ops(category, ops)
 
 
 class meter_scope:

@@ -29,7 +29,7 @@ from typing import Any
 import numpy as np
 
 from repro.backend import get_backend
-from repro.config import compute_dtype, resolve_dtype
+from repro.config import compute_dtype, resolve_dtype, workspace_debug_enabled
 from repro.exceptions import ConfigurationError
 from repro.instrument import record_ops
 from repro.kernels.pairwise import sq_euclidean_distances
@@ -86,6 +86,7 @@ class Kernel(abc.ABC):
         x: Any,
         z: Any | None = None,
         out: Any | None = None,
+        x_sq_norms: Any | None = None,
         z_sq_norms: Any | None = None,
     ) -> Any:
         """Evaluate the kernel matrix ``K[i, j] = k(x_i, z_j)``.
@@ -100,14 +101,21 @@ class Kernel(abc.ABC):
             kernel matrix).
         out:
             Optional ``(n_x, n_z)`` scratch buffer in the working dtype;
-            ignored when shape or dtype mismatch.
+            ignored when shape or dtype mismatch (an error instead under
+            :func:`repro.config.debug_workspace`).
+        x_sq_norms:
+            Optional precomputed row squared norms of ``x``, shape
+            ``(n_x,)``.  The training loop slices these out of the norms
+            it already holds for the full training set, so batch-row
+            norms are not recomputed every iteration.
         z_sq_norms:
             Optional precomputed row squared norms of ``z``, shape
             ``(n_z,)``.  Streaming callers that evaluate many row blocks
             against the same centers (``kernel_matvec``, the training
             loop, every shard executor) pass this so the ``O(n_z * d)``
             norm reduction happens once instead of once per block.
-            Kernels that do not consume distances ignore it.
+            Kernels that do not consume distances ignore both norm
+            arguments.
         """
         x = _as_2d("x", x)
         z = x if z is None else _as_2d("z", z)
@@ -121,8 +129,17 @@ class Kernel(abc.ABC):
             if tuple(out.shape) != (x.shape[0], z.shape[0]) or bk.dtype_of(
                 out
             ) != self._eval_dtype(x, z):
+                if workspace_debug_enabled():
+                    raise ConfigurationError(
+                        f"{type(self).__name__} declined its out scratch: "
+                        f"got shape {tuple(out.shape)} dtype "
+                        f"{bk.dtype_of(out)}, needs "
+                        f"{(x.shape[0], z.shape[0])} {self._eval_dtype(x, z)}"
+                    )
                 out = None
-        result = self._cross(x, z, out=out, z_sq_norms=z_sq_norms)
+        result = self._cross(
+            x, z, out=out, x_sq_norms=x_sq_norms, z_sq_norms=z_sq_norms
+        )
         # Pairwise-evaluation cost per the paper's cost model: n_x * n_z * d.
         # Computed from shapes only, hence backend-invariant.
         record_ops("kernel_eval", x.shape[0] * z.shape[0] * x.shape[1])
@@ -134,11 +151,13 @@ class Kernel(abc.ABC):
         x: Any,
         z: Any,
         out: Any | None = None,
+        x_sq_norms: Any | None = None,
         z_sq_norms: Any | None = None,
     ) -> Any:
         """Compute the dense ``(n_x, n_z)`` kernel block, writing into
         ``out`` when given (shape/dtype already validated).  Kernels whose
-        evaluation does not involve center norms ignore ``z_sq_norms``."""
+        evaluation does not involve row norms ignore ``x_sq_norms`` /
+        ``z_sq_norms``."""
 
     @abc.abstractmethod
     def diag(self, x: Any) -> Any:
@@ -204,10 +223,11 @@ class RadialKernel(Kernel):
         x: Any,
         z: Any,
         out: Any | None = None,
+        x_sq_norms: Any | None = None,
         z_sq_norms: Any | None = None,
     ) -> Any:
         sq = sq_euclidean_distances(
-            x, z, z_sq_norms=z_sq_norms, out=out,
+            x, z, x_sq_norms=x_sq_norms, z_sq_norms=z_sq_norms, out=out,
             dtype=self._eval_dtype(x, z),
         )
         return self._profile(sq)

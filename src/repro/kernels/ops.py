@@ -19,6 +19,19 @@ Two substrate features keep the streaming cheap:
   :class:`BlockWorkspace` scratch buffer instead of being re-allocated per
   block — a measurable win even on the pure-NumPy path, since a 64 MB
   temporary per block otherwise churns the allocator and the page cache.
+
+Streaming discipline
+--------------------
+A workspace buffer is recycled the moment the same ``(backend, device,
+dtype, slot)`` key is requested again, so a caller must finish consuming
+a block before asking for the next one *under the same slot*.  Pipelined
+callers that overlap the formation of step ``t+1``'s block with the
+consumption of step ``t``'s (the double-buffered iteration engines in
+:mod:`repro.core.trainer` and :mod:`repro.shard`) alternate between
+``slot=0`` and ``slot=1``: each slot keeps one rotating buffer, so at
+most **two** blocks per key are ever resident and neither is overwritten
+while the other is in flight.  Serial callers use the default ``slot=0``
+and keep the historical one-buffer-per-key footprint.
 """
 
 from __future__ import annotations
@@ -48,13 +61,16 @@ __all__ = [
 class BlockWorkspace:
     """Per-thread pool of reusable scratch buffers for streamed blocks.
 
-    One flat buffer is kept per ``(backend, device, dtype)`` key, sized to
-    the largest block requested so far under that key; block views are
-    carved out of it with zero-copy reshapes.  Because a buffer is
-    recycled the moment the next block is requested, callers must finish
-    consuming a block (e.g. contract it against the weights) before
-    asking for the next one — exactly the streaming discipline of
-    :func:`kernel_matvec`.
+    One flat buffer is kept per ``(backend, device, dtype, slot)`` key,
+    sized to the largest block requested so far under that key; block
+    views are carved out of it with zero-copy reshapes.  Because a buffer
+    is recycled the moment the next block is requested under the same
+    slot, callers must finish consuming a block (e.g. contract it against
+    the weights) before asking for the next one — exactly the streaming
+    discipline of :func:`kernel_matvec`.  Double-buffered callers rotate
+    ``slot`` between 0 and 1 to hold two in-flight blocks (see the module
+    docstring); the cap is then exactly two resident blocks per
+    ``(backend, device, dtype)``.
 
     The scalar budget therefore caps the scratch held *per key*; a
     workload that touches several dtypes or backends on one thread keeps
@@ -88,13 +104,26 @@ class BlockWorkspace:
         self._local.buffers = {}
         self._local.peak = 0
 
-    def get(self, bk: ArrayBackend, n_rows: int, n_cols: int, dtype: object) -> Any:
-        """A ``(n_rows, n_cols)`` scratch block, reusing pooled memory."""
+    def get(
+        self,
+        bk: ArrayBackend,
+        n_rows: int,
+        n_cols: int,
+        dtype: object,
+        slot: int = 0,
+    ) -> Any:
+        """A ``(n_rows, n_cols)`` scratch block, reusing pooled memory.
+
+        ``slot`` selects one of the rotating buffers for the key:
+        double-buffered (pipelined) callers alternate 0/1 so the block
+        being consumed is never the block being formed; everyone else
+        leaves the default and keeps a single buffer per key.
+        """
         dtype = np.dtype(dtype)
         cache = self._cache()
         # Device is part of the key: torch:cpu and torch:cuda must never
         # hand each other buffers.
-        key = (bk.name, str(getattr(bk, "device", "")), dtype.str)
+        key = (bk.name, str(getattr(bk, "device", "")), dtype.str, int(slot))
         need = int(n_rows) * int(n_cols)
         buf = cache.get(key)
         if buf is None or buf.shape[0] < need:
@@ -195,11 +224,23 @@ def kernel_matrix(
             f"out has shape {tuple(out.shape)}, expected {(n_x, n_z)}"
         )
     z_sq_norms = center_sq_norms(kernel, z, bk)
+    # Scratch is requested up front in the kernel's own working dtype: a
+    # destination the kernel would decline (e.g. float64 output slices for
+    # a float32-pinned kernel) is replaced by a pooled eval-dtype block so
+    # no per-block temporary is silently allocated (the debug_workspace
+    # flag turns any such decline into an error).
+    block_dtype = kernel._eval_dtype(x, z)
+    writes_direct = bk.dtype_of(out) == block_dtype
     for rows in iter_row_blocks(n_x, n_z, max_scalars):
-        dest = out[rows]
+        dest = (
+            out[rows]
+            if writes_direct
+            else _WORKSPACE.get(bk, rows.stop - rows.start, n_z, block_dtype)
+        )
         block = kernel(x[rows], z, out=dest, z_sq_norms=z_sq_norms)
-        if block is not dest:
-            # The kernel declined the destination (dtype mismatch): copy.
+        if not writes_direct or block is not dest:
+            # Pooled scratch (cast on copy-back), or a kernel profile that
+            # returns a fresh array (e.g. Matérn nu >= 3/2).
             out[rows] = block
     return out
 

@@ -22,8 +22,11 @@ from __future__ import annotations
 
 from typing import Any
 
+import numpy as np
+
 from repro.backend import get_backend
-from repro.config import compute_dtype
+from repro.config import compute_dtype, workspace_debug_enabled
+from repro.exceptions import ConfigurationError
 
 __all__ = ["sq_euclidean_distances", "euclidean_distances"]
 
@@ -78,7 +81,16 @@ def sq_euclidean_distances(
     if out is not None and (
         tuple(out.shape) != (x.shape[0], z.shape[0]) or bk.dtype_of(out) != dtype
     ):
-        out = None  # mismatched scratch space: fall back to allocating
+        # Mismatched scratch: fall back to allocating.  Under the debug
+        # flag this is an error instead — a streaming caller that meant to
+        # reuse pooled scratch just lost it silently.
+        if workspace_debug_enabled():
+            raise ConfigurationError(
+                f"sq_euclidean_distances discarded its out buffer: got "
+                f"shape {tuple(out.shape)} dtype {bk.dtype_of(out)}, "
+                f"needs {(x.shape[0], z.shape[0])} {np.dtype(dtype)}"
+            )
+        out = None
     # GEMM does the heavy lifting; broadcasting adds the norms.
     d = bk.matmul(x, z.T, out=out)
     d *= -2.0

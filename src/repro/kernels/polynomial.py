@@ -62,10 +62,12 @@ class PolynomialKernel(Kernel):
         x: Any,
         z: Any,
         out: Any | None = None,
+        x_sq_norms: Any | None = None,
         z_sq_norms: Any | None = None,
     ) -> Any:
-        # z_sq_norms is part of the streaming kernel API; the polynomial
-        # kernel consumes inner products, not distances, so it is unused.
+        # The row-norm arguments are part of the streaming kernel API; the
+        # polynomial kernel consumes inner products, not distances, so
+        # both are unused.
         bk = get_backend()
         dtype = self._eval_dtype(x, z)
         x = bk.asarray(x, dtype=dtype)

@@ -24,7 +24,15 @@ real array backends:
 - :class:`~repro.shard.trainer.ShardedEigenPro2` — the EigenPro 2.0
   iteration (Algorithm 1) run data-parallel, numerically equivalent to
   the single-backend trainer and adapted, by default, to the
-  :func:`repro.device.cluster.multi_gpu` aggregate device.
+  :func:`repro.device.cluster.multi_gpu` aggregate device.  By default it
+  runs *pipelined*: while step ``t``'s partial predictions are all-reduced
+  and its update/correction applied on the caller thread, every shard
+  worker is already forming step ``t+1``'s kernel block into the other
+  half of its double-buffered workspace (two in-flight ``(m, n_i)``
+  blocks per shard, slots 0/1 of
+  :class:`~repro.kernels.ops.BlockWorkspace`); the per-collective barrier
+  is replaced by a :class:`~repro.shard.group.PendingMap` future awaited
+  only when the block is consumed.
 
 Because per-shard op counts are shape-derived and the shards tile the
 centers, aggregate counts equal the unsharded counts exactly
@@ -49,12 +57,13 @@ Example
 (10,)
 """
 
-from repro.shard.group import ShardExecutor, ShardGroup, allreduce_sum
+from repro.shard.group import PendingMap, ShardExecutor, ShardGroup, allreduce_sum
 from repro.shard.ops import sharded_kernel_matvec, sharded_predict
 from repro.shard.plan import ShardPlan
 from repro.shard.trainer import ShardedEigenPro2
 
 __all__ = [
+    "PendingMap",
     "ShardExecutor",
     "ShardGroup",
     "ShardPlan",

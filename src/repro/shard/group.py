@@ -13,16 +13,30 @@ combines the per-shard partials with :func:`allreduce_sum`.
 Accounting invariants (relied on by ``tests/test_shard_parity.py``):
 
 - every operation an executor performs is recorded on its private meter
-  (worker threads have no ambient meters), and :meth:`ShardGroup.map`
-  relays the per-map deltas to the meters active on the *calling* thread —
-  so a metered sharded computation reports exactly the op counts of its
-  unsharded equivalent, while per-shard totals remain inspectable;
+  (worker threads have no ambient meters), and each submitted task
+  captures its own op-count delta *on the worker*; :meth:`ShardGroup.map`
+  / :meth:`PendingMap.result` relay those deltas to the meters active on
+  the *calling* thread — so a metered sharded computation reports exactly
+  the op counts of its unsharded equivalent, while per-shard totals
+  remain inspectable;
 - communication is recorded separately under the ``"allreduce"`` category
   (zero for ``g = 1``), mirroring the cluster model's separation of
   compute time from network time;
 - each executor has a dedicated worker thread, so the per-thread
   :class:`~repro.kernels.ops.BlockWorkspace` high-water mark *is* the
   shard's scratch peak.
+
+Pipelined (non-blocking) collectives
+------------------------------------
+:meth:`ShardGroup.map_async` submits a collective step without
+barriering: it returns a :class:`PendingMap` whose :meth:`~PendingMap.result`
+is awaited only when the produced values are actually consumed.  Because
+every executor runs a single FIFO worker, a caller may queue the *next*
+step's kernel-block formation behind the current step's contraction and
+the ordering per shard is automatic — this is what the double-buffered
+:class:`~repro.shard.trainer.ShardedEigenPro2` pipeline does, holding at
+most two in-flight blocks per shard (workspace slots 0/1; see
+:mod:`repro.kernels.ops`).
 """
 
 from __future__ import annotations
@@ -46,12 +60,12 @@ from repro.backend import (
     use_precision,
 )
 from repro.exceptions import ConfigurationError
-from repro.instrument import OpMeter, meter_scope, record_ops
+from repro.instrument import OpMeter, meter_scope, record_ops, relay_op_counts
 from repro.kernels.base import Kernel
 from repro.kernels.ops import block_workspace
 from repro.shard.plan import ShardPlan
 
-__all__ = ["ShardExecutor", "ShardGroup", "allreduce_sum"]
+__all__ = ["PendingMap", "ShardExecutor", "ShardGroup", "allreduce_sum"]
 
 
 def allreduce_sum(partials: Sequence[Any], bk: ArrayBackend | None = None) -> Any:
@@ -188,6 +202,35 @@ class ShardExecutor:
         precision = get_precision() if precision_is_explicit() else None
         return self._pool.submit(self._run, fn, precision)
 
+    def submit_metered(
+        self, fn: Callable[["ShardExecutor"], Any]
+    ) -> Future:
+        """Like :meth:`submit`, but the future resolves to
+        ``(result, op_delta)`` where ``op_delta`` is exactly the ops ``fn``
+        recorded on this shard's meter.  The delta is captured *inside*
+        the worker task, so several tasks may be in flight concurrently
+        (the pipelined trainer queues the next block's formation behind
+        the current contraction) without their deltas interleaving."""
+        if self._pool is None:
+            raise ConfigurationError(
+                f"shard {self.shard_id} executor is closed"
+            )
+        precision = get_precision() if precision_is_explicit() else None
+        return self._pool.submit(self._run_metered, fn, precision)
+
+    def _run_metered(
+        self,
+        fn: Callable[["ShardExecutor"], Any],
+        precision: np.dtype | None = None,
+    ) -> tuple[Any, dict[str, int]]:
+        before = self.meter.as_dict()
+        result = self._run(fn, precision)
+        delta = {
+            category: ops - before.get(category, 0)
+            for category, ops in self.meter.as_dict().items()
+        }
+        return result, {c: d for c, d in delta.items() if d}
+
     def pull_rows(self, local_idx: np.ndarray) -> np.ndarray:
         """Host copy of the given weight rows (mirror-back path for
         executors whose weights are device copies rather than views)."""
@@ -209,6 +252,35 @@ class ShardExecutor:
         ws = block_workspace()
         self.workspace_peak = max(self.workspace_peak, ws.peak_scalars)
         ws.reset()
+
+
+class PendingMap:
+    """One in-flight collective step across all shards.
+
+    Returned by :meth:`ShardGroup.map_async`; the work is already queued
+    on every executor's worker when this object exists.  :meth:`result`
+    barriers, relays the per-shard op-count deltas to the meters active on
+    the *calling* thread (once, however often it is called) and returns
+    the per-shard results in shard order — so awaiting the future on the
+    thread that will consume the values keeps aggregate op counts
+    identical to the unsharded computation.
+    """
+
+    def __init__(self, futures: Sequence[Future]) -> None:
+        self._futures: list[Future] | None = list(futures)
+        self._results: list[Any] = []
+
+    def result(self) -> list[Any]:
+        if self._futures is not None:
+            pairs = [f.result() for f in self._futures]
+            self._futures = None
+            self._results = [result for result, _ in pairs]
+            merged: dict[str, int] = {}
+            for _, delta in pairs:
+                for category, ops in delta.items():
+                    merged[category] = merged.get(category, 0) + ops
+            relay_op_counts(merged)
+        return self._results
 
 
 class ShardGroup:
@@ -322,18 +394,20 @@ class ShardGroup:
         threads carry no ambient meters); after the barrier the per-shard
         op-count deltas are relayed to the meters active on the calling
         thread, so callers see aggregate counts identical to the
-        unsharded computation.  Not safe for concurrent calls from
-        multiple orchestration threads (the delta relay would interleave).
+        unsharded computation.
         """
-        before = [ex.meter.as_dict() for ex in self.executors]
-        futures = [ex.submit(fn) for ex in self.executors]
-        results = [f.result() for f in futures]
-        for ex, snapshot in zip(self.executors, before):
-            for category, ops in ex.meter.as_dict().items():
-                delta = ops - snapshot.get(category, 0)
-                if delta:
-                    record_ops(category, delta)
-        return results
+        return self.map_async(fn).result()
+
+    def map_async(self, fn: Callable[[ShardExecutor], Any]) -> PendingMap:
+        """Queue ``fn(executor)`` on every shard *without barriering*.
+
+        Returns a :class:`PendingMap` to be awaited when (and where) the
+        values are consumed.  Deltas are captured per task on the workers,
+        so any number of pending maps may overlap; each executor runs its
+        queue in FIFO order, which is what the pipelined trainer relies on
+        to order block formation against consumption.
+        """
+        return PendingMap([ex.submit_metered(fn) for ex in self.executors])
 
     # ----------------------------------------------------------- accounting
     def op_counts(self) -> dict[str, int]:

@@ -13,6 +13,14 @@ Because each shard's op counts are shape-derived and the shards tile the
 center set, the aggregate ``kernel_eval`` / ``gemm`` counts equal the
 unsharded counts exactly — the invariant
 ``tests/test_shard_parity.py`` asserts for ``g in {1, 2, 4}``.
+
+Streaming discipline: each worker's blocks live in its thread's
+:class:`~repro.kernels.ops.BlockWorkspace`.  The primitives here consume
+every block before requesting the next (one resident block per key); the
+pipelined trainer (:mod:`repro.shard.trainer`) additionally rotates the
+workspace's two buffer slots, so callers of the shard layer may hold up
+to **two** in-flight blocks per shard — the double-buffer cap the
+workspace accounting tests assert.
 """
 
 from __future__ import annotations

@@ -24,6 +24,30 @@ counts and simulated-device charges are identical to the unsharded
 trainer by construction, which is what lets the validation harness
 (``benchmarks/bench_shard.py``) compare modelled against measured time
 for the *same* iteration.
+
+Software pipeline (``pipeline=True``, the default)
+--------------------------------------------------
+The kernel block of step ``t+1`` depends only on the batch rows and the
+(immutable) shard centers — never on the weights — so its formation is
+*prefetched*: while step ``t``'s partial predictions are all-reduced and
+the coordinate update + correction run on the caller thread, every shard
+worker is already forming step ``t+1``'s ``(m, n_i)`` block into the
+other half of its double-buffered workspace (slots 0/1 of the per-thread
+:class:`~repro.kernels.ops.BlockWorkspace`).  Each step splits into
+
+1. **contract** (weight-dependent, cannot be prefetched): ``kb_t @ w``,
+   queued first on each worker's FIFO;
+2. **prefetch** (weight-independent): form ``kb_{t+1}`` and copy out its
+   ``Phi`` columns, queued immediately behind the contraction so it fills
+   the worker's idle time during the caller-side collective + update.
+
+The per-collective barrier becomes a :class:`~repro.shard.group.PendingMap`
+future awaited only when the block (or the partial prediction) is
+actually consumed.  Nothing stale is ever read — the prefetch touches no
+array the update writes — so pipelined and serial runs are numerically
+identical, with identical aggregate op counts.  (Thread executors share
+one host; process/NCCL executors, where the overlap buys a full network
+round-trip, remain future work — see ROADMAP.)
 """
 
 from __future__ import annotations
@@ -75,6 +99,10 @@ class ShardedEigenPro2(EigenPro2):
     **eigenpro_kwargs:
         Everything :class:`~repro.core.eigenpro2.EigenPro2` accepts
         (``s``, ``q``, ``batch_size``, ``step_size``, ``seed``, ...).
+        ``pipeline`` defaults to *True* here: shard workers prefetch the
+        next step's kernel blocks while the caller applies the current
+        update (see the module docstring); pass ``pipeline=False`` for
+        the strictly serial per-collective barrier.
 
     Attributes
     ----------
@@ -114,6 +142,9 @@ class ShardedEigenPro2(EigenPro2):
             raise ConfigurationError(f"n_shards must be >= 1, got {n_shards}")
         if device is None:
             device = multi_gpu(titan_xp(), n_shards, interconnect=interconnect)
+        # The sharded engine pipelines by default: the whole point of the
+        # shard workers is to be busy during the collective.
+        eigenpro_kwargs.setdefault("pipeline", True)
         super().__init__(kernel, device=device, **eigenpro_kwargs)
         self.n_shards = n_shards
         self.shard_backends = shard_backends
@@ -145,6 +176,97 @@ class ShardedEigenPro2(EigenPro2):
         )
 
     # ----------------------------------------------------------- iteration
+    def _host_batch(
+        self, x: Any, idx: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray | None]:
+        """Host-side batch rows and their precomputed squared norms (the
+        norms sliced once here, not re-reduced by every shard)."""
+        xb = np.asarray(to_numpy(x[idx]))  # (m, d) batch, host-side
+        xb_sq_norms = (
+            None
+            if self._x_sq_norms is None
+            else np.asarray(to_numpy(self._x_sq_norms[idx]))
+        )
+        return xb, xb_sq_norms
+
+    def _shard_form_block(
+        self,
+        ex,
+        xb: np.ndarray,
+        xb_sq_norms: np.ndarray | None = None,
+        slot: int = 0,
+    ) -> tuple[Any, Any | None]:
+        """Form the batch-vs-shard block ``(m, n_i)`` on shard ``ex`` and
+        copy out its ``Phi`` columns (both weight-independent, hence
+        prefetchable).  Runs on the shard's worker; ``slot`` picks the
+        double-buffer half of the worker's workspace."""
+        ebk = ex.backend
+        block_dtype = self.kernel._eval_dtype(xb, ex.centers)
+        scratch = block_workspace().get(
+            ebk, xb.shape[0], ex.n_centers, block_dtype, slot=slot
+        )
+        kb = self.kernel(
+            xb,
+            ex.centers,
+            out=scratch,
+            x_sq_norms=xb_sq_norms,
+            z_sq_norms=ex.center_sq_norms,
+        )  # (m, n_i): records kernel_eval on the shard meter
+        phi_i = None
+        if self._sub_parts is not None:
+            positions, local = self._sub_parts[ex.shard_id]
+            if positions.size:
+                # Columns of the batch block at this shard's subsample
+                # centers — advanced indexing copies, so the block
+                # scratch may be recycled afterwards.
+                phi_i = kb[:, local]
+        return kb, phi_i
+
+    def _shard_contract(self, ex, kb: Any) -> Any:
+        """Contract a formed block against the shard's *current* weight
+        rows (weight-dependent: must run after the previous step's update
+        has been applied and mirrored).  Runs on the shard's worker."""
+        ebk = ex.backend
+        kb = match_dtype(kb, ebk.dtype_of(ex.weights), ebk)
+        f_i = kb @ ex.weights  # (m, l) partial prediction
+        record_ops(
+            "gemm", kb.shape[0] * ex.n_centers * self._alpha.shape[1]
+        )
+        return f_i
+
+    def _apply_shard_step(
+        self,
+        group: ShardGroup,
+        f_partials: list[Any],
+        phi_parts: list[Any | None],
+        y: Any,
+        idx: np.ndarray,
+        gamma: float,
+    ) -> None:
+        """All-reduce the partial predictions and apply the coordinate
+        update + EigenPro correction (Algorithm 1 steps 3–5) on the caller
+        thread; mirror touched rows to device-copy shards."""
+        bk = get_backend()
+        alpha_dtype = bk.dtype_of(self._alpha)
+        f = allreduce_sum(f_partials, bk=bk)
+        f = match_dtype(f, alpha_dtype, bk)
+        g_res = f - y[idx]
+        self._alpha[idx] -= gamma * g_res
+        touched = [idx]
+        if self.preconditioner_ is not None and self._sub_parts is not None:
+            m, s = idx.shape[0], self._sub_idx.shape[0]
+            phi = np.empty((m, s), dtype=np.dtype(alpha_dtype))
+            for ex, phi_i in zip(group.executors, phi_parts):
+                positions, _ = self._sub_parts[ex.shard_id]
+                if positions.size:
+                    phi[:, positions] = to_numpy(phi_i)
+            correction = self.preconditioner_.correction(phi, to_numpy(g_res))
+            self._alpha[self._sub_idx] += gamma * bk.asarray(
+                correction, dtype=alpha_dtype
+            )
+            touched.append(self._sub_idx)
+        self._mirror_rows(np.concatenate(touched))
+
     def _iterate(
         self, x: Any, y: Any, idx: np.ndarray, gamma: float
     ) -> None:
@@ -154,53 +276,68 @@ class ShardedEigenPro2(EigenPro2):
             # single-iteration metering): run the unsharded iteration.
             super()._iterate(x, y, idx, gamma)
             return
-        bk = get_backend()
-        alpha_dtype = bk.dtype_of(self._alpha)
-        xb = np.asarray(to_numpy(x[idx]))  # (m, d) batch, host-side
-        l = self._alpha.shape[1]
-        sub_parts = self._sub_parts
+        xb, xb_sq_norms = self._host_batch(x, idx)
 
         def forward(ex):
-            ebk = ex.backend
-            block_dtype = self.kernel._eval_dtype(xb, ex.centers)
-            scratch = block_workspace().get(
-                ebk, xb.shape[0], ex.n_centers, block_dtype
-            )
-            kb = self.kernel(
-                xb, ex.centers, out=scratch, z_sq_norms=ex.center_sq_norms
-            )  # (m, n_i): records kernel_eval on the shard meter
-            kb = match_dtype(kb, ebk.dtype_of(ex.weights), ebk)
-            f_i = kb @ ex.weights  # (m, l) partial prediction
-            record_ops("gemm", xb.shape[0] * ex.n_centers * l)
-            phi_i = None
-            if sub_parts is not None:
-                positions, local = sub_parts[ex.shard_id]
-                if positions.size:
-                    # Columns of the batch block at this shard's subsample
-                    # centers — advanced indexing copies, so the block
-                    # scratch may be recycled afterwards.
-                    phi_i = kb[:, local]
-            return f_i, phi_i
+            kb, phi_i = self._shard_form_block(ex, xb, xb_sq_norms)
+            return self._shard_contract(ex, kb), phi_i
 
         results = group.map(forward)
-        f = allreduce_sum([f_i for f_i, _ in results], bk=bk)
-        f = match_dtype(f, alpha_dtype, bk)
-        g_res = f - y[idx]
-        self._alpha[idx] -= gamma * g_res
-        touched = [idx]
-        if self.preconditioner_ is not None and sub_parts is not None:
-            m, s = xb.shape[0], self._sub_idx.shape[0]
-            phi = np.empty((m, s), dtype=np.dtype(alpha_dtype))
-            for ex, (_, phi_i) in zip(group.executors, results):
-                positions, _ = sub_parts[ex.shard_id]
-                if positions.size:
-                    phi[:, positions] = to_numpy(phi_i)
-            correction = self.preconditioner_.correction(phi, to_numpy(g_res))
-            self._alpha[self._sub_idx] += gamma * bk.asarray(
-                correction, dtype=alpha_dtype
+        self._apply_shard_step(
+            group,
+            [f_i for f_i, _ in results],
+            [phi_i for _, phi_i in results],
+            y,
+            idx,
+            gamma,
+        )
+
+    def _run_epoch_pipelined(
+        self, x: Any, y: Any, blocks: list[np.ndarray], gamma: float
+    ) -> None:
+        """Software pipeline over the epoch's batches (module docstring).
+
+        Per step ``t``: await the prefetched blocks, queue the contraction
+        against the current weights, queue step ``t+1``'s prefetch right
+        behind it (other workspace slot), then — while the workers run —
+        await the partial predictions and apply the update/correction on
+        this thread.  FIFO worker queues order contraction before the
+        prefetch that would need the next slot, and the update (+ mirror)
+        completes before step ``t+1``'s contraction is queued, so every
+        contraction sees exactly the weights the serial engine would.
+        """
+        group = self.shard_group_
+        if group is None:
+            super()._run_epoch_pipelined(x, y, blocks, gamma)
+            return
+
+        def prefetch(idx: np.ndarray, slot: int) -> Any:
+            xb, xb_sq_norms = self._host_batch(x, idx)
+            return group.map_async(
+                lambda ex: self._shard_form_block(
+                    ex, xb, xb_sq_norms, slot=slot
+                )
             )
-            touched.append(self._sub_idx)
-        self._mirror_rows(np.concatenate(touched))
+
+        pending = prefetch(blocks[0], 0)
+        for t, idx in enumerate(blocks):
+            formed = pending.result()  # [(kb, phi_i)] — relays kernel_eval
+            contracting = group.map_async(
+                lambda ex, formed=formed: self._shard_contract(
+                    ex, formed[ex.shard_id][0]
+                )
+            )
+            if t + 1 < len(blocks):
+                pending = prefetch(blocks[t + 1], (t + 1) % 2)
+            f_partials = contracting.result()  # relays gemm ops
+            self._apply_shard_step(
+                group,
+                f_partials,
+                [phi_i for _, phi_i in formed],
+                y,
+                idx,
+                gamma,
+            )
 
     def _mirror_rows(self, global_idx: np.ndarray) -> None:
         """Push updated weight rows to executors holding device copies

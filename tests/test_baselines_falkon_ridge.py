@@ -1,5 +1,7 @@
 """Tests for FALKON and the exact direct solvers."""
 
+import importlib.util
+
 import numpy as np
 import pytest
 
@@ -136,3 +138,66 @@ class TestFalkon:
     def test_validation(self, kwargs):
         with pytest.raises(ConfigurationError):
             Falkon(GaussianKernel(bandwidth=1.0), **kwargs)
+
+
+class TestFalkonOnBackendLayer:
+    """FALKON now dispatches through the backend layer (triangular factor
+    applications via ``ArrayBackend.solve_triangular``), so it runs on any
+    backend instance — including inside a shard executor."""
+
+    def test_numpy_results_unchanged(self, small_xy):
+        x, y = small_xy
+        f = Falkon(
+            GaussianKernel(bandwidth=2.0), n_centers=len(x),
+            reg_lambda=1e-10, max_iters=200, seed=0,
+        ).fit(x, y)
+        assert f.mse(x, y) < 1e-6
+
+    def test_runs_inside_a_shard_executor(self, small_xy):
+        from repro.shard import ShardGroup
+
+        x, y = small_xy
+        ref = Falkon(
+            GaussianKernel(bandwidth=2.0), n_centers=40, reg_lambda=1e-8,
+            seed=0,
+        ).fit(x, y)
+        with ShardGroup.build(x, y, g=2) as group:
+            models = group.map(
+                lambda ex: Falkon(
+                    GaussianKernel(bandwidth=2.0), n_centers=40,
+                    reg_lambda=1e-8, seed=0,
+                ).fit(x, y)
+            )
+        for f in models:
+            np.testing.assert_allclose(
+                np.asarray(f.model_.weights),
+                np.asarray(ref.model_.weights),
+                atol=1e-8,
+            )
+
+    @pytest.mark.skipif(
+        importlib.util.find_spec("torch") is None,
+        reason="torch not installed — Torch backend unavailable",
+    )
+    def test_matches_under_torch(self, small_xy):
+        from repro.backend import use_backend
+
+        x, y = small_xy
+        ref = Falkon(
+            GaussianKernel(bandwidth=2.0), n_centers=40, reg_lambda=1e-8,
+            seed=0,
+        ).fit(x, y)
+        with use_backend("torch"):
+            got = Falkon(
+                GaussianKernel(bandwidth=2.0), n_centers=40,
+                reg_lambda=1e-8, seed=0,
+            ).fit(x, y)
+            pred = got.predict(x)
+        np.testing.assert_allclose(
+            np.asarray(pred), np.asarray(ref.predict(x)), atol=1e-8
+        )
+        np.testing.assert_allclose(
+            np.asarray(got.model_.weights),
+            np.asarray(ref.model_.weights),
+            atol=1e-6,
+        )
