@@ -5,7 +5,23 @@ cluster model (:mod:`repro.device.cluster`) and the real sharded engine
 (:mod:`repro.shard`), emitting modelled vs measured per-iteration time
 per shard count — the MLSYSIM-style simulator-vs-hardware validation
 loop at benchmark scale.
+
+Two entry points:
+
+- pytest (``pytest benchmarks/bench_shard.py``): the thread-transport
+  run recorded under ``benchmarks/results/``;
+- CLI (``python benchmarks/bench_shard.py --transport process``): any
+  transport, JSON results on stdout and under ``benchmarks/results/``
+  (``--smoke`` shrinks the workload for CI; exit status is non-zero if
+  a checked claim fails).
 """
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
 
 from repro.experiments import ShardValidationConfig, run_shard_validation
 
@@ -18,3 +34,73 @@ def test_shard_validation(benchmark, record_result):
         rounds=1, iterations=1,
     )
     record_result(result)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--transport", default="thread", choices=["thread", "process"],
+        help="shard transport executing the engine side of the loop",
+    )
+    parser.add_argument("--n", type=int, default=12_000)
+    parser.add_argument("--m", type=int, default=512)
+    parser.add_argument(
+        "--shards", default="1,2,4",
+        help="comma-separated shard counts (default: 1,2,4)",
+    )
+    parser.add_argument("--iterations", type=int, default=9)
+    parser.add_argument("--warmup", type=int, default=2)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="tiny workload for CI smoke runs",
+    )
+    parser.add_argument(
+        "--out", type=pathlib.Path, default=None,
+        help="JSON output path (default: benchmarks/results/"
+        "shard-validation[-<transport>].json)",
+    )
+    args = parser.parse_args(argv)
+
+    cfg = ShardValidationConfig(
+        n=600 if args.smoke else args.n,
+        m=64 if args.smoke else args.m,
+        shard_counts=tuple(int(g) for g in args.shards.split(",")),
+        n_iterations=3 if args.smoke else args.iterations,
+        warmup=1 if args.smoke else args.warmup,
+        transport=args.transport,
+    )
+    result = run_shard_validation(cfg)
+    print(result.render(), file=sys.stderr)
+
+    payload = {
+        "name": result.name,
+        "transport": args.transport,
+        "smoke": bool(args.smoke),
+        "rows": result.rows,
+        "claims": [
+            {
+                "claim_id": c.claim_id,
+                "holds": c.holds,
+                "measured": c.measured,
+            }
+            for c in result.claims
+        ],
+        "notes": result.notes,
+    }
+    out = args.out
+    if out is None:
+        results_dir = pathlib.Path(__file__).parent / "results"
+        results_dir.mkdir(exist_ok=True)
+        out = results_dir / f"{result.name}.json"
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(json.dumps(payload))
+
+    failed = [c.claim_id for c in result.claims if c.holds is False]
+    if failed:
+        print(f"claims failed: {failed}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -67,8 +67,8 @@ Operation counts recorded via :mod:`repro.instrument` are derived from
 array shapes only, so cost-model validation (Table 1) is backend- and
 precision-invariant.
 
-Sharding
---------
+Sharding and transports
+-----------------------
 :mod:`repro.shard` executes the data-parallel multi-device scheme that
 :mod:`repro.device.cluster` models analytically (the paper's Section-6
 direction): centers and weights split contiguously across ``g`` executors,
@@ -82,6 +82,34 @@ model against the engine's measured per-iteration time::
 
     with ShardedEigenPro2(kernel, n_shards=4) as trainer:
         trainer.fit(ds.x_train, ds.y_train, epochs=5)
+
+*Where* the shards run is the **transport**
+(:mod:`repro.shard.transport`): ``transport="thread"`` (default) drives
+in-process worker threads whose "network" is a host memcpy;
+``transport="process"`` runs one worker process per shard over
+``multiprocessing.shared_memory`` center/weight blocks, paying a real
+IPC round-trip per collective step — the cost the pipelined engine's
+prefetch overlaps::
+
+    with ShardedEigenPro2(kernel, n_shards=4, transport="process") as t:
+        t.fit(ds.x_train, ds.y_train, epochs=5)
+
+Both transports run the same module-level task functions on the same
+shard slices, so results are bitwise identical across transports and op
+counts match the unsharded trainer exactly (pinned by
+``tests/test_shard_transport_conformance.py``).  Mirror-back of updated
+weight rows is asynchronous on every transport: thread shards adopt
+zero-copy weight views, process shards read the parent's direct
+shared-memory writes — ordering is guaranteed by each worker's FIFO
+task queue, never by a per-update barrier.  The cluster cost model
+carries a per-transport link model
+(:func:`repro.device.cluster.transport_interconnect` /
+:func:`~repro.device.cluster.link_cost`), so modelled allreduce time
+differs between a memcpy and IPC.  A worker process dying mid-epoch
+raises :class:`~repro.exceptions.ShardError` (no hang, shared-memory
+segments always reclaimed); platforms without fork-safe shared memory
+keep ``transport="thread"`` (see
+:func:`repro.shard.process_transport_available`).
 """
 
 from repro._version import __version__
@@ -93,6 +121,7 @@ from repro.exceptions import (
     DeviceMemoryError,
     NotFittedError,
     ReproError,
+    ShardError,
 )
 from repro.backend import (
     ArrayBackend,
@@ -130,7 +159,16 @@ from repro.core import (
     select_parameters,
     select_q,
 )
-from repro.shard import ShardedEigenPro2, ShardGroup, ShardPlan
+from repro.shard import (
+    ProcessTransport,
+    ShardGroup,
+    ShardPlan,
+    ShardTransport,
+    ShardedEigenPro2,
+    ThreadTransport,
+    available_transports,
+    process_transport_available,
+)
 
 __all__ = [
     "__version__",
@@ -142,6 +180,7 @@ __all__ = [
     "NotFittedError",
     "BackendUnavailableError",
     "BackendLinAlgError",
+    "ShardError",
     # backends & precision
     "ArrayBackend",
     "NumpyBackend",
@@ -171,6 +210,11 @@ __all__ = [
     "ShardedEigenPro2",
     "ShardGroup",
     "ShardPlan",
+    "ShardTransport",
+    "ThreadTransport",
+    "ProcessTransport",
+    "available_transports",
+    "process_transport_available",
     # core
     "EigenPro2",
     "KernelModel",

@@ -13,12 +13,20 @@ Implementation notes: the mini-batch variant; the state is the count
 matrix ``a`` where ``a[i, c]`` is how many times point ``i`` violated the
 margin for the one-vs-rest problem of class ``c``.  The model after ``T``
 iterations is ``f_c(x) = (1/(lambda T)) sum_i a[i,c] y^c_i k(x_i, x)``.
+
+Backend note: the hot work — the per-step ``(m, n)`` kernel block and
+the fitted model's blocked prediction — dispatches through the active
+:class:`~repro.backend.ArrayBackend`; the margin bookkeeping (count
+updates, shuffling) is small host-side NumPy.  The solver therefore runs
+under ``use_backend("torch")`` and inside shard executors with results
+matching the NumPy backend (``tests/test_backend_parity.py``).
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.backend import to_numpy
 from repro.config import DEFAULT_BLOCK_SCALARS
 from repro.core.model import KernelModel, as_labels
 from repro.device.simulator import SimulatedDevice
@@ -100,7 +108,11 @@ class PegasosSVM:
             for start in range(0, n, m):
                 idx = perm[start : start + m]
                 t += 1
-                kb = self.kernel(x[idx], x)  # (m', n)
+                # The block is evaluated on the active backend (the
+                # expensive part) and pulled to the host — in its working
+                # dtype, so a float32 precision scope is honored — for
+                # the margin bookkeeping, which is tiny by comparison.
+                kb = np.asarray(to_numpy(self.kernel(x[idx], x)))  # (m', n)
                 scores = kb @ (counts * y_pm) / (self.reg_lambda * t)
                 record_ops("gemm", idx.shape[0] * n * n_classes)
                 violated = y_pm[idx] * scores < 1.0

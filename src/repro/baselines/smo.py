@@ -15,6 +15,14 @@ The point being reproduced is structural, not constant-factor: SMO makes
 computing up to two ``(1, n)`` kernel rows, with iteration counts growing
 superlinearly in ``n`` — which is why it is orders of magnitude slower
 than batched square-loss iteration on the same hardware.
+
+Backend note: the heavy work — kernel-row evaluation and the blocked
+decision-function matvec — dispatches through the active
+:class:`~repro.backend.ArrayBackend` (rows are pulled to the host for
+the O(n) working-set bookkeeping, which is scalar-indexing-bound and
+stays NumPy by design), so the solver runs under ``use_backend("torch")``
+and inside shard executors with results matching the NumPy backend
+(``tests/test_backend_parity.py``).
 """
 
 from __future__ import annotations
@@ -24,6 +32,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.backend import backend_of, to_numpy
 from repro.config import DEFAULT_BLOCK_SCALARS
 from repro.core.model import as_labels
 from repro.exceptions import ConfigurationError, NotFittedError
@@ -65,7 +74,10 @@ class _RowCache:
             self._rows.move_to_end(i)
             self.stats.cache_hits += 1
             return cached
-        row = self.kernel(self.x[i : i + 1], self.x)[0]
+        # The row is evaluated on the active backend (the expensive part);
+        # the O(n) working-set bookkeeping consuming it is scalar-indexing
+        # NumPy, so pull it to the host — in its working dtype — here.
+        row = np.asarray(to_numpy(self.kernel(self.x[i : i + 1], self.x)))[0]
         self.stats.kernel_rows += 1
         self.stats.kernel_ops += self.x.shape[0] * self.x.shape[1]
         self._rows[i] = row
@@ -232,17 +244,22 @@ class SMOSVM:
             raise NotFittedError("SMOSVM has not been fitted")
 
     def decision_function(self, x: np.ndarray) -> np.ndarray:
-        """Per-class decision values ``sum_i (alpha_i y_i) k(x_i, x) + b``."""
+        """Per-class decision values ``sum_i (alpha_i y_i) k(x_i, x) + b``,
+        native to the active backend."""
         self._require_fitted()
         scores = kernel_matvec(
             self.kernel, x, self.x_, self.dual_coef_,
             max_scalars=self.block_scalars,
         )
-        return scores + self.intercepts_[None, :]
+        bk = backend_of(scores)
+        intercepts = bk.asarray(
+            self.intercepts_, dtype=bk.dtype_of(scores)
+        )
+        return scores + intercepts[None, :]
 
     def predict_labels(self, x: np.ndarray) -> np.ndarray:
         """Predicted class labels (argmax of decision values)."""
-        return np.argmax(self.decision_function(x), axis=1)
+        return np.argmax(to_numpy(self.decision_function(x)), axis=1)
 
     def classification_error(self, x: np.ndarray, y: np.ndarray) -> float:
         """Misclassification rate on ``(x, y)``."""

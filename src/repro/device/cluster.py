@@ -37,6 +37,9 @@ __all__ = [
     "multi_gpu",
     "allreduce_time",
     "pipelined_sync_time",
+    "TRANSPORT_INTERCONNECTS",
+    "transport_interconnect",
+    "link_cost",
 ]
 
 
@@ -87,6 +90,46 @@ def allreduce_time(
     return (
         stages * interconnect.latency_s
         + traffic / interconnect.bandwidth_scalars_per_s
+    )
+
+
+#: Per-transport link models for the *executable* shard engine
+#: (:mod:`repro.shard`).  The thread transport's "network" is a host
+#: memcpy between threads sharing one memory system: tiny latency, memory
+#: bandwidth.  The process transport pays a pickle + pipe round-trip per
+#: collective contribution: ~100x the latency, an order of magnitude less
+#: effective bandwidth.  These are calibration-scale figures (the
+#: shard-validation harness recalibrates throughput from a measured g=1
+#: run); their role is to let the modelled allreduce term *differ by
+#: transport*, the way a NCCL link would differ from Ethernet.
+TRANSPORT_INTERCONNECTS: dict[str, Interconnect] = {
+    "thread": Interconnect(latency_s=2e-5, bandwidth_scalars_per_s=5e9),
+    "process": Interconnect(latency_s=2e-4, bandwidth_scalars_per_s=6e8),
+}
+
+
+def transport_interconnect(transport: str) -> Interconnect:
+    """The link model for a named shard transport (``"thread"``,
+    ``"process"``)."""
+    try:
+        return TRANSPORT_INTERCONNECTS[transport]
+    except KeyError:
+        raise ConfigurationError(
+            f"no interconnect model for transport {transport!r}; known: "
+            + ", ".join(sorted(TRANSPORT_INTERCONNECTS))
+        ) from None
+
+
+def link_cost(
+    transport: str, n_devices: int, payload_scalars: float
+) -> float:
+    """Modelled per-iteration collective cost of a shard transport:
+    :func:`allreduce_time` under that transport's link model.  This is
+    the per-transport term the validation harness folds into the
+    aggregate device spec, so modelled allreduce time differs between a
+    host memcpy (threads) and IPC (processes)."""
+    return allreduce_time(
+        transport_interconnect(transport), n_devices, payload_scalars
     )
 
 

@@ -38,6 +38,15 @@ class BackendUnavailableError(ReproError, ImportError):
     (e.g. ``torch``) is not installed."""
 
 
+class ShardError(ReproError, RuntimeError):
+    """Raised by the shard transport layer when a shard executor fails as
+    an *engine* rather than as arithmetic: a worker process died or became
+    unreachable, a collective could not complete, or a task was submitted
+    to a transport that has already failed.  Distinct from
+    :class:`ConfigurationError` (bad arguments) so callers can retry or
+    rebuild a group on transport failure without masking input bugs."""
+
+
 class BackendLinAlgError(ReproError, ArithmeticError):
     """Raised by backend linear-algebra primitives when a factorization
     fails (e.g. Cholesky of a non-PSD matrix), unifying the distinct

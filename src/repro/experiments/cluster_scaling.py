@@ -191,14 +191,22 @@ class ShardValidationConfig:
     n_iterations: int = 15
     warmup: int = 3
     bandwidth: float = 4.0
-    # Host threads synchronize far faster than any real network; tiny
-    # latency + fat pipe keeps the modelled comm term honest for threads.
-    interconnect: Interconnect = field(
-        default_factory=lambda: Interconnect(
-            latency_s=2e-5, bandwidth_scalars_per_s=5e9
-        )
-    )
+    #: Which shard transport executes the engine side of the loop
+    #: ("thread" or "process").
+    transport: str = "thread"
+    #: Network model for the modelled side; ``None`` selects the
+    #: per-transport link model (host memcpy for threads, IPC for
+    #: processes) from
+    #: :func:`repro.device.cluster.transport_interconnect`.
+    interconnect: Interconnect | None = None
     seed: int = 0
+
+    def resolved_interconnect(self) -> Interconnect:
+        from repro.device.cluster import transport_interconnect
+
+        if self.interconnect is not None:
+            return self.interconnect
+        return transport_interconnect(self.transport)
 
 
 def _median_seconds(fn, n_iterations: int, warmup: int) -> float:
@@ -229,6 +237,7 @@ def run_shard_validation(
     from repro.shard import ShardGroup, sharded_kernel_matvec
 
     cfg = cfg or ShardValidationConfig()
+    interconnect = cfg.resolved_interconnect()
     rng = np.random.default_rng(cfg.seed)
     centers = rng.standard_normal((cfg.n, cfg.d))
     weights = rng.standard_normal((cfg.n, cfg.l))
@@ -237,24 +246,28 @@ def run_shard_validation(
     # The paper's per-iteration cost model: (d + l) * m * n operations.
     ops = (cfg.d + cfg.l) * cfg.m * cfg.n
 
+    suffix = "" if cfg.transport == "thread" else f"-{cfg.transport}"
     result = ExperimentResult(
-        name="shard-validation",
+        name=f"shard-validation{suffix}",
         title=(
             "Cluster cost model vs executable shard engine "
-            "(modelled vs measured per-iteration time)"
+            f"({cfg.transport} transport; modelled vs measured "
+            "per-iteration time)"
         ),
         notes=(
             f"workload: n={cfg.n}, d={cfg.d}, l={cfg.l}, m={cfg.m}; "
             "per-shard spec calibrated from the measured g=1 run; "
-            "multi-shard rows compare the multi_gpu() composition "
-            "against thread-parallel NumPy shards."
+            "multi-shard rows compare the multi_gpu() composition — "
+            f"with the '{cfg.transport}' transport's link model "
+            f"(latency {interconnect.latency_s:g}s) — against "
+            f"{cfg.transport}-parallel NumPy shards."
         ),
     )
 
     measured: dict[int, float] = {}
     for g in cfg.shard_counts:
         with ShardGroup.build(
-            centers, weights, g=g, kernel=kernel
+            centers, weights, g=g, kernel=kernel, transport=cfg.transport
         ) as group:
             measured[g] = _median_seconds(
                 lambda: sharded_kernel_matvec(kernel, batch, group),
@@ -274,12 +287,13 @@ def run_shard_validation(
         cluster = multi_gpu(
             base,
             g,
-            interconnect=cfg.interconnect,
+            interconnect=interconnect,
             sync_payload_scalars=float(cfg.m * cfg.l),
         )
         modelled = cluster.spec.iteration_time(ops)
         ratios[g] = modelled / measured[g]
         result.add_row(
+            transport=cfg.transport,
             shards=g,
             ops_per_iter=ops,
             modelled_ms=round(1e3 * modelled, 3),
@@ -288,7 +302,7 @@ def run_shard_validation(
             measured_speedup_vs_1=round(measured[g1] / measured[g], 2),
             allreduce_us=round(
                 1e6
-                * allreduce_time(cfg.interconnect, g, float(cfg.m * cfg.l)),
+                * allreduce_time(interconnect, g, float(cfg.m * cfg.l)),
                 1,
             ),
         )
@@ -311,8 +325,9 @@ def run_shard_validation(
             claim_id="shard/model-vs-engine",
             description=(
                 "Multi-shard prediction of the alpha-beta cluster model "
-                "vs the executable engine (informational: thread shards "
-                "share host memory bandwidth and the GIL, so measured "
+                f"vs the executable engine on the '{cfg.transport}' "
+                "transport (informational: shards share host memory "
+                "bandwidth — and, for threads, the GIL — so measured "
                 "scaling lags the ideal model)"
             ),
             paper="network bandwidth must be taken into account (Section 2)",

@@ -10,38 +10,61 @@ real array backends:
 
 - :class:`~repro.shard.plan.ShardPlan` — the balanced contiguous
   partition of the ``n`` centers (and weight rows) into ``g`` shards;
-- :class:`~repro.shard.group.ShardExecutor` /
-  :class:`~repro.shard.group.ShardGroup` — per-shard executors, each
-  owning its own :class:`~repro.backend.ArrayBackend` instance (NumPy
-  threads today, ``torch:cuda:<i>`` devices when available), a dedicated
-  worker thread, a private op meter and precomputed center norms;
-- :func:`~repro.shard.group.allreduce_sum` — the combiner summing
-  per-shard partials, with communication metered separately under the
-  ``"allreduce"`` category;
+- :mod:`repro.shard.transport` — the transport layer separating *what a
+  shard does* from *where it runs*: a
+  :class:`~repro.shard.transport.ShardWorker` (the shard's arrays,
+  private op meter, precomputed center norms and execution scopes) driven
+  through a :class:`~repro.shard.transport.ShardTransport`.  Two
+  transports ship: ``"thread"`` (in-process worker threads, zero-copy
+  weight views, any backend per shard — ``torch:cuda:<i>`` included) and
+  ``"process"`` (one worker process per shard over
+  ``multiprocessing.shared_memory`` center/weight blocks, tasks shipped
+  by pickle over per-shard pipes — a real IPC round-trip for the
+  pipeline to hide);
+- :class:`~repro.shard.group.ShardGroup` — the engine facade: build with
+  ``ShardGroup.build(..., transport="thread" | "process")``, run
+  collective steps with :meth:`~repro.shard.group.ShardGroup.map` /
+  :meth:`~repro.shard.group.ShardGroup.map_async`, combine partials with
+  :meth:`~repro.shard.group.ShardGroup.allreduce` (communication metered
+  separately under the ``"allreduce"`` category);
 - :func:`~repro.shard.ops.sharded_kernel_matvec` /
   :func:`~repro.shard.ops.sharded_predict` — the data-parallel streamed
   primitives mirroring :mod:`repro.kernels.ops`;
 - :class:`~repro.shard.trainer.ShardedEigenPro2` — the EigenPro 2.0
   iteration (Algorithm 1) run data-parallel, numerically equivalent to
   the single-backend trainer and adapted, by default, to the
-  :func:`repro.device.cluster.multi_gpu` aggregate device.  By default it
-  runs *pipelined*: while step ``t``'s partial predictions are all-reduced
-  and its update/correction applied on the caller thread, every shard
-  worker is already forming step ``t+1``'s kernel block into the other
-  half of its double-buffered workspace (two in-flight ``(m, n_i)``
-  blocks per shard, slots 0/1 of
+  :func:`repro.device.cluster.multi_gpu` aggregate device (with a
+  per-transport link model via
+  :func:`repro.device.cluster.transport_interconnect`).  By default it
+  runs *pipelined*: while step ``t``'s partial predictions are
+  all-reduced and its update/correction applied on the caller thread,
+  every shard worker is already forming step ``t+1``'s kernel block into
+  the other half of its double-buffered workspace (two in-flight
+  ``(m, n_i)`` blocks per shard, slots 0/1 of
   :class:`~repro.kernels.ops.BlockWorkspace`); the per-collective barrier
-  is replaced by a :class:`~repro.shard.group.PendingMap` future awaited
-  only when the block is consumed.
+  is replaced by a :class:`~repro.shard.transport.PendingMap` future
+  awaited only when the block is consumed.
+
+Mirror-back of updated weight rows is *asynchronous* on every transport:
+NumPy thread shards see updates through zero-copy views, device-copy
+thread shards get a row push queued on their FIFO worker (drained at the
+next barrier, never awaited per update), and process shards read the
+rows straight out of shared memory after the parent's direct write.
+FIFO worker order — the transport contract — is what makes this sound:
+a weight-reading contraction is always queued after the mirror of the
+update it must observe.
 
 Because per-shard op counts are shape-derived and the shards tile the
-centers, aggregate counts equal the unsharded counts exactly
-(``tests/test_shard_parity.py``), and the validation harness
+centers, aggregate counts equal the unsharded counts exactly, and every
+transport executes the *same task functions*, so results are bitwise
+identical across transports (``tests/test_shard_parity.py``,
+``tests/test_shard_transport_conformance.py``).  The validation harness
 (``benchmarks/bench_shard.py`` /
 :func:`repro.experiments.cluster_scaling.run_shard_validation`) closes
-the MLSYSIM-style loop: the same ``(n, m, g)`` workload runs through the
-cluster cost model *and* this engine, reporting modelled against
-measured per-iteration time.
+the MLSYSIM-style loop per transport: the same ``(n, m, g)`` workload
+runs through the cluster cost model — with the matching
+:func:`~repro.device.cluster.link_cost` — *and* this engine, reporting
+modelled against measured per-iteration time.
 
 Example
 -------
@@ -61,14 +84,30 @@ from repro.shard.group import PendingMap, ShardExecutor, ShardGroup, allreduce_s
 from repro.shard.ops import sharded_kernel_matvec, sharded_predict
 from repro.shard.plan import ShardPlan
 from repro.shard.trainer import ShardedEigenPro2
+from repro.shard.transport import (
+    ProcessTransport,
+    ShardTransport,
+    ShardWorker,
+    ThreadTransport,
+    available_transports,
+    process_transport_available,
+    resolve_transport,
+)
 
 __all__ = [
     "PendingMap",
+    "ProcessTransport",
     "ShardExecutor",
     "ShardGroup",
     "ShardPlan",
+    "ShardTransport",
+    "ShardWorker",
     "ShardedEigenPro2",
+    "ThreadTransport",
     "allreduce_sum",
+    "available_transports",
+    "process_transport_available",
+    "resolve_transport",
     "sharded_kernel_matvec",
     "sharded_predict",
 ]

@@ -1,310 +1,91 @@
-"""Per-shard executors and the thread-pooled shard group.
+"""The shard group: one data-parallel engine over a pluggable transport.
 
-A :class:`ShardExecutor` owns one shard: a contiguous slice of the kernel
-centers and weights living on that executor's *own*
-:class:`~repro.backend.ArrayBackend` instance, a dedicated worker thread,
-a private :class:`~repro.instrument.OpMeter`, and the precomputed center
-squared norms that every streamed kernel block against this shard reuses.
-A :class:`ShardGroup` drives ``g`` executors in parallel and plays the
-role of the cluster in :mod:`repro.device.cluster`'s data-parallel model:
-each collective step maps a function over the shards and the caller
-combines the per-shard partials with :func:`allreduce_sum`.
+A :class:`ShardGroup` drives ``g`` shard workers as one engine and plays
+the role of the cluster in :mod:`repro.device.cluster`'s data-parallel
+model: each collective step maps a task over the shards and the caller
+combines the per-shard partials with
+:func:`~repro.shard.transport.allreduce_sum`.  *Where* the workers run
+is the group's :class:`~repro.shard.transport.ShardTransport` —
+in-process threads (default) or worker processes over shared memory —
+selected by ``ShardGroup.build(..., transport="thread" | "process")``.
 
-Accounting invariants (relied on by ``tests/test_shard_parity.py``):
+Accounting invariants (pinned by ``tests/test_shard_parity.py`` and the
+cross-transport conformance suite
+``tests/test_shard_transport_conformance.py``):
 
-- every operation an executor performs is recorded on its private meter
-  (worker threads have no ambient meters), and each submitted task
-  captures its own op-count delta *on the worker*; :meth:`ShardGroup.map`
-  / :meth:`PendingMap.result` relay those deltas to the meters active on
-  the *calling* thread — so a metered sharded computation reports exactly
-  the op counts of its unsharded equivalent, while per-shard totals
-  remain inspectable;
-- communication is recorded separately under the ``"allreduce"`` category
-  (zero for ``g = 1``), mirroring the cluster model's separation of
-  compute time from network time;
-- each executor has a dedicated worker thread, so the per-thread
+- every operation a worker performs is recorded on its private meter
+  (workers have no ambient meters), and each submitted task captures its
+  own op-count delta *on the worker*; :meth:`ShardGroup.map` /
+  :meth:`~repro.shard.transport.PendingMap.result` relay those deltas to
+  the meters active on the *calling* thread — so a metered sharded
+  computation reports exactly the op counts of its unsharded
+  equivalent, while per-shard totals remain inspectable;
+- communication is recorded separately under the ``"allreduce"``
+  category (zero for ``g = 1``), mirroring the cluster model's
+  separation of compute time from network time;
+- each shard has a dedicated FIFO worker, so the per-worker
   :class:`~repro.kernels.ops.BlockWorkspace` high-water mark *is* the
   shard's scratch peak.
 
 Pipelined (non-blocking) collectives
 ------------------------------------
 :meth:`ShardGroup.map_async` submits a collective step without
-barriering: it returns a :class:`PendingMap` whose :meth:`~PendingMap.result`
-is awaited only when the produced values are actually consumed.  Because
-every executor runs a single FIFO worker, a caller may queue the *next*
-step's kernel-block formation behind the current step's contraction and
-the ordering per shard is automatic — this is what the double-buffered
-:class:`~repro.shard.trainer.ShardedEigenPro2` pipeline does, holding at
-most two in-flight blocks per shard (workspace slots 0/1; see
-:mod:`repro.kernels.ops`).
+barriering: it returns a :class:`~repro.shard.transport.PendingMap`
+whose ``result()`` is awaited only when the produced values are actually
+consumed.  Because every worker runs a single FIFO queue, a caller may
+queue the *next* step's kernel-block formation behind the current step's
+contraction and the ordering per shard is automatic — this is what the
+double-buffered :class:`~repro.shard.trainer.ShardedEigenPro2` pipeline
+does, holding at most two in-flight blocks per shard (workspace slots
+0/1; see :mod:`repro.kernels.ops`).  The same FIFO order makes
+:meth:`mirror_rows` asynchronous: a row push queued (thread transport
+with device copies) or written directly into shared memory (process
+transport) after step ``t`` is applied before step ``t+1``'s contraction
+by construction, with no per-update barrier.
 """
 
 from __future__ import annotations
 
-import contextlib
-import threading
-from concurrent.futures import Future, ThreadPoolExecutor
 from typing import Any, Callable, Sequence
 
 import numpy as np
 
-from repro.backend import (
-    ArrayBackend,
-    NumpyBackend,
-    get_backend,
-    get_precision,
-    precision_is_explicit,
-    resolve_backend,
-    to_numpy,
-    use_backend,
-    use_precision,
-)
+from repro.backend import ArrayBackend, to_numpy
 from repro.exceptions import ConfigurationError
-from repro.instrument import OpMeter, meter_scope, record_ops, relay_op_counts
 from repro.kernels.base import Kernel
-from repro.kernels.ops import block_workspace
 from repro.shard.plan import ShardPlan
+from repro.shard.transport import (
+    PendingMap,
+    ShardExecutor,
+    ShardTransport,
+    allreduce_sum,
+    resolve_transport,
+)
 
-__all__ = ["PendingMap", "ShardExecutor", "ShardGroup", "allreduce_sum"]
-
-
-def allreduce_sum(partials: Sequence[Any], bk: ArrayBackend | None = None) -> Any:
-    """Sum per-shard partial results into one array on backend ``bk``
-    (default: the caller's active backend).
-
-    Partials are pulled to host memory and summed in shard order, so the
-    result is deterministic for a fixed shard plan.  The reduction records
-    ``(g - 1) * payload`` operations under the ``"allreduce"`` category —
-    the communication volume the alpha-beta model of
-    :func:`repro.device.cluster.allreduce_time` charges for — and records
-    nothing for a single shard, matching the model's ``g = 1`` short
-    circuit.
-    """
-    if not partials:
-        raise ConfigurationError("allreduce_sum needs at least one partial")
-    arrays = [to_numpy(p) for p in partials]
-    out = np.array(arrays[0], copy=True)
-    for arr in arrays[1:]:
-        out += arr
-    if len(arrays) > 1:
-        record_ops("allreduce", (len(arrays) - 1) * out.size)
-    bk = bk if bk is not None else get_backend()
-    return bk.asarray(out)
-
-
-class ShardExecutor:
-    """One shard of the data-parallel engine.
-
-    Parameters
-    ----------
-    shard_id:
-        Position of this shard in the owning plan.
-    backend:
-        The :class:`~repro.backend.ArrayBackend` instance this executor
-        owns; all of its array state lives there.
-    centers:
-        Shard's center rows ``(n_i, d)`` (any array convertible by the
-        backend).
-    weights:
-        Optional shard weight rows ``(n_i, l)``.  When the source rows are
-        a NumPy slice and the backend is NumPy they are adopted as a
-        zero-copy *view* (updates write through to the source array);
-        otherwise a device copy is made and callers mirror updates back
-        via :meth:`pull_rows`.
-    """
-
-    def __init__(
-        self,
-        shard_id: int,
-        backend: ArrayBackend,
-        centers: Any,
-        weights: Any | None = None,
-    ) -> None:
-        self.shard_id = int(shard_id)
-        self.backend = backend
-        native = backend.asarray(centers)
-        self.centers = backend.as_2d(native)
-        self.weights_is_view = False
-        if weights is None:
-            self.weights = None
-        else:
-            self.weights = backend.asarray(weights)
-            self.weights_is_view = self.weights is weights or (
-                isinstance(self.weights, np.ndarray)
-                and isinstance(weights, np.ndarray)
-                and np.shares_memory(self.weights, weights)
-            )
-            if self.weights.shape[0] != self.centers.shape[0]:
-                raise ConfigurationError(
-                    f"shard {shard_id}: weights rows "
-                    f"({self.weights.shape[0]}) must match centers "
-                    f"({self.centers.shape[0]})"
-                )
-        #: Center squared norms, reused by every kernel block against this
-        #: shard (see the ``z_sq_norms`` threading in the kernel API).
-        self.center_sq_norms = backend.row_sq_norms(self.centers)
-        #: Private meter; aggregated by :meth:`ShardGroup.op_counts` and
-        #: relayed by :meth:`ShardGroup.map`.
-        self.meter = OpMeter()
-        #: High-water mark of this shard's block-workspace scratch.
-        self.workspace_peak = 0
-        self._pool: ThreadPoolExecutor | None = ThreadPoolExecutor(
-            max_workers=1, thread_name_prefix=f"repro-shard-{shard_id}"
-        )
-        self._lock = threading.Lock()
-
-    # ------------------------------------------------------------- geometry
-    @property
-    def n_centers(self) -> int:
-        return self.centers.shape[0]
-
-    @property
-    def resident_scalars(self) -> int:
-        """Scalars held resident by this shard (centers + weights), the
-        per-device ``S_G`` charge of the cluster memory model."""
-        scalars = self.centers.shape[0] * self.centers.shape[1]
-        if self.weights is not None:
-            w = self.weights
-            scalars += w.shape[0] * (w.shape[1] if w.ndim == 2 else 1)
-        return int(scalars)
-
-    # ------------------------------------------------------------ execution
-    def _run(
-        self,
-        fn: Callable[["ShardExecutor"], Any],
-        precision: np.dtype | None = None,
-    ) -> Any:
-        # The caller's explicit use_precision scope is thread-local, so it
-        # is re-established here (captured by submit on the calling
-        # thread) — the sharded computation must honor the same working
-        # dtype as its unsharded equivalent.
-        scope = (
-            use_precision(precision)
-            if precision is not None
-            else contextlib.nullcontext()
-        )
-        with scope, use_backend(self.backend), meter_scope(self.meter):
-            try:
-                return fn(self)
-            finally:
-                self.workspace_peak = max(
-                    self.workspace_peak, block_workspace().peak_scalars
-                )
-
-    def submit(self, fn: Callable[["ShardExecutor"], Any]) -> Future:
-        """Run ``fn(self)`` on this shard's worker thread under its backend
-        scope, the caller's explicit precision (if any) and this shard's
-        private meter; returns the future."""
-        if self._pool is None:
-            raise ConfigurationError(
-                f"shard {self.shard_id} executor is closed"
-            )
-        precision = get_precision() if precision_is_explicit() else None
-        return self._pool.submit(self._run, fn, precision)
-
-    def submit_metered(
-        self, fn: Callable[["ShardExecutor"], Any]
-    ) -> Future:
-        """Like :meth:`submit`, but the future resolves to
-        ``(result, op_delta)`` where ``op_delta`` is exactly the ops ``fn``
-        recorded on this shard's meter.  The delta is captured *inside*
-        the worker task, so several tasks may be in flight concurrently
-        (the pipelined trainer queues the next block's formation behind
-        the current contraction) without their deltas interleaving."""
-        if self._pool is None:
-            raise ConfigurationError(
-                f"shard {self.shard_id} executor is closed"
-            )
-        precision = get_precision() if precision_is_explicit() else None
-        return self._pool.submit(self._run_metered, fn, precision)
-
-    def _run_metered(
-        self,
-        fn: Callable[["ShardExecutor"], Any],
-        precision: np.dtype | None = None,
-    ) -> tuple[Any, dict[str, int]]:
-        before = self.meter.as_dict()
-        result = self._run(fn, precision)
-        delta = {
-            category: ops - before.get(category, 0)
-            for category, ops in self.meter.as_dict().items()
-        }
-        return result, {c: d for c, d in delta.items() if d}
-
-    def pull_rows(self, local_idx: np.ndarray) -> np.ndarray:
-        """Host copy of the given weight rows (mirror-back path for
-        executors whose weights are device copies rather than views)."""
-        if self.weights is None:
-            raise ConfigurationError(f"shard {self.shard_id} holds no weights")
-        return to_numpy(self.weights[local_idx])
-
-    def close(self) -> None:
-        """Reset this shard's workspace scratch and join its worker."""
-        if self._pool is None:
-            return
-        try:
-            self._pool.submit(self._drain_workspace).result()
-        finally:
-            self._pool.shutdown(wait=True)
-            self._pool = None
-
-    def _drain_workspace(self) -> None:
-        ws = block_workspace()
-        self.workspace_peak = max(self.workspace_peak, ws.peak_scalars)
-        ws.reset()
-
-
-class PendingMap:
-    """One in-flight collective step across all shards.
-
-    Returned by :meth:`ShardGroup.map_async`; the work is already queued
-    on every executor's worker when this object exists.  :meth:`result`
-    barriers, relays the per-shard op-count deltas to the meters active on
-    the *calling* thread (once, however often it is called) and returns
-    the per-shard results in shard order — so awaiting the future on the
-    thread that will consume the values keeps aggregate op counts
-    identical to the unsharded computation.
-    """
-
-    def __init__(self, futures: Sequence[Future]) -> None:
-        self._futures: list[Future] | None = list(futures)
-        self._results: list[Any] = []
-
-    def result(self) -> list[Any]:
-        if self._futures is not None:
-            pairs = [f.result() for f in self._futures]
-            self._futures = None
-            self._results = [result for result, _ in pairs]
-            merged: dict[str, int] = {}
-            for _, delta in pairs:
-                for category, ops in delta.items():
-                    merged[category] = merged.get(category, 0) + ops
-            relay_op_counts(merged)
-        return self._results
+__all__ = [
+    "PendingMap",
+    "ShardExecutor",
+    "ShardGroup",
+    "allreduce_sum",
+]
 
 
 class ShardGroup:
-    """A team of :class:`ShardExecutor` driven as one data-parallel engine.
+    """A team of shard workers driven as one data-parallel engine.
 
     Build one with :meth:`build` (which shards the centers/weights for
-    you) and run collective steps with :meth:`map`; combine the returned
-    per-shard partials with :func:`allreduce_sum`.  Use as a context
-    manager, or call :meth:`close` when done, to join the worker threads
-    and release pooled scratch.
+    you and spins up the chosen transport) and run collective steps with
+    :meth:`map`; combine the returned per-shard partials with
+    :meth:`allreduce`.  Use as a context manager, or call :meth:`close`
+    when done, to join the workers and release transport resources.
     """
 
     def __init__(
         self,
-        executors: Sequence[ShardExecutor],
-        plan: ShardPlan,
+        transport: ShardTransport,
         kernel: Kernel | None = None,
     ) -> None:
-        if len(executors) != plan.g:
-            raise ConfigurationError(
-                f"plan has {plan.g} shards but {len(executors)} executors given"
-            )
-        self.executors = list(executors)
-        self.plan = plan
+        self.transport = transport
         self.kernel = kernel
 
     # ------------------------------------------------------------ lifecycle
@@ -317,55 +98,66 @@ class ShardGroup:
         g: int | None = None,
         backends: str | ArrayBackend | Sequence[str | ArrayBackend] | None = None,
         kernel: Kernel | None = None,
+        transport: str | type[ShardTransport] = "thread",
+        **transport_options: Any,
     ) -> "ShardGroup":
         """Shard ``centers`` (and optionally ``weights``) across ``g``
-        executors.
+        workers of the chosen transport.
 
         Parameters
         ----------
         g:
-            Shard count; defaults to ``len(backends)`` when a backend list
-            is given, else 1.
+            Shard count; defaults to ``len(backends)`` when a backend
+            list is given, else 1.
         backends:
-            ``None`` (a fresh :class:`~repro.backend.NumpyBackend` instance
-            per shard), one spec applied to every shard (``"torch:cpu"``),
-            or one spec per shard (``["torch:cuda:0", "torch:cuda:1"]``).
+            ``None`` (a fresh :class:`~repro.backend.NumpyBackend`
+            instance per shard), one spec applied to every shard
+            (``"torch:cpu"``), or one spec per shard
+            (``["torch:cuda:0", "torch:cuda:1"]``).  The process
+            transport accepts NumPy specs only.
         kernel:
             Optional kernel attached to the group, enabling
             :func:`repro.shard.sharded_predict` without re-passing it.
+        transport:
+            ``"thread"`` (default), ``"process"``, or a
+            :class:`~repro.shard.transport.ShardTransport` subclass;
+            extra keyword arguments are forwarded to the transport
+            constructor (e.g. ``start_method=`` for the process
+            transport).
         """
         centers_np = np.asarray(to_numpy(centers))
         if centers_np.ndim == 1:
             centers_np = centers_np[None, :]
         weights_np = None if weights is None else np.asarray(to_numpy(weights))
         if isinstance(backends, (str, ArrayBackend)) or backends is None:
-            if g is None:
-                g = 1
-            backend_list: list[ArrayBackend] = [
-                NumpyBackend() if backends is None else resolve_backend(backends)
-                for _ in range(int(g))
-            ]
+            g = 1 if g is None else int(g)
+            backend_specs: list[Any] = [backends] * g
         else:
-            backend_list = [resolve_backend(spec) for spec in backends]
-            if g is not None and int(g) != len(backend_list):
+            backend_specs = list(backends)
+            if g is not None and int(g) != len(backend_specs):
                 raise ConfigurationError(
-                    f"g={g} conflicts with {len(backend_list)} backend specs"
+                    f"g={g} conflicts with {len(backend_specs)} backend specs"
                 )
-        plan = ShardPlan.contiguous(centers_np.shape[0], len(backend_list))
-        executors = [
-            ShardExecutor(
-                i,
-                backend_list[i],
-                centers_np[sl],
-                None if weights_np is None else weights_np[sl],
-            )
-            for i, sl in enumerate(plan.slices)
-        ]
-        return cls(executors, plan, kernel=kernel)
+            g = len(backend_specs)
+        plan = ShardPlan.contiguous(centers_np.shape[0], g)
+        transport_cls = resolve_transport(transport)
+        engine = transport_cls(
+            plan, centers_np, weights_np, backends=backend_specs,
+            **transport_options,
+        )
+        return cls(engine, kernel=kernel)
+
+    @property
+    def plan(self) -> ShardPlan:
+        return self.transport.plan
 
     @property
     def g(self) -> int:
-        return self.plan.g
+        return self.transport.g
+
+    @property
+    def executors(self) -> list:
+        return self.transport.executors
 
     def __enter__(self) -> "ShardGroup":
         return self
@@ -374,82 +166,86 @@ class ShardGroup:
         self.close()
 
     def close(self) -> None:
-        """Join every executor's worker thread and drop pooled scratch."""
-        for ex in self.executors:
-            ex.close()
+        """Join every worker and release transport resources."""
+        self.transport.close()
 
     def reset_workspaces(self) -> None:
-        """Drop pooled scratch buffers on every shard's worker thread
-        (keeps the workers alive)."""
-        futures = [ex.submit(lambda ex: ex._drain_workspace()) for ex in self.executors]
-        for f in futures:
-            f.result()
+        """Drop pooled scratch buffers on every shard's worker (keeps the
+        workers alive)."""
+        self.transport.reset_workspaces()
 
     # ------------------------------------------------------------ execution
-    def map(self, fn: Callable[[ShardExecutor], Any]) -> list[Any]:
-        """Run ``fn(executor)`` on every shard in parallel; results in
-        shard order.
+    def map(self, fn: Callable[..., Any], *args: Any, **kwargs: Any) -> list[Any]:
+        """Run ``fn(worker, *args, **kwargs)`` on every shard in
+        parallel; results in shard order.
 
-        Each executor's work is metered on its private meter only (worker
-        threads carry no ambient meters); after the barrier the per-shard
-        op-count deltas are relayed to the meters active on the calling
-        thread, so callers see aggregate counts identical to the
-        unsharded computation.
+        Each worker's work is metered on its private meter only; after
+        the barrier the per-shard op-count deltas are relayed to the
+        meters active on the calling thread, so callers see aggregate
+        counts identical to the unsharded computation.  Cross-process
+        transports require ``fn`` (and its arguments) to be picklable —
+        module-level task functions, not closures.
         """
-        return self.map_async(fn).result()
+        return self.transport.map(fn, *args, **kwargs)
 
-    def map_async(self, fn: Callable[[ShardExecutor], Any]) -> PendingMap:
-        """Queue ``fn(executor)`` on every shard *without barriering*.
+    def map_async(self, fn: Callable[..., Any], *args: Any, **kwargs: Any) -> PendingMap:
+        """Queue ``fn(worker, ...)`` on every shard *without barriering*.
 
-        Returns a :class:`PendingMap` to be awaited when (and where) the
-        values are consumed.  Deltas are captured per task on the workers,
-        so any number of pending maps may overlap; each executor runs its
-        queue in FIFO order, which is what the pipelined trainer relies on
-        to order block formation against consumption.
+        Returns a :class:`~repro.shard.transport.PendingMap` to be
+        awaited when (and where) the values are consumed.  Deltas are
+        captured per task on the workers, so any number of pending maps
+        may overlap; each worker runs its queue in FIFO order, which is
+        what the pipelined trainer relies on to order block formation
+        against consumption.
         """
-        return PendingMap([ex.submit_metered(fn) for ex in self.executors])
+        return self.transport.map_async(fn, *args, **kwargs)
+
+    def allreduce(self, partials: Sequence[Any], bk: ArrayBackend | None = None) -> Any:
+        """Combine per-shard partials through the transport's collective
+        (host-ordered sum; metered under ``"allreduce"``)."""
+        return self.transport.allreduce(partials, bk=bk)
+
+    # ----------------------------------------------------------- state push
+    def broadcast_state(self, **items: Any) -> None:
+        """Merge ``items`` into every worker's per-fit ``state`` dict."""
+        self.transport.broadcast_state(**items)
+
+    def scatter_state(self, key: str, values: Sequence[Any]) -> None:
+        """Set per-fit ``state[key]`` to a different value per shard."""
+        self.transport.scatter_state(key, values)
 
     # ----------------------------------------------------------- accounting
     def op_counts(self) -> dict[str, int]:
         """Op counts summed across all shard meters."""
-        total: dict[str, int] = {}
-        for ex in self.executors:
-            for category, ops in ex.meter.as_dict().items():
-                total[category] = total.get(category, 0) + ops
-        return total
+        return self.transport.op_counts()
 
     def memory_report(self) -> dict[str, Any]:
         """Per-shard and aggregate memory accounting in scalars."""
-        resident = [ex.resident_scalars for ex in self.executors]
-        peaks = [ex.workspace_peak for ex in self.executors]
-        return {
-            "resident_per_shard": resident,
-            "resident_total": int(sum(resident)),
-            "workspace_peak_per_shard": peaks,
-            "workspace_peak_total": int(sum(peaks)),
-        }
+        return self.transport.memory_report()
 
     # -------------------------------------------------------------- weights
+    @property
+    def needs_mirror(self) -> bool:
+        """True when weight updates must be mirrored to the shards."""
+        return self.transport.needs_mirror
+
+    @property
+    def needs_final_sync(self) -> bool:
+        """True when restoring a weight snapshot requires a full
+        :meth:`set_weights`."""
+        return self.transport.needs_final_sync
+
+    def mirror_rows(
+        self, global_idx: np.ndarray, rows: np.ndarray
+    ) -> PendingMap | None:
+        """Push updated weight rows to the shards without barriering (see
+        :meth:`repro.shard.transport.ShardTransport.mirror_rows`)."""
+        return self.transport.mirror_rows(global_idx, rows)
+
     def gather_weights(self) -> np.ndarray:
         """Concatenate all shard weight rows back into one host array."""
-        parts = []
-        for ex in self.executors:
-            if ex.weights is None:
-                raise ConfigurationError("group holds no weights")
-            parts.append(to_numpy(ex.weights))
-        return np.concatenate(parts, axis=0)
+        return self.transport.gather_weights()
 
     def set_weights(self, weights: Any) -> None:
         """Scatter a full ``(n, l)`` weight array onto the shards."""
-        weights_np = np.asarray(to_numpy(weights))
-        if weights_np.shape[0] != self.plan.n:
-            raise ConfigurationError(
-                f"weights has {weights_np.shape[0]} rows, plan expects "
-                f"{self.plan.n}"
-            )
-        for ex, sl in zip(self.executors, self.plan.slices):
-            if ex.weights_is_view and isinstance(ex.weights, np.ndarray):
-                ex.weights[...] = weights_np[sl]
-            else:
-                ex.weights = ex.backend.asarray(weights_np[sl])
-                ex.weights_is_view = False
+        self.transport.set_weights(np.asarray(to_numpy(weights)))

@@ -34,9 +34,24 @@ from repro.config import DEFAULT_BLOCK_SCALARS
 from repro.exceptions import ConfigurationError
 from repro.kernels.base import Kernel
 from repro.kernels.ops import kernel_matvec
-from repro.shard.group import ShardGroup, allreduce_sum
+from repro.shard.group import ShardGroup
 
 __all__ = ["sharded_kernel_matvec", "sharded_predict"]
+
+
+def _matvec_task(
+    worker, kernel: Kernel, x_host: np.ndarray, max_scalars: int
+) -> Any:
+    """Per-shard streamed ``K(x, centers_i) @ weights_i`` (module-level so
+    every transport — including cross-process ones — can ship it)."""
+    return kernel_matvec(
+        kernel,
+        x_host,
+        worker.centers,
+        worker.weights,
+        max_scalars=max_scalars,
+        z_sq_norms=worker.center_sq_norms,
+    )
 
 
 def sharded_kernel_matvec(
@@ -66,19 +81,8 @@ def sharded_kernel_matvec(
     if any(ex.weights is None for ex in group.executors):
         raise ConfigurationError("group executors hold no weights")
     x_host = np.asarray(to_numpy(x))
-
-    def partial(ex):
-        return kernel_matvec(
-            kernel,
-            x_host,
-            ex.centers,
-            ex.weights,
-            max_scalars=max_scalars,
-            z_sq_norms=ex.center_sq_norms,
-        )
-
-    partials = group.map(partial)
-    return allreduce_sum(partials, bk=get_backend())
+    partials = group.map(_matvec_task, kernel, x_host, max_scalars)
+    return group.allreduce(partials, bk=get_backend())
 
 
 def sharded_predict(

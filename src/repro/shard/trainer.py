@@ -8,12 +8,12 @@
    against its own centers on its own backend and contracts it with its
    own weight rows (Algorithm 1 step 2, split over shards);
 2. the ``(m, l)`` partial batch predictions are all-reduced
-   (:func:`~repro.shard.allreduce_sum` — the collective whose cost the
-   cluster model charges per iteration);
+   (:meth:`~repro.shard.ShardGroup.allreduce` — the collective whose
+   cost the cluster model charges per iteration);
 3. the SGD coordinate update and the EigenPro correction (steps 3–5) are
    applied to the full weight vector; shards holding zero-copy views see
-   the update immediately, device-copy shards get the touched rows
-   mirrored back.
+   the update immediately, all other shards get the touched rows
+   mirrored back *asynchronously* (below).
 
 The Nyström preconditioner state is *replicated* (it is ``s*q + 2q``
 scalars, independent of ``n``), but its ``Phi^T`` block is never
@@ -25,6 +25,16 @@ trainer by construction, which is what lets the validation harness
 (``benchmarks/bench_shard.py``) compare modelled against measured time
 for the *same* iteration.
 
+The per-shard work is expressed as module-level *task functions*
+(:func:`_form_block_task`, :func:`_contract_task`, ...) acting on a
+:class:`~repro.shard.transport.ShardWorker`, so the same arithmetic runs
+unchanged on every transport — in-process worker threads
+(``transport="thread"``, the default) or worker processes over
+shared-memory weight blocks (``transport="process"``).  The formed block
+never crosses the transport: a *form* task stashes it in the worker's
+slot-keyed ``blocks`` dict and the matching *contract* task consumes it
+there.
+
 Software pipeline (``pipeline=True``, the default)
 --------------------------------------------------
 The kernel block of step ``t+1`` depends only on the batch rows and the
@@ -32,7 +42,7 @@ The kernel block of step ``t+1`` depends only on the batch rows and the
 *prefetched*: while step ``t``'s partial predictions are all-reduced and
 the coordinate update + correction run on the caller thread, every shard
 worker is already forming step ``t+1``'s ``(m, n_i)`` block into the
-other half of its double-buffered workspace (slots 0/1 of the per-thread
+other half of its double-buffered workspace (slots 0/1 of the per-worker
 :class:`~repro.kernels.ops.BlockWorkspace`).  Each step splits into
 
 1. **contract** (weight-dependent, cannot be prefetched): ``kb_t @ w``,
@@ -41,13 +51,29 @@ other half of its double-buffered workspace (slots 0/1 of the per-thread
    ``Phi`` columns, queued immediately behind the contraction so it fills
    the worker's idle time during the caller-side collective + update.
 
-The per-collective barrier becomes a :class:`~repro.shard.group.PendingMap`
-future awaited only when the block (or the partial prediction) is
-actually consumed.  Nothing stale is ever read — the prefetch touches no
-array the update writes — so pipelined and serial runs are numerically
-identical, with identical aggregate op counts.  (Thread executors share
-one host; process/NCCL executors, where the overlap buys a full network
-round-trip, remain future work — see ROADMAP.)
+The per-collective barrier is a
+:class:`~repro.shard.transport.PendingMap` future awaited only when the
+block (or the partial prediction) is actually consumed.  Nothing stale
+is ever read — the prefetch touches no array the update writes — so
+pipelined and serial runs are numerically identical, with identical
+aggregate op counts.
+
+Asynchronous mirror-back
+------------------------
+The mirror of updated weight rows never barriers the caller:
+
+- thread transport, NumPy shards: the shards hold zero-copy views of
+  ``alpha`` — the update *is* the mirror;
+- thread transport, device-copy shards: the row push is queued on each
+  worker's FIFO and the resulting future is drained at the *next*
+  barrier (by then it has already completed — FIFO order put it before
+  the contraction that barrier awaited), surfacing push errors at most
+  one step late;
+- process transport: the parent writes the rows directly into the
+  shared-memory weight segment — no task, no IPC.  Ordering is by
+  construction: weight-reading contract tasks are only queued after the
+  write returns (the task channel's send/recv is the cross-process
+  happens-before edge), and in-flight prefetches never read weights.
 """
 
 from __future__ import annotations
@@ -57,19 +83,94 @@ from typing import Any, Sequence
 import numpy as np
 
 from repro.backend import ArrayBackend, get_backend, match_dtype, to_numpy
+from repro.config import DEFAULT_BLOCK_SCALARS
 from repro.core.eigenpro2 import EigenPro2
-from repro.device.cluster import Interconnect, multi_gpu
+from repro.device.cluster import (
+    TRANSPORT_INTERCONNECTS,
+    Interconnect,
+    multi_gpu,
+    transport_interconnect,
+)
 from repro.device.presets import titan_xp
 from repro.device.simulator import SimulatedDevice
-from repro.exceptions import ConfigurationError
+from repro.exceptions import ConfigurationError, ShardError
 from repro.instrument import record_ops
 from repro.kernels.base import Kernel
-from repro.config import DEFAULT_BLOCK_SCALARS
 from repro.kernels.ops import block_workspace
-from repro.shard.group import ShardGroup, allreduce_sum
+from repro.shard.group import PendingMap, ShardGroup
 from repro.shard.ops import sharded_predict
+from repro.shard.transport import ShardTransport, ShardWorker
 
 __all__ = ["ShardedEigenPro2"]
+
+
+# ---------------------------------------------------------------------------
+# Worker-side task functions (module-level: picklable on every transport).
+# The per-fit context they need — the kernel and this shard's subsample
+# column indices — is pushed into ``worker.state`` at group build time.
+# ---------------------------------------------------------------------------
+
+
+def _form_block_task(
+    worker: ShardWorker,
+    xb: np.ndarray,
+    xb_sq_norms: np.ndarray | None,
+    slot: int,
+) -> Any | None:
+    """Form the batch-vs-shard block ``(m, n_i)`` and copy out its
+    ``Phi`` columns (both weight-independent, hence prefetchable).
+
+    The block is stashed in ``worker.blocks[slot]`` for the matching
+    :func:`_contract_task`; only the (small) ``Phi`` column copy is
+    returned across the transport.  ``slot`` picks the double-buffer
+    half of the worker's workspace.
+    """
+    kernel: Kernel = worker.state["kernel"]
+    ebk = worker.backend
+    block_dtype = kernel._eval_dtype(xb, worker.centers)
+    scratch = block_workspace().get(
+        ebk, xb.shape[0], worker.n_centers, block_dtype, slot=slot
+    )
+    kb = kernel(
+        xb,
+        worker.centers,
+        out=scratch,
+        x_sq_norms=xb_sq_norms,
+        z_sq_norms=worker.center_sq_norms,
+    )  # (m, n_i): records kernel_eval on the shard meter
+    worker.blocks[slot] = kb
+    phi_i = None
+    local = worker.state.get("local_sub")
+    if local is not None and local.size:
+        # Columns of the batch block at this shard's subsample centers —
+        # advanced indexing copies, so the block scratch may be recycled
+        # (and the copy shipped cross-process) safely.
+        phi_i = kb[:, local]
+    return phi_i
+
+
+def _contract_task(worker: ShardWorker, slot: int) -> Any:
+    """Contract the block formed into ``slot`` against the shard's
+    *current* weight rows (weight-dependent: FIFO order guarantees the
+    previous step's update has been mirrored by the time this runs)."""
+    kb = worker.blocks.pop(slot)
+    ebk = worker.backend
+    kb = match_dtype(kb, ebk.dtype_of(worker.weights), ebk)
+    f_i = kb @ worker.weights  # (m, l) partial prediction
+    w = worker.weights
+    l = w.shape[1] if w.ndim == 2 else 1
+    record_ops("gemm", kb.shape[0] * worker.n_centers * l)
+    return f_i
+
+
+def _forward_task(
+    worker: ShardWorker,
+    xb: np.ndarray,
+    xb_sq_norms: np.ndarray | None,
+) -> tuple[Any, Any | None]:
+    """Serial-path step: form the block and contract it in one task."""
+    phi_i = _form_block_task(worker, xb, xb_sq_norms, 0)
+    return _contract_task(worker, 0), phi_i
 
 
 class ShardedEigenPro2(EigenPro2):
@@ -87,7 +188,13 @@ class ShardedEigenPro2(EigenPro2):
         Backend spec(s) for the executors — ``None`` (a fresh NumPy
         backend instance per shard), one spec for all, or one per shard
         (e.g. ``["torch:cuda:0", "torch:cuda:1"]``); see
-        :meth:`repro.shard.ShardGroup.build`.
+        :meth:`repro.shard.ShardGroup.build`.  The process transport
+        accepts NumPy specs only.
+    transport:
+        Where the shards run: ``"thread"`` (default — in-process worker
+        threads) or ``"process"`` (one worker process per shard over
+        shared-memory weight blocks), or a
+        :class:`~repro.shard.transport.ShardTransport` subclass.
     device:
         Simulated device the selection steps adapt to.  Defaults to the
         :func:`repro.device.cluster.multi_gpu` aggregate of ``n_shards``
@@ -95,7 +202,10 @@ class ShardedEigenPro2(EigenPro2):
         the "no new code" adaptation story of the cluster model.
     interconnect:
         Network model for the default aggregate device (ignored when
-        ``device`` is given).
+        ``device`` is given).  Defaults to the per-transport link model
+        (:func:`repro.device.cluster.transport_interconnect`) for
+        non-thread transports, and to the generic NVLink-class default
+        for threads.
     **eigenpro_kwargs:
         Everything :class:`~repro.core.eigenpro2.EigenPro2` accepts
         (``s``, ``q``, ``batch_size``, ``step_size``, ``seed``, ...).
@@ -109,7 +219,7 @@ class ShardedEigenPro2(EigenPro2):
     shard_group_:
         The :class:`~repro.shard.ShardGroup` built at fit time; call
         :meth:`close` (or use the trainer as a context manager) to join
-        its worker threads.
+        its workers.
     """
 
     method_name = "eigenpro2-sharded"
@@ -120,6 +230,7 @@ class ShardedEigenPro2(EigenPro2):
         *,
         n_shards: int | None = None,
         shard_backends: str | ArrayBackend | Sequence[str | ArrayBackend] | None = None,
+        transport: str | type[ShardTransport] = "thread",
         device: SimulatedDevice | None = None,
         interconnect: Interconnect | None = None,
         **eigenpro_kwargs: Any,
@@ -141,6 +252,21 @@ class ShardedEigenPro2(EigenPro2):
         if n_shards < 1:
             raise ConfigurationError(f"n_shards must be >= 1, got {n_shards}")
         if device is None:
+            transport_name = (
+                transport
+                if isinstance(transport, str)
+                else getattr(transport, "name", None)
+            )
+            if (
+                interconnect is None
+                and transport_name != "thread"
+                and transport_name in TRANSPORT_INTERCONNECTS
+            ):
+                # Known non-default transports model their real link (IPC
+                # for processes) so Step 1 adapts to the fabric that
+                # actually executes the collective; transports without a
+                # link model keep the generic default.
+                interconnect = transport_interconnect(transport_name)
             device = multi_gpu(titan_xp(), n_shards, interconnect=interconnect)
         # The sharded engine pipelines by default: the whole point of the
         # shard workers is to be busy during the collective.
@@ -148,8 +274,10 @@ class ShardedEigenPro2(EigenPro2):
         super().__init__(kernel, device=device, **eigenpro_kwargs)
         self.n_shards = n_shards
         self.shard_backends = shard_backends
+        self.transport = transport
         self.shard_group_: ShardGroup | None = None
         self._sub_parts: list[tuple[np.ndarray, np.ndarray]] | None = None
+        self._pending_mirror: PendingMap | None = None
 
     # --------------------------------------------------------------- setup
     def _setup(self, x: np.ndarray, y: np.ndarray) -> None:
@@ -158,21 +286,33 @@ class ShardedEigenPro2(EigenPro2):
         backends = self.shard_backends
         if backends is None or isinstance(backends, (str, ArrayBackend)):
             group = ShardGroup.build(
-                x, self._alpha, g=g, backends=backends, kernel=self.kernel
+                x, self._alpha, g=g, backends=backends, kernel=self.kernel,
+                transport=self.transport,
             )
         else:
             group = ShardGroup.build(
-                x, self._alpha, backends=backends[:g], kernel=self.kernel
+                x, self._alpha, backends=backends[:g], kernel=self.kernel,
+                transport=self.transport,
             )
         # Build-before-close: a failing rebuild must leave the previous
         # (still open) group in place for fit's cleanup path.
         if self.shard_group_ is not None:
             self.shard_group_.close()
         self.shard_group_ = group
+        self._pending_mirror = None
         self._sub_parts = (
             group.plan.localize(self._sub_idx)
             if self.preconditioner_ is not None and self._sub_idx is not None
             else None
+        )
+        # Per-fit worker context: the kernel every form task evaluates,
+        # and the shard-local subsample column indices for Phi extraction.
+        group.broadcast_state(kernel=self.kernel)
+        group.scatter_state(
+            "local_sub",
+            [local for _, local in self._sub_parts]
+            if self._sub_parts is not None
+            else [None] * group.g,
         )
 
     # ----------------------------------------------------------- iteration
@@ -189,50 +329,15 @@ class ShardedEigenPro2(EigenPro2):
         )
         return xb, xb_sq_norms
 
-    def _shard_form_block(
-        self,
-        ex,
-        xb: np.ndarray,
-        xb_sq_norms: np.ndarray | None = None,
-        slot: int = 0,
-    ) -> tuple[Any, Any | None]:
-        """Form the batch-vs-shard block ``(m, n_i)`` on shard ``ex`` and
-        copy out its ``Phi`` columns (both weight-independent, hence
-        prefetchable).  Runs on the shard's worker; ``slot`` picks the
-        double-buffer half of the worker's workspace."""
-        ebk = ex.backend
-        block_dtype = self.kernel._eval_dtype(xb, ex.centers)
-        scratch = block_workspace().get(
-            ebk, xb.shape[0], ex.n_centers, block_dtype, slot=slot
-        )
-        kb = self.kernel(
-            xb,
-            ex.centers,
-            out=scratch,
-            x_sq_norms=xb_sq_norms,
-            z_sq_norms=ex.center_sq_norms,
-        )  # (m, n_i): records kernel_eval on the shard meter
-        phi_i = None
-        if self._sub_parts is not None:
-            positions, local = self._sub_parts[ex.shard_id]
-            if positions.size:
-                # Columns of the batch block at this shard's subsample
-                # centers — advanced indexing copies, so the block
-                # scratch may be recycled afterwards.
-                phi_i = kb[:, local]
-        return kb, phi_i
+    def _drain_pending_mirror(self) -> None:
+        """Surface any error from the previous step's queued row pushes.
 
-    def _shard_contract(self, ex, kb: Any) -> Any:
-        """Contract a formed block against the shard's *current* weight
-        rows (weight-dependent: must run after the previous step's update
-        has been applied and mirrored).  Runs on the shard's worker."""
-        ebk = ex.backend
-        kb = match_dtype(kb, ebk.dtype_of(ex.weights), ebk)
-        f_i = kb @ ex.weights  # (m, l) partial prediction
-        record_ops(
-            "gemm", kb.shape[0] * ex.n_centers * self._alpha.shape[1]
-        )
-        return f_i
+        Never a barrier in the steady state: the pushes were queued
+        before a contraction this caller has since awaited, so FIFO
+        worker order guarantees they already ran."""
+        pending, self._pending_mirror = self._pending_mirror, None
+        if pending is not None:
+            pending.result()
 
     def _apply_shard_step(
         self,
@@ -245,10 +350,11 @@ class ShardedEigenPro2(EigenPro2):
     ) -> None:
         """All-reduce the partial predictions and apply the coordinate
         update + EigenPro correction (Algorithm 1 steps 3–5) on the caller
-        thread; mirror touched rows to device-copy shards."""
+        thread; mirror touched rows to the shards asynchronously."""
+        self._drain_pending_mirror()
         bk = get_backend()
         alpha_dtype = bk.dtype_of(self._alpha)
-        f = allreduce_sum(f_partials, bk=bk)
+        f = group.allreduce(f_partials, bk=bk)
         f = match_dtype(f, alpha_dtype, bk)
         g_res = f - y[idx]
         self._alpha[idx] -= gamma * g_res
@@ -277,12 +383,7 @@ class ShardedEigenPro2(EigenPro2):
             super()._iterate(x, y, idx, gamma)
             return
         xb, xb_sq_norms = self._host_batch(x, idx)
-
-        def forward(ex):
-            kb, phi_i = self._shard_form_block(ex, xb, xb_sq_norms)
-            return self._shard_contract(ex, kb), phi_i
-
-        results = group.map(forward)
+        results = group.map(_forward_task, xb, xb_sq_norms)
         self._apply_shard_step(
             group,
             [f_i for f_i, _ in results],
@@ -311,73 +412,65 @@ class ShardedEigenPro2(EigenPro2):
             super()._run_epoch_pipelined(x, y, blocks, gamma)
             return
 
-        def prefetch(idx: np.ndarray, slot: int) -> Any:
+        def prefetch(idx: np.ndarray, slot: int) -> PendingMap:
             xb, xb_sq_norms = self._host_batch(x, idx)
-            return group.map_async(
-                lambda ex: self._shard_form_block(
-                    ex, xb, xb_sq_norms, slot=slot
-                )
-            )
+            return group.map_async(_form_block_task, xb, xb_sq_norms, slot)
 
         pending = prefetch(blocks[0], 0)
         for t, idx in enumerate(blocks):
-            formed = pending.result()  # [(kb, phi_i)] — relays kernel_eval
-            contracting = group.map_async(
-                lambda ex, formed=formed: self._shard_contract(
-                    ex, formed[ex.shard_id][0]
-                )
-            )
+            phi_parts = pending.result()  # [phi_i] — relays kernel_eval
+            contracting = group.map_async(_contract_task, t % 2)
             if t + 1 < len(blocks):
                 pending = prefetch(blocks[t + 1], (t + 1) % 2)
             f_partials = contracting.result()  # relays gemm ops
             self._apply_shard_step(
-                group,
-                f_partials,
-                [phi_i for _, phi_i in formed],
-                y,
-                idx,
-                gamma,
+                group, f_partials, phi_parts, y, idx, gamma
             )
 
     def _mirror_rows(self, global_idx: np.ndarray) -> None:
-        """Push updated weight rows to executors holding device copies
+        """Push updated weight rows to the shards without barriering
         (no-op when every shard adopted a zero-copy view)."""
         group = self.shard_group_
-        if group is None or all(ex.weights_is_view for ex in group.executors):
+        if group is None or not group.needs_mirror:
             return
         global_idx = np.unique(np.asarray(global_idx))
-        parts = group.plan.localize(global_idx)
         rows = to_numpy(self._alpha[global_idx])
-
-        def push(ex):
-            positions, local = parts[ex.shard_id]
-            if positions.size and not ex.weights_is_view:
-                ex.weights[local] = ex.backend.asarray(
-                    rows[positions], dtype=ex.backend.dtype_of(ex.weights)
-                )
-
-        group.map(push)
+        self._pending_mirror = group.mirror_rows(global_idx, rows)
 
     # ------------------------------------------------------------- fitting
     def fit(self, x: np.ndarray, y: np.ndarray, **fit_kwargs: Any):
+        failed = False
         try:
             return super().fit(x, y, **fit_kwargs)
+        except BaseException:
+            failed = True
+            raise
         finally:
             group = self.shard_group_
             if group is not None:
-                # Per-shard (m, n_i) batch scratch should not stay pinned
-                # on the worker threads after training, mirroring the
-                # base trainer's main-thread workspace reset.
-                group.reset_workspaces()
-                # keep_best_val may have restored an earlier weight
-                # snapshot after the last mirror; re-sync device copies.
-                # Guarded by the plan size so a fit that failed mid-setup
-                # (group from a previous fit, alpha from this one) does
-                # not mask the original exception.
-                if group.plan.n == self._alpha.shape[0] and any(
-                    not ex.weights_is_view for ex in group.executors
-                ):
-                    group.set_weights(to_numpy(self._alpha))
+                try:
+                    self._drain_pending_mirror()
+                    # Per-shard (m, n_i) batch scratch should not stay
+                    # pinned on the workers after training, mirroring the
+                    # base trainer's main-thread workspace reset.
+                    group.reset_workspaces()
+                    # keep_best_val may have restored an earlier weight
+                    # snapshot after the last mirror; re-sync shard
+                    # copies.  Guarded by the plan size so a fit that
+                    # failed mid-setup (group from a previous fit, alpha
+                    # from this one) does not mask the original
+                    # exception.
+                    if (
+                        group.plan.n == self._alpha.shape[0]
+                        and group.needs_final_sync
+                    ):
+                        group.set_weights(to_numpy(self._alpha))
+                except ShardError:
+                    # A dead transport must not mask the original
+                    # (already-propagating) failure; with no failure in
+                    # flight, surface it.
+                    if not failed:
+                        raise
 
     # ----------------------------------------------------------- inference
     def predict_sharded(
@@ -393,7 +486,7 @@ class ShardedEigenPro2(EigenPro2):
 
     # ------------------------------------------------------------ lifecycle
     def close(self) -> None:
-        """Join the shard group's worker threads."""
+        """Join the shard group's workers."""
         if self.shard_group_ is not None:
             self.shard_group_.close()
             self.shard_group_ = None

@@ -1,0 +1,83 @@
+"""Shard transports: where a shard runs (threads, processes, ...).
+
+The :class:`~repro.shard.transport.base.ShardTransport` interface splits
+*what a shard does* (the task functions of :mod:`repro.shard.trainer` /
+:mod:`repro.shard.ops`, executed against a
+:class:`~repro.shard.transport.base.ShardWorker`) from *where it runs*:
+
+- :class:`~repro.shard.transport.thread.ThreadTransport` — in-process
+  worker threads, zero-copy weight views; the "network" is a host
+  memcpy.  Supports any :class:`~repro.backend.ArrayBackend` per shard.
+- :class:`~repro.shard.transport.process.ProcessTransport` — one worker
+  process per shard over shared-memory center/weight blocks; tasks pay
+  a real IPC round-trip, mirror-back is a direct shared-memory write
+  (asynchronous — no per-update barrier).
+
+Every transport is pinned by the same conformance suite
+(``tests/test_shard_transport_conformance.py``): bitwise-identical
+results, identical op-count relays, FIFO per-worker ordering.  A future
+NCCL transport slots in by implementing the same interface.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import ConfigurationError
+from repro.shard.transport.base import (
+    PendingMap,
+    ShardTransport,
+    ShardWorker,
+    allreduce_sum,
+)
+from repro.shard.transport.process import (
+    ProcessShardExecutor,
+    ProcessTransport,
+    process_transport_available,
+)
+from repro.shard.transport.thread import ShardExecutor, ThreadTransport
+
+__all__ = [
+    "PendingMap",
+    "ProcessShardExecutor",
+    "ProcessTransport",
+    "ShardExecutor",
+    "ShardTransport",
+    "ShardWorker",
+    "ThreadTransport",
+    "allreduce_sum",
+    "available_transports",
+    "process_transport_available",
+    "resolve_transport",
+]
+
+_REGISTRY: dict[str, type[ShardTransport]] = {
+    ThreadTransport.name: ThreadTransport,
+    ProcessTransport.name: ProcessTransport,
+}
+
+
+def available_transports() -> list[str]:
+    """Names of transports usable in this environment."""
+    names = [ThreadTransport.name]
+    if process_transport_available():
+        names.append(ProcessTransport.name)
+    return names
+
+
+def resolve_transport(
+    spec: str | type[ShardTransport],
+) -> type[ShardTransport]:
+    """Turn a transport spec (``"thread"``, ``"process"``, or a
+    :class:`ShardTransport` subclass) into the transport class."""
+    if isinstance(spec, type) and issubclass(spec, ShardTransport):
+        return spec
+    if isinstance(spec, str):
+        try:
+            return _REGISTRY[spec]
+        except KeyError:
+            raise ConfigurationError(
+                f"unknown shard transport {spec!r}; known transports: "
+                + ", ".join(sorted(_REGISTRY))
+            ) from None
+    raise ConfigurationError(
+        f"transport must be a name or ShardTransport subclass, got {spec!r}"
+    )

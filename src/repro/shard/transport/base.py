@@ -1,0 +1,444 @@
+"""The shard transport contract: *what a shard does* vs *where it runs*.
+
+A shard is a contiguous slice of the kernel centers and weight rows plus
+the machinery to run tasks against them.  This module splits that into
+two halves:
+
+- :class:`ShardWorker` — the state that lives *wherever the shard runs*
+  (an in-process worker thread, a child process, eventually a NCCL rank):
+  the shard's centers/weights on its own
+  :class:`~repro.backend.ArrayBackend` instance, the precomputed center
+  squared norms, a private :class:`~repro.instrument.OpMeter`, a
+  ``state`` dict for per-fit context (the kernel, subsample indices) and
+  a ``blocks`` dict holding in-flight kernel blocks between a *form* and
+  its *contract* task.
+- :class:`ShardTransport` — the caller-side engine that owns ``g``
+  workers and moves work and data to them: ``submit``/``map_async``
+  (queue a task on every shard's FIFO worker), ``allreduce`` (combine
+  per-shard partials), ``mirror_rows`` (push updated weight rows back to
+  the shards) and the weight scatter/gather, accounting and lifecycle
+  methods.
+
+Tasks are plain callables ``fn(worker, *args, **kwargs)``.  Transports
+that cross a process boundary pickle them, so anything submitted through
+the sharded trainer or the sharded ops must be a module-level function
+(all the built-in tasks are); the thread transport additionally accepts
+closures for ad-hoc in-process work.
+
+Conformance contract (pinned by
+``tests/test_shard_transport_conformance.py``): every transport executes
+the *same task functions* on the same shard slices, so for a fixed shard
+plan the produced numbers are bitwise identical across transports, the
+relayed op-count deltas are identical, and communication is metered
+separately under ``"allreduce"``.
+
+Ordering contract: each worker runs its queue FIFO.  This is what makes
+the asynchronous mirror-back sound — a mirror queued (or, for
+shared-memory transports, written directly) after step ``t``'s collective
+is always applied before step ``t+1``'s weight-dependent contraction,
+because that contraction is queued later — and what lets the pipelined
+trainer queue step ``t+1``'s block formation behind step ``t``'s
+contraction with no extra synchronization.
+"""
+
+from __future__ import annotations
+
+import abc
+import contextlib
+from concurrent.futures import Future
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from repro.backend import (
+    ArrayBackend,
+    get_backend,
+    to_numpy,
+    use_backend,
+    use_precision,
+)
+from repro.exceptions import ConfigurationError
+from repro.instrument import OpMeter, meter_scope, record_ops, relay_op_counts
+from repro.kernels.ops import block_workspace
+from repro.shard.plan import ShardPlan
+
+__all__ = [
+    "PendingMap",
+    "ShardTransport",
+    "ShardWorker",
+    "allreduce_sum",
+]
+
+
+def allreduce_sum(partials: Sequence[Any], bk: ArrayBackend | None = None) -> Any:
+    """Sum per-shard partial results into one array on backend ``bk``
+    (default: the caller's active backend).
+
+    Partials are pulled to host memory and summed in shard order, so the
+    result is deterministic for a fixed shard plan — and identical across
+    transports, which ship bit-exact partials.  The reduction records
+    ``(g - 1) * payload`` operations under the ``"allreduce"`` category —
+    the communication volume the alpha-beta model of
+    :func:`repro.device.cluster.allreduce_time` charges for — and records
+    nothing for a single shard, matching the model's ``g = 1`` short
+    circuit.
+    """
+    if not partials:
+        raise ConfigurationError("allreduce_sum needs at least one partial")
+    arrays = [to_numpy(p) for p in partials]
+    out = np.array(arrays[0], copy=True)
+    for arr in arrays[1:]:
+        out += arr
+    if len(arrays) > 1:
+        record_ops("allreduce", (len(arrays) - 1) * out.size)
+    bk = bk if bk is not None else get_backend()
+    return bk.asarray(out)
+
+
+class ShardWorker:
+    """Worker-side state and execution scope of one shard.
+
+    Lives wherever the shard runs: for the thread transport this *is* the
+    executor object; for the process transport one instance is built
+    inside each child process over shared-memory views.
+
+    Parameters
+    ----------
+    shard_id:
+        Position of this shard in the owning plan.
+    backend:
+        The :class:`~repro.backend.ArrayBackend` instance this worker
+        owns; all of its array state lives there.
+    centers:
+        Shard's center rows ``(n_i, d)`` (any array convertible by the
+        backend).
+    weights:
+        Optional shard weight rows ``(n_i, l)``.  When the source rows
+        are a NumPy slice and the backend is NumPy they are adopted as a
+        zero-copy *view* (updates write through to the source array);
+        otherwise a device copy is made and the transport mirrors
+        updates back.
+    """
+
+    def __init__(
+        self,
+        shard_id: int,
+        backend: ArrayBackend,
+        centers: Any,
+        weights: Any | None = None,
+    ) -> None:
+        self.shard_id = int(shard_id)
+        self.backend = backend
+        native = backend.asarray(centers)
+        self.centers = backend.as_2d(native)
+        self.weights_is_view = False
+        if weights is None:
+            self.weights = None
+        else:
+            self.weights = backend.asarray(weights)
+            self.weights_is_view = self.weights is weights or (
+                isinstance(self.weights, np.ndarray)
+                and isinstance(weights, np.ndarray)
+                and np.shares_memory(self.weights, weights)
+            )
+            if self.weights.shape[0] != self.centers.shape[0]:
+                raise ConfigurationError(
+                    f"shard {shard_id}: weights rows "
+                    f"({self.weights.shape[0]}) must match centers "
+                    f"({self.centers.shape[0]})"
+                )
+        #: Center squared norms, reused by every kernel block against this
+        #: shard (see the ``z_sq_norms`` threading in the kernel API).
+        self.center_sq_norms = backend.row_sq_norms(self.centers)
+        #: Private meter; every operation this worker performs is recorded
+        #: here (worker threads/processes carry no ambient meters).
+        self.meter = OpMeter()
+        #: High-water mark of this shard's block-workspace scratch.
+        self.workspace_peak = 0
+        #: Per-fit context pushed by the caller (kernel, subsample
+        #: indices, ...) via the transport's state broadcast/scatter.
+        self.state: dict[str, Any] = {}
+        #: In-flight kernel blocks keyed by workspace slot: a *form* task
+        #: stashes the block here so the matching *contract* task can
+        #: consume it without the block ever crossing the transport.
+        self.blocks: dict[int, Any] = {}
+
+    # ------------------------------------------------------------- geometry
+    @property
+    def n_centers(self) -> int:
+        return self.centers.shape[0]
+
+    @property
+    def resident_scalars(self) -> int:
+        """Scalars held resident by this shard (centers + weights), the
+        per-device ``S_G`` charge of the cluster memory model."""
+        scalars = self.centers.shape[0] * self.centers.shape[1]
+        if self.weights is not None:
+            w = self.weights
+            scalars += w.shape[0] * (w.shape[1] if w.ndim == 2 else 1)
+        return int(scalars)
+
+    # ------------------------------------------------------------ execution
+    def run(
+        self,
+        fn: Callable[..., Any],
+        args: tuple = (),
+        kwargs: dict | None = None,
+        precision: np.dtype | None = None,
+    ) -> Any:
+        """Run ``fn(self, *args, **kwargs)`` under this shard's backend
+        scope, the caller's explicit precision (if any) and this shard's
+        private meter.  The precision is re-established here because the
+        caller's :func:`~repro.config.use_precision` scope is
+        thread-local — the sharded computation must honor the same
+        working dtype as its unsharded equivalent."""
+        scope = (
+            use_precision(precision)
+            if precision is not None
+            else contextlib.nullcontext()
+        )
+        with scope, use_backend(self.backend), meter_scope(self.meter):
+            try:
+                return fn(self, *args, **(kwargs or {}))
+            finally:
+                self.workspace_peak = max(
+                    self.workspace_peak, block_workspace().peak_scalars
+                )
+
+    def run_metered(
+        self,
+        fn: Callable[..., Any],
+        args: tuple = (),
+        kwargs: dict | None = None,
+        precision: np.dtype | None = None,
+    ) -> tuple[Any, dict[str, int]]:
+        """Like :meth:`run`, but returns ``(result, op_delta)`` where
+        ``op_delta`` is exactly the ops ``fn`` recorded on this shard's
+        meter — the relay payload of :class:`PendingMap`."""
+        before = self.meter.as_dict()
+        result = self.run(fn, args, kwargs, precision)
+        delta = {
+            category: ops - before.get(category, 0)
+            for category, ops in self.meter.as_dict().items()
+        }
+        return result, {c: d for c, d in delta.items() if d}
+
+    def drain_workspace(self) -> None:
+        """Fold the pooled scratch high-water mark into
+        :attr:`workspace_peak` and drop the buffers (must run on the
+        shard's own worker — workspaces are thread-local)."""
+        ws = block_workspace()
+        self.workspace_peak = max(self.workspace_peak, ws.peak_scalars)
+        ws.reset()
+        self.blocks.clear()
+
+
+class PendingMap:
+    """One in-flight collective step across all shards.
+
+    Returned by :meth:`ShardTransport.map_async`; the work is already
+    queued on every worker's FIFO when this object exists.
+    :meth:`result` barriers, relays the per-shard op-count deltas to the
+    meters active on the *calling* thread (once, however often it is
+    called) and returns the per-shard results in shard order — so
+    awaiting the future on the thread that will consume the values keeps
+    aggregate op counts identical to the unsharded computation.
+    """
+
+    def __init__(self, futures: Sequence[Future]) -> None:
+        self._futures: list[Future] | None = list(futures)
+        self._results: list[Any] = []
+
+    def result(self) -> list[Any]:
+        if self._futures is not None:
+            pairs = [f.result() for f in self._futures]
+            self._futures = None
+            self._results = [result for result, _ in pairs]
+            merged: dict[str, int] = {}
+            for _, delta in pairs:
+                for category, ops in delta.items():
+                    merged[category] = merged.get(category, 0) + ops
+            relay_op_counts(merged)
+        return self._results
+
+
+# ---------------------------------------------------------------------------
+# Built-in tasks shared by every transport (module-level: picklable).
+# ---------------------------------------------------------------------------
+
+
+def _update_state_task(worker: ShardWorker, items: dict[str, Any]) -> None:
+    worker.state.update(items)
+
+
+def _drain_workspace_task(worker: ShardWorker) -> None:
+    worker.drain_workspace()
+
+
+def _push_rows_task(
+    worker: ShardWorker,
+    parts: Sequence[tuple[np.ndarray, np.ndarray]],
+    rows: np.ndarray,
+) -> None:
+    """Apply updated weight rows on a shard holding a device copy (no-op
+    for zero-copy-view shards, which already see the update)."""
+    positions, local = parts[worker.shard_id]
+    if positions.size and not worker.weights_is_view:
+        worker.weights[local] = worker.backend.asarray(
+            rows[positions], dtype=worker.backend.dtype_of(worker.weights)
+        )
+
+
+class ShardTransport(abc.ABC):
+    """Caller-side engine driving ``g`` shard workers somewhere.
+
+    Implementations own the workers' lifetime and the channel that moves
+    tasks, results and weight rows between the caller and the shards.
+    Every transport must preserve two invariants: per-worker FIFO task
+    order (see the module docstring) and bit-exact task results — the
+    transport moves bytes, it never re-computes.
+    """
+
+    #: Registry name ("thread", "process"); also keys the cluster cost
+    #: model's per-transport link cost
+    #: (:func:`repro.device.cluster.transport_interconnect`).
+    name: str = "abstract"
+
+    plan: ShardPlan
+    #: Caller-side executor handles, one per shard, in shard order.  Their
+    #: concrete type is transport-specific but all expose ``shard_id``,
+    #: ``n_centers``, ``resident_scalars``, ``workspace_peak``,
+    #: ``weights`` (host-visible or None), ``weights_is_view`` and
+    #: ``submit``/``submit_metered``.
+    executors: list
+
+    @property
+    def g(self) -> int:
+        return self.plan.g
+
+    # ------------------------------------------------------------ execution
+    def submit(self, shard_id: int, fn: Callable[..., Any], *args: Any, **kwargs: Any) -> Future:
+        """Queue ``fn(worker, *args, **kwargs)`` on one shard's worker;
+        the future resolves to the task's result."""
+        return self.executors[shard_id].submit(fn, *args, **kwargs)
+
+    def map_async(self, fn: Callable[..., Any], *args: Any, **kwargs: Any) -> PendingMap:
+        """Queue ``fn(worker, *args, **kwargs)`` on every shard *without
+        barriering*; returns a :class:`PendingMap` to be awaited when
+        (and where) the values are consumed."""
+        return PendingMap(
+            [ex.submit_metered(fn, *args, **kwargs) for ex in self.executors]
+        )
+
+    def map(self, fn: Callable[..., Any], *args: Any, **kwargs: Any) -> list[Any]:
+        """Run ``fn(worker, *args, **kwargs)`` on every shard in parallel;
+        barriers and relays op-count deltas (see :class:`PendingMap`)."""
+        return self.map_async(fn, *args, **kwargs).result()
+
+    # ----------------------------------------------------------- collective
+    def allreduce(self, partials: Sequence[Any], bk: ArrayBackend | None = None) -> Any:
+        """Combine per-shard partials into the full result on the
+        caller's backend; default is the host-side :func:`allreduce_sum`
+        (transports with a real collective fabric override)."""
+        return allreduce_sum(partials, bk=bk)
+
+    # ----------------------------------------------------------- state push
+    def broadcast_state(self, **items: Any) -> None:
+        """Merge ``items`` into every worker's ``state`` dict (barriers;
+        values must be picklable for cross-process transports)."""
+        self.map(_update_state_task, items)
+
+    def scatter_state(self, key: str, values: Sequence[Any]) -> None:
+        """Set ``state[key]`` to a *different* value per shard."""
+        if len(values) != self.g:
+            raise ConfigurationError(
+                f"scatter_state needs {self.g} values, got {len(values)}"
+            )
+        futures = [
+            ex.submit(_update_state_task, {key: value})
+            for ex, value in zip(self.executors, values)
+        ]
+        for f in futures:
+            f.result()
+
+    # -------------------------------------------------------------- weights
+    @property
+    def needs_mirror(self) -> bool:
+        """True when updated weight rows must be pushed back to the
+        shards (False when every shard adopted a zero-copy view of the
+        caller's weights)."""
+        return any(not ex.weights_is_view for ex in self.executors)
+
+    @property
+    def needs_final_sync(self) -> bool:
+        """True when a full :meth:`set_weights` is required after the
+        caller restored an out-of-band weight snapshot."""
+        return self.needs_mirror
+
+    def mirror_rows(
+        self, global_idx: np.ndarray, rows: np.ndarray
+    ) -> PendingMap | None:
+        """Push updated weight rows (``rows[k]`` is global row
+        ``global_idx[k]``) to the shards *without barriering*.
+
+        Default implementation queues a push task per shard and returns
+        its :class:`PendingMap`; FIFO worker order guarantees the rows
+        land before any later-queued contraction.  Shared-memory
+        transports override with a direct write and return ``None``.
+        The caller may await the returned map at any later barrier to
+        surface push errors — never to order the write.
+        """
+        if not self.needs_mirror:
+            return None
+        parts = self.plan.localize(np.asarray(global_idx))
+        return self.map_async(_push_rows_task, parts, rows)
+
+    def gather_weights(self) -> np.ndarray:
+        """Concatenate all shard weight rows back into one host array."""
+        parts = []
+        for ex in self.executors:
+            if ex.weights is None:
+                raise ConfigurationError("transport holds no weights")
+            parts.append(to_numpy(ex.weights))
+        return np.concatenate(parts, axis=0)
+
+    @abc.abstractmethod
+    def set_weights(self, weights: np.ndarray) -> None:
+        """Scatter a full ``(n, l)`` host weight array onto the shards
+        (barriers: on return every shard sees the new rows)."""
+
+    # ----------------------------------------------------------- accounting
+    @abc.abstractmethod
+    def op_counts(self) -> dict[str, int]:
+        """Op counts summed across all shard meters."""
+
+    def memory_report(self) -> dict[str, Any]:
+        """Per-shard and aggregate memory accounting in scalars."""
+        resident = [ex.resident_scalars for ex in self.executors]
+        peaks = [ex.workspace_peak for ex in self.executors]
+        return {
+            "resident_per_shard": resident,
+            "resident_total": int(sum(resident)),
+            "workspace_peak_per_shard": peaks,
+            "workspace_peak_total": int(sum(peaks)),
+        }
+
+    def reset_workspaces(self) -> None:
+        """Drop pooled scratch buffers on every shard's worker (keeps the
+        workers alive)."""
+        self.map(_drain_workspace_task)
+
+    # ------------------------------------------------------------ lifecycle
+    @abc.abstractmethod
+    def close(self) -> None:
+        """Join/terminate every worker and release transport resources;
+        idempotent, and must succeed even after worker failures."""
+
+    def __enter__(self) -> "ShardTransport":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} g={getattr(self.plan, 'g', '?')}>"

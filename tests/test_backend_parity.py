@@ -197,6 +197,139 @@ class TestTrainingParity:
         assert counts["torch"] == counts["numpy"]
 
 
+@pytest.fixture(scope="module")
+def svm_problem():
+    """A small, well-separated 2-class problem: large margins make the
+    SMO pair selection and the Pegasos margin tests robust to sub-ulp
+    backend differences, so whole trajectories match across backends."""
+    gen = np.random.default_rng(5)
+    x = np.concatenate(
+        [
+            gen.standard_normal((40, 4)) + 3.0,
+            gen.standard_normal((40, 4)) - 3.0,
+        ]
+    )
+    y = np.concatenate([np.ones(40, dtype=np.intp), np.zeros(40, dtype=np.intp)])
+    return x, y
+
+
+@requires_torch
+class TestBaselineSolversParity:
+    """SMO and Pegasos — the last NumPy-only baselines — now evaluate
+    their kernels through the backend layer: the whole ``baselines/``
+    package is backend-clean."""
+
+    def test_smo_matches_numpy(self, svm_problem):
+        from repro.baselines import SMOSVM
+
+        x, y = svm_problem
+
+        def fit():
+            svm = SMOSVM(GaussianKernel(bandwidth=3.0), max_iter=2000)
+            svm.fit(x, y)
+            return svm
+
+        with use_backend("numpy"):
+            ref = fit()
+        with use_backend("torch"):
+            got = fit()
+        # Identical trajectories, not just similar solutions.
+        assert got.stats_.iterations == ref.stats_.iterations
+        assert got.converged_ == ref.converged_
+        np.testing.assert_allclose(
+            got.dual_coef_, ref.dual_coef_, atol=1e-8, rtol=0
+        )
+        np.testing.assert_allclose(
+            got.intercepts_, ref.intercepts_, atol=1e-8, rtol=0
+        )
+        d_ref = np.asarray(ref.decision_function(x))
+        with use_backend("torch"):
+            d_got = to_numpy(got.decision_function(x))
+        np.testing.assert_allclose(d_got, d_ref, atol=1e-6, rtol=0)
+
+    def test_pegasos_matches_numpy(self, svm_problem):
+        from repro.baselines import PegasosSVM
+
+        x, y = svm_problem
+
+        def fit():
+            svm = PegasosSVM(
+                GaussianKernel(bandwidth=3.0), reg_lambda=1e-3,
+                batch_size=16, seed=0,
+            )
+            svm.fit(x, y, epochs=3)
+            return svm
+
+        with use_backend("numpy"):
+            ref = fit()
+        with use_backend("torch"):
+            got = fit()
+        np.testing.assert_allclose(
+            np.asarray(to_numpy(got.model_.weights)),
+            np.asarray(ref.model_.weights),
+            atol=1e-10,
+            rtol=0,
+        )
+        assert got.classification_error(x, y) == ref.classification_error(x, y)
+
+    def test_smo_op_counts_backend_invariant(self, svm_problem):
+        from repro.baselines import SMOSVM
+
+        x, y = svm_problem
+        counts = {}
+        for name in available_backends():
+            with use_backend(name), meter_scope() as meter:
+                SMOSVM(GaussianKernel(bandwidth=3.0), max_iter=500).fit(x, y)
+            counts[name] = meter.as_dict()
+        assert counts["torch"] == counts["numpy"]
+
+
+class TestBaselineSolversInShardExecutors:
+    """Backend-clean baselines run unchanged inside shard executors (each
+    owning a private backend instance) — always-on NumPy coverage."""
+
+    def test_smo_inside_shard_executor(self, svm_problem):
+        from repro.baselines import SMOSVM
+        from repro.shard import ShardGroup
+
+        x, y = svm_problem
+        ref = SMOSVM(GaussianKernel(bandwidth=3.0), max_iter=500).fit(x, y)
+        with ShardGroup.build(x, g=2) as group:
+            fitted = group.map(
+                lambda worker: SMOSVM(
+                    GaussianKernel(bandwidth=3.0), max_iter=500
+                ).fit(x, y)
+            )
+        for svm in fitted:
+            np.testing.assert_allclose(
+                svm.dual_coef_, ref.dual_coef_, atol=1e-12, rtol=0
+            )
+
+    def test_pegasos_inside_shard_executor(self, svm_problem):
+        from repro.baselines import PegasosSVM
+        from repro.shard import ShardGroup
+
+        x, y = svm_problem
+        ref = PegasosSVM(
+            GaussianKernel(bandwidth=3.0), reg_lambda=1e-3, batch_size=16,
+            seed=0,
+        ).fit(x, y, epochs=2)
+        with ShardGroup.build(x, g=2) as group:
+            fitted = group.map(
+                lambda worker: PegasosSVM(
+                    GaussianKernel(bandwidth=3.0), reg_lambda=1e-3,
+                    batch_size=16, seed=0,
+                ).fit(x, y, epochs=2)
+            )
+        for svm in fitted:
+            np.testing.assert_allclose(
+                np.asarray(svm.model_.weights),
+                np.asarray(ref.model_.weights),
+                atol=1e-12,
+                rtol=0,
+            )
+
+
 # --------------------------------------------------------------------------
 # Backend API contract (always runs, torch or not)
 # --------------------------------------------------------------------------

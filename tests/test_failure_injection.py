@@ -2,11 +2,15 @@
 
 A production library's error paths are part of its contract: device
 out-of-memory must point at the offending allocation, bad inputs must be
-rejected before they poison the optimizer state, and solver caps must
-leave honest diagnostics rather than silent wrong answers.
+rejected before they poison the optimizer state, solver caps must leave
+honest diagnostics rather than silent wrong answers — and a shard worker
+process dying mid-epoch must surface as a clean
+:class:`~repro.exceptions.ShardError` (no hang, no leaked shared-memory
+segments), never as a wedged training loop.
 """
 
 import math
+import os
 
 import numpy as np
 import pytest
@@ -14,8 +18,9 @@ import pytest
 from repro.baselines import Falkon, KernelSGD, SMOSVM
 from repro.core.eigenpro2 import EigenPro2
 from repro.device import DeviceSpec, SimulatedDevice
-from repro.exceptions import ConfigurationError, DeviceMemoryError
+from repro.exceptions import ConfigurationError, DeviceMemoryError, ShardError
 from repro.kernels import GaussianKernel
+from repro.shard import process_transport_available
 
 
 def tiny_memory_device(scalars: float) -> SimulatedDevice:
@@ -126,6 +131,169 @@ class TestSolverCapsAreHonest:
         t.fit(x, y, epochs=3)
         series = t.history_.series("train_mse")
         assert series[-1] > series[0]
+
+
+def _noop_task(worker):
+    return worker.shard_id
+
+
+def _exit_abruptly_task(worker):
+    # Simulates a worker crash (OOM-killed, segfault): the process
+    # vanishes mid-task without replying.
+    os._exit(3)
+
+
+def _raise_task(worker):
+    raise ValueError("worker-side failure")
+
+
+_KILL_COUNTER = {"n": 0}
+
+# Bound at import time: forked children inherit the monkeypatched trainer
+# module, so the wrapper below must call the *original* form task, not
+# whatever the module attribute points at after the patch.
+from repro.shard.trainer import _form_block_task as _ORIGINAL_FORM_TASK  # noqa: E402
+
+
+def _form_block_then_die_task(worker, xb, xb_sq_norms, slot):
+    # Module-level (hence picklable) wrapper around the trainer's form
+    # task that crashes shard 1's worker after a couple of iterations —
+    # a mid-epoch worker death.  The counter is per-process: each forked
+    # child counts its own form calls.
+    _KILL_COUNTER["n"] += 1
+    if _KILL_COUNTER["n"] > 2 and worker.shard_id == 1:
+        os._exit(5)
+    return _ORIGINAL_FORM_TASK(worker, xb, xb_sq_norms, slot)
+
+
+def _leaked_segment_names(group):
+    return [shm.name for shm in group.transport._segments]
+
+
+def _assert_segments_unlinked(names):
+    from multiprocessing import shared_memory
+
+    for name in names:
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name)
+
+
+needs_process = pytest.mark.skipif(
+    not process_transport_available(),
+    reason="platform lacks fork-safe shared memory",
+)
+
+
+@needs_process
+class TestProcessTransportFailure:
+    """Killing a process-transport worker mid-epoch must raise a clean
+    ShardError — no hang, no leaked shared-memory segments — and worker-
+    side exceptions must cross the transport intact."""
+
+    def _group(self, g=2):
+        from repro.shard import ShardGroup
+
+        rng = np.random.default_rng(0)
+        centers = rng.standard_normal((64, 4))
+        weights = rng.standard_normal((64, 2))
+        return ShardGroup.build(
+            centers, weights, g=g, transport="process",
+            kernel=GaussianKernel(bandwidth=2.0),
+        )
+
+    def test_killed_worker_raises_shard_error(self):
+        group = self._group()
+        names = _leaked_segment_names(group)
+        try:
+            assert group.map(_noop_task) == [0, 1]
+            group.executors[1].process.kill()
+            with pytest.raises(ShardError, match="shard 1.*died"):
+                group.map(_noop_task)
+            # Subsequent submissions fail fast, not by timeout.
+            with pytest.raises(ShardError, match="unavailable"):
+                group.transport.submit(1, _noop_task).result()
+            # The surviving shard still works.
+            assert group.transport.submit(0, _noop_task).result() == 0
+        finally:
+            group.close()
+        _assert_segments_unlinked(names)
+
+    def test_worker_dying_mid_task_raises(self):
+        group = self._group()
+        names = _leaked_segment_names(group)
+        try:
+            with pytest.raises(ShardError, match="died"):
+                group.map(_exit_abruptly_task)
+        finally:
+            group.close()
+        _assert_segments_unlinked(names)
+
+    def test_worker_exception_crosses_transport(self):
+        with self._group() as group:
+            with pytest.raises(ValueError, match="worker-side failure"):
+                group.map(_raise_task)
+            # The failure was the task's, not the transport's: the
+            # workers survive and keep serving.
+            assert group.map(_noop_task) == [0, 1]
+
+    def test_close_is_idempotent_and_unlinks(self):
+        group = self._group()
+        names = _leaked_segment_names(group)
+        group.close()
+        group.close()
+        _assert_segments_unlinked(names)
+        with pytest.raises(ConfigurationError, match="closed"):
+            group.transport.submit(0, _noop_task)
+
+    def test_trainer_survives_worker_death(self, small_dataset):
+        """A worker killed after training: the next sharded operation
+        raises ShardError, close() completes, segments are unlinked."""
+        from repro.shard import ShardedEigenPro2
+
+        trainer = ShardedEigenPro2(
+            GaussianKernel(bandwidth=2.5),
+            n_shards=2,
+            transport="process",
+            s=60,
+            batch_size=32,
+            seed=0,
+        )
+        try:
+            trainer.fit(small_dataset.x_train, small_dataset.y_train, epochs=1)
+            names = _leaked_segment_names(trainer.shard_group_)
+            trainer.shard_group_.executors[0].process.kill()
+            with pytest.raises(ShardError):
+                trainer.predict_sharded(small_dataset.x_test)
+        finally:
+            trainer.close()
+        _assert_segments_unlinked(names)
+
+    def test_fit_failure_propagates_original_error(self, small_dataset):
+        """A worker death mid-fit surfaces the ShardError (not a masking
+        secondary failure from the cleanup path)."""
+        from repro.shard import ShardedEigenPro2
+        from repro.shard import trainer as shard_trainer
+
+        trainer = ShardedEigenPro2(
+            GaussianKernel(bandwidth=2.5),
+            n_shards=2,
+            transport="process",
+            s=60,
+            batch_size=32,
+            seed=0,
+        )
+        original_form = shard_trainer._form_block_task
+        shard_trainer._form_block_task = _form_block_then_die_task
+        try:
+            with pytest.raises(ShardError, match="died"):
+                trainer.fit(
+                    small_dataset.x_train, small_dataset.y_train, epochs=2
+                )
+            names = _leaked_segment_names(trainer.shard_group_)
+        finally:
+            shard_trainer._form_block_task = original_form
+            trainer.close()
+        _assert_segments_unlinked(names)
 
 
 class TestDegenerateGeometry:

@@ -1,0 +1,144 @@
+"""Property-based tests for :class:`repro.shard.ShardPlan`.
+
+The plan is the static foundation the whole transport layer trusts: every
+transport slices centers/weights by ``plan.slices`` and reassembles
+scatter/gather round-trips by ``plan.localize``.  Hypothesis pins the
+invariants over the full (n, g) lattice — balanced ragged tails, the
+n < g rejection, and exact global↔local index round-trips — rather than
+the handful of fixed cases in ``tests/test_shard_parity.py``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.exceptions import ConfigurationError
+from repro.shard import ShardPlan
+
+SETTINGS = settings(max_examples=120, deadline=None)
+
+
+@st.composite
+def n_and_g(draw):
+    n = draw(st.integers(min_value=1, max_value=257))
+    g = draw(st.integers(min_value=1, max_value=n))
+    return n, g
+
+
+@st.composite
+def plan_and_indices(draw):
+    n, g = draw(n_and_g())
+    idx = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=n - 1),
+            min_size=0,
+            max_size=64,
+        )
+    )
+    return ShardPlan.contiguous(n, g), np.asarray(idx, dtype=np.intp)
+
+
+class TestPartitionProperties:
+    @SETTINGS
+    @given(n_and_g())
+    def test_slices_cover_range_exactly_once(self, ng):
+        """The slices tile [0, n): every row appears in exactly one
+        shard, in order."""
+        n, g = ng
+        plan = ShardPlan.contiguous(n, g)
+        rows = np.concatenate([np.arange(n)[s] for s in plan.slices])
+        np.testing.assert_array_equal(rows, np.arange(n))
+
+    @SETTINGS
+    @given(n_and_g())
+    def test_bounds_and_sizes_consistent(self, ng):
+        n, g = ng
+        plan = ShardPlan.contiguous(n, g)
+        assert plan.g == g
+        assert plan.bounds[0] == 0 and plan.bounds[-1] == n
+        assert list(plan.bounds) == sorted(plan.bounds)
+        assert sum(plan.sizes) == n
+        assert len(plan.sizes) == g
+
+    @SETTINGS
+    @given(n_and_g())
+    def test_balanced_even_with_ragged_tail(self, ng):
+        """Shard sizes differ by at most one row, however ragged n/g is,
+        and no shard is empty (g <= n)."""
+        n, g = ng
+        sizes = ShardPlan.contiguous(n, g).sizes
+        assert max(sizes) - min(sizes) <= 1
+        assert min(sizes) >= 1
+        # The ragged remainder lands on the leading shards.
+        assert list(sizes) == sorted(sizes, reverse=True)
+
+    @SETTINGS
+    @given(n_and_g())
+    def test_shard_of_agrees_with_slices(self, ng):
+        n, g = ng
+        plan = ShardPlan.contiguous(n, g)
+        for s, sl in enumerate(plan.slices):
+            for i in {sl.start, sl.stop - 1}:
+                assert plan.shard_of(i) == s
+
+    @SETTINGS
+    @given(st.integers(min_value=1, max_value=64), st.integers(min_value=1, max_value=64))
+    def test_n_smaller_than_g_rejected(self, n, extra):
+        """g cannot exceed n: an empty shard would break the transports'
+        one-worker-per-shard contract; callers clamp first (as the
+        sharded trainer does)."""
+        with pytest.raises(ConfigurationError):
+            ShardPlan.contiguous(n, n + extra)
+
+    @SETTINGS
+    @given(st.integers(min_value=1, max_value=64))
+    def test_degenerate_counts_rejected(self, n):
+        with pytest.raises(ConfigurationError):
+            ShardPlan.contiguous(n, 0)
+        with pytest.raises(ConfigurationError):
+            ShardPlan.contiguous(0, 1)
+
+
+class TestLocalizeProperties:
+    @SETTINGS
+    @given(plan_and_indices())
+    def test_global_local_roundtrip(self, plan_idx):
+        """localize splits any (unsorted, repeated) global index array so
+        that local + bounds[shard] recovers the original in place."""
+        plan, idx = plan_idx
+        recovered = np.full(idx.shape, -1, dtype=idx.dtype)
+        seen_positions = []
+        for s, (positions, local) in enumerate(plan.localize(idx)):
+            assert positions.shape == local.shape
+            if local.size:
+                assert local.min() >= 0
+                assert local.max() < plan.sizes[s]
+            recovered[positions] = local + plan.bounds[s]
+            seen_positions.append(positions)
+        np.testing.assert_array_equal(recovered, idx)
+        # Each position is owned by exactly one shard.
+        all_positions = np.concatenate(seen_positions)
+        assert all_positions.size == idx.size
+        assert np.unique(all_positions).size == idx.size
+
+    @SETTINGS
+    @given(plan_and_indices())
+    def test_localize_owner_matches_shard_of(self, plan_idx):
+        plan, idx = plan_idx
+        for s, (positions, _) in enumerate(plan.localize(idx)):
+            for p in positions[:8]:
+                assert plan.shard_of(int(idx[p])) == s
+
+    @SETTINGS
+    @given(n_and_g())
+    def test_out_of_range_rejected(self, ng):
+        n, g = ng
+        plan = ShardPlan.contiguous(n, g)
+        with pytest.raises(ConfigurationError):
+            plan.localize(np.array([n]))
+        with pytest.raises(ConfigurationError):
+            plan.localize(np.array([-1]))
+        with pytest.raises(ConfigurationError):
+            plan.shard_of(n)

@@ -1,0 +1,307 @@
+"""Cross-transport conformance suite for the shard transport layer.
+
+One parameterized suite pins every transport (thread, process — a future
+NCCL executor joins the same list) to the same contract:
+
+- **bitwise parity across transports**: for a fixed shard plan, weights,
+  histories and sharded-op results are *bit-identical* between
+  transports — every transport runs the same task functions on the same
+  shard slices, and a transport moves bytes, it never re-computes;
+- **parity with the unsharded trainer**: exact (bitwise) at ``g = 1``;
+  for ``g > 1`` within 1e-6 of scale (the per-shard partial sums
+  necessarily associate the floating-point reduction differently than
+  one full GEMM);
+- **exact aggregate op counts** vs the unsharded trainer for every
+  compute category, with communication metered separately under
+  ``"allreduce"`` (zero at ``g = 1``);
+- **asynchronous mirror-back**: the process transport's row mirror is a
+  direct shared-memory write — visible to the workers, no task, no
+  barrier;
+- seeded runs are reproducible per transport.
+
+``REPRO_SHARD_G`` restricts the shard counts (single value or comma
+list, e.g. ``REPRO_SHARD_G=2`` or ``REPRO_SHARD_G=1,2,4``);
+``REPRO_SHARD_TRANSPORT`` restricts the transports — both are how the
+CI matrix splits the suite.  Process-transport cases auto-skip on
+platforms without fork-safe shared memory.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.core.eigenpro2 import EigenPro2
+from repro.device.presets import titan_xp
+from repro.exceptions import ConfigurationError
+from repro.instrument import meter_scope
+from repro.kernels import GaussianKernel, LaplacianKernel
+from repro.shard import (
+    ShardGroup,
+    ShardedEigenPro2,
+    available_transports,
+    process_transport_available,
+    sharded_kernel_matvec,
+    sharded_predict,
+)
+
+_ENV_G = os.environ.get("REPRO_SHARD_G")
+G_VALUES = (
+    [int(g) for g in _ENV_G.split(",")] if _ENV_G else [1, 2, 4]
+)
+_ENV_T = os.environ.get("REPRO_SHARD_TRANSPORT")
+ALL_TRANSPORTS = ["thread", "process"]
+TRANSPORTS = (
+    [t for t in ALL_TRANSPORTS if t in _ENV_T.split(",")]
+    if _ENV_T
+    else ALL_TRANSPORTS
+)
+
+shard_counts = pytest.mark.parametrize("g", G_VALUES)
+transports = pytest.mark.parametrize(
+    "transport",
+    [
+        pytest.param(
+            t,
+            marks=pytest.mark.skipif(
+                t == "process" and not process_transport_available(),
+                reason="platform lacks fork-safe shared memory",
+            ),
+        )
+        for t in TRANSPORTS
+    ],
+)
+
+needs_process = pytest.mark.skipif(
+    not process_transport_available(),
+    reason="platform lacks fork-safe shared memory",
+)
+
+KW = dict(s=80, batch_size=32, seed=0, damping=0.9)
+BANDWIDTH = 2.5
+
+
+# Module-level task (picklable) used by the mirror write-through test.
+def _read_weight_rows_task(worker, local_idx):
+    return np.asarray(worker.weights[local_idx]).copy()
+
+
+@pytest.fixture(scope="module")
+def problem():
+    rng = np.random.default_rng(13)
+    centers = rng.standard_normal((211, 6))
+    weights = rng.standard_normal((211, 3))
+    x = rng.standard_normal((48, 6))
+    return centers, weights, x
+
+
+def _fit_sharded(ds, transport, g, epochs=2):
+    trainer = ShardedEigenPro2(
+        GaussianKernel(bandwidth=BANDWIDTH),
+        n_shards=g,
+        transport=transport,
+        device=titan_xp(),
+        **KW,
+    )
+    try:
+        with meter_scope() as meter:
+            trainer.fit(ds.x_train, ds.y_train, epochs=epochs)
+        alpha = np.asarray(trainer._alpha).copy()
+        history = trainer.history_.series("train_mse")
+        params = trainer.params_
+        step = trainer.step_size_
+    finally:
+        trainer.close()
+    return alpha, history, meter.as_dict(), params, step
+
+
+@pytest.fixture(scope="module")
+def unsharded(small_dataset):
+    with meter_scope() as meter:
+        ref = EigenPro2(
+            GaussianKernel(bandwidth=BANDWIDTH), device=titan_xp(), **KW
+        )
+        ref.fit(small_dataset.x_train, small_dataset.y_train, epochs=2)
+    return ref, meter.as_dict()
+
+
+class TestTrainerConformance:
+    @shard_counts
+    @needs_process
+    def test_transports_bitwise_identical(self, small_dataset, g):
+        """The tentpole invariant: thread and process transports produce
+        bit-identical weights, histories and op counts."""
+        a_thread, h_thread, m_thread, p_thread, s_thread = _fit_sharded(
+            small_dataset, "thread", g
+        )
+        a_proc, h_proc, m_proc, p_proc, s_proc = _fit_sharded(
+            small_dataset, "process", g
+        )
+        np.testing.assert_array_equal(a_proc, a_thread)
+        assert h_proc == h_thread
+        assert m_proc == m_thread
+        assert p_proc == p_thread and s_proc == s_thread
+
+    @shard_counts
+    @transports
+    def test_matches_unsharded_trainer(self, small_dataset, unsharded, g, transport):
+        ref, _ = unsharded
+        alpha, history, _, params, step = _fit_sharded(
+            small_dataset, transport, g
+        )
+        ref_alpha = np.asarray(ref._alpha)
+        if g == 1:
+            # One shard runs the very same arithmetic: exact.
+            np.testing.assert_array_equal(alpha, ref_alpha)
+        else:
+            scale = max(float(np.abs(ref_alpha).max()), 1.0)
+            np.testing.assert_allclose(
+                alpha, ref_alpha, atol=1e-6 * scale, rtol=0
+            )
+        np.testing.assert_allclose(
+            history, ref.history_.series("train_mse"), rtol=1e-6
+        )
+        # Selection (Steps 1-3) is identical: same device, same seed.
+        assert params.q_adjusted == ref.params_.q_adjusted
+        assert step == ref.step_size_
+
+    @shard_counts
+    @transports
+    def test_aggregate_op_counts_exact(self, small_dataset, unsharded, g, transport):
+        _, ref_counts = unsharded
+        _, _, counts, _, _ = _fit_sharded(small_dataset, transport, g)
+        for category, ops in ref_counts.items():
+            assert counts.get(category) == ops, category
+        # Communication is metered separately and vanishes at g=1.
+        extra = set(counts) - set(ref_counts)
+        assert extra <= {"allreduce"}
+        if g == 1:
+            assert counts.get("allreduce", 0) == 0
+        else:
+            assert counts.get("allreduce", 0) > 0
+
+    @transports
+    def test_seeded_runs_reproducible(self, small_dataset, transport):
+        a1, h1, m1, _, _ = _fit_sharded(small_dataset, transport, 2, epochs=1)
+        a2, h2, m2, _, _ = _fit_sharded(small_dataset, transport, 2, epochs=1)
+        np.testing.assert_array_equal(a1, a2)
+        assert h1 == h2 and m1 == m2
+
+
+class TestShardedOpsConformance:
+    @shard_counts
+    @needs_process
+    def test_matvec_bitwise_across_transports(self, problem, g):
+        centers, weights, x = problem
+        kernel = LaplacianKernel(bandwidth=2.0)
+        results = {}
+        for transport in ("thread", "process"):
+            with ShardGroup.build(
+                centers, weights, g=g, kernel=kernel, transport=transport
+            ) as group:
+                results[transport] = np.asarray(
+                    sharded_kernel_matvec(kernel, x, group)
+                )
+        np.testing.assert_array_equal(
+            results["process"], results["thread"]
+        )
+
+    @shard_counts
+    @transports
+    def test_predict_and_meter(self, problem, g, transport):
+        from repro.kernels.ops import kernel_matvec
+
+        centers, weights, x = problem
+        kernel = GaussianKernel(bandwidth=2.0)
+        with meter_scope() as ref_meter:
+            ref = kernel_matvec(kernel, x, centers, weights)
+        with ShardGroup.build(
+            centers, weights, g=g, kernel=kernel, transport=transport
+        ) as group:
+            with meter_scope() as meter:
+                got = sharded_predict(group, x)
+            per_shard = group.op_counts()
+        np.testing.assert_allclose(got, ref, atol=1e-6, rtol=0)
+        for category in ("kernel_eval", "gemm"):
+            assert meter.counts[category].ops == ref_meter.counts[category].ops
+            assert per_shard[category] == ref_meter.counts[category].ops
+        allreduce = meter.as_dict().get("allreduce", 0)
+        if g == 1:
+            assert allreduce == 0
+        else:
+            assert allreduce == (g - 1) * x.shape[0] * weights.shape[1]
+
+
+class TestProcessMirrorBack:
+    """The async mirror contract: a direct shared-memory write, visible
+    to the workers, riding no task channel."""
+
+    @needs_process
+    def test_write_through_without_rpc(self, problem):
+        centers, weights, _ = problem
+        with ShardGroup.build(
+            centers, weights, g=2, transport="process"
+        ) as group:
+            before = [ex.rpc_count for ex in group.executors]
+            idx = np.array([0, 5, centers.shape[0] - 1])
+            rows = np.full((3, weights.shape[1]), 42.0)
+            assert group.mirror_rows(idx, rows) is None  # no PendingMap
+            # No task was queued for the mirror...
+            assert [ex.rpc_count for ex in group.executors] == before
+            # ...yet the workers observe the new rows.
+            parts = group.plan.localize(idx)
+            for shard_id, (positions, local) in enumerate(parts):
+                if not positions.size:
+                    continue
+                seen = group.transport.submit(
+                    shard_id, _read_weight_rows_task, local
+                ).result()
+                np.testing.assert_array_equal(seen, rows[positions])
+
+    @needs_process
+    def test_trainer_never_queues_mirror_tasks(self, small_dataset):
+        """End to end: a pipelined process-transport fit performs no
+        per-update mirror barrier — its RPC traffic is exactly the
+        form/contract (+ state setup and teardown) tasks."""
+        trainer = ShardedEigenPro2(
+            GaussianKernel(bandwidth=BANDWIDTH),
+            n_shards=2,
+            transport="process",
+            device=titan_xp(),
+            **KW,
+        )
+        try:
+            trainer.fit(small_dataset.x_train, small_dataset.y_train, epochs=1)
+            assert trainer._pending_mirror is None
+            iterations = trainer.history_.final.iterations
+            # Tasks per worker: broadcast + scatter state (2), form +
+            # contract per iteration (2 each), one workspace drain.
+            expected = 2 + 2 * iterations + 1
+            for ex in trainer.shard_group_.executors:
+                assert ex.rpc_count == expected
+        finally:
+            trainer.close()
+
+
+class TestTransportSelection:
+    def test_unknown_transport_rejected(self, problem):
+        centers, weights, _ = problem
+        with pytest.raises(ConfigurationError):
+            ShardGroup.build(centers, weights, g=2, transport="nccl")
+
+    @needs_process
+    def test_process_rejects_device_backends(self, problem):
+        centers, weights, _ = problem
+        with pytest.raises(ConfigurationError):
+            ShardGroup.build(
+                centers, weights, g=2, backends="torch:cpu",
+                transport="process",
+            )
+
+    def test_available_transports_lists_thread(self):
+        names = available_transports()
+        assert "thread" in names
+        if process_transport_available():
+            assert "process" in names
