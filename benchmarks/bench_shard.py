@@ -11,9 +11,11 @@ Two entry points:
 - pytest (``pytest benchmarks/bench_shard.py``): the thread-transport
   run recorded under ``benchmarks/results/``;
 - CLI (``python benchmarks/bench_shard.py --transport process``): any
-  transport, JSON results on stdout and under ``benchmarks/results/``
+  registered transport — or ``--transport all`` for one payload with a
+  run per *available* transport (what the CI bench-trajectory job
+  uploads) — JSON results on stdout and under ``benchmarks/results/``
   (``--smoke`` shrinks the workload for CI; exit status is non-zero if
-  a checked claim fails).
+  a checked claim fails, 2 if the requested transport is unavailable).
 """
 
 from __future__ import annotations
@@ -24,6 +26,11 @@ import pathlib
 import sys
 
 from repro.experiments import ShardValidationConfig, run_shard_validation
+from repro.shard.transport import (
+    available_transports,
+    registered_transports,
+    transport_available,
+)
 
 
 def test_shard_validation(benchmark, record_result):
@@ -39,8 +46,11 @@ def test_shard_validation(benchmark, record_result):
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
-        "--transport", default="thread", choices=["thread", "process"],
-        help="shard transport executing the engine side of the loop",
+        "--transport", default="thread",
+        choices=[*registered_transports(), "all"],
+        help="shard transport executing the engine side of the loop "
+        "(registry-discovered); 'all' runs every transport available on "
+        "this host and emits one payload with a run per transport",
     )
     parser.add_argument("--n", type=int, default=12_000)
     parser.add_argument("--m", type=int, default=512)
@@ -61,41 +71,70 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
 
-    cfg = ShardValidationConfig(
-        n=600 if args.smoke else args.n,
-        m=64 if args.smoke else args.m,
-        shard_counts=tuple(int(g) for g in args.shards.split(",")),
-        n_iterations=3 if args.smoke else args.iterations,
-        warmup=1 if args.smoke else args.warmup,
-        transport=args.transport,
-    )
-    result = run_shard_validation(cfg)
-    print(result.render(), file=sys.stderr)
+    if args.transport == "all":
+        transports = available_transports()
+    elif not transport_available(args.transport):
+        print(
+            f"transport {args.transport!r} is registered but not "
+            f"available on this host (available: "
+            f"{', '.join(available_transports())})",
+            file=sys.stderr,
+        )
+        return 2
+    else:
+        transports = [args.transport]
 
-    payload = {
-        "name": result.name,
-        "transport": args.transport,
-        "smoke": bool(args.smoke),
-        "rows": result.rows,
-        "claims": [
-            {
-                "claim_id": c.claim_id,
-                "holds": c.holds,
-                "measured": c.measured,
-            }
+    payloads = []
+    failed: list[str] = []
+    for transport in transports:
+        cfg = ShardValidationConfig(
+            n=600 if args.smoke else args.n,
+            m=64 if args.smoke else args.m,
+            shard_counts=tuple(int(g) for g in args.shards.split(",")),
+            n_iterations=3 if args.smoke else args.iterations,
+            warmup=1 if args.smoke else args.warmup,
+            transport=transport,
+        )
+        result = run_shard_validation(cfg)
+        print(result.render(), file=sys.stderr)
+        payloads.append({
+            "name": result.name,
+            "transport": transport,
+            "smoke": bool(args.smoke),
+            "rows": result.rows,
+            "claims": [
+                {
+                    "claim_id": c.claim_id,
+                    "holds": c.holds,
+                    "measured": c.measured,
+                }
+                for c in result.claims
+            ],
+            "notes": result.notes,
+        })
+        failed.extend(
+            f"{transport}:{c.claim_id}"
             for c in result.claims
-        ],
-        "notes": result.notes,
-    }
+            if c.holds is False
+        )
+
+    if args.transport == "all":
+        payload = {
+            "name": "shard-validation-all",
+            "smoke": bool(args.smoke),
+            "transports": transports,
+            "runs": payloads,
+        }
+    else:
+        payload = payloads[0]
     out = args.out
     if out is None:
         results_dir = pathlib.Path(__file__).parent / "results"
         results_dir.mkdir(exist_ok=True)
-        out = results_dir / f"{result.name}.json"
+        out = results_dir / f"{payload['name']}.json"
     out.write_text(json.dumps(payload, indent=2) + "\n")
     print(json.dumps(payload))
 
-    failed = [c.claim_id for c in result.claims if c.holds is False]
     if failed:
         print(f"claims failed: {failed}", file=sys.stderr)
         return 1

@@ -1,0 +1,100 @@
+"""Merge benchmark JSON payloads into one ``bench-trajectory.json``.
+
+The CI trajectory job runs the smoke benchmarks that emit machine-
+readable results today (``bench_shard.py --transport all --smoke`` and
+the pipeline-overlap smoke of ``bench_pipeline.py``) and folds their
+payloads into a single artifact stamped with the commit SHA and a UTC
+timestamp::
+
+    python benchmarks/merge_trajectory.py --out bench-trajectory.json \
+        /tmp/shard-smoke.json benchmarks/results/pipeline.json
+
+Uploading that artifact per commit is what turns isolated smoke numbers
+into a *trajectory*: download the artifacts of two commits and diff the
+measured per-iteration times per transport.  The schema is one flat
+object so downstream tooling never needs this script to read it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import subprocess
+import sys
+from datetime import datetime, timezone
+
+SCHEMA = "repro-bench-trajectory/v1"
+
+
+def resolve_commit() -> str | None:
+    """Commit SHA: CI's $GITHUB_SHA if set, else the local git HEAD."""
+    sha = os.environ.get("GITHUB_SHA")
+    if sha:
+        return sha
+    try:
+        return (
+            subprocess.run(
+                ["git", "rev-parse", "HEAD"],
+                capture_output=True, text=True, check=True,
+                cwd=pathlib.Path(__file__).parent,
+            ).stdout.strip()
+            or None
+        )
+    except (OSError, subprocess.CalledProcessError):
+        return None
+
+
+def payload_key(path: pathlib.Path, payload: dict) -> str:
+    """Stable key for one input: the payload's self-declared name, else
+    the file stem."""
+    return str(payload.get("name") or payload.get("benchmark") or path.stem)
+
+
+def merge(paths: list[pathlib.Path]) -> dict:
+    benchmarks: dict[str, dict] = {}
+    for path in paths:
+        payload = json.loads(path.read_text())
+        key = payload_key(path, payload)
+        if key in benchmarks:
+            raise SystemExit(
+                f"duplicate benchmark key {key!r} (from {path}); "
+                "rename one payload"
+            )
+        benchmarks[key] = payload
+    return {
+        "schema": SCHEMA,
+        "commit": resolve_commit(),
+        "generated_at": datetime.now(timezone.utc).isoformat(
+            timespec="seconds"
+        ),
+        "host": {"cpu_count": os.cpu_count() or 1},
+        "benchmarks": benchmarks,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "inputs", nargs="+", type=pathlib.Path,
+        help="benchmark JSON payloads to merge",
+    )
+    parser.add_argument(
+        "--out", type=pathlib.Path, required=True,
+        help="merged trajectory JSON output path",
+    )
+    args = parser.parse_args(argv)
+
+    trajectory = merge(args.inputs)
+    args.out.write_text(json.dumps(trajectory, indent=2) + "\n")
+    print(
+        f"{args.out}: commit={trajectory['commit']}, "
+        f"benchmarks={sorted(trajectory['benchmarks'])}",
+        file=sys.stderr,
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

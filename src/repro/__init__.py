@@ -84,32 +84,57 @@ model against the engine's measured per-iteration time::
         trainer.fit(ds.x_train, ds.y_train, epochs=5)
 
 *Where* the shards run is the **transport**
-(:mod:`repro.shard.transport`): ``transport="thread"`` (default) drives
-in-process worker threads whose "network" is a host memcpy;
-``transport="process"`` runs one worker process per shard over
-``multiprocessing.shared_memory`` center/weight blocks, paying a real
-IPC round-trip per collective step — the cost the pipelined engine's
-prefetch overlaps::
+(:mod:`repro.shard.transport`), discovered by name through one registry
+(:func:`repro.shard.transport.register_transport` /
+:func:`repro.shard.available_transports` — register a
+:class:`~repro.shard.ShardTransport` subclass and the group builder,
+trainer, validation harness, bench CLI and conformance suite all see
+it).  ``transport="thread"`` (default) drives in-process worker threads
+whose "network" is a host memcpy; ``transport="process"`` runs one
+worker process per shard over ``multiprocessing.shared_memory``
+center/weight blocks, paying a real IPC round-trip per collective step
+— the cost the pipelined engine's prefetch overlaps;
+``transport="torchdist"`` makes each worker a rank of a
+``torch.distributed`` process group so the per-step all-reduce is a
+*real* collective — gloo over CPU tensors by default (runs anywhere
+torch is installed, including CI), NCCL when ``shard_backends`` names
+CUDA devices::
 
     with ShardedEigenPro2(kernel, n_shards=4, transport="process") as t:
         t.fit(ds.x_train, ds.y_train, epochs=5)
 
-Both transports run the same module-level task functions on the same
+    # torch.distributed ranks: gloo on CPU ...
+    with ShardedEigenPro2(kernel, n_shards=2, transport="torchdist") as t:
+        t.fit(ds.x_train, ds.y_train, epochs=5)
+
+    # ... and NCCL when the shard backends are CUDA devices.
+    with ShardedEigenPro2(
+        kernel,
+        shard_backends=["torch:cuda:0", "torch:cuda:1"],
+        transport="torchdist",
+    ) as t:
+        t.fit(ds.x_train, ds.y_train, epochs=5)
+
+Every transport runs the same module-level task functions on the same
 shard slices, so results are bitwise identical across transports and op
 counts match the unsharded trainer exactly (pinned by
-``tests/test_shard_transport_conformance.py``).  Mirror-back of updated
-weight rows is asynchronous on every transport: thread shards adopt
-zero-copy weight views, process shards read the parent's direct
-shared-memory writes — ordering is guaranteed by each worker's FIFO
-task queue, never by a per-update barrier.  The cluster cost model
-carries a per-transport link model
+``tests/test_shard_transport_conformance.py``; fabrics that own the
+reduction order, like gloo/NCCL, are bitwise up to their declared
+``exact_collective_max_g``).  Mirror-back of updated weight rows is
+asynchronous on every transport: thread shards adopt zero-copy weight
+views, process/torchdist shards read the parent's direct shared-memory
+writes — ordering is guaranteed by each worker's FIFO task queue, never
+by a per-update barrier.  The cluster cost model carries a
+per-transport link model
 (:func:`repro.device.cluster.transport_interconnect` /
-:func:`~repro.device.cluster.link_cost`), so modelled allreduce time
-differs between a memcpy and IPC.  A worker process dying mid-epoch
-raises :class:`~repro.exceptions.ShardError` (no hang, shared-memory
-segments always reclaimed); platforms without fork-safe shared memory
-keep ``transport="thread"`` (see
-:func:`repro.shard.process_transport_available`).
+:func:`~repro.device.cluster.link_cost` — memcpy, IPC, gloo and NCCL
+entries), so modelled allreduce time differs by fabric.  A worker
+process dying mid-epoch raises
+:class:`~repro.exceptions.ShardError` (no hang, shared-memory segments
+and process groups always reclaimed); platforms without the needed
+support keep ``transport="thread"`` (see
+:func:`repro.shard.process_transport_available` /
+:func:`repro.shard.torchdist_available`).
 """
 
 from repro._version import __version__
@@ -166,8 +191,12 @@ from repro.shard import (
     ShardTransport,
     ShardedEigenPro2,
     ThreadTransport,
+    TorchDistributedTransport,
     available_transports,
     process_transport_available,
+    register_transport,
+    registered_transports,
+    torchdist_available,
 )
 
 __all__ = [
@@ -213,6 +242,10 @@ __all__ = [
     "ShardTransport",
     "ThreadTransport",
     "ProcessTransport",
+    "TorchDistributedTransport",
+    "register_transport",
+    "registered_transports",
+    "torchdist_available",
     "available_transports",
     "process_transport_available",
     # core

@@ -191,22 +191,25 @@ class ShardValidationConfig:
     n_iterations: int = 15
     warmup: int = 3
     bandwidth: float = 4.0
-    #: Which shard transport executes the engine side of the loop
-    #: ("thread" or "process").
+    #: Which shard transport executes the engine side of the loop — any
+    #: name in :func:`repro.shard.transport.registered_transports`.
     transport: str = "thread"
-    #: Network model for the modelled side; ``None`` selects the
-    #: per-transport link model (host memcpy for threads, IPC for
-    #: processes) from
+    #: Network model for the modelled side; ``None`` asks the transport
+    #: class for its link name (host memcpy for threads, IPC for
+    #: processes, gloo/NCCL for torchdist) and looks it up in
     #: :func:`repro.device.cluster.transport_interconnect`.
     interconnect: Interconnect | None = None
     seed: int = 0
 
     def resolved_interconnect(self) -> Interconnect:
         from repro.device.cluster import transport_interconnect
+        from repro.shard.transport import resolve_transport
 
         if self.interconnect is not None:
             return self.interconnect
-        return transport_interconnect(self.transport)
+        return transport_interconnect(
+            resolve_transport(self.transport).link_name()
+        )
 
 
 def _median_seconds(fn, n_iterations: int, warmup: int) -> float:

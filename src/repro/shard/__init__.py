@@ -14,15 +14,23 @@ real array backends:
   shard does* from *where it runs*: a
   :class:`~repro.shard.transport.ShardWorker` (the shard's arrays,
   private op meter, precomputed center norms and execution scopes) driven
-  through a :class:`~repro.shard.transport.ShardTransport`.  Two
-  transports ship: ``"thread"`` (in-process worker threads, zero-copy
-  weight views, any backend per shard — ``torch:cuda:<i>`` included) and
-  ``"process"`` (one worker process per shard over
-  ``multiprocessing.shared_memory`` center/weight blocks, tasks shipped
-  by pickle over per-shard pipes — a real IPC round-trip for the
-  pipeline to hide);
+  through a :class:`~repro.shard.transport.ShardTransport`.  Three
+  transports ship, discovered through one registry
+  (:func:`~repro.shard.transport.register_transport` /
+  :func:`~repro.shard.transport.available_transports`): ``"thread"``
+  (in-process worker threads, zero-copy weight views, any backend per
+  shard — ``torch:cuda:<i>`` included), ``"process"`` (one worker
+  process per shard over ``multiprocessing.shared_memory``
+  center/weight blocks, tasks shipped by pickle over per-shard pipes —
+  a real IPC round-trip for the pipeline to hide) and ``"torchdist"``
+  (the process architecture with every worker a rank of a
+  ``torch.distributed`` process group, so the all-reduce is a *real*
+  collective — gloo over CPU tensors anywhere torch is installed, NCCL
+  when CUDA backends are requested:
+  ``ShardedEigenPro2(transport="torchdist",
+  shard_backends=["torch:cuda:0", "torch:cuda:1"])``);
 - :class:`~repro.shard.group.ShardGroup` — the engine facade: build with
-  ``ShardGroup.build(..., transport="thread" | "process")``, run
+  ``ShardGroup.build(..., transport=<any registered name>)``, run
   collective steps with :meth:`~repro.shard.group.ShardGroup.map` /
   :meth:`~repro.shard.group.ShardGroup.map_async`, combine partials with
   :meth:`~repro.shard.group.ShardGroup.allreduce` (communication metered
@@ -89,9 +97,15 @@ from repro.shard.transport import (
     ShardTransport,
     ShardWorker,
     ThreadTransport,
+    TorchDistributedTransport,
     available_transports,
     process_transport_available,
+    register_transport,
+    registered_transports,
     resolve_transport,
+    torchdist_available,
+    transport_available,
+    unregister_transport,
 )
 
 __all__ = [
@@ -104,10 +118,16 @@ __all__ = [
     "ShardWorker",
     "ShardedEigenPro2",
     "ThreadTransport",
+    "TorchDistributedTransport",
     "allreduce_sum",
     "available_transports",
     "process_transport_available",
+    "register_transport",
+    "registered_transports",
     "resolve_transport",
     "sharded_kernel_matvec",
     "sharded_predict",
+    "torchdist_available",
+    "transport_available",
+    "unregister_transport",
 ]

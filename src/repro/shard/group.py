@@ -6,8 +6,10 @@ model: each collective step maps a task over the shards and the caller
 combines the per-shard partials with
 :func:`~repro.shard.transport.allreduce_sum`.  *Where* the workers run
 is the group's :class:`~repro.shard.transport.ShardTransport` —
-in-process threads (default) or worker processes over shared memory —
-selected by ``ShardGroup.build(..., transport="thread" | "process")``.
+in-process threads (default), worker processes over shared memory, or
+``torch.distributed`` ranks — selected by ``ShardGroup.build(...,
+transport=<registered name>)`` through the transport registry
+(:func:`repro.shard.transport.available_transports`).
 
 Accounting invariants (pinned by ``tests/test_shard_parity.py`` and the
 cross-transport conformance suite
@@ -119,11 +121,13 @@ class ShardGroup:
             Optional kernel attached to the group, enabling
             :func:`repro.shard.sharded_predict` without re-passing it.
         transport:
-            ``"thread"`` (default), ``"process"``, or a
-            :class:`~repro.shard.transport.ShardTransport` subclass;
+            Any name in
+            :func:`repro.shard.transport.registered_transports` —
+            ``"thread"`` (default), ``"process"``, ``"torchdist"`` — or
+            a :class:`~repro.shard.transport.ShardTransport` subclass;
             extra keyword arguments are forwarded to the transport
             constructor (e.g. ``start_method=`` for the process
-            transport).
+            transport, ``timeout_s=`` for torchdist).
         """
         centers_np = np.asarray(to_numpy(centers))
         if centers_np.ndim == 1:
@@ -213,6 +217,12 @@ class ShardGroup:
     def scatter_state(self, key: str, values: Sequence[Any]) -> None:
         """Set per-fit ``state[key]`` to a different value per shard."""
         self.transport.scatter_state(key, values)
+
+    def scatter_state_items(self, items: Sequence[dict[str, Any]]) -> None:
+        """Merge a per-shard dict into each worker's ``state`` in one
+        task per worker — the batched (single round-trip) form of
+        :meth:`broadcast_state` + :meth:`scatter_state`."""
+        self.transport.scatter_state_items(items)
 
     # ----------------------------------------------------------- accounting
     def op_counts(self) -> dict[str, int]:

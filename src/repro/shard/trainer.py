@@ -85,12 +85,7 @@ import numpy as np
 from repro.backend import ArrayBackend, get_backend, match_dtype, to_numpy
 from repro.config import DEFAULT_BLOCK_SCALARS
 from repro.core.eigenpro2 import EigenPro2
-from repro.device.cluster import (
-    TRANSPORT_INTERCONNECTS,
-    Interconnect,
-    multi_gpu,
-    transport_interconnect,
-)
+from repro.device.cluster import Interconnect, multi_gpu
 from repro.device.presets import titan_xp
 from repro.device.simulator import SimulatedDevice
 from repro.exceptions import ConfigurationError, ShardError
@@ -99,7 +94,7 @@ from repro.kernels.base import Kernel
 from repro.kernels.ops import block_workspace
 from repro.shard.group import PendingMap, ShardGroup
 from repro.shard.ops import sharded_predict
-from repro.shard.transport import ShardTransport, ShardWorker
+from repro.shard.transport import ShardTransport, ShardWorker, resolve_transport
 
 __all__ = ["ShardedEigenPro2"]
 
@@ -191,10 +186,16 @@ class ShardedEigenPro2(EigenPro2):
         :meth:`repro.shard.ShardGroup.build`.  The process transport
         accepts NumPy specs only.
     transport:
-        Where the shards run: ``"thread"`` (default — in-process worker
-        threads) or ``"process"`` (one worker process per shard over
-        shared-memory weight blocks), or a
-        :class:`~repro.shard.transport.ShardTransport` subclass.
+        Where the shards run — any registered transport name
+        (:func:`repro.shard.transport.available_transports`) or a
+        :class:`~repro.shard.transport.ShardTransport` subclass:
+        ``"thread"`` (default — in-process worker threads),
+        ``"process"`` (one worker process per shard over shared-memory
+        weight blocks) or ``"torchdist"`` (workers as
+        ``torch.distributed`` ranks; the all-reduce is a real collective
+        — gloo on CPU by default, NCCL when ``shard_backends`` names
+        CUDA devices, e.g. ``ShardedEigenPro2(transport="torchdist",
+        shard_backends=["torch:cuda:0", "torch:cuda:1"])``).
     device:
         Simulated device the selection steps adapt to.  Defaults to the
         :func:`repro.device.cluster.multi_gpu` aggregate of ``n_shards``
@@ -252,21 +253,15 @@ class ShardedEigenPro2(EigenPro2):
         if n_shards < 1:
             raise ConfigurationError(f"n_shards must be >= 1, got {n_shards}")
         if device is None:
-            transport_name = (
-                transport
-                if isinstance(transport, str)
-                else getattr(transport, "name", None)
-            )
-            if (
-                interconnect is None
-                and transport_name != "thread"
-                and transport_name in TRANSPORT_INTERCONNECTS
-            ):
-                # Known non-default transports model their real link (IPC
-                # for processes) so Step 1 adapts to the fabric that
-                # actually executes the collective; transports without a
-                # link model keep the generic default.
-                interconnect = transport_interconnect(transport_name)
+            if interconnect is None:
+                # Each transport names its own link model (IPC for
+                # processes, gloo/NCCL for torchdist; threads keep the
+                # generic default) so Step 1 adapts to the fabric that
+                # actually executes the collective — resolved through
+                # the registry, no per-transport string matching here.
+                interconnect = resolve_transport(
+                    transport
+                ).trainer_interconnect(shard_backends)
             device = multi_gpu(titan_xp(), n_shards, interconnect=interconnect)
         # The sharded engine pipelines by default: the whole point of the
         # shard workers is to be busy during the collective.
@@ -306,13 +301,16 @@ class ShardedEigenPro2(EigenPro2):
             else None
         )
         # Per-fit worker context: the kernel every form task evaluates,
-        # and the shard-local subsample column indices for Phi extraction.
-        group.broadcast_state(kernel=self.kernel)
-        group.scatter_state(
-            "local_sub",
+        # and the shard-local subsample column indices for Phi extraction
+        # — batched into a single task per worker, so message-passing
+        # transports pay exactly one setup round-trip per fit.
+        locals_ = (
             [local for _, local in self._sub_parts]
             if self._sub_parts is not None
-            else [None] * group.g,
+            else [None] * group.g
+        )
+        group.scatter_state_items(
+            [{"kernel": self.kernel, "local_sub": local} for local in locals_]
         )
 
     # ----------------------------------------------------------- iteration

@@ -299,10 +299,22 @@ class ShardTransport(abc.ABC):
     transport moves bytes, it never re-computes.
     """
 
-    #: Registry name ("thread", "process"); also keys the cluster cost
-    #: model's per-transport link cost
-    #: (:func:`repro.device.cluster.transport_interconnect`).
+    #: Registry name ("thread", "process", "torchdist"); the key under
+    #: which :func:`repro.shard.transport.register_transport` files the
+    #: class.
     name: str = "abstract"
+
+    #: Largest shard count at which this transport's collective is
+    #: guaranteed bitwise-identical to the host-side shard-order sum of
+    #: :func:`allreduce_sum`.  ``None`` means unlimited (the transport
+    #: sums the partials itself in shard order); a transport that
+    #: delegates the reduction to an external fabric (e.g. a
+    #: ``torch.distributed`` ring all-reduce) sets the bound up to which
+    #: IEEE commutativity alone guarantees the same bits (2 — one
+    #: pairwise sum), because beyond that the fabric chooses the
+    #: association order.  The conformance suite's bitwise tests read
+    #: this to know where exactness ends and 1e-6-of-scale begins.
+    exact_collective_max_g: int | None = None
 
     plan: ShardPlan
     #: Caller-side executor handles, one per shard, in shard order.  Their
@@ -315,6 +327,42 @@ class ShardTransport(abc.ABC):
     @property
     def g(self) -> int:
         return self.plan.g
+
+    # ------------------------------------------------------ registry hooks
+    @classmethod
+    def is_available(cls) -> bool:
+        """Whether this transport can run in the current environment
+        (platform support, optional dependencies present).  The registry's
+        :func:`~repro.shard.transport.available_transports` filters on
+        this; registration itself never requires availability."""
+        return True
+
+    @classmethod
+    def link_name(cls, backends: Any | None = None) -> str:
+        """Key of this transport's link model in
+        :data:`repro.device.cluster.TRANSPORT_INTERCONNECTS`.  Defaults
+        to the transport name; transports whose fabric depends on the
+        requested backends (e.g. gloo vs NCCL) override."""
+        return cls.name
+
+    @classmethod
+    def trainer_interconnect(cls, backends: Any | None = None):
+        """Link model the sharded trainer's *default* aggregate device
+        should charge for this transport's collective, or ``None`` to
+        keep the generic NVLink-class default (what the thread transport
+        does — its "network" is a host memcpy the generic model already
+        idealizes).  Resolved through the cluster cost model so new
+        transports only need a :meth:`link_name` and a
+        ``TRANSPORT_INTERCONNECTS`` entry."""
+        from repro.device.cluster import (
+            TRANSPORT_INTERCONNECTS,
+            transport_interconnect,
+        )
+
+        name = cls.link_name(backends)
+        if name in TRANSPORT_INTERCONNECTS:
+            return transport_interconnect(name)
+        return None
 
     # ------------------------------------------------------------ execution
     def submit(self, shard_id: int, fn: Callable[..., Any], *args: Any, **kwargs: Any) -> Future:
@@ -354,9 +402,21 @@ class ShardTransport(abc.ABC):
             raise ConfigurationError(
                 f"scatter_state needs {self.g} values, got {len(values)}"
             )
+        self.scatter_state_items([{key: value} for value in values])
+
+    def scatter_state_items(self, items: Sequence[dict[str, Any]]) -> None:
+        """Merge a per-shard dict of state entries into each worker's
+        ``state`` — the batched form of :meth:`broadcast_state` /
+        :meth:`scatter_state`: however many keys are pushed, each worker
+        sees exactly one task, so message-passing transports pay one RPC
+        round-trip for the whole per-fit setup."""
+        if len(items) != self.g:
+            raise ConfigurationError(
+                f"scatter_state_items needs {self.g} dicts, got {len(items)}"
+            )
         futures = [
-            ex.submit(_update_state_task, {key: value})
-            for ex, value in zip(self.executors, values)
+            ex.submit(_update_state_task, dict(shard_items))
+            for ex, shard_items in zip(self.executors, items)
         ]
         for f in futures:
             f.result()

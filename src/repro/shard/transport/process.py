@@ -42,6 +42,13 @@ Availability: requires :mod:`multiprocessing.shared_memory` and a
 ``start_method=`` for platforms that need it, with the stricter
 requirement that every submitted task live in an importable module).
 Use :func:`process_transport_available` to gate tests.
+
+This architecture is designed for reuse: a subclass can give each child
+a non-NumPy backend (``_WorkerSpec.backend_spec``) and run module-level
+``bootstrap``/``teardown`` hooks around the child's serve loop — which
+is exactly how
+:class:`~repro.shard.transport.torchdist.TorchDistributedTransport`
+turns these workers into ``torch.distributed`` ranks.
 """
 
 from __future__ import annotations
@@ -51,13 +58,19 @@ import pickle
 import traceback
 import weakref
 from concurrent.futures import Future, ThreadPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from multiprocessing import shared_memory
 from typing import Any, Callable, Sequence
 
 import numpy as np
 
-from repro.backend import ArrayBackend, NumpyBackend, get_precision, precision_is_explicit
+from repro.backend import (
+    ArrayBackend,
+    NumpyBackend,
+    get_precision,
+    precision_is_explicit,
+    resolve_backend,
+)
 from repro.exceptions import ConfigurationError, ShardError
 from repro.shard.plan import ShardPlan
 from repro.shard.transport.base import ShardTransport, ShardWorker
@@ -107,6 +120,20 @@ class _WorkerSpec:
     #: parent (its registry is a set, so the duplicate register from the
     #: attach is harmless) and unregistering would over-remove.
     unregister_segments: bool
+    #: Backend spec the child resolves for its worker (``None`` → a fresh
+    #: :class:`~repro.backend.NumpyBackend` instance).  Always a string
+    #: or ``None`` — backend *instances* never cross the pickle boundary.
+    backend_spec: str | None = None
+    #: Optional module-level hooks run in the child around the serve
+    #: loop: ``bootstrap(spec)`` after the shared arrays are attached and
+    #: before the worker is built (a ``torch.distributed`` transport
+    #: joins its process group here), ``teardown(spec)`` on loop exit
+    #: (destroy the process group).  Module-level so they pickle by
+    #: reference under every start method.
+    bootstrap: Callable[["_WorkerSpec"], None] | None = None
+    teardown: Callable[["_WorkerSpec"], None] | None = None
+    #: Free-form extras for the hooks (world size, rendezvous file, ...).
+    options: dict[str, Any] = field(default_factory=dict)
 
 
 def _attach_segment(
@@ -157,9 +184,22 @@ def _worker_main(spec: _WorkerSpec, conn: Any) -> None:
             )
             segments.append(shm_w)
             weights = weights_all[spec.lo : spec.hi]
+        if spec.bootstrap is not None:
+            try:
+                spec.bootstrap(spec)
+            except BaseException:
+                # Startup failures surface to the parent as a dead
+                # worker (EOF on the pipe); leave the cause on stderr.
+                traceback.print_exc()
+                raise
+        backend = (
+            NumpyBackend()
+            if spec.backend_spec is None
+            else resolve_backend(spec.backend_spec)
+        )
         worker = ShardWorker(
             spec.shard_id,
-            NumpyBackend(),
+            backend,
             centers_all[spec.lo : spec.hi],
             weights,
         )
@@ -190,6 +230,11 @@ def _worker_main(spec: _WorkerSpec, conn: Any) -> None:
             except (BrokenPipeError, OSError):
                 break
     finally:
+        if spec.teardown is not None:
+            try:
+                spec.teardown(spec)
+            except Exception:  # pragma: no cover - best-effort cleanup
+                traceback.print_exc()
         try:
             conn.close()
         except Exception:
@@ -413,6 +458,54 @@ class ProcessTransport(ShardTransport):
 
     name = "process"
 
+    @classmethod
+    def is_available(cls) -> bool:
+        return process_transport_available()
+
+    # ------------------------------------------------------ subclass hooks
+    def _validate_backends(
+        self,
+        backends: Sequence[str | ArrayBackend | None] | None,
+        plan: ShardPlan,
+    ) -> list[str | None]:
+        """Normalize per-shard backend specs to pickle-safe strings
+        (``None`` → NumPy).  The process transport itself is NumPy-only;
+        subclasses with device-capable workers override."""
+        for spec in backends or []:
+            if spec is None or spec == "numpy" or isinstance(spec, NumpyBackend):
+                continue
+            raise ConfigurationError(
+                "the process transport runs NumPy workers only; got "
+                f"backend spec {spec!r} (use transport='thread' for "
+                "device backends)"
+            )
+        return [None] * plan.g
+
+    def _default_start_method(self) -> str:
+        return "fork" if process_transport_available() else "spawn"
+
+    def _child_spec(
+        self,
+        shard_id: int,
+        lo: int,
+        hi: int,
+        centers_spec: _SegmentSpec,
+        weights_spec: _SegmentSpec | None,
+        start_method: str,
+    ) -> _WorkerSpec:
+        """The :class:`_WorkerSpec` shipped to one child; subclasses
+        extend it (backend specs, bootstrap/teardown hooks) via
+        :func:`dataclasses.replace`."""
+        return _WorkerSpec(
+            shard_id=shard_id,
+            lo=lo,
+            hi=hi,
+            centers=centers_spec,
+            weights=weights_spec,
+            unregister_segments=start_method != "fork",
+            backend_spec=self._backend_specs[shard_id],
+        )
+
     def __init__(
         self,
         plan: ShardPlan,
@@ -422,26 +515,15 @@ class ProcessTransport(ShardTransport):
         *,
         start_method: str | None = None,
     ) -> None:
-        for spec in backends or []:
-            if spec is None or spec == "numpy" or isinstance(spec, NumpyBackend):
-                continue
-            raise ConfigurationError(
-                "the process transport runs NumPy workers only; got "
-                f"backend spec {spec!r} (use transport='thread' for "
-                "device backends)"
-            )
+        self._backend_specs = self._validate_backends(backends, plan)
         if start_method is None:
-            start_method = (
-                "fork" if process_transport_available() else "spawn"
-            )
+            start_method = self._default_start_method()
         ctx = multiprocessing.get_context(start_method)
         self.plan = plan
 
+        # Validate before any shared-memory segment exists: a rejected
+        # configuration must not leave an orphaned segment behind.
         centers = np.ascontiguousarray(centers)
-        self._segments: list[shared_memory.SharedMemory] = []
-        centers_spec, self._centers_view = self._new_segment(centers)
-        weights_spec = None
-        self._weights_view: np.ndarray | None = None
         if weights is not None:
             weights = np.ascontiguousarray(weights)
             if weights.shape[0] != plan.n:
@@ -449,26 +531,27 @@ class ProcessTransport(ShardTransport):
                     f"weights has {weights.shape[0]} rows, plan expects "
                     f"{plan.n}"
                 )
-            weights_spec, self._weights_view = self._new_segment(weights)
-        self._finalizer = weakref.finalize(
-            self,
-            _release_segments,
-            tuple(shm.name for shm in self._segments),
-        )
-
+        self._segments: list[shared_memory.SharedMemory] = []
+        self._centers_view: np.ndarray | None = None
+        self._weights_view: np.ndarray | None = None
         self.executors: list[ProcessShardExecutor] = []
         try:
+            centers_spec, self._centers_view = self._new_segment(centers)
+            weights_spec = None
+            if weights is not None:
+                weights_spec, self._weights_view = self._new_segment(weights)
+            self._finalizer = weakref.finalize(
+                self,
+                _release_segments,
+                tuple(shm.name for shm in self._segments),
+            )
             for i, (lo, hi) in enumerate(
                 zip(plan.bounds, plan.bounds[1:])
             ):
                 parent_conn, child_conn = ctx.Pipe(duplex=True)
-                spec = _WorkerSpec(
-                    shard_id=i,
-                    lo=int(lo),
-                    hi=int(hi),
-                    centers=centers_spec,
-                    weights=weights_spec,
-                    unregister_segments=start_method != "fork",
+                spec = self._child_spec(
+                    i, int(lo), int(hi), centers_spec, weights_spec,
+                    start_method,
                 )
                 proc = ctx.Process(
                     target=_worker_main,

@@ -121,6 +121,15 @@ class ThreadTransport(ShardTransport):
 
     name = "thread"
 
+    @classmethod
+    def trainer_interconnect(cls, backends=None):
+        """In-process threads share one memory system; the sharded
+        trainer's default aggregate device keeps the generic
+        NVLink-class interconnect rather than the calibration-scale
+        ``"thread"`` link model (which exists for the validation
+        harness's modelled-vs-measured loop)."""
+        return None
+
     def __init__(
         self,
         plan: ShardPlan,

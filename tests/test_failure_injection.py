@@ -20,7 +20,7 @@ from repro.core.eigenpro2 import EigenPro2
 from repro.device import DeviceSpec, SimulatedDevice
 from repro.exceptions import ConfigurationError, DeviceMemoryError, ShardError
 from repro.kernels import GaussianKernel
-from repro.shard import process_transport_available
+from repro.shard import process_transport_available, transport_available
 
 
 def tiny_memory_device(scalars: float) -> SimulatedDevice:
@@ -245,6 +245,25 @@ class TestProcessTransportFailure:
         with pytest.raises(ConfigurationError, match="closed"):
             group.transport.submit(0, _noop_task)
 
+    def test_rejected_config_leaves_no_segments(self):
+        """A configuration rejected at construction (weights rows not
+        matching the plan) must not leave an orphaned shared-memory
+        segment behind."""
+        import glob
+
+        from repro.shard.plan import ShardPlan
+        from repro.shard.transport.process import ProcessTransport
+
+        rng = np.random.default_rng(3)
+        before = set(glob.glob("/dev/shm/psm_*"))
+        with pytest.raises(ConfigurationError, match="rows"):
+            ProcessTransport(
+                ShardPlan.contiguous(10, 2),
+                rng.standard_normal((10, 3)),
+                rng.standard_normal((7, 2)),
+            )
+        assert set(glob.glob("/dev/shm/psm_*")) == before
+
     def test_trainer_survives_worker_death(self, small_dataset):
         """A worker killed after training: the next sharded operation
         raises ShardError, close() completes, segments are unlinked."""
@@ -292,6 +311,114 @@ class TestProcessTransportFailure:
             names = _leaked_segment_names(trainer.shard_group_)
         finally:
             shard_trainer._form_block_task = original_form
+            trainer.close()
+        _assert_segments_unlinked(names)
+
+
+needs_torchdist = pytest.mark.skipif(
+    not transport_available("torchdist"),
+    reason="torch is not installed (transport 'torchdist' unavailable)",
+)
+
+
+@needs_torchdist
+class TestTorchDistTransportFailure:
+    """Killing a torchdist rank must raise a clean ShardError — no hang
+    even when the surviving rank sits in a collective whose peer died —
+    and close() must always tear the process group down: children joined
+    or terminated, shared segments unlinked, rendezvous directory
+    removed."""
+
+    def _group(self, g=2, **options):
+        from repro.shard import ShardGroup
+
+        rng = np.random.default_rng(0)
+        centers = rng.standard_normal((64, 4))
+        weights = rng.standard_normal((64, 2))
+        return ShardGroup.build(
+            centers, weights, g=g, transport="torchdist",
+            kernel=GaussianKernel(bandwidth=2.0), **options,
+        )
+
+    def _assert_torn_down(self, group, names):
+        _assert_segments_unlinked(names)
+        assert group.transport._init_dir is None
+        for ex in group.executors:
+            assert not ex.process.is_alive()
+
+    def test_killed_rank_raises_shard_error(self):
+        group = self._group()
+        names = _leaked_segment_names(group)
+        init_dir = group.transport._init_dir
+        try:
+            assert group.map(_noop_task) == [0, 1]
+            group.executors[1].process.kill()
+            with pytest.raises(ShardError, match="shard 1.*died"):
+                group.map(_noop_task)
+            with pytest.raises(ShardError, match="unavailable"):
+                group.transport.submit(1, _noop_task).result()
+            # The surviving rank still serves non-collective tasks.
+            assert group.transport.submit(0, _noop_task).result() == 0
+        finally:
+            group.close()
+        self._assert_torn_down(group, names)
+        assert not os.path.exists(init_dir)
+
+    def test_collective_with_dead_peer_raises(self):
+        """An all-reduce whose peer rank died must error out (gloo
+        detects the broken connection or hits the group timeout), never
+        hang the caller."""
+        group = self._group(timeout_s=20.0)
+        names = _leaked_segment_names(group)
+        try:
+            group.executors[1].process.kill()
+            rows = np.ones((4, 2))
+            with pytest.raises(ShardError):
+                group.allreduce([rows, rows])
+        finally:
+            group.close()
+        self._assert_torn_down(group, names)
+
+    def test_worker_exception_crosses_transport(self):
+        with self._group() as group:
+            with pytest.raises(ValueError, match="worker-side failure"):
+                group.map(_raise_task)
+            # The failure was the task's: the ranks and their process
+            # group survive and keep serving (including collectives).
+            assert group.map(_noop_task) == [0, 1]
+            rows = np.full((3, 2), 2.0)
+            out = np.asarray(group.allreduce([rows, rows]))
+            np.testing.assert_array_equal(out, 4.0 * rows)
+
+    def test_close_is_idempotent_and_cleans_up(self):
+        group = self._group()
+        names = _leaked_segment_names(group)
+        init_dir = group.transport._init_dir
+        group.close()
+        group.close()
+        self._assert_torn_down(group, names)
+        assert not os.path.exists(init_dir)
+        with pytest.raises(ConfigurationError, match="closed"):
+            group.transport.submit(0, _noop_task)
+
+    def test_trainer_survives_rank_death(self, small_dataset):
+        from repro.shard import ShardedEigenPro2
+
+        trainer = ShardedEigenPro2(
+            GaussianKernel(bandwidth=2.5),
+            n_shards=2,
+            transport="torchdist",
+            s=60,
+            batch_size=32,
+            seed=0,
+        )
+        try:
+            trainer.fit(small_dataset.x_train, small_dataset.y_train, epochs=1)
+            names = _leaked_segment_names(trainer.shard_group_)
+            trainer.shard_group_.executors[0].process.kill()
+            with pytest.raises(ShardError):
+                trainer.predict_sharded(small_dataset.x_test)
+        finally:
             trainer.close()
         _assert_segments_unlinked(names)
 

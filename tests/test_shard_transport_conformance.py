@@ -1,12 +1,20 @@
 """Cross-transport conformance suite for the shard transport layer.
 
-One parameterized suite pins every transport (thread, process — a future
-NCCL executor joins the same list) to the same contract:
+One parameterized suite pins every *registered* transport (thread,
+process, torchdist — anything filed via
+:func:`repro.shard.transport.register_transport` joins the list
+automatically at collection) to the same contract:
 
 - **bitwise parity across transports**: for a fixed shard plan, weights,
-  histories and sharded-op results are *bit-identical* between
-  transports — every transport runs the same task functions on the same
-  shard slices, and a transport moves bytes, it never re-computes;
+  histories and sharded-op results are *bit-identical* between the
+  thread transport and every other transport — every transport runs the
+  same task functions on the same shard slices, and a transport moves
+  bytes, it never re-computes.  Transports whose collective runs on an
+  external fabric (torchdist's ``dist.all_reduce``) declare via
+  ``exact_collective_max_g`` the shard count up to which the fabric's
+  reduction is provably bit-identical to the host-side shard-order sum
+  (2 — IEEE addition of one operand pair is commutative); bitwise cases
+  beyond that bound skip with a reason;
 - **parity with the unsharded trainer**: exact (bitwise) at ``g = 1``;
   for ``g > 1`` within 1e-6 of scale (the per-shard partial sums
   necessarily associate the floating-point reduction differently than
@@ -14,16 +22,22 @@ NCCL executor joins the same list) to the same contract:
 - **exact aggregate op counts** vs the unsharded trainer for every
   compute category, with communication metered separately under
   ``"allreduce"`` (zero at ``g = 1``);
-- **asynchronous mirror-back**: the process transport's row mirror is a
+- **asynchronous mirror-back**: the process-architecture row mirror is a
   direct shared-memory write — visible to the workers, no task, no
-  barrier;
+  barrier — pinned by exact per-worker RPC counts for both the
+  pipelined and the serial (form+contract batched into one round-trip)
+  iteration;
+- **real collective**: the torchdist transport's all-reduce rides one
+  task per rank through ``dist.all_reduce`` and meters the same
+  shape-derived ``(g - 1) * payload`` charge as the host-side sum;
 - seeded runs are reproducible per transport.
 
 ``REPRO_SHARD_G`` restricts the shard counts (single value or comma
 list, e.g. ``REPRO_SHARD_G=2`` or ``REPRO_SHARD_G=1,2,4``);
 ``REPRO_SHARD_TRANSPORT`` restricts the transports — both are how the
-CI matrix splits the suite.  Process-transport cases auto-skip on
-platforms without fork-safe shared memory.
+CI matrix splits the suite.  Cases for transports that are registered
+but unavailable here (no fork-safe shared memory, no torch) *skip with
+a reason* rather than disappearing.
 """
 
 from __future__ import annotations
@@ -43,8 +57,11 @@ from repro.shard import (
     ShardedEigenPro2,
     available_transports,
     process_transport_available,
+    registered_transports,
+    resolve_transport,
     sharded_kernel_matvec,
     sharded_predict,
+    transport_available,
 )
 
 _ENV_G = os.environ.get("REPRO_SHARD_G")
@@ -52,32 +69,53 @@ G_VALUES = (
     [int(g) for g in _ENV_G.split(",")] if _ENV_G else [1, 2, 4]
 )
 _ENV_T = os.environ.get("REPRO_SHARD_TRANSPORT")
-ALL_TRANSPORTS = ["thread", "process"]
+#: Registry-discovered: registering a transport parameterizes this suite.
+ALL_TRANSPORTS = registered_transports()
 TRANSPORTS = (
     [t for t in ALL_TRANSPORTS if t in _ENV_T.split(",")]
     if _ENV_T
     else ALL_TRANSPORTS
 )
 
+
+def _transport_param(t: str) -> object:
+    return pytest.param(
+        t,
+        marks=pytest.mark.skipif(
+            not transport_available(t),
+            reason=f"transport {t!r} is not available on this host",
+        ),
+    )
+
+
 shard_counts = pytest.mark.parametrize("g", G_VALUES)
 transports = pytest.mark.parametrize(
-    "transport",
-    [
-        pytest.param(
-            t,
-            marks=pytest.mark.skipif(
-                t == "process" and not process_transport_available(),
-                reason="platform lacks fork-safe shared memory",
-            ),
-        )
-        for t in TRANSPORTS
-    ],
+    "transport", [_transport_param(t) for t in TRANSPORTS]
+)
+#: The thread transport is the bitwise reference; these are the
+#: transports compared against it.
+nonthread_transports = pytest.mark.parametrize(
+    "transport", [_transport_param(t) for t in TRANSPORTS if t != "thread"]
 )
 
 needs_process = pytest.mark.skipif(
     not process_transport_available(),
     reason="platform lacks fork-safe shared memory",
 )
+needs_torchdist = pytest.mark.skipif(
+    not transport_available("torchdist"),
+    reason="torch is not installed (transport 'torchdist' unavailable)",
+)
+
+
+def _skip_beyond_exact_collective(transport: str, g: int) -> None:
+    limit = resolve_transport(transport).exact_collective_max_g
+    if limit is not None and g > limit:
+        pytest.skip(
+            f"transport {transport!r} guarantees a bitwise collective "
+            f"only up to g={limit} (fabric chooses the association "
+            f"order beyond that)"
+        )
 
 KW = dict(s=80, batch_size=32, seed=0, damping=0.9)
 BANDWIDTH = 2.5
@@ -129,20 +167,22 @@ def unsharded(small_dataset):
 
 class TestTrainerConformance:
     @shard_counts
-    @needs_process
-    def test_transports_bitwise_identical(self, small_dataset, g):
-        """The tentpole invariant: thread and process transports produce
-        bit-identical weights, histories and op counts."""
+    @nonthread_transports
+    def test_transports_bitwise_identical(self, small_dataset, g, transport):
+        """The tentpole invariant: every transport produces weights,
+        histories and op counts bit-identical to the thread transport's
+        (up to its declared exact-collective bound)."""
+        _skip_beyond_exact_collective(transport, g)
         a_thread, h_thread, m_thread, p_thread, s_thread = _fit_sharded(
             small_dataset, "thread", g
         )
-        a_proc, h_proc, m_proc, p_proc, s_proc = _fit_sharded(
-            small_dataset, "process", g
+        a_other, h_other, m_other, p_other, s_other = _fit_sharded(
+            small_dataset, transport, g
         )
-        np.testing.assert_array_equal(a_proc, a_thread)
-        assert h_proc == h_thread
-        assert m_proc == m_thread
-        assert p_proc == p_thread and s_proc == s_thread
+        np.testing.assert_array_equal(a_other, a_thread)
+        assert h_other == h_thread
+        assert m_other == m_thread
+        assert p_other == p_thread and s_other == s_thread
 
     @shard_counts
     @transports
@@ -192,21 +232,20 @@ class TestTrainerConformance:
 
 class TestShardedOpsConformance:
     @shard_counts
-    @needs_process
-    def test_matvec_bitwise_across_transports(self, problem, g):
+    @nonthread_transports
+    def test_matvec_bitwise_across_transports(self, problem, g, transport):
+        _skip_beyond_exact_collective(transport, g)
         centers, weights, x = problem
         kernel = LaplacianKernel(bandwidth=2.0)
         results = {}
-        for transport in ("thread", "process"):
+        for name in ("thread", transport):
             with ShardGroup.build(
-                centers, weights, g=g, kernel=kernel, transport=transport
+                centers, weights, g=g, kernel=kernel, transport=name
             ) as group:
-                results[transport] = np.asarray(
+                results[name] = np.asarray(
                     sharded_kernel_matvec(kernel, x, group)
                 )
-        np.testing.assert_array_equal(
-            results["process"], results["thread"]
-        )
+        np.testing.assert_array_equal(results[transport], results["thread"])
 
     @shard_counts
     @transports
@@ -276,9 +315,95 @@ class TestProcessMirrorBack:
             trainer.fit(small_dataset.x_train, small_dataset.y_train, epochs=1)
             assert trainer._pending_mirror is None
             iterations = trainer.history_.final.iterations
-            # Tasks per worker: broadcast + scatter state (2), form +
-            # contract per iteration (2 each), one workspace drain.
-            expected = 2 + 2 * iterations + 1
+            # Tasks per worker: one batched state setup, form + contract
+            # per iteration (2 each), one workspace drain.
+            expected = 1 + 2 * iterations + 1
+            for ex in trainer.shard_group_.executors:
+                assert ex.rpc_count == expected
+        finally:
+            trainer.close()
+
+    @needs_process
+    def test_serial_fit_one_roundtrip_per_step(self, small_dataset):
+        """With the pipeline off, form + contract are batched into a
+        single task (`_forward_task`) — exactly one RPC round-trip per
+        iteration per worker, plus the batched setup and the drain."""
+        trainer = ShardedEigenPro2(
+            GaussianKernel(bandwidth=BANDWIDTH),
+            n_shards=2,
+            transport="process",
+            device=titan_xp(),
+            pipeline=False,
+            **KW,
+        )
+        try:
+            trainer.fit(small_dataset.x_train, small_dataset.y_train, epochs=1)
+            iterations = trainer.history_.final.iterations
+            expected = 1 + iterations + 1
+            for ex in trainer.shard_group_.executors:
+                assert ex.rpc_count == expected
+        finally:
+            trainer.close()
+
+
+class TestTorchDistCollective:
+    """The torchdist-specific contract: the all-reduce is a *real*
+    ``dist.all_reduce`` riding one task per rank, metered with the same
+    shape-derived charge as the host-side sum, short-circuiting at a
+    single rank."""
+
+    @needs_torchdist
+    def test_allreduce_is_real_collective(self, problem):
+        centers, weights, _ = problem
+        rng = np.random.default_rng(7)
+        a = rng.standard_normal((12, 3))
+        b = rng.standard_normal((12, 3))
+        with ShardGroup.build(
+            centers, weights, g=2, transport="torchdist"
+        ) as group:
+            before = [ex.rpc_count for ex in group.executors]
+            with meter_scope() as meter:
+                out = np.asarray(group.allreduce([a, b]))
+            # The collective rode the task channel: one RPC per rank.
+            assert [ex.rpc_count for ex in group.executors] == [
+                n + 1 for n in before
+            ]
+        # Bitwise equal to the host shard-order sum at g = 2 (IEEE
+        # commutativity), with the identical "allreduce" charge.
+        np.testing.assert_array_equal(out, a + b)
+        assert meter.as_dict().get("allreduce", 0) == a.size
+
+    @needs_torchdist
+    def test_single_rank_short_circuits(self, problem):
+        centers, weights, _ = problem
+        a = np.arange(12.0).reshape(4, 3)
+        with ShardGroup.build(
+            centers, weights, g=1, transport="torchdist"
+        ) as group:
+            before = [ex.rpc_count for ex in group.executors]
+            with meter_scope() as meter:
+                out = np.asarray(group.allreduce([a]))
+            assert [ex.rpc_count for ex in group.executors] == before
+        np.testing.assert_array_equal(out, a)
+        assert meter.as_dict().get("allreduce", 0) == 0
+
+    @needs_torchdist
+    def test_trainer_rpc_accounting(self, small_dataset):
+        """A pipelined torchdist fit's per-worker RPC traffic is exactly
+        setup + (form, contract, all-reduce) per iteration + drain —
+        mirror-back stays a direct shared-memory write, never a task."""
+        trainer = ShardedEigenPro2(
+            GaussianKernel(bandwidth=BANDWIDTH),
+            n_shards=2,
+            transport="torchdist",
+            device=titan_xp(),
+            **KW,
+        )
+        try:
+            trainer.fit(small_dataset.x_train, small_dataset.y_train, epochs=1)
+            assert trainer._pending_mirror is None
+            iterations = trainer.history_.final.iterations
+            expected = 1 + 3 * iterations + 1
             for ex in trainer.shard_group_.executors:
                 assert ex.rpc_count == expected
         finally:
@@ -288,7 +413,7 @@ class TestProcessMirrorBack:
 class TestTransportSelection:
     def test_unknown_transport_rejected(self, problem):
         centers, weights, _ = problem
-        with pytest.raises(ConfigurationError):
+        with pytest.raises(ConfigurationError, match="registered"):
             ShardGroup.build(centers, weights, g=2, transport="nccl")
 
     @needs_process
@@ -305,3 +430,22 @@ class TestTransportSelection:
         assert "thread" in names
         if process_transport_available():
             assert "process" in names
+
+    def test_registered_transports_include_builtins(self):
+        names = registered_transports()
+        assert names[:3] == ["thread", "process", "torchdist"]
+        # Registration never requires availability; usability filtering
+        # happens in available_transports().
+        assert set(available_transports()) <= set(names)
+
+    def test_torchdist_unavailable_reported(self):
+        """Without torch the transport stays *registered* (so it is
+        listed, and selecting it errors helpfully) but not available."""
+        if transport_available("torchdist"):
+            pytest.skip("torch installed: unavailability path not testable")
+        assert "torchdist" in registered_transports()
+        assert "torchdist" not in available_transports()
+        with pytest.raises(ConfigurationError, match="torch"):
+            ShardGroup.build(
+                np.zeros((4, 2)), g=2, transport="torchdist"
+            )
