@@ -16,6 +16,13 @@ Two entry points:
   uploads) — JSON results on stdout and under ``benchmarks/results/``
   (``--smoke`` shrinks the workload for CI; exit status is non-zero if
   a checked claim fails, 2 if the requested transport is unavailable).
+
+``--inject-failure`` switches the CLI to the elastic-recovery benchmark
+(:func:`repro.experiments.run_failure_injection`): a worker of the
+requested process-backed transport is SIGKILLed mid-fit and the payload
+reports measured recovery latency and replayed-step count next to the
+:func:`repro.device.cluster.recovery_time` model's price for the same
+detour (exit 2 if the transport cannot host the injection).
 """
 
 from __future__ import annotations
@@ -25,7 +32,13 @@ import json
 import pathlib
 import sys
 
-from repro.experiments import ShardValidationConfig, run_shard_validation
+from repro.experiments import (
+    FailureInjectionConfig,
+    ShardValidationConfig,
+    failure_injection_supported,
+    run_failure_injection,
+    run_shard_validation,
+)
 from repro.shard.transport import (
     available_transports,
     registered_transports,
@@ -65,11 +78,25 @@ def main(argv: list[str] | None = None) -> int:
         help="tiny workload for CI smoke runs",
     )
     parser.add_argument(
+        "--inject-failure", action="store_true",
+        help="run the elastic-recovery benchmark instead: SIGKILL a "
+        "worker of the (process-backed) transport mid-fit and report "
+        "measured recovery latency + replayed steps vs the "
+        "recovery_time cost model",
+    )
+    parser.add_argument(
+        "--g", type=int, default=2,
+        help="shard count for --inject-failure (needs >= 2 to shrink)",
+    )
+    parser.add_argument(
         "--out", type=pathlib.Path, default=None,
         help="JSON output path (default: benchmarks/results/"
         "shard-validation[-<transport>].json)",
     )
     args = parser.parse_args(argv)
+
+    if args.inject_failure:
+        return _inject_failure_main(args)
 
     if args.transport == "all":
         transports = available_transports()
@@ -121,6 +148,104 @@ def main(argv: list[str] | None = None) -> int:
     if args.transport == "all":
         payload = {
             "name": "shard-validation-all",
+            "smoke": bool(args.smoke),
+            "transports": transports,
+            "runs": payloads,
+        }
+    else:
+        payload = payloads[0]
+    out = args.out
+    if out is None:
+        results_dir = pathlib.Path(__file__).parent / "results"
+        results_dir.mkdir(exist_ok=True)
+        out = results_dir / f"{payload['name']}.json"
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(json.dumps(payload))
+
+    if failed:
+        print(f"claims failed: {failed}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _inject_failure_main(args) -> int:
+    """``--inject-failure`` path: measured elastic recovery vs the
+    recovery_time model, one run per injectable transport."""
+    if args.transport == "all":
+        transports = [
+            t for t in available_transports()
+            if failure_injection_supported(t)
+        ]
+        if not transports:
+            print(
+                "no available transport can host failure injection "
+                "(needs process-backed executors)",
+                file=sys.stderr,
+            )
+            return 2
+    elif not failure_injection_supported(args.transport):
+        print(
+            f"transport {args.transport!r} cannot host failure injection "
+            "(needs an *available* process-backed transport whose "
+            "executors own killable worker processes; injectable here: "
+            + (
+                ", ".join(
+                    t for t in available_transports()
+                    if failure_injection_supported(t)
+                )
+                or "none"
+            )
+            + ")",
+            file=sys.stderr,
+        )
+        return 2
+    else:
+        transports = [args.transport]
+
+    payloads = []
+    failed: list[str] = []
+    for transport in transports:
+        cfg = FailureInjectionConfig(
+            n=240 if args.smoke else 2_000,
+            d=8 if args.smoke else 12,
+            m=32 if args.smoke else 64,
+            s=48 if args.smoke else 200,
+            epochs=2 if args.smoke else 3,
+            checkpoint_every=2 if args.smoke else 4,
+            g=args.g,
+            transport=transport,
+            # Bound dead-peer collectives so the injected failure
+            # surfaces as a ShardError well inside the bench budget.
+            transport_options=(
+                {"timeout_s": 30.0} if transport == "torchdist" else {}
+            ),
+        )
+        result = run_failure_injection(cfg)
+        print(result.render(), file=sys.stderr)
+        payloads.append({
+            "name": result.name,
+            "transport": transport,
+            "smoke": bool(args.smoke),
+            "rows": result.rows,
+            "claims": [
+                {
+                    "claim_id": c.claim_id,
+                    "holds": c.holds,
+                    "measured": c.measured,
+                }
+                for c in result.claims
+            ],
+            "notes": result.notes,
+        })
+        failed.extend(
+            f"{transport}:{c.claim_id}"
+            for c in result.claims
+            if c.holds is False
+        )
+
+    if args.transport == "all":
+        payload = {
+            "name": "failure-injection-all",
             "smoke": bool(args.smoke),
             "transports": transports,
             "runs": payloads,

@@ -135,6 +135,38 @@ and process groups always reclaimed); platforms without the needed
 support keep ``transport="thread"`` (see
 :func:`repro.shard.process_transport_available` /
 :func:`repro.shard.torchdist_available`).
+
+Checkpointing and elastic fault recovery
+----------------------------------------
+A sharded fit survives worker failure.  The trainer takes a lightweight
+:class:`~repro.shard.ShardCheckpoint` every ``checkpoint_every`` steps
+(and at every epoch start): the full weight matrix gathered through the
+transport's host-visible surface, the shuffling RNG state, the
+epoch/batch cursor and the op-meter totals — in memory by default, on
+disk when ``checkpoint_dir`` is set.  When a shard fails mid-fit, the
+trainer probes per-shard liveness
+(:meth:`~repro.shard.ShardTransport.alive` — dead workers *reported*,
+not rediscovered by the next task), tears the broken transport down,
+rebuilds the group over the survivors (an elastic shrink to at least
+``g - 1`` through the same transport registry), restores the last
+checkpoint and resumes at its batch cursor, replaying only the steps
+since the snapshot::
+
+    with ShardedEigenPro2(
+        kernel, n_shards=4, transport="process",
+        checkpoint_every=25, max_recoveries=2,
+    ) as t:
+        t.fit(ds.x_train, ds.y_train, epochs=5)
+    t.recovery_log_   # one RecoveryEvent per elastic shrink (empty if none)
+
+Retries are bounded by ``max_recoveries``; once exhausted (or fewer
+than ``min_shards`` would survive) the original ``ShardError``
+propagates with the last checkpoint attached (``exc.checkpoint``) for
+out-of-band resumption.  A recovered fit matches the failure-free run
+up to the collective's association order over the shrunken plan
+(1e-6-of-scale); :func:`repro.device.cluster.recovery_time` prices the
+detour (re-shard + restore + replayed steps) in the analytic cost
+model, validated by ``benchmarks/bench_shard.py --inject-failure``.
 """
 
 from repro._version import __version__
@@ -186,6 +218,8 @@ from repro.core import (
 )
 from repro.shard import (
     ProcessTransport,
+    RecoveryEvent,
+    ShardCheckpoint,
     ShardGroup,
     ShardPlan,
     ShardTransport,
@@ -239,6 +273,8 @@ __all__ = [
     "ShardedEigenPro2",
     "ShardGroup",
     "ShardPlan",
+    "ShardCheckpoint",
+    "RecoveryEvent",
     "ShardTransport",
     "ThreadTransport",
     "ProcessTransport",

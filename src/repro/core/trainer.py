@@ -258,6 +258,10 @@ class BaseKernelTrainer:
         self.damping = float(damping)
         self.pipeline = bool(pipeline)
         self._prefetcher: BlockPrefetcher | None = None
+        # Cursor state exposed for checkpointing (repro.shard.recovery):
+        # the fit's shuffling RNG and the 1-based epoch being run.
+        self._rng: np.random.Generator | None = None
+        self._epoch: int = 0
         # Fitted state.
         self._x_sq_norms: Any | None = None
         self.model_: KernelModel | None = None
@@ -387,7 +391,9 @@ class BaseKernelTrainer:
         self.batch_size_ = m
         gamma = self.step_size_ / m
 
-        rng = np.random.default_rng(self.seed)
+        # Exposed as an attribute so checkpoints (repro.shard.recovery)
+        # can capture the generator state alongside the epoch cursor.
+        self._rng = rng = np.random.default_rng(self.seed)
         monitor_idx = (
             np.arange(n)
             if n <= self.monitor_size
@@ -415,6 +421,7 @@ class BaseKernelTrainer:
                     self.device.memory.allocate(name, size)
                     allocations.append(name)
             for epoch in range(1, epochs + 1):
+                self._epoch = epoch
                 perm = rng.permutation(n)
                 # The epoch's batch index blocks, computed once per
                 # permutation (the pipelined engine needs to see step t+1

@@ -37,6 +37,7 @@ __all__ = [
     "multi_gpu",
     "allreduce_time",
     "pipelined_sync_time",
+    "recovery_time",
     "TRANSPORT_INTERCONNECTS",
     "transport_interconnect",
     "link_cost",
@@ -167,6 +168,96 @@ def pipelined_sync_time(
         )
     sync = allreduce_time(interconnect, n_devices, payload_scalars)
     return max(0.0, sync - float(overlap_block_time_s))
+
+
+def recovery_time(
+    interconnect: Interconnect,
+    n_devices: int,
+    *,
+    weight_scalars: float,
+    resident_scalars: float | None = None,
+    replayed_iterations: int = 0,
+    iteration_time_s: float = 0.0,
+    worker_spawn_s: float = 0.05,
+) -> float:
+    """Modelled cost of one elastic-shrink recovery: what a worker
+    failure costs a ``g``-device data-parallel fit (the MLSYSIM-style
+    "what does a failure cost at g=64?" question).
+
+    Three terms, mirroring what the executable recovery path
+    (:mod:`repro.shard.recovery`) actually does:
+
+    - **re-shard**: respawn the ``g - 1`` surviving workers (concurrent,
+      so one ``worker_spawn_s`` charge plus a per-worker latency hit)
+      and move the dead shard's ``resident_scalars / g`` resident rows
+      across the link to its new owners;
+    - **restore**: scatter the checkpointed ``weight_scalars`` weight
+      matrix over the rebuilt group (one latency per survivor plus the
+      full payload once — every transport reshards the whole matrix, not
+      a delta);
+    - **replay**: re-run the ``replayed_iterations`` steps completed
+      since the last checkpoint, at the fit's normal per-iteration cost.
+
+    Parameters
+    ----------
+    interconnect:
+        Link model of the transport being recovered (e.g.
+        :func:`transport_interconnect`'s entry for it).
+    n_devices:
+        Shard count *before* the failure; must be >= 2 (a single-device
+        fit has nothing to shrink to).
+    weight_scalars:
+        Checkpoint payload ``n * l`` restored onto the new group.
+    resident_scalars:
+        Total resident state ``n * (d + l)`` redistributed from the dead
+        shard (its ``1/g`` share crosses the link); defaults to
+        ``weight_scalars``.
+    replayed_iterations, iteration_time_s:
+        Steps replayed since the last checkpoint and the measured (or
+        modelled) cost of one step.
+    worker_spawn_s:
+        Process/rank startup cost, charged once (survivors respawn
+        concurrently).
+    """
+    n_devices = int(n_devices)
+    if n_devices < 2:
+        raise ConfigurationError(
+            f"recovery needs n_devices >= 2 to shrink, got {n_devices}"
+        )
+    if weight_scalars < 0:
+        raise ConfigurationError(
+            f"weight_scalars must be >= 0, got {weight_scalars}"
+        )
+    if replayed_iterations < 0:
+        raise ConfigurationError(
+            f"replayed_iterations must be >= 0, got {replayed_iterations}"
+        )
+    if iteration_time_s < 0:
+        raise ConfigurationError(
+            f"iteration_time_s must be >= 0, got {iteration_time_s}"
+        )
+    if worker_spawn_s < 0:
+        raise ConfigurationError(
+            f"worker_spawn_s must be >= 0, got {worker_spawn_s}"
+        )
+    survivors = n_devices - 1
+    resident = (
+        float(weight_scalars) if resident_scalars is None
+        else float(resident_scalars)
+    )
+    if resident < 0:
+        raise ConfigurationError(
+            f"resident_scalars must be >= 0, got {resident}"
+        )
+    beta = interconnect.bandwidth_scalars_per_s
+    reshard = (
+        worker_spawn_s
+        + survivors * interconnect.latency_s
+        + (resident / n_devices) / beta
+    )
+    restore = survivors * interconnect.latency_s + float(weight_scalars) / beta
+    replay = int(replayed_iterations) * float(iteration_time_s)
+    return reshard + restore + replay
 
 
 def multi_gpu(

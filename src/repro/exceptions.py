@@ -44,7 +44,20 @@ class ShardError(ReproError, RuntimeError):
     unreachable, a collective could not complete, or a task was submitted
     to a transport that has already failed.  Distinct from
     :class:`ConfigurationError` (bad arguments) so callers can retry or
-    rebuild a group on transport failure without masking input bugs."""
+    rebuild a group on transport failure without masking input bugs.
+
+    When elastic recovery (:mod:`repro.shard.recovery`) gives up — the
+    retry budget is exhausted or too few shards survive — the propagating
+    instance carries the last
+    :class:`~repro.shard.recovery.ShardCheckpoint` on :attr:`checkpoint`
+    so the caller can persist it or resume training out of band.
+    """
+
+    #: Last checkpoint taken before the unrecoverable failure; ``None``
+    #: for transport-level errors raised outside the recovery loop (and
+    #: always ``None`` on worker-side instances — the attribute is
+    #: attached caller-side and never crosses the pickle boundary).
+    checkpoint = None
 
 
 class BackendLinAlgError(ReproError, ArithmeticError):

@@ -27,9 +27,12 @@ from repro.experiments.ablations import (
 )
 from repro.experiments.cluster_scaling import (
     ClusterScalingConfig,
+    FailureInjectionConfig,
     PipelineOverlapConfig,
     ShardValidationConfig,
+    failure_injection_supported,
     run_cluster_scaling,
+    run_failure_injection,
     run_pipeline_overlap,
     run_shard_validation,
 )
@@ -56,6 +59,9 @@ __all__ = [
     "run_shard_validation",
     "PipelineOverlapConfig",
     "run_pipeline_overlap",
+    "FailureInjectionConfig",
+    "run_failure_injection",
+    "failure_injection_supported",
     "Figure3Config",
     "run_figure3a",
     "run_figure3b",
@@ -84,6 +90,7 @@ EXPERIMENTS = {
     "cluster-scaling": run_cluster_scaling,
     "shard-validation": run_shard_validation,
     "pipeline-overlap": run_pipeline_overlap,
+    "failure-injection": run_failure_injection,
     "figure3a": run_figure3a,
     "figure3b": run_figure3b,
     "table1": run_table1,

@@ -33,6 +33,7 @@ from repro.device.cluster import Interconnect, allreduce_time, multi_gpu
 from repro.device.presets import titan_xp
 from repro.device.simulator import SimulatedDevice
 from repro.device.spec import DeviceSpec
+from repro.exceptions import ConfigurationError
 from repro.experiments.harness import ExperimentResult, PaperClaim
 from repro.kernels import GaussianKernel
 
@@ -43,6 +44,9 @@ __all__ = [
     "run_shard_validation",
     "PipelineOverlapConfig",
     "run_pipeline_overlap",
+    "FailureInjectionConfig",
+    "run_failure_injection",
+    "failure_injection_supported",
 ]
 
 
@@ -583,6 +587,307 @@ def run_pipeline_overlap(
                 for r in result.rows
                 if "modelled_sync_us" in r
             ),
+        )
+    )
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Failure injection: kill a worker mid-fit, measure the elastic recovery.
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class FailureInjectionConfig:
+    """Workload and injection policy for the recovery benchmark.
+
+    A reference fit and an injected fit run the *same* workload with the
+    same seed; a watcher thread kills the last shard's worker process as
+    soon as the epoch-``kill_epoch`` anchor checkpoint exists, so the
+    failure always lands inside an epoch the trainer can recover (the
+    anchor bounds replay to within that epoch).
+    """
+
+    n: int = 2_000
+    d: int = 12
+    l: int = 3
+    m: int = 64
+    s: int = 200
+    g: int = 2
+    epochs: int = 3
+    checkpoint_every: int = 4
+    #: Kill once the anchor checkpoint of this epoch has been taken
+    #: (>= 1 so a full epoch of steady-state steps precedes the kill).
+    kill_epoch: int = 1
+    #: Give up on injecting (and report the failure-free fit) after this
+    #: many seconds — bounds the watcher if the fit outruns it.
+    kill_timeout_s: float = 120.0
+    #: Transport to inject into; must be process-backed (an executor
+    #: owning a killable worker process): see
+    #: :func:`failure_injection_supported`.
+    transport: str = "process"
+    #: Extra transport constructor kwargs for *both* fits (e.g.
+    #: ``{"timeout_s": 20.0}`` to bound torchdist dead-peer collectives).
+    transport_options: dict = field(default_factory=dict)
+    bandwidth: float = 4.0
+    seed: int = 0
+    #: Documented recovery exactness bound: max |recovered - reference|
+    #: may not exceed this fraction of the reference weight scale (replay
+    #: is exact; only the collective's association order over the
+    #: shrunken plan differs).
+    weight_tolerance: float = 1e-6
+
+
+def failure_injection_supported(transport: str) -> bool:
+    """True when ``transport`` is available *and* process-backed, i.e.
+    its executors own worker processes the injector can kill."""
+    from repro.shard.transport import (
+        ProcessTransport,
+        resolve_transport,
+        transport_available,
+    )
+
+    if not transport_available(transport):
+        return False
+    return issubclass(resolve_transport(transport), ProcessTransport)
+
+
+def _make_problem(cfg: FailureInjectionConfig):
+    rng = np.random.default_rng(cfg.seed)
+    x = rng.standard_normal((cfg.n, cfg.d))
+    proj = rng.standard_normal((cfg.d, cfg.l))
+    y = np.tanh(x @ proj / np.sqrt(cfg.d))
+    return x, y
+
+
+def _fit_once(cfg: FailureInjectionConfig, *, injector=None):
+    """One sharded fit of the config's workload; returns
+    ``(trainer_state, wall_seconds)`` with the trainer closed."""
+    from repro.backend import to_numpy
+    from repro.shard import ShardedEigenPro2
+
+    x, y = _make_problem(cfg)
+    trainer = ShardedEigenPro2(
+        GaussianKernel(bandwidth=cfg.bandwidth),
+        n_shards=cfg.g,
+        transport=cfg.transport,
+        transport_options=dict(cfg.transport_options),
+        checkpoint_every=cfg.checkpoint_every,
+        s=cfg.s,
+        batch_size=cfg.m,
+        seed=cfg.seed,
+        damping=0.5,
+    )
+    try:
+        watcher = injector and injector(trainer)
+        t0 = time.perf_counter()
+        trainer.fit(x, y, epochs=cfg.epochs)
+        wall = time.perf_counter() - t0
+        if watcher is not None:
+            watcher.join(timeout=cfg.kill_timeout_s)
+        state = {
+            "weights": np.array(to_numpy(trainer._alpha)),
+            "recovery_log": list(trainer.recovery_log_),
+            "final_g": None
+            if trainer.shard_group_ is None
+            else trainer.shard_group_.g,
+        }
+    finally:
+        trainer.close()
+    return state, wall
+
+
+def _kill_watcher(cfg: FailureInjectionConfig):
+    """Injector factory: returns a started daemon thread that kills the
+    last shard's worker process once the epoch-``kill_epoch`` anchor
+    checkpoint has been taken (never earlier — recovery must have an
+    in-epoch checkpoint to restore)."""
+    import threading
+
+    def start(trainer):
+        def run():
+            deadline = time.perf_counter() + cfg.kill_timeout_s
+            while time.perf_counter() < deadline:
+                group = trainer.shard_group_
+                ckpt = trainer.last_checkpoint_
+                if (
+                    group is not None
+                    and ckpt is not None
+                    and ckpt.epoch >= cfg.kill_epoch
+                    and not trainer.recovery_log_
+                ):
+                    try:
+                        proc = group.executors[-1].process
+                        if proc.is_alive():
+                            proc.kill()
+                            return
+                    except (AttributeError, IndexError):
+                        return  # group torn down under us; fit is ending
+                time.sleep(0.002)
+
+        thread = threading.Thread(
+            target=run, name="repro-failure-injector", daemon=True
+        )
+        thread.start()
+        return thread
+
+    return start
+
+
+def run_failure_injection(
+    cfg: FailureInjectionConfig | None = None,
+) -> ExperimentResult:
+    """Kill a shard worker mid-fit and measure what the elastic recovery
+    actually costs — then price the same detour with the analytic
+    :func:`repro.device.cluster.recovery_time` model.
+
+    Two fits of the identical workload: a failure-free *reference* (also
+    the per-iteration time calibration for the model's replay term) and
+    an *injected* run where a watcher thread SIGKILLs the last shard's
+    worker process right after the epoch-``kill_epoch`` anchor
+    checkpoint.  The injected fit must complete by shrinking to ``g - 1``
+    shards and restoring the checkpoint; its final weights are compared
+    against the reference under the documented 1e-6-of-scale bound.
+    """
+    from repro.device.cluster import recovery_time, transport_interconnect
+    from repro.shard.transport import resolve_transport
+
+    cfg = cfg or FailureInjectionConfig()
+    if not failure_injection_supported(cfg.transport):
+        raise ConfigurationError(
+            f"failure injection needs an available process-backed "
+            f"transport (executors owning killable worker processes); "
+            f"{cfg.transport!r} is not"
+        )
+    if cfg.g < 2:
+        raise ConfigurationError(
+            f"failure injection needs g >= 2 to shrink, got g={cfg.g}"
+        )
+    if cfg.kill_epoch >= cfg.epochs:
+        raise ConfigurationError(
+            f"kill_epoch={cfg.kill_epoch} never happens in "
+            f"{cfg.epochs} epochs"
+        )
+
+    reference, ref_wall = _fit_once(cfg)
+    steps_per_epoch = -(-cfg.n // cfg.m)
+    iteration_s = ref_wall / max(1, cfg.epochs * steps_per_epoch)
+
+    injected, _ = _fit_once(cfg, injector=_kill_watcher(cfg))
+    log = injected["recovery_log"]
+    event = log[0] if log else None
+
+    scale = float(np.max(np.abs(reference["weights"]))) or 1.0
+    max_diff = float(
+        np.max(np.abs(injected["weights"] - reference["weights"]))
+    )
+
+    interconnect = transport_interconnect(
+        resolve_transport(cfg.transport).link_name()
+    )
+    modelled_s = recovery_time(
+        interconnect,
+        cfg.g,
+        weight_scalars=float(cfg.n * cfg.l),
+        resident_scalars=float(cfg.n * (cfg.d + cfg.l)),
+        replayed_iterations=event.replayed_steps if event else 0,
+        iteration_time_s=iteration_s,
+    )
+
+    result = ExperimentResult(
+        name=f"failure-injection-{cfg.transport}",
+        title=(
+            "Elastic fault recovery under injected worker failure "
+            f"({cfg.transport} transport; measured vs modelled "
+            "recovery cost)"
+        ),
+        notes=(
+            f"workload: n={cfg.n}, d={cfg.d}, l={cfg.l}, m={cfg.m}, "
+            f"g={cfg.g}, epochs={cfg.epochs}, "
+            f"checkpoint_every={cfg.checkpoint_every}; worker of the "
+            f"last shard SIGKILLed after the epoch-{cfg.kill_epoch} "
+            "anchor checkpoint; reference fit calibrates the model's "
+            "per-iteration replay cost."
+        ),
+    )
+    result.add_row(
+        transport=cfg.transport,
+        shards=cfg.g,
+        recoveries=len(log),
+        old_g=event.old_g if event else None,
+        new_g=event.new_g if event else None,
+        dead_shards=list(event.dead_shards) if event else [],
+        replayed_steps=event.replayed_steps if event else None,
+        measured_recovery_ms=(
+            round(1e3 * event.recovery_s, 3) if event else None
+        ),
+        modelled_recovery_ms=round(1e3 * modelled_s, 3),
+        iteration_ms=round(1e3 * iteration_s, 3),
+        weight_max_diff=max_diff,
+        weight_scale=scale,
+        weight_rel_diff=max_diff / scale,
+        error=event.error if event else None,
+    )
+
+    result.add_claim(
+        PaperClaim(
+            claim_id="recovery/elastic-shrink",
+            description=(
+                "An injected worker kill mid-fit completes the fit by "
+                f"shrinking to g-1={cfg.g - 1} shards and restoring the "
+                "last checkpoint (exactly one bounded recovery, no hang)"
+            ),
+            paper="(fault-tolerance extension of the Section-6 direction)",
+            measured=(
+                f"recoveries={len(log)}; "
+                + (
+                    f"g {event.old_g} -> {event.new_g}, replayed "
+                    f"{event.replayed_steps} steps, "
+                    f"{1e3 * event.recovery_s:.1f}ms ({event.error})"
+                    if event
+                    else "no failure was injected in time"
+                )
+            ),
+            holds=(
+                len(log) == 1
+                and event.new_g == cfg.g - 1
+                and injected["final_g"] == cfg.g - 1
+            ),
+        )
+    )
+    result.add_claim(
+        PaperClaim(
+            claim_id="recovery/weights-match",
+            description=(
+                "Recovered final weights match the failure-free run "
+                f"within {cfg.weight_tolerance:g} of the weight scale "
+                "(replay is exact; only the shrunken plan's collective "
+                "association order differs)"
+            ),
+            paper="(documented recovery exactness bound; repro.shard)",
+            measured=(
+                f"max|diff|={max_diff:.3e} at scale {scale:.3e} "
+                f"(rel {max_diff / scale:.3e})"
+            ),
+            holds=bool(event) and max_diff <= cfg.weight_tolerance * scale,
+        )
+    )
+    result.add_claim(
+        PaperClaim(
+            claim_id="recovery/modelled-cost",
+            description=(
+                "The alpha-beta recovery_time model prices the same "
+                "detour (re-shard + restore + replay) — informational: "
+                "measured recovery is dominated by real fork/spawn and "
+                "shared-memory setup the generic spawn constant only "
+                "approximates"
+            ),
+            paper="network bandwidth must be taken into account (Section 2)",
+            measured=(
+                f"modelled {1e3 * modelled_s:.1f}ms vs measured "
+                + (f"{1e3 * event.recovery_s:.1f}ms" if event else "n/a")
+            ),
+            holds=None,
         )
     )
     return result

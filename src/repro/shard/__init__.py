@@ -62,6 +62,41 @@ FIFO worker order — the transport contract — is what makes this sound:
 a weight-reading contraction is always queued after the mirror of the
 update it must observe.
 
+Checkpointing and elastic fault recovery
+----------------------------------------
+A worker failure is never the end of the fit.  Detection came first:
+a killed worker process, dead rank or failed collective surfaces as a
+clean :class:`~repro.exceptions.ShardError` naming the shard — never a
+hang (the torchdist group timeout bounds dead-peer collectives).  On
+top of that, :mod:`repro.shard.recovery` provides the restore path and
+:class:`~repro.shard.trainer.ShardedEigenPro2` the policy:
+
+- every ``checkpoint_every`` steps (and at every epoch start) the
+  trainer takes a :class:`~repro.shard.recovery.ShardCheckpoint` — the
+  full weight matrix via
+  :meth:`~repro.shard.group.ShardGroup.gather_weights` (a host memcpy
+  on shared-memory transports), the shuffling RNG state, the
+  epoch/batch cursor and the op-meter totals; in memory by default,
+  mirrored to disk when ``checkpoint_dir`` is set;
+- :meth:`~repro.shard.transport.ShardTransport.alive` probes per-shard
+  liveness without raising, so dead workers are *reported*, not
+  discovered by the next task's failure;
+- on a ``ShardError`` inside the epoch loop the trainer tears the
+  broken transport down, rebuilds the group over the surviving shard
+  count (always at least one fewer — an *elastic shrink* through the
+  same transport registry), restores the checkpoint's weights and
+  resumes at its batch cursor, replaying only the steps since the last
+  snapshot.  Retries are bounded by ``max_recoveries``; when the budget
+  is exhausted the original ``ShardError`` propagates with the last
+  checkpoint attached (``exc.checkpoint``) for out-of-band resumption.
+
+Replayed steps re-run the same batch blocks from the restored weights,
+so a recovered fit matches the failure-free run up to the collective's
+association order over the shrunken plan (1e-6-of-scale, the same bound
+the conformance suite documents for resharded runs);
+:func:`repro.device.cluster.recovery_time` prices the whole detour
+(re-shard + restore + replay) in the analytic cost model.
+
 Because per-shard op counts are shape-derived and the shards tile the
 centers, aggregate counts equal the unsharded counts exactly, and every
 transport executes the *same task functions*, so results are bitwise
@@ -91,6 +126,7 @@ Example
 from repro.shard.group import PendingMap, ShardExecutor, ShardGroup, allreduce_sum
 from repro.shard.ops import sharded_kernel_matvec, sharded_predict
 from repro.shard.plan import ShardPlan
+from repro.shard.recovery import RecoveryEvent, ShardCheckpoint
 from repro.shard.trainer import ShardedEigenPro2
 from repro.shard.transport import (
     ProcessTransport,
@@ -111,6 +147,8 @@ from repro.shard.transport import (
 __all__ = [
     "PendingMap",
     "ProcessTransport",
+    "RecoveryEvent",
+    "ShardCheckpoint",
     "ShardExecutor",
     "ShardGroup",
     "ShardPlan",

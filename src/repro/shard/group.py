@@ -224,6 +224,16 @@ class ShardGroup:
         :meth:`broadcast_state` + :meth:`scatter_state`."""
         self.transport.scatter_state_items(items)
 
+    # ------------------------------------------------------------- liveness
+    def alive(self) -> list[bool]:
+        """Per-shard liveness flags (never raises); see
+        :meth:`repro.shard.transport.ShardTransport.alive`."""
+        return self.transport.alive()
+
+    def dead_shards(self) -> list[int]:
+        """Shard ids whose workers are no longer serving."""
+        return self.transport.dead_shards()
+
     # ----------------------------------------------------------- accounting
     def op_counts(self) -> dict[str, int]:
         """Op counts summed across all shard meters."""

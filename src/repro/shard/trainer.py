@@ -78,6 +78,9 @@ The mirror of updated weight rows never barriers the caller:
 
 from __future__ import annotations
 
+import copy
+import time
+from pathlib import Path
 from typing import Any, Sequence
 
 import numpy as np
@@ -94,6 +97,7 @@ from repro.kernels.base import Kernel
 from repro.kernels.ops import block_workspace
 from repro.shard.group import PendingMap, ShardGroup
 from repro.shard.ops import sharded_predict
+from repro.shard.recovery import RecoveryEvent, ShardCheckpoint
 from repro.shard.transport import ShardTransport, ShardWorker, resolve_transport
 
 __all__ = ["ShardedEigenPro2"]
@@ -207,6 +211,35 @@ class ShardedEigenPro2(EigenPro2):
         (:func:`repro.device.cluster.transport_interconnect`) for
         non-thread transports, and to the generic NVLink-class default
         for threads.
+    checkpoint_every:
+        Take a :class:`~repro.shard.recovery.ShardCheckpoint` every this
+        many SGD steps (plus one at every epoch start, bounding replay to
+        within the current epoch).  ``0`` disables checkpointing *and*
+        elastic recovery — a worker failure then propagates as before.
+        Default 25; a checkpoint is a host copy of the weights through
+        the transport's host-visible surface, so the steady-state
+        overhead is one ``(n, l)`` memcpy per K steps.
+    max_recoveries:
+        Elastic-recovery retry budget per fit.  On a
+        :class:`~repro.exceptions.ShardError` inside the epoch loop the
+        trainer probes shard liveness, tears the broken group down,
+        rebuilds over the surviving shard count (at least one fewer),
+        restores the last checkpoint's weights and resumes from its
+        batch cursor.  Once the budget is exhausted (or fewer than
+        ``min_shards`` would survive) the original error propagates with
+        the checkpoint attached (``exc.checkpoint``).
+    min_shards:
+        Smallest shard count the elastic shrink may rebuild to
+        (default 1 — shrink down to a single surviving worker).
+    checkpoint_dir:
+        Optional directory; when set, every checkpoint is additionally
+        persisted (atomically) to ``<checkpoint_dir>/checkpoint.pkl``
+        for out-of-band resumption after a full-process crash.
+    transport_options:
+        Extra keyword arguments forwarded to the transport constructor
+        on every group build — initial and rebuilt alike (e.g.
+        ``{"timeout_s": 20.0}`` for torchdist, ``{"start_method":
+        "spawn"}`` for the process transport).
     **eigenpro_kwargs:
         Everything :class:`~repro.core.eigenpro2.EigenPro2` accepts
         (``s``, ``q``, ``batch_size``, ``step_size``, ``seed``, ...).
@@ -218,9 +251,16 @@ class ShardedEigenPro2(EigenPro2):
     Attributes
     ----------
     shard_group_:
-        The :class:`~repro.shard.ShardGroup` built at fit time; call
-        :meth:`close` (or use the trainer as a context manager) to join
-        its workers.
+        The :class:`~repro.shard.ShardGroup` built at fit time (and
+        rebuilt, smaller, by elastic recovery); call :meth:`close` (or
+        use the trainer as a context manager) to join its workers.
+    last_checkpoint_:
+        Most recent :class:`~repro.shard.recovery.ShardCheckpoint`, or
+        ``None`` before the first one of a fit.
+    recovery_log_:
+        List of :class:`~repro.shard.recovery.RecoveryEvent`, one per
+        elastic-shrink recovery performed during the last fit (empty for
+        a failure-free run).
     """
 
     method_name = "eigenpro2-sharded"
@@ -234,8 +274,25 @@ class ShardedEigenPro2(EigenPro2):
         transport: str | type[ShardTransport] = "thread",
         device: SimulatedDevice | None = None,
         interconnect: Interconnect | None = None,
+        checkpoint_every: int = 25,
+        max_recoveries: int = 2,
+        min_shards: int = 1,
+        checkpoint_dir: str | Path | None = None,
+        transport_options: dict[str, Any] | None = None,
         **eigenpro_kwargs: Any,
     ) -> None:
+        if checkpoint_every < 0:
+            raise ConfigurationError(
+                f"checkpoint_every must be >= 0, got {checkpoint_every}"
+            )
+        if max_recoveries < 0:
+            raise ConfigurationError(
+                f"max_recoveries must be >= 0, got {max_recoveries}"
+            )
+        if min_shards < 1:
+            raise ConfigurationError(
+                f"min_shards must be >= 1, got {min_shards}"
+            )
         if shard_backends is not None and not isinstance(
             shard_backends, (str, ArrayBackend)
         ):
@@ -270,24 +327,46 @@ class ShardedEigenPro2(EigenPro2):
         self.n_shards = n_shards
         self.shard_backends = shard_backends
         self.transport = transport
+        self.checkpoint_every = int(checkpoint_every)
+        self.max_recoveries = int(max_recoveries)
+        self.min_shards = int(min_shards)
+        self.checkpoint_dir = (
+            None if checkpoint_dir is None else Path(checkpoint_dir)
+        )
+        self.transport_options = dict(transport_options or {})
         self.shard_group_: ShardGroup | None = None
+        self.last_checkpoint_: ShardCheckpoint | None = None
+        self.recovery_log_: list[RecoveryEvent] = []
+        self._recoveries_used = 0
+        self._steps_since_checkpoint = 0
+        self._cursor = 0
         self._sub_parts: list[tuple[np.ndarray, np.ndarray]] | None = None
         self._pending_mirror: PendingMap | None = None
 
     # --------------------------------------------------------------- setup
     def _setup(self, x: np.ndarray, y: np.ndarray) -> None:
         super()._setup(x, y)
-        g = min(self.n_shards, x.shape[0])
+        self.last_checkpoint_ = None
+        self.recovery_log_ = []
+        self._recoveries_used = 0
+        self._steps_since_checkpoint = 0
+        self._build_group(x, min(self.n_shards, x.shape[0]))
+
+    def _build_group(self, x: Any, g: int) -> None:
+        """Build (or, during recovery, rebuild at a smaller ``g``) the
+        shard group over the current ``self._alpha`` and push the per-fit
+        worker context."""
         backends = self.shard_backends
         if backends is None or isinstance(backends, (str, ArrayBackend)):
             group = ShardGroup.build(
                 x, self._alpha, g=g, backends=backends, kernel=self.kernel,
-                transport=self.transport,
+                transport=self.transport, **self.transport_options,
             )
         else:
             group = ShardGroup.build(
-                x, self._alpha, backends=backends[:g], kernel=self.kernel,
-                transport=self.transport,
+                x, self._alpha, backends=list(backends)[:g],
+                kernel=self.kernel, transport=self.transport,
+                **self.transport_options,
             )
         # Build-before-close: a failing rebuild must leave the previous
         # (still open) group in place for fit's cleanup path.
@@ -405,17 +484,66 @@ class ShardedEigenPro2(EigenPro2):
         completes before step ``t+1``'s contraction is queued, so every
         contraction sees exactly the weights the serial engine would.
         """
-        group = self.shard_group_
-        if group is None:
+        if self.shard_group_ is None:
             super()._run_epoch_pipelined(x, y, blocks, gamma)
             return
+        self._run_span_pipelined(x, y, blocks, gamma, start=0)
+
+    # ---------------------------------------------------- epoch w/ recovery
+    def _run_epoch(
+        self, x: Any, y: Any, blocks: list[np.ndarray], gamma: float
+    ) -> None:
+        """One epoch, wrapped in the elastic-recovery loop.
+
+        With checkpointing enabled, an epoch-start checkpoint anchors the
+        replay window, periodic checkpoints tighten it, and a
+        :class:`~repro.exceptions.ShardError` raised by any step triggers
+        :meth:`_recover_or_reraise`: probe liveness, rebuild the group
+        over the survivors, restore the last checkpoint and resume at
+        its cursor.  Failure-free runs execute exactly the schedule of
+        the non-recovering engine — checkpoints only *read* state.
+        """
+        group = self.shard_group_
+        if group is None or self.checkpoint_every <= 0 or not blocks:
+            super()._run_epoch(x, y, blocks, gamma)
+            return
+        cursor = 0
+        while True:
+            try:
+                self._run_span(x, y, blocks, gamma, start=cursor)
+                return
+            except ShardError as exc:
+                cursor = self._recover_or_reraise(exc, x)
+
+    def _run_span(
+        self, x: Any, y: Any, blocks: list[np.ndarray], gamma: float,
+        start: int,
+    ) -> None:
+        """Run ``blocks[start:]`` with periodic checkpoints, starting
+        with the span-anchor checkpoint at ``start`` itself."""
+        self._take_checkpoint(start)
+        if self.pipeline and len(blocks) - start > 1:
+            self._run_span_pipelined(x, y, blocks, gamma, start=start)
+            return
+        for t in range(start, len(blocks)):
+            self._cursor = t
+            self._iterate(x, y, blocks[t], gamma)
+            self._maybe_checkpoint(t + 1)
+
+    def _run_span_pipelined(
+        self, x: Any, y: Any, blocks: list[np.ndarray], gamma: float,
+        start: int,
+    ) -> None:
+        group = self.shard_group_
 
         def prefetch(idx: np.ndarray, slot: int) -> PendingMap:
             xb, xb_sq_norms = self._host_batch(x, idx)
             return group.map_async(_form_block_task, xb, xb_sq_norms, slot)
 
-        pending = prefetch(blocks[0], 0)
-        for t, idx in enumerate(blocks):
+        pending = prefetch(blocks[start], start % 2)
+        for t in range(start, len(blocks)):
+            self._cursor = t
+            idx = blocks[t]
             phi_parts = pending.result()  # [phi_i] — relays kernel_eval
             contracting = group.map_async(_contract_task, t % 2)
             if t + 1 < len(blocks):
@@ -424,6 +552,101 @@ class ShardedEigenPro2(EigenPro2):
             self._apply_shard_step(
                 group, f_partials, phi_parts, y, idx, gamma
             )
+            self._maybe_checkpoint(t + 1)
+
+    # ----------------------------------------------------------- checkpoint
+    def _maybe_checkpoint(self, cursor: int) -> None:
+        """Periodic-cadence hook, called after each completed step with
+        the cursor of the *next* block to run."""
+        if self.checkpoint_every <= 0:
+            return
+        self._steps_since_checkpoint += 1
+        if self._steps_since_checkpoint >= self.checkpoint_every:
+            self._take_checkpoint(cursor)
+
+    def _take_checkpoint(self, cursor: int) -> ShardCheckpoint:
+        """Snapshot the training state at batch cursor ``cursor`` of the
+        current epoch.  Weights come through the transport's host-visible
+        surface (a memcpy, no extra RPC on shared-memory transports); the
+        queued mirror is drained first so device-copy shards are not
+        snapshotted mid-push."""
+        group = self.shard_group_
+        self._drain_pending_mirror()
+        rng = self._rng
+        ckpt = ShardCheckpoint(
+            weights=group.gather_weights(),
+            epoch=self._epoch,
+            batch_cursor=int(cursor),
+            rng_state=(
+                None if rng is None
+                else copy.deepcopy(rng.bit_generator.state)
+            ),
+            op_counts=group.op_counts(),
+            g=group.g,
+            transport=type(group.transport).name,
+        )
+        self.last_checkpoint_ = ckpt
+        self._steps_since_checkpoint = 0
+        if self.checkpoint_dir is not None:
+            ckpt.save(self.checkpoint_dir / "checkpoint.pkl")
+        return ckpt
+
+    # ------------------------------------------------------------- recovery
+    def _recover_or_reraise(self, exc: ShardError, x: Any) -> int:
+        """Elastic-shrink recovery from a shard failure inside the epoch
+        loop; returns the batch cursor to resume from, or re-raises
+        ``exc`` (checkpoint attached) when recovery is not possible."""
+        group = self.shard_group_
+        ckpt = self.last_checkpoint_
+        if (
+            group is None
+            or ckpt is None
+            or ckpt.epoch != self._epoch
+            or self._recoveries_used >= self.max_recoveries
+        ):
+            exc.checkpoint = ckpt
+            raise exc
+        t0 = time.perf_counter()
+        # Probe liveness to learn *which* workers died (never raises).
+        # A task-level failure on still-live workers (e.g. a collective
+        # timeout) reports nobody dead; the shrink still retires one
+        # shard — every retry must make the group strictly smaller, or a
+        # persistent fault would burn the budget without progress.
+        dead = tuple(group.dead_shards())
+        old_g = group.g
+        new_g = old_g - max(1, len(dead))
+        if new_g < self.min_shards:
+            exc.checkpoint = ckpt
+            raise exc
+        self._pending_mirror = None
+        try:
+            group.close()
+        except Exception:  # noqa: BLE001 - teardown is best-effort
+            pass
+        self.shard_group_ = None
+        # Restore weights caller-side first: the rebuilt group shards
+        # whatever ``self._alpha`` holds (zero-copy-view transports adopt
+        # it directly, copying transports scatter it), so restoring into
+        # alpha *is* the ``set_weights`` of the new group.
+        bk = get_backend()
+        self._alpha[...] = bk.asarray(
+            ckpt.weights, dtype=bk.dtype_of(self._alpha)
+        )
+        self._build_group(x, new_g)
+        self._recoveries_used += 1
+        event = RecoveryEvent(
+            epoch=self._epoch,
+            failed_step=self._cursor,
+            resumed_step=ckpt.batch_cursor,
+            replayed_steps=max(0, self._cursor - ckpt.batch_cursor),
+            old_g=old_g,
+            new_g=new_g,
+            dead_shards=dead,
+            error=f"{type(exc).__name__}: {exc}",
+            recovery_s=time.perf_counter() - t0,
+        )
+        self.recovery_log_.append(event)
+        return ckpt.batch_cursor
 
     def _mirror_rows(self, global_idx: np.ndarray) -> None:
         """Push updated weight rows to the shards without barriering

@@ -86,7 +86,10 @@ def allreduce_sum(partials: Sequence[Any], bk: ArrayBackend | None = None) -> An
     if not partials:
         raise ConfigurationError("allreduce_sum needs at least one partial")
     arrays = [to_numpy(p) for p in partials]
-    out = np.array(arrays[0], copy=True)
+    # Accumulate at the joint result dtype: summing in-place into
+    # ``arrays[0]``'s dtype would silently downcast any higher-precision
+    # partial that appears later in shard order.
+    out = np.array(arrays[0], dtype=np.result_type(*arrays), copy=True)
     for arr in arrays[1:]:
         out += arr
     if len(arrays) > 1:
@@ -243,22 +246,40 @@ class PendingMap:
     called) and returns the per-shard results in shard order — so
     awaiting the future on the thread that will consume the values keeps
     aggregate op counts identical to the unsharded computation.
+
+    The map is single-shot and drains *every* future even on failure:
+    op-count deltas from the shards that completed are relayed before the
+    first error (in shard order) is raised, so accounting stays exact
+    across a partial failure — the invariant the recovery layer's
+    checkpoint/replay arithmetic depends on — and repeated ``result()``
+    calls after a failure re-raise the same error instead of silently
+    re-consuming half-drained futures.
     """
 
     def __init__(self, futures: Sequence[Future]) -> None:
         self._futures: list[Future] | None = list(futures)
         self._results: list[Any] = []
+        self._error: BaseException | None = None
 
     def result(self) -> list[Any]:
         if self._futures is not None:
-            pairs = [f.result() for f in self._futures]
-            self._futures = None
-            self._results = [result for result, _ in pairs]
+            futures, self._futures = self._futures, None
+            results: list[Any] = []
             merged: dict[str, int] = {}
-            for _, delta in pairs:
+            for f in futures:
+                try:
+                    result, delta = f.result()
+                except BaseException as exc:  # noqa: BLE001 - re-raised below
+                    if self._error is None:
+                        self._error = exc
+                    continue
+                results.append(result)
                 for category, ops in delta.items():
                     merged[category] = merged.get(category, 0) + ops
             relay_op_counts(merged)
+            self._results = results
+        if self._error is not None:
+            raise self._error
         return self._results
 
 
@@ -466,6 +487,29 @@ class ShardTransport(abc.ABC):
     def set_weights(self, weights: np.ndarray) -> None:
         """Scatter a full ``(n, l)`` host weight array onto the shards
         (barriers: on return every shard sees the new rows)."""
+
+    # ------------------------------------------------------------- liveness
+    def alive(self) -> list[bool]:
+        """Per-shard liveness flags, in shard order.
+
+        A ``False`` entry means the shard can no longer serve tasks (its
+        worker process died or its executor was closed); probing never
+        raises, so callers can learn *which* workers are dead without
+        paying a first-touch :class:`~repro.exceptions.ShardError`.
+        Executors may expose their own ``alive()`` probe; those that
+        don't (e.g. in-process workers that cannot die independently)
+        are reported alive.
+        """
+        flags = []
+        for ex in self.executors:
+            probe = getattr(ex, "alive", None)
+            flags.append(bool(probe()) if callable(probe) else True)
+        return flags
+
+    def dead_shards(self) -> list[int]:
+        """Shard ids whose workers are no longer serving (see
+        :meth:`alive`); empty for a healthy group."""
+        return [i for i, ok in enumerate(self.alive()) if not ok]
 
     # ----------------------------------------------------------- accounting
     @abc.abstractmethod

@@ -219,6 +219,13 @@ def _worker_main(spec: _WorkerSpec, conn: Any) -> None:
                     delta,
                     (worker.meter.as_dict(), worker.workspace_peak),
                 )
+            except (KeyboardInterrupt, SystemExit):
+                # An interrupt aimed at the process group must end the
+                # serve loop, not be relayed as a task failure — otherwise
+                # Ctrl-C leaves children behind, still serving.  The
+                # ``finally`` below still runs teardown and segment
+                # cleanup; the parent sees EOF and raises ShardError.
+                raise
             except BaseException as exc:  # noqa: BLE001 - relayed to parent
                 reply = (
                     "err",
@@ -379,6 +386,22 @@ class ProcessShardExecutor:
         pool = self._require_open()
         precision = get_precision() if precision_is_explicit() else None
         return pool.submit(self._rpc_metered, fn, args, kwargs, precision)
+
+    # ------------------------------------------------------------- liveness
+    def alive(self) -> bool:
+        """Liveness probe: ``True`` while the worker process can serve
+        tasks.  Unlike a task submission this never raises — a dead
+        worker is *reported* (and latched on the executor so later
+        submissions fail fast) instead of surfacing as a first-touch
+        :class:`~repro.exceptions.ShardError`."""
+        if self._dead is not None or self._pool is None:
+            return False
+        if not self.process.is_alive():
+            self._dead = (
+                f"worker process died (exit code {self.process.exitcode})"
+            )
+            return False
+        return True
 
     # ----------------------------------------------------------- accounting
     def op_counts_snapshot(self) -> dict[str, int]:
@@ -642,8 +665,25 @@ class ProcessTransport(ShardTransport):
 
     # ------------------------------------------------------------ lifecycle
     def close(self) -> None:
-        for ex in getattr(self, "executors", []):
-            ex.close()
+        executors = list(getattr(self, "executors", []))
+        if len(executors) > 1:
+            # Fan the shutdown/join out across executors: each close can
+            # wait up to its timeout on a wedged worker, and paying that
+            # serially makes closing a g=8 group take up to ~g× one
+            # timeout.  Concurrent closes are independent (one process +
+            # one RPC pool each), so total close time is bounded by the
+            # slowest single executor.
+            with ThreadPoolExecutor(
+                max_workers=len(executors),
+                thread_name_prefix="repro-shard-close",
+            ) as pool:
+                for f in [pool.submit(ex.close) for ex in executors]:
+                    try:
+                        f.result()
+                    except Exception:  # pragma: no cover - best effort
+                        pass
+        elif executors:
+            executors[0].close()
         # Drop parent views before closing the mappings they alias.
         self._centers_view = None
         self._weights_view = None

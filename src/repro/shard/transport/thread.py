@@ -91,6 +91,12 @@ class ShardExecutor(ShardWorker):
             raise ConfigurationError(f"shard {self.shard_id} holds no weights")
         return to_numpy(self.weights[local_idx])
 
+    def alive(self) -> bool:
+        """Liveness probe: an in-process worker thread cannot die
+        independently of the caller, so a thread executor is alive
+        exactly until it is closed."""
+        return self._pool is not None
+
     def close(self) -> None:
         """Reset this shard's workspace scratch and join its worker."""
         if self._pool is None:

@@ -50,6 +50,12 @@ death, segments always unlinked.  This transport adds:
   group timeout (``timeout_s``), never an unbounded hang, and
   ``close()`` terminates stragglers, unlinks the segments and removes
   the rendezvous directory — so the process group is always torn down.
+  The liveness probe (``alive()``, inherited from the process
+  executors) reports dead ranks without raising, which is what lets
+  elastic recovery (:mod:`repro.shard.recovery`) shrink to the
+  survivors: the broken group is closed, a *new* transport instance —
+  with a fresh rendezvous directory and process group at world size
+  ``g - 1`` — is built from the last checkpoint, and training resumes.
 
 ``torch`` is imported lazily and only in the children (availability is
 probed with ``importlib.util.find_spec``), so registering this transport

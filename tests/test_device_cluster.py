@@ -105,3 +105,54 @@ class TestMultiGpu:
         model.fit(ds.x_train, ds.y_train, epochs=2)
         assert cluster.elapsed > 0
         assert model.classification_error(ds.x_test, ds.labels_test) < 0.5
+
+
+class TestRecoveryTime:
+    def test_all_terms_contribute(self):
+        from repro.device.cluster import recovery_time
+
+        net = Interconnect(latency_s=1e-3, bandwidth_scalars_per_s=1e8)
+        base = recovery_time(net, 4, weight_scalars=1e6)
+        with_resident = recovery_time(
+            net, 4, weight_scalars=1e6, resident_scalars=1e7
+        )
+        with_replay = recovery_time(
+            net, 4, weight_scalars=1e6,
+            replayed_iterations=10, iteration_time_s=0.5,
+        )
+        assert base > 0
+        assert with_resident > base  # bigger resident share to move
+        assert with_replay == pytest.approx(base + 5.0)  # 10 * 0.5s
+
+    def test_restore_payload_scales_with_weights(self):
+        from repro.device.cluster import recovery_time
+
+        net = Interconnect(latency_s=0.0, bandwidth_scalars_per_s=1e8)
+        t1 = recovery_time(net, 2, weight_scalars=1e6, worker_spawn_s=0.0)
+        t2 = recovery_time(net, 2, weight_scalars=2e6, worker_spawn_s=0.0)
+        assert t2 > t1
+
+    def test_spawn_charged_once(self):
+        from repro.device.cluster import recovery_time
+
+        net = Interconnect(latency_s=0.0, bandwidth_scalars_per_s=1e12)
+        slow = recovery_time(net, 8, weight_scalars=0.0, worker_spawn_s=1.0)
+        fast = recovery_time(net, 8, weight_scalars=0.0, worker_spawn_s=0.0)
+        assert slow - fast == pytest.approx(1.0)  # concurrent respawn
+
+    def test_validation(self):
+        from repro.device.cluster import recovery_time
+
+        net = Interconnect()
+        with pytest.raises(ConfigurationError):
+            recovery_time(net, 1, weight_scalars=1.0)  # nothing to shrink to
+        with pytest.raises(ConfigurationError):
+            recovery_time(net, 2, weight_scalars=-1.0)
+        with pytest.raises(ConfigurationError):
+            recovery_time(net, 2, weight_scalars=1.0, replayed_iterations=-1)
+        with pytest.raises(ConfigurationError):
+            recovery_time(net, 2, weight_scalars=1.0, iteration_time_s=-0.1)
+        with pytest.raises(ConfigurationError):
+            recovery_time(net, 2, weight_scalars=1.0, worker_spawn_s=-0.1)
+        with pytest.raises(ConfigurationError):
+            recovery_time(net, 2, weight_scalars=1.0, resident_scalars=-1.0)

@@ -11,6 +11,8 @@ segments), never as a wedged training loop.
 
 import math
 import os
+import threading
+import time
 
 import numpy as np
 import pytest
@@ -166,6 +168,86 @@ def _form_block_then_die_task(worker, xb, xb_sq_norms, slot):
     return _ORIGINAL_FORM_TASK(worker, xb, xb_sq_norms, slot)
 
 
+# Kill-*once* injection for the elastic-recovery tests.  The dying worker
+# drops a flag file first (path passed through the environment, which
+# forked children inherit), so the rebuilt group's workers — fresh forks
+# whose per-process counters restart at zero — see the flag and serve
+# normally instead of re-killing themselves every retry.
+_KILL_FLAG_ENV = "REPRO_TEST_RECOVERY_KILL_FLAG"
+_KILL_SHARD_ENV = "REPRO_TEST_RECOVERY_KILL_SHARD"
+
+
+def _form_block_kill_once_task(worker, xb, xb_sq_norms, slot):
+    _KILL_COUNTER["n"] += 1
+    flag = os.environ.get(_KILL_FLAG_ENV)
+    target = int(os.environ.get(_KILL_SHARD_ENV, "-1"))
+    if (
+        flag
+        and worker.shard_id == target
+        and _KILL_COUNTER["n"] > 2
+        and not os.path.exists(flag)
+    ):
+        with open(flag, "w") as fh:
+            fh.write(str(worker.shard_id))
+        os._exit(7)
+    return _ORIGINAL_FORM_TASK(worker, xb, xb_sq_norms, slot)
+
+
+def _recovery_problem(n=240, d=8, l=3, seed=0):
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal((n, d))
+    proj = rng.standard_normal((d, l))
+    y = np.tanh(x @ proj / np.sqrt(d))
+    return x, y
+
+
+def _recovery_trainer(g, transport, **kw):
+    from repro.shard import ShardedEigenPro2
+
+    kw.setdefault("checkpoint_every", 2)
+    return ShardedEigenPro2(
+        GaussianKernel(bandwidth=2.0),
+        n_shards=g,
+        transport=transport,
+        s=48,
+        batch_size=32,
+        seed=0,
+        damping=0.5,
+        **kw,
+    )
+
+
+def _rank_kill_watcher(trainer, killed, timeout_s=60.0):
+    """Parent-side injector for transports whose workers re-import the
+    real modules (spawn): poll until the first checkpoint of the fit
+    exists, then SIGKILL the last shard's worker process."""
+
+    def run():
+        deadline = time.monotonic() + timeout_s
+        while time.monotonic() < deadline and not killed.is_set():
+            group = trainer.shard_group_
+            if (
+                group is not None
+                and trainer.last_checkpoint_ is not None
+                and not trainer.recovery_log_
+            ):
+                try:
+                    proc = group.executors[-1].process
+                    if proc.is_alive():
+                        proc.kill()
+                        killed.set()
+                        return
+                except (AttributeError, IndexError):
+                    return  # group torn down under us; the fit is ending
+            time.sleep(0.002)
+
+    thread = threading.Thread(
+        target=run, name="repro-test-rank-killer", daemon=True
+    )
+    thread.start()
+    return thread
+
+
 def _leaked_segment_names(group):
     return [shm.name for shm in group.transport._segments]
 
@@ -228,6 +310,26 @@ class TestProcessTransportFailure:
             group.close()
         _assert_segments_unlinked(names)
 
+    def test_alive_probe_reports_dead_worker(self):
+        """The liveness probe must *report* a dead worker — without
+        raising, and without waiting for the next task to trip over
+        it."""
+        group = self._group()
+        try:
+            assert group.alive() == [True, True]
+            assert group.dead_shards() == []
+            group.executors[1].process.kill()
+            deadline = time.monotonic() + 10.0
+            while group.alive()[1] and time.monotonic() < deadline:
+                time.sleep(0.01)  # SIGKILL delivery is asynchronous
+            assert group.alive() == [True, False]
+            assert group.dead_shards() == [1]
+            # Probing latched the death: submissions now fail fast.
+            with pytest.raises(ShardError, match="unavailable"):
+                group.transport.submit(1, _noop_task).result()
+        finally:
+            group.close()
+
     def test_worker_exception_crosses_transport(self):
         with self._group() as group:
             with pytest.raises(ValueError, match="worker-side failure"):
@@ -288,8 +390,10 @@ class TestProcessTransportFailure:
         _assert_segments_unlinked(names)
 
     def test_fit_failure_propagates_original_error(self, small_dataset):
-        """A worker death mid-fit surfaces the ShardError (not a masking
-        secondary failure from the cleanup path)."""
+        """With the elastic-recovery budget zeroed, a worker death
+        mid-fit surfaces the ShardError (not a masking secondary failure
+        from the cleanup path) and carries the last checkpoint for
+        out-of-band resumption."""
         from repro.shard import ShardedEigenPro2
         from repro.shard import trainer as shard_trainer
 
@@ -300,11 +404,12 @@ class TestProcessTransportFailure:
             s=60,
             batch_size=32,
             seed=0,
+            max_recoveries=0,
         )
         original_form = shard_trainer._form_block_task
         shard_trainer._form_block_task = _form_block_then_die_task
         try:
-            with pytest.raises(ShardError, match="died"):
+            with pytest.raises(ShardError, match="died") as excinfo:
                 trainer.fit(
                     small_dataset.x_train, small_dataset.y_train, epochs=2
                 )
@@ -313,6 +418,105 @@ class TestProcessTransportFailure:
             shard_trainer._form_block_task = original_form
             trainer.close()
         _assert_segments_unlinked(names)
+        # The epoch-anchor checkpoint existed before the failure, so the
+        # exhausted-budget path must attach it to the propagating error.
+        ckpt = excinfo.value.checkpoint
+        assert ckpt is not None
+        assert ckpt.g == 2 and ckpt.transport == "process"
+        assert ckpt.weights.shape == trainer._alpha.shape
+
+
+@needs_process
+class TestProcessElasticRecovery:
+    """A worker killed mid-fit must not end the fit: the trainer shrinks
+    to ``g - 1`` shards, restores the last checkpoint and resumes, and
+    the recovered weights match a failure-free run of the same workload
+    within the documented 1e-6-of-scale bound (replay is exact; only the
+    collective's association order over the shrunken plan differs)."""
+
+    @pytest.mark.parametrize("g", [2, 4])
+    def test_killed_worker_recovers_mid_fit(self, g, tmp_path, monkeypatch):
+        from repro.shard import trainer as shard_trainer
+
+        x, y = _recovery_problem()
+        # Failure-free reference on the same transport and workload.
+        ref = _recovery_trainer(g, "process")
+        try:
+            ref.fit(x, y, epochs=2)
+            assert ref.recovery_log_ == []
+            ref_w = np.array(ref._alpha)
+        finally:
+            ref.close()
+
+        flag = tmp_path / "killed.flag"
+        monkeypatch.setenv(_KILL_FLAG_ENV, str(flag))
+        monkeypatch.setenv(_KILL_SHARD_ENV, str(g - 1))
+        monkeypatch.setattr(
+            shard_trainer, "_form_block_task", _form_block_kill_once_task
+        )
+        trainer = _recovery_trainer(g, "process")
+        try:
+            trainer.fit(x, y, epochs=2)
+            assert flag.exists()  # the kill actually fired
+            assert len(trainer.recovery_log_) == 1
+            event = trainer.recovery_log_[0]
+            assert event.old_g == g and event.new_g == g - 1
+            assert event.dead_shards == (g - 1,)
+            assert event.replayed_steps >= 0
+            assert event.recovery_s >= 0.0
+            assert "died" in event.error
+            assert trainer.shard_group_.g == g - 1
+            recovered_w = np.array(trainer._alpha)
+        finally:
+            trainer.close()
+
+        scale = float(np.max(np.abs(ref_w)))
+        assert np.max(np.abs(recovered_w - ref_w)) <= 1e-6 * scale
+
+    def test_checkpoint_persists_to_disk_and_roundtrips(self, tmp_path):
+        from repro.shard.recovery import ShardCheckpoint
+
+        x, y = _recovery_problem()
+        trainer = _recovery_trainer(2, "process", checkpoint_dir=tmp_path)
+        try:
+            trainer.fit(x, y, epochs=1)
+            last = trainer.last_checkpoint_
+            assert last is not None
+            path = tmp_path / "checkpoint.pkl"
+            assert path.exists()
+            loaded = ShardCheckpoint.load(path)
+            np.testing.assert_array_equal(loaded.weights, last.weights)
+            assert loaded.epoch == last.epoch
+            assert loaded.batch_cursor == last.batch_cursor
+            assert loaded.g == 2
+            assert loaded.transport == "process"
+            assert loaded.rng_state == last.rng_state
+            assert loaded.op_counts == last.op_counts
+        finally:
+            trainer.close()
+
+    def test_min_shards_floor_reraises_with_checkpoint(
+        self, tmp_path, monkeypatch
+    ):
+        """With ``min_shards`` equal to the current group size there is
+        nothing to shrink to: the original error propagates, checkpoint
+        attached, after zero recoveries."""
+        from repro.shard import trainer as shard_trainer
+
+        x, y = _recovery_problem()
+        monkeypatch.setenv(_KILL_FLAG_ENV, str(tmp_path / "killed.flag"))
+        monkeypatch.setenv(_KILL_SHARD_ENV, "1")
+        monkeypatch.setattr(
+            shard_trainer, "_form_block_task", _form_block_kill_once_task
+        )
+        trainer = _recovery_trainer(2, "process", min_shards=2)
+        try:
+            with pytest.raises(ShardError, match="died") as excinfo:
+                trainer.fit(x, y, epochs=2)
+            assert trainer.recovery_log_ == []
+            assert excinfo.value.checkpoint is not None
+        finally:
+            trainer.close()
 
 
 needs_torchdist = pytest.mark.skipif(
@@ -421,6 +625,88 @@ class TestTorchDistTransportFailure:
         finally:
             trainer.close()
         _assert_segments_unlinked(names)
+
+
+@needs_torchdist
+class TestTorchDistElasticRecovery:
+    """Elastic recovery with real ``torch.distributed`` ranks.  The
+    injector is a parent-side watcher thread (spawned workers re-import
+    the real modules, so the fork-inherited task patch the process-
+    transport tests use cannot run there): it polls for the fit's first
+    checkpoint, then SIGKILLs the last rank's worker process.  The group
+    timeout bounds any collective the survivors are blocked in, so the
+    failure surfaces as a ShardError and recovery proceeds — never a
+    hang."""
+
+    OPTIONS = {"timeout_s": 20.0}
+
+    @pytest.mark.parametrize("g", [2, 4])
+    def test_killed_rank_recovers_mid_fit(self, g):
+        x, y = _recovery_problem()
+        ref = _recovery_trainer(
+            g, "torchdist", transport_options=dict(self.OPTIONS)
+        )
+        try:
+            ref.fit(x, y, epochs=2)
+            assert ref.recovery_log_ == []
+            ref_w = np.array(ref._alpha)
+        finally:
+            ref.close()
+
+        trainer = _recovery_trainer(
+            g, "torchdist", transport_options=dict(self.OPTIONS)
+        )
+        killed = threading.Event()
+        try:
+            watcher = _rank_kill_watcher(trainer, killed)
+            trainer.fit(x, y, epochs=2)
+            watcher.join(timeout=60.0)
+            assert killed.is_set()  # the injection actually fired
+            assert len(trainer.recovery_log_) == 1
+            event = trainer.recovery_log_[0]
+            assert event.old_g == g and event.new_g == g - 1
+            assert event.replayed_steps >= 0
+            assert trainer.shard_group_.g == g - 1
+            recovered_w = np.array(trainer._alpha)
+        finally:
+            trainer.close()
+
+        scale = float(np.max(np.abs(ref_w)))
+        assert np.max(np.abs(recovered_w - ref_w)) <= 1e-6 * scale
+
+    def test_dead_peer_group_errors_then_rebuilds(self):
+        """g=3: a collective whose peer rank died must surface as a
+        ShardError on the survivors (gloo broken-connection detection or
+        the group timeout — no hang), after which a fresh group over the
+        surviving shard count serves collectives again: the manual
+        analogue of the trainer's elastic shrink."""
+        from repro.shard import ShardGroup
+
+        rng = np.random.default_rng(0)
+        centers = rng.standard_normal((96, 4))
+        weights = rng.standard_normal((96, 2))
+        kernel = GaussianKernel(bandwidth=2.0)
+        rows = np.ones((4, 2))
+        group = ShardGroup.build(
+            centers, weights, g=3, transport="torchdist",
+            kernel=kernel, **self.OPTIONS,
+        )
+        try:
+            group.executors[-1].process.kill()
+            with pytest.raises(ShardError):
+                group.allreduce([rows, rows, rows])
+            assert 2 in group.dead_shards()
+        finally:
+            group.close()
+        rebuilt = ShardGroup.build(
+            centers, weights, g=2, transport="torchdist",
+            kernel=kernel, **self.OPTIONS,
+        )
+        try:
+            out = np.asarray(rebuilt.allreduce([rows, rows]))
+            np.testing.assert_array_equal(out, 2.0 * rows)
+        finally:
+            rebuilt.close()
 
 
 class TestDegenerateGeometry:

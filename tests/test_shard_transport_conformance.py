@@ -449,3 +449,108 @@ class TestTransportSelection:
             ShardGroup.build(
                 np.zeros((4, 2)), g=2, transport="torchdist"
             )
+
+
+class TestAllreduceDtypePromotion:
+    """allreduce_sum must accumulate at the *joint* dtype of its
+    partials: summing in-place into the first partial's dtype would
+    silently downcast any higher-precision partial appearing later in
+    shard order."""
+
+    def test_mixed_dtype_partials_keep_float64(self):
+        from repro.shard import allreduce_sum
+
+        f32 = np.full((3, 2), 0.1, dtype=np.float32)
+        f64 = np.full((3, 2), 1e-12, dtype=np.float64)
+        out = np.asarray(allreduce_sum([f32, f64]))
+        assert out.dtype == np.float64
+        # Bitwise parity with the float64 reference sum: the 1e-12 term
+        # would vanish entirely under a float32 accumulator.
+        np.testing.assert_array_equal(out, f32.astype(np.float64) + f64)
+
+    def test_promotion_is_order_independent(self):
+        from repro.shard import allreduce_sum
+
+        rng = np.random.default_rng(7)
+        f32 = rng.standard_normal((4, 3)).astype(np.float32)
+        f64 = rng.standard_normal((4, 3))
+        a = np.asarray(allreduce_sum([f32, f64]))
+        b = np.asarray(allreduce_sum([f64, f32]))
+        assert a.dtype == b.dtype == np.float64
+        np.testing.assert_allclose(a, b, rtol=0, atol=0)
+
+    def test_same_dtype_unchanged(self):
+        from repro.shard import allreduce_sum
+
+        parts = [np.ones((2, 2), dtype=np.float32) for _ in range(3)]
+        out = np.asarray(allreduce_sum(parts))
+        assert out.dtype == np.float32
+        np.testing.assert_array_equal(out, 3.0 * parts[0])
+
+
+class TestPendingMapPartialFailure:
+    """PendingMap.result() must drain *every* future even when some
+    fail: op-count deltas from the shards that completed are relayed
+    (once) before the first error is raised, and repeated calls re-raise
+    that error instead of re-consuming half-drained futures."""
+
+    @staticmethod
+    def _mixed_futures():
+        from concurrent.futures import Future
+
+        f0, f1, f2 = Future(), Future(), Future()
+        f0.set_result(("r0", {"gemm": 5}))
+        f1.set_exception(ValueError("shard 1 task failed"))
+        f2.set_result(("r2", {"gemm": 7, "kernel_eval": 11}))
+        return [f0, f1, f2]
+
+    def test_relays_completed_deltas_before_raising(self):
+        from repro.instrument import OpMeter
+        from repro.shard import PendingMap
+
+        pending = PendingMap(self._mixed_futures())
+        meter = OpMeter()
+        with meter_scope(meter):
+            with pytest.raises(ValueError, match="shard 1"):
+                pending.result()
+        assert meter.total("gemm") == 12
+        assert meter.total("kernel_eval") == 11
+
+    def test_repeat_result_reraises_without_double_relay(self):
+        from repro.instrument import OpMeter
+        from repro.shard import PendingMap
+
+        pending = PendingMap(self._mixed_futures())
+        meter = OpMeter()
+        with meter_scope(meter):
+            with pytest.raises(ValueError, match="shard 1"):
+                pending.result()
+            with pytest.raises(ValueError, match="shard 1"):
+                pending.result()
+        assert meter.total("gemm") == 12  # relayed exactly once
+
+    def test_first_error_in_shard_order_wins(self):
+        from concurrent.futures import Future
+        from repro.shard import PendingMap
+
+        futures = [Future() for _ in range(3)]
+        futures[0].set_result(("r0", {}))
+        futures[1].set_exception(ValueError("first failure"))
+        futures[2].set_exception(RuntimeError("second failure"))
+        with pytest.raises(ValueError, match="first failure"):
+            PendingMap(futures).result()
+
+    def test_success_path_is_single_shot(self):
+        from concurrent.futures import Future
+        from repro.instrument import OpMeter
+        from repro.shard import PendingMap
+
+        futures = [Future() for _ in range(2)]
+        futures[0].set_result(("a", {"gemm": 2}))
+        futures[1].set_result(("b", {"gemm": 3}))
+        pending = PendingMap(futures)
+        meter = OpMeter()
+        with meter_scope(meter):
+            assert pending.result() == ["a", "b"]
+            assert pending.result() == ["a", "b"]
+        assert meter.total("gemm") == 5  # relayed exactly once
