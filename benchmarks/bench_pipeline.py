@@ -21,6 +21,7 @@ import json
 import os
 
 from repro.experiments import PipelineOverlapConfig, run_pipeline_overlap
+from repro.observe import new_run_id
 
 SMOKE = os.environ.get("REPRO_PIPELINE_SMOKE", "") not in ("", "0")
 
@@ -55,6 +56,7 @@ def test_pipeline_overlap(benchmark, record_result, results_dir):
     payload = {
         "benchmark": "pipeline-overlap",
         "smoke": SMOKE,
+        "run_id": new_run_id(),
         "host": {"cpu_count": os.cpu_count() or 1},
         "config": {
             "n": CONFIG.n, "d": CONFIG.d, "l": CONFIG.l, "m": CONFIG.m,

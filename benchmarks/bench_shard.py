@@ -39,6 +39,7 @@ from repro.experiments import (
     run_failure_injection,
     run_shard_validation,
 )
+from repro.observe import new_run_id
 from repro.shard.transport import (
     available_transports,
     registered_transports,
@@ -111,6 +112,10 @@ def main(argv: list[str] | None = None) -> int:
     else:
         transports = [args.transport]
 
+    # One structured run id (uuid + UTC timestamp + commit SHA when
+    # resolvable) stamps every payload this invocation writes, so
+    # trajectory tooling can key entries without trusting file mtimes.
+    run_id = new_run_id()
     payloads = []
     failed: list[str] = []
     for transport in transports:
@@ -128,6 +133,7 @@ def main(argv: list[str] | None = None) -> int:
             "name": result.name,
             "transport": transport,
             "smoke": bool(args.smoke),
+            "run_id": run_id,
             "rows": result.rows,
             "claims": [
                 {
@@ -149,6 +155,7 @@ def main(argv: list[str] | None = None) -> int:
         payload = {
             "name": "shard-validation-all",
             "smoke": bool(args.smoke),
+            "run_id": run_id,
             "transports": transports,
             "runs": payloads,
         }
@@ -202,6 +209,7 @@ def _inject_failure_main(args) -> int:
     else:
         transports = [args.transport]
 
+    run_id = new_run_id()
     payloads = []
     failed: list[str] = []
     for transport in transports:
@@ -226,6 +234,7 @@ def _inject_failure_main(args) -> int:
             "name": result.name,
             "transport": transport,
             "smoke": bool(args.smoke),
+            "run_id": run_id,
             "rows": result.rows,
             "claims": [
                 {
@@ -247,6 +256,7 @@ def _inject_failure_main(args) -> int:
         payload = {
             "name": "failure-injection-all",
             "smoke": bool(args.smoke),
+            "run_id": run_id,
             "transports": transports,
             "runs": payloads,
         }

@@ -1,18 +1,31 @@
-"""Merge benchmark JSON payloads into one ``bench-trajectory.json``.
+"""Merge benchmark payloads into one deduplicated trajectory history.
 
 The CI trajectory job runs the smoke benchmarks that emit machine-
-readable results today (``bench_shard.py --transport all --smoke`` and
-the pipeline-overlap smoke of ``bench_pipeline.py``) and folds their
-payloads into a single artifact stamped with the commit SHA and a UTC
-timestamp::
+readable results (``bench_shard.py --transport all --smoke``, the
+pipeline-overlap smoke of ``bench_pipeline.py`` and the
+failure-injection sweep) and folds their payloads — together with the
+committed history ``BENCH_trajectory.json`` — into one *history* of
+headline data points::
 
     python benchmarks/merge_trajectory.py --out bench-trajectory.json \
-        /tmp/shard-smoke.json benchmarks/results/pipeline.json
+        BENCH_trajectory.json /tmp/shard-smoke-all.json \
+        benchmarks/results/pipeline.json /tmp/failure-injection-all.json
 
-Uploading that artifact per commit is what turns isolated smoke numbers
-into a *trajectory*: download the artifacts of two commits and diff the
-measured per-iteration times per transport.  The schema is one flat
-object so downstream tooling never needs this script to read it.
+Schema (``repro-bench-trajectory/v2``): a flat ``entries`` list, one
+entry per ``(commit, experiment, transport)`` carrying that
+configuration's headline metric (per-iteration ms for shard-validation,
+pipelined ms/iter per engine for pipeline-overlap, recovery ms for
+failure-injection).  Entries are deduplicated by that key — the latest
+``generated_at`` wins, so re-running CI on the same commit replaces
+rather than appends — and sorted deterministically, so the committed
+file diffs cleanly commit over commit.  ``check_trajectory.py`` gates
+CI on this history: current smoke numbers vs the trailing median per
+``(experiment, transport)``.
+
+Inputs may be raw benchmark payloads (stamped here with commit SHA, a
+UTC timestamp and host info — or with the payload's own ``run_id``
+stamp when the benchmark recorded one), v1 single-snapshot trajectories
+(unfolded into entries) or v2 histories (passed through).
 """
 
 from __future__ import annotations
@@ -24,8 +37,10 @@ import pathlib
 import subprocess
 import sys
 from datetime import datetime, timezone
+from typing import Any, Iterator
 
-SCHEMA = "repro-bench-trajectory/v1"
+SCHEMA_V1 = "repro-bench-trajectory/v1"
+SCHEMA = "repro-bench-trajectory/v2"
 
 
 def resolve_commit() -> str | None:
@@ -46,51 +61,154 @@ def resolve_commit() -> str | None:
         return None
 
 
-def payload_key(path: pathlib.Path, payload: dict) -> str:
-    """Stable key for one input: the payload's self-declared name, else
-    the file stem."""
-    return str(payload.get("name") or payload.get("benchmark") or path.stem)
+def _benchmark_entries(payload: dict) -> Iterator[dict[str, Any]]:
+    """Headline data points of one benchmark payload (no provenance
+    stamp yet): ``{experiment, transport, metric, value, context}``."""
+    name = str(payload.get("name") or payload.get("benchmark") or "")
+    if "runs" in payload:  # an --transport all wrapper
+        for run in payload["runs"]:
+            yield from _benchmark_entries(run)
+    elif name.startswith("shard-validation"):
+        rows = payload.get("rows") or []
+        if rows:
+            # The largest shard count is the configuration the engine
+            # exists for; its per-iteration time is the headline.
+            row = max(rows, key=lambda r: r.get("shards", 0))
+            yield {
+                "experiment": "shard-validation",
+                "transport": row.get("transport")
+                or payload.get("transport", "thread"),
+                "metric": "measured_ms",
+                "value": row.get("measured_ms"),
+                "context": {"shards": row.get("shards")},
+            }
+    elif name == "pipeline-overlap":
+        for row in payload.get("rows") or []:
+            yield {
+                "experiment": "pipeline-overlap",
+                "transport": row.get("engine", "single"),
+                "metric": "pipelined_ms_per_iter",
+                "value": row.get("pipelined_ms_per_iter"),
+                "context": {"speedup": row.get("speedup")},
+            }
+    elif name.startswith("failure-injection"):
+        for row in payload.get("rows") or []:
+            yield {
+                "experiment": "failure-injection",
+                "transport": row.get("transport")
+                or payload.get("transport", "process"),
+                "metric": "measured_recovery_ms",
+                "value": row.get("measured_recovery_ms"),
+                "context": {"replayed_steps": row.get("replayed_steps")},
+            }
+
+
+def _stamp(
+    entry: dict[str, Any],
+    *,
+    commit: str | None,
+    generated_at: str | None,
+    host: dict | None,
+) -> dict[str, Any]:
+    out = dict(entry)
+    out["commit"] = commit
+    out["generated_at"] = generated_at
+    out["host"] = host or {"cpu_count": os.cpu_count() or 1}
+    return out
+
+
+def history_entries(payload: dict) -> list[dict[str, Any]]:
+    """Flatten any supported payload into provenance-stamped entries.
+
+    Shared with ``check_trajectory.py`` so the gate and the merge read
+    inputs identically.
+    """
+    schema = payload.get("schema")
+    if schema == SCHEMA:
+        return [dict(e) for e in payload.get("entries", [])]
+    if schema == SCHEMA_V1:
+        return [
+            _stamp(
+                e,
+                commit=payload.get("commit"),
+                generated_at=payload.get("generated_at"),
+                host=payload.get("host"),
+            )
+            for bench in payload.get("benchmarks", {}).values()
+            for e in _benchmark_entries(bench)
+        ]
+    # A raw benchmark payload: prefer its own run_id stamp (structured
+    # uuid + timestamp + commit, see repro.observe.new_run_id).
+    run_id = payload.get("run_id") or {}
+    commit = run_id.get("commit") or resolve_commit()
+    generated_at = run_id.get("started_at") or datetime.now(
+        timezone.utc
+    ).isoformat(timespec="seconds")
+    return [
+        _stamp(e, commit=commit, generated_at=generated_at, host=None)
+        for e in _benchmark_entries(payload)
+    ]
+
+
+def entry_key(entry: dict[str, Any]) -> tuple[str, str, str]:
+    return (
+        str(entry.get("commit") or ""),
+        str(entry.get("experiment") or ""),
+        str(entry.get("transport") or ""),
+    )
+
+
+def merge_entries(
+    entry_lists: list[list[dict[str, Any]]],
+) -> list[dict[str, Any]]:
+    """Dedupe by ``(commit, experiment, transport)`` — latest
+    ``generated_at`` wins — and sort deterministically."""
+    merged: dict[tuple[str, str, str], dict[str, Any]] = {}
+    for entries in entry_lists:
+        for entry in entries:
+            key = entry_key(entry)
+            kept = merged.get(key)
+            if kept is None or str(entry.get("generated_at") or "") >= str(
+                kept.get("generated_at") or ""
+            ):
+                merged[key] = entry
+    return sorted(
+        merged.values(),
+        key=lambda e: (
+            str(e.get("experiment") or ""),
+            str(e.get("transport") or ""),
+            str(e.get("generated_at") or ""),
+            str(e.get("commit") or ""),
+        ),
+    )
 
 
 def merge(paths: list[pathlib.Path]) -> dict:
-    benchmarks: dict[str, dict] = {}
-    for path in paths:
-        payload = json.loads(path.read_text())
-        key = payload_key(path, payload)
-        if key in benchmarks:
-            raise SystemExit(
-                f"duplicate benchmark key {key!r} (from {path}); "
-                "rename one payload"
-            )
-        benchmarks[key] = payload
-    return {
-        "schema": SCHEMA,
-        "commit": resolve_commit(),
-        "generated_at": datetime.now(timezone.utc).isoformat(
-            timespec="seconds"
-        ),
-        "host": {"cpu_count": os.cpu_count() or 1},
-        "benchmarks": benchmarks,
-    }
+    entry_lists = [
+        history_entries(json.loads(path.read_text())) for path in paths
+    ]
+    return {"schema": SCHEMA, "entries": merge_entries(entry_lists)}
 
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
         "inputs", nargs="+", type=pathlib.Path,
-        help="benchmark JSON payloads to merge",
+        help="benchmark payloads and/or existing trajectory histories",
     )
     parser.add_argument(
         "--out", type=pathlib.Path, required=True,
-        help="merged trajectory JSON output path",
+        help="merged trajectory history output path",
     )
     args = parser.parse_args(argv)
 
     trajectory = merge(args.inputs)
     args.out.write_text(json.dumps(trajectory, indent=2) + "\n")
+    entries = trajectory["entries"]
+    keys = sorted({(e["experiment"], e["transport"]) for e in entries})
     print(
-        f"{args.out}: commit={trajectory['commit']}, "
-        f"benchmarks={sorted(trajectory['benchmarks'])}",
+        f"{args.out}: {len(entries)} entries over "
+        f"{len(keys)} (experiment, transport) series",
         file=sys.stderr,
     )
     return 0

@@ -167,6 +167,35 @@ up to the collective's association order over the shrunken plan
 (1e-6-of-scale); :func:`repro.device.cluster.recovery_time` prices the
 detour (re-shard + restore + replayed steps) in the analytic cost
 model, validated by ``benchmarks/bench_shard.py --inject-failure``.
+
+Observability
+-------------
+:mod:`repro.instrument` counts *how much work* ran (shape-derived op
+totals); :mod:`repro.observe` answers *where the milliseconds went*.
+Push a :class:`~repro.observe.Tracer` onto the ambient stack and every
+training phase — block formation, GEMM, correction, allreduce wait,
+mirror-back, checkpoint, recovery — records nested wall-clock spans,
+including worker-side spans relayed from shard threads/processes with
+per-shard attribution::
+
+    from repro.observe import (
+        Tracer, trace_scope, export_perfetto, compare_phases,
+    )
+
+    tracer = Tracer()
+    with trace_scope(tracer):
+        trainer.fit(ds.x_train, ds.y_train, epochs=5)
+    export_perfetto(tracer, "trace.json")   # chrome://tracing lanes
+    report = compare_phases(tracer, g=4, link="process")
+
+Tracing is strictly opt-in: with no active tracer, spans are near-free
+no-ops, transport messages are byte-identical and every numeric result,
+op count and RPC count is unchanged (pinned by the conformance suite).
+A :class:`~repro.observe.MetricsRegistry` unifies op counts, span
+durations and recovery events under one run-ID-stamped snapshot, and
+:func:`repro.observe.compare_phases` joins measured span totals against
+the analytic cost model per phase —
+``python -m repro.experiments observe-report`` runs the whole loop.
 """
 
 from repro._version import __version__

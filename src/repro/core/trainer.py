@@ -64,6 +64,13 @@ from repro.device.simulator import SimulatedDevice
 from repro.exceptions import ConfigurationError, NotFittedError
 from repro.instrument import OpMeter, meter_scope, record_ops, relay_op_counts
 from repro.kernels.base import Kernel
+from repro.observe.tracer import (
+    Tracer,
+    relay_spans,
+    span,
+    trace_scope,
+    tracing_active,
+)
 
 __all__ = [
     "EpochRecord",
@@ -97,6 +104,9 @@ class BlockPrefetcher:
         backend = get_backend()
         precision = get_precision() if precision_is_explicit() else None
         meter = OpMeter()
+        # Like the meter: spans measured on the worker thread are
+        # collected privately and relayed when the handle is awaited.
+        tracer = Tracer() if tracing_active() else None
 
         def task() -> Any:
             scope = (
@@ -104,10 +114,15 @@ class BlockPrefetcher:
                 if precision is not None
                 else contextlib.nullcontext()
             )
-            with scope, use_backend(backend), meter_scope(meter):
+            tscope = (
+                trace_scope(tracer)
+                if tracer is not None
+                else contextlib.nullcontext()
+            )
+            with scope, use_backend(backend), meter_scope(meter), tscope:
                 return fn()
 
-        return _PrefetchHandle(self._pool.submit(task), meter)
+        return _PrefetchHandle(self._pool.submit(task), meter, tracer)
 
     def close(self) -> None:
         """Drop the worker's pooled workspace scratch and join it."""
@@ -121,11 +136,18 @@ class BlockPrefetcher:
 
 
 class _PrefetchHandle:
-    """Future for one prefetched block; relays op counts on await."""
+    """Future for one prefetched block; relays op counts (and spans,
+    when the submitter had tracing enabled) on await."""
 
-    def __init__(self, future: Future, meter: OpMeter) -> None:
+    def __init__(
+        self,
+        future: Future,
+        meter: OpMeter,
+        tracer: Tracer | None = None,
+    ) -> None:
         self._future = future
         self._meter = meter
+        self._tracer = tracer
         self._relayed = False
 
     def result(self) -> Any:
@@ -133,6 +155,8 @@ class _PrefetchHandle:
         if not self._relayed:
             self._relayed = True
             relay_op_counts(self._meter.as_dict())
+            if self._tracer is not None:
+                relay_spans(ev.as_dict() for ev in self._tracer.events)
         return value
 
 
@@ -434,7 +458,8 @@ class BaseKernelTrainer:
                     if len(blocks) >= remaining:
                         blocks = blocks[:remaining]
                         stop_now = True
-                self._run_epoch(x, y, blocks, gamma)
+                with span("epoch", epoch=epoch, iterations=len(blocks)):
+                    self._run_epoch(x, y, blocks, gamma)
                 total_iterations += len(blocks)
                 if self.device is not None:
                     for idx in blocks:
@@ -559,19 +584,20 @@ class BaseKernelTrainer:
         """
         bk = get_backend()
         block_dtype = self.kernel._eval_dtype(x, x)
-        scratch = block_workspace().get(
-            bk, idx.shape[0], x.shape[0], block_dtype, slot=slot
-        )
-        x_norms = (
-            None if self._x_sq_norms is None else self._x_sq_norms[idx]
-        )
-        return self.kernel(
-            x[idx],
-            x,
-            out=scratch,
-            x_sq_norms=x_norms,
-            z_sq_norms=self._x_sq_norms,
-        )  # (m, n): records kernel_eval ops
+        with span("form_block", slot=slot, m=int(idx.shape[0])):
+            scratch = block_workspace().get(
+                bk, idx.shape[0], x.shape[0], block_dtype, slot=slot
+            )
+            x_norms = (
+                None if self._x_sq_norms is None else self._x_sq_norms[idx]
+            )
+            return self.kernel(
+                x[idx],
+                x,
+                out=scratch,
+                x_sq_norms=x_norms,
+                z_sq_norms=self._x_sq_norms,
+            )  # (m, n): records kernel_eval ops
 
     def _consume_block(
         self, kb: Any, x: Any, y: Any, idx: np.ndarray, gamma: float
@@ -582,11 +608,15 @@ class BaseKernelTrainer:
         loop by alternating slots."""
         bk = get_backend()
         kb = match_dtype(kb, bk.dtype_of(self._alpha), bk)
-        f = kb @ self._alpha  # (m, l)
-        record_ops("gemm", idx.shape[0] * x.shape[0] * self._alpha.shape[1])
+        with span("gemm", m=int(idx.shape[0])):
+            f = kb @ self._alpha  # (m, l)
+            record_ops(
+                "gemm", idx.shape[0] * x.shape[0] * self._alpha.shape[1]
+            )
         g = f - y[idx]
         self._alpha[idx] -= gamma * g
-        self._apply_correction(kb, idx, g, gamma)
+        with span("correction", m=int(idx.shape[0])):
+            self._apply_correction(kb, idx, g, gamma)
 
     # ------------------------------------------------------------ inference
     def _require_fitted(self) -> KernelModel:

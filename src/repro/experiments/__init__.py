@@ -40,6 +40,10 @@ from repro.experiments.figure1 import Figure1Config, run_figure1
 from repro.experiments.figure2 import Figure2Config, run_figure2
 from repro.experiments.figure3 import Figure3Config, run_figure3a, run_figure3b
 from repro.experiments.harness import ExperimentResult, PaperClaim, format_table
+from repro.experiments.observe_report import (
+    ObserveReportConfig,
+    run_observe_report,
+)
 from repro.experiments.table1 import Table1Config, run_table1
 from repro.experiments.table2 import PAPER_TABLE2, Table2Config, run_table2
 from repro.experiments.table3 import PAPER_TABLE3, Table3Config, run_table3
@@ -62,6 +66,8 @@ __all__ = [
     "FailureInjectionConfig",
     "run_failure_injection",
     "failure_injection_supported",
+    "ObserveReportConfig",
+    "run_observe_report",
     "Figure3Config",
     "run_figure3a",
     "run_figure3b",
@@ -91,6 +97,7 @@ EXPERIMENTS = {
     "shard-validation": run_shard_validation,
     "pipeline-overlap": run_pipeline_overlap,
     "failure-injection": run_failure_injection,
+    "observe-report": run_observe_report,
     "figure3a": run_figure3a,
     "figure3b": run_figure3b,
     "table1": run_table1,

@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 from typing import Iterator
 
 __all__ = [
+    "OP_CATEGORIES",
     "OpMeter",
     "OpRecord",
     "active_meters",
@@ -28,6 +29,29 @@ __all__ = [
     "relay_op_counts",
     "meter_scope",
 ]
+
+#: Frozen public contract: the operation categories the package records.
+#:
+#: These names are load-bearing across layers — the Table-1 cost model
+#: buckets simulated time by them, transports relay worker-side deltas
+#: keyed by them, and :class:`repro.observe.MetricsRegistry` exposes one
+#: ``ops/<category>`` counter per entry.  Renaming or removing an entry
+#: is a breaking change to persisted bench/trajectory artifacts;
+#: additions append.
+#:
+#: - ``"kernel_eval"`` — pairwise kernel evaluations, ``m * n * d`` scale.
+#: - ``"gemm"`` — dense matrix products such as ``K @ W``, ``m * n * l``.
+#: - ``"precond"`` — preconditioner application, ``s * m * q`` scale.
+#: - ``"eig"`` — one-time eigensystem setup work.
+#: - ``"allreduce"`` — cross-shard reduction traffic, ``(g-1) * payload``
+#:   scalars, recorded caller-side by the shard collectives.
+OP_CATEGORIES: tuple[str, ...] = (
+    "kernel_eval",
+    "gemm",
+    "precond",
+    "eig",
+    "allreduce",
+)
 
 
 @dataclass
@@ -53,12 +77,9 @@ class OpMeter:
     Identity-based equality (``eq=False``): two meters are the same only
     if they are the same object, which the scope stack relies on.
 
-    Categories used by the package:
-
-    - ``"kernel_eval"`` — pairwise kernel evaluations, ``m * n * d`` scale.
-    - ``"gemm"`` — dense matrix products such as ``K @ W``, ``m * n * l``.
-    - ``"precond"`` — preconditioner application, ``s * m * q`` scale.
-    - ``"eig"`` — one-time eigensystem setup work.
+    Category names are the frozen :data:`OP_CATEGORIES` contract; the
+    meter itself accepts any string so experimental categories can be
+    recorded without a contract change.
     """
 
     counts: dict[str, OpRecord] = field(

@@ -1,0 +1,261 @@
+"""Measured-vs-modelled per-phase attribution report.
+
+The simulator-vs-engine validation harness
+(:func:`repro.experiments.run_shard_validation`) checks *one* number —
+total per-iteration time — against the Table-1 cost model.  This module
+splits that residual into phases: it joins the wall-clock span totals a
+traced fit produced (:class:`~repro.observe.tracer.Tracer`) against the
+analytic model's per-phase predictions, so a mismatch says *which*
+phase the model got wrong.
+
+Phase mapping
+-------------
+==============  ====================  ================================
+Phase           Measured from spans   Modelled from
+==============  ====================  ================================
+``form_block``  worker ``form_block`` ``kernel_eval`` ops / rate
+``gemm``        worker ``gemm``       ``gemm`` ops / rate
+``correction``  ``correction``        ``precond`` + ``eig`` ops / rate
+``allreduce``   ``allreduce``         :func:`~repro.device.cluster.allreduce_time` per call
+``mirror``      ``mirror``            (unmodelled; reported measured-only)
+``checkpoint``  ``checkpoint``        (unmodelled; reported measured-only)
+``recovery``    ``recovery``          :func:`~repro.device.cluster.recovery_time` per event
+==============  ====================  ================================
+
+The scalar rate is calibrated from the run itself unless given: total
+mapped compute ops divided by total mapped compute seconds — the same
+measure-one-anchor idiom the shard-validation harness uses for its
+``g=1`` device spec.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Mapping
+
+from repro.device.cluster import (
+    Interconnect,
+    allreduce_time,
+    recovery_time,
+    transport_interconnect,
+)
+from repro.observe.tracer import Tracer
+
+__all__ = ["PhaseComparison", "compare_phases", "render_comparison"]
+
+#: Span-name → op-category mapping for the compute phases.
+PHASE_OP_CATEGORIES: dict[str, tuple[str, ...]] = {
+    "form_block": ("kernel_eval",),
+    "gemm": ("gemm",),
+    "correction": ("precond", "eig"),
+}
+
+#: Phases reported measured-only (no analytic model term).
+UNMODELLED_PHASES: tuple[str, ...] = ("mirror", "checkpoint")
+
+
+@dataclass(frozen=True)
+class PhaseComparison:
+    """One row of the report: a phase's measured vs modelled seconds."""
+
+    phase: str
+    measured_s: float
+    modelled_s: float | None
+    spans: int
+
+    @property
+    def model_over_measured(self) -> float | None:
+        if self.modelled_s is None or self.measured_s <= 0:
+            return None
+        return self.modelled_s / self.measured_s
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "phase": self.phase,
+            "measured_s": self.measured_s,
+            "modelled_s": self.modelled_s,
+            "spans": self.spans,
+            "model_over_measured": self.model_over_measured,
+        }
+
+
+def compare_phases(
+    tracer: Tracer,
+    *,
+    g: int,
+    link: str | Interconnect = "thread",
+    allreduce_payload_scalars: float = 0.0,
+    op_counts: Mapping[str, int] | None = None,
+    scalar_rate: float | None = None,
+    weight_scalars: float | None = None,
+    recovery_events: Iterable[Any] = (),
+    run_id: Mapping[str, Any] | None = None,
+) -> dict[str, Any]:
+    """Join measured span totals against per-phase model predictions.
+
+    Parameters
+    ----------
+    tracer:
+        The tracer a fit ran under (worker spans relayed in).
+    g:
+        Shard count of the fit.
+    link:
+        Link-model name (``"thread"``, ``"process"``, ``"gloo"``,
+        ``"nccl"``) or an explicit :class:`Interconnect`.
+    allreduce_payload_scalars:
+        Scalars reduced per allreduce call (``m * l`` for a fit with
+        batch ``m`` and ``l`` outputs).
+    op_counts:
+        Aggregate ``{category: ops}`` for the run (e.g.
+        ``group.op_counts()`` or a host-side meter snapshot).  Required
+        for modelled compute phases; measured-only without it.
+    scalar_rate:
+        Scalars/second of one shard device.  Calibrated from the run's
+        own compute spans when omitted.
+    weight_scalars:
+        Size of the replicated weight state, pricing the recovery
+        restore/reshard terms.  Recovery is measured-only without it.
+    recovery_events:
+        The fit's ``recovery_log_`` (may be empty).
+    run_id:
+        Optional run identifier stamped into the report.
+
+    Returns a plain-dict report: ``{"phases": [...], "calibration":
+    {...}, "totals": {...}}``; render with :func:`render_comparison`.
+    """
+    interconnect = (
+        transport_interconnect(link) if isinstance(link, str) else link
+    )
+    totals = tracer.totals()
+    counts = tracer.counts()
+    op_counts = dict(op_counts or {})
+    recovery_events = list(recovery_events)
+
+    # Calibrate the per-shard scalar rate from the run's own compute
+    # spans when not supplied.  Worker compute phases run g-wide in
+    # parallel, so the aggregate ops over the summed per-shard span
+    # seconds already measures a *single shard's* rate.
+    compute_ops = sum(
+        op_counts.get(c, 0)
+        for cats in PHASE_OP_CATEGORIES.values()
+        for c in cats
+    )
+    compute_s = sum(totals.get(p, 0.0) for p in PHASE_OP_CATEGORIES)
+    calibrated = False
+    if scalar_rate is None and compute_ops > 0 and compute_s > 0:
+        scalar_rate = compute_ops / compute_s
+        calibrated = True
+
+    rows: list[PhaseComparison] = []
+    for phase, categories in PHASE_OP_CATEGORIES.items():
+        ops = sum(op_counts.get(c, 0) for c in categories)
+        modelled = ops / scalar_rate if scalar_rate and ops else None
+        rows.append(PhaseComparison(
+            phase=phase,
+            measured_s=totals.get(phase, 0.0),
+            modelled_s=modelled,
+            spans=counts.get(phase, 0),
+        ))
+
+    n_allreduce = counts.get("allreduce", 0)
+    modelled_allreduce = (
+        n_allreduce * allreduce_time(interconnect, g, allreduce_payload_scalars)
+        if n_allreduce and g >= 1 else None
+    )
+    rows.append(PhaseComparison(
+        phase="allreduce",
+        measured_s=totals.get("allreduce", 0.0),
+        modelled_s=modelled_allreduce,
+        spans=n_allreduce,
+    ))
+
+    for phase in UNMODELLED_PHASES:
+        rows.append(PhaseComparison(
+            phase=phase,
+            measured_s=totals.get(phase, 0.0),
+            modelled_s=None,
+            spans=counts.get(phase, 0),
+        ))
+
+    measured_recovery = sum(ev.recovery_s for ev in recovery_events)
+    modelled_recovery = None
+    if recovery_events and weight_scalars is not None:
+        modelled_recovery = sum(
+            recovery_time(
+                interconnect,
+                ev.new_g,
+                weight_scalars=weight_scalars,
+                replayed_iterations=ev.replayed_steps,
+            )
+            for ev in recovery_events
+        )
+    rows.append(PhaseComparison(
+        phase="recovery",
+        measured_s=measured_recovery,
+        modelled_s=modelled_recovery,
+        spans=len(recovery_events),
+    ))
+
+    report: dict[str, Any] = {
+        "g": g,
+        "link": link if isinstance(link, str) else "custom",
+        "phases": [row.as_dict() for row in rows],
+        "calibration": {
+            "scalar_rate": scalar_rate,
+            "calibrated_from_run": calibrated,
+            "compute_ops": compute_ops,
+            "compute_s": compute_s,
+        },
+        "totals": {
+            "measured_s": sum(r.measured_s for r in rows),
+            "modelled_s": sum(
+                r.modelled_s for r in rows if r.modelled_s is not None
+            ),
+        },
+    }
+    if run_id is not None:
+        report["run_id"] = dict(run_id)
+    return report
+
+
+def render_comparison(report: Mapping[str, Any]) -> str:
+    """Fixed-width table rendering of a :func:`compare_phases` report."""
+    header = ("phase", "spans", "measured_ms", "modelled_ms", "model/measured")
+    body: list[tuple[str, ...]] = []
+    for row in report["phases"]:
+        ratio = row["model_over_measured"]
+        body.append((
+            row["phase"],
+            str(row["spans"]),
+            f"{row['measured_s'] * 1e3:.3f}",
+            "-" if row["modelled_s"] is None
+            else f"{row['modelled_s'] * 1e3:.3f}",
+            "-" if ratio is None else f"{ratio:.2f}",
+        ))
+    totals = report["totals"]
+    body.append((
+        "TOTAL", "",
+        f"{totals['measured_s'] * 1e3:.3f}",
+        f"{totals['modelled_s'] * 1e3:.3f}",
+        "",
+    ))
+    widths = [
+        max(len(header[i]), *(len(r[i]) for r in body))
+        for i in range(len(header))
+    ]
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(header)),
+        "  ".join("-" * w for w in widths),
+    ]
+    lines += [
+        "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(r))
+        for r in body
+    ]
+    cal = report["calibration"]
+    if cal["scalar_rate"]:
+        src = "run-calibrated" if cal["calibrated_from_run"] else "given"
+        lines.append(
+            f"rate: {cal['scalar_rate']:.3e} scalars/s ({src}); "
+            f"link={report['link']}, g={report['g']}"
+        )
+    return "\n".join(lines)

@@ -109,6 +109,27 @@ runs through the cluster cost model — with the matching
 :func:`~repro.device.cluster.link_cost` — *and* this engine, reporting
 modelled against measured per-iteration time.
 
+Observability
+-------------
+The whole sharded stack is span-instrumented through
+:mod:`repro.observe`: under an active
+:class:`~repro.observe.Tracer` (``with trace_scope(tracer):``) the
+trainer brackets every phase (``epoch``, ``form_block``/``gemm`` waits,
+``correction``, ``checkpoint``, ``scatter_state`` and the
+``recovery/*`` detour), the group brackets every collective
+(``allreduce``, ``mirror``, ``gather``), and each *worker* records its
+own ``form_block``/``gemm`` spans — stamped ``shard=<id>`` and relayed
+back on the existing metered-reply path, the exact analogue of
+``relay_op_counts``.  Export per-shard timelines with
+:func:`~repro.observe.export_perfetto` and join measured span totals
+against the cluster cost model with
+:func:`~repro.observe.compare_phases`.  Tracing is opt-in and captured
+ambiently at submit time: with no tracer active, transport messages are
+byte-identical to the untraced build and RPC/op counts are unchanged
+(the conformance suite runs untraced and pins this).  Note the
+``mirror`` span is transport-conditional — NumPy thread shards adopt
+zero-copy weight views, so nothing is mirrored and no span is emitted.
+
 Example
 -------
 >>> import numpy as np

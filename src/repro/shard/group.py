@@ -44,6 +44,20 @@ does, holding at most two in-flight blocks per shard (workspace slots
 with device copies) or written directly into shared memory (process
 transport) after step ``t`` is applied before step ``t+1``'s contraction
 by construction, with no per-update barrier.
+
+Observability
+-------------
+When a :class:`repro.observe.Tracer` is active on the calling thread
+(``with trace_scope(tracer): ...``), every collective a group runs is
+bracketed by wall-clock spans recorded by the transport layer:
+caller-side ``submit``/``allreduce``/``mirror``/``gather``/
+``scatter_state`` spans, plus worker-side spans (``form_block``,
+``gemm``, stamped with ``shard=<id>``) that ride the same metered-reply
+path as the op-count deltas — :meth:`~repro.shard.transport.PendingMap.
+result` relays both to the calling thread.  Tracing is opt-in and
+ambient: with no active tracer the transports send byte-identical
+messages and record nothing, so the conformance suite's RPC and
+op-count pins hold unchanged.
 """
 
 from __future__ import annotations

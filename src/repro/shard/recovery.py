@@ -16,7 +16,14 @@ to *continue* after losing a worker:
   (which shards died, g before/after, steps replayed, wall time spent
   tearing down/rebuilding/restoring), accumulated on the trainer's
   ``recovery_log_`` and priced analytically by
-  :func:`repro.device.cluster.recovery_time`.
+  :func:`repro.device.cluster.recovery_time`.  Under an active
+  :class:`repro.observe.Tracer` the trainer additionally brackets each
+  recovery with ``recovery/probe`` / ``recovery/teardown`` /
+  ``recovery/restore`` / ``recovery/rebuild`` / ``recovery/replay``
+  spans, and :meth:`repro.observe.MetricsRegistry.
+  ingest_recovery_events` folds the log into the run's metric snapshot
+  (``recovery/latency_s`` histogram, replayed-step and shards-lost
+  counters).
 
 The recovery *policy* lives in
 :class:`~repro.shard.trainer.ShardedEigenPro2`: checkpoints every
@@ -42,7 +49,7 @@ from __future__ import annotations
 import os
 import pickle
 import tempfile
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from pathlib import Path
 from typing import Any
 
@@ -175,3 +182,10 @@ class RecoveryEvent:
     dead_shards: tuple[int, ...]
     error: str
     recovery_s: float
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-ready form (``dead_shards`` as a list), as embedded in
+        benchmark payloads and observability snapshots."""
+        d = asdict(self)
+        d["dead_shards"] = list(self.dead_shards)
+        return d

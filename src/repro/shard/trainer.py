@@ -95,6 +95,7 @@ from repro.exceptions import ConfigurationError, ShardError
 from repro.instrument import record_ops
 from repro.kernels.base import Kernel
 from repro.kernels.ops import block_workspace
+from repro.observe.tracer import record_span, span, tracing_active
 from repro.shard.group import PendingMap, ShardGroup
 from repro.shard.ops import sharded_predict
 from repro.shard.recovery import RecoveryEvent, ShardCheckpoint
@@ -127,24 +128,26 @@ def _form_block_task(
     kernel: Kernel = worker.state["kernel"]
     ebk = worker.backend
     block_dtype = kernel._eval_dtype(xb, worker.centers)
-    scratch = block_workspace().get(
-        ebk, xb.shape[0], worker.n_centers, block_dtype, slot=slot
-    )
-    kb = kernel(
-        xb,
-        worker.centers,
-        out=scratch,
-        x_sq_norms=xb_sq_norms,
-        z_sq_norms=worker.center_sq_norms,
-    )  # (m, n_i): records kernel_eval on the shard meter
-    worker.blocks[slot] = kb
-    phi_i = None
-    local = worker.state.get("local_sub")
-    if local is not None and local.size:
-        # Columns of the batch block at this shard's subsample centers —
-        # advanced indexing copies, so the block scratch may be recycled
-        # (and the copy shipped cross-process) safely.
-        phi_i = kb[:, local]
+    with span("form_block", slot=slot, m=int(xb.shape[0])):
+        scratch = block_workspace().get(
+            ebk, xb.shape[0], worker.n_centers, block_dtype, slot=slot
+        )
+        kb = kernel(
+            xb,
+            worker.centers,
+            out=scratch,
+            x_sq_norms=xb_sq_norms,
+            z_sq_norms=worker.center_sq_norms,
+        )  # (m, n_i): records kernel_eval on the shard meter
+        worker.blocks[slot] = kb
+        phi_i = None
+        local = worker.state.get("local_sub")
+        if local is not None and local.size:
+            # Columns of the batch block at this shard's subsample
+            # centers — advanced indexing copies, so the block scratch
+            # may be recycled (and the copy shipped cross-process)
+            # safely.
+            phi_i = kb[:, local]
     return phi_i
 
 
@@ -154,11 +157,12 @@ def _contract_task(worker: ShardWorker, slot: int) -> Any:
     previous step's update has been mirrored by the time this runs)."""
     kb = worker.blocks.pop(slot)
     ebk = worker.backend
-    kb = match_dtype(kb, ebk.dtype_of(worker.weights), ebk)
-    f_i = kb @ worker.weights  # (m, l) partial prediction
-    w = worker.weights
-    l = w.shape[1] if w.ndim == 2 else 1
-    record_ops("gemm", kb.shape[0] * worker.n_centers * l)
+    with span("gemm", slot=slot, m=int(kb.shape[0])):
+        kb = match_dtype(kb, ebk.dtype_of(worker.weights), ebk)
+        f_i = kb @ worker.weights  # (m, l) partial prediction
+        w = worker.weights
+        l = w.shape[1] if w.ndim == 2 else 1
+        record_ops("gemm", kb.shape[0] * worker.n_centers * l)
     return f_i
 
 
@@ -342,6 +346,11 @@ class ShardedEigenPro2(EigenPro2):
         self._cursor = 0
         self._sub_parts: list[tuple[np.ndarray, np.ndarray]] | None = None
         self._pending_mirror: PendingMap | None = None
+        #: Open replay window after a recovery, for the tracer only:
+        #: ``(resumed_step, failed_step, t0)``; closed (and recorded as
+        #: a ``"recovery/replay"`` span) when the loop passes the step
+        #: that originally failed.
+        self._replay_window: tuple[int, int, float] | None = None
 
     # --------------------------------------------------------------- setup
     def _setup(self, x: np.ndarray, y: np.ndarray) -> None:
@@ -350,6 +359,7 @@ class ShardedEigenPro2(EigenPro2):
         self.recovery_log_ = []
         self._recoveries_used = 0
         self._steps_since_checkpoint = 0
+        self._replay_window = None
         self._build_group(x, min(self.n_shards, x.shape[0]))
 
     def _build_group(self, x: Any, g: int) -> None:
@@ -437,16 +447,19 @@ class ShardedEigenPro2(EigenPro2):
         self._alpha[idx] -= gamma * g_res
         touched = [idx]
         if self.preconditioner_ is not None and self._sub_parts is not None:
-            m, s = idx.shape[0], self._sub_idx.shape[0]
-            phi = np.empty((m, s), dtype=np.dtype(alpha_dtype))
-            for ex, phi_i in zip(group.executors, phi_parts):
-                positions, _ = self._sub_parts[ex.shard_id]
-                if positions.size:
-                    phi[:, positions] = to_numpy(phi_i)
-            correction = self.preconditioner_.correction(phi, to_numpy(g_res))
-            self._alpha[self._sub_idx] += gamma * bk.asarray(
-                correction, dtype=alpha_dtype
-            )
+            with span("correction", step=self._cursor, m=int(idx.shape[0])):
+                m, s = idx.shape[0], self._sub_idx.shape[0]
+                phi = np.empty((m, s), dtype=np.dtype(alpha_dtype))
+                for ex, phi_i in zip(group.executors, phi_parts):
+                    positions, _ = self._sub_parts[ex.shard_id]
+                    if positions.size:
+                        phi[:, positions] = to_numpy(phi_i)
+                correction = self.preconditioner_.correction(
+                    phi, to_numpy(g_res)
+                )
+                self._alpha[self._sub_idx] += gamma * bk.asarray(
+                    correction, dtype=alpha_dtype
+                )
             touched.append(self._sub_idx)
         self._mirror_rows(np.concatenate(touched))
 
@@ -529,6 +542,7 @@ class ShardedEigenPro2(EigenPro2):
             self._cursor = t
             self._iterate(x, y, blocks[t], gamma)
             self._maybe_checkpoint(t + 1)
+            self._note_step_complete(t)
 
     def _run_span_pipelined(
         self, x: Any, y: Any, blocks: list[np.ndarray], gamma: float,
@@ -544,15 +558,18 @@ class ShardedEigenPro2(EigenPro2):
         for t in range(start, len(blocks)):
             self._cursor = t
             idx = blocks[t]
-            phi_parts = pending.result()  # [phi_i] — relays kernel_eval
+            with span("form_block_wait", step=t):
+                phi_parts = pending.result()  # [phi_i] — relays kernel_eval
             contracting = group.map_async(_contract_task, t % 2)
             if t + 1 < len(blocks):
                 pending = prefetch(blocks[t + 1], (t + 1) % 2)
-            f_partials = contracting.result()  # relays gemm ops
+            with span("gemm_wait", step=t):
+                f_partials = contracting.result()  # relays gemm ops
             self._apply_shard_step(
                 group, f_partials, phi_parts, y, idx, gamma
             )
             self._maybe_checkpoint(t + 1)
+            self._note_step_complete(t)
 
     # ----------------------------------------------------------- checkpoint
     def _maybe_checkpoint(self, cursor: int) -> None:
@@ -571,24 +588,25 @@ class ShardedEigenPro2(EigenPro2):
         queued mirror is drained first so device-copy shards are not
         snapshotted mid-push."""
         group = self.shard_group_
-        self._drain_pending_mirror()
-        rng = self._rng
-        ckpt = ShardCheckpoint(
-            weights=group.gather_weights(),
-            epoch=self._epoch,
-            batch_cursor=int(cursor),
-            rng_state=(
-                None if rng is None
-                else copy.deepcopy(rng.bit_generator.state)
-            ),
-            op_counts=group.op_counts(),
-            g=group.g,
-            transport=type(group.transport).name,
-        )
-        self.last_checkpoint_ = ckpt
-        self._steps_since_checkpoint = 0
-        if self.checkpoint_dir is not None:
-            ckpt.save(self.checkpoint_dir / "checkpoint.pkl")
+        with span("checkpoint", cursor=int(cursor), g=group.g):
+            self._drain_pending_mirror()
+            rng = self._rng
+            ckpt = ShardCheckpoint(
+                weights=group.gather_weights(),
+                epoch=self._epoch,
+                batch_cursor=int(cursor),
+                rng_state=(
+                    None if rng is None
+                    else copy.deepcopy(rng.bit_generator.state)
+                ),
+                op_counts=group.op_counts(),
+                g=group.g,
+                transport=type(group.transport).name,
+            )
+            self.last_checkpoint_ = ckpt
+            self._steps_since_checkpoint = 0
+            if self.checkpoint_dir is not None:
+                ckpt.save(self.checkpoint_dir / "checkpoint.pkl")
         return ckpt
 
     # ------------------------------------------------------------- recovery
@@ -612,27 +630,31 @@ class ShardedEigenPro2(EigenPro2):
         # timeout) reports nobody dead; the shrink still retires one
         # shard — every retry must make the group strictly smaller, or a
         # persistent fault would burn the budget without progress.
-        dead = tuple(group.dead_shards())
+        with span("recovery/probe", g=group.g):
+            dead = tuple(group.dead_shards())
         old_g = group.g
         new_g = old_g - max(1, len(dead))
         if new_g < self.min_shards:
             exc.checkpoint = ckpt
             raise exc
         self._pending_mirror = None
-        try:
-            group.close()
-        except Exception:  # noqa: BLE001 - teardown is best-effort
-            pass
+        with span("recovery/teardown", old_g=old_g):
+            try:
+                group.close()
+            except Exception:  # noqa: BLE001 - teardown is best-effort
+                pass
         self.shard_group_ = None
         # Restore weights caller-side first: the rebuilt group shards
         # whatever ``self._alpha`` holds (zero-copy-view transports adopt
         # it directly, copying transports scatter it), so restoring into
         # alpha *is* the ``set_weights`` of the new group.
-        bk = get_backend()
-        self._alpha[...] = bk.asarray(
-            ckpt.weights, dtype=bk.dtype_of(self._alpha)
-        )
-        self._build_group(x, new_g)
+        with span("recovery/restore", cursor=ckpt.batch_cursor):
+            bk = get_backend()
+            self._alpha[...] = bk.asarray(
+                ckpt.weights, dtype=bk.dtype_of(self._alpha)
+            )
+        with span("recovery/rebuild", new_g=new_g):
+            self._build_group(x, new_g)
         self._recoveries_used += 1
         event = RecoveryEvent(
             epoch=self._epoch,
@@ -646,7 +668,39 @@ class ShardedEigenPro2(EigenPro2):
             recovery_s=time.perf_counter() - t0,
         )
         self.recovery_log_.append(event)
+        record_span(
+            "recovery",
+            t0,
+            event.recovery_s,
+            old_g=old_g,
+            new_g=new_g,
+            replayed_steps=event.replayed_steps,
+        )
+        if tracing_active() and event.replayed_steps > 0:
+            # The replay itself happens in the resumed step loop; open a
+            # window the loop closes (as a "recovery/replay" span) when
+            # it passes the step that originally failed.
+            self._replay_window = (
+                ckpt.batch_cursor, self._cursor, time.perf_counter()
+            )
         return ckpt.batch_cursor
+
+    def _note_step_complete(self, t: int) -> None:
+        """Close the post-recovery replay window once the loop has
+        re-done every step the failure rolled back (tracing only)."""
+        if self._replay_window is None:
+            return
+        resumed, failed, t0 = self._replay_window
+        if t + 1 >= failed:
+            self._replay_window = None
+            record_span(
+                "recovery/replay",
+                t0,
+                time.perf_counter() - t0,
+                resumed_step=resumed,
+                failed_step=failed,
+                replayed_steps=failed - resumed,
+            )
 
     def _mirror_rows(self, global_idx: np.ndarray) -> None:
         """Push updated weight rows to the shards without barriering

@@ -60,6 +60,7 @@ from repro.backend import (
 from repro.exceptions import ConfigurationError
 from repro.instrument import OpMeter, meter_scope, record_ops, relay_op_counts
 from repro.kernels.ops import block_workspace
+from repro.observe.tracer import Tracer, relay_spans, span, trace_scope
 from repro.shard.plan import ShardPlan
 
 __all__ = [
@@ -188,19 +189,28 @@ class ShardWorker:
         args: tuple = (),
         kwargs: dict | None = None,
         precision: np.dtype | None = None,
+        tracer: Tracer | None = None,
     ) -> Any:
         """Run ``fn(self, *args, **kwargs)`` under this shard's backend
         scope, the caller's explicit precision (if any) and this shard's
         private meter.  The precision is re-established here because the
         caller's :func:`~repro.config.use_precision` scope is
         thread-local — the sharded computation must honor the same
-        working dtype as its unsharded equivalent."""
+        working dtype as its unsharded equivalent.  When the caller had
+        tracing enabled at submit time, ``tracer`` re-establishes a span
+        scope the same way (worker threads/processes carry no ambient
+        tracers)."""
         scope = (
             use_precision(precision)
             if precision is not None
             else contextlib.nullcontext()
         )
-        with scope, use_backend(self.backend), meter_scope(self.meter):
+        tscope = (
+            trace_scope(tracer)
+            if tracer is not None
+            else contextlib.nullcontext()
+        )
+        with scope, use_backend(self.backend), meter_scope(self.meter), tscope:
             try:
                 return fn(self, *args, **(kwargs or {}))
             finally:
@@ -214,17 +224,39 @@ class ShardWorker:
         args: tuple = (),
         kwargs: dict | None = None,
         precision: np.dtype | None = None,
-    ) -> tuple[Any, dict[str, int]]:
+        trace: bool = False,
+    ) -> tuple[Any, ...]:
         """Like :meth:`run`, but returns ``(result, op_delta)`` where
         ``op_delta`` is exactly the ops ``fn`` recorded on this shard's
-        meter — the relay payload of :class:`PendingMap`."""
+        meter — the relay payload of :class:`PendingMap`.
+
+        With ``trace=True`` (the caller had a tracer active at submit
+        time) the task runs under a private per-task tracer and the
+        return value grows a third element: the task's completed spans
+        in plain-dict form, each stamped with this ``shard_id`` — ready
+        to cross a process pipe and be relayed caller-side next to the
+        op-count delta.  The untraced return shape is unchanged, so
+        tracing cannot perturb the metered-reply contract it rides.
+        """
         before = self.meter.as_dict()
-        result = self.run(fn, args, kwargs, precision)
+        if trace:
+            tracer = Tracer()
+            result = self.run(fn, args, kwargs, precision, tracer)
+        else:
+            result = self.run(fn, args, kwargs, precision)
         delta = {
             category: ops - before.get(category, 0)
             for category, ops in self.meter.as_dict().items()
         }
-        return result, {c: d for c, d in delta.items() if d}
+        delta = {c: d for c, d in delta.items() if d}
+        if not trace:
+            return result, delta
+        spans = []
+        for ev in tracer.events:
+            payload = ev.as_dict()
+            payload["attrs"].setdefault("shard", self.shard_id)
+            spans.append(payload)
+        return result, delta, spans
 
     def drain_workspace(self) -> None:
         """Fold the pooled scratch high-water mark into
@@ -241,11 +273,13 @@ class PendingMap:
 
     Returned by :meth:`ShardTransport.map_async`; the work is already
     queued on every worker's FIFO when this object exists.
-    :meth:`result` barriers, relays the per-shard op-count deltas to the
-    meters active on the *calling* thread (once, however often it is
-    called) and returns the per-shard results in shard order — so
-    awaiting the future on the thread that will consume the values keeps
-    aggregate op counts identical to the unsharded computation.
+    :meth:`result` barriers, relays the per-shard op-count deltas — and,
+    when the submitter had tracing enabled, the per-shard wall-clock
+    spans — to the meters/tracers active on the *calling* thread (once,
+    however often it is called) and returns the per-shard results in
+    shard order — so awaiting the future on the thread that will consume
+    the values keeps aggregate op counts identical to the unsharded
+    computation.
 
     The map is single-shot and drains *every* future even on failure:
     op-count deltas from the shards that completed are relayed before the
@@ -266,17 +300,25 @@ class PendingMap:
             futures, self._futures = self._futures, None
             results: list[Any] = []
             merged: dict[str, int] = {}
+            spans: list[dict[str, Any]] = []
             for f in futures:
                 try:
-                    result, delta = f.result()
+                    reply = f.result()
                 except BaseException as exc:  # noqa: BLE001 - re-raised below
                     if self._error is None:
                         self._error = exc
                     continue
+                # ``(result, delta)`` untraced; ``(result, delta, spans)``
+                # when the submitter had tracing enabled.
+                result, delta = reply[0], reply[1]
+                if len(reply) > 2 and reply[2]:
+                    spans.extend(reply[2])
                 results.append(result)
                 for category, ops in delta.items():
                     merged[category] = merged.get(category, 0) + ops
             relay_op_counts(merged)
+            if spans:
+                relay_spans(spans)
             self._results = results
         if self._error is not None:
             raise self._error
@@ -389,7 +431,8 @@ class ShardTransport(abc.ABC):
     def submit(self, shard_id: int, fn: Callable[..., Any], *args: Any, **kwargs: Any) -> Future:
         """Queue ``fn(worker, *args, **kwargs)`` on one shard's worker;
         the future resolves to the task's result."""
-        return self.executors[shard_id].submit(fn, *args, **kwargs)
+        with span("submit", transport=self.name, to_shard=shard_id):
+            return self.executors[shard_id].submit(fn, *args, **kwargs)
 
     def map_async(self, fn: Callable[..., Any], *args: Any, **kwargs: Any) -> PendingMap:
         """Queue ``fn(worker, *args, **kwargs)`` on every shard *without
@@ -409,7 +452,8 @@ class ShardTransport(abc.ABC):
         """Combine per-shard partials into the full result on the
         caller's backend; default is the host-side :func:`allreduce_sum`
         (transports with a real collective fabric override)."""
-        return allreduce_sum(partials, bk=bk)
+        with span("allreduce", transport=self.name, g=self.g):
+            return allreduce_sum(partials, bk=bk)
 
     # ----------------------------------------------------------- state push
     def broadcast_state(self, **items: Any) -> None:
@@ -435,12 +479,13 @@ class ShardTransport(abc.ABC):
             raise ConfigurationError(
                 f"scatter_state_items needs {self.g} dicts, got {len(items)}"
             )
-        futures = [
-            ex.submit(_update_state_task, dict(shard_items))
-            for ex, shard_items in zip(self.executors, items)
-        ]
-        for f in futures:
-            f.result()
+        with span("scatter_state", transport=self.name, g=self.g):
+            futures = [
+                ex.submit(_update_state_task, dict(shard_items))
+                for ex, shard_items in zip(self.executors, items)
+            ]
+            for f in futures:
+                f.result()
 
     # -------------------------------------------------------------- weights
     @property
@@ -471,17 +516,24 @@ class ShardTransport(abc.ABC):
         """
         if not self.needs_mirror:
             return None
-        parts = self.plan.localize(np.asarray(global_idx))
-        return self.map_async(_push_rows_task, parts, rows)
+        with span(
+            "mirror",
+            transport=self.name,
+            rows=len(np.asarray(global_idx)),
+            queued=self.g,
+        ):
+            parts = self.plan.localize(np.asarray(global_idx))
+            return self.map_async(_push_rows_task, parts, rows)
 
     def gather_weights(self) -> np.ndarray:
         """Concatenate all shard weight rows back into one host array."""
-        parts = []
-        for ex in self.executors:
-            if ex.weights is None:
-                raise ConfigurationError("transport holds no weights")
-            parts.append(to_numpy(ex.weights))
-        return np.concatenate(parts, axis=0)
+        with span("gather", transport=self.name, g=self.g):
+            parts = []
+            for ex in self.executors:
+                if ex.weights is None:
+                    raise ConfigurationError("transport holds no weights")
+                parts.append(to_numpy(ex.weights))
+            return np.concatenate(parts, axis=0)
 
     @abc.abstractmethod
     def set_weights(self, weights: np.ndarray) -> None:

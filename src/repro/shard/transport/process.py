@@ -72,6 +72,7 @@ from repro.backend import (
     resolve_backend,
 )
 from repro.exceptions import ConfigurationError, ShardError
+from repro.observe.tracer import span, tracing_active
 from repro.shard.plan import ShardPlan
 from repro.shard.transport.base import ShardTransport, ShardWorker
 
@@ -210,13 +211,18 @@ def _worker_main(spec: _WorkerSpec, conn: Any) -> None:
                 break
             if msg is _SHUTDOWN:
                 break
-            fn, args, kwargs, precision = msg
+            fn, args, kwargs, precision, trace = msg
             try:
-                result, delta = worker.run_metered(fn, args, kwargs, precision)
+                # ``(result, delta)`` untraced, ``(result, delta, spans)``
+                # when the parent had tracing enabled at submit time; the
+                # stats tuple always rides last, so the parent parses the
+                # reply the same way in both shapes.
+                metered = worker.run_metered(
+                    fn, args, kwargs, precision, trace
+                )
                 reply = (
                     "ok",
-                    result,
-                    delta,
+                    *metered,
                     (worker.meter.as_dict(), worker.workspace_peak),
                 )
             except (KeyboardInterrupt, SystemExit):
@@ -339,16 +345,20 @@ class ProcessShardExecutor:
         args: tuple,
         kwargs: dict,
         precision: np.dtype | None,
-    ) -> tuple[Any, dict[str, int]]:
+        trace: bool = False,
+    ) -> tuple[Any, ...]:
         """One task round-trip; runs on this executor's dedicated parent
         thread, so the pipe carries at most one in-flight task and FIFO
-        order is the thread pool's queue order."""
+        order is the thread pool's queue order.  Returns ``(result,
+        op_delta)``, or ``(result, op_delta, spans)`` when ``trace`` —
+        the worker-side span payloads ride the same reply as the delta,
+        never an extra RPC."""
         if self._dead is not None:
             raise ShardError(
                 f"shard {self.shard_id} worker is unavailable: {self._dead}"
             )
         try:
-            self._conn.send((fn, args, kwargs, precision))
+            self._conn.send((fn, args, kwargs, precision, trace))
             reply = self._conn.recv()
         except (EOFError, OSError, BrokenPipeError) as exc:
             self._dead = (
@@ -366,8 +376,9 @@ class ProcessShardExecutor:
             raise ShardError(
                 f"shard {self.shard_id} task failed in worker:\n{body}"
             )
-        _, result, delta, _ = reply
-        return result, delta
+        # ("ok", result, delta[, spans], stats) — everything between the
+        # kind tag and the trailing stats is the metered payload.
+        return tuple(reply[1:-1])
 
     def submit(self, fn: Callable[..., Any], *args: Any, **kwargs: Any) -> Future:
         """Queue ``fn(worker, *args, **kwargs)`` for the child; the
@@ -382,10 +393,14 @@ class ProcessShardExecutor:
         self, fn: Callable[..., Any], *args: Any, **kwargs: Any
     ) -> Future:
         """Like :meth:`submit`, but the future resolves to
-        ``(result, op_delta)`` with the delta captured in the child."""
+        ``(result, op_delta)`` with the delta captured in the child —
+        plus the child-side spans when the caller has tracing enabled
+        (captured here, next to the ambient precision)."""
         pool = self._require_open()
         precision = get_precision() if precision_is_explicit() else None
-        return pool.submit(self._rpc_metered, fn, args, kwargs, precision)
+        return pool.submit(
+            self._rpc_metered, fn, args, kwargs, precision, tracing_active()
+        )
 
     # ------------------------------------------------------------- liveness
     def alive(self) -> bool:
@@ -637,12 +652,15 @@ class ProcessTransport(ShardTransport):
         """
         if self._weights_view is None:
             raise ConfigurationError("transport holds no weights")
-        self._weights_view[np.asarray(global_idx)] = rows
+        idx = np.asarray(global_idx)
+        with span("mirror", transport=self.name, rows=len(idx), queued=0):
+            self._weights_view[idx] = rows
 
     def gather_weights(self) -> np.ndarray:
         if self._weights_view is None:
             raise ConfigurationError("transport holds no weights")
-        return self._weights_view.copy()
+        with span("gather", transport=self.name, g=self.g):
+            return self._weights_view.copy()
 
     def set_weights(self, weights: np.ndarray) -> None:
         if self._weights_view is None:

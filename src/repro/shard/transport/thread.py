@@ -29,6 +29,7 @@ from repro.backend import (
     to_numpy,
 )
 from repro.exceptions import ConfigurationError
+from repro.observe.tracer import tracing_active
 from repro.shard.plan import ShardPlan
 from repro.shard.transport.base import ShardTransport, ShardWorker
 
@@ -79,10 +80,15 @@ class ShardExecutor(ShardWorker):
         self, fn: Callable[..., Any], *args: Any, **kwargs: Any
     ) -> Future:
         """Like :meth:`submit`, but the future resolves to
-        ``(result, op_delta)`` — see :meth:`ShardWorker.run_metered`."""
+        ``(result, op_delta)`` — see :meth:`ShardWorker.run_metered`.
+        The ambient tracing flag is captured here, next to the ambient
+        precision: a task submitted under an active tracer resolves to
+        ``(result, op_delta, spans)`` instead."""
         pool = self._require_open()
         precision = get_precision() if precision_is_explicit() else None
-        return pool.submit(self.run_metered, fn, args, kwargs, precision)
+        return pool.submit(
+            self.run_metered, fn, args, kwargs, precision, tracing_active()
+        )
 
     def pull_rows(self, local_idx: np.ndarray) -> np.ndarray:
         """Host copy of the given weight rows (mirror-back path for

@@ -76,6 +76,7 @@ import numpy as np
 from repro.backend import ArrayBackend, NumpyBackend, get_backend, to_numpy
 from repro.exceptions import ConfigurationError, ShardError
 from repro.instrument import record_ops
+from repro.observe.tracer import span
 from repro.shard.plan import ShardPlan
 from repro.shard.transport.base import PendingMap, ShardWorker
 from repro.shard.transport.process import ProcessTransport, _SegmentSpec, _WorkerSpec
@@ -349,19 +350,20 @@ class TorchDistributedTransport(ProcessTransport):
         bk = bk if bk is not None else get_backend()
         if self.g == 1:
             return bk.asarray(np.array(to_numpy(partials[0]), copy=True))
-        futures = [
-            ex.submit_metered(
-                _dist_allreduce_task, np.ascontiguousarray(to_numpy(p))
-            )
-            for ex, p in zip(self.executors, partials)
-        ]
-        results = PendingMap(futures).result()
-        out = results[0]
-        # Shape-derived charge on the caller's meters — identical to
-        # allreduce_sum's, and kept off the shard meters so per-shard
-        # accounting (compute only) stays comparable across transports.
-        record_ops("allreduce", (self.g - 1) * int(np.asarray(out).size))
-        return bk.asarray(out)
+        with span("allreduce", transport=self.name, g=self.g):
+            futures = [
+                ex.submit_metered(
+                    _dist_allreduce_task, np.ascontiguousarray(to_numpy(p))
+                )
+                for ex, p in zip(self.executors, partials)
+            ]
+            results = PendingMap(futures).result()
+            out = results[0]
+            # Shape-derived charge on the caller's meters — identical to
+            # allreduce_sum's, and kept off the shard meters so per-shard
+            # accounting (compute only) stays comparable across transports.
+            record_ops("allreduce", (self.g - 1) * int(np.asarray(out).size))
+            return bk.asarray(out)
 
     # -------------------------------------------------------------- weights
     # NumPy workers inherit the process transport's weight story wholesale:
@@ -379,13 +381,16 @@ class TorchDistributedTransport(ProcessTransport):
         super().mirror_rows(global_idx, rows)
         from repro.shard.transport.base import _push_rows_task
 
-        parts = self.plan.localize(np.asarray(global_idx))
-        return self.map_async(_push_rows_task, parts, rows)
+        idx = np.asarray(global_idx)
+        with span("mirror", transport=self.name, rows=len(idx), queued=self.g):
+            parts = self.plan.localize(idx)
+            return self.map_async(_push_rows_task, parts, rows)
 
     def gather_weights(self) -> np.ndarray:
         if not self._torch_workers:
             return super().gather_weights()
-        return np.concatenate(self.map(_pull_weights_task), axis=0)
+        with span("gather", transport=self.name, g=self.g):
+            return np.concatenate(self.map(_pull_weights_task), axis=0)
 
     def set_weights(self, weights: np.ndarray) -> None:
         super().set_weights(weights)

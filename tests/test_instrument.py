@@ -6,7 +6,14 @@ import numpy as np
 
 from repro.backend import available_backends, use_backend
 from repro.config import use_precision
-from repro.instrument import OpMeter, iter_categories, meter_scope, record_ops
+from repro.instrument import (
+    OP_CATEGORIES,
+    OpMeter,
+    iter_categories,
+    meter_scope,
+    record_ops,
+    relay_op_counts,
+)
 from repro.kernels import GaussianKernel, LaplacianKernel, kernel_matvec
 
 
@@ -153,6 +160,52 @@ class TestMeterThreading:
                 "outer_only": 1,
             }
 
+    def test_relay_under_concurrent_meter_scopes(self):
+        """relay_op_counts records onto *this* thread's meters only:
+        concurrent relays from many threads, each holding nested
+        scopes, never cross-talk (the PendingMap / BlockPrefetcher
+        relay path run g-wide)."""
+        n_threads = 6
+        results = {}
+        errors = []
+        start = threading.Barrier(n_threads)
+
+        def work(tid: int) -> None:
+            try:
+                start.wait()
+                with meter_scope() as outer, meter_scope() as inner:
+                    for _ in range(40):
+                        relay_op_counts({"gemm": tid + 1, f"t{tid}": 2})
+                results[tid] = (outer.as_dict(), inner.as_dict())
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=work, args=(tid,))
+            for tid in range(n_threads)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        for tid in range(n_threads):
+            expected = {"gemm": 40 * (tid + 1), f"t{tid}": 80}
+            # Nested scopes both see the relay; no other thread's
+            # category leaked in.
+            assert results[tid] == (expected, expected)
+
+    def test_relay_skips_zero_entries(self):
+        """Zero deltas are dropped so relaying never inflates a
+        category's calls count with empty records."""
+        with meter_scope() as meter:
+            relay_op_counts({"gemm": 0, "kernel_eval": 5})
+        assert meter.as_dict() == {"kernel_eval": 5}
+        assert "gemm" not in meter.counts
+
+    def test_relay_without_active_meter_is_noop(self):
+        relay_op_counts({"gemm": 7})  # must not raise
+
     def test_metered_kernel_work_across_threads(self):
         """Real kernel evaluations metered concurrently stay per-thread
         under the new backend dispatch (workspace + meter both
@@ -177,3 +230,33 @@ class TestMeterThreading:
         for t in threads:
             t.join()
         assert totals == {tid: expected * (tid + 1) for tid in range(4)}
+
+
+class TestOpCategoriesContract:
+    """OP_CATEGORIES is a frozen public contract: persisted artifacts
+    (benchmark payloads, checkpoints, metric snapshots) key on these
+    names, so renames/removals are breaking changes.  This pin is the
+    single source of truth shared by the OpMeter docs and
+    repro.observe.MetricsRegistry."""
+
+    def test_frozen_names(self):
+        assert OP_CATEGORIES == (
+            "kernel_eval",
+            "gemm",
+            "precond",
+            "eig",
+            "allreduce",
+        )
+
+    def test_metrics_registry_consumes_contract(self):
+        from repro.observe import MetricsRegistry
+
+        registry = MetricsRegistry()
+        registry.ingest_op_counts({"gemm": 3})
+        snapshot = registry.snapshot()
+        # Every contract category appears (zero-filled), keyed ops/<name>.
+        assert {f"ops/{c}" for c in OP_CATEGORIES} <= set(
+            snapshot["counters"]
+        )
+        assert snapshot["counters"]["ops/gemm"] == 3
+        assert snapshot["counters"]["ops/kernel_eval"] == 0

@@ -1,0 +1,464 @@
+"""Tests for the observability layer (``repro.observe``).
+
+Pins the contracts the rest of the stack relies on:
+
+- tracing is strictly opt-in: with no active tracer, ``span`` records
+  nothing and worker metered replies keep their pre-tracing 2-tuple
+  shape (the conformance suite separately pins that RPC and op counts
+  are unchanged);
+- the tracer stack mirrors the meter stack: thread-local, nested,
+  exit-out-of-order safe;
+- worker-side spans relay across every available transport with
+  per-shard attribution, riding the metered-reply path;
+- the Perfetto export is schema-valid and round-trips the span data;
+- the metrics registry unifies op counts, span durations and recovery
+  events under one run-ID-stamped snapshot.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import numpy as np
+import pytest
+
+from repro.backend import NumpyBackend
+from repro.instrument import OpMeter, meter_scope
+from repro.kernels import GaussianKernel
+from repro.observe import (
+    MetricsRegistry,
+    SpanEvent,
+    Tracer,
+    compare_phases,
+    export_jsonl,
+    export_perfetto,
+    new_run_id,
+    perfetto_payload,
+    record_span,
+    relay_spans,
+    render_comparison,
+    span,
+    trace_scope,
+    tracing_active,
+    validate_perfetto,
+)
+from repro.shard import ShardedEigenPro2, registered_transports, transport_available
+from repro.shard.transport.base import ShardWorker
+
+transports = pytest.mark.parametrize(
+    "transport",
+    [
+        pytest.param(
+            t,
+            marks=pytest.mark.skipif(
+                not transport_available(t),
+                reason=f"transport {t!r} is not available on this host",
+            ),
+        )
+        for t in registered_transports()
+    ],
+)
+
+
+class TestSpanAndScope:
+    def test_span_records_on_active_tracer(self):
+        tracer = Tracer()
+        with trace_scope(tracer):
+            with span("form_block", step=3):
+                pass
+        (ev,) = tracer.events
+        assert ev.name == "form_block"
+        assert ev.attrs == {"step": 3}
+        assert ev.duration_s >= 0.0
+        assert ev.depth == 0
+
+    def test_disabled_tracing_records_nothing(self):
+        """The no-op pin: outside any trace_scope, spans cost one
+        attribute check and record zero events anywhere."""
+        tracer = Tracer()
+        assert not tracing_active()
+        with span("form_block"):
+            with span("gemm"):
+                pass
+        record_span("recovery", 0.0, 1.0)
+        relay_spans([{"name": "x", "start_s": 0.0, "duration_s": 1.0}])
+        assert len(tracer) == 0
+        assert not tracing_active()
+
+    def test_nesting_depth_recorded(self):
+        tracer = Tracer()
+        with trace_scope(tracer):
+            with span("epoch"):
+                with span("form_block"):
+                    with span("gemm"):
+                        pass
+        depths = {ev.name: ev.depth for ev in tracer.events}
+        assert depths == {"epoch": 0, "form_block": 1, "gemm": 2}
+
+    def test_nested_scopes_both_record(self):
+        outer, inner = Tracer(), Tracer()
+        with trace_scope(outer):
+            with trace_scope(inner):
+                with span("a"):
+                    pass
+            with span("b"):
+                pass
+        assert [ev.name for ev in inner.events] == ["a"]
+        assert sorted(ev.name for ev in outer.events) == ["a", "b"]
+
+    def test_exception_still_pops_scope(self):
+        tracer = Tracer()
+        try:
+            with trace_scope(tracer):
+                raise ValueError("boom")
+        except ValueError:
+            pass
+        assert not tracing_active()
+        with span("after"):
+            pass
+        assert len(tracer) == 0
+
+    def test_stack_is_thread_local(self):
+        """A tracer active on one thread never captures another
+        thread's spans — relays are explicit."""
+        tracer = Tracer()
+        other_done = threading.Event()
+
+        def other_thread():
+            with span("other"):  # no tracer active *on this thread*
+                pass
+            other_done.set()
+
+        with trace_scope(tracer):
+            t = threading.Thread(target=other_thread)
+            t.start()
+            t.join()
+        assert other_done.is_set()
+        assert len(tracer) == 0
+
+    def test_concurrent_spans_one_tracer(self):
+        """Tracer.record is lock-guarded: many threads each tracing
+        into their own scope over one shared tracer lose no events."""
+        tracer = Tracer()
+        n_threads, per_thread = 8, 25
+        start = threading.Barrier(n_threads)
+
+        def work(tid: int) -> None:
+            start.wait()
+            with trace_scope(tracer):
+                for i in range(per_thread):
+                    with span(f"t{tid}", i=i):
+                        pass
+
+        threads = [
+            threading.Thread(target=work, args=(tid,))
+            for tid in range(n_threads)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        counts = tracer.counts()
+        assert counts == {
+            f"t{tid}": per_thread for tid in range(n_threads)
+        }
+
+    def test_record_span_and_totals(self):
+        tracer = Tracer()
+        with trace_scope(tracer):
+            record_span("recovery", 10.0, 0.25, old_g=2, new_g=1)
+            record_span("recovery", 20.0, 0.75)
+        assert tracer.totals()["recovery"] == pytest.approx(1.0)
+        assert tracer.counts() == {"recovery": 2}
+
+    def test_relay_spans_round_trip(self):
+        tracer = Tracer()
+        payload = SpanEvent(
+            name="gemm", start_s=1.0, duration_s=0.5,
+            thread="worker", depth=1, attrs={"shard": 3},
+        ).as_dict()
+        with trace_scope(tracer):
+            relay_spans([payload])
+        (ev,) = tracer.events
+        assert ev == SpanEvent.from_dict(payload)
+        assert ev.attrs["shard"] == 3
+
+
+class TestWorkerReplyShapes:
+    """The metered-reply contract: 2-tuple untraced (byte-identical to
+    the pre-tracing protocol), 3-tuple with shard-stamped span payloads
+    when tracing was requested at submit time."""
+
+    @staticmethod
+    def _worker():
+        rng = np.random.default_rng(0)
+        return ShardWorker(2, NumpyBackend(), rng.standard_normal((8, 3)))
+
+    @staticmethod
+    def _task(worker):
+        with span("form_block", m=4):
+            return float(np.sum(worker.centers))
+
+    def test_untraced_reply_is_two_tuple(self):
+        reply = self._worker().run_metered(self._task, (), {}, None)
+        assert len(reply) == 2
+        result, delta = reply
+        assert isinstance(delta, dict)
+
+    def test_traced_reply_appends_shard_stamped_spans(self):
+        reply = self._worker().run_metered(
+            self._task, (), {}, None, True
+        )
+        assert len(reply) == 3
+        result, delta, spans = reply
+        (payload,) = spans
+        assert payload["name"] == "form_block"
+        assert payload["attrs"] == {"m": 4, "shard": 2}
+
+    def test_worker_trace_does_not_leak_to_caller_stack(self):
+        self._worker().run_metered(self._task, (), {}, None, True)
+        assert not tracing_active()
+
+
+class TestTransportSpanRelayParity:
+    """A traced sharded fit relays the same worker-side span names with
+    full per-shard attribution on every available transport."""
+
+    @staticmethod
+    def _traced_fit(transport: str) -> Tracer:
+        rng = np.random.default_rng(5)
+        x = rng.standard_normal((160, 6))
+        y = np.tanh(x @ rng.standard_normal((6, 2)))
+        tracer = Tracer()
+        trainer = ShardedEigenPro2(
+            GaussianKernel(bandwidth=2.0),
+            n_shards=2,
+            transport=transport,
+            s=24,
+            batch_size=32,
+            seed=0,
+        )
+        try:
+            with trace_scope(tracer):
+                trainer.fit(x, y, epochs=1)
+        finally:
+            trainer.close()
+        return tracer
+
+    @transports
+    def test_worker_spans_cover_all_shards(self, transport):
+        tracer = self._traced_fit(transport)
+        for name in ("form_block", "gemm"):
+            shards = {
+                ev.attrs.get("shard")
+                for ev in tracer.events
+                if ev.name == name and "shard" in ev.attrs
+            }
+            assert shards == {0, 1}, (
+                f"{transport}: worker span {name!r} missing shard "
+                f"attribution: {shards}"
+            )
+        # Caller-side collective spans are present alongside.  Mirror
+        # spans appear only where mirroring happens at all: thread-
+        # transport NumPy shards adopt zero-copy weight views, so a
+        # fit on them never mirrors (needs_mirror is False).
+        counts = tracer.counts()
+        expected = ["allreduce", "correction", "checkpoint"]
+        if transport != "thread":
+            expected.append("mirror")
+        for name in expected:
+            assert counts.get(name, 0) > 0, f"{transport}: no {name} spans"
+
+    @transports
+    def test_span_names_match_thread_reference(self, transport):
+        if transport == "thread":
+            pytest.skip("thread is the reference")
+        got = set(self._traced_fit(transport).counts())
+        ref = set(self._traced_fit("thread").counts())
+        # Same phase vocabulary everywhere; a transport that actually
+        # mirrors (view-less weights) adds exactly the mirror span the
+        # thread reference's zero-copy views never need.
+        assert ref <= got, f"{transport}: missing spans {ref - got}"
+        assert got - ref <= {"mirror"}, (
+            f"{transport}: unexpected spans {got - ref}"
+        )
+
+
+class TestExporters:
+    @staticmethod
+    def _tracer_with_spans() -> Tracer:
+        tracer = Tracer()
+        with trace_scope(tracer):
+            with span("epoch", epoch=1):
+                with span("allreduce", g=2):
+                    pass
+            relay_spans([
+                SpanEvent(
+                    name="form_block", start_s=2.0, duration_s=0.5,
+                    thread="shard-0", attrs={"shard": 0},
+                ).as_dict(),
+                SpanEvent(
+                    name="form_block", start_s=2.1, duration_s=0.4,
+                    thread="shard-1", attrs={"shard": 1},
+                ).as_dict(),
+            ])
+        return tracer
+
+    def test_perfetto_schema_round_trip(self, tmp_path):
+        tracer = self._tracer_with_spans()
+        run_id = new_run_id()
+        path = export_perfetto(
+            tracer, tmp_path / "trace.json", run_id=run_id
+        )
+        payload = json.loads(path.read_text())
+        validate_perfetto(payload)
+        assert payload["otherData"]["run_id"]["id"] == run_id["id"]
+        complete = [e for e in payload["traceEvents"] if e["ph"] == "X"]
+        assert len(complete) == len(tracer)
+        # Worker spans land on per-shard process lanes; named lanes
+        # exist for the trainer and both shards.
+        names = {
+            e["args"]["name"]
+            for e in payload["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "process_name"
+        }
+        assert {"trainer", "shard 0", "shard 1"} <= names
+        by_name = {}
+        for e in complete:
+            by_name.setdefault(e["name"], set()).add(e["pid"])
+        assert by_name["form_block"] == {1, 2}
+        assert by_name["allreduce"] == {0}
+        assert all(e["ts"] >= 0 and e["dur"] >= 0 for e in complete)
+
+    def test_validate_perfetto_rejects_malformed(self):
+        with pytest.raises(ValueError):
+            validate_perfetto({})
+        with pytest.raises(ValueError):
+            validate_perfetto({"traceEvents": [{"name": "x", "ph": "X"}]})
+        with pytest.raises(ValueError):
+            validate_perfetto({"traceEvents": [
+                {"name": "x", "ph": "Q", "pid": 0, "tid": 0}
+            ]})
+
+    def test_jsonl_read_back(self, tmp_path):
+        tracer = self._tracer_with_spans()
+        run_id = new_run_id()
+        path = export_jsonl(
+            tracer, tmp_path / "events.jsonl", run_id=run_id
+        )
+        lines = [
+            json.loads(line)
+            for line in path.read_text().splitlines()
+        ]
+        header, spans = lines[0], lines[1:]
+        assert header["event"] == "run_start"
+        assert header["spans"] == len(tracer) == len(spans)
+        assert header["run_id"]["id"] == run_id["id"]
+        replayed = Tracer()
+        with trace_scope(replayed):
+            relay_spans(spans)
+        assert replayed.totals() == pytest.approx(tracer.totals())
+        starts = [s["start_s"] for s in spans]
+        assert starts == sorted(starts)
+
+    def test_empty_tracer_exports(self, tmp_path):
+        tracer = Tracer()
+        payload = perfetto_payload(tracer)
+        validate_perfetto(payload)
+        path = export_jsonl(tracer, tmp_path / "empty.jsonl")
+        header = json.loads(path.read_text().splitlines()[0])
+        assert header["spans"] == 0
+
+
+class TestMetricsRegistry:
+    def test_snapshot_unifies_all_signals(self):
+        run_id = new_run_id()
+        registry = MetricsRegistry(run_id=run_id)
+        meter = OpMeter()
+        meter.record("gemm", 100)
+        registry.ingest_op_counts(meter)
+        tracer = Tracer()
+        with trace_scope(tracer):
+            record_span("allreduce", 0.0, 0.5, g=2)
+            record_span("mirror", 1.0, 0.1, rows=4, queued=2)
+        registry.ingest_tracer(tracer)
+
+        class _Event:
+            recovery_s = 0.25
+            replayed_steps = 3
+            old_g = 2
+            new_g = 1
+
+        registry.ingest_recovery_events([_Event()])
+        snap = registry.snapshot()
+        assert snap["run_id"] == dict(run_id)
+        assert snap["counters"]["ops/gemm"] == 100
+        assert snap["counters"]["span_count/allreduce"] == 1
+        assert snap["counters"]["recovery/count"] == 1
+        assert snap["counters"]["recovery/shards_lost"] == 1
+        assert snap["histograms"]["span/allreduce_s"]["sum"] == (
+            pytest.approx(0.5)
+        )
+        assert snap["histograms"]["mirror/queue_depth"]["max"] == 2
+        assert snap["histograms"]["recovery/latency_s"]["count"] == 1
+
+    def test_histogram_summary_stats(self):
+        registry = MetricsRegistry()
+        for v in (1.0, 2.0, 3.0, 4.0):
+            registry.observe("h", v)
+        h = registry.snapshot()["histograms"]["h"]
+        assert h["count"] == 4
+        assert h["min"] == 1.0 and h["max"] == 4.0
+        assert h["mean"] == pytest.approx(2.5)
+        assert h["p50"] == pytest.approx(2.5)
+        assert h["p95"] == pytest.approx(3.85)
+
+    def test_concurrent_increments(self):
+        registry = MetricsRegistry()
+        n_threads, per_thread = 8, 200
+        start = threading.Barrier(n_threads)
+
+        def work():
+            start.wait()
+            for _ in range(per_thread):
+                registry.inc("hits")
+                registry.observe("lat", 1.0)
+
+        threads = [
+            threading.Thread(target=work) for _ in range(n_threads)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        snap = registry.snapshot()
+        assert snap["counters"]["hits"] == n_threads * per_thread
+        assert snap["histograms"]["lat"]["count"] == n_threads * per_thread
+
+
+class TestComparePhases:
+    def test_calibrated_report_renders(self):
+        tracer = Tracer()
+        with trace_scope(tracer):
+            record_span("form_block", 0.0, 1.0)
+            record_span("gemm", 1.0, 0.5)
+            record_span("allreduce", 1.5, 0.1, g=2)
+        report = compare_phases(
+            tracer,
+            g=2,
+            link="thread",
+            allreduce_payload_scalars=64.0,
+            op_counts={"kernel_eval": 1_000, "gemm": 500},
+        )
+        phases = {p["phase"]: p for p in report["phases"]}
+        # Rate calibrated from the run: 1500 ops / 1.5 s = 1000/s, so
+        # modelled compute phases reproduce their measured times.
+        assert report["calibration"]["calibrated_from_run"]
+        assert report["calibration"]["scalar_rate"] == pytest.approx(1000.0)
+        assert phases["form_block"]["modelled_s"] == pytest.approx(1.0)
+        assert phases["gemm"]["modelled_s"] == pytest.approx(0.5)
+        assert phases["allreduce"]["modelled_s"] is not None
+        assert phases["mirror"]["modelled_s"] is None
+        rendered = render_comparison(report)
+        assert "form_block" in rendered and "TOTAL" in rendered
