@@ -2,8 +2,9 @@
 
 The CI trajectory job runs the smoke benchmarks that emit machine-
 readable results (``bench_shard.py --transport all --smoke``, the
-pipeline-overlap smoke of ``bench_pipeline.py`` and the
-failure-injection sweep) and folds their payloads — together with the
+pipeline-overlap smoke of ``bench_pipeline.py``, the fused hot-path
+smoke of ``bench_fused.py`` and the failure-injection sweep) and folds
+their payloads — together with the
 committed history ``BENCH_trajectory.json`` — into one *history* of
 headline data points::
 
@@ -89,6 +90,19 @@ def _benchmark_entries(payload: dict) -> Iterator[dict[str, Any]]:
                 "transport": row.get("engine", "single"),
                 "metric": "pipelined_ms_per_iter",
                 "value": row.get("pipelined_ms_per_iter"),
+                "context": {"speedup": row.get("speedup")},
+            }
+    elif name == "fused-hot-path":
+        # One series per backend: the fused gaussian training matvec is
+        # the headline (the chain the trainer's hot loop runs).
+        for row in payload.get("rows") or []:
+            if row.get("case") != "matvec/gaussian":
+                continue
+            yield {
+                "experiment": "fused-hot-path",
+                "transport": row.get("backend", "numpy"),
+                "metric": "fused_ms",
+                "value": row.get("fused_ms"),
                 "context": {"speedup": row.get("speedup")},
             }
     elif name.startswith("failure-injection"):

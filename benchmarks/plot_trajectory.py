@@ -1,0 +1,206 @@
+"""Render the benchmark trajectory: per-series trend report and plots.
+
+Reads a ``repro-bench-trajectory/v2`` history (the committed
+``BENCH_trajectory.json`` or a CI ``bench-trajectory.json`` artifact —
+any payload ``merge_trajectory.history_entries`` understands) and renders
+one trend line per ``(experiment, transport)`` series::
+
+    python benchmarks/plot_trajectory.py BENCH_trajectory.json
+    python benchmarks/plot_trajectory.py BENCH_trajectory.json \
+        --markdown benchmarks/results/trajectory.md \
+        --plot benchmarks/results/trajectory.png
+
+The text report shows, per series, the point count, latest value, the
+trailing median ``check_trajectory.py`` would gate against, the
+latest/median ratio and a Unicode sparkline of the whole series (all
+tracked metrics are milliseconds — lower is better).  ``--plot`` writes
+a small-multiples PNG when matplotlib is importable and degrades to a
+warning when it is not (the container image does not ship it; CI may).
+Exit status is always 0 unless the input cannot be read: this is a
+reporting tool, the regression *gate* is ``check_trajectory.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import statistics
+import sys
+from typing import Any
+
+from merge_trajectory import history_entries
+
+SPARK_TICKS = "▁▂▃▄▅▆▇█"
+
+
+def series_by_key(
+    entries: list[dict[str, Any]],
+) -> dict[tuple[str, str], list[dict[str, Any]]]:
+    """Group usable entries by ``(experiment, transport)`` in the same
+    chronological order the gate uses."""
+    grouped: dict[tuple[str, str], list[dict[str, Any]]] = {}
+    for entry in entries:
+        if entry.get("value") is None:
+            continue
+        key = (str(entry.get("experiment")), str(entry.get("transport")))
+        grouped.setdefault(key, []).append(entry)
+    for points in grouped.values():
+        points.sort(
+            key=lambda e: (
+                str(e.get("generated_at") or ""),
+                str(e.get("commit") or ""),
+            )
+        )
+    return dict(sorted(grouped.items()))
+
+
+def sparkline(values: list[float]) -> str:
+    lo, hi = min(values), max(values)
+    if hi <= lo:
+        return SPARK_TICKS[0] * len(values)
+    scale = (len(SPARK_TICKS) - 1) / (hi - lo)
+    return "".join(SPARK_TICKS[round((v - lo) * scale)] for v in values)
+
+
+def series_rows(
+    grouped: dict[tuple[str, str], list[dict[str, Any]]], window: int
+) -> list[dict[str, Any]]:
+    rows = []
+    for (experiment, transport), points in grouped.items():
+        values = [float(p["value"]) for p in points]
+        baseline = values[-(window + 1): -1] or values[:-1]
+        median = statistics.median(baseline) if baseline else None
+        rows.append(
+            {
+                "experiment": experiment,
+                "transport": transport,
+                "metric": points[-1].get("metric"),
+                "points": len(values),
+                "latest": values[-1],
+                "median": median,
+                "ratio": (
+                    values[-1] / median if median else None
+                ),
+                "spark": sparkline(values),
+                "values": values,
+            }
+        )
+    return rows
+
+
+def render_text(rows: list[dict[str, Any]]) -> str:
+    header = (
+        f"{'series':<38} {'pts':>3} {'latest':>9} {'median':>9} "
+        f"{'ratio':>6}  trend"
+    )
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        label = f"{row['experiment']}/{row['transport']}"
+        median = f"{row['median']:.2f}" if row["median"] else "-"
+        ratio = f"{row['ratio']:.2f}x" if row["ratio"] else "-"
+        lines.append(
+            f"{label:<38} {row['points']:>3} {row['latest']:>9.2f} "
+            f"{median:>9} {ratio:>6}  {row['spark']}"
+        )
+    lines.append(
+        "(values in ms, lower is better; median = trailing window, "
+        "latest point excluded)"
+    )
+    return "\n".join(lines)
+
+
+def render_markdown(rows: list[dict[str, Any]]) -> str:
+    lines = [
+        "# Benchmark trajectory",
+        "",
+        "All metrics in milliseconds — lower is better.  The median is",
+        "the trailing-window baseline the CI regression gate compares",
+        "against (latest point excluded).",
+        "",
+        "| series | metric | points | latest | median | ratio | trend |",
+        "|---|---|---:|---:|---:|---:|---|",
+    ]
+    for row in rows:
+        median = f"{row['median']:.2f}" if row["median"] else "–"
+        ratio = f"{row['ratio']:.2f}x" if row["ratio"] else "–"
+        lines.append(
+            f"| {row['experiment']}/{row['transport']} | {row['metric']} "
+            f"| {row['points']} | {row['latest']:.2f} | {median} "
+            f"| {ratio} | `{row['spark']}` |"
+        )
+    return "\n".join(lines) + "\n"
+
+
+def render_plot(rows: list[dict[str, Any]], out: pathlib.Path) -> bool:
+    try:
+        import matplotlib
+
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        print(
+            "warning: matplotlib not importable; skipping --plot",
+            file=sys.stderr,
+        )
+        return False
+    n = len(rows)
+    cols = min(3, max(1, n))
+    nrows = (n + cols - 1) // cols
+    fig, axes = plt.subplots(
+        nrows, cols, figsize=(4.2 * cols, 2.6 * nrows), squeeze=False
+    )
+    for ax in axes.flat[n:]:
+        ax.set_visible(False)
+    for ax, row in zip(axes.flat, rows):
+        ax.plot(range(1, row["points"] + 1), row["values"], marker="o")
+        if row["median"]:
+            ax.axhline(row["median"], linestyle="--", linewidth=0.8)
+        ax.set_title(
+            f"{row['experiment']}/{row['transport']}", fontsize=9
+        )
+        ax.set_ylabel(f"{row['metric']} (ms)", fontsize=8)
+        ax.tick_params(labelsize=7)
+    fig.tight_layout()
+    fig.savefig(out, dpi=120)
+    plt.close(fig)
+    return True
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "history", type=pathlib.Path,
+        help="trajectory history or benchmark payload(s)", nargs="+",
+    )
+    parser.add_argument("--window", type=int, default=5)
+    parser.add_argument(
+        "--markdown", type=pathlib.Path, default=None,
+        help="also write a markdown report here",
+    )
+    parser.add_argument(
+        "--plot", type=pathlib.Path, default=None,
+        help="also write a small-multiples PNG here (needs matplotlib)",
+    )
+    args = parser.parse_args(argv)
+
+    entries = [
+        entry
+        for path in args.history
+        for entry in history_entries(json.loads(path.read_text()))
+    ]
+    rows = series_rows(series_by_key(entries), args.window)
+    if not rows:
+        print("no usable series in input", file=sys.stderr)
+        return 1
+    print(render_text(rows))
+    if args.markdown is not None:
+        args.markdown.write_text(render_markdown(rows))
+        print(f"wrote {args.markdown}", file=sys.stderr)
+    if args.plot is not None:
+        render_plot(rows, args.plot)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -63,9 +63,36 @@ promoted, and an explicit scope overrides input dtypes entirely::
     with use_precision("float32"):
         model.fit(ds.x_train, ds.y_train, epochs=5)
 
+Beyond the uniform tiers there is a **mixed** tier
+(:data:`repro.config.MIXED_PRECISION`): kernel blocks and GEMMs — the
+compute that dominates — run at float32 while the master weights, the
+targets and every accumulation into them (the EigenPro correction, with
+Kahan compensation on NumPy, and the sharded all-reduce combine) stay at
+float64::
+
+    with use_precision("mixed"):
+        model.fit(ds.x_train, ds.y_train, epochs=5)   # fp32 compute,
+                                                      # fp64 state
+
+The tier contract, pinned by ``tests/test_backend_parity.py``: an
+explicit ``float64`` scope is bitwise the ambient default; ``float32``
+and ``mixed`` land within documented relative-error bounds of the
+float64 trajectory, with mixed paying float32 compute but keeping
+full-precision state.
+
+The per-step hot chain — pairwise distances → kernel profile → GEMM —
+additionally routes through the backends' **fused** entry points
+(:meth:`repro.backend.ArrayBackend.fused_kernel_block` /
+:meth:`~repro.backend.ArrayBackend.fused_kernel_matvec`): NumPy
+decomposes them to the historical pooled-workspace ops (bitwise
+identical either way), the Torch backend compiles the chain with
+``torch.compile``.  :func:`repro.config.set_fusion` /
+:func:`repro.config.use_fusion` (and the ``REPRO_FUSION`` environment
+variable) force the decomposed chain for baselines.
+
 Operation counts recorded via :mod:`repro.instrument` are derived from
-array shapes only, so cost-model validation (Table 1) is backend- and
-precision-invariant.
+array shapes only, so cost-model validation (Table 1) is backend-,
+precision- and fusion-invariant.
 
 Sharding and transports
 -----------------------
@@ -218,7 +245,17 @@ from repro.backend import (
     set_backend,
     use_backend,
 )
-from repro.config import get_precision, set_precision, use_precision
+from repro.config import (
+    MIXED_PRECISION,
+    Precision,
+    fusion_enabled,
+    get_precision,
+    mixed_precision_active,
+    set_fusion,
+    set_precision,
+    use_fusion,
+    use_precision,
+)
 from repro.kernels import (
     CauchyKernel,
     GaussianKernel,
@@ -284,6 +321,13 @@ __all__ = [
     "get_precision",
     "set_precision",
     "use_precision",
+    "MIXED_PRECISION",
+    "Precision",
+    "mixed_precision_active",
+    # fused hot path
+    "fusion_enabled",
+    "set_fusion",
+    "use_fusion",
     # kernels
     "Kernel",
     "GaussianKernel",

@@ -21,10 +21,27 @@ Selection mirrors the precision switch in :mod:`repro.config`::
     from repro.backend import set_backend
     set_backend("torch")                  # process-wide default
 
+Precision and fusion
+--------------------
+The precision switch is re-exported here alongside the backends because
+the two are selected together: ``use_precision("float32")`` pins the
+working dtype, ``use_precision("mixed")`` splits it — kernel blocks and
+GEMMs in float32 (:func:`get_precision`), the all-reduce combine and the
+EigenPro correction accumulating in float64
+(:func:`~repro.config.accumulate_dtype`).  Every backend also exposes a
+*fused* kernel hot path (:meth:`~repro.backend.base.ArrayBackend.
+fused_kernel_block` / ``fused_kernel_matvec``): the NumPy backend
+decomposes it to the identical pooled-workspace ops (bit-for-bit equal
+to the unfused chain), while the Torch backend compiles the
+``cdist + profile + matmul`` chain into one graph via ``torch.compile``
+(falling back to an eager fused form when compilation is unavailable).
+Gate it with :func:`~repro.config.use_fusion` / ``set_fusion``.
+
 Operation counts recorded through :mod:`repro.instrument` are computed from
 array *shapes*, never from backend state, so a metered EigenPro epoch
-reports identical op counts on every backend — the invariant the Table-1
-cost-model validation relies on (checked by ``tests/test_backend_parity.py``).
+reports identical op counts on every backend — fused or decomposed — the
+invariant the Table-1 cost-model validation relies on (checked by
+``tests/test_backend_parity.py``).
 """
 
 from __future__ import annotations
@@ -38,11 +55,19 @@ from repro.backend.base import ArrayBackend
 from repro.backend.numpy_backend import NumpyBackend
 from repro.backend.torch_backend import TorchBackend
 from repro.config import (
+    MIXED_PRECISION,
+    Precision,
     ScopedOverride,
+    accumulate_dtype,
+    current_precision,
+    fusion_enabled,
     get_precision,
+    mixed_precision_active,
     precision_is_explicit,
     scoped_value,
+    set_fusion,
     set_precision,
+    use_fusion,
     use_precision,
 )
 from repro.exceptions import ConfigurationError
@@ -60,10 +85,19 @@ __all__ = [
     "to_numpy",
     "use_backend",
     # re-exported precision switch
+    "MIXED_PRECISION",
+    "Precision",
+    "accumulate_dtype",
+    "current_precision",
     "get_precision",
+    "mixed_precision_active",
     "set_precision",
     "use_precision",
     "precision_is_explicit",
+    # re-exported fusion switch
+    "fusion_enabled",
+    "set_fusion",
+    "use_fusion",
 ]
 
 _NUMPY = NumpyBackend()

@@ -22,6 +22,19 @@ Conventions shared by all implementations:
   step sizes) is scalar NumPy math.  Eigen*vectors* stay native.
 - Operation *counts* recorded via :mod:`repro.instrument` are computed from
   shapes only, so they are identical across backends by construction.
+
+Fused hot path
+--------------
+The per-step hot chain — pairwise squared distances → kernel profile →
+GEMM — is exposed as two backend entry points so implementations may fuse
+it: :meth:`ArrayBackend.fused_kernel_block` (distances + profile, i.e. one
+``(b, n)`` kernel block) and :meth:`ArrayBackend.fused_kernel_matvec`
+(block + contraction against the weights).  The base implementations
+*decompose* to exactly the historical pooled-workspace ops, so op counts
+stay shape-derived and backend-invariant and the NumPy backend is
+bit-identical with or without the ``repro.config`` fusion switch; the
+Torch backend overrides the block former with a ``torch.compile`` fused
+kernel (eager fused fallback) behind :func:`repro.config.fusion_enabled`.
 """
 
 from __future__ import annotations
@@ -31,7 +44,15 @@ from typing import Any, Sequence
 
 import numpy as np
 
+from repro.exceptions import ConfigurationError
+
 __all__ = ["ArrayBackend"]
+
+#: Radial kernel profiles the fused path understands, applied to a block of
+#: *squared* distances in place:
+#: ``"gaussian"`` — ``exp(scale * sq)`` (``scale = -0.5 / bandwidth**2``);
+#: ``"laplacian"`` — ``exp(scale * sqrt(sq))`` (``scale = -1.0 / bandwidth``).
+FUSED_PROFILES = ("gaussian", "laplacian")
 
 
 class ArrayBackend(abc.ABC):
@@ -186,6 +207,85 @@ class ArrayBackend(abc.ABC):
         vals = self.to_numpy(vals)[::-1][:q].copy()
         vecs = self.flip_columns(vecs)[:, :q]
         return vals, vecs
+
+    # ---------------------------------------------------- fused hot path
+    def _apply_profile(self, sq: Any, profile: str, scale: float) -> Any:
+        """Apply a named radial profile to a block of squared distances in
+        place (see :data:`FUSED_PROFILES`)."""
+        if profile == "gaussian":
+            sq *= scale
+            return self.exp(sq, out=sq)
+        if profile == "laplacian":
+            r = self.sqrt(sq, out=sq)
+            r *= scale
+            return self.exp(r, out=r)
+        raise ConfigurationError(
+            f"unknown fused kernel profile {profile!r}; known: "
+            + ", ".join(FUSED_PROFILES)
+        )
+
+    def fused_kernel_block(
+        self,
+        x: Any,
+        z: Any,
+        *,
+        profile: str,
+        scale: float,
+        out: Any | None = None,
+        x_sq_norms: Any | None = None,
+        z_sq_norms: Any | None = None,
+        dtype: object | None = None,
+    ) -> Any:
+        """One ``(n_x, n_z)`` radial-kernel block: squared distances plus
+        the named ``profile`` in a single backend entry point.
+
+        The base implementation decomposes to the historical chain —
+        :func:`repro.kernels.pairwise.sq_euclidean_distances` into the
+        caller's pooled ``out`` scratch, then the profile in place — so
+        results are bit-identical to the unfused path and op counts
+        (recorded by the *caller* from shapes) are backend-invariant.
+        Backends with a fusing compiler override this method; the
+        override must preserve the elementwise operation order so a
+        fused float64 block stays bit-identical to the decomposed one on
+        the same backend.
+        """
+        # Late import: the pairwise layer dispatches back through the
+        # backend registry, so importing it at module scope would cycle.
+        from repro.kernels.pairwise import sq_euclidean_distances
+
+        sq = sq_euclidean_distances(
+            x, z, x_sq_norms=x_sq_norms, z_sq_norms=z_sq_norms, out=out,
+            dtype=dtype,
+        )
+        return self._apply_profile(sq, profile, scale)
+
+    def fused_kernel_matvec(
+        self,
+        x: Any,
+        z: Any,
+        weights: Any,
+        *,
+        profile: str,
+        scale: float,
+        out: Any | None = None,
+        block_out: Any | None = None,
+        x_sq_norms: Any | None = None,
+        z_sq_norms: Any | None = None,
+        dtype: object | None = None,
+    ) -> Any:
+        """One streamed matvec step: ``profile(dist²(x, z)) @ weights``.
+
+        ``block_out`` is the pooled scratch the intermediate kernel block
+        is formed in; ``out`` receives the ``(n_x, l)`` contraction.  The
+        base implementation is block former + :meth:`matmul`; the caller
+        records the shape-derived ``kernel_eval``/``gemm`` op counts, so
+        fused implementations change codegen only, never accounting.
+        """
+        block = self.fused_kernel_block(
+            x, z, profile=profile, scale=scale, out=block_out,
+            x_sq_norms=x_sq_norms, z_sq_norms=z_sq_norms, dtype=dtype,
+        )
+        return self.matmul(block, weights, out=out)
 
     # -------------------------------------------------------- meta
     def synchronize(self) -> None:

@@ -10,6 +10,21 @@ Non-tensor inputs are routed through NumPy first so that Python lists get
 NumPy's dtype rules (float64) rather than torch's float32 default —
 keeping results bit-comparable with the NumPy backend under the default
 precision.
+
+Fused hot path
+--------------
+:meth:`TorchBackend.fused_kernel_block` overrides the decomposed base
+implementation with a single ``torch.compile``-compiled kernel per radial
+profile (GEMM expansion → norm broadcast → clamp → profile in one graph,
+letting the inductor fuse the memory-bound elementwise chain).  The
+compiled function preserves the decomposed path's elementwise operation
+order, so float64 fused blocks are bit-identical to unfused ones on this
+backend.  Compilation failures (unsupported platform, missing compiler
+toolchain) latch a fallback to the *eager* fused function — same
+arithmetic, no codegen — and :func:`repro.config.fusion_enabled` gates
+the whole path back to the base decomposition.  Under
+``use_precision("mixed")`` on CUDA devices, TF32 matmul kernels are
+enabled the first time a fused block is formed.
 """
 
 from __future__ import annotations
@@ -19,10 +34,55 @@ from typing import Any, Sequence
 import numpy as np
 
 from repro.backend.base import ArrayBackend
-from repro.config import get_precision
-from repro.exceptions import BackendLinAlgError, BackendUnavailableError
+from repro.config import (
+    compute_dtype,
+    fusion_enabled,
+    get_precision,
+    mixed_precision_active,
+    workspace_debug_enabled,
+)
+from repro.exceptions import (
+    BackendLinAlgError,
+    BackendUnavailableError,
+    ConfigurationError,
+)
 
 __all__ = ["TorchBackend"]
+
+
+def _build_fused_profile(torch: Any, profile: str):
+    """The fused ``distances² → profile`` chain as one pure function of
+    tensors, compilable by ``torch.compile``.  The operation order is the
+    decomposed path's exactly (GEMM, ``*-2``, ``+x_norms``, ``+z_norms``,
+    clamp, profile), so fused and unfused results are bit-identical at
+    the same dtype; returns ``None`` for profiles without a fused form.
+    """
+    if profile == "gaussian":
+
+        def fused(x, z, xn, zn, scale: float):
+            t = torch.matmul(x, z.mT)
+            t = t * -2.0
+            t = t + xn[:, None]
+            t = t + zn[None, :]
+            t = torch.clamp(t, min=0.0)
+            t = t * scale
+            return torch.exp(t)
+
+        return fused
+    if profile == "laplacian":
+
+        def fused(x, z, xn, zn, scale: float):
+            t = torch.matmul(x, z.mT)
+            t = t * -2.0
+            t = t + xn[:, None]
+            t = t + zn[None, :]
+            t = torch.clamp(t, min=0.0)
+            t = torch.sqrt(t)
+            t = t * scale
+            return torch.exp(t)
+
+        return fused
+    return None
 
 
 class TorchBackend(ArrayBackend):
@@ -66,6 +126,12 @@ class TorchBackend(ArrayBackend):
             np.dtype(np.int32): torch.int32,
             np.dtype(np.bool_): torch.bool,
         }
+        #: Per-profile ``(compiled_fn_or_None, eager_fn)`` fused kernels.
+        self._fused_cache: dict[str, tuple[Any, Any]] = {}
+        #: Latched when torch.compile fails once; all profiles then stay
+        #: on the eager fused function for this backend instance.
+        self._compile_failed = False
+        self._tf32_enabled = False
 
     # ------------------------------------------------------- helpers
     def _torch_dtype(self, dtype: object | None):
@@ -190,6 +256,104 @@ class TorchBackend(ArrayBackend):
 
     def flip_columns(self, a: Any) -> Any:
         return a.flip(1)
+
+    # ---------------------------------------------------- fused hot path
+    def _fused_profile_fns(self, profile: str) -> tuple[Any, Any] | None:
+        entry = self._fused_cache.get(profile)
+        if entry is None:
+            eager = _build_fused_profile(self.torch, profile)
+            if eager is None:
+                return None
+            compiled = None
+            if not self._compile_failed:
+                try:
+                    compiled = self.torch.compile(eager, dynamic=True)
+                except Exception:  # pragma: no cover - platform-dependent
+                    self._compile_failed = True
+            entry = (compiled, eager)
+            self._fused_cache[profile] = entry
+        return entry
+
+    def fused_kernel_block(
+        self,
+        x: Any,
+        z: Any,
+        *,
+        profile: str,
+        scale: float,
+        out: Any | None = None,
+        x_sq_norms: Any | None = None,
+        z_sq_norms: Any | None = None,
+        dtype: object | None = None,
+    ) -> Any:
+        if not fusion_enabled():
+            return super().fused_kernel_block(
+                x, z, profile=profile, scale=scale, out=out,
+                x_sq_norms=x_sq_norms, z_sq_norms=z_sq_norms, dtype=dtype,
+            )
+        entry = self._fused_profile_fns(profile)
+        if entry is None:
+            # Unknown profile: the base implementation owns the error.
+            return super().fused_kernel_block(
+                x, z, profile=profile, scale=scale, out=out,
+                x_sq_norms=x_sq_norms, z_sq_norms=z_sq_norms, dtype=dtype,
+            )
+        if dtype is None:
+            dtype = compute_dtype(x, z)
+        dtype = np.dtype(dtype)
+        x = self.as_2d(self.asarray(x, dtype=dtype))
+        z = self.as_2d(self.asarray(z, dtype=dtype))
+        xn = (
+            self.row_sq_norms(x)
+            if x_sq_norms is None
+            else self.asarray(x_sq_norms, dtype=dtype)
+        )
+        zn = (
+            self.row_sq_norms(z)
+            if z_sq_norms is None
+            else self.asarray(z_sq_norms, dtype=dtype)
+        )
+        if out is not None and (
+            tuple(out.shape) != (x.shape[0], z.shape[0])
+            or self.dtype_of(out) != dtype
+        ):
+            # Same discard contract as sq_euclidean_distances: a
+            # mismatched pooled buffer is dropped, or raises under the
+            # workspace debug flag.
+            if workspace_debug_enabled():
+                raise ConfigurationError(
+                    f"fused_kernel_block discarded its out buffer: got "
+                    f"shape {tuple(out.shape)} dtype {self.dtype_of(out)}, "
+                    f"needs {(x.shape[0], z.shape[0])} {dtype}"
+                )
+            out = None
+        if (
+            not self._tf32_enabled
+            and mixed_precision_active()
+            and self.device.type == "cuda"
+        ):  # pragma: no cover - needs GPU
+            self.torch.backends.cuda.matmul.allow_tf32 = True
+            self.torch.backends.cudnn.allow_tf32 = True
+            self._tf32_enabled = True
+        compiled, eager = entry
+        fn = compiled if compiled is not None else eager
+        try:
+            result = fn(x, z, xn, zn, float(scale))
+        except Exception:  # pragma: no cover - platform-dependent
+            if compiled is None:
+                raise
+            # torch.compile backends can fail at first call (tracing /
+            # codegen), not at wrap time; latch the eager fused fallback.
+            self._compile_failed = True
+            self._fused_cache[profile] = (None, eager)
+            result = eager(x, z, xn, zn, float(scale))
+        if out is not None:
+            # The compiled graph returns a fresh tensor; land it in the
+            # caller's pooled scratch so streaming callers keep their
+            # one-resident-block-per-slot footprint.
+            out.copy_(result)
+            return out
+        return result
 
     # -------------------------------------------------------- meta
     def synchronize(self) -> None:

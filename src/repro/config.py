@@ -21,6 +21,27 @@ blocked-operation layer to pick a working dtype from its inputs).  When no
 precision is *explicitly* selected, ``compute_dtype`` preserves the floating
 dtype of its inputs — float32 data stays float32 instead of being silently
 promoted to float64.
+
+Mixed precision
+---------------
+``use_precision("mixed")`` selects a *split* precision: kernel blocks and
+GEMMs run in float32 (:func:`get_precision`, the **compute** dtype) while
+the numerically sensitive accumulations — the all-reduce combine and the
+EigenPro correction applied to the master weights — run in float64
+(:func:`accumulate_dtype`).  A :class:`Precision` spec carries both dtypes;
+for a plain dtype the two coincide, so every existing call site that only
+asks :func:`get_precision` keeps its historical behavior.  The spec is
+picklable and travels with submitted shard tasks, so worker processes see
+the same split the caller selected.
+
+Fusion switch
+-------------
+:func:`use_fusion` / :func:`set_fusion` gate the fused kernel hot path
+(:meth:`repro.backend.ArrayBackend.fused_kernel_block`).  Fusion is *on*
+by default; benchmarks toggle it off process-wide (``set_fusion(False)``)
+to measure the decomposed dispatch chain.  On the NumPy backend both
+settings execute the identical pooled-workspace ops, so the flag only
+changes codegen on backends with a real fused implementation (Torch).
 """
 
 from __future__ import annotations
@@ -52,6 +73,68 @@ def _as_float_dtype(dtype: object) -> np.dtype:
     if resolved.kind != "f":
         raise TypeError(f"expected a floating dtype, got {resolved!r}")
     return resolved
+
+
+class Precision:
+    """A working-precision spec: a *compute* dtype plus an *accumulate* dtype.
+
+    For a plain dtype request (``use_precision("float32")``) the two
+    coincide and the spec degenerates to the historical single-dtype
+    switch.  ``use_precision("mixed")`` selects float32 compute with
+    float64 accumulation — kernel blocks and GEMMs form in float32 while
+    the all-reduce combine and the EigenPro correction accumulate into
+    float64 master weights.  Instances are immutable, hashable and
+    picklable (shard transports ship the active spec with each task).
+    """
+
+    __slots__ = ("name", "compute", "accumulate")
+
+    def __init__(self, name: str, compute: object, accumulate: object) -> None:
+        object.__setattr__(self, "name", str(name))
+        object.__setattr__(self, "compute", _as_float_dtype(compute))
+        object.__setattr__(self, "accumulate", _as_float_dtype(accumulate))
+
+    def __setattr__(self, key: str, value: object) -> None:
+        raise AttributeError(f"Precision is immutable (tried to set {key!r})")
+
+    @property
+    def is_mixed(self) -> bool:
+        """True when compute and accumulate dtypes differ."""
+        return self.compute != self.accumulate
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Precision)
+            and self.compute == other.compute
+            and self.accumulate == other.accumulate
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.compute, self.accumulate))
+
+    def __reduce__(self):
+        return (Precision, (self.name, self.compute.str, self.accumulate.str))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Precision({self.name!r}, compute={self.compute}, "
+            f"accumulate={self.accumulate})"
+        )
+
+
+#: The mixed-precision spec selected by ``use_precision("mixed")``.
+MIXED_PRECISION = Precision("mixed", np.float32, np.float64)
+
+
+def _as_precision(value: object) -> Precision:
+    """Resolve a precision request — a :class:`Precision`, the string
+    ``"mixed"``, or anything :class:`numpy.dtype` accepts — to a spec."""
+    if isinstance(value, Precision):
+        return value
+    if isinstance(value, str) and value == "mixed":
+        return MIXED_PRECISION
+    dtype = _as_float_dtype(value)
+    return Precision(dtype.name, dtype, dtype)
 
 
 class ScopedOverride:
@@ -128,10 +211,36 @@ _PRECISION = ScopedOverride()
 
 
 def get_precision() -> np.dtype:
-    """The working dtype: innermost :func:`use_precision` scope, else the
-    :func:`set_precision` global, else :data:`DEFAULT_DTYPE`."""
+    """The working (*compute*) dtype: innermost :func:`use_precision`
+    scope, else the :func:`set_precision` global, else
+    :data:`DEFAULT_DTYPE`.  Under ``"mixed"`` this is float32 — the dtype
+    kernel blocks and GEMMs run in; see :func:`accumulate_dtype` for the
+    accumulation side."""
     current = _PRECISION.current()
-    return DEFAULT_DTYPE if current is None else current
+    return DEFAULT_DTYPE if current is None else current.compute
+
+
+def current_precision() -> Precision | None:
+    """The explicitly selected :class:`Precision` spec, or ``None`` when
+    no :func:`use_precision` scope / :func:`set_precision` global is
+    active.  This is what shard transports capture at submit time and
+    re-establish on the worker."""
+    return _PRECISION.current()
+
+
+def accumulate_dtype() -> np.dtype:
+    """The dtype numerically sensitive accumulations run in: the active
+    spec's ``accumulate`` dtype (float64 under ``"mixed"``), else
+    :func:`get_precision` itself."""
+    current = _PRECISION.current()
+    return DEFAULT_DTYPE if current is None else current.accumulate
+
+
+def mixed_precision_active() -> bool:
+    """True when the active precision splits compute from accumulation
+    (``use_precision("mixed")`` or a custom split :class:`Precision`)."""
+    current = _PRECISION.current()
+    return current is not None and current.is_mixed
 
 
 def precision_is_explicit() -> bool:
@@ -141,12 +250,14 @@ def precision_is_explicit() -> bool:
 
 
 def set_precision(dtype: object | None) -> None:
-    """Set (or with ``None`` clear) the process-wide working precision."""
-    _PRECISION.set_global(None if dtype is None else _as_float_dtype(dtype))
+    """Set (or with ``None`` clear) the process-wide working precision.
+    Accepts any float dtype, ``"mixed"``, or a :class:`Precision`."""
+    _PRECISION.set_global(None if dtype is None else _as_precision(dtype))
 
 
 class use_precision(scoped_value):
-    """Context manager selecting the working dtype for the enclosed code.
+    """Context manager selecting the working precision for the enclosed
+    code: a float dtype, ``"mixed"``, or a :class:`Precision` spec.
 
     Example
     -------
@@ -159,10 +270,14 @@ class use_precision(scoped_value):
     _state = _PRECISION
 
     def __init__(self, dtype: object) -> None:
-        super().__init__(_as_float_dtype(dtype))
+        super().__init__(_as_precision(dtype))
 
     @property
     def dtype(self) -> np.dtype:
+        return self.value.compute
+
+    @property
+    def precision(self) -> Precision:
         return self.value
 
 
@@ -261,3 +376,43 @@ def compute_dtype(*arrays: object) -> np.dtype:
     if all(dt == float_dtypes[0] for dt in float_dtypes[1:]):
         return float_dtypes[0]  # skip np.result_type on the hot path
     return np.result_type(*float_dtypes)
+
+
+_FUSION = ScopedOverride()
+# The ``REPRO_FUSION`` environment variable seeds the process-global
+# flag (``0``/``false``/``off`` disable): CI's switch-invisibility cell
+# runs whole suites with fusion forced off, pinning that the fused and
+# decomposed chains are observationally identical end to end.
+_env_fusion = os.environ.get("REPRO_FUSION", "")
+if _env_fusion:
+    _FUSION.set_global(_env_fusion.lower() not in ("0", "false", "off"))
+del _env_fusion
+
+
+def fusion_enabled() -> bool:
+    """True when backends should use their fused kernel hot path
+    (:meth:`repro.backend.ArrayBackend.fused_kernel_block`).  Defaults to
+    enabled (the ``REPRO_FUSION`` environment variable seeds the default);
+    disable via :func:`set_fusion` / :func:`use_fusion` to force
+    the decomposed dispatch chain (benchmark baselines do this)."""
+    current = _FUSION.current()
+    return True if current is None else bool(current)
+
+
+def set_fusion(enabled: bool | None) -> None:
+    """Set (or with ``None`` clear, restoring the enabled default) the
+    process-wide fusion flag.  Process-global like
+    :func:`set_workspace_debug`, because blocks form on prefetch and
+    shard worker threads that never see caller-thread scopes."""
+    _FUSION.set_global(None if enabled is None else bool(enabled))
+
+
+class use_fusion(scoped_value):
+    """Context manager selecting the fused-kernel flag for the enclosed
+    code on the current thread (see :func:`set_fusion` for the
+    process-wide form that worker threads inherit)."""
+
+    _state = _FUSION
+
+    def __init__(self, enabled: bool = True) -> None:
+        super().__init__(bool(enabled))

@@ -26,7 +26,7 @@ from typing import Any
 import numpy as np
 
 from repro.backend import get_backend
-from repro.config import compute_dtype
+from repro.config import compute_dtype, mixed_precision_active
 from repro.core.acceleration import predicted_acceleration
 from repro.core.cost import exact_improved_overhead_ops
 from repro.core.preconditioner import NystromPreconditioner
@@ -307,6 +307,9 @@ class EigenPro2(BaseKernelTrainer):
         self.params_: AutoParameters | None = None
         self.preconditioner_: NystromPreconditioner | None = None
         self._sub_idx: np.ndarray | None = None
+        # Kahan compensation for the correction's running sum into
+        # alpha[sub_idx] under mixed precision (NumPy backend only).
+        self._corr_comp: np.ndarray | None = None
 
     # --------------------------------------------------------------- setup
     def _setup(self, x: np.ndarray, y: np.ndarray) -> None:
@@ -326,6 +329,7 @@ class EigenPro2(BaseKernelTrainer):
         self.params_ = params
         self.preconditioner_ = precond
         self._sub_idx = extension.indices
+        self._corr_comp = None  # fresh compensation per fit
         self.batch_size_ = params.batch_size
         self.step_size_ = params.eta
         if self.device is not None:
@@ -366,9 +370,36 @@ class EigenPro2(BaseKernelTrainer):
         # Columns of the already-computed batch block at the subsample
         # indices give Phi^T for free (no new kernel evaluations).
         phi_block = kb[:, self._sub_idx]
-        self._alpha[self._sub_idx] += gamma * self.preconditioner_.correction(
-            phi_block, g
+        self._accumulate_correction(
+            self.preconditioner_.correction(phi_block, g), gamma
         )
+
+    def _accumulate_correction(self, correction: Any, gamma: float) -> None:
+        """``alpha[sub_idx] += gamma * correction``.
+
+        The fixed coordinate block receives one dense update *every*
+        iteration, so under mixed precision this running sum is where
+        rounding would pile up fastest; on the NumPy backend it is
+        accumulated with Kahan compensation (one ``(s, l)`` compensation
+        buffer, reset per fit).  Shared by the serial and sharded
+        (:class:`repro.shard.trainer.ShardedEigenPro2`) correction paths.
+        """
+        update = gamma * correction
+        if not (
+            mixed_precision_active()
+            and isinstance(self._alpha, np.ndarray)
+            and isinstance(update, np.ndarray)
+        ):
+            self._alpha[self._sub_idx] += update
+            return
+        comp = self._corr_comp
+        if comp is None or comp.shape != update.shape:
+            comp = self._corr_comp = np.zeros_like(update)
+        acc = self._alpha[self._sub_idx]  # fancy index: a copy
+        u = update - comp
+        t = acc + u
+        comp[...] = (t - acc) - u
+        self._alpha[self._sub_idx] = t
 
     def _extra_iteration_ops(self, m: int) -> int:
         if self.preconditioner_ is None:

@@ -147,14 +147,28 @@ class NystromPreconditioner:
         # stored eigensystem to match.
         bk = backend_of(phi_block)
         block_dtype = bk.dtype_of(phi_block)
+        g_dtype = bk.dtype_of(g)
         v = match_dtype(self.extension.eigvecs, block_dtype, bk)  # (s, q)
-        d_native = match_dtype(self._d_scale_native, block_dtype, bk)
         m, l = g.shape
         # Chain order matches the Table-1 cost model: (V^T Phi) first.
         vt_phi = v.T @ phi_block.T  # (q, m): s*m*q ops
-        t = vt_phi @ g  # (q, l): q*m*l ops
-        t *= d_native[:, None]
-        out = v @ t  # (s, l): s*q*l ops
+        if g_dtype != block_dtype:
+            # Mixed precision: residuals arrive in the accumulation dtype
+            # (float64) while the block stayed in the compute dtype.  The
+            # dominant s*m*q contraction above already ran low; the small
+            # (q, m, l) / (s, q, l) tails and the returned correction run
+            # — and accumulate — in the residual's dtype, with the D
+            # diagonal taken from its float64 source rather than the
+            # downcast native copy.
+            acc_dtype = np.result_type(block_dtype, g_dtype)
+            t = match_dtype(vt_phi, acc_dtype, bk) @ g  # (q, l): q*m*l ops
+            t *= bk.asarray(self.d_scale, dtype=acc_dtype)[:, None]
+            out = match_dtype(v, acc_dtype, bk) @ t  # (s, l): s*q*l ops
+        else:
+            d_native = match_dtype(self._d_scale_native, block_dtype, bk)
+            t = vt_phi @ g  # (q, l): q*m*l ops
+            t *= d_native[:, None]
+            out = v @ t  # (s, l): s*q*l ops
         record_ops("precond", self.s * m * self.q + self.q * m * l + self.s * self.q * l)
         return out
 

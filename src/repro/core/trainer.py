@@ -50,13 +50,17 @@ import numpy as np
 
 from repro.backend import (
     get_backend,
-    get_precision,
     match_dtype,
-    precision_is_explicit,
     use_backend,
     use_precision,
 )
-from repro.config import DEFAULT_BLOCK_SCALARS, compute_dtype
+from repro.config import (
+    DEFAULT_BLOCK_SCALARS,
+    accumulate_dtype,
+    compute_dtype,
+    current_precision,
+    mixed_precision_active,
+)
 from repro.core.model import KernelModel, as_labels
 from repro.kernels.ops import block_workspace, center_sq_norms
 from repro.core.stopping import TrainMSETarget, ValidationPlateau
@@ -102,7 +106,7 @@ class BlockPrefetcher:
         if self._pool is None:
             raise ConfigurationError("prefetcher is closed")
         backend = get_backend()
-        precision = get_precision() if precision_is_explicit() else None
+        precision = current_precision()
         meter = OpMeter()
         # Like the meter: spans measured on the worker thread are
         # collected privately and relayed when the handle is awaited.
@@ -383,8 +387,17 @@ class BaseKernelTrainer:
         dtype = np.result_type(
             compute_dtype(x, y), self.kernel._eval_dtype(x, x)
         )
+        # Master (accumulation) dtype: the data dtype, except under
+        # use_precision("mixed") where alpha and y are held in float64 so
+        # residuals, coordinate updates and the EigenPro correction
+        # accumulate above the float32 kernel blocks and GEMMs.
+        master_dtype = (
+            np.result_type(dtype, accumulate_dtype())
+            if mixed_precision_active()
+            else dtype
+        )
         x = bk.ascontiguous(bk.as_2d(bk.asarray(x, dtype=dtype)))
-        y = bk.asarray(y, dtype=dtype)
+        y = bk.asarray(y, dtype=master_dtype)
         if y.ndim == 1:
             y = y[:, None]
         if y.shape[0] != x.shape[0]:
@@ -405,7 +418,7 @@ class BaseKernelTrainer:
         # Center norms are reused by every iteration's batch-vs-centers
         # block (shift-invariant kernels only; None otherwise).
         self._x_sq_norms = center_sq_norms(self.kernel, x, bk)
-        self._alpha = bk.zeros((n, l), dtype=bk.dtype_of(x))
+        self._alpha = bk.zeros((n, l), dtype=master_dtype)
         self._setup(x, y)
         if self.batch_size_ is None or self.step_size_ is None:
             raise ConfigurationError(
@@ -607,9 +620,18 @@ class BaseKernelTrainer:
         reused — the serial loop guarantees this trivially, the pipelined
         loop by alternating slots."""
         bk = get_backend()
-        kb = match_dtype(kb, bk.dtype_of(self._alpha), bk)
+        alpha_dtype = bk.dtype_of(self._alpha)
         with span("gemm", m=int(idx.shape[0])):
-            f = kb @ self._alpha  # (m, l)
+            if mixed_precision_active() and bk.dtype_of(kb) != alpha_dtype:
+                # Mixed precision: the heavy (m, n, l) contraction runs in
+                # the block's compute dtype against a downcast copy of the
+                # master weights; the predictions are lifted back so the
+                # residual and both updates accumulate in float64.
+                w_lo = match_dtype(self._alpha, bk.dtype_of(kb), bk)
+                f = match_dtype(kb @ w_lo, alpha_dtype, bk)  # (m, l)
+            else:
+                kb = match_dtype(kb, alpha_dtype, bk)
+                f = kb @ self._alpha  # (m, l)
             record_ops(
                 "gemm", idx.shape[0] * x.shape[0] * self._alpha.shape[1]
             )

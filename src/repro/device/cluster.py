@@ -148,6 +148,8 @@ def pipelined_sync_time(
     n_devices: int,
     payload_scalars: float,
     overlap_block_time_s: float,
+    *,
+    fused: bool = False,
 ) -> float:
     """Charged collective time when the engine pipelines: the next batch's
     kernel-block formation (``overlap_block_time_s``) runs *concurrently*
@@ -160,6 +162,13 @@ def pipelined_sync_time(
     :mod:`repro.core.trainer` / :mod:`repro.shard.trainer`: block
     formation depends only on the batch and the centers, never on the
     weights being synchronized, so overlapping them loses no exactness.
+
+    ``fused=True`` prices the fused forward + all-reduce step
+    (``map_allreduce``): the collective rides *inside* the compute task,
+    so the step saves one task round-trip — modelled as one
+    ``interconnect.latency_s`` — before the overlap floor is applied.
+    The payload traversal cost is unchanged: fusion removes a dispatch,
+    not bytes.
     """
     if overlap_block_time_s < 0:
         raise ConfigurationError(
@@ -167,6 +176,8 @@ def pipelined_sync_time(
             f"{overlap_block_time_s}"
         )
     sync = allreduce_time(interconnect, n_devices, payload_scalars)
+    if fused and n_devices > 1:
+        sync = max(0.0, sync - interconnect.latency_s)
     return max(0.0, sync - float(overlap_block_time_s))
 
 
@@ -267,6 +278,7 @@ def multi_gpu(
     interconnect: Interconnect | None = None,
     sync_payload_scalars: float = 100_000.0,
     overlap_block_time_s: float | None = None,
+    fused_collective: bool = False,
 ) -> SimulatedDevice:
     """Aggregate ``n_devices`` copies of ``base`` into one simulated device.
 
@@ -291,6 +303,11 @@ def multi_gpu(
         :func:`pipelined_sync_time`, i.e. only the part of the all-reduce
         the hidden compute cannot cover.  ``None`` (default) models the
         serial engine that barriers per collective step.
+    fused_collective:
+        Model the fused forward + all-reduce step (the transport layer's
+        ``map_allreduce``): one task round-trip — one
+        ``interconnect.latency_s`` — is shaved off the per-iteration
+        collective before any pipeline overlap is applied.
     """
     spec = base.spec if isinstance(base, SimulatedDevice) else base
     n_devices = int(n_devices)
@@ -299,10 +316,12 @@ def multi_gpu(
     interconnect = interconnect or Interconnect()
     if overlap_block_time_s is None:
         sync = allreduce_time(interconnect, n_devices, sync_payload_scalars)
+        if fused_collective and n_devices > 1:
+            sync = max(0.0, sync - interconnect.latency_s)
     else:
         sync = pipelined_sync_time(
             interconnect, n_devices, sync_payload_scalars,
-            overlap_block_time_s,
+            overlap_block_time_s, fused=fused_collective,
         )
     aggregate = DeviceSpec(
         name=f"{spec.name}-x{n_devices}",

@@ -164,6 +164,16 @@ class Kernel(abc.ABC):
         """Return ``[k(x_i, x_i)]`` of shape ``(n_x,)`` without forming the
         full kernel matrix."""
 
+    @property
+    def fused_spec(self) -> tuple[str, float] | None:
+        """``(profile, scale)`` for the backend fused hot path
+        (:meth:`repro.backend.ArrayBackend.fused_kernel_block`), or
+        ``None`` when this kernel has no fused form and always evaluates
+        through its own :meth:`_cross`.  Kernels advertising a spec must
+        guarantee ``profile(dist²) == _profile(dist²)`` bit-for-bit, so
+        routing through the backend entry point never changes results."""
+        return None
+
     # --------------------------------------------------------------- helpers
     def beta(self, x: Any) -> float:
         """``beta(K) = max_i k(x_i, x_i)`` over rows of ``x`` (Section 2)."""
@@ -226,6 +236,18 @@ class RadialKernel(Kernel):
         x_sq_norms: Any | None = None,
         z_sq_norms: Any | None = None,
     ) -> Any:
+        spec = self.fused_spec
+        if spec is not None:
+            # Every evaluation of a fusable radial kernel routes through
+            # the backend's fused entry point: the NumPy base decomposes
+            # to the identical pooled-workspace chain below, Torch swaps
+            # in its torch.compile kernel (repro.config.use_fusion gates).
+            profile, scale = spec
+            return get_backend().fused_kernel_block(
+                x, z, profile=profile, scale=scale, out=out,
+                x_sq_norms=x_sq_norms, z_sq_norms=z_sq_norms,
+                dtype=self._eval_dtype(x, z),
+            )
         sq = sq_euclidean_distances(
             x, z, x_sq_norms=x_sq_norms, z_sq_norms=z_sq_norms, out=out,
             dtype=self._eval_dtype(x, z),

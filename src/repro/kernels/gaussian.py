@@ -28,6 +28,12 @@ class GaussianKernel(RadialKernel):
 
     name = "gaussian"
 
+    @property
+    def fused_spec(self) -> tuple[str, float]:
+        # Same scale expression as _profile, so the backend fused path
+        # ("gaussian": sq *= scale; exp) is bit-identical to it.
+        return ("gaussian", -0.5 / (self.bandwidth * self.bandwidth))
+
     def _profile(self, sq_dists: Any) -> Any:
         out = sq_dists
         out *= -0.5 / (self.bandwidth * self.bandwidth)

@@ -29,6 +29,12 @@ class LaplacianKernel(RadialKernel):
 
     name = "laplacian"
 
+    @property
+    def fused_spec(self) -> tuple[str, float]:
+        # Same scale expression as _profile, so the backend fused path
+        # ("laplacian": sqrt; *= scale; exp) is bit-identical to it.
+        return ("laplacian", -1.0 / self.bandwidth)
+
     def _profile(self, sq_dists: Any) -> Any:
         bk = get_backend()
         out = bk.sqrt(sq_dists, out=sq_dists)

@@ -231,13 +231,24 @@ def kernel_matrix(
     # flag turns any such decline into an error).
     block_dtype = kernel._eval_dtype(x, z)
     writes_direct = bk.dtype_of(out) == block_dtype
+    # Row norms once for all blocks (dtype guard as in kernel_matvec:
+    # a precision-pinned kernel computes norms of the cast rows itself).
+    x_sq_norms = (
+        center_sq_norms(kernel, x, bk)
+        if bk.dtype_of(x) == block_dtype
+        else None
+    )
     for rows in iter_row_blocks(n_x, n_z, max_scalars):
         dest = (
             out[rows]
             if writes_direct
             else _WORKSPACE.get(bk, rows.stop - rows.start, n_z, block_dtype)
         )
-        block = kernel(x[rows], z, out=dest, z_sq_norms=z_sq_norms)
+        block = kernel(
+            x[rows], z, out=dest,
+            x_sq_norms=None if x_sq_norms is None else x_sq_norms[rows],
+            z_sq_norms=z_sq_norms,
+        )
         if not writes_direct or block is not dest:
             # Pooled scratch (cast on copy-back), or a kernel profile that
             # returns a fresh array (e.g. Matérn nu >= 3/2).
@@ -264,6 +275,7 @@ def kernel_matvec(
     weights: Any,
     max_scalars: int = DEFAULT_BLOCK_SCALARS,
     z_sq_norms: Any | None = None,
+    x_sq_norms: Any | None = None,
 ) -> Any:
     """Compute ``K(x, centers) @ weights`` without materialising ``K``.
 
@@ -276,6 +288,12 @@ def kernel_matvec(
     re-allocated per block (profiles needing an auxiliary array, e.g.
     Matérn ν ≥ 3/2, still allocate that one temporary).
 
+    Kernels that advertise a :attr:`~repro.kernels.base.Kernel.fused_spec`
+    contract each block through the backend's
+    :meth:`~repro.backend.ArrayBackend.fused_kernel_matvec` — one entry
+    point per block instead of a kernel call plus a separate GEMM — with
+    the op counts still recorded here from shapes.
+
     Parameters
     ----------
     weights:
@@ -285,6 +303,12 @@ def kernel_matvec(
         once here when omitted (for shift-invariant kernels); callers that
         hold fixed centers across many calls — every shard executor does —
         precompute once and pass it through.
+    x_sq_norms:
+        Optional precomputed row squared norms of ``x`` (full length
+        ``n_x``), sliced per block.  Computed once here when omitted for
+        shift-invariant kernels, so blocked evaluation stops recomputing
+        row norms per block; pass it when the caller already holds the
+        norms (the training loop does).
 
     Returns
     -------
@@ -311,15 +335,40 @@ def kernel_matvec(
     l = w2.shape[1]
     if z_sq_norms is None:
         z_sq_norms = center_sq_norms(kernel, centers, bk)
+    if x_sq_norms is None and block_dtype == data_dtype:
+        # Row norms of the evaluation points, once for all blocks.  Only
+        # when the block dtype matches the data dtype: a kernel pinned to
+        # a different precision computes norms of the *cast* rows inside
+        # each block evaluation, and precomputing at data dtype would
+        # change those bits.
+        x_sq_norms = center_sq_norms(kernel, x, bk)
+    fused_spec = kernel.fused_spec if block_dtype == out_dtype else None
     out = bk.empty((n_x, l), dtype=out_dtype)
     for rows in iter_row_blocks(n_x, n, max_scalars):
-        scratch = _WORKSPACE.get(bk, rows.stop - rows.start, n, block_dtype)
-        block = kernel(x[rows], centers, out=scratch, z_sq_norms=z_sq_norms)
-        # A kernel pinned to a lower precision than the data casts up
-        # before the contraction.
-        block = match_dtype(block, out_dtype, bk)
-        bk.matmul(block, w2, out=out[rows])
-        record_ops("gemm", (rows.stop - rows.start) * n * l)
+        b = rows.stop - rows.start
+        x_norms = None if x_sq_norms is None else x_sq_norms[rows]
+        scratch = _WORKSPACE.get(bk, b, n, block_dtype)
+        if fused_spec is not None:
+            profile, scale = fused_spec
+            bk.fused_kernel_matvec(
+                x[rows], centers, w2, profile=profile, scale=scale,
+                out=out[rows], block_out=scratch,
+                x_sq_norms=x_norms, z_sq_norms=z_sq_norms,
+                dtype=block_dtype,
+            )
+            # Op counts from shapes only, as in the unfused arm below —
+            # the fused entry point changes codegen, never accounting.
+            record_ops("kernel_eval", b * n * x.shape[1])
+        else:
+            block = kernel(
+                x[rows], centers, out=scratch,
+                x_sq_norms=x_norms, z_sq_norms=z_sq_norms,
+            )
+            # A kernel pinned to a lower precision than the data casts up
+            # before the contraction.
+            block = match_dtype(block, out_dtype, bk)
+            bk.matmul(block, w2, out=out[rows])
+        record_ops("gemm", b * n * l)
     return out[:, 0] if squeeze else out
 
 
@@ -329,6 +378,16 @@ def predict_in_blocks(
     weights: Any,
     x: Any,
     max_scalars: int = DEFAULT_BLOCK_SCALARS,
+    z_sq_norms: Any | None = None,
+    x_sq_norms: Any | None = None,
 ) -> Any:
-    """Alias of :func:`kernel_matvec` with model-centric argument order."""
-    return kernel_matvec(kernel, x, centers, weights, max_scalars=max_scalars)
+    """Alias of :func:`kernel_matvec` with model-centric argument order.
+
+    ``x_sq_norms``/``z_sq_norms`` are threaded straight through, so a
+    serving caller holding precomputed evaluation-point or center norms
+    pays the ``O(n_x d)`` / ``O(n d)`` norm reductions once, not per call
+    (and never per block)."""
+    return kernel_matvec(
+        kernel, x, centers, weights, max_scalars=max_scalars,
+        z_sq_norms=z_sq_norms, x_sq_norms=x_sq_norms,
+    )

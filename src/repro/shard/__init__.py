@@ -144,7 +144,13 @@ Example
 (10,)
 """
 
-from repro.shard.group import PendingMap, ShardExecutor, ShardGroup, allreduce_sum
+from repro.shard.group import (
+    PendingMap,
+    PendingReduce,
+    ShardExecutor,
+    ShardGroup,
+    allreduce_sum,
+)
 from repro.shard.ops import sharded_kernel_matvec, sharded_predict
 from repro.shard.plan import ShardPlan
 from repro.shard.recovery import RecoveryEvent, ShardCheckpoint
@@ -167,6 +173,7 @@ from repro.shard.transport import (
 
 __all__ = [
     "PendingMap",
+    "PendingReduce",
     "ProcessTransport",
     "RecoveryEvent",
     "ShardCheckpoint",

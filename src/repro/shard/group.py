@@ -72,6 +72,7 @@ from repro.kernels.base import Kernel
 from repro.shard.plan import ShardPlan
 from repro.shard.transport import (
     PendingMap,
+    PendingReduce,
     ShardExecutor,
     ShardTransport,
     allreduce_sum,
@@ -80,6 +81,7 @@ from repro.shard.transport import (
 
 __all__ = [
     "PendingMap",
+    "PendingReduce",
     "ShardExecutor",
     "ShardGroup",
     "allreduce_sum",
@@ -222,6 +224,26 @@ class ShardGroup:
         """Combine per-shard partials through the transport's collective
         (host-ordered sum; metered under ``"allreduce"``)."""
         return self.transport.allreduce(partials, bk=bk)
+
+    def map_allreduce(
+        self, fn: Callable[..., Any], *args: Any,
+        bk: ArrayBackend | None = None, **kwargs: Any,
+    ) -> tuple[Any, list[Any | None]]:
+        """Run ``fn`` on every shard and all-reduce its (first) result in
+        one fused step: returns ``(reduced, extras)``.  Transports whose
+        collective rides the task channel (torchdist) execute ``fn`` and
+        the fabric all-reduce inside a single task per rank — one RPC
+        round-trip per step instead of two."""
+        return self.transport.map_allreduce(fn, *args, bk=bk, **kwargs)
+
+    def map_allreduce_async(
+        self, fn: Callable[..., Any], *args: Any,
+        bk: ArrayBackend | None = None, **kwargs: Any,
+    ) -> PendingReduce:
+        """Non-blocking :meth:`map_allreduce`; await the returned
+        :class:`~repro.shard.transport.PendingReduce` where the reduced
+        value is consumed."""
+        return self.transport.map_allreduce_async(fn, *args, bk=bk, **kwargs)
 
     # ----------------------------------------------------------- state push
     def broadcast_state(self, **items: Any) -> None:

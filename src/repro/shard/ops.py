@@ -81,8 +81,12 @@ def sharded_kernel_matvec(
     if any(ex.weights is None for ex in group.executors):
         raise ConfigurationError("group executors hold no weights")
     x_host = np.asarray(to_numpy(x))
-    partials = group.map(_matvec_task, kernel, x_host, max_scalars)
-    return group.allreduce(partials, bk=get_backend())
+    # Fused map + all-reduce: one task per shard carries both the
+    # streamed matvec and (on collective-fabric transports) the reduction.
+    reduced, _ = group.map_allreduce(
+        _matvec_task, kernel, x_host, max_scalars, bk=get_backend()
+    )
+    return reduced
 
 
 def sharded_predict(

@@ -86,7 +86,7 @@ from typing import Any, Sequence
 import numpy as np
 
 from repro.backend import ArrayBackend, get_backend, match_dtype, to_numpy
-from repro.config import DEFAULT_BLOCK_SCALARS
+from repro.config import DEFAULT_BLOCK_SCALARS, mixed_precision_active
 from repro.core.eigenpro2 import EigenPro2
 from repro.device.cluster import Interconnect, multi_gpu
 from repro.device.presets import titan_xp
@@ -158,9 +158,18 @@ def _contract_task(worker: ShardWorker, slot: int) -> Any:
     kb = worker.blocks.pop(slot)
     ebk = worker.backend
     with span("gemm", slot=slot, m=int(kb.shape[0])):
-        kb = match_dtype(kb, ebk.dtype_of(worker.weights), ebk)
-        f_i = kb @ worker.weights  # (m, l) partial prediction
         w = worker.weights
+        w_dtype = ebk.dtype_of(w)
+        if mixed_precision_active() and ebk.dtype_of(kb) != w_dtype:
+            # Mixed precision: the shard holds float64 master rows but
+            # the heavy (m, n_i, l) contraction runs in the compute
+            # dtype — downcast the weights to the block, mirroring the
+            # unsharded trainer's _consume_block; the float64 bits come
+            # back in the all-reduce accumulation.
+            w = match_dtype(w, ebk.dtype_of(kb), ebk)
+        else:
+            kb = match_dtype(kb, w_dtype, ebk)
+        f_i = kb @ w  # (m, l) partial prediction
         l = w.shape[1] if w.ndim == 2 else 1
         record_ops("gemm", kb.shape[0] * worker.n_centers * l)
     return f_i
@@ -429,19 +438,19 @@ class ShardedEigenPro2(EigenPro2):
     def _apply_shard_step(
         self,
         group: ShardGroup,
-        f_partials: list[Any],
+        f: Any,
         phi_parts: list[Any | None],
         y: Any,
         idx: np.ndarray,
         gamma: float,
     ) -> None:
-        """All-reduce the partial predictions and apply the coordinate
-        update + EigenPro correction (Algorithm 1 steps 3–5) on the caller
-        thread; mirror touched rows to the shards asynchronously."""
+        """Apply the coordinate update + EigenPro correction (Algorithm 1
+        steps 3–5) to the already all-reduced batch prediction ``f`` on
+        the caller thread; mirror touched rows to the shards
+        asynchronously."""
         self._drain_pending_mirror()
         bk = get_backend()
         alpha_dtype = bk.dtype_of(self._alpha)
-        f = group.allreduce(f_partials, bk=bk)
         f = match_dtype(f, alpha_dtype, bk)
         g_res = f - y[idx]
         self._alpha[idx] -= gamma * g_res
@@ -449,16 +458,29 @@ class ShardedEigenPro2(EigenPro2):
         if self.preconditioner_ is not None and self._sub_parts is not None:
             with span("correction", step=self._cursor, m=int(idx.shape[0])):
                 m, s = idx.shape[0], self._sub_idx.shape[0]
-                phi = np.empty((m, s), dtype=np.dtype(alpha_dtype))
-                for ex, phi_i in zip(group.executors, phi_parts):
+                phi_np = [
+                    None if phi_i is None else np.asarray(to_numpy(phi_i))
+                    for phi_i in phi_parts
+                ]
+                shard_dtypes = [p.dtype for p in phi_np if p is not None]
+                if mixed_precision_active() and shard_dtypes:
+                    # The blocks (and with them the Phi columns) stayed in
+                    # the compute dtype; hand the correction the same
+                    # split the unsharded trainer does — a low-precision
+                    # Phi against float64 residuals.
+                    phi_dtype = np.result_type(*shard_dtypes)
+                else:
+                    phi_dtype = np.dtype(alpha_dtype)
+                phi = np.empty((m, s), dtype=phi_dtype)
+                for ex, phi_i in zip(group.executors, phi_np):
                     positions, _ = self._sub_parts[ex.shard_id]
                     if positions.size:
-                        phi[:, positions] = to_numpy(phi_i)
+                        phi[:, positions] = phi_i
                 correction = self.preconditioner_.correction(
                     phi, to_numpy(g_res)
                 )
-                self._alpha[self._sub_idx] += gamma * bk.asarray(
-                    correction, dtype=alpha_dtype
+                self._accumulate_correction(
+                    bk.asarray(correction, dtype=alpha_dtype), gamma
                 )
             touched.append(self._sub_idx)
         self._mirror_rows(np.concatenate(touched))
@@ -473,15 +495,11 @@ class ShardedEigenPro2(EigenPro2):
             super()._iterate(x, y, idx, gamma)
             return
         xb, xb_sq_norms = self._host_batch(x, idx)
-        results = group.map(_forward_task, xb, xb_sq_norms)
-        self._apply_shard_step(
-            group,
-            [f_i for f_i, _ in results],
-            [phi_i for _, phi_i in results],
-            y,
-            idx,
-            gamma,
-        )
+        # Fused forward + all-reduce: one collective step (a single RPC
+        # round-trip per rank on torchdist) yields the reduced batch
+        # prediction and the per-shard Phi columns.
+        f, phi_parts = group.map_allreduce(_forward_task, xb, xb_sq_norms)
+        self._apply_shard_step(group, f, phi_parts, y, idx, gamma)
 
     def _run_epoch_pipelined(
         self, x: Any, y: Any, blocks: list[np.ndarray], gamma: float
@@ -560,14 +578,15 @@ class ShardedEigenPro2(EigenPro2):
             idx = blocks[t]
             with span("form_block_wait", step=t):
                 phi_parts = pending.result()  # [phi_i] — relays kernel_eval
-            contracting = group.map_async(_contract_task, t % 2)
+            # Fused contract + all-reduce: transports with a task-channel
+            # collective run both in one task per rank (one round-trip);
+            # the others combine host-side at await time, as before.
+            contracting = group.map_allreduce_async(_contract_task, t % 2)
             if t + 1 < len(blocks):
                 pending = prefetch(blocks[t + 1], (t + 1) % 2)
             with span("gemm_wait", step=t):
-                f_partials = contracting.result()  # relays gemm ops
-            self._apply_shard_step(
-                group, f_partials, phi_parts, y, idx, gamma
-            )
+                f, _ = contracting.result()  # relays gemm + allreduce ops
+            self._apply_shard_step(group, f, phi_parts, y, idx, gamma)
             self._maybe_checkpoint(t + 1)
             self._note_step_complete(t)
 

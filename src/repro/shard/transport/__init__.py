@@ -43,6 +43,7 @@ from __future__ import annotations
 from repro.exceptions import ConfigurationError
 from repro.shard.transport.base import (
     PendingMap,
+    PendingReduce,
     ShardTransport,
     ShardWorker,
     allreduce_sum,
@@ -60,6 +61,7 @@ from repro.shard.transport.torchdist import (
 
 __all__ = [
     "PendingMap",
+    "PendingReduce",
     "ProcessShardExecutor",
     "ProcessTransport",
     "ShardExecutor",

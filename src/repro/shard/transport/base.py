@@ -57,6 +57,7 @@ from repro.backend import (
     use_backend,
     use_precision,
 )
+from repro.config import Precision, accumulate_dtype, mixed_precision_active
 from repro.exceptions import ConfigurationError
 from repro.instrument import OpMeter, meter_scope, record_ops, relay_op_counts
 from repro.kernels.ops import block_workspace
@@ -65,6 +66,7 @@ from repro.shard.plan import ShardPlan
 
 __all__ = [
     "PendingMap",
+    "PendingReduce",
     "ShardTransport",
     "ShardWorker",
     "allreduce_sum",
@@ -83,6 +85,11 @@ def allreduce_sum(partials: Sequence[Any], bk: ArrayBackend | None = None) -> An
     :func:`repro.device.cluster.allreduce_time` charges for — and records
     nothing for a single shard, matching the model's ``g = 1`` short
     circuit.
+
+    Under mixed precision (``use_precision("mixed")``) the combine is
+    lifted to the accumulate dtype: float32 partials sum into a float64
+    accumulator, so the reduction never loses bits the master weights
+    keep.
     """
     if not partials:
         raise ConfigurationError("allreduce_sum needs at least one partial")
@@ -90,7 +97,10 @@ def allreduce_sum(partials: Sequence[Any], bk: ArrayBackend | None = None) -> An
     # Accumulate at the joint result dtype: summing in-place into
     # ``arrays[0]``'s dtype would silently downcast any higher-precision
     # partial that appears later in shard order.
-    out = np.array(arrays[0], dtype=np.result_type(*arrays), copy=True)
+    acc_dtype = np.result_type(*arrays)
+    if mixed_precision_active():
+        acc_dtype = np.result_type(acc_dtype, accumulate_dtype())
+    out = np.array(arrays[0], dtype=acc_dtype, copy=True)
     for arr in arrays[1:]:
         out += arr
     if len(arrays) > 1:
@@ -188,7 +198,7 @@ class ShardWorker:
         fn: Callable[..., Any],
         args: tuple = (),
         kwargs: dict | None = None,
-        precision: np.dtype | None = None,
+        precision: Precision | np.dtype | None = None,
         tracer: Tracer | None = None,
     ) -> Any:
         """Run ``fn(self, *args, **kwargs)`` under this shard's backend
@@ -223,7 +233,7 @@ class ShardWorker:
         fn: Callable[..., Any],
         args: tuple = (),
         kwargs: dict | None = None,
-        precision: np.dtype | None = None,
+        precision: Precision | np.dtype | None = None,
         trace: bool = False,
     ) -> tuple[Any, ...]:
         """Like :meth:`run`, but returns ``(result, op_delta)`` where
@@ -323,6 +333,52 @@ class PendingMap:
         if self._error is not None:
             raise self._error
         return self._results
+
+
+def _split_partial(result: Any) -> tuple[Any, Any | None]:
+    """Split one shard's :meth:`ShardTransport.map_allreduce` task result
+    into ``(partial, extra)``: a tuple result is ``(partial, extra)``
+    (e.g. the forward task's ``(f_i, phi_i)``), anything else is a bare
+    partial with no extra."""
+    if isinstance(result, tuple):
+        return result[0], (result[1] if len(result) > 1 else None)
+    return result, None
+
+
+class PendingReduce:
+    """One in-flight fused map + all-reduce step across all shards.
+
+    Returned by :meth:`ShardTransport.map_allreduce_async`;
+    :meth:`result` barriers (relaying per-shard op deltas exactly like
+    :meth:`PendingMap.result`) and returns ``(reduced, extras)`` — the
+    all-reduced first element of every shard's task result on the
+    requested backend, plus the per-shard second elements (``None`` where
+    a task returned a bare partial).
+
+    This base form awaits the underlying :class:`PendingMap` and then
+    combines host-side through the transport's :meth:`~ShardTransport.
+    allreduce` — zero extra round-trips on top of the map itself.
+    Transports with a real collective fabric return a subclass whose
+    tasks already reduced in-flight (see
+    ``repro.shard.transport.torchdist``).
+    """
+
+    def __init__(
+        self,
+        transport: "ShardTransport",
+        pending: PendingMap,
+        bk: ArrayBackend | None,
+    ) -> None:
+        self._transport = transport
+        self._pending = pending
+        self._bk = bk
+
+    def result(self) -> tuple[Any, list[Any | None]]:
+        split = [_split_partial(r) for r in self._pending.result()]
+        reduced = self._transport.allreduce(
+            [partial for partial, _ in split], bk=self._bk
+        )
+        return reduced, [extra for _, extra in split]
 
 
 # ---------------------------------------------------------------------------
@@ -446,6 +502,40 @@ class ShardTransport(abc.ABC):
         """Run ``fn(worker, *args, **kwargs)`` on every shard in parallel;
         barriers and relays op-count deltas (see :class:`PendingMap`)."""
         return self.map_async(fn, *args, **kwargs).result()
+
+    def map_allreduce_async(
+        self,
+        fn: Callable[..., Any],
+        *args: Any,
+        bk: ArrayBackend | None = None,
+        **kwargs: Any,
+    ) -> PendingReduce:
+        """Queue ``fn`` on every shard and fuse the all-reduce of its
+        (first) result into the step, without barriering.
+
+        ``fn`` returns either a bare partial or a ``(partial, extra)``
+        tuple; awaiting the returned :class:`PendingReduce` yields
+        ``(reduced, extras)``.  The base implementation is
+        :meth:`map_async` plus a host-side combine at await time — the
+        same traffic as mapping and reducing separately.  Transports
+        whose collective itself rides the task channel override this to
+        run ``fn`` and the fabric all-reduce inside *one* task per
+        shard, halving the per-step round-trips of the serial sharded
+        iteration (torchdist: 2 RPCs → 1).
+        """
+        return PendingReduce(self, self.map_async(fn, *args, **kwargs), bk)
+
+    def map_allreduce(
+        self,
+        fn: Callable[..., Any],
+        *args: Any,
+        bk: ArrayBackend | None = None,
+        **kwargs: Any,
+    ) -> tuple[Any, list[Any | None]]:
+        """Barriering form of :meth:`map_allreduce_async`: returns
+        ``(reduced, extras)`` with op deltas relayed and the collective
+        charged under ``"allreduce"`` on the calling thread."""
+        return self.map_allreduce_async(fn, *args, bk=bk, **kwargs).result()
 
     # ----------------------------------------------------------- collective
     def allreduce(self, partials: Sequence[Any], bk: ArrayBackend | None = None) -> Any:

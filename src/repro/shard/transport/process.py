@@ -67,8 +67,7 @@ import numpy as np
 from repro.backend import (
     ArrayBackend,
     NumpyBackend,
-    get_precision,
-    precision_is_explicit,
+    current_precision,
     resolve_backend,
 )
 from repro.exceptions import ConfigurationError, ShardError
@@ -384,7 +383,7 @@ class ProcessShardExecutor:
         """Queue ``fn(worker, *args, **kwargs)`` for the child; the
         future resolves to the task's result."""
         pool = self._require_open()
-        precision = get_precision() if precision_is_explicit() else None
+        precision = current_precision()
         return pool.submit(
             lambda: self._rpc_metered(fn, args, kwargs, precision)[0]
         )
@@ -397,7 +396,7 @@ class ProcessShardExecutor:
         plus the child-side spans when the caller has tracing enabled
         (captured here, next to the ambient precision)."""
         pool = self._require_open()
-        precision = get_precision() if precision_is_explicit() else None
+        precision = current_precision()
         return pool.submit(
             self._rpc_metered, fn, args, kwargs, precision, tracing_active()
         )

@@ -23,8 +23,7 @@ import numpy as np
 from repro.backend import (
     ArrayBackend,
     NumpyBackend,
-    get_precision,
-    precision_is_explicit,
+    current_precision,
     resolve_backend,
     to_numpy,
 )
@@ -73,7 +72,7 @@ class ShardExecutor(ShardWorker):
         thread under its backend scope, the caller's explicit precision
         (if any) and this shard's private meter; returns the future."""
         pool = self._require_open()
-        precision = get_precision() if precision_is_explicit() else None
+        precision = current_precision()
         return pool.submit(self.run, fn, args, kwargs, precision)
 
     def submit_metered(
@@ -85,7 +84,7 @@ class ShardExecutor(ShardWorker):
         precision: a task submitted under an active tracer resolves to
         ``(result, op_delta, spans)`` instead."""
         pool = self._require_open()
-        precision = get_precision() if precision_is_explicit() else None
+        precision = current_precision()
         return pool.submit(
             self.run_metered, fn, args, kwargs, precision, tracing_active()
         )

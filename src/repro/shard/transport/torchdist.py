@@ -40,6 +40,17 @@ death, segments always unlinked.  This transport adds:
   commutative); beyond that the fabric picks the association order, so
   :attr:`exact_collective_max_g` is 2 and the conformance suite's
   bitwise tests stop there.
+- **Fused forward + all-reduce.**  :meth:`map_allreduce` /
+  :meth:`map_allreduce_async` override the base host-combine path with
+  :func:`_fused_collective_task`: each rank runs the forward task *and*
+  its ``dist.all_reduce`` inside one RPC, so a serial sharded training
+  step costs **one** round-trip instead of two (pipelined: two instead
+  of three) — the RPC pins in the conformance suite.  Rank 0's reply
+  carries the reduced array; the caller still records the
+  ``(g - 1) * payload`` ``"allreduce"`` ops, and under
+  ``use_precision("mixed")`` each rank upcasts its float32 partial to
+  float64 before the collective, matching the host-side accumulate
+  dtype bit for bit at ``g <= 2``.
 - **Start method.**  Always ``spawn`` by default: NCCL (and CUDA
   contexts generally) are unsupported across ``fork``, and gloo's
   threads are healthiest in a fresh interpreter.  Workers therefore only
@@ -74,11 +85,17 @@ from typing import Any, Sequence
 import numpy as np
 
 from repro.backend import ArrayBackend, NumpyBackend, get_backend, to_numpy
+from repro.config import accumulate_dtype, mixed_precision_active
 from repro.exceptions import ConfigurationError, ShardError
 from repro.instrument import record_ops
 from repro.observe.tracer import span
 from repro.shard.plan import ShardPlan
-from repro.shard.transport.base import PendingMap, ShardWorker
+from repro.shard.transport.base import (
+    PendingMap,
+    PendingReduce,
+    ShardWorker,
+    _split_partial,
+)
 from repro.shard.transport.process import ProcessTransport, _SegmentSpec, _WorkerSpec
 
 __all__ = [
@@ -153,11 +170,21 @@ def _dist_allreduce_task(worker: ShardWorker, partial: np.ndarray) -> np.ndarray
     charge is recorded by the *caller* (see
     :meth:`TorchDistributedTransport.allreduce`), not here: shard meters
     hold compute only on every transport, so per-shard accounting stays
-    comparable across thread/process/torchdist."""
+    comparable across thread/process/torchdist.
+
+    Under mixed precision (the task runs inside the submitter's
+    re-established precision scope) the partial is lifted to the
+    accumulate dtype (float64) *before* the collective, so the fabric's
+    ring reduction carries the same precision as the host-side
+    :func:`~repro.shard.transport.base.allreduce_sum`."""
     import torch
     import torch.distributed as dist
 
     arr = np.ascontiguousarray(partial)
+    if mixed_precision_active():
+        acc = np.result_type(arr.dtype, accumulate_dtype())
+        if arr.dtype != acc:
+            arr = arr.astype(acc)
     device = getattr(worker.backend, "device", None)
     if device is not None and _spec_wants_cuda(str(device)):
         tensor = torch.as_tensor(arr, device=device)
@@ -176,6 +203,41 @@ def _dist_allreduce_task(worker: ShardWorker, partial: np.ndarray) -> np.ndarray
     if dist.get_rank() != 0:
         return None
     return np.asarray(tensor.cpu().numpy())
+
+
+def _fused_collective_task(
+    worker: ShardWorker,
+    fn: Any,
+    args: tuple,
+    kwargs: dict | None,
+) -> tuple:
+    """Run ``fn(worker, *args, **kwargs)`` and all-reduce the partial it
+    produced — one task, one RPC round-trip per rank and step, where the
+    unfused path pays two (compute, then collective).  ``fn`` follows the
+    :meth:`~repro.shard.transport.base.ShardTransport.map_allreduce`
+    contract: a bare partial, or ``(partial, extra)`` with the extra
+    returned untouched next to rank 0's reduced array."""
+    result = fn(worker, *args, **(kwargs or {}))
+    partial, extra = _split_partial(result)
+    reduced = _dist_allreduce_task(worker, np.asarray(to_numpy(partial)))
+    return reduced, extra
+
+
+class _DistPendingReduce(PendingReduce):
+    """Await side of the fused map + collective: every rank's task
+    already all-reduced in-flight (see :func:`_fused_collective_task`),
+    so awaiting only extracts rank 0's reduced array, relays the compute
+    deltas, and records the caller-side shape-derived ``"allreduce"``
+    charge — identical to the unfused path's accounting."""
+
+    def result(self) -> tuple[Any, list[Any | None]]:
+        replies = self._pending.result()  # [(reduced | None, extra)] per rank
+        out = np.asarray(replies[0][0])
+        g = self._transport.g
+        with span("allreduce", transport=self._transport.name, g=g, fused=True):
+            record_ops("allreduce", (g - 1) * int(out.size))
+        bk = self._bk if self._bk is not None else get_backend()
+        return bk.asarray(out), [extra for _, extra in replies]
 
 
 def _pull_weights_task(worker: ShardWorker) -> np.ndarray:
@@ -364,6 +426,30 @@ class TorchDistributedTransport(ProcessTransport):
             # accounting (compute only) stays comparable across transports.
             record_ops("allreduce", (self.g - 1) * int(np.asarray(out).size))
             return bk.asarray(out)
+
+    def map_allreduce_async(
+        self,
+        fn: Any,
+        *args: Any,
+        bk: ArrayBackend | None = None,
+        **kwargs: Any,
+    ) -> PendingReduce:
+        """Fused form of map + all-reduce: each rank runs ``fn`` *and*
+        the ``dist.all_reduce`` inside a single task — one RPC round-trip
+        per rank and step where the unfused path pays two (the serial
+        sharded iteration drops from 2 round-trips to 1; the pipelined
+        one from 3 to 2).  Single-rank groups keep the base path — no
+        collective task, no ``"allreduce"`` ops, matching the cost
+        model's ``g = 1`` short circuit."""
+        if self.g == 1:
+            return super().map_allreduce_async(fn, *args, bk=bk, **kwargs)
+        pending = PendingMap(
+            [
+                ex.submit_metered(_fused_collective_task, fn, args, kwargs)
+                for ex in self.executors
+            ]
+        )
+        return _DistPendingReduce(self, pending, bk)
 
     # -------------------------------------------------------------- weights
     # NumPy workers inherit the process transport's weight story wholesale:

@@ -32,7 +32,14 @@ from repro.backend import (
     to_numpy,
     use_backend,
 )
-from repro.config import get_precision, use_precision
+from repro.config import (
+    MIXED_PRECISION,
+    fusion_enabled,
+    get_precision,
+    mixed_precision_active,
+    use_fusion,
+    use_precision,
+)
 from repro.exceptions import BackendUnavailableError, ConfigurationError
 from repro.instrument import meter_scope
 from repro.kernels import (
@@ -447,3 +454,226 @@ class TestPrecisionSwitch:
         with use_precision("float32"):
             got = k(x, z)
         np.testing.assert_allclose(got, ref, atol=1e-4)
+
+
+# --------------------------------------------------------------------------
+# Precision tiers: float64 (bitwise) / float32 / mixed (documented bounds)
+# --------------------------------------------------------------------------
+
+
+def _tier_fit(ds, precision=None):
+    """One short EigenPro2 fit under the given precision tier; returns the
+    fitted model and its NumPy test-set predictions."""
+
+    def fit():
+        model = EigenPro2(LaplacianKernel(bandwidth=4.0), s=100, q=20, seed=0)
+        model.fit(ds.x_train, ds.y_train, epochs=2)
+        return model, np.asarray(to_numpy(model.predict(ds.x_test)))
+
+    if precision is None:
+        return fit()
+    with use_precision(precision):
+        return fit()
+
+
+def _rel_err(got: np.ndarray, ref: np.ndarray) -> float:
+    return float(np.linalg.norm(got - ref) / np.linalg.norm(ref))
+
+
+class TestPrecisionTierNumerics:
+    """The tolerance-tier contract for ``use_precision``:
+
+    - ``float64`` is the *reference* tier — an explicit float64 scope is
+      bitwise identical to the ambient default;
+    - ``float32`` runs every array at single precision and lands within a
+      documented relative-error bound of the float64 trajectory;
+    - ``mixed`` (:data:`repro.config.MIXED_PRECISION`) forms kernel blocks
+      and GEMMs at float32 but keeps the master ``alpha``/``y`` state —
+      and every accumulation into it — at float64 (Kahan-compensated on
+      NumPy), so its accuracy matches the float32 tier while its state
+      stays full precision.
+    """
+
+    #: Relative-error ceiling for the reduced-precision tiers against the
+    #: float64 trajectory of the same seeded fit.  fp32 kernel blocks give
+    #: ~1e-6 per-block error; two epochs of SGD amplify that, and 1e-2 is
+    #: the documented (loose, stable) ceiling the tiers must stay under.
+    REDUCED_TIER_RTOL = 1e-2
+
+    def test_float64_scope_is_bitwise_reference(self, small_dataset):
+        _, ref = _tier_fit(small_dataset, None)
+        _, got = _tier_fit(small_dataset, "float64")
+        np.testing.assert_array_equal(got, ref)
+
+    @pytest.mark.parametrize("tier", ["float32", "mixed"])
+    def test_reduced_tiers_track_float64(self, small_dataset, tier):
+        _, ref = _tier_fit(small_dataset, None)
+        _, got = _tier_fit(small_dataset, tier)
+        assert np.all(np.isfinite(got))
+        assert _rel_err(got, ref) < self.REDUCED_TIER_RTOL
+
+    def test_mixed_accuracy_matches_float32_tier(self, small_dataset):
+        """Mixed precision pays fp32 compute but must not pay *more* error
+        than the all-fp32 tier (fp64 accumulation can only help)."""
+        _, ref = _tier_fit(small_dataset, None)
+        _, p32 = _tier_fit(small_dataset, "float32")
+        _, pmx = _tier_fit(small_dataset, "mixed")
+        assert _rel_err(pmx, ref) <= _rel_err(p32, ref) * 1.5 + 1e-12
+
+    def test_mixed_master_state_is_float64(self, small_dataset):
+        model, _ = _tier_fit(small_dataset, "mixed")
+        assert np.asarray(to_numpy(model.model_.weights)).dtype == np.float64
+
+    def test_float32_state_is_float32(self, small_dataset):
+        model, _ = _tier_fit(small_dataset, "float32")
+        assert np.asarray(to_numpy(model.model_.weights)).dtype == np.float32
+
+    def test_mixed_kernel_blocks_compute_at_float32(self, xz):
+        x, z = xz
+        with use_precision("mixed"):
+            assert mixed_precision_active()
+            assert get_precision() == np.float32
+            assert GaussianKernel(bandwidth=2.0)(x, z).dtype == np.float32
+        assert not mixed_precision_active()
+
+    def test_mixed_spec_shape(self):
+        assert MIXED_PRECISION.compute == np.float32
+        assert MIXED_PRECISION.accumulate == np.float64
+
+    @requires_torch
+    def test_mixed_fit_torch_tracks_numpy(self, small_dataset):
+        ref = run_on("numpy", lambda: _tier_fit(small_dataset, "mixed")[1])
+        got = run_on("torch", lambda: _tier_fit(small_dataset, "mixed")[1])
+        np.testing.assert_allclose(got, ref, rtol=1e-3, atol=1e-4)
+
+
+# --------------------------------------------------------------------------
+# Fused hot path: backend entry points vs the decomposed chain
+# --------------------------------------------------------------------------
+
+
+class TestFusedHotPathNumpy:
+    """NumPy is the reference: its fused entry points *decompose* to the
+    historical pooled-workspace chain, so fused and unfused evaluation are
+    bitwise identical and op counts never depend on the fusion switch."""
+
+    def test_fused_specs_advertised(self):
+        assert GaussianKernel(bandwidth=2.0).fused_spec == (
+            "gaussian",
+            -0.5 / 4.0,
+        )
+        assert LaplacianKernel(bandwidth=2.0).fused_spec == (
+            "laplacian",
+            -0.5,
+        )
+        assert CauchyKernel(bandwidth=2.0).fused_spec is None
+        assert PolynomialKernel(degree=2, gamma=0.1, coef0=1.0).fused_spec is None
+
+    @pytest.mark.parametrize(
+        "kernel", ALL_KERNELS[:2], ids=KERNEL_IDS[:2]
+    )
+    def test_fusion_switch_is_bitwise_invisible(self, kernel, xz):
+        x, z = xz
+        assert fusion_enabled()
+        fused = kernel(x, z)
+        with use_fusion(False):
+            assert not fusion_enabled()
+            unfused = kernel(x, z)
+        np.testing.assert_array_equal(fused, unfused)
+
+    def test_fused_block_matches_kernel_call(self, xz):
+        x, z = xz
+        bk = get_backend()
+        for kernel in (GaussianKernel(bandwidth=2.0), LaplacianKernel(bandwidth=2.0)):
+            profile, scale = kernel.fused_spec
+            block = bk.fused_kernel_block(x, z, profile=profile, scale=scale)
+            np.testing.assert_array_equal(
+                np.asarray(block), np.asarray(kernel(x, z))
+            )
+
+    def test_fused_matvec_decomposes_to_block_matmul(self, xz):
+        x, z = xz
+        rng = np.random.default_rng(1)
+        w = rng.standard_normal((z.shape[0], 2))
+        bk = get_backend()
+        kernel = GaussianKernel(bandwidth=2.0)
+        profile, scale = kernel.fused_spec
+        got = bk.fused_kernel_matvec(x, z, w, profile=profile, scale=scale)
+        np.testing.assert_array_equal(
+            np.asarray(got), np.asarray(kernel(x, z)) @ w
+        )
+
+    def test_unknown_profile_rejected(self, xz):
+        x, z = xz
+        with pytest.raises(ConfigurationError):
+            get_backend().fused_kernel_block(
+                x, z, profile="cauchy", scale=-1.0
+            )
+
+    def test_fused_matvec_with_precomputed_norms(self, xz):
+        x, z = xz
+        rng = np.random.default_rng(2)
+        w = rng.standard_normal((z.shape[0],))
+        kernel = LaplacianKernel(bandwidth=2.0)
+        ref = kernel_matvec(kernel, x, z, w, max_scalars=300)
+        z_norms = np.einsum("ij,ij->i", z, z)
+        got = kernel_matvec(
+            kernel, x, z, w, max_scalars=300, z_sq_norms=z_norms
+        )
+        np.testing.assert_array_equal(np.asarray(got), np.asarray(ref))
+
+    def test_op_counts_invariant_under_fusion_switch(self, xz):
+        x, z = xz
+        rng = np.random.default_rng(3)
+        w = rng.standard_normal((z.shape[0], 2))
+        kernel = GaussianKernel(bandwidth=2.0)
+        with meter_scope() as fused_meter:
+            kernel_matvec(kernel, x, z, w, max_scalars=300)
+        with use_fusion(False), meter_scope() as unfused_meter:
+            kernel_matvec(kernel, x, z, w, max_scalars=300)
+        assert fused_meter.as_dict() == unfused_meter.as_dict()
+
+
+@requires_torch
+class TestFusedHotPathTorch:
+    """Torch's override (torch.compile with an eager fused fallback) must
+    preserve the elementwise op order: fused float64 blocks stay bitwise
+    identical to the decomposed chain *on the torch backend*, and parity
+    with NumPy holds to the usual cross-backend tolerance."""
+
+    @pytest.mark.parametrize(
+        "kernel", ALL_KERNELS[:2], ids=KERNEL_IDS[:2]
+    )
+    def test_fused_bitwise_vs_unfused_on_torch(self, kernel, xz):
+        x, z = xz
+
+        def both():
+            fused = kernel(x, z)
+            with use_fusion(False):
+                unfused = kernel(x, z)
+            return fused, unfused
+
+        fused, unfused = run_on("torch", both)
+        np.testing.assert_array_equal(fused, unfused)
+
+    @pytest.mark.parametrize(
+        "kernel", ALL_KERNELS[:2], ids=KERNEL_IDS[:2]
+    )
+    def test_fused_cross_backend_parity(self, kernel, xz):
+        x, z = xz
+        ref = run_on("numpy", lambda: kernel(x, z))
+        got = run_on("torch", lambda: kernel(x, z))
+        np.testing.assert_allclose(got, ref, rtol=1e-9, atol=1e-12)
+
+    def test_fused_float32_mixed_scope(self, xz):
+        x, z = xz
+        kernel = GaussianKernel(bandwidth=2.0)
+
+        def mixed_block():
+            with use_precision("mixed"):
+                return kernel(x, z)
+
+        ref = run_on("numpy", mixed_block)
+        got = run_on("torch", mixed_block)
+        assert ref.dtype == np.float32 and got.dtype == np.float32
+        np.testing.assert_allclose(got, ref, rtol=1e-4, atol=1e-5)

@@ -390,8 +390,11 @@ class TestTorchDistCollective:
     @needs_torchdist
     def test_trainer_rpc_accounting(self, small_dataset):
         """A pipelined torchdist fit's per-worker RPC traffic is exactly
-        setup + (form, contract, all-reduce) per iteration + drain —
-        mirror-back stays a direct shared-memory write, never a task."""
+        setup + (form, fused contract+all-reduce) per iteration + drain:
+        the collective rides *inside* the contraction task
+        (`_fused_collective_task`), so each step costs two round-trips,
+        not three — and mirror-back stays a direct shared-memory write,
+        never a task."""
         trainer = ShardedEigenPro2(
             GaussianKernel(bandwidth=BANDWIDTH),
             n_shards=2,
@@ -403,7 +406,29 @@ class TestTorchDistCollective:
             trainer.fit(small_dataset.x_train, small_dataset.y_train, epochs=1)
             assert trainer._pending_mirror is None
             iterations = trainer.history_.final.iterations
-            expected = 1 + 3 * iterations + 1
+            expected = 1 + 2 * iterations + 1
+            for ex in trainer.shard_group_.executors:
+                assert ex.rpc_count == expected
+        finally:
+            trainer.close()
+
+    @needs_torchdist
+    def test_serial_fit_single_roundtrip_per_step(self, small_dataset):
+        """With the pipeline off, the whole step — form, contract *and*
+        the dist.all_reduce — is one fused task per rank: exactly one
+        RPC round-trip per iteration per worker, down from two."""
+        trainer = ShardedEigenPro2(
+            GaussianKernel(bandwidth=BANDWIDTH),
+            n_shards=2,
+            transport="torchdist",
+            device=titan_xp(),
+            pipeline=False,
+            **KW,
+        )
+        try:
+            trainer.fit(small_dataset.x_train, small_dataset.y_train, epochs=1)
+            iterations = trainer.history_.final.iterations
+            expected = 1 + iterations + 1
             for ex in trainer.shard_group_.executors:
                 assert ex.rpc_count == expected
         finally:
@@ -486,6 +511,78 @@ class TestAllreduceDtypePromotion:
         out = np.asarray(allreduce_sum(parts))
         assert out.dtype == np.float32
         np.testing.assert_array_equal(out, 3.0 * parts[0])
+
+
+class TestMixedPrecisionConformance:
+    """``use_precision("mixed")`` across the sharded stack: shards form
+    kernel blocks and GEMMs at float32, the collective accumulates the
+    partials at float64 (host combine and torchdist fabric alike), and the
+    master weights stay float64 end to end."""
+
+    def test_mixed_allreduce_accumulates_float64(self):
+        from repro.config import use_precision
+        from repro.shard import allreduce_sum
+
+        parts = [np.full((3,), 0.1, dtype=np.float32) for _ in range(2)]
+        out32 = np.asarray(allreduce_sum(parts))
+        assert out32.dtype == np.float32
+        with use_precision("mixed"):
+            out = np.asarray(allreduce_sum(parts))
+        assert out.dtype == np.float64
+        np.testing.assert_array_equal(
+            out, parts[0].astype(np.float64) + parts[1].astype(np.float64)
+        )
+
+    @pytest.mark.parametrize("g", [1, 2])
+    @transports
+    def test_mixed_fit_matches_unsharded_mixed(
+        self, small_dataset, g, transport
+    ):
+        from repro.config import use_precision
+
+        _skip_beyond_exact_collective(transport, g)
+        with use_precision("mixed"):
+            ref = EigenPro2(
+                GaussianKernel(bandwidth=BANDWIDTH), device=titan_xp(), **KW
+            )
+            ref.fit(small_dataset.x_train, small_dataset.y_train, epochs=2)
+            alpha, history, counts, params, step = _fit_sharded(
+                small_dataset, transport, g
+            )
+        ref_alpha = np.asarray(ref._alpha)
+        assert ref_alpha.dtype == np.float64
+        assert alpha.dtype == np.float64
+        assert params.q_adjusted == ref.params_.q_adjusted
+        assert step == ref.step_size_
+        if g == 1:
+            # One shard runs the very same arithmetic: exact.
+            np.testing.assert_array_equal(alpha, ref_alpha)
+        else:
+            # Resharding reassociates float32 partial sums; the float64
+            # accumulator keeps the divergence at float32 scale.
+            scale = max(float(np.abs(ref_alpha).max()), 1.0)
+            np.testing.assert_allclose(
+                alpha, ref_alpha, atol=1e-3 * scale, rtol=0
+            )
+        np.testing.assert_allclose(
+            history, ref.history_.series("train_mse"), rtol=1e-3
+        )
+
+    @transports
+    def test_mixed_op_counts_are_shape_derived(
+        self, small_dataset, unsharded, transport
+    ):
+        """Op counts never depend on the precision tier: the mixed sharded
+        fit reports the same compute categories as the float64 unsharded
+        reference (communication metered separately)."""
+        from repro.config import use_precision
+
+        _, ref_counts = unsharded
+        with use_precision("mixed"):
+            _, _, counts, _, _ = _fit_sharded(small_dataset, transport, 2)
+        for category, ops in ref_counts.items():
+            assert counts.get(category) == ops, category
+        assert set(counts) - set(ref_counts) <= {"allreduce"}
 
 
 class TestPendingMapPartialFailure:
