@@ -1,0 +1,340 @@
+"""Bench: closed-loop load against the micro-batched prediction server.
+
+Drives the same fitted shard group two ways at each offered concurrency
+``C`` (``C`` client threads, each submitting its next request only after
+the previous one resolved — closed-loop load):
+
+- **server**: requests flow through :class:`repro.serve.ModelServer`,
+  whose dispatcher coalesces in-flight requests into one fused
+  ``map_allreduce`` tick;
+- **baseline**: one request at a time — each client runs a solo
+  :func:`repro.shard.sharded_predict` serialized by a lock, i.e. the
+  "call sharded_predict yourself" serving the ROADMAP item replaces.
+
+Latencies come from :class:`repro.observe.MetricsRegistry` snapshots
+(the server's own ``serve/request_s`` histogram; the baseline feeds an
+identical registry), so the reported p50/p95/p99 exercise the same
+percentile path production monitoring reads.
+
+Claims recorded in the JSON payload:
+
+- ``serve/batched-bitwise`` — every server response is bit-identical to
+  the baseline's solo ``sharded_predict`` on the same input (asserted:
+  a violation is a correctness bug, not a perf miss);
+- ``serve/throughput-2x`` — at the highest offered concurrency the
+  micro-batched server sustains >= 2x the one-at-a-time baseline's
+  throughput (asserted: this is the serving engine's reason to exist).
+
+CLI: ``python benchmarks/bench_serve.py [--smoke] [--out PATH]``; JSON
+on stdout and under ``benchmarks/results/serve.json`` by default.  The
+payload's highest-concurrency server row is the ``serve-load/<transport>``
+series of the bench trajectory (``merge_trajectory.py`` /
+``check_trajectory.py``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import threading
+import time
+
+import numpy as np
+
+from repro.kernels import GaussianKernel
+from repro.observe import MetricsRegistry, new_run_id
+from repro.serve import ModelServer, ServeOptions
+from repro.shard import ShardGroup, sharded_predict
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: Micro-batching window for the load run, on the order of the
+#: closed-loop clients' inter-arrival jitter (see
+#: :class:`repro.serve.ServeOptions`: in-flight ticks keep the workers
+#: busy through the window, so it costs dispatch latency only).
+BATCH_WAIT_S = 2e-4
+
+
+def serve_options(concurrency: int) -> ServeOptions:
+    """Throughput-oriented serving knobs, sized to the offered load.
+
+    A deployment tunes ``max_batch_requests`` to its expected concurrent
+    load; the load generator knows its offered concurrency exactly, so
+    the tick is sized to the cohort — the micro-batching window then
+    closes *early* the moment a full cohort is queued (at ``C == 1``
+    that is immediately: no added latency on unloaded runs) and the
+    window timeout only pays off when stragglers are still in flight.
+    """
+    return ServeOptions(
+        max_batch_requests=concurrency, batch_wait_s=BATCH_WAIT_S
+    )
+
+
+def _make_requests(
+    rng: np.random.Generator,
+    n_clients: int,
+    requests_per_client: int,
+    rows: int,
+    d: int,
+) -> list[list[np.ndarray]]:
+    return [
+        [
+            rng.standard_normal((rows, d))
+            for _ in range(requests_per_client)
+        ]
+        for _ in range(n_clients)
+    ]
+
+
+def _run_mode(
+    mode: str,
+    group: ShardGroup,
+    requests: list[list[np.ndarray]],
+    run_id: dict,
+) -> tuple[dict, list[list[np.ndarray]]]:
+    """One closed-loop run; returns (metrics row, per-request outputs)."""
+    registry = MetricsRegistry(run_id=run_id)
+    outputs: list[list[np.ndarray]] = [
+        [None] * len(reqs) for reqs in requests
+    ]
+    server = None
+    if mode == "server":
+        server = ModelServer(
+            group=group, metrics=registry,
+            options=serve_options(len(requests)),
+        )
+
+        def issue(x: np.ndarray) -> np.ndarray:
+            return server.predict(x, timeout=300)
+
+    else:
+        lock = threading.Lock()
+
+        def issue(x: np.ndarray) -> np.ndarray:
+            t0 = time.perf_counter()
+            with lock:
+                out = np.asarray(sharded_predict(group, x))
+            registry.observe("serve/request_s", time.perf_counter() - t0)
+            return out
+
+    def client(i: int) -> None:
+        for j, x in enumerate(requests[i]):
+            outputs[i][j] = issue(x)
+
+    threads = [
+        threading.Thread(target=client, args=(i,), name=f"load-{i}")
+        for i in range(len(requests))
+    ]
+    t0 = time.perf_counter()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    wall_s = time.perf_counter() - t0
+    if server is not None:
+        server.close()
+    total = sum(len(reqs) for reqs in requests)
+    snapshot = registry.snapshot()
+    hist = snapshot["histograms"].get("serve/request_s", {})
+    row = {
+        "mode": mode,
+        "concurrency": len(requests),
+        "requests": total,
+        "throughput_rps": total / wall_s if wall_s > 0 else None,
+        "p50_ms": 1e3 * hist.get("p50", float("nan")),
+        "p95_ms": 1e3 * hist.get("p95", float("nan")),
+        "p99_ms": 1e3 * hist.get("p99", float("nan")),
+    }
+    if mode == "server":
+        row["mean_batch_requests"] = snapshot["histograms"].get(
+            "serve/batch_requests", {}
+        ).get("mean", float("nan"))
+    return row, outputs
+
+
+def _median(values: list[float]) -> float:
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[mid]
+    return 0.5 * (ordered[mid - 1] + ordered[mid])
+
+
+def run_bench(
+    *,
+    n: int,
+    d: int,
+    l: int,
+    rows_per_request: int,
+    requests_per_client: int,
+    concurrencies: tuple[int, ...],
+    transport: str,
+    g: int,
+    trials: int = 5,
+) -> dict:
+    rng = np.random.default_rng(0)
+    centers = rng.standard_normal((n, d))
+    weights = rng.standard_normal((n, l))
+    kernel = GaussianKernel(bandwidth=4.0)
+    run_id = new_run_id()
+
+    rows: list[dict] = []
+    bitwise_ok: list[bool] = []
+    top_speedup: float | None = None
+    with ShardGroup.build(
+        centers, weights, g=g, kernel=kernel, transport=transport
+    ) as group:
+        # Warm worker pools and block workspaces outside both modes.
+        for _ in range(2):
+            sharded_predict(group, centers[:rows_per_request])
+        for concurrency in concurrencies:
+            requests = _make_requests(
+                rng, concurrency, requests_per_client, rows_per_request, d
+            )
+            # Interleaved baseline/server trials, speedup = median of the
+            # *paired* per-trial ratios: single-trial wall clocks on a
+            # shared box swing by 2x as the machine moves through fast
+            # and slow phases, but a phase covers both halves of an
+            # adjacent (baseline, server) pair, so the ratio cancels it
+            # where a ratio of independent medians does not.  Bitwise
+            # parity is asserted on *every* trial.
+            base_trials: list[dict] = []
+            serve_trials: list[dict] = []
+            paired_speedups: list[float] = []
+            for _ in range(trials):
+                base_row, base_out = _run_mode(
+                    "baseline", group, requests, run_id
+                )
+                serve_row, serve_out = _run_mode(
+                    "server", group, requests, run_id
+                )
+                bitwise_ok.append(all(
+                    np.array_equal(a, b, equal_nan=True)
+                    for outs_a, outs_b in zip(serve_out, base_out)
+                    for a, b in zip(outs_a, outs_b)
+                ))
+                base_trials.append(base_row)
+                serve_trials.append(serve_row)
+                if base_row["throughput_rps"]:
+                    paired_speedups.append(
+                        serve_row["throughput_rps"]
+                        / base_row["throughput_rps"]
+                    )
+            base_rps = _median(
+                [row["throughput_rps"] for row in base_trials]
+            )
+            serve_rps = _median(
+                [row["throughput_rps"] for row in serve_trials]
+            )
+            # Report the trial that carried the median throughput, so
+            # the latency percentiles and the throughput figure come
+            # from the same measured run.
+            base_row = min(
+                base_trials,
+                key=lambda row: abs(row["throughput_rps"] - base_rps),
+            )
+            serve_row = min(
+                serve_trials,
+                key=lambda row: abs(row["throughput_rps"] - serve_rps),
+            )
+            speedup = (
+                _median(paired_speedups) if paired_speedups else None
+            )
+            base_row["median_throughput_rps"] = base_rps
+            serve_row["median_throughput_rps"] = serve_rps
+            serve_row["speedup"] = speedup
+            serve_row["paired_speedups"] = [
+                round(s, 3) for s in paired_speedups
+            ]
+            serve_row["bitwise_identical"] = all(bitwise_ok[-trials:])
+            serve_row["trials"] = trials
+            rows.extend([base_row, serve_row])
+            if concurrency == max(concurrencies):
+                top_speedup = speedup
+
+    claims = [
+        {
+            "claim_id": "serve/batched-bitwise",
+            "measured": all(bitwise_ok),
+            "holds": all(bitwise_ok),
+        },
+        {
+            "claim_id": "serve/throughput-2x",
+            "measured": top_speedup,
+            "holds": (
+                top_speedup >= 2.0 if top_speedup is not None else None
+            ),
+        },
+    ]
+    return {
+        "benchmark": "serve-load",
+        "run_id": run_id,
+        "transport": transport,
+        "config": {
+            "n": n, "d": d, "l": l,
+            "rows_per_request": rows_per_request,
+            "requests_per_client": requests_per_client,
+            "concurrencies": list(concurrencies),
+            "transport": transport, "g": g, "trials": trials,
+            "serve_options": {
+                "max_batch_requests": "per-concurrency cohort size",
+                "batch_wait_s": BATCH_WAIT_S,
+                "pipeline_depth": ServeOptions().pipeline_depth,
+            },
+        },
+        "rows": rows,
+        "claims": claims,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="shrink the workload for CI")
+    parser.add_argument("--out", type=pathlib.Path, default=None)
+    parser.add_argument("--transport", default="thread")
+    parser.add_argument("--g", type=int, default=2)
+    args = parser.parse_args(argv)
+
+    # rows_per_request=1 is the serving-relevant shape: single-sample
+    # requests maximize the per-request overhead a coalesced tick
+    # amortizes, and a large center set keeps the baseline's round-trip
+    # share honest.
+    shape = (
+        dict(n=2_048, d=16, l=4, rows_per_request=1,
+             requests_per_client=40, concurrencies=(1, 4, 8))
+        if args.smoke
+        else dict(n=8_192, d=32, l=8, rows_per_request=1,
+                  requests_per_client=50, concurrencies=(1, 2, 4, 8, 16),
+                  trials=5)
+    )
+    payload = run_bench(transport=args.transport, g=args.g, **shape)
+    payload["smoke"] = args.smoke
+
+    out = args.out
+    if out is None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        out = RESULTS_DIR / "serve.json"
+    out.write_text(json.dumps(payload, indent=2, default=str) + "\n")
+    print(json.dumps(payload, indent=2, default=str))
+
+    failed = False
+    for claim in payload["claims"]:
+        if claim["holds"] is not None:
+            status = "holds" if claim["holds"] else "FAILED"
+            print(
+                f"{claim['claim_id']}: {status} "
+                f"(measured {claim['measured']})",
+                file=sys.stderr,
+            )
+            failed = failed or not claim["holds"]
+    # Both claims gate: bitwise parity is the serving correctness
+    # contract, and >= 2x over one-at-a-time at top concurrency is the
+    # engine's acceptance bar.
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

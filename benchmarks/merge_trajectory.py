@@ -3,7 +3,8 @@
 The CI trajectory job runs the smoke benchmarks that emit machine-
 readable results (``bench_shard.py --transport all --smoke``, the
 pipeline-overlap smoke of ``bench_pipeline.py``, the fused hot-path
-smoke of ``bench_fused.py`` and the failure-injection sweep) and folds
+smoke of ``bench_fused.py``, the serving-load smoke of
+``bench_serve.py`` and the failure-injection sweep) and folds
 their payloads — together with the
 committed history ``BENCH_trajectory.json`` — into one *history* of
 headline data points::
@@ -104,6 +105,27 @@ def _benchmark_entries(payload: dict) -> Iterator[dict[str, Any]]:
                 "metric": "fused_ms",
                 "value": row.get("fused_ms"),
                 "context": {"speedup": row.get("speedup")},
+            }
+    elif name == "serve-load":
+        # The highest-concurrency server row is the configuration the
+        # serving engine exists for; its p95 request latency is the
+        # headline (throughput and speedup ride along as context).
+        rows = [
+            r for r in payload.get("rows") or []
+            if r.get("mode") == "server"
+        ]
+        if rows:
+            row = max(rows, key=lambda r: r.get("concurrency", 0))
+            yield {
+                "experiment": "serve-load",
+                "transport": payload.get("transport", "thread"),
+                "metric": "p95_ms",
+                "value": row.get("p95_ms"),
+                "context": {
+                    "concurrency": row.get("concurrency"),
+                    "throughput_rps": row.get("throughput_rps"),
+                    "speedup": row.get("speedup"),
+                },
             }
     elif name.startswith("failure-injection"):
         for row in payload.get("rows") or []:

@@ -223,6 +223,34 @@ durations and recovery events under one run-ID-stamped snapshot, and
 :func:`repro.observe.compare_phases` joins measured span totals against
 the analytic cost model per phase —
 ``python -m repro.experiments observe-report`` runs the whole loop.
+
+Serving
+-------
+:mod:`repro.serve` turns a fitted model into a persistent serving
+session for concurrent traffic.  A :class:`~repro.serve.ModelServer`
+keeps the centers/weights resident on a shard group (built from a
+fitted :class:`~repro.core.KernelModel`, or borrowed from training via
+:meth:`ShardGroup.serve <repro.shard.ShardGroup.serve>`) and
+micro-batches concurrent ``predict(x)`` requests: a dispatcher tick
+coalesces every in-flight request into one fused ``map_allreduce``
+round-trip and scatters per-request rows back to waiting futures —
+each response bit-identical to a solo
+:func:`~repro.shard.sharded_predict` call::
+
+    from repro.serve import ModelServer
+
+    with ModelServer(model, g=2, transport="thread") as server:
+        future = server.submit(x_batch)        # concurrent-safe
+        y = future.result()                    # == sharded_predict bits
+        server.stats()                         # p50/p95/p99 latencies
+
+Per-request ``serve/{queue,batch,kernel,scatter}`` spans are relayed to
+the submitting caller's tracers (the worker-span discipline), latencies
+land in a run-ID-stamped :class:`~repro.observe.MetricsRegistry`, and
+:func:`repro.device.cluster.serving_latency` prices the request path in
+the analytic cost model — measured under closed-loop load by
+``benchmarks/bench_serve.py`` and reconciled by
+``python -m repro.experiments serve-report``.
 """
 
 from repro._version import __version__
@@ -282,6 +310,7 @@ from repro.core import (
     select_parameters,
     select_q,
 )
+from repro.serve import ModelServer, ServeOptions
 from repro.shard import (
     ProcessTransport,
     RecoveryEvent,
@@ -357,6 +386,9 @@ __all__ = [
     "torchdist_available",
     "available_transports",
     "process_transport_available",
+    # serving
+    "ModelServer",
+    "ServeOptions",
     # core
     "EigenPro2",
     "KernelModel",

@@ -287,6 +287,75 @@ class ArrayBackend(abc.ABC):
         )
         return self.matmul(block, weights, out=out)
 
+    def prepared_fused_matvec(
+        self,
+        z: Any,
+        weights: Any,
+        *,
+        profile: str,
+        scale: float,
+        z_sq_norms: Any,
+        dtype: object,
+    ) -> Any:
+        """Precompile the fused matvec against fixed ``z``/``weights``.
+
+        Returns ``run(x, x_sq_norms, out, block_out)`` evaluating one
+        ``profile(dist²(x, z)) @ weights`` block.  The closure hoists
+        everything :meth:`fused_kernel_matvec` re-derives per call —
+        center transpose, norm casts, profile dispatch, scratch
+        validation — which is what a serving tick that evaluates many
+        small per-request segments against one model pays over and over.
+
+        Contract: the caller passes ``x`` already cast to ``dtype``,
+        ``x_sq_norms`` as :meth:`row_sq_norms` of that cast ``x``, and
+        ``out``/``block_out`` shape/dtype-matched — exactly the state
+        the blocked matvec loop holds.  Under that contract the closure
+        replays the decomposed chain operation for operation, so results
+        are bit-identical to :meth:`fused_kernel_matvec`.  A subclass
+        that overrides the fused entry points (a fusing compiler) is
+        respected: the closure then simply forwards to its
+        :meth:`fused_kernel_matvec`.
+        """
+        if (
+            type(self).fused_kernel_matvec
+            is not ArrayBackend.fused_kernel_matvec
+            or type(self).fused_kernel_block
+            is not ArrayBackend.fused_kernel_block
+        ):
+            def forward(x: Any, x_sq_norms: Any, out: Any, block_out: Any) -> Any:
+                return self.fused_kernel_matvec(
+                    x, z, weights, profile=profile, scale=scale,
+                    out=out, block_out=block_out,
+                    x_sq_norms=x_sq_norms, z_sq_norms=z_sq_norms,
+                    dtype=dtype,
+                )
+
+            return forward
+        if profile not in FUSED_PROFILES:
+            raise ConfigurationError(
+                f"unknown fused kernel profile {profile!r}; known: "
+                + ", ".join(FUSED_PROFILES)
+            )
+        z = self.as_2d(self.asarray(z, dtype=dtype))
+        z_t = z.T
+        z_norms = self.asarray(z_sq_norms, dtype=dtype)
+        z_norms_row = z_norms[None, :]
+        apply_profile = self._apply_profile
+
+        def run(x: Any, x_sq_norms: Any, out: Any, block_out: Any) -> Any:
+            # The sq_euclidean_distances chain with hoisted invariants:
+            # GEMM, scale, broadcast norms, clamp, profile — same ops in
+            # the same order on the same bits.
+            d = self.matmul(x, z_t, out=block_out)
+            d *= -2.0
+            d += x_sq_norms[:, None]
+            d += z_norms_row
+            self.clip_min(d, 0.0, out=d)
+            d = apply_profile(d, profile, scale)
+            return self.matmul(d, weights, out=out)
+
+        return run
+
     # -------------------------------------------------------- meta
     def synchronize(self) -> None:
         """Block until queued device work completes (no-op on CPU)."""

@@ -24,7 +24,12 @@ is what makes the substitution faithful.
 
 from repro.device.spec import DeviceSpec
 from repro.device.simulator import MemoryTracker, SimulatedDevice
-from repro.device.cluster import Interconnect, allreduce_time, multi_gpu
+from repro.device.cluster import (
+    Interconnect,
+    allreduce_time,
+    multi_gpu,
+    serving_latency,
+)
 from repro.device.presets import (
     cpu_sequential,
     ideal_parallel,
@@ -41,6 +46,7 @@ __all__ = [
     "Interconnect",
     "multi_gpu",
     "allreduce_time",
+    "serving_latency",
     "titan_xp",
     "titan_x",
     "tesla_k40",

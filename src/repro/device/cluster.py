@@ -38,6 +38,7 @@ __all__ = [
     "allreduce_time",
     "pipelined_sync_time",
     "recovery_time",
+    "serving_latency",
     "TRANSPORT_INTERCONNECTS",
     "transport_interconnect",
     "link_cost",
@@ -269,6 +270,48 @@ def recovery_time(
     restore = survivors * interconnect.latency_s + float(weight_scalars) / beta
     replay = int(replayed_iterations) * float(iteration_time_s)
     return reshard + restore + replay
+
+
+def serving_latency(
+    interconnect: Interconnect,
+    n_devices: int,
+    *,
+    payload_scalars: float,
+    queue_wait_s: float = 0.0,
+    block_time_s: float = 0.0,
+    fused: bool = True,
+) -> float:
+    """Modelled end-to-end latency of one micro-batched serving request
+    (the :mod:`repro.serve` dispatcher path): time spent waiting for the
+    tick, plus the tick's fused kernel block, plus the collective that
+    combines the per-shard partials.
+
+    Three terms, mirroring the measured ``serve/{queue,kernel}`` spans:
+
+    - **queue wait**: how long the request sat before its dispatcher
+      tick fired (measured ``serve/queue_s``; under closed-loop load
+      roughly half a tick on average);
+    - **block**: the sharded kernel block + GEMM for the whole coalesced
+      batch (shared by every request riding the tick);
+    - **all-reduce**: :func:`allreduce_time` over the tick's
+      ``payload_scalars`` (the coalesced ``B * l`` response block).
+      ``fused=True`` (the ``map_allreduce`` path the server actually
+      runs) shaves one ``interconnect.latency_s`` dispatch, exactly as
+      in :func:`pipelined_sync_time` — fusion removes a round-trip, not
+      bytes.
+    """
+    if queue_wait_s < 0:
+        raise ConfigurationError(
+            f"queue_wait_s must be >= 0, got {queue_wait_s}"
+        )
+    if block_time_s < 0:
+        raise ConfigurationError(
+            f"block_time_s must be >= 0, got {block_time_s}"
+        )
+    sync = allreduce_time(interconnect, n_devices, payload_scalars)
+    if fused and n_devices > 1:
+        sync = max(0.0, sync - interconnect.latency_s)
+    return float(queue_wait_s) + float(block_time_s) + sync
 
 
 def multi_gpu(

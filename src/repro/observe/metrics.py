@@ -34,9 +34,17 @@ __all__ = ["MetricsRegistry"]
 
 
 def _percentile(sorted_values: list[float], q: float) -> float:
-    """Linear-interpolated percentile of an ascending-sorted list."""
+    """Linear-interpolated percentile of an ascending-sorted list.
+
+    Matches ``numpy.percentile(values, 100 * q)`` (the default
+    ``"linear"`` method).  An empty list yields NaN — a summary over no
+    observations is undefined, not an error — and a single sample is its
+    own percentile at every ``q``.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"percentile q must be in [0, 1], got {q!r}")
     if not sorted_values:
-        raise ValueError("empty histogram")
+        return float("nan")
     if len(sorted_values) == 1:
         return sorted_values[0]
     pos = q * (len(sorted_values) - 1)
@@ -51,7 +59,8 @@ class MetricsRegistry:
 
     Counters accumulate (``inc``), gauges hold the last value
     (``set_gauge``), histograms keep every observation (``observe``)
-    and summarize at snapshot time (count/sum/min/max/mean/p50/p95).
+    and summarize at snapshot time
+    (count/sum/min/max/mean/p50/p95/p99).
     """
 
     def __init__(self, run_id: Mapping[str, Any] | None = None) -> None:
@@ -76,6 +85,19 @@ class MetricsRegistry:
         """Append ``value`` to histogram ``name``."""
         with self._lock:
             self._histograms.setdefault(name, []).append(value)
+
+    def observe_many(self, name: str, values: Iterable[float]) -> None:
+        """Append every value to histogram ``name`` under one lock.
+
+        The hot-path form of :meth:`observe` for callers that produce a
+        cohort of observations at once (the serving dispatcher records
+        a whole tick's per-request latencies per scatter): one lock
+        round-trip instead of one per value, same histogram contents.
+        """
+        with self._lock:
+            self._histograms.setdefault(name, []).extend(
+                float(v) for v in values
+            )
 
     # -- ingestion from existing instrumentation ------------------------
     def ingest_op_counts(self, counts: Mapping[str, int] | OpMeter) -> None:
@@ -134,6 +156,7 @@ class MetricsRegistry:
                 "mean": sum(values) / len(values),
                 "p50": _percentile(values, 0.50),
                 "p95": _percentile(values, 0.95),
+                "p99": _percentile(values, 0.99),
             }
         return {
             "run_id": dict(self.run_id),

@@ -156,8 +156,14 @@ _TRACERS = _TracerStack()
 
 
 def active_tracers() -> list[Tracer]:
-    """Return the (possibly empty) stack of currently active tracers."""
-    return _TRACERS.stack
+    """Return the (possibly empty) stack of currently active tracers.
+
+    The returned list is a *copy*: callers that capture it (the serving
+    layer snapshots a request thread's tracers at submit time and relays
+    the dispatcher-side spans to them) hold exactly the scopes that were
+    active at the call, unaffected by scopes entered or exited later.
+    """
+    return list(_TRACERS.stack)
 
 
 def tracing_active() -> bool:
@@ -215,18 +221,26 @@ class span:
     enabled span, and each event records the depth at entry, so
     exporters can reconstruct the phase hierarchy without parent
     pointers.
+
+    Attribution is fixed at *entry*: the set of tracers active when the
+    span opens is the set that receives the event at exit.  A scope that
+    exits while the span is still open keeps its event; a scope entered
+    mid-span (another request's ``trace_scope`` interleaving on the same
+    thread) does not see someone else's interval.
     """
 
-    __slots__ = ("name", "attrs", "_start", "_depth")
+    __slots__ = ("name", "attrs", "_start", "_depth", "_tracers")
 
     def __init__(self, name: str, **attrs: Any) -> None:
         self.name = name
         self.attrs = attrs
         self._start: float | None = None
         self._depth = 0
+        self._tracers: tuple[Tracer, ...] = ()
 
     def __enter__(self) -> "span":
         if _TRACERS.stack:
+            self._tracers = tuple(_TRACERS.stack)
             self._depth = _TRACERS.depth
             _TRACERS.depth += 1
             self._start = time.perf_counter()
@@ -245,8 +259,9 @@ class span:
             depth=self._depth,
             attrs=self.attrs,
         )
-        for tracer in _TRACERS.stack:
+        for tracer in self._tracers:
             tracer.record(event)
+        self._tracers = ()
 
 
 def record_span(

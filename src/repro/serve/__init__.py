@@ -1,0 +1,47 @@
+"""``repro.serve`` — micro-batched prediction serving.
+
+The training stack produces a fitted kernel machine; this package turns
+it into a *persistent serving session* for concurrent traffic.  A
+:class:`ModelServer` keeps the model's centers/weights resident on a
+:class:`~repro.shard.ShardGroup` (built from a fitted
+:class:`~repro.core.model.KernelModel`, or borrowed live from training)
+and answers concurrent ``predict(x)`` requests through a micro-batching
+queue:
+
+- request threads call :meth:`~ModelServer.submit` /
+  :meth:`~ModelServer.predict`; each request gets a future;
+- a dispatcher thread coalesces all in-flight requests into one tick —
+  one fused ``map_allreduce`` round-trip over the group, the engine's
+  sweet spot — and scatters per-request result rows back to the
+  futures;
+- every response is **bit-identical** to what the request would get
+  from a solo :func:`~repro.shard.sharded_predict` call (see
+  :mod:`repro.serve.server` for why the tick evaluates per-request
+  segments rather than one coalesced GEMM);
+- latency is observable end to end: ``serve/{queue,batch,kernel,
+  scatter}`` spans are relayed to each submitting caller's tracers, and
+  the server's :class:`~repro.observe.MetricsRegistry` carries
+  run-ID-stamped ``serve/*`` histograms (p50/p95/p99 in
+  :meth:`~ModelServer.stats`).
+
+The modelled cost of one request is
+:func:`repro.device.cluster.serving_latency` (queue wait + fused block
++ all-reduce); ``benchmarks/bench_serve.py`` measures the real thing
+under closed-loop load, and the ``serve-report`` experiment
+(:mod:`repro.experiments.serve_report`) checks the two against each
+other.
+"""
+
+from repro.serve.server import (
+    SNAPSHOT_EXPORTERS,
+    ModelServer,
+    ServeOptions,
+    register_exporter,
+)
+
+__all__ = [
+    "SNAPSHOT_EXPORTERS",
+    "ModelServer",
+    "ServeOptions",
+    "register_exporter",
+]

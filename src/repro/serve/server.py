@@ -1,0 +1,711 @@
+"""The micro-batched in-process prediction server.
+
+See :mod:`repro.serve` for the architecture overview.  This module holds
+the two public pieces — :class:`ServeOptions` (validated serving knobs)
+and :class:`ModelServer` (the persistent session) — plus the module-level
+serving task every transport ships to its workers.
+
+Bitwise contract
+----------------
+The dispatcher coalesces concurrent requests into one task round-trip
+and one all-reduce per tick, but each request's rows are computed by the
+request's *own* streamed :func:`~repro.kernels.ops.kernel_matvec` call
+inside the worker task (:func:`_serve_batch_task`).  A single coalesced
+``(B, n)`` GEMM would be faster still, yet BLAS does not guarantee that
+a row of a batched product equals the same row computed alone — so it
+could not keep the serving invariant this repo's suite pins: *a batched
+response is bit-identical to the per-request*
+:func:`~repro.shard.sharded_predict` *loop*.  Segment-wise evaluation
+reproduces the per-request arithmetic exactly, and the element-wise
+all-reduce is row-stable, so bitwise parity holds by construction while
+the tick still pays one round-trip + one collective for the whole batch.
+"""
+
+from __future__ import annotations
+
+import logging
+import threading
+import time
+from collections import deque
+from concurrent.futures import Future
+from dataclasses import dataclass
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.backend import get_backend, to_numpy
+from repro.config import DEFAULT_BLOCK_SCALARS
+from repro.exceptions import ConfigurationError, ShardError
+from repro.instrument import OpMeter, meter_scope
+from repro.kernels.base import Kernel
+from repro.kernels.ops import KernelMatvecPlan
+from repro.observe.metrics import MetricsRegistry
+from repro.observe.tracer import (
+    SpanEvent,
+    Tracer,
+    active_tracers,
+    record_span,
+    trace_scope,
+)
+from repro.shard.group import ShardGroup
+
+__all__ = ["ModelServer", "ServeOptions"]
+
+_LOG = logging.getLogger("repro.serve")
+
+
+def _serve_batch_task(
+    worker,
+    kernel: Kernel,
+    x_host: np.ndarray,
+    bounds: tuple[tuple[int, int], ...],
+    max_scalars: int,
+) -> np.ndarray:
+    """Per-shard partial of one serving tick (module-level so every
+    transport — including cross-process ones — can ship it).
+
+    ``bounds`` delimits the per-request row segments of ``x_host``; each
+    segment runs its own streamed matvec with the same block budget a
+    solo :func:`~repro.shard.sharded_predict` would use, so the batched
+    partial is a row-for-row bitwise concatenation of the per-request
+    partials (see the module docstring).  Zero-row segments contribute
+    well-formed ``(0, l)`` blocks.
+
+    The matvec prologue (dtype resolution, model-array casts, fused
+    dispatch) is hoisted into one :class:`~repro.kernels.ops
+    .KernelMatvecPlan` per tick, and the segment loop runs through
+    :meth:`~repro.kernels.ops.KernelMatvecPlan.run_segments`, which
+    amortises the per-segment machinery (norm reductions, allocation,
+    op accounting, concatenation) too: segments are small, so that
+    per-segment python is what separates a coalesced tick from a loop
+    of solo calls.  The per-segment *arithmetic* is untouched — each
+    segment's rows carry the bits a solo call would produce.
+    """
+    plan = KernelMatvecPlan(
+        kernel,
+        worker.centers,
+        worker.weights,
+        max_scalars=max_scalars,
+        z_sq_norms=worker.center_sq_norms,
+        x_like=x_host,
+    )
+    return np.asarray(to_numpy(plan.run_segments(x_host, bounds)))
+
+
+@dataclass(frozen=True)
+class ServeOptions:
+    """Validated micro-batching knobs for a :class:`ModelServer`.
+
+    Attributes
+    ----------
+    max_batch_requests:
+        Most requests one dispatcher tick coalesces.
+    batch_wait_s:
+        Micro-batching window: once a request is waiting, how long the
+        dispatcher keeps listening for more arrivals before launching
+        the tick (it launches early the moment ``max_batch_requests``
+        are queued, and never waits while closing).  ``0`` — the default
+        — is latency-first: a tick launches the instant the dispatcher
+        is free.  Throughput-oriented deployments set a window on the
+        order of the inter-arrival jitter so one tick coalesces a full
+        cohort of concurrent callers instead of whatever fraction had
+        arrived first.  In-flight ticks keep the workers busy while the
+        window runs, so with ``pipeline_depth > 1`` it costs dispatch
+        latency only, not pipeline occupancy.
+    pipeline_depth:
+        Ticks in flight at once.  The default ``2`` double-buffers the
+        serving loop exactly like the training engine: the workers
+        compute tick ``t`` while the dispatcher scatters ``t - 1``'s
+        rows, callers wake, and the queue refills — so worker compute,
+        host scatter and client turnaround overlap instead of
+        serialising.  Each shard's executor runs its tasks FIFO, so
+        in-flight ticks never run concurrently *on a worker* and the
+        per-worker scratch discipline is untouched.  ``1`` restores the
+        strictly serial launch-harvest-launch loop (lowest latency
+        jitter, idle workers during scatter).
+    max_batch_rows:
+        Row budget per tick: a request that would push the batch past it
+        waits for the next tick (a single over-budget request still runs
+        alone — ticks always make progress).
+    max_queue:
+        Backpressure bound: :meth:`ModelServer.submit` raises
+        :class:`~repro.exceptions.ShardError` when this many requests are
+        already waiting, instead of queueing unboundedly.
+    max_scalars:
+        Per-shard streamed-block budget, forwarded to each worker's
+        :func:`~repro.kernels.ops.kernel_matvec` (the same knob
+        :func:`~repro.shard.sharded_predict` takes — it must match for
+        the bitwise contract).
+    max_retries:
+        Bounded retries of a failed tick (engine
+        :class:`~repro.exceptions.ShardError` only) before the whole
+        batch's futures fail.
+    retry_backoff_s:
+        Sleep between retry attempts.
+    drain_timeout_s:
+        How long :meth:`ModelServer.close` waits for the dispatcher to
+        drain in-flight requests.
+    """
+
+    max_batch_requests: int = 64
+    batch_wait_s: float = 0.0
+    pipeline_depth: int = 2
+    max_batch_rows: int = 4096
+    max_queue: int = 4096
+    max_scalars: int = DEFAULT_BLOCK_SCALARS
+    max_retries: int = 1
+    retry_backoff_s: float = 0.05
+    drain_timeout_s: float = 30.0
+
+    def __post_init__(self) -> None:
+        for name in (
+            "max_batch_requests", "max_batch_rows", "max_queue",
+            "max_scalars", "pipeline_depth",
+        ):
+            if int(getattr(self, name)) < 1:
+                raise ConfigurationError(
+                    f"{name} must be >= 1, got {getattr(self, name)!r} "
+                    "(a tick must be able to make progress)"
+                )
+        if int(self.max_retries) < 0:
+            raise ConfigurationError(
+                f"max_retries must be >= 0, got {self.max_retries!r}"
+            )
+        if float(self.retry_backoff_s) < 0:
+            raise ConfigurationError(
+                f"retry_backoff_s must be >= 0, got {self.retry_backoff_s!r}"
+            )
+        if float(self.batch_wait_s) < 0:
+            raise ConfigurationError(
+                f"batch_wait_s must be >= 0, got {self.batch_wait_s!r}"
+            )
+        if float(self.drain_timeout_s) <= 0:
+            raise ConfigurationError(
+                f"drain_timeout_s must be > 0, got {self.drain_timeout_s!r}"
+            )
+
+
+@dataclass
+class _Request:
+    """One queued predict request."""
+
+    x: np.ndarray
+    future: Future
+    tracers: tuple[Tracer, ...]
+    enqueued_s: float
+    squeeze: bool = False
+
+    @property
+    def rows(self) -> int:
+        return int(self.x.shape[0])
+
+
+@dataclass
+class _Inflight:
+    """One launched (not yet harvested) serving tick."""
+
+    batch: list[_Request]
+    bounds: tuple[tuple[int, int], ...]
+    x_host: np.ndarray
+    rows: int
+    dispatch_s: float
+    pending: Any  # PendingReduce, or None if submission failed
+
+
+#: Registry of snapshot exporters: ``name -> fn(snapshot, path)``.
+#: The same extension discipline as the transport registry — filing a
+#: writer here makes it reachable from :meth:`ModelServer.export`.
+SNAPSHOT_EXPORTERS: dict[str, Callable[[dict, Any], None]] = {}
+
+
+def register_exporter(name: str):
+    """Decorator filing a snapshot writer under ``name``."""
+
+    def _register(fn: Callable[[dict, Any], None]):
+        SNAPSHOT_EXPORTERS[name] = fn
+        return fn
+
+    return _register
+
+
+@register_exporter("json")
+def _export_json(snapshot: dict, path: Any) -> None:
+    import json
+    import pathlib
+
+    pathlib.Path(path).write_text(json.dumps(snapshot, indent=2) + "\n")
+
+
+class ModelServer:
+    """A persistent in-process serving session over a shard group.
+
+    Exactly one of ``model`` / ``group``:
+
+    - ``ModelServer(model, g=2, transport="thread")`` shards a fitted
+      :class:`~repro.core.model.KernelModel`'s centers/weights across a
+      fresh group the server *owns* (closed with the server);
+    - ``ModelServer(group=group)`` (or :meth:`ShardGroup.serve
+      <repro.shard.ShardGroup.serve>`) borrows a live, already-loaded
+      group — closing the server drains requests but leaves it open.
+
+    Request lifecycle: :meth:`submit` validates the input, snapshots the
+    caller's active tracers, and enqueues a future; the dispatcher
+    thread coalesces every waiting request (up to the
+    :class:`ServeOptions` budgets) into one tick, runs
+    :func:`_serve_batch_task` through the group's fused
+    ``map_allreduce`` — one task round-trip + one collective per tick —
+    and scatters per-request result rows back to the futures.  Before a
+    future resolves, ``serve/{queue,batch,kernel,scatter}`` spans are
+    relayed to the tracers captured at submit time (the same relay
+    discipline as worker spans), and per-request latencies land in the
+    server's run-ID-stamped :class:`~repro.observe.MetricsRegistry`
+    (``serve/queue_s`` / ``serve/request_s`` histograms — p50/p95/p99 in
+    :meth:`stats`).
+
+    Failure policy: a tick that dies with an engine
+    :class:`~repro.exceptions.ShardError` is retried up to
+    ``options.max_retries`` times with backoff, then the whole batch's
+    futures fail.  :meth:`submit` after :meth:`close` raises
+    :class:`~repro.exceptions.ShardError`; close itself drains the queue
+    (every in-flight future resolves) and is idempotent.
+    """
+
+    def __init__(
+        self,
+        model: Any | None = None,
+        *,
+        group: ShardGroup | None = None,
+        kernel: Kernel | None = None,
+        g: int = 1,
+        transport: str = "thread",
+        backends: Any | None = None,
+        options: ServeOptions | None = None,
+        metrics: MetricsRegistry | None = None,
+        run_id: dict | None = None,
+        **transport_options: Any,
+    ) -> None:
+        if (model is None) == (group is None):
+            raise ConfigurationError(
+                "pass exactly one of model=<fitted KernelModel> or "
+                "group=<live ShardGroup>"
+            )
+        self.options = options if options is not None else ServeOptions()
+        if not isinstance(self.options, ServeOptions):
+            raise ConfigurationError(
+                f"options must be a ServeOptions, got "
+                f"{type(self.options).__name__}"
+            )
+        if group is not None:
+            if group.closed:
+                raise ConfigurationError("group is closed; serve a live one")
+            self.kernel = kernel if kernel is not None else group.kernel
+            if self.kernel is None:
+                raise ConfigurationError(
+                    "no kernel: pass kernel=... or build the group with one"
+                )
+            if any(ex.weights is None for ex in group.executors):
+                raise ConfigurationError("group executors hold no weights")
+            self.group = group
+            self._owns_group = False
+        else:
+            self.kernel = kernel if kernel is not None else model.kernel
+            self.group = ShardGroup.build(
+                np.asarray(to_numpy(model.centers)),
+                np.asarray(to_numpy(model.weights)),
+                g=g,
+                backends=backends,
+                kernel=self.kernel,
+                transport=transport,
+                **transport_options,
+            )
+            self._owns_group = True
+        ex0 = self.group.executors[0]
+        self._d = int(ex0.centers.shape[1])
+        self.metrics = (
+            metrics if metrics is not None else MetricsRegistry(run_id=run_id)
+        )
+        #: Server-owned observability: the dispatcher runs under these,
+        #: so worker-side spans and op deltas of every tick are relayed
+        #: here (per-request spans additionally go to the submitting
+        #: caller's tracers).
+        self.tracer = Tracer()
+        self.meter = OpMeter()
+        self._queue: deque[_Request] = deque()
+        self._cv = threading.Condition()
+        self._closing = False
+        self._closed = False
+        self._run_short = str(self.metrics.run_id.get("id", ""))[:8]
+        self._dispatcher = threading.Thread(
+            target=self._dispatch_loop,
+            name="repro-serve-dispatcher",
+            daemon=True,
+        )
+        self._dispatcher.start()
+        _LOG.info(
+            "serve.open run=%s transport=%s g=%d owns_group=%s "
+            "max_batch_requests=%d max_batch_rows=%d",
+            self._run_short, self.group.transport.name, self.group.g,
+            self._owns_group, self.options.max_batch_requests,
+            self.options.max_batch_rows,
+        )
+
+    # -------------------------------------------------------------- requests
+    def submit(self, x: Any) -> Future:
+        """Enqueue one predict request; returns its future.
+
+        ``x`` is ``(b, d)`` (any ``b >= 0``) or a single sample ``(d,)``
+        (resolved to its one result row).  The future resolves to the
+        same bits the request would get from a solo
+        :func:`~repro.shard.sharded_predict` call on the group.
+        """
+        x_host = np.asarray(to_numpy(x))
+        squeeze = x_host.ndim == 1
+        if squeeze:
+            x_host = x_host[None, :]
+        if x_host.ndim != 2:
+            raise ConfigurationError(
+                f"request must be (b, d) or (d,), got shape {x_host.shape}"
+            )
+        if x_host.shape[1] != self._d:
+            raise ConfigurationError(
+                f"request has {x_host.shape[1]} features, model expects "
+                f"{self._d}"
+            )
+        req = _Request(
+            x=x_host,
+            future=Future(),
+            tracers=tuple(active_tracers()),
+            enqueued_s=time.perf_counter(),
+            squeeze=squeeze,
+        )
+        with self._cv:
+            if self._closing:
+                raise ShardError(
+                    "server is closed and no longer accepts requests"
+                )
+            if len(self._queue) >= self.options.max_queue:
+                raise ShardError(
+                    f"serve queue is full ({self.options.max_queue} "
+                    "requests waiting): back off and retry"
+                )
+            self._queue.append(req)
+            self._cv.notify()
+        return req.future
+
+    def predict(self, x: Any, timeout: float | None = None) -> np.ndarray:
+        """Blocking predict: :meth:`submit` + ``Future.result()``."""
+        return self.submit(x).result(timeout)
+
+    # ------------------------------------------------------------ dispatcher
+    def _pop_batch_locked(self) -> list[_Request]:
+        batch = [self._queue.popleft()]
+        rows = batch[0].rows
+        while (
+            self._queue
+            and len(batch) < self.options.max_batch_requests
+            and rows + self._queue[0].rows <= self.options.max_batch_rows
+        ):
+            req = self._queue.popleft()
+            rows += req.rows
+            batch.append(req)
+        return batch
+
+    def _dispatch_loop(self) -> None:
+        inflight: deque[_Inflight] = deque()
+        depth = self.options.pipeline_depth
+        with meter_scope(self.meter), trace_scope(self.tracer):
+            while True:
+                batch: list[_Request] | None = None
+                with self._cv:
+                    while (
+                        not self._queue
+                        and not inflight
+                        and not self._closing
+                    ):
+                        self._cv.wait()
+                    if not self._queue and not inflight:
+                        return  # closing and drained
+                    if self._queue and len(inflight) < depth:
+                        # Micro-batching window: keep listening for
+                        # arrivals until the cohort is full, the window
+                        # expires, or the server starts closing.  Each
+                        # submit notifies the condition, so a wait only
+                        # wakes on growth or timeout.  In-flight ticks
+                        # keep the workers busy through the wait, so the
+                        # window trades only dispatch latency — never
+                        # pipeline occupancy — for cohort fullness.
+                        wait_s = self.options.batch_wait_s
+                        if (
+                            wait_s > 0.0
+                            and not self._closing
+                            and len(self._queue)
+                            < self.options.max_batch_requests
+                        ):
+                            deadline = time.perf_counter() + wait_s
+                            while (
+                                len(self._queue)
+                                < self.options.max_batch_requests
+                                and not self._closing
+                            ):
+                                remaining = deadline - time.perf_counter()
+                                if (
+                                    remaining <= 0.0
+                                    or not self._cv.wait(remaining)
+                                ):
+                                    break
+                        batch = self._pop_batch_locked()
+                if batch is not None:
+                    inflight.append(self._launch_batch(batch))
+                    if len(inflight) < depth:
+                        # Room for another tick behind this one — only
+                        # harvest once the pipeline is primed or the
+                        # queue runs dry.
+                        continue
+                if inflight:
+                    self._finish_batch(inflight.popleft())
+
+    def _execute(
+        self,
+        x_host: np.ndarray,
+        bounds: tuple[tuple[int, int], ...],
+        attempts: int | None = None,
+    ) -> np.ndarray:
+        attempts = (
+            self.options.max_retries + 1 if attempts is None else attempts
+        )
+        for attempt in range(attempts):
+            try:
+                reduced, _ = self.group.map_allreduce(
+                    _serve_batch_task,
+                    self.kernel,
+                    x_host,
+                    bounds,
+                    self.options.max_scalars,
+                    bk=get_backend(),
+                )
+                return np.asarray(to_numpy(reduced))
+            except ShardError:
+                self.metrics.inc("serve/retries")
+                if attempt + 1 >= attempts:
+                    raise
+                _LOG.warning(
+                    "serve.retry run=%s attempt=%d/%d backoff_s=%.3f",
+                    self._run_short, attempt + 1, self.options.max_retries,
+                    self.options.retry_backoff_s,
+                )
+                time.sleep(self.options.retry_backoff_s)
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def _launch_batch(self, batch: list[_Request]) -> "_Inflight":
+        """Coalesce ``batch`` and submit its fused tick — non-blocking,
+        so the workers compute this tick while the dispatcher scatters
+        the previous one and the queue refills behind it (the serving
+        analogue of the trainer's double-buffered pipeline)."""
+        dispatch_s = time.perf_counter()
+        bounds: list[tuple[int, int]] = []
+        lo = 0
+        for req in batch:
+            bounds.append((lo, lo + req.rows))
+            lo += req.rows
+        x_host = (
+            batch[0].x
+            if len(batch) == 1
+            else np.concatenate([req.x for req in batch], axis=0)
+        )
+        pending = None
+        try:
+            pending = self.group.map_allreduce_async(
+                _serve_batch_task,
+                self.kernel,
+                x_host,
+                tuple(bounds),
+                self.options.max_scalars,
+                bk=get_backend(),
+            )
+        except Exception:
+            # Submission itself failed (e.g. transport torn down under
+            # us): fall through with pending=None — the finish path
+            # takes the bounded-retry road and fails the futures if it
+            # cannot recover.
+            pass
+        return _Inflight(
+            batch=batch, bounds=tuple(bounds), x_host=x_host, rows=lo,
+            dispatch_s=dispatch_s, pending=pending,
+        )
+
+    def _finish_batch(self, inflight: "_Inflight") -> None:
+        batch = inflight.batch
+        bounds = inflight.bounds
+        dispatch_s = inflight.dispatch_s
+        lo = inflight.rows
+        kernel_s = time.perf_counter()
+        try:
+            if inflight.pending is not None:
+                try:
+                    reduced, _ = inflight.pending.result()
+                    out = np.asarray(to_numpy(reduced))
+                except ShardError:
+                    # First (async) attempt failed: bounded synchronous
+                    # retries, same budget as the serial path.
+                    self.metrics.inc("serve/retries")
+                    if self.options.max_retries < 1:
+                        raise
+                    _LOG.warning(
+                        "serve.retry run=%s attempt=1/%d backoff_s=%.3f",
+                        self._run_short, self.options.max_retries,
+                        self.options.retry_backoff_s,
+                    )
+                    time.sleep(self.options.retry_backoff_s)
+                    out = self._execute(
+                        inflight.x_host, bounds,
+                        attempts=self.options.max_retries,
+                    )
+            else:
+                out = self._execute(inflight.x_host, bounds)
+        except Exception as exc:
+            _LOG.error(
+                "serve.batch_failed run=%s requests=%d rows=%d error=%s",
+                self._run_short, len(batch), lo, exc,
+            )
+            self.metrics.inc("serve/failed_requests", len(batch))
+            for req in batch:
+                req.future.set_exception(exc)
+            return
+        done_s = time.perf_counter()
+        # Tick-level accounting on the server's own tracer/metrics.
+        record_span(
+            "serve/kernel", kernel_s, done_s - kernel_s,
+            requests=len(batch), rows=lo,
+        )
+        self.metrics.inc("serve/batches")
+        self.metrics.observe("serve/batch_rows", float(lo))
+        self.metrics.observe("serve/batch_requests", float(len(batch)))
+        self.metrics.observe("serve/kernel_s", done_s - kernel_s)
+        thread_name = threading.current_thread().name
+        queue_obs: list[float] = []
+        request_obs: list[float] = []
+        for req, (seg_lo, seg_hi) in zip(batch, bounds):
+            rows = out[seg_lo:seg_hi]
+            result = (
+                np.asarray(rows[0]).copy() if req.squeeze else rows.copy()
+            )
+            scatter_s = time.perf_counter()
+            # Relay the request's serving spans to the tracers captured
+            # at submit time — the worker-span relay discipline, applied
+            # per request — *before* resolving the future, so a caller
+            # that awaits the result sees its trace complete.
+            if req.tracers:
+                events = [
+                    SpanEvent(
+                        "serve/queue", req.enqueued_s,
+                        dispatch_s - req.enqueued_s,
+                        thread=thread_name, attrs={"rows": req.rows},
+                    ),
+                    SpanEvent(
+                        "serve/batch", dispatch_s, kernel_s - dispatch_s,
+                        thread=thread_name,
+                        attrs={"requests": len(batch), "rows": lo},
+                    ),
+                    SpanEvent(
+                        "serve/kernel", kernel_s, done_s - kernel_s,
+                        thread=thread_name,
+                        attrs={"requests": len(batch), "rows": lo},
+                    ),
+                    SpanEvent(
+                        "serve/scatter", done_s, scatter_s - done_s,
+                        thread=thread_name, attrs={"rows": req.rows},
+                    ),
+                ]
+                for tracer in req.tracers:
+                    tracer.record_many(events)
+            queue_obs.append(dispatch_s - req.enqueued_s)
+            request_obs.append(scatter_s - req.enqueued_s)
+            req.future.set_result(result)
+        # One registry round-trip per tick, not per request: the scatter
+        # loop runs with callers actively waking up, so its lock traffic
+        # is on the latency path.
+        self.metrics.observe_many("serve/queue_s", queue_obs)
+        self.metrics.observe_many("serve/request_s", request_obs)
+        self.metrics.inc("serve/requests", len(batch))
+        self.metrics.inc("serve/rows", lo)
+
+    # -------------------------------------------------------------- teardown
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self, drain: bool = True) -> None:
+        """Stop accepting requests and shut the dispatcher down.
+
+        With ``drain=True`` (default) every queued request is still
+        served — all in-flight futures resolve before the dispatcher
+        exits.  With ``drain=False`` queued requests fail immediately
+        with :class:`~repro.exceptions.ShardError`.  A group the server
+        built (``model=...``) is closed with it; a borrowed group
+        (``group=...``) is left open.  Idempotent.
+        """
+        with self._cv:
+            first = not self._closing
+            self._closing = True
+            dropped = (
+                list(self._queue) if first and not drain else []
+            )
+            if dropped:
+                self._queue.clear()
+            self._cv.notify_all()
+        for req in dropped:
+            req.future.set_exception(
+                ShardError("server closed before the request was dispatched")
+            )
+        self._dispatcher.join(self.options.drain_timeout_s)
+        if self._dispatcher.is_alive():  # pragma: no cover - wedged engine
+            _LOG.warning(
+                "serve.drain_timeout run=%s after %.1fs",
+                self._run_short, self.options.drain_timeout_s,
+            )
+        owned_close = False
+        with self._cv:
+            if not self._closed:
+                self._closed = True
+                owned_close = self._owns_group
+        if owned_close:
+            self.group.close()
+        if first:
+            counters = self.metrics.snapshot()["counters"]
+            _LOG.info(
+                "serve.close run=%s requests=%d batches=%d dropped=%d",
+                self._run_short,
+                int(counters.get("serve/requests", 0)),
+                int(counters.get("serve/batches", 0)),
+                len(dropped),
+            )
+
+    def __enter__(self) -> "ModelServer":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------ inspection
+    def stats(self) -> dict[str, Any]:
+        """Run-ID-stamped metrics snapshot (latency histograms carry
+        p50/p95/p99; see :class:`~repro.observe.MetricsRegistry`)."""
+        return self.metrics.snapshot()
+
+    def export(self, path: Any, fmt: str = "json") -> None:
+        """Write :meth:`stats` through a registered snapshot exporter."""
+        exporter = SNAPSHOT_EXPORTERS.get(fmt)
+        if exporter is None:
+            raise ConfigurationError(
+                f"unknown exporter {fmt!r}: register one of "
+                f"{sorted(SNAPSHOT_EXPORTERS)} or file a new writer with "
+                "repro.serve.register_exporter"
+            )
+        exporter(self.stats(), path)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "closed" if self._closed else "open"
+        return (
+            f"<ModelServer {state} transport={self.group.transport.name} "
+            f"g={self.group.g} run={self._run_short}>"
+        )

@@ -130,6 +130,25 @@ byte-identical to the untraced build and RPC/op counts are unchanged
 ``mirror`` span is transport-conditional — NumPy thread shards adopt
 zero-copy weight views, so nothing is mirrored and no span is emitted.
 
+Serving
+-------
+A live group doubles as the compute fabric of the micro-batched
+prediction server: ``group.serve()`` (or
+``repro.serve.ModelServer(group=group)``) starts a persistent session
+whose dispatcher coalesces concurrent :meth:`~repro.serve.ModelServer
+.submit` calls into one fused ``map_allreduce`` tick — one task
+round-trip plus one collective for the whole batch — and scatters
+per-request rows back to the callers' futures, each bitwise-equal to a
+solo :func:`~repro.shard.ops.sharded_predict` call.  The server
+*borrows* the group: closing the server drains in-flight requests but
+leaves the group open for training or another session.  Lifecycle is a
+transport contract: :meth:`~repro.shard.group.ShardGroup.close` is
+idempotent, groups are context managers, and any submission — task,
+weight gather or mirror — after close raises a clean
+:class:`~repro.exceptions.ShardError` on every transport (the
+conformance suite pins this), so a serving session can never wedge on
+a torn-down fabric.
+
 Example
 -------
 >>> import numpy as np

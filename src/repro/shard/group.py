@@ -58,6 +58,19 @@ result` relays both to the calling thread.  Tracing is opt-in and
 ambient: with no active tracer the transports send byte-identical
 messages and record nothing, so the conformance suite's RPC and
 op-count pins hold unchanged.
+
+Serving
+-------
+A fitted group is also a serving session: its centers/weights stay
+resident on the shards, so answering a predict request is one fused
+``map_allreduce`` away.  :meth:`ShardGroup.serve` wraps the group in a
+:class:`repro.serve.ModelServer` — a persistent micro-batching front
+end that coalesces concurrent ``predict(x)`` requests into one
+dispatcher tick per round-trip and scatters per-request rows back to
+waiting futures.  Lifecycle under serving is strict: :meth:`close` is
+idempotent (double-close is a no-op) and any submission after close
+raises a clean :class:`~repro.exceptions.ShardError` on every
+transport — the server relies on this to drain gracefully.
 """
 
 from __future__ import annotations
@@ -186,8 +199,31 @@ class ShardGroup:
         self.close()
 
     def close(self) -> None:
-        """Join every worker and release transport resources."""
+        """Join every worker and release transport resources.
+
+        Idempotent: a second close is a no-op.  Afterwards any
+        submission raises :class:`~repro.exceptions.ShardError` (see
+        :meth:`repro.shard.transport.ShardTransport._require_serving`).
+        """
         self.transport.close()
+
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` has run (closing is irreversible)."""
+        return self.transport.closed
+
+    # -------------------------------------------------------------- serving
+    def serve(self, **server_kwargs: Any) -> Any:
+        """Open a :class:`repro.serve.ModelServer` over this (fitted)
+        group: a persistent micro-batching predict front end.
+
+        The group is *borrowed*: closing the server drains in-flight
+        requests but leaves this group open.  Keyword arguments are
+        forwarded to the server (``options=``, ``metrics=``, ...).
+        """
+        from repro.serve import ModelServer
+
+        return ModelServer(group=self, **server_kwargs)
 
     def reset_workspaces(self) -> None:
         """Drop pooled scratch buffers on every shard's worker (keeps the

@@ -31,7 +31,7 @@ import numpy as np
 
 from repro.backend import get_backend, to_numpy
 from repro.config import DEFAULT_BLOCK_SCALARS
-from repro.exceptions import ConfigurationError
+from repro.exceptions import ConfigurationError, ShardError
 from repro.kernels.base import Kernel
 from repro.kernels.ops import kernel_matvec
 from repro.shard.group import ShardGroup
@@ -78,6 +78,10 @@ def sharded_kernel_matvec(
     Array of shape ``(n_x,)`` or ``(n_x, l)`` matching the shard weights,
     native to the *caller's* active backend.
     """
+    if group.closed:
+        raise ShardError(
+            "shard group is closed and can no longer serve predictions"
+        )
     if any(ex.weights is None for ex in group.executors):
         raise ConfigurationError("group executors hold no weights")
     x_host = np.asarray(to_numpy(x))

@@ -58,7 +58,7 @@ from repro.backend import (
     use_precision,
 )
 from repro.config import Precision, accumulate_dtype, mixed_precision_active
-from repro.exceptions import ConfigurationError
+from repro.exceptions import ConfigurationError, ShardError
 from repro.instrument import OpMeter, meter_scope, record_ops, relay_op_counts
 from repro.kernels.ops import block_workspace
 from repro.observe.tracer import Tracer, relay_spans, span, trace_scope
@@ -442,6 +442,10 @@ class ShardTransport(abc.ABC):
     #: ``weights`` (host-visible or None), ``weights_is_view`` and
     #: ``submit``/``submit_metered``.
     executors: list
+    #: Latched by :meth:`close`.  Submitting work after close is an
+    #: engine-lifecycle failure (:class:`~repro.exceptions.ShardError`),
+    #: never a hang or a write into an unlinked shared-memory segment.
+    _closed: bool = False
 
     @property
     def g(self) -> int:
@@ -484,9 +488,30 @@ class ShardTransport(abc.ABC):
         return None
 
     # ------------------------------------------------------------ execution
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` has run (closing is irreversible)."""
+        return self._closed
+
+    def _require_serving(self) -> None:
+        """Raise a clean :class:`~repro.exceptions.ShardError` when this
+        transport has been closed.
+
+        Every task-queuing entry point calls this first, so
+        submit-after-close fails identically on every transport — instead
+        of an ``AttributeError`` from a dropped pool, a hang on a dead
+        pipe, or a write into an unlinked shared-memory segment.
+        """
+        if self._closed:
+            raise ShardError(
+                f"{self.name} transport is closed: the shard group has "
+                "been shut down and can no longer serve tasks"
+            )
+
     def submit(self, shard_id: int, fn: Callable[..., Any], *args: Any, **kwargs: Any) -> Future:
         """Queue ``fn(worker, *args, **kwargs)`` on one shard's worker;
         the future resolves to the task's result."""
+        self._require_serving()
         with span("submit", transport=self.name, to_shard=shard_id):
             return self.executors[shard_id].submit(fn, *args, **kwargs)
 
@@ -494,6 +519,7 @@ class ShardTransport(abc.ABC):
         """Queue ``fn(worker, *args, **kwargs)`` on every shard *without
         barriering*; returns a :class:`PendingMap` to be awaited when
         (and where) the values are consumed."""
+        self._require_serving()
         return PendingMap(
             [ex.submit_metered(fn, *args, **kwargs) for ex in self.executors]
         )
@@ -617,6 +643,7 @@ class ShardTransport(abc.ABC):
 
     def gather_weights(self) -> np.ndarray:
         """Concatenate all shard weight rows back into one host array."""
+        self._require_serving()
         with span("gather", transport=self.name, g=self.g):
             parts = []
             for ex in self.executors:
@@ -678,7 +705,11 @@ class ShardTransport(abc.ABC):
     @abc.abstractmethod
     def close(self) -> None:
         """Join/terminate every worker and release transport resources;
-        idempotent, and must succeed even after worker failures."""
+        idempotent (a second ``close()`` is a no-op), and must succeed
+        even after worker failures.  Implementations latch
+        ``self._closed = True`` so any later submission raises a clean
+        :class:`~repro.exceptions.ShardError` (see
+        :meth:`_require_serving`)."""
 
     def __enter__(self) -> "ShardTransport":
         return self

@@ -333,8 +333,9 @@ class ProcessShardExecutor:
     # ------------------------------------------------------------ execution
     def _require_open(self) -> ThreadPoolExecutor:
         if self._pool is None:
-            raise ConfigurationError(
-                f"shard {self.shard_id} executor is closed"
+            raise ShardError(
+                f"shard {self.shard_id} executor is closed and can no "
+                "longer serve tasks"
             )
         return self._pool
 
@@ -649,6 +650,7 @@ class ProcessTransport(ShardTransport):
         queue's send/recv gives the cross-process ordering edge; tasks
         already in flight are block formations, which never read weights.
         """
+        self._require_serving()
         if self._weights_view is None:
             raise ConfigurationError("transport holds no weights")
         idx = np.asarray(global_idx)
@@ -656,12 +658,14 @@ class ProcessTransport(ShardTransport):
             self._weights_view[idx] = rows
 
     def gather_weights(self) -> np.ndarray:
+        self._require_serving()
         if self._weights_view is None:
             raise ConfigurationError("transport holds no weights")
         with span("gather", transport=self.name, g=self.g):
             return self._weights_view.copy()
 
     def set_weights(self, weights: np.ndarray) -> None:
+        self._require_serving()
         if self._weights_view is None:
             raise ConfigurationError("transport holds no weights")
         weights_np = np.asarray(weights)
@@ -682,6 +686,9 @@ class ProcessTransport(ShardTransport):
 
     # ------------------------------------------------------------ lifecycle
     def close(self) -> None:
+        # Latch first: a racing submit must get a clean ShardError, never
+        # a direct write into a segment about to be unlinked.
+        self._closed = True
         executors = list(getattr(self, "executors", []))
         if len(executors) > 1:
             # Fan the shutdown/join out across executors: each close can

@@ -27,7 +27,7 @@ from repro.backend import (
     resolve_backend,
     to_numpy,
 )
-from repro.exceptions import ConfigurationError
+from repro.exceptions import ConfigurationError, ShardError
 from repro.observe.tracer import tracing_active
 from repro.shard.plan import ShardPlan
 from repro.shard.transport.base import ShardTransport, ShardWorker
@@ -62,8 +62,9 @@ class ShardExecutor(ShardWorker):
     # ------------------------------------------------------------ execution
     def _require_open(self) -> ThreadPoolExecutor:
         if self._pool is None:
-            raise ConfigurationError(
-                f"shard {self.shard_id} executor is closed"
+            raise ShardError(
+                f"shard {self.shard_id} executor is closed and can no "
+                "longer serve tasks"
             )
         return self._pool
 
@@ -166,6 +167,7 @@ class ThreadTransport(ShardTransport):
 
     # -------------------------------------------------------------- weights
     def set_weights(self, weights: np.ndarray) -> None:
+        self._require_serving()
         weights_np = np.asarray(weights)
         if weights_np.shape[0] != self.plan.n:
             raise ConfigurationError(
@@ -189,5 +191,6 @@ class ThreadTransport(ShardTransport):
 
     # ------------------------------------------------------------ lifecycle
     def close(self) -> None:
+        self._closed = True
         for ex in self.executors:
             ex.close()

@@ -185,6 +185,12 @@ def _dist_allreduce_task(worker: ShardWorker, partial: np.ndarray) -> np.ndarray
         acc = np.result_type(arr.dtype, accumulate_dtype())
         if arr.dtype != acc:
             arr = arr.astype(acc)
+    if arr.size == 0:
+        # Zero-row batch (an empty serving tick): every rank's partial is
+        # empty, so the reduction is the empty array itself.  Skip the
+        # fabric collective — backends need not support zero-element
+        # tensors, and there are no bytes to move.
+        return arr if dist.get_rank() == 0 else None
     device = getattr(worker.backend, "device", None)
     if device is not None and _spec_wants_cuda(str(device)):
         tensor = torch.as_tensor(arr, device=device)

@@ -344,7 +344,7 @@ class TestProcessTransportFailure:
         group.close()
         group.close()
         _assert_segments_unlinked(names)
-        with pytest.raises(ConfigurationError, match="closed"):
+        with pytest.raises(ShardError, match="closed"):
             group.transport.submit(0, _noop_task)
 
     def test_rejected_config_leaves_no_segments(self):

@@ -1,0 +1,174 @@
+"""Tests for :class:`repro.kernels.ops.KernelMatvecPlan`.
+
+The plan hoists the per-call :func:`~repro.kernels.ops.kernel_matvec`
+prologue; its contract is *bitwise* equality with a fresh call for any
+input whose dtype matches the exemplar, and correct (fallback) results
+otherwise.  :meth:`~repro.kernels.ops.KernelMatvecPlan.run_segments`
+additionally promises that each segment's output rows are bitwise-equal
+to evaluating that segment alone — the invariant the serving engine's
+batched-vs-solo parity rests on.
+"""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.instrument import OpMeter, meter_scope
+from repro.kernels import CauchyKernel, GaussianKernel, LaplacianKernel
+from repro.kernels.ops import KernelMatvecPlan, kernel_matvec
+
+KERNELS = [
+    GaussianKernel(bandwidth=2.0),
+    LaplacianKernel(bandwidth=3.0),
+    CauchyKernel(bandwidth=2.5),  # no fused spec: generic block loop
+]
+
+
+@pytest.fixture(scope="module")
+def arrays():
+    rng = np.random.default_rng(42)
+    z = rng.standard_normal((151, 6))
+    w2 = rng.standard_normal((151, 3))
+    x = rng.standard_normal((40, 6))
+    return z, w2, x
+
+
+@pytest.mark.parametrize("kernel", KERNELS, ids=lambda k: type(k).__name__)
+@pytest.mark.parametrize("dtype", [np.float64, np.float32])
+@pytest.mark.parametrize("weights_1d", [False, True])
+def test_plan_matches_kernel_matvec(arrays, kernel, dtype, weights_1d):
+    z, w2, x = arrays
+    z, x = z.astype(dtype), x.astype(dtype)
+    w = (w2[:, 0] if weights_1d else w2).astype(dtype)
+    plan = KernelMatvecPlan(kernel, z, w, x_like=x)
+    want = kernel_matvec(kernel, x, z, w)
+    got = plan(x)
+    assert got.dtype == want.dtype
+    assert got.shape == want.shape
+    np.testing.assert_array_equal(got, want)
+
+
+def test_plan_matches_multiblock(arrays):
+    """Tight block budget (several blocks per call) keeps parity."""
+    z, w2, x = arrays
+    budget = z.shape[0] * 4
+    plan = KernelMatvecPlan(
+        GaussianKernel(bandwidth=2.0), z, w2, max_scalars=budget, x_like=x
+    )
+    want = kernel_matvec(GaussianKernel(bandwidth=2.0), x, z, w2,
+                         max_scalars=budget)
+    np.testing.assert_array_equal(plan(x), want)
+
+
+def test_plan_dtype_mismatch_falls_back(arrays):
+    """A call whose dtype differs from the exemplar takes the fresh
+    kernel_matvec path — correct result, original dtype semantics."""
+    z, w2, x = arrays
+    kernel = GaussianKernel(bandwidth=2.0)
+    plan = KernelMatvecPlan(kernel, z, w2, x_like=x)  # f64 exemplar
+    x32 = x.astype(np.float32)
+    want = kernel_matvec(kernel, x32, z, w2)
+    got = plan(x32)
+    assert got.dtype == want.dtype
+    np.testing.assert_array_equal(got, want)
+
+
+def test_plan_weight_rows_mismatch_raises(arrays):
+    z, w2, x = arrays
+    with pytest.raises(ConfigurationError, match="rows"):
+        KernelMatvecPlan(GaussianKernel(bandwidth=2.0), z, w2[:-1], x_like=x)
+
+
+def test_kernel_matvec_delegates_to_plan(arrays):
+    """The one-shot function and a throwaway plan are the same path —
+    they cannot drift."""
+    z, w2, x = arrays
+    kernel = LaplacianKernel(bandwidth=3.0)
+    np.testing.assert_array_equal(
+        kernel_matvec(kernel, x, z, w2),
+        KernelMatvecPlan(kernel, z, w2, x_like=x)(x),
+    )
+
+
+# --------------------------------------------------------------------------
+# run_segments
+# --------------------------------------------------------------------------
+
+
+def _bounds_for(rows: list[int]) -> tuple[tuple[int, int], ...]:
+    bounds, lo = [], 0
+    for r in rows:
+        bounds.append((lo, lo + r))
+        lo += r
+    return tuple(bounds)
+
+
+@pytest.mark.parametrize("kernel", KERNELS, ids=lambda k: type(k).__name__)
+@pytest.mark.parametrize("weights_1d", [False, True])
+def test_run_segments_bitwise_per_segment(arrays, kernel, weights_1d):
+    """Each segment's rows == evaluating that segment alone (incl. the
+    generic no-fused-spec path and zero-length segments)."""
+    z, w2, x = arrays
+    w = w2[:, 0] if weights_1d else w2
+    plan = KernelMatvecPlan(kernel, z, w, x_like=x)
+    bounds = _bounds_for([3, 0, 11, 1, 0, 25])
+    assert bounds[-1][1] == x.shape[0]
+    out = plan.run_segments(x, bounds)
+    solo = KernelMatvecPlan(kernel, z, w, x_like=x)
+    for lo, hi in bounds:
+        np.testing.assert_array_equal(out[lo:hi], solo(x[lo:hi]))
+    # A single full-range segment is exactly the bulk call.
+    np.testing.assert_array_equal(
+        plan.run_segments(x, ((0, x.shape[0]),)), plan(x)
+    )
+
+
+def test_run_segments_multiblock_segment(arrays):
+    """A segment larger than one block budget streams internally and
+    still matches its solo evaluation."""
+    z, w2, x = arrays
+    kernel = GaussianKernel(bandwidth=2.0)
+    budget = z.shape[0] * 4  # ~4 rows per block, segments span blocks
+    plan = KernelMatvecPlan(kernel, z, w2, max_scalars=budget, x_like=x)
+    bounds = _bounds_for([17, 23])
+    out = plan.run_segments(x, bounds)
+    solo = KernelMatvecPlan(kernel, z, w2, max_scalars=budget, x_like=x)
+    for lo, hi in bounds:
+        np.testing.assert_array_equal(out[lo:hi], solo(x[lo:hi]))
+
+
+def test_run_segments_empty_bounds(arrays):
+    z, w2, x = arrays
+    plan = KernelMatvecPlan(GaussianKernel(bandwidth=2.0), z, w2, x_like=x)
+    out = plan.run_segments(x[:0], ())
+    assert out.shape == (0, w2.shape[1])
+
+
+def test_run_segments_dtype_mismatch_fallback(arrays):
+    """The generic fallback (exemplar mismatch) assigns per-segment
+    solo results — still bitwise per segment."""
+    z, w2, x = arrays
+    kernel = GaussianKernel(bandwidth=2.0)
+    plan = KernelMatvecPlan(kernel, z, w2, x_like=x)  # f64 exemplar
+    x32 = x.astype(np.float32)
+    bounds = _bounds_for([8, 0, 32])
+    out = plan.run_segments(x32, bounds)
+    for lo, hi in bounds:
+        np.testing.assert_array_equal(
+            out[lo:hi], kernel_matvec(kernel, x32[lo:hi], z, w2)
+        )
+
+
+def test_run_segments_op_counts_match_bulk(arrays):
+    """Segmented evaluation records the same shape-derived op counts as
+    one bulk call — accounting is amortised, not lost."""
+    z, w2, x = arrays
+    kernel = GaussianKernel(bandwidth=2.0)
+    plan = KernelMatvecPlan(kernel, z, w2, x_like=x)
+    bulk_meter, seg_meter = OpMeter(), OpMeter()
+    with meter_scope(bulk_meter):
+        plan(x)
+    with meter_scope(seg_meter):
+        plan.run_segments(x, _bounds_for([10, 0, 30]))
+    assert bulk_meter.as_dict() == seg_meter.as_dict()
+    assert bulk_meter.as_dict().get("kernel_eval", 0) > 0

@@ -462,3 +462,117 @@ class TestComparePhases:
         assert phases["mirror"]["modelled_s"] is None
         rendered = render_comparison(report)
         assert "form_block" in rendered and "TOTAL" in rendered
+
+
+class TestPercentiles:
+    """The percentile path production latency reporting reads."""
+
+    def test_p99_in_snapshot(self):
+        registry = MetricsRegistry()
+        for v in range(1, 101):
+            registry.observe("lat", float(v))
+        h = registry.snapshot()["histograms"]["lat"]
+        assert h["p99"] == pytest.approx(
+            float(np.percentile(np.arange(1.0, 101.0), 99))
+        )
+
+    @pytest.mark.parametrize("q", [0.0, 0.25, 0.5, 0.9, 0.95, 0.99, 1.0])
+    @pytest.mark.parametrize("n", [1, 2, 3, 7, 100])
+    def test_percentile_matches_numpy(self, q, n):
+        from repro.observe.metrics import _percentile
+
+        rng = np.random.default_rng(n)
+        values = sorted(rng.standard_normal(n).tolist())
+        assert _percentile(values, q) == pytest.approx(
+            float(np.percentile(np.asarray(values), 100 * q)), abs=1e-12
+        )
+
+    def test_percentile_empty_is_nan(self):
+        from repro.observe.metrics import _percentile
+
+        assert np.isnan(_percentile([], 0.5))
+
+    def test_percentile_single_sample(self):
+        from repro.observe.metrics import _percentile
+
+        for q in (0.0, 0.5, 0.99, 1.0):
+            assert _percentile([7.25], q) == 7.25
+
+    @pytest.mark.parametrize("q", [-0.01, 1.01, 99.0])
+    def test_percentile_rejects_out_of_range(self, q):
+        from repro.observe.metrics import _percentile
+
+        with pytest.raises(ValueError):
+            _percentile([1.0, 2.0], q)
+
+    def test_observe_many_equals_repeated_observe(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        values = [0.5, 0.1, 0.9, 0.3]
+        for v in values:
+            a.observe("h", v)
+        b.observe_many("h", values)
+        assert a.snapshot()["histograms"] == b.snapshot()["histograms"]
+
+
+class TestSpanEntryAttribution:
+    """Spans resolve their audience at *entry*: the tracers active when
+    the span opened receive its event, however the stack has changed by
+    the time it closes — the fix for cross-thread span leaks between
+    concurrent callers sharing an engine."""
+
+    def test_tracer_exited_before_span_close_still_records(self):
+        from repro.observe.tracer import active_tracers
+
+        tracer = Tracer()
+        scope = trace_scope(tracer)
+        scope.__enter__()
+        s = span("work")
+        s.__enter__()
+        scope.__exit__(None, None, None)  # caller's scope gone mid-span
+        s.__exit__(None, None, None)
+        assert tracer.counts() == {"work": 1}
+
+    def test_tracer_entered_mid_span_does_not_record(self):
+        late = Tracer()
+        s = span("work")
+        s.__enter__()
+        with trace_scope(late):
+            s.__exit__(None, None, None)
+        assert len(late) == 0
+
+    def test_active_tracers_returns_copy(self):
+        from repro.observe.tracer import active_tracers
+
+        tracer = Tracer()
+        with trace_scope(tracer):
+            stack = active_tracers()
+            stack.clear()  # mutating the copy must not detach the tracer
+            with span("work"):
+                pass
+        assert tracer.counts() == {"work": 1}
+
+    def test_concurrent_callers_get_exact_counts(self):
+        """Thread-stress: each thread's tracer sees exactly its own
+        spans even though all threads interleave on shared code."""
+        n_threads, per_thread = 6, 50
+        tracers = [Tracer() for _ in range(n_threads)]
+        start = threading.Barrier(n_threads)
+
+        def work(i: int) -> None:
+            with trace_scope(tracers[i]):
+                start.wait()
+                for _ in range(per_thread):
+                    with span("tick", who=i):
+                        pass
+
+        threads = [
+            threading.Thread(target=work, args=(i,))
+            for i in range(n_threads)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        for i, tracer in enumerate(tracers):
+            assert tracer.counts() == {"tick": per_thread}
+            assert all(e.attrs["who"] == i for e in tracer.events)

@@ -23,7 +23,7 @@ import pytest
 from repro.baselines.ridge import solve_ridge
 from repro.core.eigenpro2 import EigenPro2
 from repro.device.presets import titan_xp
-from repro.exceptions import ConfigurationError
+from repro.exceptions import ConfigurationError, ShardError
 from repro.instrument import meter_scope
 from repro.kernels import GaussianKernel, LaplacianKernel, PolynomialKernel
 from repro.kernels.ops import kernel_matvec
@@ -334,7 +334,7 @@ class TestShardedEigenPro2:
             )
             assert trainer.shard_group_ is not first
             assert trainer.shard_group_.plan.n == 100
-            with pytest.raises(ConfigurationError):
+            with pytest.raises(ShardError):
                 first.executors[0].submit(lambda ex: None)
         finally:
             trainer.close()

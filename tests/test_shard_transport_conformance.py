@@ -651,3 +651,103 @@ class TestPendingMapPartialFailure:
             assert pending.result() == ["a", "b"]
             assert pending.result() == ["a", "b"]
         assert meter.total("gemm") == 5  # relayed exactly once
+
+
+class TestLifecycleUnderServing:
+    """The serving layer's lifecycle contract, pinned per transport:
+    ``close()`` is idempotent, and *any* submission after close raises a
+    clean :class:`~repro.exceptions.ShardError` — never a hang, an
+    ``AttributeError`` from a dropped pool, or a write into an unlinked
+    shared-memory segment."""
+
+    @transports
+    def test_double_close_is_noop(self, problem, transport):
+        centers, weights, _ = problem
+        group = ShardGroup.build(
+            centers, weights, g=2,
+            kernel=GaussianKernel(bandwidth=2.0), transport=transport,
+        )
+        assert not group.closed
+        group.close()
+        assert group.closed
+        group.close()  # must not raise, hang, or double-release
+        assert group.closed
+
+    @transports
+    def test_context_manager_closes(self, problem, transport):
+        centers, weights, x = problem
+        kernel = GaussianKernel(bandwidth=2.0)
+        with ShardGroup.build(
+            centers, weights, g=2, kernel=kernel, transport=transport
+        ) as group:
+            sharded_predict(group, x[:4])
+            assert not group.closed
+        assert group.closed
+
+    @transports
+    def test_submit_after_close_raises_shard_error(self, problem, transport):
+        from repro.exceptions import ShardError
+
+        centers, weights, x = problem
+        kernel = GaussianKernel(bandwidth=2.0)
+        group = ShardGroup.build(
+            centers, weights, g=2, kernel=kernel, transport=transport
+        )
+        group.close()
+        with pytest.raises(ShardError, match="closed"):
+            sharded_predict(group, x[:4])
+        with pytest.raises(ShardError, match="closed"):
+            group.map_async(_read_weight_rows_task, np.array([0]))
+
+    @transports
+    def test_weight_access_after_close_raises_shard_error(
+        self, problem, transport
+    ):
+        from repro.exceptions import ShardError
+
+        centers, weights, _ = problem
+        group = ShardGroup.build(
+            centers, weights, g=2,
+            kernel=GaussianKernel(bandwidth=2.0), transport=transport,
+        )
+        group.close()
+        with pytest.raises(ShardError, match="closed"):
+            group.gather_weights()
+
+
+class TestZeroRowBatches:
+    """b = 0 shape contract: an empty dispatcher tick (or any empty
+    evaluation batch) yields a well-formed ``(0, l)`` result on every
+    transport, bitwise-consistent with the unsharded path."""
+
+    @shard_counts
+    @transports
+    def test_sharded_predict_zero_rows(self, problem, g, transport):
+        from repro.kernels.ops import kernel_matvec
+
+        centers, weights, _ = problem
+        kernel = GaussianKernel(bandwidth=2.0)
+        x0 = np.empty((0, centers.shape[1]))
+        ref = np.asarray(kernel_matvec(kernel, x0, centers, weights))
+        with ShardGroup.build(
+            centers, weights, g=g, kernel=kernel, transport=transport
+        ) as group:
+            got = np.asarray(sharded_predict(group, x0))
+            mv = np.asarray(sharded_kernel_matvec(kernel, x0, group))
+        assert got.shape == (0, weights.shape[1])
+        assert mv.shape == (0, weights.shape[1])
+        assert got.dtype == ref.dtype
+        np.testing.assert_array_equal(got, ref)
+
+    @shard_counts
+    @transports
+    def test_zero_rows_1d_weights(self, problem, g, transport):
+        centers, _, _ = problem
+        weights_1d = np.linspace(-1.0, 1.0, centers.shape[0])
+        kernel = GaussianKernel(bandwidth=2.0)
+        x0 = np.empty((0, centers.shape[1]))
+        with ShardGroup.build(
+            centers, weights_1d, g=g, kernel=kernel, transport=transport
+        ) as group:
+            got = np.asarray(sharded_predict(group, x0))
+        assert got.shape == (0,)
