@@ -25,11 +25,29 @@ Claims recorded in the JSON payload:
   micro-batched server sustains >= 2x the one-at-a-time baseline's
   throughput (asserted: this is the serving engine's reason to exist).
 
-CLI: ``python benchmarks/bench_serve.py [--smoke] [--out PATH]``; JSON
-on stdout and under ``benchmarks/results/serve.json`` by default.  The
-payload's highest-concurrency server row is the ``serve-load/<transport>``
-series of the bench trajectory (``merge_trajectory.py`` /
-``check_trajectory.py``).
+Two additional trial modes ride the same harness:
+
+- ``--http`` swaps the in-process client for the stdlib HTTP transport
+  (:class:`repro.serve.ServeHTTPServer` + ``HttpClient``) at one offered
+  concurrency and asserts the wire adds a transport, not a numeric
+  path: ``serve/http-bitwise`` — every HTTP response carries exactly
+  the solo ``sharded_predict`` bits (payload ``serve-http``);
+- ``--deadline`` mixes doomed traffic (vanishing ``deadline_s``) into
+  an admitted closed-loop load and asserts the QoS contract:
+  ``serve/deadline-shed-fast`` — every doomed request fails with
+  :class:`~repro.exceptions.DeadlineExceeded` and consumes no tick
+  (the ``serve/batch_requests`` histogram sums to the admitted count
+  exactly), and ``serve/deadline-throughput-2x`` — admitted traffic
+  still clears the >= 2x one-at-a-time gate while the shedding runs
+  (payload ``serve-deadline``; its top-concurrency server row is the
+  ``serve-deadline/<transport>`` trajectory series).
+
+CLI: ``python benchmarks/bench_serve.py [--smoke] [--http] [--deadline]
+[--out PATH]``; JSON on stdout and under ``benchmarks/results/``
+(``serve.json`` / ``serve_http.json`` / ``serve_deadline.json``).  The
+load payload's highest-concurrency server row is the
+``serve-load/<transport>`` series of the bench trajectory
+(``merge_trajectory.py`` / ``check_trajectory.py``).
 """
 
 from __future__ import annotations
@@ -289,14 +307,381 @@ def run_bench(
     }
 
 
+def run_http_bench(
+    *,
+    n: int,
+    d: int,
+    l: int,
+    rows_per_request: int,
+    requests_per_client: int,
+    concurrency: int,
+    transport: str,
+    g: int,
+) -> dict:
+    """Closed-loop load through the stdlib HTTP adapter: the wire must
+    add a transport, not a numeric path (bitwise vs solo
+    ``sharded_predict``)."""
+    from repro.serve import HttpClient, ServeHTTPServer
+
+    rng = np.random.default_rng(1)
+    centers = rng.standard_normal((n, d))
+    weights = rng.standard_normal((n, l))
+    kernel = GaussianKernel(bandwidth=4.0)
+    run_id = new_run_id()
+    requests = _make_requests(
+        rng, concurrency, requests_per_client, rows_per_request, d
+    )
+    outputs: list[list[np.ndarray]] = [
+        [None] * len(reqs) for reqs in requests
+    ]
+
+    registry = MetricsRegistry(run_id=run_id)
+    with ShardGroup.build(
+        centers, weights, g=g, kernel=kernel, transport=transport
+    ) as group:
+        expected = [
+            [np.asarray(sharded_predict(group, x)) for x in reqs]
+            for reqs in requests
+        ]
+        with ModelServer(
+            group=group, metrics=registry,
+            options=serve_options(concurrency),
+        ) as server:
+            with ServeHTTPServer(server) as http_srv:
+                client = HttpClient(http_srv.url, timeout_s=300)
+
+                def load(i: int) -> None:
+                    for j, x in enumerate(requests[i]):
+                        outputs[i][j] = client.predict(x)
+
+                threads = [
+                    threading.Thread(
+                        target=load, args=(i,), name=f"http-load-{i}"
+                    )
+                    for i in range(concurrency)
+                ]
+                t0 = time.perf_counter()
+                for t in threads:
+                    t.start()
+                for t in threads:
+                    t.join()
+                wall_s = time.perf_counter() - t0
+
+    bitwise = all(
+        np.array_equal(got, want, equal_nan=True)
+        for outs, wants in zip(outputs, expected)
+        for got, want in zip(outs, wants)
+    )
+    total = concurrency * requests_per_client
+    snapshot = registry.snapshot()
+    hist = snapshot["histograms"].get("serve/request_s", {})
+    row = {
+        "mode": "http",
+        "concurrency": concurrency,
+        "requests": total,
+        "throughput_rps": total / wall_s if wall_s > 0 else None,
+        "p50_ms": 1e3 * hist.get("p50", float("nan")),
+        "p95_ms": 1e3 * hist.get("p95", float("nan")),
+        "http_requests": snapshot["counters"].get("serve/http_requests", 0),
+        "bitwise_identical": bitwise,
+    }
+    return {
+        "benchmark": "serve-http",
+        "run_id": run_id,
+        "transport": transport,
+        "config": {
+            "n": n, "d": d, "l": l,
+            "rows_per_request": rows_per_request,
+            "requests_per_client": requests_per_client,
+            "concurrency": concurrency, "transport": transport, "g": g,
+        },
+        "rows": [row],
+        "claims": [
+            {
+                "claim_id": "serve/http-bitwise",
+                "measured": f"{total} HTTP responses compared",
+                "holds": bitwise,
+            },
+        ],
+    }
+
+
+#: Doomed requests' deadline: expired by the time any cohort can form
+#: (dispatch-loop iterations are microseconds; this is a nanosecond).
+DOOMED_DEADLINE_S = 1e-9
+
+
+def run_deadline_bench(
+    *,
+    n: int,
+    d: int,
+    l: int,
+    rows_per_request: int,
+    requests_per_client: int,
+    doomed_per_client: int,
+    concurrency: int,
+    transport: str,
+    g: int,
+    trials: int = 3,
+) -> dict:
+    """Deadline-load trial: admitted closed-loop traffic with doomed
+    (already-expired) requests mixed in.  Doomed requests must fail
+    fast with DeadlineExceeded and consume no tick; admitted traffic
+    must still clear the >= 2x one-at-a-time gate."""
+    from repro.exceptions import DeadlineExceeded
+    from repro.serve import PredictRequest
+
+    rng = np.random.default_rng(2)
+    centers = rng.standard_normal((n, d))
+    weights = rng.standard_normal((n, l))
+    kernel = GaussianKernel(bandwidth=4.0)
+    run_id = new_run_id()
+
+    n_doomed = concurrency * doomed_per_client
+    n_admitted = concurrency * requests_per_client
+    paired_speedups: list[float] = []
+    shed_ok_all: list[bool] = []
+    base_trials: list[dict] = []
+    serve_trials: list[dict] = []
+    with ShardGroup.build(
+        centers, weights, g=g, kernel=kernel, transport=transport
+    ) as group:
+        for _ in range(2):
+            sharded_predict(group, centers[:rows_per_request])
+        requests = _make_requests(
+            rng, concurrency, requests_per_client, rows_per_request, d
+        )
+        doomed_x = rng.standard_normal((rows_per_request, d))
+
+        def baseline_trial() -> dict:
+            """One-at-a-time serving of the same mixed load.  The solo
+            path has no shedding: a caller that cannot know the queue
+            state must issue every request, so already-dead ones still
+            cost a full serialized round-trip — the capacity the
+            dispatcher's shedding hands back to admitted traffic."""
+            registry = MetricsRegistry(run_id=run_id)
+            lock = threading.Lock()
+
+            def load(i: int) -> None:
+                for j, x in enumerate(requests[i]):
+                    if j < doomed_per_client:
+                        with lock:
+                            sharded_predict(group, doomed_x)
+                    t0 = time.perf_counter()
+                    with lock:
+                        sharded_predict(group, x)
+                    registry.observe(
+                        "serve/request_s", time.perf_counter() - t0
+                    )
+
+            threads = [
+                threading.Thread(target=load, args=(i,), name=f"dlb-{i}")
+                for i in range(concurrency)
+            ]
+            t0 = time.perf_counter()
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            wall_s = time.perf_counter() - t0
+            hist = registry.snapshot()["histograms"].get(
+                "serve/request_s", {}
+            )
+            return {
+                "mode": "baseline",
+                "concurrency": concurrency,
+                "requests": n_admitted,
+                "throughput_rps": (
+                    n_admitted / wall_s if wall_s > 0 else None
+                ),
+                "p50_ms": 1e3 * hist.get("p50", float("nan")),
+                "p95_ms": 1e3 * hist.get("p95", float("nan")),
+                "p99_ms": 1e3 * hist.get("p99", float("nan")),
+            }
+
+        for _ in range(trials):
+            base_row = baseline_trial()
+            registry = MetricsRegistry(run_id=run_id)
+            server = ModelServer(
+                group=group, metrics=registry,
+                options=serve_options(concurrency),
+            )
+            doomed: list = []
+
+            def load(i: int) -> None:
+                for j, x in enumerate(requests[i]):
+                    if j < doomed_per_client:
+                        doomed.append(server.submit_request(PredictRequest(
+                            rows=doomed_x, deadline_s=DOOMED_DEADLINE_S,
+                        )))
+                    server.predict(x, timeout=300)
+
+            threads = [
+                threading.Thread(target=load, args=(i,), name=f"dl-{i}")
+                for i in range(concurrency)
+            ]
+            t0 = time.perf_counter()
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            wall_s = time.perf_counter() - t0
+            server.close()
+
+            shed_ok_all.append(
+                len(doomed) == n_doomed
+                and all(
+                    isinstance(f.exception(timeout=30), DeadlineExceeded)
+                    for f in doomed
+                )
+            )
+            snapshot = registry.snapshot()
+            counters = snapshot["counters"]
+            ticked = sum(registry.histogram_values("serve/batch_requests"))
+            shed_ok_all.append(
+                counters.get("serve/shed_requests", 0) == n_doomed
+                and ticked == n_admitted
+            )
+            hist = snapshot["histograms"].get("serve/request_s", {})
+            serve_row = {
+                "mode": "server",
+                "concurrency": concurrency,
+                "requests": n_admitted,
+                "throughput_rps": (
+                    n_admitted / wall_s if wall_s > 0 else None
+                ),
+                "p50_ms": 1e3 * hist.get("p50", float("nan")),
+                "p95_ms": 1e3 * hist.get("p95", float("nan")),
+                "p99_ms": 1e3 * hist.get("p99", float("nan")),
+                "shed": {
+                    "doomed": n_doomed,
+                    "shed_requests": counters.get("serve/shed_requests", 0),
+                    "ticked_requests": ticked,
+                },
+            }
+            base_trials.append(base_row)
+            serve_trials.append(serve_row)
+            if base_row["throughput_rps"] and serve_row["throughput_rps"]:
+                paired_speedups.append(
+                    serve_row["throughput_rps"] / base_row["throughput_rps"]
+                )
+
+    base_rps = _median([r["throughput_rps"] for r in base_trials])
+    serve_rps = _median([r["throughput_rps"] for r in serve_trials])
+    base_row = min(
+        base_trials, key=lambda r: abs(r["throughput_rps"] - base_rps)
+    )
+    serve_row = min(
+        serve_trials, key=lambda r: abs(r["throughput_rps"] - serve_rps)
+    )
+    speedup = _median(paired_speedups) if paired_speedups else None
+    serve_row["speedup"] = speedup
+    serve_row["paired_speedups"] = [round(s, 3) for s in paired_speedups]
+    serve_row["trials"] = trials
+    rows = [base_row, serve_row]
+    shed_ok = all(shed_ok_all)
+
+    return {
+        "benchmark": "serve-deadline",
+        "run_id": run_id,
+        "transport": transport,
+        "config": {
+            "n": n, "d": d, "l": l,
+            "rows_per_request": rows_per_request,
+            "requests_per_client": requests_per_client,
+            "doomed_per_client": doomed_per_client,
+            "doomed_deadline_s": DOOMED_DEADLINE_S,
+            "concurrency": concurrency, "transport": transport,
+            "g": g, "trials": trials,
+        },
+        "rows": rows,
+        "claims": [
+            {
+                "claim_id": "serve/deadline-shed-fast",
+                "measured": (
+                    f"{n_doomed} doomed/trial: all DeadlineExceeded, "
+                    f"shed counter exact, only the {n_admitted} admitted "
+                    "requests ticked"
+                ),
+                "holds": shed_ok,
+            },
+            {
+                "claim_id": "serve/deadline-throughput-2x",
+                "measured": speedup,
+                "holds": speedup >= 2.0 if speedup is not None else None,
+            },
+        ],
+    }
+
+
+def _emit(payload: dict, out: pathlib.Path | None, default_name: str) -> int:
+    """Write + print one payload and gate on its claims."""
+    if out is None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        out = RESULTS_DIR / default_name
+    out.write_text(json.dumps(payload, indent=2, default=str) + "\n")
+    print(json.dumps(payload, indent=2, default=str))
+
+    failed = False
+    for claim in payload["claims"]:
+        if claim["holds"] is not None:
+            status = "holds" if claim["holds"] else "FAILED"
+            print(
+                f"{claim['claim_id']}: {status} "
+                f"(measured {claim['measured']})",
+                file=sys.stderr,
+            )
+            failed = failed or not claim["holds"]
+    return 1 if failed else 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--smoke", action="store_true",
                         help="shrink the workload for CI")
+    parser.add_argument("--http", action="store_true",
+                        help="run the HTTP-adapter trial instead of the "
+                             "in-process load sweep")
+    parser.add_argument("--deadline", action="store_true",
+                        help="run the deadline-load trial instead of the "
+                             "in-process load sweep")
     parser.add_argument("--out", type=pathlib.Path, default=None)
     parser.add_argument("--transport", default="thread")
     parser.add_argument("--g", type=int, default=2)
     args = parser.parse_args(argv)
+    if args.http and args.deadline:
+        parser.error("--http and --deadline are separate trials")
+
+    if args.http:
+        shape = (
+            dict(n=2_048, d=16, l=4, rows_per_request=1,
+                 requests_per_client=20, concurrency=4)
+            if args.smoke
+            else dict(n=8_192, d=32, l=8, rows_per_request=1,
+                      requests_per_client=40, concurrency=8)
+        )
+        payload = run_http_bench(transport=args.transport, g=args.g, **shape)
+        payload["smoke"] = args.smoke
+        # serve/http-bitwise gates: the wire must not change the bits.
+        return _emit(payload, args.out, "serve_http.json")
+
+    if args.deadline:
+        shape = (
+            dict(n=2_048, d=16, l=4, rows_per_request=1,
+                 requests_per_client=40, doomed_per_client=10,
+                 concurrency=8, trials=3)
+            if args.smoke
+            else dict(n=8_192, d=32, l=8, rows_per_request=1,
+                      requests_per_client=50, doomed_per_client=12,
+                      concurrency=16, trials=5)
+        )
+        payload = run_deadline_bench(
+            transport=args.transport, g=args.g, **shape
+        )
+        payload["smoke"] = args.smoke
+        # Both claims gate: shed-fast is the QoS correctness contract,
+        # and admitted traffic must still clear the serving gate.
+        return _emit(payload, args.out, "serve_deadline.json")
 
     # rows_per_request=1 is the serving-relevant shape: single-sample
     # requests maximize the per-request overhead a coalesced tick
@@ -312,28 +697,10 @@ def main(argv: list[str] | None = None) -> int:
     )
     payload = run_bench(transport=args.transport, g=args.g, **shape)
     payload["smoke"] = args.smoke
-
-    out = args.out
-    if out is None:
-        RESULTS_DIR.mkdir(exist_ok=True)
-        out = RESULTS_DIR / "serve.json"
-    out.write_text(json.dumps(payload, indent=2, default=str) + "\n")
-    print(json.dumps(payload, indent=2, default=str))
-
-    failed = False
-    for claim in payload["claims"]:
-        if claim["holds"] is not None:
-            status = "holds" if claim["holds"] else "FAILED"
-            print(
-                f"{claim['claim_id']}: {status} "
-                f"(measured {claim['measured']})",
-                file=sys.stderr,
-            )
-            failed = failed or not claim["holds"]
     # Both claims gate: bitwise parity is the serving correctness
     # contract, and >= 2x over one-at-a-time at top concurrency is the
     # engine's acceptance bar.
-    return 1 if failed else 0
+    return _emit(payload, args.out, "serve.json")
 
 
 if __name__ == "__main__":

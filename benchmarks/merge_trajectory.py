@@ -3,8 +3,8 @@
 The CI trajectory job runs the smoke benchmarks that emit machine-
 readable results (``bench_shard.py --transport all --smoke``, the
 pipeline-overlap smoke of ``bench_pipeline.py``, the fused hot-path
-smoke of ``bench_fused.py``, the serving-load smoke of
-``bench_serve.py`` and the failure-injection sweep) and folds
+smoke of ``bench_fused.py``, the serving-load and deadline-load smokes
+of ``bench_serve.py`` and the failure-injection sweep) and folds
 their payloads — together with the
 committed history ``BENCH_trajectory.json`` — into one *history* of
 headline data points::
@@ -125,6 +125,28 @@ def _benchmark_entries(payload: dict) -> Iterator[dict[str, Any]]:
                     "concurrency": row.get("concurrency"),
                     "throughput_rps": row.get("throughput_rps"),
                     "speedup": row.get("speedup"),
+                },
+            }
+    elif name == "serve-deadline":
+        # Admitted-traffic p95 at the offered concurrency while doomed
+        # requests shed around it: the QoS regression headline (shed
+        # accounting and speedup ride along as context).
+        rows = [
+            r for r in payload.get("rows") or []
+            if r.get("mode") == "server"
+        ]
+        if rows:
+            row = max(rows, key=lambda r: r.get("concurrency", 0))
+            yield {
+                "experiment": "serve-deadline",
+                "transport": payload.get("transport", "thread"),
+                "metric": "p95_ms",
+                "value": row.get("p95_ms"),
+                "context": {
+                    "concurrency": row.get("concurrency"),
+                    "throughput_rps": row.get("throughput_rps"),
+                    "speedup": row.get("speedup"),
+                    "shed": row.get("shed"),
                 },
             }
     elif name.startswith("failure-injection"):

@@ -231,26 +231,51 @@ session for concurrent traffic.  A :class:`~repro.serve.ModelServer`
 keeps the centers/weights resident on a shard group (built from a
 fitted :class:`~repro.core.KernelModel`, or borrowed from training via
 :meth:`ShardGroup.serve <repro.shard.ShardGroup.serve>`) and
-micro-batches concurrent ``predict(x)`` requests: a dispatcher tick
-coalesces every in-flight request into one fused ``map_allreduce``
-round-trip and scatters per-request rows back to waiting futures —
-each response bit-identical to a solo
-:func:`~repro.shard.sharded_predict` call::
+micro-batches concurrent requests: a dispatcher tick coalesces every
+in-flight request into one fused ``map_allreduce`` round-trip and
+scatters per-request rows back to waiting futures — each response
+bit-identical to a solo :func:`~repro.shard.sharded_predict` call::
 
-    from repro.serve import ModelServer
+    from repro.serve import ModelServer, PredictRequest
 
     with ModelServer(model, g=2, transport="thread") as server:
         future = server.submit(x_batch)        # concurrent-safe
         y = future.result()                    # == sharded_predict bits
+        resp = server.predict_request(         # typed QoS path
+            PredictRequest(rows=x_batch, priority=5, deadline_s=0.2)
+        )
+        resp.values, resp.queue_s, resp.batch_s
         server.stats()                         # p50/p95/p99 latencies
+
+Requests carry *quality of service*: cohorts form priority-first (FIFO
+within a priority), and a request whose ``deadline_s`` expires while
+queued is shed — its future fails with
+:class:`~repro.exceptions.DeadlineExceeded` before any shard work is
+spent.  ``ServeOptions(batch_wait="adaptive")`` replaces the fixed
+coalescing window with an EWMA arrival-rate controller
+(:class:`~repro.serve.AdaptiveWindow`) bounded by
+:class:`~repro.serve.WindowOptions`.  The engine is reachable over the
+network through the stdlib HTTP adapter
+(:class:`~repro.serve.ServeHTTPServer` — JSON in/out, float64 bitwise
+across the wire) and a transport-agnostic client layer
+(:class:`~repro.serve.LocalClient` / :class:`~repro.serve.HttpClient`,
+one :class:`~repro.serve.ServeClient` interface)::
+
+    from repro.serve import HttpClient, ServeHTTPServer
+
+    with ModelServer(model, g=2) as engine:
+        with ServeHTTPServer(engine) as http_srv:
+            client = HttpClient(http_srv.url)
+            y = client.predict(x_batch)        # same bits, over HTTP
 
 Per-request ``serve/{queue,batch,kernel,scatter}`` spans are relayed to
 the submitting caller's tracers (the worker-span discipline), latencies
-land in a run-ID-stamped :class:`~repro.observe.MetricsRegistry`, and
-:func:`repro.device.cluster.serving_latency` prices the request path in
-the analytic cost model — measured under closed-loop load by
-``benchmarks/bench_serve.py`` and reconciled by
-``python -m repro.experiments serve-report``.
+land in a run-ID-stamped :class:`~repro.observe.MetricsRegistry`
+(including ``serve/window_s`` decisions and ``serve/shed_requests``),
+and :func:`repro.device.cluster.serving_latency` prices the request
+path — deadline shedding included — in the analytic cost model,
+measured under closed-loop load by ``benchmarks/bench_serve.py`` and
+reconciled by ``python -m repro.experiments serve-report``.
 """
 
 from repro._version import __version__
@@ -259,6 +284,7 @@ from repro.exceptions import (
     BackendUnavailableError,
     ConfigurationError,
     ConvergenceError,
+    DeadlineExceeded,
     DeviceMemoryError,
     NotFittedError,
     ReproError,
@@ -310,7 +336,17 @@ from repro.core import (
     select_parameters,
     select_q,
 )
-from repro.serve import ModelServer, ServeOptions
+from repro.serve import (
+    HttpClient,
+    LocalClient,
+    ModelServer,
+    PredictRequest,
+    PredictResponse,
+    ServeClient,
+    ServeHTTPServer,
+    ServeOptions,
+    WindowOptions,
+)
 from repro.shard import (
     ProcessTransport,
     RecoveryEvent,
@@ -339,6 +375,7 @@ __all__ = [
     "BackendUnavailableError",
     "BackendLinAlgError",
     "ShardError",
+    "DeadlineExceeded",
     # backends & precision
     "ArrayBackend",
     "NumpyBackend",
@@ -389,6 +426,13 @@ __all__ = [
     # serving
     "ModelServer",
     "ServeOptions",
+    "PredictRequest",
+    "PredictResponse",
+    "WindowOptions",
+    "ServeHTTPServer",
+    "ServeClient",
+    "LocalClient",
+    "HttpClient",
     # core
     "EigenPro2",
     "KernelModel",

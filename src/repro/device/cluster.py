@@ -280,6 +280,7 @@ def serving_latency(
     queue_wait_s: float = 0.0,
     block_time_s: float = 0.0,
     fused: bool = True,
+    deadline_s: float | None = None,
 ) -> float:
     """Modelled end-to-end latency of one micro-batched serving request
     (the :mod:`repro.serve` dispatcher path): time spent waiting for the
@@ -299,6 +300,13 @@ def serving_latency(
       runs) shaves one ``interconnect.latency_s`` dispatch, exactly as
       in :func:`pipelined_sync_time` — fusion removes a round-trip, not
       bytes.
+
+    ``deadline_s`` models the dispatcher's shedding rule: a request
+    whose deadline expires while queued never reaches the shard group,
+    so when ``queue_wait_s >= deadline_s`` the modelled latency is just
+    ``deadline_s`` — the moment the engine fails the future with
+    :class:`~repro.exceptions.DeadlineExceeded` — and *no* block or
+    collective term is charged.  ``None`` (default) never sheds.
     """
     if queue_wait_s < 0:
         raise ConfigurationError(
@@ -308,6 +316,15 @@ def serving_latency(
         raise ConfigurationError(
             f"block_time_s must be >= 0, got {block_time_s}"
         )
+    if deadline_s is not None:
+        if not float(deadline_s) > 0:
+            raise ConfigurationError(
+                f"deadline_s must be > 0 (or None), got {deadline_s}"
+            )
+        if float(queue_wait_s) >= float(deadline_s):
+            # Shed while queued: the caller hears back at the deadline,
+            # and the tick spends nothing on the request.
+            return float(deadline_s)
     sync = allreduce_time(interconnect, n_devices, payload_scalars)
     if fused and n_devices > 1:
         sync = max(0.0, sync - interconnect.latency_s)

@@ -60,6 +60,17 @@ class ShardError(ReproError, RuntimeError):
     checkpoint = None
 
 
+class DeadlineExceeded(ShardError):
+    """Raised (onto a request's future) by the serving dispatcher when a
+    queued request's deadline expired before its micro-batch tick was
+    formed: the request is *shed* — it never reaches the shard group, so
+    an already-late caller does not consume a tick other requests could
+    use.  A :class:`ShardError` subclass so generic "engine failed,
+    retry elsewhere" handlers keep working, while latency-sensitive
+    callers can distinguish *late* from *broken*.
+    """
+
+
 class BackendLinAlgError(ReproError, ArithmeticError):
     """Raised by backend linear-algebra primitives when a factorization
     fails (e.g. Cholesky of a non-PSD matrix), unifying the distinct

@@ -3,9 +3,13 @@
 :mod:`repro.experiments.observe_report` reconciles the *training* path
 against the analytic model phase by phase; this experiment does the same
 for the *serving* path.  It drives a :class:`repro.serve.ModelServer`
-with closed-loop concurrent clients (each client thread submits its next
-request only after the previous one resolved — the load shape
-``bench_serve.py`` sweeps), then checks the serving invariants:
+through the transport-agnostic client interface
+(:class:`repro.serve.LocalClient` — the same
+:class:`~repro.serve.ServeClient` surface the HTTP transport
+implements) with closed-loop concurrent clients (each client thread
+submits its next request only after the previous one resolved — the
+load shape ``bench_serve.py`` sweeps), then checks the serving
+invariants:
 
 - **bitwise parity**: every micro-batched response equals the same
   request's solo :func:`~repro.shard.sharded_predict` bits;
@@ -16,10 +20,16 @@ request only after the previous one resolved — the load shape
   ``serve/{queue,batch,kernel,scatter}`` spans — no cross-request
   leakage through the shared group;
 - **model term**: :func:`repro.device.cluster.serving_latency`
-  (queue wait + fused block + all-reduce) prices the measured tick from
-  the run's own ``serve/*`` histograms;
+  (queue wait + fused block + all-reduce, deadline-aware) prices the
+  measured tick from the run's own ``serve/*`` histograms;
 - **graceful drain**: a burst left in flight at ``close()`` still
-  resolves — every future is served, none dropped.
+  resolves — every future is served, none dropped;
+- **deadline shedding**: a request whose ``deadline_s`` expires while
+  queued fails with :class:`~repro.exceptions.DeadlineExceeded` before
+  any shard work runs, while admitted traffic is served normally;
+- **adaptive window**: with ``batch_wait="adaptive"`` every per-tick
+  window decision stays inside the configured
+  ``[floor_s, ceiling_s]`` band (``serve/window_s``).
 """
 
 from __future__ import annotations
@@ -67,7 +77,14 @@ class ServeReportConfig:
 def run_serve_report(cfg: ServeReportConfig | None = None) -> ExperimentResult:
     """Load a micro-batched server and report measured latencies, span
     attribution, drain behaviour and the modelled request cost."""
-    from repro.serve import ModelServer
+    from repro.exceptions import DeadlineExceeded
+    from repro.serve import (
+        LocalClient,
+        ModelServer,
+        PredictRequest,
+        ServeOptions,
+        WindowOptions,
+    )
     from repro.shard import ShardGroup, sharded_predict
     from repro.shard.transport import resolve_transport
 
@@ -94,11 +111,12 @@ def run_serve_report(cfg: ServeReportConfig | None = None) -> ExperimentResult:
         transport=cfg.transport, **dict(cfg.transport_options),
     ) as group:
         server = ModelServer(group=group, metrics=metrics)
+        client = LocalClient(server)
 
         def _client(idx: int) -> None:
             with trace_scope(client_tracers[idx]):
                 for x in requests[idx]:
-                    outputs[idx].append(server.predict(x, timeout=60))
+                    outputs[idx].append(client.predict(x, timeout=60))
 
         threads = [
             threading.Thread(target=_client, args=(i,), name=f"client-{i}")
@@ -121,6 +139,58 @@ def run_serve_report(cfg: ServeReportConfig | None = None) -> ExperimentResult:
             )
             for reqs, outs in zip(requests, outputs)
             for x, out in zip(reqs, outs)
+        )
+
+        # --- deadline trial: doomed requests shed before any shard work,
+        # admitted traffic served bit-exact on the same engine.
+        sched_metrics = MetricsRegistry(run_id=new_run_id())
+        sched = ModelServer(
+            group=group, metrics=sched_metrics,
+            options=ServeOptions(batch_wait_s=2e-3),
+        )
+        doomed = [
+            sched.submit_request(
+                PredictRequest(rows=requests[0][0], deadline_s=1e-6)
+            )
+            for _ in range(4)
+        ]
+        shed_ok = all(
+            isinstance(f.exception(timeout=30), DeadlineExceeded)
+            for f in doomed
+        )
+        admitted = sched.predict(requests[0][0], timeout=60)
+        sched.close()
+        sched_snapshot = sched_metrics.snapshot()
+        shed_count = int(
+            sched_snapshot["counters"].get("serve/shed_requests", 0)
+        )
+        ticked = sum(
+            sched_metrics.histogram_values("serve/batch_requests")
+        )
+        deadline_ok = (
+            shed_ok
+            and shed_count == len(doomed)
+            and ticked == 1  # only the admitted request consumed a tick
+            and np.array_equal(
+                admitted, np.asarray(sharded_predict(group, requests[0][0]))
+            )
+        )
+
+        # --- adaptive trial: every per-tick window decision in-band.
+        win = WindowOptions(floor_s=0.0, ceiling_s=1e-3)
+        adaptive_metrics = MetricsRegistry(run_id=new_run_id())
+        adaptive = ModelServer(
+            group=group, metrics=adaptive_metrics,
+            options=ServeOptions(batch_wait="adaptive", adaptive=win),
+        )
+        for _ in range(3):
+            futures = [adaptive.submit(x) for x in requests[0]]
+            for f in futures:
+                f.result(timeout=60)
+        adaptive.close()
+        windows = adaptive_metrics.histogram_values("serve/window_s")
+        adaptive_ok = bool(windows) and all(
+            win.floor_s <= w <= win.ceiling_s for w in windows
         )
 
     snapshot = metrics.snapshot()
@@ -252,6 +322,48 @@ def run_serve_report(cfg: ServeReportConfig | None = None) -> ExperimentResult:
             paper="(serving invariant; repro.serve)",
             measured=f"{len(burst)} futures in flight at close",
             holds=drained,
+        )
+    )
+    modelled_shed_s = serving_latency(
+        transport_interconnect(link),
+        cfg.g,
+        payload_scalars=float(rows_h.get("mean", 0.0)) * cfg.l,
+        queue_wait_s=2e-3,
+        deadline_s=1e-6,
+    )
+    result.add_claim(
+        PaperClaim(
+            claim_id="serve/deadline-shed",
+            description=(
+                "A request whose deadline expires while queued fails "
+                "with DeadlineExceeded before any shard work runs; "
+                "admitted traffic on the same engine is served "
+                "bit-exact, and the model's shed branch charges only "
+                "the deadline"
+            ),
+            paper="(QoS scheduling invariant; repro.serve)",
+            measured=(
+                f"{len(doomed)} doomed requests, {shed_count} shed, "
+                f"{ticked:.0f} requests ticked; modelled shed latency "
+                f"{modelled_shed_s:.2e}s"
+            ),
+            holds=deadline_ok and modelled_shed_s == 1e-6,
+        )
+    )
+    result.add_claim(
+        PaperClaim(
+            claim_id="serve/adaptive-window",
+            description=(
+                'With batch_wait="adaptive" every per-tick window '
+                "decision stays inside the configured [floor_s, "
+                "ceiling_s] band"
+            ),
+            paper="(MAPE-style window control; repro.serve.adaptive)",
+            measured=(
+                f"{len(windows)} window decisions in "
+                f"[{win.floor_s}, {win.ceiling_s}]s"
+            ),
+            holds=adaptive_ok,
         )
     )
     return result

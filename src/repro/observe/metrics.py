@@ -99,6 +99,20 @@ class MetricsRegistry:
                 float(v) for v in values
             )
 
+    def histogram_values(self, name: str) -> list[float]:
+        """The raw observations of histogram ``name`` so far, in
+        insertion order (a copy; empty list if never observed).
+
+        :meth:`snapshot` summarizes to percentiles; this accessor is
+        for callers that need the individual samples — e.g. asserting
+        the serving dispatcher's ``serve/batch_requests`` per-tick
+        cohort sizes sum to exactly the admitted request count, or
+        checking every ``serve/window_s`` decision stayed inside the
+        adaptive controller's configured band.
+        """
+        with self._lock:
+            return list(self._histograms.get(name, ()))
+
     # -- ingestion from existing instrumentation ------------------------
     def ingest_op_counts(self, counts: Mapping[str, int] | OpMeter) -> None:
         """Fold an op-count snapshot (or a live meter) into

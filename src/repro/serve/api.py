@@ -1,0 +1,151 @@
+"""The serving request/response vocabulary.
+
+:class:`PredictRequest` and :class:`PredictResponse` are the typed
+surface every serving entry point speaks — the in-process
+:class:`~repro.serve.ModelServer`, the HTTP adapter
+(:mod:`repro.serve.http`) and the client layer
+(:mod:`repro.serve.client`).  A request carries the rows to score plus
+its *quality-of-service envelope* (priority, deadline, correlation id,
+free-form tags); a response carries the predicted values plus the
+serving provenance a production caller wants next to them: the serving
+run id, where the request's latency went (queue vs batch), and whether
+the engine had to retry the tick.
+
+Raw arrays remain first-class: :meth:`ModelServer.submit
+<repro.serve.ModelServer.submit>` wraps a bare ``(b, d)`` array in a
+default-QoS :class:`PredictRequest` internally and keeps its historical
+array-out contract, while :meth:`ModelServer.submit_request
+<repro.serve.ModelServer.submit_request>` resolves to a full
+:class:`PredictResponse`.
+
+A request that misses its deadline while queued is *shed*: its future
+fails with :class:`~repro.exceptions.DeadlineExceeded` before any shard
+work runs (see the scheduling notes in :mod:`repro.serve.server`), so a
+:class:`PredictResponse` is only ever produced for served requests —
+``shed`` exists on the response for adapters that serialize failures
+into the same wire schema (the HTTP adapter's error bodies).
+"""
+
+from __future__ import annotations
+
+import uuid
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+__all__ = ["PredictRequest", "PredictResponse"]
+
+
+def _new_request_id() -> str:
+    return f"r-{uuid.uuid4().hex[:12]}"
+
+
+@dataclass(frozen=True)
+class PredictRequest:
+    """One typed prediction request.
+
+    Attributes
+    ----------
+    rows:
+        The samples to score: ``(b, d)`` for any ``b >= 0``, or a single
+        sample ``(d,)`` (the response's ``values`` is then its one
+        result row).  Anything array-like the backends accept.
+    priority:
+        Cohort-formation rank; *higher* is served first.  Requests of
+        equal priority keep FIFO order (see
+        :mod:`repro.serve.server`).  Default ``0``.
+    deadline_s:
+        Seconds from submission after which the request is useless to
+        its caller.  Once expired, the dispatcher *sheds* the request —
+        fails its future with :class:`~repro.exceptions.DeadlineExceeded`
+        at cohort formation, consuming no tick.  ``None`` (default)
+        never sheds.  Must be ``> 0`` when given: a non-positive
+        deadline is a request that was dead on arrival, which is a
+        caller bug, not load.
+    request_id:
+        Correlation id echoed on the response (and in shed errors).
+        Auto-generated when omitted.
+    tags:
+        Free-form caller metadata (model variant, tenant, experiment
+        arm, ...).  Opaque to the engine; carried for exporters and
+        adapters.
+    """
+
+    rows: Any
+    priority: int = 0
+    deadline_s: float | None = None
+    request_id: str = field(default_factory=_new_request_id)
+    tags: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.deadline_s is not None and not float(self.deadline_s) > 0:
+            raise ConfigurationError(
+                f"deadline_s must be > 0 seconds (or None), got "
+                f"{self.deadline_s!r}"
+            )
+        if int(self.priority) != self.priority:
+            raise ConfigurationError(
+                f"priority must be an integer, got {self.priority!r}"
+            )
+        if not isinstance(self.request_id, str) or not self.request_id:
+            raise ConfigurationError(
+                f"request_id must be a non-empty string, got "
+                f"{self.request_id!r}"
+            )
+
+
+@dataclass(frozen=True)
+class PredictResponse:
+    """One served prediction, with its latency provenance.
+
+    Attributes
+    ----------
+    values:
+        The predicted rows — bit-identical to a solo
+        :func:`~repro.shard.sharded_predict` on the same group (``(b,
+        l)``; ``(l,)`` for a single-sample ``(d,)`` request).
+    run_id:
+        The serving session's run id (correlates with the server's
+        :class:`~repro.observe.MetricsRegistry` snapshots and logs).
+    request_id:
+        Echo of the request's correlation id.
+    queue_s:
+        Seconds the request waited before its dispatcher tick fired.
+    batch_s:
+        Seconds from tick dispatch to this request's rows being
+        scattered back (shared tick compute + per-request scatter).
+    shed:
+        Always ``False`` on responses the engine produces (shed
+        requests fail with
+        :class:`~repro.exceptions.DeadlineExceeded` instead); present
+        so adapters can serialize served and shed outcomes into one
+        wire schema.
+    retries:
+        Engine retries the carrying tick needed before succeeding
+        (``0`` on the happy path).
+    """
+
+    values: np.ndarray
+    run_id: str
+    request_id: str
+    queue_s: float
+    batch_s: float
+    shed: bool = False
+    retries: int = 0
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-ready form (``values`` as nested lists; floats survive
+        the round-trip bitwise — :func:`json.dumps` emits shortest
+        round-trip reprs)."""
+        return {
+            "values": np.asarray(self.values).tolist(),
+            "run_id": self.run_id,
+            "request_id": self.request_id,
+            "queue_s": self.queue_s,
+            "batch_s": self.batch_s,
+            "shed": self.shed,
+            "retries": self.retries,
+        }

@@ -19,6 +19,29 @@ response is bit-identical to the per-request*
 reproduces the per-request arithmetic exactly, and the element-wise
 all-reduce is row-stable, so bitwise parity holds by construction while
 the tick still pays one round-trip + one collective for the whole batch.
+
+Scheduling
+----------
+Cohort formation is *priority-then-FIFO with deadline shedding*: at
+each tick the dispatcher first sheds every queued request whose
+:attr:`~repro.serve.PredictRequest.deadline_s` has already expired —
+their futures fail with :class:`~repro.exceptions.DeadlineExceeded`
+*before* any shard work runs, so an already-late caller never consumes
+tick capacity other requests could use (``serve/shed_requests`` counts
+them; :func:`repro.device.cluster.serving_latency` prices the policy
+via its ``deadline_s`` hook).  Surviving requests are ordered by
+descending priority (stable, so equal priorities keep arrival order)
+and the cohort budgets (``max_batch_requests`` / ``max_batch_rows``)
+are filled from the front.  Sustained high-priority load can therefore
+starve low-priority requests — that is the policy, not an accident;
+latency-sensitive deployments bound the damage with deadlines, which
+turn starvation into fast, observable shedding.
+
+The micro-batching window is either a fixed ``batch_wait`` in seconds
+or ``"adaptive"``: an :class:`~repro.serve.adaptive.AdaptiveWindow`
+sizes each tick's window from an EWMA of observed inter-arrival gaps,
+clamped to the configured floor/ceiling band, and every decision lands
+in the ``serve/window_s`` histogram.
 """
 
 from __future__ import annotations
@@ -27,15 +50,16 @@ import logging
 import threading
 import time
 from collections import deque
-from concurrent.futures import Future
-from dataclasses import dataclass
+from concurrent.futures import Future, InvalidStateError
+from concurrent.futures import TimeoutError as _FutureTimeout
+from dataclasses import dataclass, field
 from typing import Any, Callable
 
 import numpy as np
 
 from repro.backend import get_backend, to_numpy
 from repro.config import DEFAULT_BLOCK_SCALARS
-from repro.exceptions import ConfigurationError, ShardError
+from repro.exceptions import ConfigurationError, DeadlineExceeded, ShardError
 from repro.instrument import OpMeter, meter_scope
 from repro.kernels.base import Kernel
 from repro.kernels.ops import KernelMatvecPlan
@@ -47,9 +71,15 @@ from repro.observe.tracer import (
     record_span,
     trace_scope,
 )
+from repro.serve.adaptive import AdaptiveWindow, WindowOptions
+from repro.serve.api import PredictRequest, PredictResponse
 from repro.shard.group import ShardGroup
 
-__all__ = ["ModelServer", "ServeOptions"]
+__all__ = ["ADAPTIVE", "ModelServer", "ServeOptions"]
+
+#: Sentinel accepted by ``ServeOptions(batch_wait=...)`` to enable the
+#: arrival-rate-driven window (:mod:`repro.serve.adaptive`).
+ADAPTIVE = "adaptive"
 
 _LOG = logging.getLogger("repro.serve")
 
@@ -100,7 +130,7 @@ class ServeOptions:
     ----------
     max_batch_requests:
         Most requests one dispatcher tick coalesces.
-    batch_wait_s:
+    batch_wait:
         Micro-batching window: once a request is waiting, how long the
         dispatcher keeps listening for more arrivals before launching
         the tick (it launches early the moment ``max_batch_requests``
@@ -109,9 +139,23 @@ class ServeOptions:
         is free.  Throughput-oriented deployments set a window on the
         order of the inter-arrival jitter so one tick coalesces a full
         cohort of concurrent callers instead of whatever fraction had
-        arrived first.  In-flight ticks keep the workers busy while the
-        window runs, so with ``pipeline_depth > 1`` it costs dispatch
-        latency only, not pipeline occupancy.
+        arrived first; ``batch_wait="adaptive"`` closes that loop —
+        an :class:`~repro.serve.adaptive.AdaptiveWindow` sizes each
+        tick's window from the observed arrival rate inside the
+        ``adaptive`` options' floor/ceiling band, recording every
+        decision in the ``serve/window_s`` histogram.  In-flight ticks
+        keep the workers busy while the window runs, so with
+        ``pipeline_depth > 1`` it costs dispatch latency only, not
+        pipeline occupancy.
+    batch_wait_s:
+        Back-compat alias of ``batch_wait`` (the pre-redesign name).
+        Setting both to different values is an error; after
+        construction the two fields always agree.
+    adaptive:
+        :class:`~repro.serve.adaptive.WindowOptions` for the adaptive
+        window (floor/ceiling band, EWMA dynamics).  Only meaningful —
+        and only accepted — with ``batch_wait="adaptive"``; ``None``
+        there means defaults.
     pipeline_depth:
         Ticks in flight at once.  The default ``2`` double-buffers the
         serving loop exactly like the training engine: the workers
@@ -148,7 +192,7 @@ class ServeOptions:
     """
 
     max_batch_requests: int = 64
-    batch_wait_s: float = 0.0
+    batch_wait: float | str | None = None
     pipeline_depth: int = 2
     max_batch_rows: int = 4096
     max_queue: int = 4096
@@ -156,6 +200,8 @@ class ServeOptions:
     max_retries: int = 1
     retry_backoff_s: float = 0.05
     drain_timeout_s: float = 30.0
+    adaptive: WindowOptions | None = None
+    batch_wait_s: float | str | None = None
 
     def __post_init__(self) -> None:
         for name in (
@@ -175,25 +221,70 @@ class ServeOptions:
             raise ConfigurationError(
                 f"retry_backoff_s must be >= 0, got {self.retry_backoff_s!r}"
             )
-        if float(self.batch_wait_s) < 0:
-            raise ConfigurationError(
-                f"batch_wait_s must be >= 0, got {self.batch_wait_s!r}"
-            )
         if float(self.drain_timeout_s) <= 0:
             raise ConfigurationError(
                 f"drain_timeout_s must be > 0, got {self.drain_timeout_s!r}"
             )
+        # Reconcile the canonical window knob with its legacy alias.
+        wait = self.batch_wait
+        if wait is None:
+            wait = self.batch_wait_s if self.batch_wait_s is not None else 0.0
+        elif self.batch_wait_s is not None and self.batch_wait_s != wait:
+            raise ConfigurationError(
+                f"batch_wait={self.batch_wait!r} and its alias "
+                f"batch_wait_s={self.batch_wait_s!r} disagree; set one"
+            )
+        if isinstance(wait, str):
+            if wait != ADAPTIVE:
+                raise ConfigurationError(
+                    f"batch_wait must be seconds >= 0 or {ADAPTIVE!r}, "
+                    f"got {wait!r}"
+                )
+        else:
+            wait = float(wait)
+            if wait < 0:
+                raise ConfigurationError(
+                    f"batch_wait must be >= 0, got {wait!r}"
+                )
+            if self.adaptive is not None:
+                raise ConfigurationError(
+                    "adaptive window options require "
+                    f"batch_wait={ADAPTIVE!r} (got batch_wait={wait!r})"
+                )
+        if self.adaptive is not None and not isinstance(
+            self.adaptive, WindowOptions
+        ):
+            raise ConfigurationError(
+                f"adaptive must be a WindowOptions, got "
+                f"{type(self.adaptive).__name__}"
+            )
+        object.__setattr__(self, "batch_wait", wait)
+        object.__setattr__(self, "batch_wait_s", wait)
+
+    @property
+    def adaptive_window(self) -> bool:
+        """True when the window is controller-driven (``"adaptive"``)."""
+        return self.batch_wait == ADAPTIVE
 
 
 @dataclass
 class _Request:
-    """One queued predict request."""
+    """One queued predict request (the dispatcher's internal view of a
+    :class:`~repro.serve.PredictRequest`)."""
 
     x: np.ndarray
     future: Future
     tracers: tuple[Tracer, ...]
     enqueued_s: float
     squeeze: bool = False
+    priority: int = 0
+    #: Absolute ``time.perf_counter()`` deadline; ``None`` never sheds.
+    deadline: float | None = None
+    request_id: str = ""
+    tags: dict = field(default_factory=dict)
+    #: True when the future resolves to a PredictResponse
+    #: (``submit_request``), False for the array-out ``submit`` path.
+    wants_response: bool = False
 
     @property
     def rows(self) -> int:
@@ -248,9 +339,14 @@ class ModelServer:
       <repro.shard.ShardGroup.serve>`) borrows a live, already-loaded
       group — closing the server drains requests but leaves it open.
 
-    Request lifecycle: :meth:`submit` validates the input, snapshots the
-    caller's active tracers, and enqueues a future; the dispatcher
-    thread coalesces every waiting request (up to the
+    Request lifecycle: :meth:`submit` (array-out back-compat) or
+    :meth:`submit_request` (typed
+    :class:`~repro.serve.PredictResponse`-out) validates the input,
+    snapshots the caller's active tracers, and enqueues a future; the
+    dispatcher thread sheds queued requests whose deadline already
+    expired (futures fail with
+    :class:`~repro.exceptions.DeadlineExceeded`, no tick consumed),
+    coalesces the survivors in priority-then-FIFO order (up to the
     :class:`ServeOptions` budgets) into one tick, runs
     :func:`_serve_batch_task` through the group's fused
     ``map_allreduce`` — one task round-trip + one collective per tick —
@@ -334,7 +430,18 @@ class ModelServer:
         self._cv = threading.Condition()
         self._closing = False
         self._closed = False
-        self._run_short = str(self.metrics.run_id.get("id", ""))[:8]
+        #: Arrival-rate window controller (None on a fixed window);
+        #: mutated/read only under ``self._cv``.
+        self._window = (
+            AdaptiveWindow(
+                self.options.adaptive,
+                max_batch_requests=self.options.max_batch_requests,
+            )
+            if self.options.adaptive_window
+            else None
+        )
+        self._run_id = str(self.metrics.run_id.get("id", ""))
+        self._run_short = self._run_id[:8]
         self._dispatcher = threading.Thread(
             target=self._dispatch_loop,
             name="repro-serve-dispatcher",
@@ -353,12 +460,38 @@ class ModelServer:
     def submit(self, x: Any) -> Future:
         """Enqueue one predict request; returns its future.
 
-        ``x`` is ``(b, d)`` (any ``b >= 0``) or a single sample ``(d,)``
-        (resolved to its one result row).  The future resolves to the
-        same bits the request would get from a solo
-        :func:`~repro.shard.sharded_predict` call on the group.
+        ``x`` is ``(b, d)`` (any ``b >= 0``), a single sample ``(d,)``
+        (resolved to its one result row), or a typed
+        :class:`~repro.serve.PredictRequest` (whose priority/deadline
+        QoS envelope the scheduler honours).  Either way the future
+        resolves to the bare prediction array — the same bits the
+        request would get from a solo
+        :func:`~repro.shard.sharded_predict` call on the group.  For a
+        future that resolves to a full
+        :class:`~repro.serve.PredictResponse`, use
+        :meth:`submit_request`.
         """
-        x_host = np.asarray(to_numpy(x))
+        return self._enqueue(self._as_request(x), wants_response=False)
+
+    def submit_request(self, request: Any) -> Future:
+        """Enqueue a typed request; the future resolves to a
+        :class:`~repro.serve.PredictResponse` (values + run id +
+        queue/batch timings + retry count).
+
+        ``request`` is a :class:`~repro.serve.PredictRequest` or a raw
+        array (wrapped with default QoS).  A request shed on deadline
+        fails its future with
+        :class:`~repro.exceptions.DeadlineExceeded` instead of
+        resolving.
+        """
+        return self._enqueue(self._as_request(request), wants_response=True)
+
+    @staticmethod
+    def _as_request(x: Any) -> PredictRequest:
+        return x if isinstance(x, PredictRequest) else PredictRequest(rows=x)
+
+    def _enqueue(self, request: PredictRequest, wants_response: bool) -> Future:
+        x_host = np.asarray(to_numpy(request.rows))
         squeeze = x_host.ndim == 1
         if squeeze:
             x_host = x_host[None, :]
@@ -371,18 +504,32 @@ class ModelServer:
                 f"request has {x_host.shape[1]} features, model expects "
                 f"{self._d}"
             )
+        now = time.perf_counter()
         req = _Request(
             x=x_host,
             future=Future(),
             tracers=tuple(active_tracers()),
-            enqueued_s=time.perf_counter(),
+            enqueued_s=now,
             squeeze=squeeze,
+            priority=int(request.priority),
+            deadline=(
+                None if request.deadline_s is None
+                else now + float(request.deadline_s)
+            ),
+            request_id=request.request_id,
+            tags=dict(request.tags),
+            wants_response=wants_response,
         )
         with self._cv:
             if self._closing:
                 raise ShardError(
                     "server is closed and no longer accepts requests"
                 )
+            if self._window is not None:
+                # Every offered request is an arrival, including ones
+                # the backpressure check below turns away — rejected
+                # load is still load the window should adapt to.
+                self._window.observe_arrival(now)
             if len(self._queue) >= self.options.max_queue:
                 raise ShardError(
                     f"serve queue is full ({self.options.max_queue} "
@@ -393,29 +540,116 @@ class ModelServer:
         return req.future
 
     def predict(self, x: Any, timeout: float | None = None) -> np.ndarray:
-        """Blocking predict: :meth:`submit` + ``Future.result()``."""
-        return self.submit(x).result(timeout)
+        """Blocking predict: :meth:`submit` + ``Future.result()``.
+
+        On timeout the queued future is *cancelled* before the
+        ``TimeoutError`` propagates: a departed caller's request must
+        not occupy cohort budget, and its serving spans must not be
+        relayed into a tracer scope that has moved on.  Cancellation
+        only wins while the request is still queued — once the
+        dispatcher has claimed it for a tick it completes normally
+        (the result is simply dropped).
+        """
+        future = self.submit(x)
+        try:
+            return future.result(timeout)
+        except (_FutureTimeout, TimeoutError):
+            future.cancel()
+            raise
+
+    def predict_request(
+        self, request: Any, timeout: float | None = None
+    ) -> PredictResponse:
+        """Blocking typed predict: :meth:`submit_request` +
+        ``Future.result()``, with the same cancel-on-timeout discipline
+        as :meth:`predict`."""
+        future = self.submit_request(request)
+        try:
+            return future.result(timeout)
+        except (_FutureTimeout, TimeoutError):
+            future.cancel()
+            raise
 
     # ------------------------------------------------------------ dispatcher
-    def _pop_batch_locked(self) -> list[_Request]:
-        batch = [self._queue.popleft()]
-        rows = batch[0].rows
-        while (
-            self._queue
-            and len(batch) < self.options.max_batch_requests
-            and rows + self._queue[0].rows <= self.options.max_batch_rows
-        ):
-            req = self._queue.popleft()
-            rows += req.rows
+    def _pop_batch_locked(
+        self, now: float
+    ) -> tuple[list[_Request], list[_Request], list[_Request]]:
+        """Form one cohort under the queue lock.
+
+        Returns ``(batch, shed, abandoned)``: the tick's cohort in
+        priority-then-FIFO order, the requests whose deadline expired
+        before dispatch (to be failed with
+        :class:`~repro.exceptions.DeadlineExceeded` — *outside* the
+        lock, since resolving a future may run caller callbacks), and
+        the requests whose caller cancelled while they queued (a
+        :meth:`predict` timeout).  All three are removed from the
+        queue; cohort members are *claimed* via
+        ``Future.set_running_or_notify_cancel`` so a late caller-side
+        cancel can no longer race the tick.
+        """
+        shed: list[_Request] = []
+        live: list[_Request] = []
+        for req in self._queue:
+            if req.deadline is not None and now >= req.deadline:
+                shed.append(req)
+            else:
+                live.append(req)
+        # Highest priority first; python's sort is stable, so requests
+        # of equal priority keep their arrival (FIFO) order.
+        ordered = sorted(live, key=lambda r: -r.priority)
+        batch: list[_Request] = []
+        abandoned: list[_Request] = []
+        rows = 0
+        for req in ordered:
+            if batch and (
+                len(batch) >= self.options.max_batch_requests
+                or rows + req.rows > self.options.max_batch_rows
+            ):
+                # Budgets full (the first request always rides, however
+                # large — ticks must make progress).
+                break
+            if not req.future.set_running_or_notify_cancel():
+                abandoned.append(req)
+                continue
             batch.append(req)
-        return batch
+            rows += req.rows
+        taken = {id(r) for part in (batch, shed, abandoned) for r in part}
+        self._queue = deque(
+            r for r in self._queue if id(r) not in taken
+        )
+        return batch, shed, abandoned
+
+    def _shed_expired(self, shed: list[_Request], now: float) -> None:
+        """Fail expired requests fast — before any shard work runs."""
+        for req in shed:
+            overdue = now - req.deadline if req.deadline is not None else 0.0
+            try:
+                req.future.set_exception(
+                    DeadlineExceeded(
+                        f"request {req.request_id or '<anonymous>'} shed: "
+                        f"deadline expired {overdue:.6f}s before its tick "
+                        "was formed (no shard work was spent on it)"
+                    )
+                )
+            except InvalidStateError:
+                # The caller cancelled in the same instant; either way
+                # the request is dead without consuming a tick.
+                pass
+        self.metrics.inc("serve/shed_requests", len(shed))
+        _LOG.info(
+            "serve.shed run=%s requests=%d queue_now=%d",
+            self._run_short, len(shed), len(self._queue),
+        )
 
     def _dispatch_loop(self) -> None:
         inflight: deque[_Inflight] = deque()
         depth = self.options.pipeline_depth
         with meter_scope(self.meter), trace_scope(self.tracer):
             while True:
-                batch: list[_Request] | None = None
+                batch: list[_Request] = []
+                shed: list[_Request] = []
+                abandoned: list[_Request] = []
+                window_used: float | None = None
                 with self._cv:
                     while (
                         not self._queue
@@ -434,7 +668,10 @@ class ModelServer:
                         # keep the workers busy through the wait, so the
                         # window trades only dispatch latency — never
                         # pipeline occupancy — for cohort fullness.
-                        wait_s = self.options.batch_wait_s
+                        if self._window is not None:
+                            wait_s = window_used = self._window.window_s()
+                        else:
+                            wait_s = float(self.options.batch_wait)
                         if (
                             wait_s > 0.0
                             and not self._closing
@@ -453,8 +690,20 @@ class ModelServer:
                                     or not self._cv.wait(remaining)
                                 ):
                                     break
-                        batch = self._pop_batch_locked()
-                if batch is not None:
+                        batch, shed, abandoned = self._pop_batch_locked(
+                            time.perf_counter()
+                        )
+                # Future resolution and metrics happen outside the
+                # queue lock: set_exception may run caller callbacks.
+                if shed:
+                    self._shed_expired(shed, time.perf_counter())
+                if abandoned:
+                    self.metrics.inc(
+                        "serve/abandoned_requests", len(abandoned)
+                    )
+                if window_used is not None:
+                    self.metrics.observe("serve/window_s", window_used)
+                if batch:
                     inflight.append(self._launch_batch(batch))
                     if len(inflight) < depth:
                         # Room for another tick behind this one — only
@@ -469,7 +718,9 @@ class ModelServer:
         x_host: np.ndarray,
         bounds: tuple[tuple[int, int], ...],
         attempts: int | None = None,
-    ) -> np.ndarray:
+    ) -> tuple[np.ndarray, int]:
+        """Run one tick synchronously with bounded retries; returns
+        ``(reduced, retries_used)``."""
         attempts = (
             self.options.max_retries + 1 if attempts is None else attempts
         )
@@ -483,7 +734,7 @@ class ModelServer:
                     self.options.max_scalars,
                     bk=get_backend(),
                 )
-                return np.asarray(to_numpy(reduced))
+                return np.asarray(to_numpy(reduced)), attempt
             except ShardError:
                 self.metrics.inc("serve/retries")
                 if attempt + 1 >= attempts:
@@ -539,6 +790,7 @@ class ModelServer:
         dispatch_s = inflight.dispatch_s
         lo = inflight.rows
         kernel_s = time.perf_counter()
+        retries = 0
         try:
             if inflight.pending is not None:
                 try:
@@ -556,12 +808,13 @@ class ModelServer:
                         self.options.retry_backoff_s,
                     )
                     time.sleep(self.options.retry_backoff_s)
-                    out = self._execute(
+                    out, more = self._execute(
                         inflight.x_host, bounds,
                         attempts=self.options.max_retries,
                     )
+                    retries = 1 + more
             else:
-                out = self._execute(inflight.x_host, bounds)
+                out, retries = self._execute(inflight.x_host, bounds)
         except Exception as exc:
             _LOG.error(
                 "serve.batch_failed run=%s requests=%d rows=%d error=%s",
@@ -620,6 +873,15 @@ class ModelServer:
                     tracer.record_many(events)
             queue_obs.append(dispatch_s - req.enqueued_s)
             request_obs.append(scatter_s - req.enqueued_s)
+            if req.wants_response:
+                result = PredictResponse(
+                    values=result,
+                    run_id=self._run_id,
+                    request_id=req.request_id,
+                    queue_s=dispatch_s - req.enqueued_s,
+                    batch_s=scatter_s - dispatch_s,
+                    retries=retries,
+                )
             req.future.set_result(result)
         # One registry round-trip per tick, not per request: the scatter
         # loop runs with callers actively waking up, so its lock traffic
@@ -654,9 +916,14 @@ class ModelServer:
                 self._queue.clear()
             self._cv.notify_all()
         for req in dropped:
-            req.future.set_exception(
-                ShardError("server closed before the request was dispatched")
-            )
+            try:
+                req.future.set_exception(
+                    ShardError(
+                        "server closed before the request was dispatched"
+                    )
+                )
+            except InvalidStateError:
+                pass  # caller already cancelled (predict timeout)
         self._dispatcher.join(self.options.drain_timeout_s)
         if self._dispatcher.is_alive():  # pragma: no cover - wedged engine
             _LOG.warning(
@@ -687,6 +954,12 @@ class ModelServer:
         self.close()
 
     # ------------------------------------------------------------ inspection
+    @property
+    def run_id(self) -> str:
+        """The serving session's run id (stamped on every
+        :class:`~repro.serve.PredictResponse` and metrics snapshot)."""
+        return self._run_id
+
     def stats(self) -> dict[str, Any]:
         """Run-ID-stamped metrics snapshot (latency histograms carry
         p50/p95/p99; see :class:`~repro.observe.MetricsRegistry`)."""

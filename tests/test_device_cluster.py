@@ -209,3 +209,36 @@ class TestServingLatency:
             serving_latency(link, 2, payload_scalars=1e4, queue_wait_s=-1.0)
         with pytest.raises(ConfigurationError):
             serving_latency(link, 2, payload_scalars=1e4, block_time_s=-1.0)
+        for bad in (0.0, -1e-3):
+            with pytest.raises(ConfigurationError):
+                serving_latency(
+                    link, 2, payload_scalars=1e4, deadline_s=bad
+                )
+
+    def test_deadline_shed_charges_only_the_deadline(self):
+        """A request whose queue wait reaches its deadline is shed: the
+        modelled latency is the deadline itself — no block, no
+        collective — mirroring the dispatcher's shedding rule."""
+        link = self._link()
+        shed = serving_latency(
+            link, 4, payload_scalars=1e6,
+            queue_wait_s=5e-3, block_time_s=10.0, deadline_s=2e-3,
+        )
+        assert shed == 2e-3
+        # Boundary: wait == deadline also sheds.
+        assert serving_latency(
+            link, 4, payload_scalars=1e6,
+            queue_wait_s=2e-3, block_time_s=10.0, deadline_s=2e-3,
+        ) == 2e-3
+
+    def test_deadline_met_changes_nothing(self):
+        """An admitted request (wait < deadline) prices identically to
+        the no-deadline model — the hook only carves out the shed
+        branch."""
+        link = self._link()
+        kwargs = dict(
+            payload_scalars=1e4, queue_wait_s=1e-4, block_time_s=2e-3
+        )
+        assert serving_latency(
+            link, 2, deadline_s=60.0, **kwargs
+        ) == serving_latency(link, 2, **kwargs)

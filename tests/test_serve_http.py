@@ -1,0 +1,293 @@
+"""HTTP transport suite (:mod:`repro.serve.http` / :mod:`.client`).
+
+The load-bearing claim is that HTTP adds a *transport*, not a numeric
+path: ``POST /predict`` responses are bit-identical to in-process
+:meth:`~repro.serve.ModelServer.predict` — and therefore to a solo
+:func:`~repro.shard.sharded_predict` — because JSON round-trips float64
+losslessly.  Around that: the health/metrics endpoints, the error
+mapping (400 malformed / 503 backpressure / 504 shed), the per-request
+timings on the wire, and the :class:`~repro.serve.ServeClient`
+interface both transports implement.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.exceptions import (
+    ConfigurationError,
+    DeadlineExceeded,
+    ShardError,
+)
+from repro.kernels import GaussianKernel
+from repro.serve import (
+    HttpClient,
+    LocalClient,
+    ModelServer,
+    PredictRequest,
+    PredictResponse,
+    ServeClient,
+    ServeHTTPServer,
+    ServeOptions,
+)
+from repro.shard import ShardGroup, sharded_predict
+
+N, D, L = 151, 4, 3
+
+
+@pytest.fixture(scope="module")
+def served():
+    """One engine + HTTP adapter shared by the module (per-test servers
+    would pay a socket bind per test for no isolation gain: requests are
+    independent and the suite never closes the shared pair)."""
+    rng = np.random.default_rng(29)
+    centers = rng.standard_normal((N, D))
+    weights = rng.standard_normal((N, L))
+    kernel = GaussianKernel(bandwidth=2.0)
+    with ShardGroup.build(
+        centers, weights, g=2, kernel=kernel, transport="thread"
+    ) as group:
+        with ModelServer(group=group) as server:
+            with ServeHTTPServer(server) as http_srv:
+                yield group, server, http_srv
+
+
+def _post(url: str, payload: dict, timeout: float = 30.0):
+    req = urllib.request.Request(
+        url,
+        data=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    try:
+        with urllib.request.urlopen(req, timeout=timeout) as resp:
+            return resp.status, json.loads(resp.read())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read())
+
+
+# --------------------------------------------------------------------------
+# Bitwise round trip
+# --------------------------------------------------------------------------
+
+
+def test_http_predict_bitwise_vs_in_process(served):
+    group, server, http_srv = served
+    rng = np.random.default_rng(31)
+    for rows in (1, 7, 23):
+        x = rng.standard_normal((rows, D))
+        want = np.asarray(sharded_predict(group, x))
+        np.testing.assert_array_equal(server.predict(x, timeout=60), want)
+        status, payload = _post(
+            f"{http_srv.url}/predict", {"rows": x.tolist()}
+        )
+        assert status == 200
+        got = np.asarray(payload["values"], dtype=np.float64)
+        assert got.shape == want.shape and got.dtype == want.dtype
+        np.testing.assert_array_equal(got, want)
+
+
+def test_http_client_predict_bitwise(served):
+    group, _, http_srv = served
+    rng = np.random.default_rng(37)
+    x = rng.standard_normal((9, D))
+    client = HttpClient(http_srv.url)
+    np.testing.assert_array_equal(
+        client.predict(x), np.asarray(sharded_predict(group, x))
+    )
+
+
+def test_single_sample_round_trip(served):
+    group, server, http_srv = served
+    x = np.random.default_rng(41).standard_normal(D)
+    resp = HttpClient(http_srv.url).predict_request(PredictRequest(rows=x))
+    want = server.predict(x, timeout=60)  # engine's (l,) single-sample form
+    assert resp.values.shape == want.shape == (L,)
+    np.testing.assert_array_equal(resp.values, want)
+    np.testing.assert_array_equal(
+        resp.values, np.asarray(sharded_predict(group, x)).reshape(-1)
+    )
+
+
+def test_response_carries_timings_and_identity(served):
+    _, server, http_srv = served
+    x = np.zeros((2, D))
+    req = PredictRequest(rows=x, request_id="r-timed", tags={"arm": "a"})
+    resp = HttpClient(http_srv.url).predict_request(req)
+    assert isinstance(resp, PredictResponse)
+    assert resp.request_id == "r-timed"
+    assert resp.run_id == server.run_id
+    assert resp.queue_s >= 0.0 and resp.batch_s > 0.0
+    assert resp.shed is False and resp.retries == 0
+
+
+# --------------------------------------------------------------------------
+# Health and metrics endpoints
+# --------------------------------------------------------------------------
+
+
+def test_healthz(served):
+    _, server, http_srv = served
+    with urllib.request.urlopen(f"{http_srv.url}/healthz", timeout=30) as r:
+        payload = json.loads(r.read())
+        assert r.status == 200
+    assert payload["status"] == "ok"
+    assert payload["run_id"] == server.run_id
+    assert payload["transport"] == "thread" and payload["g"] == 2
+
+
+def test_metrics_snapshot(served):
+    _, server, http_srv = served
+    server.predict(np.zeros((1, D)), timeout=60)  # at least one sample
+    with urllib.request.urlopen(f"{http_srv.url}/metrics", timeout=30) as r:
+        snap = json.loads(r.read())
+    assert snap["run_id"]["id"] == server.run_id
+    assert "serve/request_s" in snap["histograms"]
+    assert snap["counters"]["serve/http_requests"] >= 1
+
+
+def test_unknown_routes_404(served):
+    _, _, http_srv = served
+    for get in (f"{http_srv.url}/nope",):
+        with pytest.raises(urllib.error.HTTPError) as err:
+            urllib.request.urlopen(get, timeout=30)
+        assert err.value.code == 404
+    status, payload = _post(f"{http_srv.url}/predictx", {"rows": [[0.0]]})
+    assert status == 404 and payload["error"] == "not_found"
+
+
+# --------------------------------------------------------------------------
+# Error mapping
+# --------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "payload",
+    [
+        {},  # no rows
+        {"rows": [[0.0] * D], "surprise": 1},  # unknown field
+        {"rows": "nonsense"},  # not numeric
+        {"rows": [[0.0] * (D + 1)]},  # wrong feature count
+        {"rows": [[0.0] * D], "tags": "not-a-dict"},
+        {"rows": [[0.0] * D], "deadline_s": -1.0},
+    ],
+    ids=["no-rows", "unknown-field", "non-numeric", "bad-features",
+         "bad-tags", "bad-deadline"],
+)
+def test_malformed_requests_400(served, payload):
+    _, _, http_srv = served
+    status, body = _post(f"{http_srv.url}/predict", payload)
+    assert status == 400
+    assert body["error"] == "bad_request" and body["detail"]
+
+
+def test_expired_deadline_maps_to_504_shed(served):
+    """A shed request surfaces as 504 with the shed flag — and the
+    HttpClient raises the same DeadlineExceeded the engine raises."""
+    group, _, _ = served
+    with ModelServer(
+        group=group, options=ServeOptions(batch_wait_s=5e-3)
+    ) as slow:
+        with ServeHTTPServer(slow) as adapter:
+            status, body = _post(
+                f"{adapter.url}/predict",
+                {"rows": np.zeros((1, D)).tolist(), "deadline_s": 1e-6},
+            )
+            assert status == 504
+            assert body["error"] == "deadline_exceeded"
+            assert body["shed"] is True
+            with pytest.raises(DeadlineExceeded):
+                HttpClient(adapter.url).predict_request(
+                    PredictRequest(rows=np.zeros((1, D)), deadline_s=1e-6)
+                )
+            shed = slow.stats()["counters"]["serve/http_shed"]
+            assert shed == 2
+
+
+def test_closed_engine_maps_to_503(served):
+    group, _, _ = served
+    engine = ModelServer(group=group)
+    adapter = ServeHTTPServer(engine)
+    try:
+        engine.close()
+        status, body = _post(
+            f"{adapter.url}/predict", {"rows": np.zeros((1, D)).tolist()}
+        )
+        assert status == 503 and body["error"] == "unavailable"
+        with pytest.raises(urllib.error.HTTPError) as err:
+            urllib.request.urlopen(f"{adapter.url}/healthz", timeout=30)
+        assert err.value.code == 503
+        # The client surface raises the engine's exception type.
+        with pytest.raises(ShardError):
+            HttpClient(adapter.url).predict(np.zeros((1, D)))
+    finally:
+        adapter.close()
+
+
+def test_http_client_raises_configuration_error_on_400(served):
+    _, _, http_srv = served
+    with pytest.raises(ConfigurationError):
+        HttpClient(http_srv.url).predict(np.zeros((1, D + 2)))
+
+
+# --------------------------------------------------------------------------
+# Client interface and adapter lifecycle
+# --------------------------------------------------------------------------
+
+
+def test_both_clients_satisfy_protocol_and_agree(served):
+    group, server, http_srv = served
+    local = LocalClient(server)
+    remote = HttpClient(http_srv.url)
+    assert isinstance(local, ServeClient)
+    assert isinstance(remote, ServeClient)
+    x = np.random.default_rng(43).standard_normal((6, D))
+    np.testing.assert_array_equal(local.predict(x), remote.predict(x))
+    assert local.health()["run_id"] == remote.health()["run_id"]
+    assert (
+        local.stats()["run_id"]["id"] == remote.stats()["run_id"]["id"]
+    )
+
+
+def test_http_client_validates_construction():
+    with pytest.raises(ConfigurationError, match="base_url"):
+        HttpClient("ftp://example")
+    with pytest.raises(ConfigurationError, match="timeout_s"):
+        HttpClient("http://127.0.0.1:1", timeout_s=0)
+
+
+def test_adapter_rejects_closed_engine(served):
+    group, _, _ = served
+    engine = ModelServer(group=group)
+    engine.close()
+    with pytest.raises(ConfigurationError, match="closed"):
+        ServeHTTPServer(engine)
+
+
+def test_adapter_close_is_idempotent_and_borrows(served):
+    group, _, _ = served
+    engine = ModelServer(group=group)
+    adapter = ServeHTTPServer(engine)
+    url = adapter.url
+    adapter.close()
+    adapter.close()
+    assert adapter.closed
+    # Borrowed engine still serves in-process after the listener stops.
+    engine.predict(np.zeros((1, D)), timeout=60)
+    engine.close()
+    with pytest.raises(urllib.error.URLError):
+        urllib.request.urlopen(f"{url}/healthz", timeout=2)
+
+
+def test_owns_server_ties_lifecycles(served):
+    group, _, _ = served
+    engine = ModelServer(group=group)
+    with ServeHTTPServer(engine, owns_server=True):
+        pass
+    assert engine.closed
+    assert not group.closed  # the group stays borrowed throughout

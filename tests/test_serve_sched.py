@@ -1,0 +1,453 @@
+"""Scheduling/QoS suite for the serving engine (:mod:`repro.serve`).
+
+Covers the request-API redesign and the dispatcher's scheduling
+policies: the typed :class:`~repro.serve.PredictRequest` /
+:class:`~repro.serve.PredictResponse` vocabulary, priority-first cohort
+formation, deadline shedding (``DeadlineExceeded`` before any shard
+work), the adaptive micro-batch window's ``[floor, ceiling]`` contract
+under bursty vs steady arrivals, and the timeout-abandon bugfix (a
+timed-out caller's request must not occupy cohort budget).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from concurrent.futures import TimeoutError as FutureTimeout
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, DeadlineExceeded
+from repro.kernels import GaussianKernel
+from repro.observe import MetricsRegistry
+from repro.serve import (
+    ADAPTIVE,
+    AdaptiveWindow,
+    ModelServer,
+    PredictRequest,
+    PredictResponse,
+    ServeOptions,
+    WindowOptions,
+)
+from repro.shard import ShardGroup, sharded_predict
+
+N, D, L = 167, 4, 3
+
+
+@pytest.fixture(scope="module")
+def problem():
+    rng = np.random.default_rng(13)
+    centers = rng.standard_normal((N, D))
+    weights = rng.standard_normal((N, L))
+    kernel = GaussianKernel(bandwidth=2.0)
+    x = rng.standard_normal((5, D))
+    return kernel, centers, weights, x
+
+
+@pytest.fixture()
+def group(problem):
+    kernel, centers, weights, _ = problem
+    with ShardGroup.build(
+        centers, weights, g=2, kernel=kernel, transport="thread"
+    ) as g:
+        yield g
+
+
+# --------------------------------------------------------------------------
+# Typed request/response API
+# --------------------------------------------------------------------------
+
+
+class TestRequestAPI:
+    def test_defaults_and_auto_request_id(self):
+        a = PredictRequest(rows=np.zeros((2, D)))
+        b = PredictRequest(rows=np.zeros((2, D)))
+        assert a.priority == 0 and a.deadline_s is None
+        assert a.request_id and b.request_id and a.request_id != b.request_id
+
+    @pytest.mark.parametrize("deadline", [0.0, -1.0])
+    def test_nonpositive_deadline_rejected(self, deadline):
+        with pytest.raises(ConfigurationError, match="deadline_s"):
+            PredictRequest(rows=np.zeros((1, D)), deadline_s=deadline)
+
+    def test_fractional_priority_rejected(self):
+        with pytest.raises(ConfigurationError, match="priority"):
+            PredictRequest(rows=np.zeros((1, D)), priority=1.5)
+
+    @pytest.mark.parametrize("rid", ["", 7])
+    def test_bad_request_id_rejected(self, rid):
+        with pytest.raises(ConfigurationError, match="request_id"):
+            PredictRequest(rows=np.zeros((1, D)), request_id=rid)
+
+    def test_response_as_dict_is_json_bitwise(self):
+        values = np.array([[0.1, 1 / 3, np.pi], [1e-308, -7.5, 2.0]])
+        resp = PredictResponse(
+            values=values, run_id="run", request_id="r-1",
+            queue_s=1e-4, batch_s=2e-4,
+        )
+        back = json.loads(json.dumps(resp.as_dict()))
+        np.testing.assert_array_equal(
+            np.asarray(back["values"], dtype=np.float64), values
+        )
+        assert back["shed"] is False and back["retries"] == 0
+
+    def test_submit_request_resolves_to_response(self, problem, group):
+        _, _, _, x = problem
+        want = np.asarray(sharded_predict(group, x))
+        server = ModelServer(group=group)
+        try:
+            req = PredictRequest(rows=x, priority=3, tags={"tenant": "t0"})
+            resp = server.submit_request(req).result(timeout=60)
+        finally:
+            server.close()
+        assert isinstance(resp, PredictResponse)
+        assert resp.request_id == req.request_id
+        assert resp.run_id == server.run_id
+        assert resp.queue_s >= 0 and resp.batch_s > 0
+        assert resp.retries == 0 and resp.shed is False
+        np.testing.assert_array_equal(resp.values, want)
+
+    def test_predict_request_and_raw_array_share_bits(self, problem, group):
+        _, _, _, x = problem
+        server = ModelServer(group=group)
+        try:
+            via_request = server.predict_request(
+                PredictRequest(rows=x), timeout=60
+            ).values
+            via_array = server.predict(x, timeout=60)
+        finally:
+            server.close()
+        np.testing.assert_array_equal(via_request, via_array)
+
+
+# --------------------------------------------------------------------------
+# Deadline shedding
+# --------------------------------------------------------------------------
+
+
+class TestDeadlineShedding:
+    def test_expired_request_sheds_without_a_tick(self, problem, group):
+        _, _, _, x = problem
+        metrics = MetricsRegistry()
+        server = ModelServer(
+            group=group, metrics=metrics,
+            options=ServeOptions(batch_wait_s=5e-3),
+        )
+        try:
+            doomed = [
+                server.submit_request(
+                    PredictRequest(rows=x, deadline_s=1e-6)
+                )
+                for _ in range(3)
+            ]
+            for f in doomed:
+                exc = f.exception(timeout=30)
+                assert isinstance(exc, DeadlineExceeded)
+                assert "shed" in str(exc)
+            # Admitted traffic on the same engine is unaffected.
+            want = np.asarray(sharded_predict(group, x))
+            np.testing.assert_array_equal(
+                server.predict(x, timeout=60), want
+            )
+        finally:
+            server.close()
+        counters = metrics.snapshot()["counters"]
+        assert counters.get("serve/shed_requests", 0) == len(doomed)
+        # "No tick consumed": only the admitted request ever rode one.
+        ticked = sum(metrics.histogram_values("serve/batch_requests"))
+        assert ticked == 1
+
+    def test_generous_deadline_is_served(self, problem, group):
+        _, _, _, x = problem
+        server = ModelServer(group=group)
+        try:
+            resp = server.predict_request(
+                PredictRequest(rows=x, deadline_s=60.0), timeout=60
+            )
+        finally:
+            server.close()
+        np.testing.assert_array_equal(
+            resp.values, np.asarray(sharded_predict(group, x))
+        )
+
+    def test_deadline_exceeded_is_a_shard_error(self):
+        from repro.exceptions import ReproError, ShardError
+
+        assert issubclass(DeadlineExceeded, ShardError)
+        assert issubclass(DeadlineExceeded, ReproError)
+
+
+# --------------------------------------------------------------------------
+# Priority scheduling
+# --------------------------------------------------------------------------
+
+
+class TestPriorityScheduling:
+    def _serve_order(self, group, x, priorities, *, max_batch_requests):
+        """Deterministic scheduling probe: a plug request's tick is
+        gated on an event, so every probe request is queued *behind* it
+        when cohorts form — the completion order then reveals the
+        dispatcher's scheduling, free of submit-timing races."""
+        order: list[int] = []
+        lock = threading.Lock()
+        gate = threading.Event()
+        real_async = group.map_allreduce_async
+        first_tick = threading.Event()
+
+        def gated_async(*args, **kwargs):
+            if not first_tick.is_set():
+                first_tick.set()
+                gate.wait(timeout=30)
+            return real_async(*args, **kwargs)
+
+        group.map_allreduce_async = gated_async
+        server = ModelServer(
+            group=group,
+            options=ServeOptions(
+                batch_wait_s=0.0,
+                max_batch_requests=max_batch_requests,
+                pipeline_depth=1,
+            ),
+        )
+        try:
+            plug = server.submit(x)  # rides the gated first tick
+            assert first_tick.wait(timeout=30)
+            futures = []
+            for prio in priorities:
+                fut = server.submit_request(
+                    PredictRequest(rows=x, priority=prio)
+                )
+                fut.add_done_callback(
+                    lambda _f, p=prio: (
+                        lock.__enter__(), order.append(p), lock.__exit__(
+                            None, None, None
+                        )
+                    )
+                )
+                futures.append(fut)
+            gate.set()
+            plug.result(timeout=60)
+            for f in futures:
+                f.result(timeout=60)
+        finally:
+            gate.set()
+            server.close()
+            group.map_allreduce_async = real_async
+        return order
+
+    def test_priority_beats_fifo_across_ticks(self, problem, group):
+        """One request per tick: service order is priority order, not
+        arrival order."""
+        _, _, _, x = problem
+        priorities = [0, 5, 1, 9]
+        order = self._serve_order(
+            group, x, priorities, max_batch_requests=1
+        )
+        assert order == sorted(priorities, reverse=True)
+
+    def test_high_priority_rides_first_cohort(self, problem, group):
+        """Cohort budget of two: the first tick carries the two
+        high-priority requests even though they arrived last."""
+        _, _, _, x = problem
+        order = self._serve_order(
+            group, x, [0, 0, 5, 5], max_batch_requests=2
+        )
+        assert order[:2] == [5, 5]
+
+    def test_equal_priority_keeps_fifo(self, problem, group):
+        _, _, _, x = problem
+        server = ModelServer(
+            group=group,
+            options=ServeOptions(
+                batch_wait_s=0.15, max_batch_requests=1, pipeline_depth=1
+            ),
+        )
+        order: list[str] = []
+        lock = threading.Lock()
+        try:
+            futures = []
+            for rid in ("first", "second", "third"):
+                fut = server.submit_request(
+                    PredictRequest(rows=x, request_id=rid)
+                )
+                fut.add_done_callback(
+                    lambda _f, r=rid: (
+                        lock.__enter__(), order.append(r), lock.__exit__(
+                            None, None, None
+                        )
+                    )
+                )
+                futures.append(fut)
+            for f in futures:
+                f.result(timeout=60)
+        finally:
+            server.close()
+        assert order == ["first", "second", "third"]
+
+
+# --------------------------------------------------------------------------
+# Adaptive micro-batch window
+# --------------------------------------------------------------------------
+
+
+class TestAdaptiveWindow:
+    def test_burst_collapses_to_floor(self):
+        win = AdaptiveWindow(
+            WindowOptions(floor_s=1e-5, ceiling_s=2e-3, target_requests=8)
+        )
+        t = 0.0
+        for _ in range(50):
+            win.observe_arrival(t)
+            t += 1e-7  # back-to-back burst
+        assert win.window_s() == pytest.approx(1e-5)  # clamped to floor
+
+    def test_steady_sparse_hits_ceiling(self):
+        win = AdaptiveWindow(
+            WindowOptions(floor_s=0.0, ceiling_s=2e-3, target_requests=8)
+        )
+        t = 0.0
+        for _ in range(50):
+            win.observe_arrival(t)
+            t += 1e-3  # 1ms apart: projected 7ms >> ceiling
+        assert win.window_s() == pytest.approx(2e-3)
+
+    def test_window_tracks_gap_between_bounds(self):
+        win = AdaptiveWindow(
+            WindowOptions(floor_s=0.0, ceiling_s=1.0, target_requests=4)
+        )
+        t = 0.0
+        for _ in range(200):
+            win.observe_arrival(t)
+            t += 1e-3
+        # EWMA converges to the true gap; projection = gap * (target-1).
+        assert win.gap_ewma_s == pytest.approx(1e-3, rel=1e-6)
+        assert win.window_s() == pytest.approx(3e-3, rel=1e-6)
+
+    def test_idle_gap_does_not_poison_estimate(self):
+        win = AdaptiveWindow(
+            WindowOptions(
+                floor_s=0.0, ceiling_s=10.0, target_requests=2,
+                max_gap_s=0.5,
+            )
+        )
+        win.observe_arrival(0.0)
+        win.observe_arrival(1e-3)
+        before = win.window_s()
+        win.observe_arrival(60.0)  # server sat idle for a minute
+        assert win.window_s() == before
+        # The post-idle arrival restarts the pair: the next gap counts.
+        win.observe_arrival(60.0 + 1e-3)
+        assert win.gap_ewma_s is not None
+
+    def test_no_estimate_means_floor(self):
+        win = AdaptiveWindow(WindowOptions(floor_s=1e-4, ceiling_s=1e-2))
+        assert win.window_s() == pytest.approx(1e-4)
+        win.observe_arrival(0.0)  # one arrival: still no gap
+        assert win.window_s() == pytest.approx(1e-4)
+
+    def test_options_validation(self):
+        with pytest.raises(ConfigurationError, match="ceiling_s"):
+            WindowOptions(floor_s=1e-3, ceiling_s=1e-4)
+        with pytest.raises(ConfigurationError, match="alpha"):
+            WindowOptions(alpha=0.0)
+        with pytest.raises(ConfigurationError, match="target_requests"):
+            WindowOptions(target_requests=0)
+        with pytest.raises(ConfigurationError, match="max_gap_s"):
+            WindowOptions(max_gap_s=0.0)
+
+    def test_serve_options_adaptive_spelling(self):
+        opts = ServeOptions(batch_wait=ADAPTIVE)
+        assert opts.adaptive_window
+        assert ServeOptions(batch_wait_s="adaptive").adaptive_window
+        assert not ServeOptions(batch_wait_s=1e-3).adaptive_window
+        with pytest.raises(ConfigurationError):
+            ServeOptions(batch_wait="sometimes")
+        with pytest.raises(ConfigurationError):
+            # WindowOptions without opting into the adaptive window.
+            ServeOptions(batch_wait_s=1e-3, adaptive=WindowOptions())
+        with pytest.raises(ConfigurationError):
+            ServeOptions(batch_wait=1e-3, batch_wait_s=2e-3)
+
+    @pytest.mark.parametrize(
+        "load", ["bursty", "steady"], ids=["bursty", "steady"]
+    )
+    def test_served_windows_stay_in_band(self, problem, group, load):
+        """End to end: every serve/window_s decision the dispatcher
+        records stays inside the configured band, bursty or steady."""
+        _, _, _, x = problem
+        win = WindowOptions(floor_s=0.0, ceiling_s=1.5e-3)
+        metrics = MetricsRegistry()
+        server = ModelServer(
+            group=group, metrics=metrics,
+            options=ServeOptions(batch_wait="adaptive", adaptive=win),
+        )
+        try:
+            want = np.asarray(sharded_predict(group, x))
+            for _ in range(4):
+                futures = [server.submit(x) for _ in range(6)]
+                for f in futures:
+                    np.testing.assert_array_equal(
+                        f.result(timeout=60), want
+                    )
+                if load == "steady":
+                    time.sleep(2e-3)
+        finally:
+            server.close()
+        windows = metrics.histogram_values("serve/window_s")
+        assert windows, "adaptive dispatcher recorded no window decisions"
+        assert all(win.floor_s <= w <= win.ceiling_s for w in windows)
+
+
+# --------------------------------------------------------------------------
+# Timeout-abandon bugfix
+# --------------------------------------------------------------------------
+
+
+class TestTimeoutAbandon:
+    def test_timed_out_request_leaves_the_cohort(self, problem, group):
+        """predict(timeout=...) that fires while the request is queued
+        cancels the future: the dispatcher culls it at cohort formation
+        (counted, no spans, no result) instead of serving a caller that
+        already gave up."""
+        _, _, _, x = problem
+        metrics = MetricsRegistry()
+        server = ModelServer(
+            group=group, metrics=metrics,
+            options=ServeOptions(batch_wait_s=0.2, pipeline_depth=1),
+        )
+        try:
+            with pytest.raises((FutureTimeout, TimeoutError)):
+                server.predict(x, timeout=1e-3)
+            # A later caller is served normally on the same engine.
+            np.testing.assert_array_equal(
+                server.predict(x, timeout=60),
+                np.asarray(sharded_predict(group, x)),
+            )
+        finally:
+            server.close()
+        counters = metrics.snapshot()["counters"]
+        assert counters.get("serve/abandoned_requests", 0) >= 1
+        # The abandoned request never rode a tick: every cohort request
+        # accounted in the histogram was a served one.
+        served = int(counters.get("serve/requests", 0))
+        ticked = sum(metrics.histogram_values("serve/batch_requests"))
+        assert ticked == served
+
+    def test_timed_out_running_request_still_resolves(self, problem, group):
+        """Once claimed by a tick the request is past cancelling; the
+        caller's timeout raises but the future completes server-side
+        (no InvalidStateError, no stuck dispatcher)."""
+        _, _, _, x = problem
+        server = ModelServer(group=group)
+        try:
+            fut = server.submit(x)
+            with pytest.raises((FutureTimeout, TimeoutError)):
+                fut.result(timeout=0)
+            np.testing.assert_array_equal(
+                fut.result(timeout=60),
+                np.asarray(sharded_predict(group, x)),
+            )
+        finally:
+            server.close()
